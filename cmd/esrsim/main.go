@@ -1,0 +1,108 @@
+// Command esrsim runs an ad-hoc replicated workload and prints its
+// metrics, for exploring the method/ε/latency trade-off space by hand:
+//
+//	esrsim -method commu -replicas 5 -eps 2 -clients 8 -ops 200
+//	esrsim -method 2pc -replicas 8 -latency 5ms
+//	esrsim -method commu -partition 80ms   # 2-way partition mid-run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/network"
+	"esr/internal/sim"
+)
+
+func main() {
+	var (
+		method    = flag.String("method", "commu", "ordup | ordup-lamport | commu | ritu | ritu-mv | compe | compe-general | 2pc | quorum")
+		replicas  = flag.Int("replicas", 3, "number of replica sites")
+		clients   = flag.Int("clients", 4, "concurrent clients")
+		ops       = flag.Int("ops", 100, "ETs per client")
+		objects   = flag.Int("objects", 8, "object universe size")
+		queryFrac = flag.Float64("queries", 0.3, "fraction of ETs that are queries")
+		eps       = flag.Int("eps", -1, "query ε limit (-1 = unlimited)")
+		latency   = flag.Duration("latency", time.Millisecond, "max one-way link latency")
+		loss      = flag.Float64("loss", 0, "message loss rate")
+		seed      = flag.Int64("seed", 1, "random seed")
+		pace      = flag.Duration("pace", 500*time.Microsecond, "client think time between ETs")
+		skew      = flag.Float64("skew", 0, "Zipf skew parameter (>1 makes low-numbered objects hot; 0 = uniform)")
+		partition = flag.Duration("partition", 0, "if set, split the cluster in half for this long mid-run")
+		traceN    = flag.Int("trace", 0, "record the last N protocol events and dump them after the run")
+	)
+	flag.Parse()
+
+	eng, err := sim.NewEngine(sim.EngineKind(*method), *replicas, network.Config{
+		Seed:       *seed,
+		MinLatency: *latency / 4,
+		MaxLatency: *latency,
+		LossRate:   *loss,
+	}, sim.Options{Trace: *traceN})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	if *partition > 0 {
+		go func() {
+			time.Sleep(*partition / 2)
+			var a, b []clock.SiteID
+			for i := 1; i <= *replicas; i++ {
+				if i <= *replicas/2 {
+					a = append(a, clock.SiteID(i))
+				} else {
+					b = append(b, clock.SiteID(i))
+				}
+			}
+			a = append(a, core.SequencerSite)
+			fmt.Printf("--- partitioning %v | %v for %v\n", a[:len(a)-1], b, *partition)
+			eng.Cluster().Net.Partition(a, b)
+			time.Sleep(*partition)
+			fmt.Println("--- healing partition")
+			eng.Cluster().Net.Heal()
+		}()
+	}
+
+	build := sim.AdditiveOps
+	if *method == "ritu" || *method == "ritu-mv" {
+		build = sim.BlindWriteOps
+	}
+	res, err := sim.Run(eng, sim.Workload{
+		Seed: *seed, Clients: *clients, OpsPerClient: *ops,
+		Objects: *objects, QueryFraction: *queryFrac,
+		OpsPerUpdate: 2, ObjectsPerQuery: 2, Skew: *skew,
+		Epsilon: divergence.Limit(*eps), Build: build, Pace: *pace,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("method        %s on %d replicas\n", res.Method, res.Sites)
+	fmt.Printf("workload      %v (%d clients x %d ETs, %d%% queries, ε=%v)\n",
+		res.Elapsed.Round(time.Millisecond), *clients, *ops, int(*queryFrac*100), divergence.Limit(*eps))
+	fmt.Printf("updates       %d committed, %d failed, %.0f/s, mean %v, p95 %v\n",
+		res.Updates, res.UpdateErrors, res.UpdateThroughput(),
+		res.UpdateLatency.Mean.Round(10*time.Microsecond), res.UpdateLatency.P95.Round(10*time.Microsecond))
+	fmt.Printf("queries       %d completed, %d failed, mean %v, p95 %v\n",
+		res.Queries, res.QueryErrors,
+		res.QueryLatency.Mean.Round(10*time.Microsecond), res.QueryLatency.P95.Round(10*time.Microsecond))
+	fmt.Printf("inconsistency mean %.2f, max %d (per query, in overlapping-update units)\n",
+		res.Inconsistency.Mean, res.Inconsistency.Max)
+	fmt.Printf("convergence   quiesced in %v, converged=%v\n",
+		res.ConvergeIn.Round(time.Millisecond), res.Converged)
+	if *traceN > 0 {
+		fmt.Printf("\n--- last %d protocol events ---\n", eng.Cluster().Trace.Len())
+		eng.Cluster().Trace.Dump(os.Stdout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "esrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,431 @@
+// Package esr is an implementation of asynchronous replica control under
+// epsilon-serializability (ESR), reproducing Pu & Leff, "Replica Control
+// in Distributed Systems: An Asynchronous Approach" (CUCS-053-90,
+// SIGMOD 1991).
+//
+// A Cluster simulates a set of replica sites connected by an
+// asynchronous, failure-prone network.  Applications interact through
+// epsilon-transactions (ETs):
+//
+//   - Update executes an update ET at an origin site.  It returns as
+//     soon as the update is durably queued for every replica; stable
+//     queues propagate it asynchronously, and the chosen replica-control
+//     method guarantees all replicas converge to the same
+//     1-copy-serializable value at quiescence.
+//   - Query executes a query ET at one site under an ε limit: the
+//     maximum number of concurrent-update "inconsistency units" the
+//     query may import.  ε = 0 yields strictly serializable reads;
+//     higher ε trades bounded staleness for latency and availability.
+//
+// Four replica-control methods from the paper are available — ORDUP
+// (ordered updates), COMMU (commutative operations), RITU
+// (read-independent timestamped updates), and COMPE (compensation-based
+// backward control) — plus two synchronous 1SR baselines (two-phase
+// commit over read-one-write-all, and quorum voting) for comparison.
+//
+// A minimal session:
+//
+//	c, err := esr.Open(esr.Config{Replicas: 3, Method: esr.COMMU})
+//	if err != nil { ... }
+//	defer c.Close()
+//	c.Update(1, esr.Inc("balance", 100))
+//	res, _ := c.Query(2, []string{"balance"}, esr.Epsilon(1))
+//	fmt.Println(res.Value("balance"), "±", res.Inconsistency, "updates")
+package esr
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/commu"
+	"esr/internal/compe"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/ritu"
+	"esr/internal/session"
+	"esr/internal/sim"
+	"esr/internal/trace"
+)
+
+// Method selects the replica-control method (or synchronous baseline) a
+// Cluster runs.
+type Method string
+
+// Available methods.
+const (
+	// ORDUP applies update MSets in one global order at every site
+	// (paper §3.1); ordering comes from a centralized order server.
+	ORDUP Method = "ordup"
+	// ORDUPLamport is ORDUP with distributed Lamport-timestamp ordering
+	// instead of a central sequencer.
+	ORDUPLamport Method = "ordup-lamport"
+	// COMMU restricts update ETs to commutative operations, letting
+	// MSets apply in any order (paper §3.2).
+	COMMU Method = "commu"
+	// RITU propagates read-independent timestamped blind writes under
+	// the Thomas write rule (paper §3.3, single-version mode).
+	RITU Method = "ritu"
+	// RITUMultiVersion keeps immutable timestamped versions with VTNC
+	// visibility control (paper §3.3, multi-version mode).
+	RITUMultiVersion Method = "ritu-mv"
+	// COMPE runs updates optimistically before global commit and undoes
+	// them with compensation MSets on abort (paper §4); commutative
+	// operation discipline.
+	COMPE Method = "compe"
+	// COMPEGeneral is COMPE with arbitrary compensatable operations and
+	// full-log rollback.
+	COMPEGeneral Method = "compe-general"
+	// TwoPC is the synchronous 1SR baseline: two-phase commit over
+	// read-one-write-all.
+	TwoPC Method = "2pc"
+	// Quorum is the synchronous 1SR baseline: majority quorum voting.
+	Quorum Method = "quorum"
+)
+
+// Limit is an ε specification for queries.
+type Limit = divergence.Limit
+
+// Unlimited places no bound on the inconsistency a query may import.
+const Unlimited = divergence.Unlimited
+
+// Epsilon returns a Limit of n inconsistency units.
+func Epsilon(n int) Limit { return Limit(n) }
+
+// Op is one operation of an epsilon-transaction.
+type Op = op.Op
+
+// Value is the state of one replicated object.
+type Value = op.Value
+
+// Result is what a query ET returns: the values read, plus the
+// inconsistency actually imported (always within the query's ε).
+type Result = et.QueryResult
+
+// TxID identifies an update ET, for use with the COMPE saga interface.
+type TxID = et.ID
+
+// Operation constructors.
+var (
+	// Read reads an object (recorded in the ET's history; updates that
+	// carry reads still propagate only their update operations).
+	Read = op.ReadOp
+	// Write blindly overwrites an object with a number.
+	Write = op.WriteOp
+	// Inc adds to a numeric object.  Commutative.
+	Inc = op.IncOp
+	// Dec subtracts from a numeric object.  Commutative.
+	Dec = op.DecOp
+	// Mul multiplies a numeric object.  Commutes only with other Muls.
+	Mul = op.MulOp
+	// Append appends to an ordered list object.
+	Append = op.AppendOp
+	// Add appends to an unordered (set-like) list object.  Commutative.
+	Add = op.UAppendOp
+	// Remove removes one occurrence from an unordered list object.
+	Remove = op.RemoveOneOp
+)
+
+// Config parameterizes a Cluster.  The zero value is not usable: set at
+// least Replicas and Method.
+type Config struct {
+	// Replicas is the number of replica sites (numbered 1..Replicas).
+	Replicas int
+	// Method selects the replica-control method.
+	Method Method
+	// Seed seeds the simulated network's deterministic randomness.
+	Seed int64
+	// MinLatency and MaxLatency bound the one-way link delay.
+	MinLatency, MaxLatency time.Duration
+	// LossRate is the probability a message is lost in transit (stable
+	// queues mask losses by retrying).
+	LossRate float64
+	// JournalDir, when set, makes every stable queue journal-backed
+	// under the directory so queued MSets survive restarts.
+	JournalDir string
+	// CounterLimit enables COMMU's update throttling (§3.2): updates
+	// wait while an object has this many in-flight update ETs.
+	CounterLimit int
+	// TraceCapacity, when positive, records the last N protocol events
+	// (commits, receives, holds, applies, compensations, query pricing)
+	// in a ring readable through Trace and DumpTrace.
+	TraceCapacity int
+}
+
+// Cluster is a replicated system running one replica-control method.
+type Cluster struct {
+	eng    core.Engine
+	method Method
+}
+
+// Errors returned by method-specific interfaces.
+var (
+	// ErrNotCompensating is returned by Begin/Commit/Abort on clusters
+	// whose method is not COMPE.
+	ErrNotCompensating = errors.New("esr: saga interface requires the COMPE method")
+	// ErrSpecUnsupported is returned by QuerySpec on methods without
+	// per-object ε support.
+	ErrSpecUnsupported = errors.New("esr: per-object ε requires ORDUP or COMMU")
+	// ErrNumericUnsupported is returned by QueryNumeric on methods
+	// without value-bounded queries.
+	ErrNumericUnsupported = errors.New("esr: numeric drift bounds require COMMU")
+	// ErrRestartUnsupported is returned by CrashSite/RestartSite on
+	// methods without WAL-based site recovery.
+	ErrRestartUnsupported = errors.New("esr: site crash/restart requires ORDUP, COMMU or RITU")
+	// ErrHistoricalUnsupported is returned by QueryAt on methods other
+	// than RITU multi-version.
+	ErrHistoricalUnsupported = errors.New("esr: historical queries require RITU multi-version")
+)
+
+// Open builds and starts a cluster.
+func Open(cfg Config) (*Cluster, error) {
+	if cfg.Method == "" {
+		return nil, fmt.Errorf("esr: Config.Method is required")
+	}
+	eng, err := sim.NewEngine(sim.EngineKind(cfg.Method), cfg.Replicas, network.Config{
+		Seed:       cfg.Seed,
+		MinLatency: cfg.MinLatency,
+		MaxLatency: cfg.MaxLatency,
+		LossRate:   cfg.LossRate,
+	}, sim.Options{
+		CounterLimit: cfg.CounterLimit,
+		QueueDir:     cfg.JournalDir,
+		Trace:        cfg.TraceCapacity,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Cluster{eng: eng, method: cfg.Method}, nil
+}
+
+// Method returns the cluster's replica-control method.
+func (c *Cluster) Method() Method { return c.method }
+
+// Sites returns the site numbers, 1..Replicas.
+func (c *Cluster) Sites() []int {
+	ids := c.eng.Cluster().SiteIDs()
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// Update executes an update ET at the origin site.  For the
+// asynchronous methods it returns once the update is locally committed
+// and durably queued toward every replica; for the synchronous baselines
+// it returns after global commit.
+func (c *Cluster) Update(origin int, ops ...Op) (TxID, error) {
+	return c.eng.Update(clock.SiteID(origin), ops)
+}
+
+// Query executes a query ET at the site, reading the given objects under
+// the ε limit.  The returned Result reports the inconsistency actually
+// imported, which never exceeds eps.
+func (c *Cluster) Query(site int, objects []string, eps Limit) (Result, error) {
+	return c.eng.Query(clock.SiteID(site), objects, eps)
+}
+
+// Spec is a per-object ε specification: different objects may tolerate
+// different inconsistency (spatial consistency).
+type Spec = divergence.Spec
+
+// QuerySpec executes a query ET under a per-object ε specification.
+// Available under ORDUP and COMMU; other methods return
+// ErrSpecUnsupported.
+func (c *Cluster) QuerySpec(site int, objects []string, spec Spec) (Result, error) {
+	type specQuerier interface {
+		QuerySpec(site clock.SiteID, objects []string, spec divergence.Spec) (et.QueryResult, error)
+	}
+	sq, ok := c.eng.(specQuerier)
+	if !ok {
+		return Result{}, ErrSpecUnsupported
+	}
+	return sq.QuerySpec(clock.SiteID(site), objects, spec)
+}
+
+// NumericResult reports a value-bounded query: Drift is the absolute
+// numeric change the reads may be missing, never exceeding the bound.
+type NumericResult = commu.NumericResult
+
+// QueryNumeric executes a query whose divergence bound is expressed in
+// value units rather than update counts (COMMU only): the reads may
+// collectively miss at most maxDrift of absolute numeric change.
+func (c *Cluster) QueryNumeric(site int, objects []string, maxDrift int64) (NumericResult, error) {
+	ce, ok := c.eng.(*commu.Engine)
+	if !ok {
+		return NumericResult{}, ErrNumericUnsupported
+	}
+	return ce.QueryNumeric(clock.SiteID(site), objects, maxDrift)
+}
+
+// Begin starts a tentative (saga-style) update ET under COMPE: it
+// applies optimistically everywhere and must later be resolved with
+// Commit or Abort.
+func (c *Cluster) Begin(origin int, ops ...Op) (TxID, error) {
+	ce, ok := c.eng.(*compe.Engine)
+	if !ok {
+		return 0, ErrNotCompensating
+	}
+	return ce.Begin(clock.SiteID(origin), ops)
+}
+
+// Commit resolves a tentative COMPE update as committed.
+func (c *Cluster) Commit(id TxID) error {
+	ce, ok := c.eng.(*compe.Engine)
+	if !ok {
+		return ErrNotCompensating
+	}
+	return ce.Commit(id)
+}
+
+// Abort resolves a tentative COMPE update as aborted; compensation MSets
+// undo it at every replica.
+func (c *Cluster) Abort(id TxID) error {
+	ce, ok := c.eng.(*compe.Engine)
+	if !ok {
+		return ErrNotCompensating
+	}
+	return ce.Abort(id)
+}
+
+// CrashSite simulates a site failure on a durable cluster (JournalDir
+// set): the site loses all in-memory state and stops answering.
+// Supported by ORDUP, COMMU and RITU.
+func (c *Cluster) CrashSite(site int) error {
+	type crasher interface{ CrashSite(clock.SiteID) error }
+	cr, ok := c.eng.(crasher)
+	if !ok {
+		return ErrRestartUnsupported
+	}
+	return cr.CrashSite(clock.SiteID(site))
+}
+
+// RestartSite recovers a crashed site from its write-ahead log and
+// inbound journal; it resumes with its pre-crash state and drains
+// whatever queued while it was down.
+func (c *Cluster) RestartSite(site int) error {
+	type restarter interface{ RestartSite(clock.SiteID) error }
+	r, ok := c.eng.(restarter)
+	if !ok {
+		return ErrRestartUnsupported
+	}
+	return r.RestartSite(clock.SiteID(site))
+}
+
+// Quiesce blocks until every queued MSet has been delivered and applied
+// — the paper's quiescent state, at which all replicas hold identical,
+// 1-copy-serializable values.  It fails with a timeout while a partition
+// blocks propagation.
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	return c.eng.Cluster().Quiesce(timeout)
+}
+
+// Converged reports whether every replica of every object holds the same
+// value, returning the first divergent object otherwise.
+func (c *Cluster) Converged() (bool, string) {
+	return c.eng.Cluster().Converged()
+}
+
+// Value returns the object's current value at one site, bypassing ET
+// machinery (for inspection and tests).
+func (c *Cluster) Value(site int, object string) Value {
+	s := c.eng.Cluster().Site(clock.SiteID(site))
+	if s == nil {
+		return Value{}
+	}
+	return s.Store.Get(object)
+}
+
+// Partition splits the network into groups of sites; messages between
+// groups fail until Heal.  Sites not listed join the first group.
+func (c *Cluster) Partition(groups ...[]int) {
+	conv := make([][]clock.SiteID, len(groups))
+	for i, g := range groups {
+		for _, s := range g {
+			conv[i] = append(conv[i], clock.SiteID(s))
+		}
+	}
+	// The virtual order server rides with the first group so ORDUP's
+	// sequencer-side behaviour is deterministic.
+	if len(conv) > 0 {
+		conv[0] = append(conv[0], core.SequencerSite)
+	}
+	c.eng.Cluster().Net.Partition(conv...)
+}
+
+// Heal removes all partitions; stable queues then drain automatically.
+func (c *Cluster) Heal() {
+	c.eng.Cluster().Net.Heal()
+}
+
+// Timestamp is a logical version timestamp (RITU multi-version).
+type Timestamp = clock.Timestamp
+
+// QueryAt executes a historical query under RITU multi-version: every
+// object reads as of the given timestamp — a serializable snapshot of
+// the past that never blocks ("queries that are serialized in the past
+// do not block", §5.2).
+func (c *Cluster) QueryAt(site int, objects []string, ts Timestamp) (Result, error) {
+	re, ok := c.eng.(*ritu.Engine)
+	if !ok {
+		return Result{}, ErrHistoricalUnsupported
+	}
+	return re.QueryAt(clock.SiteID(site), objects, ts)
+}
+
+// Session provides per-client ordering guarantees (read-your-writes and
+// monotonic reads) over the cluster, layered on ESR's bounded
+// inconsistency.  Create one per logical client with NewSession.
+type Session struct {
+	s *session.S
+}
+
+// NewSession opens a session with both guarantees enabled.  Supported by
+// ORDUP, COMMU and RITU.
+func (c *Cluster) NewSession() (*Session, error) {
+	s, err := session.New(c.eng)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
+}
+
+// Update executes an update ET through the session, recording it for the
+// read-your-writes guarantee.
+func (s *Session) Update(origin int, ops ...Op) (TxID, error) {
+	return s.s.Update(clock.SiteID(origin), ops)
+}
+
+// Query executes a query ET after establishing the session's guarantees
+// at the site: it never misses this session's own writes and never reads
+// backwards relative to this session's previous reads.
+func (s *Session) Query(site int, objects []string, eps Limit) (Result, error) {
+	return s.s.Query(clock.SiteID(site), objects, eps)
+}
+
+// TraceEvent is one recorded protocol event.
+type TraceEvent = trace.Event
+
+// Trace returns the retained protocol events, oldest first (empty when
+// TraceCapacity was not set).
+func (c *Cluster) Trace() []TraceEvent {
+	return c.eng.Cluster().Trace.Snapshot()
+}
+
+// DumpTrace writes the retained protocol events to w, one per line.
+func (c *Cluster) DumpTrace(w io.Writer) {
+	c.eng.Cluster().Trace.Dump(w)
+}
+
+// Engine exposes the underlying engine for advanced use (experiment
+// harnesses, method-specific statistics).
+func (c *Cluster) Engine() core.Engine { return c.eng }
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() error { return c.eng.Close() }

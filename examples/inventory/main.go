@@ -1,0 +1,97 @@
+// Inventory: ordered updates (ORDUP) for non-commutative operations.
+//
+// Run with:
+//
+//	go run ./examples/inventory
+//
+// Warehouses apply price changes that do NOT commute: flat adjustments
+// (Inc/Dec) mixed with percentage repricings (Mul).  Under COMMU such a
+// mix would be rejected; ORDUP (§3.1) instead stamps every update ET
+// with a global order and has each replica apply them in exactly that
+// order, so all warehouses converge to the same price even though
+// propagation is asynchronous.  Dashboard queries interleave freely and
+// carry an ε bound.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"esr"
+)
+
+func main() {
+	cluster, err := esr.Open(esr.Config{
+		Replicas:   4,
+		Method:     esr.ORDUP,
+		Seed:       7,
+		MinLatency: 500 * time.Microsecond,
+		MaxLatency: 4 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Base prices (in cents).
+	if _, err := cluster.Update(1,
+		esr.Write("price/widget", 1000),
+		esr.Write("price/gadget", 2500),
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// Four regional offices issue non-commutative price changes
+	// concurrently: surcharges, discounts, and a doubling promotion.
+	// The final price depends on the order — which ORDUP makes global.
+	var wg sync.WaitGroup
+	for office := 1; office <= 4; office++ {
+		wg.Add(1)
+		go func(office int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				var o esr.Op
+				switch (office + i) % 3 {
+				case 0:
+					o = esr.Inc("price/widget", 50) // flat surcharge
+				case 1:
+					o = esr.Dec("price/widget", 30) // flat discount
+				default:
+					o = esr.Mul("price/gadget", 2) // promotion repricing
+				}
+				if _, err := cluster.Update(office, o); err != nil {
+					log.Printf("office %d: %v", office, err)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(office)
+	}
+
+	// A dashboard polls a replica while changes are in flight.
+	for i := 0; i < 4; i++ {
+		time.Sleep(3 * time.Millisecond)
+		res, err := cluster.Query(3, []string{"price/widget", "price/gadget"}, esr.Epsilon(3))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("dashboard: widget=%v gadget=%v (±%d updates)\n",
+			res.Value("price/widget"), res.Value("price/gadget"), res.Inconsistency)
+	}
+	wg.Wait()
+
+	// After quiescence every warehouse shows the identical price,
+	// despite the non-commutative mix — the ORDUP guarantee.
+	if err := cluster.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if ok, obj := cluster.Converged(); !ok {
+		log.Fatalf("warehouses diverged on %s", obj)
+	}
+	for _, site := range cluster.Sites() {
+		fmt.Printf("warehouse %d: widget=%v gadget=%v\n",
+			site, cluster.Value(site, "price/widget"), cluster.Value(site, "price/gadget"))
+	}
+	fmt.Println("all warehouses agree (same global update order everywhere)")
+}

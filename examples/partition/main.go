@@ -1,0 +1,92 @@
+// Partition: divergence and convergence across a network partition.
+//
+// Run with:
+//
+//	go run ./examples/partition
+//
+// The cluster splits into two halves.  Because COMMU propagates updates
+// asynchronously through stable queues, BOTH halves keep committing
+// updates and answering queries throughout — the availability the paper
+// promises (§2.2: robust "in face of very slow links, network
+// partitions, and site failures").  The halves drift apart (bounded,
+// observable divergence), and when the partition heals the queued MSets
+// drain and every replica converges to the same value, with no manual
+// reconciliation.  Contrast: the same scenario under 2PC simply rejects
+// every update until the network heals.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"esr"
+)
+
+func main() {
+	cluster, err := esr.Open(esr.Config{
+		Replicas:   4,
+		Method:     esr.COMMU,
+		Seed:       5,
+		MinLatency: 200 * time.Microsecond,
+		MaxLatency: 1 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	if _, err := cluster.Update(1, esr.Inc("counter", 100)); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Quiesce(10 * time.Second)
+	fmt.Println("before partition: every site sees counter =",
+		cluster.Value(1, "counter").Num)
+
+	// Split {1,2} | {3,4}.
+	cluster.Partition([]int{1, 2}, []int{3, 4})
+	fmt.Println("\n--- partition: {1,2} | {3,4} ---")
+
+	// Both sides keep working.
+	for i := 0; i < 5; i++ {
+		if _, err := cluster.Update(1, esr.Inc("counter", 1)); err != nil {
+			log.Fatalf("left side update: %v", err)
+		}
+		if _, err := cluster.Update(3, esr.Inc("counter", 10)); err != nil {
+			log.Fatalf("right side update: %v", err)
+		}
+	}
+	time.Sleep(10 * time.Millisecond) // intra-partition propagation
+
+	left, _ := cluster.Query(2, []string{"counter"}, esr.Unlimited)
+	right, _ := cluster.Query(4, []string{"counter"}, esr.Unlimited)
+	fmt.Printf("left  half sees counter = %v (its own +5)\n", left.Value("counter"))
+	fmt.Printf("right half sees counter = %v (its own +50)\n", right.Value("counter"))
+	fmt.Println("divergence is real but bounded: each side is missing the",
+		"other's queued updates, which stable queues retain")
+
+	if err := cluster.Quiesce(100 * time.Millisecond); err != nil {
+		fmt.Println("quiesce during partition (expected to fail):", err)
+	}
+
+	// Heal: queued MSets drain, replicas converge automatically.
+	fmt.Println("\n--- healing ---")
+	cluster.Heal()
+	start := time.Now()
+	if err := cluster.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("converged %v after heal\n", time.Since(start).Round(time.Millisecond))
+
+	for _, site := range cluster.Sites() {
+		fmt.Printf("site %d: counter = %v\n", site, cluster.Value(site, "counter").Num)
+	}
+	if ok, obj := cluster.Converged(); !ok {
+		log.Fatalf("diverged on %s", obj)
+	}
+	want := int64(100 + 5 + 50)
+	if got := cluster.Value(1, "counter").Num; got != want {
+		log.Fatalf("counter = %d, want %d", got, want)
+	}
+	fmt.Println("both halves' updates merged: no update was lost, none applied twice")
+}

@@ -1,0 +1,129 @@
+// Saga: compensation-based backward replica control (COMPE, §4).
+//
+// Run with:
+//
+//	go run ./examples/saga
+//
+// A travel booking reserves a flight seat, a hotel room, and a rental
+// car as three tentative update ETs.  Each reservation applies at every
+// replica optimistically, before the overall booking commits — queries
+// can already see (and are charged for) the tentative holds.  When the
+// car turns out to be unavailable, the saga aborts: compensation MSets
+// undo the earlier reservations at every replica, and the counters the
+// saga held until its end gave queries a conservative bound on the
+// potential compensation all along (§4.2).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"esr"
+)
+
+func main() {
+	cluster, err := esr.Open(esr.Config{
+		Replicas:   3,
+		Method:     esr.COMPE,
+		Seed:       4,
+		MinLatency: 500 * time.Microsecond,
+		MaxLatency: 2 * time.Millisecond,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Inventory: seats, rooms, cars available.
+	if _, err := cluster.Update(1,
+		esr.Inc("flight/seats", 3),
+		esr.Inc("hotel/rooms", 5),
+	); err != nil {
+		log.Fatal(err)
+	}
+	cluster.Quiesce(10 * time.Second)
+
+	fmt.Println("--- booking saga: flight + hotel + car ---")
+
+	// Step 1: reserve a seat (tentative).
+	flight, err := cluster.Begin(1, esr.Dec("flight/seats", 1), esr.Add("flight/manifest", "alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reserved flight seat (tentative)")
+
+	// Step 2: reserve a room (tentative).
+	hotel, err := cluster.Begin(2, esr.Dec("hotel/rooms", 1), esr.Add("hotel/guests", "alice"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("reserved hotel room (tentative)")
+	cluster.Quiesce(10 * time.Second)
+
+	// While the saga is open, a query sees the tentative holds and is
+	// charged for the risk that they compensate away.
+	res, err := cluster.Query(3, []string{"flight/seats", "hotel/rooms"}, esr.Epsilon(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mid-saga query: seats=%v rooms=%v (at-risk inconsistency %d)\n",
+		res.Value("flight/seats"), res.Value("hotel/rooms"), res.Inconsistency)
+
+	// Step 3: the car desk reports no cars — the saga must unwind.
+	fmt.Println("no rental car available: aborting the saga")
+	if err := cluster.Abort(hotel); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Abort(flight); err != nil {
+		log.Fatal(err)
+	}
+	if err := cluster.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compensation restored the inventory at every replica.
+	for _, site := range cluster.Sites() {
+		fmt.Printf("site %d: seats=%v rooms=%v manifest=%v\n",
+			site,
+			cluster.Value(site, "flight/seats"),
+			cluster.Value(site, "hotel/rooms"),
+			cluster.Value(site, "flight/manifest"))
+	}
+	if v := cluster.Value(1, "flight/seats"); v.Num != 3 {
+		log.Fatalf("compensation failed: %v seats", v)
+	}
+
+	// A successful booking for comparison: all steps commit.
+	fmt.Println("--- retry next day: car available, saga commits ---")
+	ids := make([]esr.TxID, 0, 3)
+	steps := [][]esr.Op{
+		{esr.Dec("flight/seats", 1), esr.Add("flight/manifest", "alice")},
+		{esr.Dec("hotel/rooms", 1), esr.Add("hotel/guests", "alice")},
+		{esr.Add("car/rentals", "alice")},
+	}
+	for i, ops := range steps {
+		id, err := cluster.Begin(i%3+1, ops...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		if err := cluster.Commit(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := cluster.Quiesce(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("final: seats=%v rooms=%v manifest=%v rentals=%v\n",
+		cluster.Value(2, "flight/seats"),
+		cluster.Value(2, "hotel/rooms"),
+		cluster.Value(2, "flight/manifest"),
+		cluster.Value(2, "car/rentals"))
+	if ok, obj := cluster.Converged(); !ok {
+		log.Fatalf("replicas diverged on %s", obj)
+	}
+	fmt.Println("replicas converged; committed saga survived, aborted saga left no trace")
+}

@@ -1,0 +1,3 @@
+module esr
+
+go 1.24

@@ -1,0 +1,203 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimestampLessTotalOrder(t *testing.T) {
+	a := Timestamp{Time: 1, Site: 1}
+	b := Timestamp{Time: 1, Site: 2}
+	c := Timestamp{Time: 2, Site: 0}
+	if !a.Less(b) {
+		t.Errorf("equal times must break ties by site: %v < %v expected", a, b)
+	}
+	if !b.Less(c) {
+		t.Errorf("lower time must sort first: %v < %v expected", b, c)
+	}
+	if a.Less(a) {
+		t.Errorf("Less must be irreflexive")
+	}
+}
+
+func TestTimestampCompare(t *testing.T) {
+	a := Timestamp{Time: 3, Site: 1}
+	b := Timestamp{Time: 3, Site: 1}
+	c := Timestamp{Time: 4, Site: 0}
+	if got := a.Compare(b); got != 0 {
+		t.Errorf("Compare(equal) = %d, want 0", got)
+	}
+	if got := a.Compare(c); got != -1 {
+		t.Errorf("Compare(smaller, larger) = %d, want -1", got)
+	}
+	if got := c.Compare(a); got != 1 {
+		t.Errorf("Compare(larger, smaller) = %d, want 1", got)
+	}
+}
+
+func TestTimestampCompareConsistentWithLess(t *testing.T) {
+	f := func(t1, t2, s1, s2 uint8) bool {
+		a := Timestamp{Time: uint64(t1), Site: SiteID(s1)}
+		b := Timestamp{Time: uint64(t2), Site: SiteID(s2)}
+		c := a.Compare(b)
+		switch {
+		case a.Less(b):
+			return c == -1
+		case b.Less(a):
+			return c == 1
+		default:
+			return c == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimestampIsZero(t *testing.T) {
+	if !(Timestamp{}).IsZero() {
+		t.Errorf("zero Timestamp must report IsZero")
+	}
+	if (Timestamp{Time: 1}).IsZero() {
+		t.Errorf("non-zero Timestamp must not report IsZero")
+	}
+}
+
+func TestLamportTickMonotone(t *testing.T) {
+	l := NewLamport(3)
+	prev := l.Now()
+	for i := 0; i < 100; i++ {
+		cur := l.Tick()
+		if !prev.Less(cur) {
+			t.Fatalf("Tick not monotone: %v then %v", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestLamportObserveAdvancesPastRemote(t *testing.T) {
+	l := NewLamport(1)
+	got := l.Observe(Timestamp{Time: 41, Site: 2})
+	if got.Time != 42 {
+		t.Errorf("Observe(41) = %v, want time 42", got)
+	}
+	if got.Site != 1 {
+		t.Errorf("Observe must stamp the local site, got %v", got.Site)
+	}
+	// Observing an old timestamp still advances by one.
+	got2 := l.Observe(Timestamp{Time: 5, Site: 2})
+	if !got.Less(got2) {
+		t.Errorf("Observe(old) must still advance: %v then %v", got, got2)
+	}
+}
+
+func TestLamportConcurrentUnique(t *testing.T) {
+	l := NewLamport(1)
+	const goroutines, perG = 8, 200
+	var wg sync.WaitGroup
+	out := make(chan Timestamp, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				out <- l.Tick()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[Timestamp]bool)
+	for ts := range out {
+		if seen[ts] {
+			t.Fatalf("duplicate timestamp %v issued concurrently", ts)
+		}
+		seen[ts] = true
+	}
+	if len(seen) != goroutines*perG {
+		t.Fatalf("issued %d unique timestamps, want %d", len(seen), goroutines*perG)
+	}
+}
+
+func TestSequencerGapFree(t *testing.T) {
+	var s Sequencer
+	for want := uint64(1); want <= 100; want++ {
+		if got := s.Next(); got != want {
+			t.Fatalf("Next() = %d, want %d", got, want)
+		}
+	}
+	if s.Current() != 100 {
+		t.Errorf("Current() = %d, want 100", s.Current())
+	}
+}
+
+func TestSequencerConcurrentUnique(t *testing.T) {
+	var s Sequencer
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	out := make(chan uint64, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				out <- s.Next()
+			}
+		}()
+	}
+	wg.Wait()
+	close(out)
+	seen := make(map[uint64]bool)
+	var max uint64
+	for n := range out {
+		if seen[n] {
+			t.Fatalf("duplicate sequence number %d", n)
+		}
+		seen[n] = true
+		if n > max {
+			max = n
+		}
+	}
+	if max != goroutines*perG {
+		t.Errorf("max issued = %d, want %d (gap-free)", max, goroutines*perG)
+	}
+}
+
+func TestHLCMonotone(t *testing.T) {
+	var wall uint64
+	h := NewHLC(1, func() uint64 { return wall })
+	prev := h.Tick()
+	for i := 0; i < 50; i++ {
+		if i%3 == 0 {
+			wall++ // physical clock sometimes advances
+		}
+		cur := h.Tick()
+		if !prev.Less(cur) {
+			t.Fatalf("HLC not monotone: %v then %v (wall=%d)", prev, cur, wall)
+		}
+		prev = cur
+	}
+}
+
+func TestHLCObserveDominatesRemote(t *testing.T) {
+	var wallA, wallB uint64 = 100, 5 // B's physical clock lags badly
+	a := NewHLC(1, func() uint64 { return wallA })
+	b := NewHLC(2, func() uint64 { return wallB })
+	sent := a.Tick()
+	got := b.Observe(sent)
+	if !sent.Less(got) {
+		t.Errorf("receiver timestamp %v must dominate sender %v despite lagging wall clock", got, sent)
+	}
+	// And B stays monotone afterwards.
+	next := b.Tick()
+	if !got.Less(next) {
+		t.Errorf("HLC regressed after observe: %v then %v", got, next)
+	}
+}
+
+func TestSiteIDString(t *testing.T) {
+	if got := SiteID(7).String(); got != "site7" {
+		t.Errorf("SiteID(7).String() = %q, want %q", got, "site7")
+	}
+}

@@ -1,0 +1,345 @@
+package coherency
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/network"
+	"esr/internal/op"
+)
+
+func newEngine(t *testing.T, sites int, proto Protocol, net network.Config, r, w int) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Core:       core.Config{Sites: sites, Net: net},
+		Protocol:   proto,
+		ReadQuorum: r, WriteQuorum: w,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestProtocolStrings(t *testing.T) {
+	if TwoPC.String() != "2PC-ROWA" || Quorum.String() != "QUORUM" {
+		t.Errorf("Protocol strings: %v %v", TwoPC, Quorum)
+	}
+}
+
+func TestQuorumValidation(t *testing.T) {
+	if _, err := New(Config{
+		Core:     core.Config{Sites: 4, Net: network.Config{Seed: 1}},
+		Protocol: Quorum, ReadQuorum: 1, WriteQuorum: 2,
+	}); err == nil {
+		t.Fatalf("r+w <= n must be rejected")
+	}
+}
+
+func TestTwoPCUpdateIsImmediatelyGlobal(t *testing.T) {
+	e := newEngine(t, 3, TwoPC, network.Config{Seed: 1}, 0, 0)
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 7)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// No quiescence needed: synchronous commit means every replica is
+	// already current.
+	for _, sid := range e.Cluster().SiteIDs() {
+		if got := e.Cluster().Site(sid).Store.Get("x"); !got.Equal(op.NumValue(7)) {
+			t.Errorf("site %v: x = %v, want 7 immediately after commit", sid, got)
+		}
+	}
+	if st := e.Stats(); st.Commits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTwoPCQueryReadsLocal(t *testing.T) {
+	e := newEngine(t, 3, TwoPC, network.Config{Seed: 1}, 0, 0)
+	e.Update(2, []op.Op{op.IncOp("a", 5)})
+	res, err := e.Query(3, []string{"a"}, divergence.Limit(0))
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("a").Equal(op.NumValue(5)) || res.Inconsistency != 0 {
+		t.Errorf("query = %v (inc %d)", res.Value("a"), res.Inconsistency)
+	}
+}
+
+func TestTwoPCBlocksDuringPartition(t *testing.T) {
+	e := newEngine(t, 3, TwoPC, network.Config{Seed: 1}, 0, 0)
+	e.Cluster().Net.Partition([]clock.SiteID{1, 2, core.SequencerSite}, []clock.SiteID{3})
+	if _, err := e.Update(1, []op.Op{op.IncOp("x", 1)}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Update during partition = %v, want ErrUnavailable", err)
+	}
+	if st := e.Stats(); st.Aborts != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// After healing, updates succeed again and no locks are stuck.
+	e.Cluster().Net.Heal()
+	deadline := time.Now().Add(2 * time.Second)
+	var err error
+	for time.Now().Before(deadline) {
+		if _, err = e.Update(1, []op.Op{op.IncOp("x", 1)}); err == nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("Update after heal: %v", err)
+	}
+}
+
+func TestQuorumWriteAndRead(t *testing.T) {
+	// n=3, w=2, r=2: a read quorum always overlaps the write quorum.
+	e := newEngine(t, 3, Quorum, network.Config{Seed: 1}, 2, 2)
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 11)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	res, err := e.Query(3, []string{"x"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("x").Equal(op.NumValue(11)) {
+		t.Errorf("quorum read = %v, want 11", res.Value("x"))
+	}
+}
+
+func TestQuorumReadModifyWrite(t *testing.T) {
+	e := newEngine(t, 3, Quorum, network.Config{Seed: 2}, 2, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := e.Update(clock.SiteID(i%3+1), []op.Op{op.IncOp("n", 1)}); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+	}
+	res, err := e.Query(2, []string{"n"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("n").Equal(op.NumValue(10)) {
+		t.Errorf("n = %v, want 10 (no lost updates)", res.Value("n"))
+	}
+}
+
+func TestQuorumConcurrentIncrementsNoLostUpdates(t *testing.T) {
+	e := newEngine(t, 3, Quorum, network.Config{Seed: 3, MinLatency: 10 * time.Microsecond, MaxLatency: 200 * time.Microsecond}, 2, 2)
+	var wg sync.WaitGroup
+	const perSite = 10
+	for site := 1; site <= 3; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for i := 0; i < perSite; i++ {
+				if _, err := e.Update(clock.SiteID(site), []op.Op{op.IncOp("n", 1)}); err != nil {
+					t.Errorf("Update: %v", err)
+					return
+				}
+			}
+		}(site)
+	}
+	wg.Wait()
+	res, err := e.Query(1, []string{"n"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("n").Equal(op.NumValue(3 * perSite)) {
+		t.Errorf("n = %v, want %d", res.Value("n"), 3*perSite)
+	}
+}
+
+func TestQuorumSurvivesMinorityPartition(t *testing.T) {
+	// n=3, w=2: writes survive the loss of one site; reads with r=2 too.
+	e := newEngine(t, 3, Quorum, network.Config{Seed: 1}, 2, 2)
+	e.Cluster().Net.Partition([]clock.SiteID{1, 2, core.SequencerSite}, []clock.SiteID{3})
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 5)}); err != nil {
+		t.Fatalf("majority write during partition: %v", err)
+	}
+	res, err := e.Query(2, []string{"x"}, 0)
+	if err != nil {
+		t.Fatalf("majority read during partition: %v", err)
+	}
+	if !res.Value("x").Equal(op.NumValue(5)) {
+		t.Errorf("read = %v", res.Value("x"))
+	}
+	// The minority side can do neither.
+	if _, err := e.Update(3, []op.Op{op.WriteOp("x", 9)}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("minority write = %v, want ErrUnavailable", err)
+	}
+	if _, err := e.Query(3, []string{"x"}, 0); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("minority read (r=2) = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestUpdateLatencyGrowsWithLatencyTwoPC(t *testing.T) {
+	fast := newEngine(t, 3, TwoPC, network.Config{Seed: 1}, 0, 0)
+	slow := newEngine(t, 3, TwoPC, network.Config{Seed: 1, MinLatency: 2 * time.Millisecond, MaxLatency: 2 * time.Millisecond}, 0, 0)
+	t0 := time.Now()
+	fast.Update(1, []op.Op{op.IncOp("x", 1)})
+	fastDur := time.Since(t0)
+	t0 = time.Now()
+	slow.Update(1, []op.Op{op.IncOp("x", 1)})
+	slowDur := time.Since(t0)
+	// Two phases × two remote sites × 2ms RTT legs: well above the
+	// zero-latency run.
+	if slowDur < 8*time.Millisecond {
+		t.Errorf("slow 2PC took %v, expected >= 8ms of round trips", slowDur)
+	}
+	if slowDur < fastDur {
+		t.Errorf("latency had no effect: fast=%v slow=%v", fastDur, slowDur)
+	}
+}
+
+func TestRejectsReadOnlyUpdateAndUnknownSite(t *testing.T) {
+	e := newEngine(t, 2, TwoPC, network.Config{Seed: 1}, 0, 0)
+	if _, err := e.Update(1, []op.Op{op.ReadOp("x")}); !errors.Is(err, ErrNotUpdate) {
+		t.Errorf("read-only = %v", err)
+	}
+	if _, err := e.Update(7, []op.Op{op.IncOp("x", 1)}); err == nil {
+		t.Errorf("unknown site must fail")
+	}
+	if _, err := e.Query(7, []string{"x"}, 0); err == nil {
+		t.Errorf("unknown site query must fail")
+	}
+}
+
+func TestTwoPCSerializableUnderContention(t *testing.T) {
+	// Two objects updated together atomically: every query sees x == y.
+	e := newEngine(t, 2, TwoPC, network.Config{Seed: 5, MinLatency: 5 * time.Microsecond, MaxLatency: 100 * time.Microsecond}, 0, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Update(1, []op.Op{op.IncOp("x", 1), op.IncOp("y", 1)})
+		}
+	}()
+	for i := 0; i < 40; i++ {
+		res, err := e.Query(2, []string{"x", "y"}, 0)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		if res.Value("x").Num != res.Value("y").Num {
+			t.Fatalf("1SR violated: x=%v y=%v", res.Value("x"), res.Value("y"))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestQuorumReadRepair(t *testing.T) {
+	e, err := New(Config{
+		Core:       core.Config{Sites: 3, Net: network.Config{Seed: 4}},
+		Protocol:   Quorum,
+		ReadQuorum: 2, WriteQuorum: 2,
+		ReadRepair: true,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	// Writes land on the first two reachable sites; one replica of the
+	// quorum read pair may lag a version behind until a read repairs it.
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 7)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	// A read from site 3's perspective gathers a quorum including the
+	// stale third replica (sites are tried in sorted order, so the
+	// quorum is {1,2}; make site 1 unreachable to force {2,3}).
+	e.Cluster().Net.Crash(1)
+	res, err := e.Query(3, []string{"x"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("x").Equal(op.NumValue(7)) {
+		t.Fatalf("quorum read = %v, want 7 (version intersection)", res.Value("x"))
+	}
+	if st := e.Stats(); st.Repairs == 0 {
+		t.Errorf("expected read-repair of the stale member, stats = %+v", st)
+	}
+	// The repaired replica now serves the fresh value alone.
+	if got := e.Cluster().Site(3).Store.Get("x"); !got.Equal(op.NumValue(7)) {
+		t.Errorf("site 3 after repair = %v, want 7", got)
+	}
+	e.Cluster().Net.Restart(1)
+}
+
+func TestQuorumNoRepairByDefault(t *testing.T) {
+	e := newEngine(t, 3, Quorum, network.Config{Seed: 5}, 2, 2)
+	e.Update(1, []op.Op{op.WriteOp("x", 9)})
+	e.Cluster().Net.Crash(1)
+	if _, err := e.Query(3, []string{"x"}, 0); err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if st := e.Stats(); st.Repairs != 0 {
+		t.Errorf("repairs happened without ReadRepair: %+v", st)
+	}
+	e.Cluster().Net.Restart(1)
+}
+
+func TestWeightedVoting(t *testing.T) {
+	// Gifford weights: site 1 carries 3 votes, sites 2 and 3 one each
+	// (total 5).  w=3 means site 1 alone suffices; r=3 overlaps any
+	// write quorum.
+	e, err := New(Config{
+		Core:       core.Config{Sites: 3, Net: network.Config{Seed: 6}},
+		Protocol:   Quorum,
+		Weights:    []int{3, 1, 1},
+		ReadQuorum: 3, WriteQuorum: 3,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer e.Close()
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 4)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	res, err := e.Query(2, []string{"x"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("x").Equal(op.NumValue(4)) {
+		t.Errorf("weighted quorum read = %v", res.Value("x"))
+	}
+	// Losing both one-vote sites still leaves a functioning system:
+	// site 1's 3 votes meet both quorums.
+	e.Cluster().Net.Partition([]clock.SiteID{1, core.SequencerSite}, []clock.SiteID{2, 3})
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 9)}); err != nil {
+		t.Errorf("heavy site alone should meet w=3: %v", err)
+	}
+	if res, err := e.Query(1, []string{"x"}, 0); err != nil || !res.Value("x").Equal(op.NumValue(9)) {
+		t.Errorf("heavy-site read = %v/%v", res.Value("x"), err)
+	}
+	// The light sites together (2 votes) cannot.
+	if _, err := e.Update(2, []op.Op{op.WriteOp("x", 1)}); !errors.Is(err, ErrUnavailable) {
+		t.Errorf("light sites met the quorum: %v", err)
+	}
+	e.Cluster().Net.Heal()
+}
+
+func TestWeightValidation(t *testing.T) {
+	base := core.Config{Sites: 2, Net: network.Config{Seed: 1}}
+	if _, err := New(Config{Core: base, Protocol: Quorum, Weights: []int{1}}); err == nil {
+		t.Errorf("wrong weight count accepted")
+	}
+	if _, err := New(Config{Core: base, Protocol: Quorum, Weights: []int{-1, 2}}); err == nil {
+		t.Errorf("negative weight accepted")
+	}
+	if _, err := New(Config{Core: base, Protocol: Quorum, Weights: []int{0, 0}}); err == nil {
+		t.Errorf("all-zero weights accepted")
+	}
+	// Zero-weight copies are legal alongside voting copies.
+	if _, err := New(Config{Core: base, Protocol: Quorum, Weights: []int{2, 0}, ReadQuorum: 2, WriteQuorum: 2}); err != nil {
+		t.Errorf("zero-weight copy rejected: %v", err)
+	}
+}

@@ -1,0 +1,613 @@
+// Package compe implements COMPE, the compensation-based backward
+// replica-control method of §4.
+//
+// Forward methods assume update ETs have committed before propagation;
+// COMPE instead lets MSets run optimistically before the global update
+// commits: "for performance reasons, the system may start running MSets
+// before the global update is committed.  To allow an MSet to commit
+// asynchronously, the system must be able to compensate for its results
+// if the global update aborts."
+//
+// Each site remembers its executed MSets (with the values they
+// overwrote) "until there is no risk of rollback".  On abort, a
+// compensation MSet is broadcast and each site undoes the target
+// locally:
+//
+//   - if every logged operation commutes with the target's, "the system
+//     can simply apply the compensation without any overhead";
+//   - otherwise the site rolls the log back in reverse order to the
+//     target, compensates it, and replays the remainder — the paper's
+//     full-log rollback, illustrated by the Inc(x,10)·Mul(x,2) example.
+//
+// Divergence bounding follows §4.2's saga discussion: the lock-counters
+// of a tentative ET are held until its commit or abort record arrives,
+// so queries price reads by the number of potential compensations they
+// may be exposed to.
+package compe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/lock"
+	"esr/internal/op"
+	"esr/internal/replica"
+	"esr/internal/trace"
+)
+
+// Mode selects the operation discipline, which determines rollback cost.
+type Mode int
+
+const (
+	// Commutative restricts updates to commutative, value-independently
+	// compensatable operations; aborts apply a single compensation MSet.
+	Commutative Mode = iota
+	// General admits any compensatable update operations; aborts roll
+	// back the log suffix, compensate, and replay.
+	General
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == General {
+		return "general"
+	}
+	return "commutative"
+}
+
+// Errors returned by the engine.
+var (
+	// ErrNotUpdate reports an ET with no update operation.
+	ErrNotUpdate = errors.New("compe: ET contains no update operation")
+	// ErrNotCompensatable reports an operation that cannot be undone
+	// (Read, or Multiply by zero), or — in Commutative mode — one
+	// outside the commutative families.
+	ErrNotCompensatable = errors.New("compe: operation not compensatable under the mode")
+	// ErrUnknownET reports a Commit/Abort of an ET the engine never saw.
+	ErrUnknownET = errors.New("compe: unknown ET")
+	// ErrAlreadyResolved reports a second Commit/Abort of the same ET.
+	ErrAlreadyResolved = errors.New("compe: ET already committed or aborted")
+)
+
+type status int
+
+const (
+	tentative status = iota
+	committed
+	aborted
+)
+
+// Stats counts compensation activity for the E8 experiment.
+type Stats struct {
+	Aborts   uint64 // aborted update ETs
+	Commits  uint64 // committed update ETs (explicit or auto)
+	OpsUndon uint64 // operations undone across all sites during rollbacks
+	OpsRedon uint64 // operations re-applied across all sites during replays
+}
+
+// Config parameterizes a COMPE engine.
+type Config struct {
+	// Core configures the cluster chassis.
+	Core core.Config
+	// Mode selects the operation discipline.
+	Mode Mode
+	// AutoCommit makes Update commit immediately after broadcasting,
+	// which lets the engine serve the plain core.Engine interface.
+	// Explicit sagas use Begin/Commit/Abort regardless of this setting.
+	AutoCommit bool
+}
+
+type logEntry struct {
+	m     et.MSet
+	prevs []op.Value // value of each op's object immediately before it ran
+}
+
+type siteLog struct {
+	mu      sync.Mutex
+	entries []logEntry
+	risk    map[string]int // object -> tentative ETs applied here, unresolved
+	nextSeq uint64         // next forward sequence number (General mode)
+	applied map[et.ID]bool // forward ETs applied here whose resolution record is still pending
+}
+
+// Engine is the COMPE replica-control engine.
+type Engine struct {
+	cfg Config
+	c   *core.Cluster
+
+	mu       sync.Mutex
+	status   map[et.ID]status
+	ops      map[et.ID][]op.Op // forward ops, for commit/abort bookkeeping
+	families map[string]op.Kind
+	stats    Stats
+
+	logs map[clock.SiteID]*siteLog
+}
+
+// New builds and starts a COMPE engine.
+func New(cfg Config) (*Engine, error) {
+	cfg.Core.LockTable = lock.COMMU
+	c, err := core.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:      cfg,
+		c:        c,
+		status:   make(map[et.ID]status),
+		ops:      make(map[et.ID][]op.Op),
+		families: make(map[string]op.Kind),
+		logs:     make(map[clock.SiteID]*siteLog),
+	}
+	for _, id := range c.SiteIDs() {
+		e.logs[id] = &siteLog{risk: make(map[string]int), nextSeq: 1, applied: make(map[et.ID]bool)}
+	}
+	c.Setup(func(s *replica.Site) replica.ApplyFunc {
+		sl := e.logs[s.ID]
+		return func(m et.MSet) error { return e.apply(s, sl, m) }
+	})
+	return e, nil
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "COMPE" }
+
+// Traits implements core.Engine; the values are the COMPENSATION column
+// of the paper's Table 1.
+func (e *Engine) Traits() core.Traits {
+	return core.Traits{
+		Name:             "COMPE",
+		Restriction:      `"operation value"`,
+		Applicability:    "Backwards",
+		AsyncPropagation: "Query & Update",
+		SortingTime:      "N/A",
+	}
+}
+
+// Cluster implements core.Engine.
+func (e *Engine) Cluster() *core.Cluster { return e.c }
+
+// Mode returns the engine's operation discipline.
+func (e *Engine) Mode() Mode { return e.cfg.Mode }
+
+// Stats returns a snapshot of compensation activity.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Update implements core.Engine: a tentative update followed (when
+// AutoCommit is set) by an immediate commit.
+func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
+	id, err := e.Begin(origin, ops)
+	if err != nil {
+		return 0, err
+	}
+	if e.cfg.AutoCommit {
+		if err := e.Commit(id); err != nil {
+			return 0, err
+		}
+	}
+	return id, nil
+}
+
+// Begin executes a tentative update ET at origin: its MSet propagates and
+// applies optimistically at every site, while its lock-counters stay held
+// until Commit or Abort resolves it.
+func (e *Engine) Begin(origin clock.SiteID, ops []op.Op) (et.ID, error) {
+	s := e.c.Site(origin)
+	if s == nil {
+		return 0, fmt.Errorf("compe: unknown site %v", origin)
+	}
+	var updates []op.Op
+	for _, o := range ops {
+		if !o.Kind.IsUpdate() {
+			continue
+		}
+		if err := e.admissible(o); err != nil {
+			return 0, err
+		}
+		updates = append(updates, o)
+	}
+	if len(updates) == 0 {
+		return 0, ErrNotUpdate
+	}
+	if e.cfg.Mode == Commutative {
+		if err := e.reserveFamilies(updates); err != nil {
+			return 0, err
+		}
+	}
+	// In General mode forward MSets do not commute, so sites must apply
+	// them in one global order or the replicas would diverge regardless
+	// of compensation — §4.2 pairs full-log rollback with ORDUP-style
+	// processing ("This is the case with ORDUP operations").
+	var seq uint64
+	if e.cfg.Mode == General {
+		var err error
+		seq, err = e.c.NextSeq(origin)
+		if err != nil {
+			return 0, err
+		}
+	}
+	id := e.c.NextET(origin)
+	e.mu.Lock()
+	e.status[id] = tentative
+	e.ops[id] = updates
+	e.mu.Unlock()
+	m := et.MSet{ET: id, Origin: origin, Seq: seq, TS: s.Clock.Tick(), Ops: updates}
+	e.c.RecordUpdate(id, ops)
+	if err := e.c.Broadcast(m); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// reserveFamilies pins each object to one commutative operation kind
+// class (additive or unordered-append), rejecting cross-family mixes
+// that would not commute.
+func (e *Engine) reserveFamilies(updates []op.Op) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	staged := make(map[string]op.Kind, len(updates))
+	for _, o := range updates {
+		class := o.Kind
+		if class == op.Decrement {
+			class = op.Increment // one additive family
+		}
+		cur, ok := staged[o.Object]
+		if !ok {
+			cur, ok = e.families[o.Object]
+		}
+		if ok && cur != class {
+			return fmt.Errorf("%w: %v conflicts with the object's operation family",
+				ErrNotCompensatable, o)
+		}
+		staged[o.Object] = class
+	}
+	for obj, k := range staged {
+		e.families[obj] = k
+	}
+	return nil
+}
+
+// admissible validates one update operation against the mode.
+func (e *Engine) admissible(o op.Op) error {
+	if !o.Compensatable() {
+		return fmt.Errorf("%w: %v", ErrNotCompensatable, o)
+	}
+	if e.cfg.Mode == Commutative {
+		switch o.Kind {
+		case op.Increment, op.Decrement, op.UnorderedAppend:
+		default:
+			return fmt.Errorf("%w: %v requires General mode", ErrNotCompensatable, o)
+		}
+	}
+	return nil
+}
+
+// Commit resolves a tentative ET as globally committed and broadcasts
+// its commit record, releasing lock-counters (and enabling log
+// truncation) as the record reaches each site.
+func (e *Engine) Commit(id et.ID) error {
+	if err := e.resolve(id, committed); err != nil {
+		return err
+	}
+	rec := et.MSet{ET: e.c.NextET(id.Origin()), Origin: id.Origin(), Target: id,
+		TS: e.c.Site(id.Origin()).Clock.Tick()}
+	return e.c.Broadcast(rec)
+}
+
+// Abort resolves a tentative ET as globally aborted and broadcasts its
+// compensation MSet; every site undoes the ET locally per §4.2.
+func (e *Engine) Abort(id et.ID) error {
+	if err := e.resolve(id, aborted); err != nil {
+		return err
+	}
+	rec := et.MSet{ET: e.c.NextET(id.Origin()), Origin: id.Origin(), Target: id,
+		Compensation: true, TS: e.c.Site(id.Origin()).Clock.Tick()}
+	return e.c.Broadcast(rec)
+}
+
+func (e *Engine) resolve(id et.ID, to status) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st, ok := e.status[id]
+	if !ok {
+		return ErrUnknownET
+	}
+	if st != tentative {
+		return fmt.Errorf("%w: %v", ErrAlreadyResolved, id)
+	}
+	e.status[id] = to
+	if to == committed {
+		e.stats.Commits++
+	} else {
+		e.stats.Aborts++
+	}
+	return nil
+}
+
+// Query executes a query ET under an ε limit.  Reads are priced by their
+// overlap plus the number of unresolved tentative ETs that touched the
+// object here — the conservative "number of potential compensations"
+// bound of §4.2.
+func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit) (et.QueryResult, error) {
+	sl := e.logs[site]
+	if sl == nil {
+		return et.QueryResult{}, fmt.Errorf("compe: unknown site %v", site)
+	}
+	return core.QueryAtSite(e.c, site, objects, eps,
+		func(s *replica.Site, obj string, baseline uint64) int {
+			sl.mu.Lock()
+			risk := sl.risk[obj]
+			sl.mu.Unlock()
+			return core.OverlapCost(s, obj, baseline) + risk
+		})
+}
+
+// RiskAt reports the number of unresolved tentative ETs applied at the
+// site that touched the object (its retained lock-counter).
+func (e *Engine) RiskAt(site clock.SiteID, object string) int {
+	sl := e.logs[site]
+	if sl == nil {
+		return 0
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return sl.risk[object]
+}
+
+// LogLen reports the number of remembered MSets at the site (the
+// rollback exposure).
+func (e *Engine) LogLen(site clock.SiteID) int {
+	sl := e.logs[site]
+	if sl == nil {
+		return 0
+	}
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	return len(sl.entries)
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error { return e.c.Close() }
+
+func (e *Engine) apply(s *replica.Site, sl *siteLog, m et.MSet) error {
+	switch {
+	case m.Compensation:
+		return e.applyCompensation(s, sl, m)
+	case m.Target != 0:
+		return e.applyCommitRecord(sl, m)
+	default:
+		return e.applyForward(s, sl, m)
+	}
+}
+
+// applyForward optimistically applies a tentative MSet and remembers it.
+// In General mode forward MSets apply in global sequence order.
+func (e *Engine) applyForward(s *replica.Site, sl *siteLog, m et.MSet) error {
+	if e.cfg.Mode == General {
+		sl.mu.Lock()
+		switch {
+		case m.Seq < sl.nextSeq:
+			sl.mu.Unlock()
+			return nil // duplicate
+		case m.Seq > sl.nextSeq:
+			sl.mu.Unlock()
+			return replica.ErrHold
+		}
+		sl.mu.Unlock()
+	}
+	tx := lock.TxID(m.ET)
+	objs := distinctObjects(m.Ops)
+	sort.Strings(objs)
+	for _, obj := range objs {
+		if err := s.Locks.Acquire(tx, lock.WU, firstOpOn(m.Ops, obj)); err != nil {
+			s.Locks.ReleaseAll(tx)
+			return fmt.Errorf("compe: apply lock on %q: %w", obj, err)
+		}
+	}
+	sl.mu.Lock()
+	prevs := make([]op.Value, len(m.Ops))
+	for i, o := range m.Ops {
+		prevs[i] = s.Store.Get(o.Object)
+		s.Store.Apply(o)
+	}
+	sl.entries = append(sl.entries, logEntry{m: m, prevs: prevs})
+	sl.applied[m.ET] = true
+	for _, obj := range objs {
+		sl.risk[obj]++
+	}
+	if e.cfg.Mode == General {
+		sl.nextSeq++
+	}
+	sl.mu.Unlock()
+	s.Locks.ReleaseAll(tx)
+	return nil
+}
+
+// applyCommitRecord marks the target committed at this site: its
+// lock-counters drop and the committed log prefix becomes truncatable.
+func (e *Engine) applyCommitRecord(sl *siteLog, m et.MSet) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if !sl.applied[m.Target] {
+		// Forward MSet not yet applied here.  Per-origin FIFO makes
+		// this transient: hold and retry.
+		return replica.ErrHold
+	}
+	delete(sl.applied, m.Target)
+	idx := indexOf(sl.entries, m.Target)
+	if idx >= 0 {
+		for _, obj := range distinctObjects(sl.entries[idx].m.Ops) {
+			if sl.risk[obj] > 0 {
+				sl.risk[obj]--
+			}
+		}
+	}
+	// idx < 0 means an earlier truncation already dropped the entry (its
+	// committed status became visible before this record arrived).  Its
+	// risk counters are still held — truncation never touches them — so
+	// release them using the engine's record of the ET's operations.
+	if idx < 0 {
+		e.mu.Lock()
+		ops := e.ops[m.Target]
+		e.mu.Unlock()
+		for _, obj := range distinctObjects(ops) {
+			if sl.risk[obj] > 0 {
+				sl.risk[obj]--
+			}
+		}
+	}
+	e.truncateLocked(sl)
+	return nil
+}
+
+// applyCompensation undoes the target MSet at this site (§4.2).
+func (e *Engine) applyCompensation(s *replica.Site, sl *siteLog, m et.MSet) error {
+	sl.mu.Lock()
+	defer sl.mu.Unlock()
+	if !sl.applied[m.Target] {
+		return replica.ErrHold
+	}
+	idx := indexOf(sl.entries, m.Target)
+	if idx < 0 {
+		// Unreachable: aborted entries are never truncated before their
+		// compensation applies.  Treat defensively as a no-op.
+		delete(sl.applied, m.Target)
+		return nil
+	}
+	delete(sl.applied, m.Target)
+	target := sl.entries[idx]
+
+	if e.commutesWithSuffix(sl.entries[idx+1:], target.m.Ops) {
+		// "If all MSets on the log are commutative, then COMPE simply
+		// runs the compensation MSet and continues."
+		e.undoEntry(s, target)
+		e.countUndo(len(target.m.Ops), 0)
+	} else {
+		// Full rollback: undo the suffix in reverse, compensate the
+		// target, replay the suffix re-recording overwritten values.
+		suffix := sl.entries[idx+1:]
+		for i := len(suffix) - 1; i >= 0; i-- {
+			e.undoEntry(s, suffix[i])
+		}
+		e.undoEntry(s, target)
+		redone := 0
+		for i := range suffix {
+			for j, o := range suffix[i].m.Ops {
+				suffix[i].prevs[j] = s.Store.Get(o.Object)
+				s.Store.Apply(o)
+				redone++
+			}
+		}
+		undone := len(target.m.Ops)
+		for _, en := range suffix {
+			undone += len(en.m.Ops)
+		}
+		e.countUndo(undone, redone)
+	}
+	for _, obj := range distinctObjects(target.m.Ops) {
+		if sl.risk[obj] > 0 {
+			sl.risk[obj]--
+		}
+	}
+	sl.entries = append(sl.entries[:idx], sl.entries[idx+1:]...)
+	e.truncateLocked(sl)
+	e.c.Trace.Recordf(trace.Compensate, int(s.ID), m.Target.String(), "log=%d", len(sl.entries))
+	return nil
+}
+
+// undoEntry applies the compensation of each op in reverse order.
+func (e *Engine) undoEntry(s *replica.Site, en logEntry) {
+	for i := len(en.m.Ops) - 1; i >= 0; i-- {
+		comp, ok := en.m.Ops[i].Compensate(en.prevs[i])
+		if !ok {
+			continue // admissibility check makes this unreachable
+		}
+		cur := s.Store.Get(comp.Object)
+		s.Store.Apply(restoreVia(comp, cur))
+	}
+}
+
+// restoreVia returns comp unchanged; it exists to keep the undo path in
+// one place should value-checking be added.
+func restoreVia(comp op.Op, _ op.Value) op.Op { return comp }
+
+func (e *Engine) countUndo(undone, redone int) {
+	e.mu.Lock()
+	e.stats.OpsUndon += uint64(undone)
+	e.stats.OpsRedon += uint64(redone)
+	e.mu.Unlock()
+}
+
+// commutesWithSuffix reports whether every target op commutes with every
+// op logged after it, which licenses direct compensation.
+func (e *Engine) commutesWithSuffix(suffix []logEntry, targetOps []op.Op) bool {
+	for _, en := range suffix {
+		for _, a := range en.m.Ops {
+			for _, b := range targetOps {
+				if !a.Commutes(b) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// truncateLocked drops the resolved prefix of the log: entries up to the
+// first still-tentative entry can never be reached by a rollback.  "The
+// COMPE replica control method must remember the executed MSets until
+// there is no risk of rollback."
+func (e *Engine) truncateLocked(sl *siteLog) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cut := 0
+	for _, en := range sl.entries {
+		if e.status[en.m.ET] != committed {
+			break
+		}
+		cut++
+	}
+	if cut > 0 {
+		sl.entries = append([]logEntry(nil), sl.entries[cut:]...)
+	}
+}
+
+func distinctObjects(ops []op.Op) []string {
+	seen := make(map[string]bool, len(ops))
+	var out []string
+	for _, o := range ops {
+		if o.Kind.IsUpdate() && !seen[o.Object] {
+			seen[o.Object] = true
+			out = append(out, o.Object)
+		}
+	}
+	return out
+}
+
+func firstOpOn(ops []op.Op, object string) op.Op {
+	for _, o := range ops {
+		if o.Object == object && o.Kind.IsUpdate() {
+			return o
+		}
+	}
+	return op.Op{Kind: op.Write, Object: object}
+}
+
+func indexOf(entries []logEntry, id et.ID) int {
+	for i, en := range entries {
+		if en.m.ET == id {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,471 @@
+// Package core wires sites, stable queues, delivery agents and the
+// simulated network into a replicated cluster, and defines the Engine
+// interface every replica-control method (and every synchronous baseline)
+// implements.
+//
+// The chassis realizes the paper's propagation pipeline (§2.4): "The
+// first step in replica control is the generation of update MSets and
+// their delivery to the replica sites.  Each MSet is delivered
+// asynchronously to its destination, and local sites execute the MSet
+// independently of the processing of other MSets that update the same
+// replica."  An update ET executed at its origin broadcasts one MSet per
+// site (including the origin itself, so that ordering restrictions apply
+// uniformly); each MSet travels origin-outbound-queue → network →
+// destination-inbound-queue → method ApplyFunc.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/history"
+	"esr/internal/lock"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/queue"
+	"esr/internal/replica"
+	"esr/internal/trace"
+	"esr/internal/wal"
+)
+
+// SequencerSite is the virtual site that answers global-order requests
+// for ORDUP's centralized order server (§3.1).
+const SequencerSite clock.SiteID = 1000
+
+// Traits describes a replica-control method along the dimensions of the
+// paper's Table 1.
+type Traits struct {
+	// Name is the method name as Table 1 prints it.
+	Name string
+	// Restriction is the "Kind of Restriction" row.
+	Restriction string
+	// Applicability is "Forwards" or "Backwards".
+	Applicability string
+	// AsyncPropagation is the "Asynchronous Propagation" row.
+	AsyncPropagation string
+	// SortingTime is the "Sorting Time" row.
+	SortingTime string
+}
+
+// Engine is the uniform surface over the four replica-control methods and
+// the synchronous coherency-control baselines, so workloads and
+// benchmarks treat them interchangeably.
+type Engine interface {
+	// Name returns the method name.
+	Name() string
+	// Traits returns the method's Table 1 row.
+	Traits() Traits
+	// Update executes an update ET at the origin site.  It returns once
+	// the update is durably committed from the method's point of view —
+	// locally for the asynchronous methods, globally for the synchronous
+	// baselines.
+	Update(origin clock.SiteID, ops []op.Op) (et.ID, error)
+	// Query executes a query ET at the given site under an ε limit.
+	Query(site clock.SiteID, objects []string, eps divergence.Limit) (et.QueryResult, error)
+	// Cluster exposes the underlying chassis.
+	Cluster() *Cluster
+	// Close shuts the engine down.
+	Close() error
+}
+
+// Config parameterizes a Cluster.
+type Config struct {
+	// Sites is the number of replica sites (IDs 1..Sites).
+	Sites int
+	// Net configures the simulated network.
+	Net network.Config
+	// Dir, when non-empty, makes every stable queue journal-backed under
+	// this directory; empty means in-memory queues.
+	Dir string
+	// LockTable selects the lock compatibility table sites use.
+	LockTable lock.Table
+	// RetryBackoff/RetryMax tune delivery-agent retries.  Zero values
+	// get sensible defaults.
+	RetryBackoff, RetryMax time.Duration
+	// Trace, when positive, enables event tracing with a ring buffer of
+	// that capacity (see internal/trace).
+	Trace int
+}
+
+type link struct {
+	q queue.Queue
+	d *queue.Delivery
+}
+
+// Cluster is the replicated-system chassis.
+type Cluster struct {
+	cfg  Config
+	Net  *network.Transport
+	Seq  *clock.Sequencer
+	Hist *history.Log
+	// Trace is the cluster's event ring (nil when tracing is disabled;
+	// nil rings discard records, so emit sites need no checks).
+	Trace *trace.Ring
+	sites map[clock.SiteID]*replica.Site
+	out   map[clock.SiteID]map[clock.SiteID]*link
+
+	// Durable-cluster machinery (Config.Dir set): inbound queues and
+	// WALs by site, the Setup factory for rebuilding ApplyFuncs, and the
+	// crashed set.  siteMu guards them plus the sites map once crash/
+	// restart is in play.
+	siteMu  sync.Mutex
+	inQ     map[clock.SiteID]queue.Queue
+	wals    map[clock.SiteID]*wal.WAL
+	factory func(s *replica.Site) replica.ApplyFunc
+	crashed map[clock.SiteID]bool
+
+	etCounter   map[clock.SiteID]*atomic.Uint64
+	msgCounter  map[clock.SiteID]*atomic.Uint64
+	activeQuery atomic.Int64 // in-flight query ETs (observability only)
+
+	closeOnce sync.Once
+}
+
+// New builds a cluster.  Sites are created and started only after the
+// caller installs ApplyFuncs via Setup.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("core: need at least one site, got %d", cfg.Sites)
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 200 * time.Microsecond
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = 50 * time.Millisecond
+	}
+	c := &Cluster{
+		cfg:        cfg,
+		Net:        network.New(cfg.Net),
+		Seq:        &clock.Sequencer{},
+		Hist:       &history.Log{},
+		sites:      make(map[clock.SiteID]*replica.Site),
+		out:        make(map[clock.SiteID]map[clock.SiteID]*link),
+		inQ:        make(map[clock.SiteID]queue.Queue),
+		wals:       make(map[clock.SiteID]*wal.WAL),
+		crashed:    make(map[clock.SiteID]bool),
+		etCounter:  make(map[clock.SiteID]*atomic.Uint64),
+		msgCounter: make(map[clock.SiteID]*atomic.Uint64),
+	}
+	if cfg.Trace > 0 {
+		c.Trace = trace.NewRing(cfg.Trace)
+	}
+	if cfg.Dir != "" {
+		if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
+			return nil, fmt.Errorf("core: create queue dir: %w", err)
+		}
+	}
+	for i := 1; i <= cfg.Sites; i++ {
+		id := clock.SiteID(i)
+		in, err := c.newQueue(fmt.Sprintf("in-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		site := replica.NewSite(id, in, cfg.LockTable)
+		site.Trace = c.Trace
+		c.sites[id] = site
+		c.inQ[id] = in
+		c.etCounter[id] = &atomic.Uint64{}
+		c.msgCounter[id] = &atomic.Uint64{}
+	}
+	// Outbound links: one stable queue + delivery agent per (from, to)
+	// pair, to-site handler enqueues into the destination inbound queue.
+	for from := range c.sites {
+		c.out[from] = make(map[clock.SiteID]*link)
+		for to := range c.sites {
+			if to == from {
+				continue
+			}
+			q, err := c.newQueue(fmt.Sprintf("out-%d-%d", from, to))
+			if err != nil {
+				return nil, err
+			}
+			from, to := from, to
+			d := queue.NewDelivery(q, func(m queue.Message) error {
+				return c.Net.Send(from, to, m.Payload)
+			}, cfg.RetryBackoff, cfg.RetryMax)
+			c.out[from][to] = &link{q: q, d: d}
+		}
+	}
+	// Network handlers: deliver into the site's inbound stable queue.
+	for id, site := range c.sites {
+		site := site
+		c.Net.Register(id, func(from clock.SiteID, payload []byte) ([]byte, error) {
+			m, err := et.DecodeMSet(payload)
+			if err != nil {
+				return nil, err
+			}
+			return nil, site.Receive(queue.Message{ID: msgIDFor(m), Payload: payload})
+		})
+	}
+	// The virtual order server (§3.1's "centralized order server").
+	c.Net.Register(SequencerSite, func(from clock.SiteID, payload []byte) ([]byte, error) {
+		n := c.Seq.Next()
+		var b [8]byte
+		for i := 0; i < 8; i++ {
+			b[i] = byte(n >> (8 * i))
+		}
+		return b[:], nil
+	})
+	return c, nil
+}
+
+func (c *Cluster) newQueue(name string) (queue.Queue, error) {
+	if c.cfg.Dir == "" {
+		return queue.NewMem(), nil
+	}
+	q, err := queue.Open(filepath.Join(c.cfg.Dir, name+".journal"))
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// Setup installs the ApplyFunc on every site and starts processors and
+// delivery agents.  The factory receives the site so methods can keep
+// per-site state.  On durable clusters (Config.Dir set) every ApplyFunc
+// is wrapped with a per-site write-ahead log, enabling CrashSite/
+// RestartSite.
+func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
+	c.factory = factory
+	for id, s := range c.sites {
+		apply := factory(s)
+		if c.cfg.Dir != "" {
+			w, _, err := wal.Open(c.walPath(id))
+			if err != nil {
+				// Surfacing an error here would change Setup's signature
+				// for one unlikely failure; a durable cluster that cannot
+				// open its WAL is unusable, so fail loudly.
+				panic(fmt.Sprintf("core: open wal for %v: %v", id, err))
+			}
+			c.wals[id] = w
+			apply = wal.Wrap(w, apply)
+		}
+		s.SetApply(apply)
+		s.Start()
+	}
+	for _, links := range c.out {
+		for _, l := range links {
+			l.d.Start()
+		}
+	}
+}
+
+// Site returns the site with the given ID (nil if unknown).
+func (c *Cluster) Site(id clock.SiteID) *replica.Site {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	return c.sites[id]
+}
+
+// sitesSnapshot returns the current site handles under the lock.
+func (c *Cluster) sitesSnapshot() []*replica.Site {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	out := make([]*replica.Site, 0, len(c.sites))
+	for _, s := range c.sites {
+		out = append(out, s)
+	}
+	return out
+}
+
+// SiteIDs returns all site IDs in ascending order.
+func (c *Cluster) SiteIDs() []clock.SiteID {
+	out := make([]clock.SiteID, 0, len(c.sites))
+	for i := 1; i <= c.cfg.Sites; i++ {
+		out = append(out, clock.SiteID(i))
+	}
+	return out
+}
+
+// Config returns the cluster configuration.
+func (c *Cluster) Config() Config { return c.cfg }
+
+// NextET issues a fresh ET ID originating at the site.
+func (c *Cluster) NextET(origin clock.SiteID) et.ID {
+	return et.MakeID(origin, c.etCounter[origin].Add(1))
+}
+
+// NextSeq asks the order server for the next global sequence number,
+// paying a network round trip from the requesting site.  If the server is
+// unreachable (partition), an error is returned and the update cannot
+// proceed — the centralized-sequencer availability cost ORDUP pays.
+func (c *Cluster) NextSeq(from clock.SiteID) (uint64, error) {
+	resp, err := c.Net.Call(from, SequencerSite, []byte("seq"))
+	if err != nil {
+		return 0, fmt.Errorf("core: order server unreachable: %w", err)
+	}
+	var n uint64
+	for i := 0; i < 8 && i < len(resp); i++ {
+		n |= uint64(resp[i]) << (8 * i)
+	}
+	return n, nil
+}
+
+// msgIDFor derives a queue-unique message ID from an MSet identity.  The
+// same MSet redelivered gets the same ID, so inbound dedup holds across
+// retries; compensation MSets get a distinct bit so they never collide
+// with the forward MSet of the same ET.
+func msgIDFor(m et.MSet) uint64 {
+	id := uint64(m.ET)
+	if m.Compensation {
+		id |= 1 << 63
+	}
+	return id
+}
+
+// Broadcast propagates an update MSet to every site.  The origin's copy
+// is delivered directly (no network); remote copies are enqueued on the
+// per-destination outbound stable queues, whose delivery agents push them
+// asynchronously.  Broadcast returns once every copy is durably queued —
+// this is the asynchronous methods' commit point.
+func (c *Cluster) Broadcast(m et.MSet) error {
+	payload, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	msg := queue.Message{ID: msgIDFor(m), Payload: payload}
+	origin := c.Site(m.Origin)
+	if origin == nil {
+		return fmt.Errorf("core: unknown origin site %v", m.Origin)
+	}
+	c.Trace.Recordf(trace.Commit, int(m.Origin), m.ET.String(), "ops=%d comp=%v", len(m.Ops), m.Compensation)
+	if err := origin.Receive(msg); err != nil {
+		return err
+	}
+	for to, l := range c.out[m.Origin] {
+		if err := l.q.Enqueue(msg); err != nil {
+			return fmt.Errorf("core: enqueue for %v: %w", to, err)
+		}
+		c.Trace.Recordf(trace.Enqueue, int(m.Origin), m.ET.String(), "to=%v", to)
+		l.d.Kick()
+	}
+	return nil
+}
+
+// OutBacklog returns the largest outbound-queue length among the site's
+// links.  Periodic senders (ORDUP's Lamport heartbeats) use it to
+// self-clock to link speed instead of flooding slow links.
+func (c *Cluster) OutBacklog(from clock.SiteID) int {
+	max := 0
+	for _, l := range c.out[from] {
+		if n := l.q.Len(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// ErrQuiesceTimeout is returned by Quiesce when propagation does not
+// drain in time (for example during a partition).
+var ErrQuiesceTimeout = errors.New("core: quiesce timeout")
+
+// Quiesce blocks until every outbound and inbound stable queue is empty —
+// the paper's quiescent state, at which "all replicas converge to the
+// same 1SR value" (§2.2).
+func (c *Cluster) Quiesce(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		if c.drained() {
+			// Double-check after a settling pause to close the
+			// enqueue/ack race window.
+			time.Sleep(200 * time.Microsecond)
+			if c.drained() {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("%w after %v", ErrQuiesceTimeout, timeout)
+		}
+		for _, s := range c.sitesSnapshot() {
+			s.Kick()
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+func (c *Cluster) drained() bool {
+	for _, links := range c.out {
+		for _, l := range links {
+			if l.q.Len() > 0 {
+				return false
+			}
+		}
+	}
+	for _, s := range c.sitesSnapshot() {
+		if s.QueueLen() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Converged checks that every site holds the identical value for every
+// object any site knows, using single-version stores.  It returns the
+// first divergent object found.
+func (c *Cluster) Converged() (bool, string) {
+	sites := c.sitesSnapshot()
+	objs := make(map[string]bool)
+	for _, s := range sites {
+		for _, o := range s.Store.Objects() {
+			objs[o] = true
+		}
+	}
+	for o := range objs {
+		ref := sites[0].Store.Get(o)
+		for _, s := range sites[1:] {
+			v := s.Store.Get(o)
+			if !ref.EqualUnordered(v) {
+				return false, o
+			}
+		}
+	}
+	return true, ""
+}
+
+// Close stops delivery agents, processors and queues.
+func (c *Cluster) Close() error {
+	c.closeOnce.Do(func() {
+		for _, links := range c.out {
+			for _, l := range links {
+				l.d.Stop()
+			}
+		}
+		c.siteMu.Lock()
+		for id, s := range c.sites {
+			if c.crashed[id] {
+				continue
+			}
+			s.Stop()
+			if w := c.wals[id]; w != nil {
+				w.Close()
+			}
+		}
+		c.siteMu.Unlock()
+		for _, links := range c.out {
+			for _, l := range links {
+				l.q.Close()
+			}
+		}
+	})
+	return nil
+}
+
+// RecordUpdate appends an update ET's operations to the global history.
+func (c *Cluster) RecordUpdate(id et.ID, ops []op.Op) {
+	for _, o := range ops {
+		c.Hist.Append(history.Event{ET: uint64(id), Class: history.Update, Op: o})
+	}
+}
+
+// RecordQueryRead appends one query read to the global history.
+func (c *Cluster) RecordQueryRead(id et.ID, object string) {
+	c.Hist.Append(history.Event{ET: uint64(id), Class: history.Query, Op: op.ReadOp(object)})
+}

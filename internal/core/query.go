@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"esr/internal/clock"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/lock"
+	"esr/internal/op"
+	"esr/internal/replica"
+	"esr/internal/trace"
+)
+
+// QueryAtSite runs the ε-bounded local read protocol shared by the
+// single-version forward methods (ORDUP, COMMU, COMPE):
+//
+//  1. Objects are read in sorted order (a total lock-acquisition order,
+//     so conservative queries cannot deadlock against MSet appliers).
+//  2. Each read is priced by the method-supplied cost function — the
+//     query's overlap with update ETs on that object.
+//  3. While the inconsistency counter accepts the charge, the read takes
+//     an RQ lock, which under the ET tables never conflicts ("query ETs
+//     can be processed in any order", §3.1).
+//  4. Once the counter would exceed ε, remaining reads take RU locks:
+//     the query joins the serialization order of update ETs, paying
+//     blocking instead of inconsistency — the paper's "allowed to
+//     proceed only when it is running in the global order".
+//
+// cost receives the site, the object, and the object's epoch at query
+// start; it returns the inconsistency units reading the object now would
+// import.
+func QueryAtSite(c *Cluster, site clock.SiteID, objects []string, eps divergence.Limit,
+	cost func(s *replica.Site, object string, baseline uint64) int) (et.QueryResult, error) {
+
+	s := c.Site(site)
+	if s == nil {
+		return et.QueryResult{}, fmt.Errorf("core: unknown site %v", site)
+	}
+	qid := c.NextET(site)
+	tx := lock.TxID(qid)
+	counter := divergence.NewCounter(eps)
+
+	sorted := append([]string(nil), objects...)
+	sort.Strings(sorted)
+	baseline := make(map[string]uint64, len(sorted))
+	for _, obj := range sorted {
+		baseline[obj] = s.Epoch(obj)
+	}
+	vals := make(map[string]op.Value, len(sorted))
+	defer s.Locks.ReleaseAll(tx)
+	for _, obj := range sorted {
+		mode := lock.RQ
+		price := cost(s, obj, baseline[obj])
+		if !counter.TryAdd(price) {
+			mode = lock.RU
+			c.Trace.Recordf(trace.QueryFallback, int(site), qid.String(), "obj=%s cost=%d", obj, price)
+		} else if price > 0 {
+			c.Trace.Recordf(trace.QueryCharged, int(site), qid.String(), "obj=%s cost=%d", obj, price)
+		}
+		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
+			return et.QueryResult{}, fmt.Errorf("core: query lock on %q: %w", obj, err)
+		}
+		vals[obj] = s.Store.Get(obj)
+		c.RecordQueryRead(qid, obj)
+	}
+	return et.QueryResult{
+		Values:        vals,
+		Inconsistency: counter.Count(),
+		Epsilon:       eps,
+		Site:          site,
+	}, nil
+}
+
+// OverlapCost is the default read-pricing rule: update ETs applied at the
+// site since the query began (epoch delta) plus update ETs queued but not
+// yet applied (staleness), both restricted to the object being read.
+// Together they count the update ETs the query overlaps on that object —
+// the §2.1 error bound.
+func OverlapCost(s *replica.Site, object string, baseline uint64) int {
+	return s.Pending(object) + int(s.Epoch(object)-baseline)
+}
+
+// QueryAtSiteSpec is QueryAtSite with a per-object ε specification: each
+// object's read is charged against its own budget (the §5.1 taxonomy's
+// spatial-consistency dimension), so one hot object exhausting its
+// budget does not force conservative reads of unrelated objects.  The
+// result's Inconsistency is the total imported across all objects.
+func QueryAtSiteSpec(c *Cluster, site clock.SiteID, objects []string, spec divergence.Spec,
+	cost func(s *replica.Site, object string, baseline uint64) int) (et.QueryResult, error) {
+
+	s := c.Site(site)
+	if s == nil {
+		return et.QueryResult{}, fmt.Errorf("core: unknown site %v", site)
+	}
+	qid := c.NextET(site)
+	tx := lock.TxID(qid)
+
+	sorted := append([]string(nil), objects...)
+	sort.Strings(sorted)
+	baseline := make(map[string]uint64, len(sorted))
+	counters := make(map[string]*divergence.Counter, len(sorted))
+	for _, obj := range sorted {
+		baseline[obj] = s.Epoch(obj)
+		counters[obj] = divergence.NewCounter(spec.For(obj))
+	}
+	vals := make(map[string]op.Value, len(sorted))
+	total := 0
+	defer s.Locks.ReleaseAll(tx)
+	for _, obj := range sorted {
+		mode := lock.RQ
+		if !counters[obj].TryAdd(cost(s, obj, baseline[obj])) {
+			mode = lock.RU
+		}
+		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
+			return et.QueryResult{}, fmt.Errorf("core: query lock on %q: %w", obj, err)
+		}
+		vals[obj] = s.Store.Get(obj)
+		total += counters[obj].Count()
+		c.RecordQueryRead(qid, obj)
+	}
+	return et.QueryResult{
+		Values:        vals,
+		Inconsistency: total,
+		Epsilon:       spec.Total(objects),
+		Site:          site,
+	}, nil
+}

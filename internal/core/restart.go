@@ -1,0 +1,139 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/queue"
+	"esr/internal/replica"
+	"esr/internal/wal"
+)
+
+// Errors returned by the crash/restart interface.
+var (
+	// ErrNotDurable reports that the cluster was built without a Dir, so
+	// sites have no journals or WALs to recover from.
+	ErrNotDurable = errors.New("core: site restart requires a durable cluster (Config.Dir)")
+	// ErrSiteRunning reports a restart of a site that was never crashed.
+	ErrSiteRunning = errors.New("core: site is running; crash it first")
+	// ErrSiteCrashed reports an operation on a crashed site.
+	ErrSiteCrashed = errors.New("core: site is crashed")
+)
+
+// RecoverFunc lets a method engine rebuild its per-site state from the
+// site's recovered WAL records during RestartSite (for example, ORDUP
+// recomputes the next expected sequence number).  The new Site is fully
+// rebuilt (store and queue indexes) when the callback runs.
+type RecoverFunc func(s *replica.Site, records []et.MSet) error
+
+func (c *Cluster) walPath(id clock.SiteID) string {
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("site-%d.wal", id))
+}
+
+// CrashSite simulates a site failure: the MSet processor stops
+// mid-stream (completing its in-flight apply, per the cooperative crash
+// model), the site's journal and WAL close, and the network marks the
+// site down so messages to and from it fail.  State not on disk — the
+// store, the lock table, the queue indexes — is lost.
+func (c *Cluster) CrashSite(id clock.SiteID) error {
+	if c.cfg.Dir == "" {
+		return ErrNotDurable
+	}
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	s := c.sites[id]
+	if s == nil {
+		return fmt.Errorf("core: unknown site %v", id)
+	}
+	if c.crashed[id] {
+		return ErrSiteCrashed
+	}
+	c.Net.Crash(id)
+	s.Stop()
+	if q := c.inQ[id]; q != nil {
+		q.Close()
+	}
+	if w := c.wals[id]; w != nil {
+		w.Close()
+	}
+	c.crashed[id] = true
+	return nil
+}
+
+// RestartSite rebuilds a crashed site from its durable state: the WAL
+// replays into a fresh store, the journal-backed inbound queue reloads
+// with already-applied MSets skipped, and the method's ApplyFunc is
+// re-created through the Setup factory.  recover, when non-nil, runs
+// after the rebuild so the engine can restore per-site protocol state.
+func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
+	if c.cfg.Dir == "" {
+		return ErrNotDurable
+	}
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	if !c.crashed[id] {
+		return ErrSiteRunning
+	}
+	q, err := queue.Open(filepath.Join(c.cfg.Dir, fmt.Sprintf("in-%d.journal", id)))
+	if err != nil {
+		return fmt.Errorf("core: reopen inbound journal: %w", err)
+	}
+	w, records, err := wal.Open(c.walPath(id))
+	if err != nil {
+		q.Close()
+		return fmt.Errorf("core: reopen wal: %w", err)
+	}
+	site := replica.NewSite(id, q, c.cfg.LockTable)
+	site.Trace = c.Trace
+	applied := wal.Rebuild(site.Store, records)
+	if err := site.Reload(); err != nil {
+		q.Close()
+		w.Close()
+		return fmt.Errorf("core: reload queue indexes: %w", err)
+	}
+	if recover != nil {
+		if err := recover(site, records); err != nil {
+			q.Close()
+			w.Close()
+			return fmt.Errorf("core: engine recovery: %w", err)
+		}
+	}
+	inner := c.factory(site)
+	site.SetApply(func(m et.MSet) error {
+		if applied[m.ET] && !m.Compensation {
+			// Applied and logged before the crash; the queued copy is a
+			// leftover to acknowledge, not re-apply.
+			return nil
+		}
+		if err := inner(m); err != nil {
+			return err
+		}
+		return w.Append(m)
+	})
+	c.sites[id] = site
+	c.inQ[id] = q
+	c.wals[id] = w
+	c.Net.Register(id, func(from clock.SiteID, payload []byte) ([]byte, error) {
+		m, err := et.DecodeMSet(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, site.Receive(queue.Message{ID: msgIDFor(m), Payload: payload})
+	})
+	delete(c.crashed, id)
+	c.Net.Restart(id)
+	site.Start()
+	// Nudge peers' delivery agents: anything queued for this site flows
+	// again now.
+	for _, links := range c.out {
+		for to, l := range links {
+			if to == id {
+				l.d.Kick()
+			}
+		}
+	}
+	return nil
+}

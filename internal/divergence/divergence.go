@@ -1,0 +1,143 @@
+// Package divergence implements the inconsistency accounting that bounds
+// what query ETs may see.
+//
+// The paper's divergence-bounding machinery is an "inconsistency counter"
+// per query ET (§3.1): "Each time a Q^ET is found to overlap an U^ET the
+// inconsistency counter is incremented by 1.  When the inconsistency
+// counter reaches a pre-specified number, the query ET is allowed to
+// proceed only when it is running in the global order."  Limit expresses
+// the pre-specified number ε (with Unlimited for the free-running end of
+// the spectrum), and Counter is the per-query accumulator.  At ε = 0 a
+// query degenerates to strict 1-copy serializable behaviour — the paper's
+// "in the limit, users see strict 1-copy serializability".
+package divergence
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Limit is an ε specification: the maximum number of inconsistency units
+// a query ET may import.  Zero means the query must be serializable.
+type Limit int
+
+// Unlimited places no bound on imported inconsistency ("the system can
+// run freely", §3.2).
+const Unlimited Limit = -1
+
+// String implements fmt.Stringer.
+func (l Limit) String() string {
+	if l == Unlimited {
+		return "∞"
+	}
+	return fmt.Sprintf("%d", int(l))
+}
+
+// Allows reports whether a total of count inconsistency units is within
+// the limit.
+func (l Limit) Allows(count int) bool {
+	return l == Unlimited || count <= int(l)
+}
+
+// ErrExceeded is returned when an operation would push a query ET past
+// its ε limit and no conservative fallback applies.
+var ErrExceeded = errors.New("divergence: epsilon limit exceeded")
+
+// Counter is the inconsistency counter of one query ET.  It is safe for
+// concurrent use.
+type Counter struct {
+	mu    sync.Mutex
+	limit Limit
+	count int
+}
+
+// NewCounter returns a counter with the given ε limit.
+func NewCounter(limit Limit) *Counter {
+	return &Counter{limit: limit}
+}
+
+// Limit returns the counter's ε limit.
+func (c *Counter) Limit() Limit { return c.limit }
+
+// Count returns the inconsistency accumulated so far.
+func (c *Counter) Count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count
+}
+
+// TryAdd attempts to charge n units.  It returns true and records the
+// charge if the total stays within the limit; otherwise it returns false
+// and records nothing — the caller must then take the conservative path
+// (wait for global order, read the visible version, ...).
+func (c *Counter) TryAdd(n int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.limit.Allows(c.count + n) {
+		return false
+	}
+	c.count += n
+	return true
+}
+
+// Add charges n units unconditionally.  It is used for inconsistency the
+// system discovers after the fact — for example compensation rollbacks
+// hitting queries that already read the rolled-back state (§4.2).
+func (c *Counter) Add(n int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count += n
+}
+
+// Remaining returns how many more units the counter accepts, or -1 for
+// unlimited.
+func (c *Counter) Remaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.limit == Unlimited {
+		return -1
+	}
+	r := int(c.limit) - c.count
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// Spec is a per-object ε specification: the spatial-consistency
+// dimension from the §5.1 taxonomy, where different objects tolerate
+// different amounts of asynchronous inconsistency.  Objects not listed
+// use Default.
+type Spec struct {
+	// Default applies to objects without an explicit entry.
+	Default Limit
+	// PerObject overrides the limit for specific objects.
+	PerObject map[string]Limit
+}
+
+// Uniform returns a Spec applying one limit to every object.
+func Uniform(l Limit) Spec { return Spec{Default: l} }
+
+// For returns the limit governing the object.
+func (s Spec) For(object string) Limit {
+	if l, ok := s.PerObject[object]; ok {
+		return l
+	}
+	return s.Default
+}
+
+// Total returns the worst-case total inconsistency a query reading the
+// given objects could import under the spec, or Unlimited if any object
+// is unlimited.
+func (s Spec) Total(objects []string) Limit {
+	var total int
+	for _, obj := range objects {
+		l := s.For(obj)
+		if l == Unlimited {
+			return Unlimited
+		}
+		total += int(l)
+	}
+	return Limit(total)
+}

@@ -1,0 +1,153 @@
+package divergence
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLimitAllows(t *testing.T) {
+	tests := []struct {
+		limit Limit
+		count int
+		want  bool
+	}{
+		{0, 0, true},
+		{0, 1, false},
+		{3, 3, true},
+		{3, 4, false},
+		{Unlimited, 1 << 30, true},
+	}
+	for _, tt := range tests {
+		if got := tt.limit.Allows(tt.count); got != tt.want {
+			t.Errorf("Limit(%v).Allows(%d) = %v, want %v", tt.limit, tt.count, got, tt.want)
+		}
+	}
+}
+
+func TestLimitString(t *testing.T) {
+	if Unlimited.String() != "∞" {
+		t.Errorf("Unlimited.String() = %q", Unlimited.String())
+	}
+	if Limit(4).String() != "4" {
+		t.Errorf("Limit(4).String() = %q", Limit(4).String())
+	}
+}
+
+func TestCounterTryAdd(t *testing.T) {
+	c := NewCounter(2)
+	if !c.TryAdd(1) || !c.TryAdd(1) {
+		t.Fatalf("first two TryAdd(1) must succeed")
+	}
+	if c.TryAdd(1) {
+		t.Errorf("TryAdd past limit must fail")
+	}
+	if c.Count() != 2 {
+		t.Errorf("failed TryAdd must not charge: count=%d", c.Count())
+	}
+	if c.Limit() != 2 {
+		t.Errorf("Limit() = %v", c.Limit())
+	}
+}
+
+func TestCounterZeroEpsilonRefusesAll(t *testing.T) {
+	c := NewCounter(0)
+	if c.TryAdd(1) {
+		t.Errorf("ε=0 must refuse any inconsistency")
+	}
+	if !c.TryAdd(0) {
+		t.Errorf("ε=0 must allow zero-cost operations")
+	}
+}
+
+func TestCounterUnlimited(t *testing.T) {
+	c := NewCounter(Unlimited)
+	for i := 0; i < 1000; i++ {
+		if !c.TryAdd(3) {
+			t.Fatalf("unlimited counter refused a charge")
+		}
+	}
+	if c.Remaining() != -1 {
+		t.Errorf("Remaining on unlimited = %d, want -1", c.Remaining())
+	}
+}
+
+func TestCounterAddUnconditional(t *testing.T) {
+	c := NewCounter(1)
+	c.Add(5) // after-the-fact accounting may exceed the limit
+	if c.Count() != 5 {
+		t.Errorf("Count = %d, want 5", c.Count())
+	}
+	if c.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0 (clamped)", c.Remaining())
+	}
+	if c.TryAdd(1) {
+		t.Errorf("TryAdd must fail once over limit")
+	}
+}
+
+func TestCounterRemaining(t *testing.T) {
+	c := NewCounter(4)
+	c.TryAdd(1)
+	if got := c.Remaining(); got != 3 {
+		t.Errorf("Remaining = %d, want 3", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := NewCounter(100)
+	var wg sync.WaitGroup
+	var granted sync.Map
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < 50; i++ {
+				if c.TryAdd(1) {
+					n++
+				}
+			}
+			granted.Store(g, n)
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	granted.Range(func(_, v any) bool { total += v.(int); return true })
+	if total != 100 {
+		t.Errorf("granted %d charges under limit 100", total)
+	}
+	if c.Count() != 100 {
+		t.Errorf("Count = %d, want exactly the limit", c.Count())
+	}
+}
+
+func TestSpecFor(t *testing.T) {
+	s := Spec{Default: 2, PerObject: map[string]Limit{"critical": 0, "loose": Unlimited}}
+	if got := s.For("critical"); got != 0 {
+		t.Errorf("For(critical) = %v", got)
+	}
+	if got := s.For("anything"); got != 2 {
+		t.Errorf("For(default) = %v", got)
+	}
+	if got := s.For("loose"); got != Unlimited {
+		t.Errorf("For(loose) = %v", got)
+	}
+}
+
+func TestSpecUniform(t *testing.T) {
+	s := Uniform(3)
+	if s.For("x") != 3 || s.For("y") != 3 {
+		t.Errorf("Uniform misapplied")
+	}
+}
+
+func TestSpecTotal(t *testing.T) {
+	s := Spec{Default: 2, PerObject: map[string]Limit{"a": 1}}
+	if got := s.Total([]string{"a", "b"}); got != 3 {
+		t.Errorf("Total = %v, want 3", got)
+	}
+	s.PerObject["c"] = Unlimited
+	if got := s.Total([]string{"a", "c"}); got != Unlimited {
+		t.Errorf("Total with unlimited member = %v", got)
+	}
+}

@@ -1,0 +1,121 @@
+// Package et defines epsilon-transactions (ETs) and the message sets
+// (MSets) that carry their effects between replica sites.
+//
+// "At each site, an ET is represented by a message set or MSet.  Query
+// ETs use query MSets to read the values of an object's copy.  An update
+// MSet is a set of replica maintenance operations which propagates
+// updates to object replicas." (§2.2)
+//
+// ETs are the high-level interface through which applications obtain ESR
+// without referring to the theory: an update ET is executed at its origin
+// and its MSet is propagated asynchronously through stable queues; a
+// query ET reads local replicas under an ε budget.
+package et
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"esr/internal/clock"
+	"esr/internal/divergence"
+	"esr/internal/op"
+)
+
+// ID identifies an epsilon-transaction system-wide.  The origin site's
+// identifier is folded in so IDs issued by different sites never collide.
+type ID uint64
+
+// MakeID builds a system-wide unique ET ID from an origin site and a
+// site-local counter value.
+func MakeID(origin clock.SiteID, local uint64) ID {
+	return ID(uint64(origin)<<48 | (local & (1<<48 - 1)))
+}
+
+// Origin extracts the origin site from an ID.
+func (id ID) Origin() clock.SiteID { return clock.SiteID(uint64(id) >> 48) }
+
+// String implements fmt.Stringer.
+func (id ID) String() string {
+	return fmt.Sprintf("et%d.%d", uint64(id)>>48, uint64(id)&(1<<48-1))
+}
+
+// Class distinguishes query ETs from update ETs (§2.1).
+type Class int
+
+const (
+	// Query is an ET containing only reads.
+	Query Class = iota
+	// Update is an ET containing at least one write.
+	Update
+)
+
+// Classify returns Update if any operation mutates state, else Query.
+func Classify(ops []op.Op) Class {
+	for _, o := range ops {
+		if o.Kind.IsUpdate() {
+			return Update
+		}
+	}
+	return Query
+}
+
+// MSet is the unit of asynchronous propagation: the replica-maintenance
+// operations of one update ET, destined for one replica site.
+type MSet struct {
+	// ET identifies the originating update ET.
+	ET ID
+	// Origin is the site at which the ET executed.
+	Origin clock.SiteID
+	// Seq is the global execution order for ORDUP (0 when the method
+	// does not order MSets).
+	Seq uint64
+	// TS is the ET's logical timestamp (used by RITU and for Lamport
+	// ordering).
+	TS clock.Timestamp
+	// Ops are the update operations to apply at the destination.
+	Ops []op.Op
+	// Compensation marks a compensation MSet issued by backward replica
+	// control (§4.2).
+	Compensation bool
+	// Target optionally names the ET being compensated.
+	Target ID
+}
+
+// Encode serializes the MSet for transport through a stable queue.
+func (m MSet) Encode() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(m); err != nil {
+		return nil, fmt.Errorf("et: encode mset: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeMSet deserializes an MSet produced by Encode.
+func DecodeMSet(b []byte) (MSet, error) {
+	var m MSet
+	if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&m); err != nil {
+		return MSet{}, fmt.Errorf("et: decode mset: %w", err)
+	}
+	return m, nil
+}
+
+// QueryResult is what a query ET returns to the application.
+type QueryResult struct {
+	// Values holds the value read for each requested object, keyed by
+	// object name.
+	Values map[string]op.Value
+	// Inconsistency is the number of inconsistency units the query
+	// imported (its final inconsistency-counter value).
+	Inconsistency int
+	// Epsilon is the limit the query ran under.
+	Epsilon divergence.Limit
+	// Site is where the query executed.
+	Site clock.SiteID
+}
+
+// Value returns the value read for one object (zero Value if the object
+// was not part of the query).
+func (r QueryResult) Value(object string) op.Value {
+	return r.Values[object]
+}

@@ -1,0 +1,90 @@
+package et
+
+import (
+	"testing"
+	"testing/quick"
+
+	"esr/internal/clock"
+	"esr/internal/op"
+)
+
+func TestMakeIDRoundTrip(t *testing.T) {
+	f := func(site uint8, local uint32) bool {
+		id := MakeID(clock.SiteID(site), uint64(local))
+		return id.Origin() == clock.SiteID(site)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMakeIDUniqueAcrossSites(t *testing.T) {
+	a := MakeID(1, 7)
+	b := MakeID(2, 7)
+	if a == b {
+		t.Errorf("same local counter on different sites must differ")
+	}
+	if a.String() != "et1.7" {
+		t.Errorf("String() = %q, want et1.7", a.String())
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if got := Classify([]op.Op{op.ReadOp("x"), op.ReadOp("y")}); got != Query {
+		t.Errorf("all-reads must classify as Query, got %v", got)
+	}
+	if got := Classify([]op.Op{op.ReadOp("x"), op.IncOp("y", 1)}); got != Update {
+		t.Errorf("any update must classify as Update, got %v", got)
+	}
+	if got := Classify(nil); got != Query {
+		t.Errorf("empty ET classifies as Query, got %v", got)
+	}
+}
+
+func TestMSetEncodeDecode(t *testing.T) {
+	m := MSet{
+		ET:     MakeID(3, 42),
+		Origin: 3,
+		Seq:    9,
+		TS:     clock.Timestamp{Time: 5, Site: 3},
+		Ops: []op.Op{
+			op.IncOp("x", 10),
+			op.AppendOp("log", "hello"),
+		},
+		Compensation: true,
+		Target:       MakeID(3, 41),
+	}
+	b, err := m.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeMSet(b)
+	if err != nil {
+		t.Fatalf("DecodeMSet: %v", err)
+	}
+	if got.ET != m.ET || got.Origin != m.Origin || got.Seq != m.Seq || got.TS != m.TS {
+		t.Errorf("header fields mangled: %+v", got)
+	}
+	if !got.Compensation || got.Target != m.Target {
+		t.Errorf("compensation fields mangled: %+v", got)
+	}
+	if len(got.Ops) != 2 || got.Ops[0] != m.Ops[0] || got.Ops[1] != m.Ops[1] {
+		t.Errorf("ops mangled: %v", got.Ops)
+	}
+}
+
+func TestDecodeMSetGarbage(t *testing.T) {
+	if _, err := DecodeMSet([]byte("not a gob")); err == nil {
+		t.Errorf("decoding garbage must fail")
+	}
+}
+
+func TestQueryResultValue(t *testing.T) {
+	r := QueryResult{Values: map[string]op.Value{"x": op.NumValue(5)}}
+	if got := r.Value("x"); !got.Equal(op.NumValue(5)) {
+		t.Errorf("Value(x) = %v", got)
+	}
+	if got := r.Value("missing"); !got.Equal(op.Value{}) {
+		t.Errorf("Value(missing) = %v, want zero", got)
+	}
+}

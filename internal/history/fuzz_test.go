@@ -1,0 +1,52 @@
+package history
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that Parse never panics, and that anything it accepts
+// round-trips through Format and classifies consistently.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)",
+		"r1(x)",
+		"W2(y) W2(y) W2(y)",
+		"",
+		"R1(a",
+		"X9(q)",
+		"W18446744073709551615(obj)",
+		"R1(()",
+		"W1())",
+		strings.Repeat("R1(a) ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		events, err := Parse(input)
+		if err != nil {
+			return
+		}
+		// Accepted histories must round-trip.
+		out := Format(events)
+		events2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("Format output unparseable: %q -> %q: %v", input, out, err)
+		}
+		if len(events2) != len(events) {
+			t.Fatalf("round trip changed length: %d -> %d", len(events), len(events2))
+		}
+		for i := range events {
+			if events[i].ET != events2[i].ET || events[i].Class != events2[i].Class ||
+				events[i].Op.Kind != events2[i].Op.Kind || events[i].Op.Object != events2[i].Op.Object {
+				t.Fatalf("round trip changed event %d: %+v vs %+v", i, events[i], events2[i])
+			}
+		}
+		// The checkers must terminate without panicking on anything
+		// parseable, and SR must imply ε-serial.
+		if IsSerializable(events) && !IsEpsilonSerial(events) {
+			t.Fatalf("SR history not ε-serial: %q", out)
+		}
+	})
+}

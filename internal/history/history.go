@@ -1,0 +1,297 @@
+// Package history records operation histories ("logs" in the paper's
+// terminology, §2.1) and decides their correctness classes:
+//
+//   - IsSerializable: the log is conflict-serializable (an SRlog).
+//   - IsEpsilonSerial: after deleting all query-ET operations, the
+//     remaining update-ET operations form an SRlog — the paper's
+//     definition of an ε-serial log.
+//   - Overlap: the set of update ETs a query ET overlaps, which §2.1
+//     establishes as "an upper bound of error on the amount of
+//     inconsistency that a query ET may accumulate".
+//
+// These checkers make the paper's correctness criterion executable: the
+// test suite and the E3/E10 experiments run them over recorded histories
+// instead of appealing to the formal proofs in [24].
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"esr/internal/op"
+)
+
+// Class distinguishes query ETs from update ETs.
+type Class int
+
+const (
+	// Query marks an ET containing only reads (Q^ET).
+	Query Class = iota
+	// Update marks an ET containing at least one write (U^ET).
+	Update
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Query {
+		return "Q"
+	}
+	return "U"
+}
+
+// Event is one operation instance in a history.
+type Event struct {
+	// ET identifies the epsilon-transaction that issued the operation.
+	ET uint64
+	// Class is the issuing ET's class.
+	Class Class
+	// Op is the operation (a Read, or any update kind).
+	Op op.Op
+}
+
+// String renders the event in the paper's R1(a)/W1(b) notation.
+func (e Event) String() string {
+	letter := "W"
+	if e.Op.Kind == op.Read {
+		letter = "R"
+	}
+	return fmt.Sprintf("%s%d(%s)", letter, e.ET, e.Op.Object)
+}
+
+// Log is a thread-safe, append-only history of events.
+type Log struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Append records an event at the end of the history.
+func (l *Log) Append(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, e)
+}
+
+// Events returns a copy of the recorded history in order.
+func (l *Log) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]Event(nil), l.events...)
+}
+
+// Len returns the number of recorded events.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
+
+// String renders the whole history in the paper's compact notation, e.g.
+// "R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)".
+func (l *Log) String() string {
+	events := l.Events()
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Conflicts reports whether two events conflict: same object, different
+// ETs, and at least one of them an update.  (R/W and W/W dependencies,
+// §2.1.)
+func Conflicts(a, b Event) bool {
+	if a.ET == b.ET || a.Op.Object != b.Op.Object {
+		return false
+	}
+	return a.Op.Kind.IsUpdate() || b.Op.Kind.IsUpdate()
+}
+
+// IsSerializable reports whether the history is conflict-serializable:
+// the transaction conflict graph is acyclic.
+func IsSerializable(events []Event) bool {
+	_, ok := SerialOrder(events)
+	return ok
+}
+
+// SerialOrder returns a serial order of the ETs in the history that is
+// conflict-equivalent to it, or ok=false if none exists (the conflict
+// graph has a cycle).
+func SerialOrder(events []Event) ([]uint64, bool) {
+	// Build the conflict graph.
+	adj := make(map[uint64]map[uint64]bool)
+	nodes := make(map[uint64]bool)
+	for _, e := range events {
+		nodes[e.ET] = true
+	}
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			if Conflicts(events[i], events[j]) {
+				from, to := events[i].ET, events[j].ET
+				if adj[from] == nil {
+					adj[from] = make(map[uint64]bool)
+				}
+				adj[from][to] = true
+			}
+		}
+	}
+	// Kahn's algorithm with deterministic (sorted) node iteration.
+	indeg := make(map[uint64]int, len(nodes))
+	for n := range nodes {
+		indeg[n] = 0
+	}
+	for _, tos := range adj {
+		for to := range tos {
+			indeg[to]++
+		}
+	}
+	var ready []uint64
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sortU64(ready)
+	var order []uint64
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		order = append(order, n)
+		var unlocked []uint64
+		for to := range adj[n] {
+			indeg[to]--
+			if indeg[to] == 0 {
+				unlocked = append(unlocked, to)
+			}
+		}
+		sortU64(unlocked)
+		ready = append(ready, unlocked...)
+	}
+	if len(order) != len(nodes) {
+		return nil, false
+	}
+	return order, true
+}
+
+// DeleteQueries returns the history with all query-ET events removed.
+func DeleteQueries(events []Event) []Event {
+	out := make([]Event, 0, len(events))
+	for _, e := range events {
+		if e.Class != Query {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// IsEpsilonSerial reports whether the history is an ε-serial log: "after
+// deleting query ETs from the log, the remaining update ETs form an
+// SRlog" (§2.1).
+func IsEpsilonSerial(events []Event) bool {
+	return IsSerializable(DeleteQueries(events))
+}
+
+// Overlap returns the IDs of the update ETs that the query ET q overlaps,
+// per §2.1: "the set of all update ETs that had not finished at the first
+// operation of the query ET, plus all the update ETs that started during
+// the query ET", restricted to "update ETs that actually affect objects
+// that the query ET seeks to access".  The result is sorted.
+func Overlap(events []Event, q uint64) []uint64 {
+	first, last := -1, -1
+	queryObjects := make(map[string]bool)
+	for i, e := range events {
+		if e.ET == q {
+			if first < 0 {
+				first = i
+			}
+			last = i
+			queryObjects[e.Op.Object] = true
+		}
+	}
+	if first < 0 {
+		return nil
+	}
+	span := make(map[uint64][2]int) // update ET -> [first, last] event index
+	touches := make(map[uint64]bool)
+	for i, e := range events {
+		if e.Class != Update {
+			continue
+		}
+		s, ok := span[e.ET]
+		if !ok {
+			s = [2]int{i, i}
+		} else {
+			s[1] = i
+		}
+		span[e.ET] = s
+		if e.Op.Kind.IsUpdate() && queryObjects[e.Op.Object] {
+			touches[e.ET] = true
+		}
+	}
+	var out []uint64
+	for et, s := range span {
+		if !touches[et] {
+			continue
+		}
+		unfinishedAtStart := s[0] < first && s[1] >= first
+		startedDuring := s[0] >= first && s[0] <= last
+		if unfinishedAtStart || startedDuring {
+			out = append(out, et)
+		}
+	}
+	sortU64(out)
+	return out
+}
+
+// BruteForceSerializable decides conflict-serializability by searching
+// every permutation of the ETs for one that is conflict-equivalent to the
+// history.  Exponential — use only in tests as an oracle for
+// IsSerializable on small histories.
+func BruteForceSerializable(events []Event) bool {
+	nodes := make(map[uint64]bool)
+	for _, e := range events {
+		nodes[e.ET] = true
+	}
+	ets := make([]uint64, 0, len(nodes))
+	for n := range nodes {
+		ets = append(ets, n)
+	}
+	sortU64(ets)
+	// Collect ordered conflicting ET pairs.
+	type pair struct{ a, b uint64 }
+	var cons []pair
+	for i := 0; i < len(events); i++ {
+		for j := i + 1; j < len(events); j++ {
+			if Conflicts(events[i], events[j]) {
+				cons = append(cons, pair{events[i].ET, events[j].ET})
+			}
+		}
+	}
+	pos := make(map[uint64]int, len(ets))
+	var try func(k int) bool
+	try = func(k int) bool {
+		if k == len(ets) {
+			for _, c := range cons {
+				if pos[c.a] > pos[c.b] {
+					return false
+				}
+			}
+			return true
+		}
+		for i := k; i < len(ets); i++ {
+			ets[k], ets[i] = ets[i], ets[k]
+			pos[ets[k]] = k
+			if try(k + 1) {
+				return true
+			}
+			ets[k], ets[i] = ets[i], ets[k]
+		}
+		return false
+	}
+	return try(0)
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}

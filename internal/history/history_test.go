@@ -1,0 +1,254 @@
+package history
+
+import (
+	"math/rand"
+	"testing"
+
+	"esr/internal/op"
+)
+
+// ev builds an event in the paper's notation: r/w, ET id, object.
+func ev(class Class, et uint64, kind op.Kind, object string) Event {
+	o := op.Op{Kind: kind, Object: object, Arg: 1}
+	return Event{ET: et, Class: class, Op: o}
+}
+
+// paperLog1 is the paper's example log (1):
+//
+//	R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)
+//
+// where ET1 and ET2 are update ETs and ET3 is a query ET.
+func paperLog1() []Event {
+	return []Event{
+		ev(Update, 1, op.Read, "a"),
+		ev(Update, 1, op.Write, "b"),
+		ev(Update, 2, op.Write, "b"),
+		ev(Query, 3, op.Read, "a"),
+		ev(Update, 2, op.Write, "a"),
+		ev(Query, 3, op.Read, "b"),
+	}
+}
+
+// TestPaperExampleLog1 reproduces the paper's §2.1 worked example: the
+// log is ε-serial but not SR, and Q3 overlaps U2.
+func TestPaperExampleLog1(t *testing.T) {
+	events := paperLog1()
+	if IsSerializable(events) {
+		t.Errorf("paper log (1) must NOT be serializable")
+	}
+	if !IsEpsilonSerial(events) {
+		t.Errorf("paper log (1) must be epsilon-serial")
+	}
+	overlap := Overlap(events, 3)
+	if len(overlap) != 1 || overlap[0] != 2 {
+		t.Errorf("Overlap(Q3) = %v, want [2] (U2 writes a and b around Q3's reads)", overlap)
+	}
+}
+
+func TestSerialOrderOfPaperUpdates(t *testing.T) {
+	updates := DeleteQueries(paperLog1())
+	order, ok := SerialOrder(updates)
+	if !ok {
+		t.Fatalf("update ETs of paper log (1) must be serializable")
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Errorf("SerialOrder = %v, want [1 2]", order)
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	tests := []struct {
+		a, b Event
+		want bool
+	}{
+		{ev(Update, 1, op.Write, "x"), ev(Update, 2, op.Write, "x"), true},
+		{ev(Update, 1, op.Write, "x"), ev(Update, 2, op.Read, "x"), true},
+		{ev(Update, 1, op.Read, "x"), ev(Update, 2, op.Read, "x"), false},
+		{ev(Update, 1, op.Write, "x"), ev(Update, 1, op.Write, "x"), false}, // same ET
+		{ev(Update, 1, op.Write, "x"), ev(Update, 2, op.Write, "y"), false}, // diff object
+		{ev(Query, 3, op.Read, "x"), ev(Update, 1, op.Write, "x"), true},
+	}
+	for _, tt := range tests {
+		if got := Conflicts(tt.a, tt.b); got != tt.want {
+			t.Errorf("Conflicts(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSerializableSimpleCases(t *testing.T) {
+	serial := []Event{
+		ev(Update, 1, op.Read, "x"), ev(Update, 1, op.Write, "x"),
+		ev(Update, 2, op.Read, "x"), ev(Update, 2, op.Write, "x"),
+	}
+	if !IsSerializable(serial) {
+		t.Errorf("serial history must be serializable")
+	}
+	lostUpdate := []Event{
+		ev(Update, 1, op.Read, "x"), ev(Update, 2, op.Read, "x"),
+		ev(Update, 1, op.Write, "x"), ev(Update, 2, op.Write, "x"),
+	}
+	if IsSerializable(lostUpdate) {
+		t.Errorf("lost-update history must not be serializable")
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	if !IsSerializable(nil) {
+		t.Errorf("empty history is serializable")
+	}
+	if !IsEpsilonSerial(nil) {
+		t.Errorf("empty history is epsilon-serial")
+	}
+	one := []Event{ev(Update, 1, op.Write, "x")}
+	if !IsSerializable(one) {
+		t.Errorf("singleton history is serializable")
+	}
+}
+
+func TestOverlapEmptyForSerialQuery(t *testing.T) {
+	// A query that runs entirely between two update ETs overlaps nothing.
+	events := []Event{
+		ev(Update, 1, op.Write, "x"),
+		ev(Query, 9, op.Read, "x"),
+		ev(Update, 2, op.Write, "x"),
+	}
+	// U2 starts during Q9's span? Q9's span is one event (index 1); U2
+	// starts at index 2, after Q9's last. U1 finished before Q9 started.
+	if got := Overlap(events, 9); len(got) != 0 {
+		t.Errorf("Overlap = %v, want empty", got)
+	}
+}
+
+func TestOverlapRestrictedToQueryObjects(t *testing.T) {
+	events := []Event{
+		ev(Update, 1, op.Write, "unrelated"),
+		ev(Query, 9, op.Read, "x"),
+		ev(Update, 1, op.Write, "unrelated2"),
+		ev(Query, 9, op.Read, "y"),
+	}
+	if got := Overlap(events, 9); len(got) != 0 {
+		t.Errorf("update ET not touching query objects must not count: %v", got)
+	}
+	events2 := []Event{
+		ev(Update, 1, op.Write, "z"),
+		ev(Query, 9, op.Read, "x"),
+		ev(Update, 1, op.Write, "x"), // touches a query object
+		ev(Query, 9, op.Read, "y"),
+	}
+	if got := Overlap(events2, 9); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Overlap = %v, want [1]", got)
+	}
+}
+
+func TestOverlapUnknownQuery(t *testing.T) {
+	if got := Overlap(paperLog1(), 42); got != nil {
+		t.Errorf("Overlap(unknown) = %v, want nil", got)
+	}
+}
+
+func TestLogRecordingAndString(t *testing.T) {
+	var l Log
+	for _, e := range paperLog1() {
+		l.Append(e)
+	}
+	if l.Len() != 6 {
+		t.Errorf("Len = %d, want 6", l.Len())
+	}
+	want := "R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)"
+	if got := l.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	if got := len(l.Events()); got != 6 {
+		t.Errorf("Events len = %d", got)
+	}
+}
+
+// TestCheckerAgainstBruteForce cross-validates the polynomial conflict-
+// graph checker against exhaustive permutation search on random small
+// histories.
+func TestCheckerAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objects := []string{"a", "b", "c"}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		events := make([]Event, n)
+		for i := range events {
+			kind := op.Read
+			if rng.Intn(2) == 0 {
+				kind = op.Write
+			}
+			events[i] = ev(Update, uint64(1+rng.Intn(4)), kind, objects[rng.Intn(len(objects))])
+		}
+		fast := IsSerializable(events)
+		slow := BruteForceSerializable(events)
+		if fast != slow {
+			t.Fatalf("trial %d: IsSerializable=%v but brute force=%v for %v", trial, fast, slow, events)
+		}
+	}
+}
+
+// TestEpsilonSerialImpliedBySR checks SR ⇒ ε-serial (deleting events
+// cannot create a cycle).
+func TestEpsilonSerialImpliedBySR(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	objects := []string{"a", "b"}
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		events := make([]Event, n)
+		for i := range events {
+			class := Update
+			kind := op.Write
+			if rng.Intn(3) == 0 {
+				class = Query
+				kind = op.Read
+			}
+			events[i] = ev(class, uint64(1+rng.Intn(4)), kind, objects[rng.Intn(len(objects))])
+		}
+		if IsSerializable(events) && !IsEpsilonSerial(events) {
+			t.Fatalf("trial %d: SR history not epsilon-serial: %v", trial, events)
+		}
+	}
+}
+
+// TestOrderedUpdatesAlwaysEpsilonSerial is ORDUP's core argument (§3.1):
+// if update ETs execute serially (in order), any interleaving of query
+// reads leaves the log ε-serial.
+func TestOrderedUpdatesAlwaysEpsilonSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	objects := []string{"a", "b", "c"}
+	for trial := 0; trial < 200; trial++ {
+		var events []Event
+		// Three update ETs run back-to-back (serial).
+		for et := uint64(1); et <= 3; et++ {
+			for k := 0; k < 2; k++ {
+				events = append(events, ev(Update, et, op.Write, objects[rng.Intn(3)]))
+			}
+		}
+		// Sprinkle query reads at random positions.
+		for q := 0; q < 4; q++ {
+			pos := rng.Intn(len(events) + 1)
+			e := ev(Query, uint64(10+rng.Intn(2)), op.Read, objects[rng.Intn(3)])
+			events = append(events[:pos], append([]Event{e}, events[pos:]...)...)
+		}
+		if !IsEpsilonSerial(events) {
+			t.Fatalf("trial %d: serial updates + query interleaving must be ε-serial", trial)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := ev(Update, 2, op.Write, "a")
+	if got := e.String(); got != "W2(a)" {
+		t.Errorf("Event.String() = %q, want W2(a)", got)
+	}
+	q := ev(Query, 3, op.Read, "b")
+	if got := q.String(); got != "R3(b)" {
+		t.Errorf("Event.String() = %q, want R3(b)", got)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Query.String() != "Q" || Update.String() != "U" {
+		t.Errorf("Class strings wrong: %v %v", Query, Update)
+	}
+}

@@ -1,0 +1,84 @@
+package history
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"esr/internal/op"
+)
+
+// Parse reads a history written in the paper's compact notation:
+//
+//	R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)
+//
+// Each token is R or W (case-insensitive), an ET number, and an object
+// name in parentheses.  Tokens may be separated by any whitespace.  An
+// ET is classified as a query ET exactly when all of its operations are
+// reads (§2.1: "An ET containing only reads is a query ET ... an ET
+// containing at least one write is an update ET").
+func Parse(s string) ([]Event, error) {
+	fields := strings.Fields(s)
+	events := make([]Event, 0, len(fields))
+	writers := make(map[uint64]bool)
+	for i, tok := range fields {
+		e, err := parseToken(tok)
+		if err != nil {
+			return nil, fmt.Errorf("history: token %d %q: %w", i+1, tok, err)
+		}
+		if e.Op.Kind.IsUpdate() {
+			writers[e.ET] = true
+		}
+		events = append(events, e)
+	}
+	for i := range events {
+		if writers[events[i].ET] {
+			events[i].Class = Update
+		} else {
+			events[i].Class = Query
+		}
+	}
+	return events, nil
+}
+
+func parseToken(tok string) (Event, error) {
+	if len(tok) < 4 {
+		return Event{}, fmt.Errorf("too short")
+	}
+	var kind op.Kind
+	switch tok[0] {
+	case 'R', 'r':
+		kind = op.Read
+	case 'W', 'w':
+		kind = op.Write
+	default:
+		return Event{}, fmt.Errorf("operation must be R or W")
+	}
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return Event{}, fmt.Errorf("missing (object)")
+	}
+	etNum, err := strconv.ParseUint(tok[1:open], 10, 64)
+	if err != nil {
+		return Event{}, fmt.Errorf("bad ET number: %w", err)
+	}
+	object := tok[open+1 : len(tok)-1]
+	if object == "" {
+		return Event{}, fmt.Errorf("empty object name")
+	}
+	o := op.Op{Kind: kind, Object: object}
+	if kind == op.Write {
+		o.Arg = 1
+	}
+	return Event{ET: etNum, Op: o}, nil
+}
+
+// Format renders events back into the compact notation; Format(Parse(s))
+// round-trips any normalized history string.
+func Format(events []Event) string {
+	parts := make([]string, len(events))
+	for i, e := range events {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}

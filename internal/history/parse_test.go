@@ -1,0 +1,147 @@
+package history
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"esr/internal/op"
+)
+
+func TestParsePaperLog(t *testing.T) {
+	events, err := Parse("R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(events) != 6 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	// ET1 and ET2 write -> update ETs; ET3 only reads -> query ET.
+	for _, e := range events {
+		want := Update
+		if e.ET == 3 {
+			want = Query
+		}
+		if e.Class != want {
+			t.Errorf("ET%d classified %v, want %v", e.ET, e.Class, want)
+		}
+	}
+	if IsSerializable(events) {
+		t.Errorf("paper log must not be SR")
+	}
+	if !IsEpsilonSerial(events) {
+		t.Errorf("paper log must be ε-serial")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	in := "R1(a) W1(b) W2(b) R3(a) W2(a) R3(b)"
+	events, err := Parse(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Format(events); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+}
+
+func TestParseWhitespaceAndCase(t *testing.T) {
+	events, err := Parse("  r1(x)\n\tw2(y)  ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("parsed %d events", len(events))
+	}
+	if events[0].Op.Kind != op.Read || events[1].Op.Kind != op.Write {
+		t.Errorf("kinds = %v %v", events[0].Op.Kind, events[1].Op.Kind)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"X1(a)", // unknown op letter
+		"R(a)",  // missing ET number
+		"R1a",   // missing parens
+		"R1()",  // empty object
+		"W99",   // no parens at all
+		"R1(a",  // unterminated
+		"Rx(a)", // non-numeric ET
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+	if events, err := Parse(""); err != nil || len(events) != 0 {
+		t.Errorf("empty input should parse to no events: %v %v", events, err)
+	}
+}
+
+func TestParseFormatProperty(t *testing.T) {
+	// Any generated event list formats to a string that parses back to
+	// the same events (modulo class inference, which is deterministic).
+	f := func(ids []uint8, kinds []bool) bool {
+		n := len(ids)
+		if len(kinds) < n {
+			n = len(kinds)
+		}
+		if n == 0 {
+			return true
+		}
+		events := make([]Event, n)
+		for i := 0; i < n; i++ {
+			k := op.Read
+			if kinds[i] {
+				k = op.Write
+			}
+			o := op.Op{Kind: k, Object: "o" + string(rune('a'+ids[i]%3))}
+			if k == op.Write {
+				o.Arg = 1
+			}
+			events[i] = Event{ET: uint64(ids[i]%5) + 1, Op: o}
+		}
+		// Assign classes the way Parse would.
+		writers := map[uint64]bool{}
+		for _, e := range events {
+			if e.Op.Kind.IsUpdate() {
+				writers[e.ET] = true
+			}
+		}
+		for i := range events {
+			if writers[events[i].ET] {
+				events[i].Class = Update
+			} else {
+				events[i].Class = Query
+			}
+		}
+		parsed, err := Parse(Format(events))
+		if err != nil || len(parsed) != len(events) {
+			return false
+		}
+		for i := range parsed {
+			if parsed[i].ET != events[i].ET || parsed[i].Class != events[i].Class ||
+				parsed[i].Op.Kind != events[i].Op.Kind || parsed[i].Op.Object != events[i].Op.Object {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatMatchesLogString(t *testing.T) {
+	events, _ := Parse("W1(x) R2(x)")
+	var l Log
+	for _, e := range events {
+		l.Append(e)
+	}
+	if Format(events) != l.String() {
+		t.Errorf("Format %q != Log.String %q", Format(events), l.String())
+	}
+	if !strings.Contains(Format(events), "W1(x)") {
+		t.Errorf("Format output malformed")
+	}
+}

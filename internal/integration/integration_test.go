@@ -1,0 +1,335 @@
+// Package integration holds cross-module tests that drive whole clusters
+// through randomized workloads and injected failures, asserting the
+// paper's two system-level guarantees: bounded inconsistency for query
+// ETs and convergence to 1SR at quiescence.
+package integration
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/commu"
+	"esr/internal/compe"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/history"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/sim"
+)
+
+// TestRandomizedConvergence sweeps methods × seeds with reordering
+// latencies and message loss, then checks convergence and the recorded
+// history's ε-serial property.
+func TestRandomizedConvergence(t *testing.T) {
+	kinds := []sim.EngineKind{sim.ORDUPSeq, sim.ORDUPLamport, sim.COMMU, sim.RITUSV, sim.COMPE, sim.COMPEGeneral}
+	for _, kind := range kinds {
+		for seed := int64(1); seed <= 3; seed++ {
+			kind, seed := kind, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", kind, seed), func(t *testing.T) {
+				t.Parallel()
+				eng, err := sim.NewEngine(kind, 3, network.Config{
+					Seed:       seed,
+					MinLatency: 20 * time.Microsecond,
+					MaxLatency: 1500 * time.Microsecond,
+					LossRate:   0.1,
+				}, sim.Options{})
+				if err != nil {
+					t.Fatalf("NewEngine: %v", err)
+				}
+				defer eng.Close()
+				build := sim.AdditiveOps
+				if kind == sim.RITUSV {
+					build = sim.BlindWriteOps
+				}
+				if kind == sim.COMPEGeneral {
+					build = sim.BlindWriteOps
+				}
+				res, err := sim.Run(eng, sim.Workload{
+					Seed: seed * 31, Clients: 5, OpsPerClient: 20,
+					Objects: 3, QueryFraction: 0.3, OpsPerUpdate: 2, ObjectsPerQuery: 2,
+					Epsilon: divergence.Limit(int(seed % 3)), Build: build,
+					Pace: 150 * time.Microsecond,
+				})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if !res.Converged {
+					t.Errorf("did not converge")
+				}
+				if res.Inconsistency.Max > int(seed%3) {
+					t.Errorf("inconsistency %d exceeded ε=%d", res.Inconsistency.Max, seed%3)
+				}
+				// ORDUP and the baselines keep update ETs serializable in
+				// recorded order; check ε-serial where that holds.
+				if kind == sim.ORDUPSeq || kind == sim.ORDUPLamport {
+					if !history.IsEpsilonSerial(eng.Cluster().Hist.Events()) {
+						t.Errorf("recorded history is not ε-serial")
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestPartitionDuringSaga injects a partition between a COMPE saga's
+// forward MSets and its abort, verifying the compensation still reaches
+// and unwinds the isolated replica after healing.
+func TestPartitionDuringSaga(t *testing.T) {
+	e, err := compe.New(compe.Config{
+		Core: core.Config{Sites: 3, Net: network.Config{Seed: 9}},
+		Mode: compe.Commutative,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	c := e.Cluster()
+
+	id, err := e.Begin(1, []op.Op{op.IncOp("x", 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Quiesce(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Isolate site 3, then abort: the compensation MSet must queue.
+	c.Net.Partition([]clock.SiteID{1, 2, core.SequencerSite}, []clock.SiteID{3})
+	if err := e.Abort(id); err != nil {
+		t.Fatal(err)
+	}
+	// Connected sites unwind promptly.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Site(1).Store.Get("x").Num == 0 && c.Site(2).Store.Get("x").Num == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := c.Site(2).Store.Get("x"); got.Num != 0 {
+		t.Fatalf("connected site not compensated: %v", got)
+	}
+	// The isolated site still shows the tentative state.
+	if got := c.Site(3).Store.Get("x"); got.Num != 100 {
+		t.Fatalf("isolated site should still hold tentative state, got %v", got)
+	}
+	c.Net.Heal()
+	if err := c.Quiesce(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, sid := range c.SiteIDs() {
+		if got := c.Site(sid).Store.Get("x"); got.Num != 0 {
+			t.Errorf("site %v: x = %v after heal, want 0", sid, got)
+		}
+	}
+}
+
+// TestRepeatedPartitionsUnderLoad cycles partitions while a mixed
+// workload runs, then heals and checks convergence — the paper's
+// robustness claim under repeated failures.
+func TestRepeatedPartitionsUnderLoad(t *testing.T) {
+	eng, err := sim.NewEngine(sim.COMMU, 4, network.Config{
+		Seed: 12, MinLatency: 20 * time.Microsecond, MaxLatency: 500 * time.Microsecond,
+	}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	c := eng.Cluster()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// The partitioner flips topologies.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(99))
+		splits := [][][]clock.SiteID{
+			{{1, 2, core.SequencerSite}, {3, 4}},
+			{{1, 3, core.SequencerSite}, {2, 4}},
+			{{1, core.SequencerSite}, {2, 3, 4}},
+		}
+		for i := 0; i < 6; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := splits[rng.Intn(len(splits))]
+			c.Net.Partition(s...)
+			time.Sleep(8 * time.Millisecond)
+			c.Net.Heal()
+			time.Sleep(4 * time.Millisecond)
+		}
+	}()
+	// Clients on every site.
+	var updates int64
+	var mu sync.Mutex
+	for site := 1; site <= 4; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for i := 0; i < 60; i++ {
+				if _, err := eng.Update(clock.SiteID(site), []op.Op{op.IncOp("x", 1)}); err == nil {
+					mu.Lock()
+					updates++
+					mu.Unlock()
+				}
+				eng.Query(clock.SiteID(site), []string{"x"}, divergence.Unlimited)
+				time.Sleep(300 * time.Microsecond)
+			}
+		}(site)
+	}
+	wg.Wait()
+	close(stop)
+	c.Net.Heal()
+	if err := c.Quiesce(60 * time.Second); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if ok, obj := c.Converged(); !ok {
+		t.Fatalf("diverged on %q", obj)
+	}
+	mu.Lock()
+	want := updates
+	mu.Unlock()
+	if got := c.Site(1).Store.Get("x").Num; got != want {
+		t.Errorf("x = %d, want %d (every committed update applied exactly once)", got, want)
+	}
+}
+
+// TestCrossMethodAgreement runs the identical deterministic update
+// sequence through ORDUP and the 2PC baseline and checks they reach the
+// same final state: asynchronous ordered delivery computes what
+// synchronous commitment computes.
+func TestCrossMethodAgreement(t *testing.T) {
+	script := []op.Op{
+		op.WriteOp("x", 10),
+		op.IncOp("x", 5),
+		op.MulOp("x", 3),
+		op.DecOp("x", 7),
+		op.MulOp("x", 2),
+	}
+	finals := map[string]int64{}
+	for _, kind := range []sim.EngineKind{sim.ORDUPSeq, sim.TwoPC} {
+		eng, err := sim.NewEngine(kind, 3, network.Config{Seed: 5}, sim.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, o := range script {
+			if _, err := eng.Update(clock.SiteID(i%3+1), []op.Op{o}); err != nil {
+				t.Fatalf("%s: update %d: %v", kind, i, err)
+			}
+			// Sequential issuance: ORDUP's sequencer preserves issue
+			// order because each Update returns after taking its number.
+		}
+		if err := eng.Cluster().Quiesce(30 * time.Second); err != nil {
+			t.Fatalf("%s: quiesce: %v", kind, err)
+		}
+		finals[string(kind)] = eng.Cluster().Site(2).Store.Get("x").Num
+		eng.Close()
+	}
+	want := int64(((10+5)*3 - 7) * 2)
+	for kind, got := range finals {
+		if got != want {
+			t.Errorf("%s final x = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+// TestDuplicateDeliverySuppression hammers a lossy link whose retries
+// force duplicate sends, checking exactly-once application.
+func TestDuplicateDeliverySuppression(t *testing.T) {
+	eng, err := sim.NewEngine(sim.COMMU, 2, network.Config{
+		Seed: 17, LossRate: 0.5, MinLatency: 5 * time.Microsecond, MaxLatency: 50 * time.Microsecond,
+	}, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := eng.Update(1, []op.Op{op.IncOp("x", 1)}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if got := eng.Cluster().Site(2).Store.Get("x").Num; got != n {
+		t.Errorf("x = %d, want %d: duplicates applied or messages lost", got, n)
+	}
+	// The loss model must actually have fired for this test to mean
+	// anything.
+	if st := eng.Cluster().Net.Stats(); st.Lost == 0 {
+		t.Errorf("loss model never fired; test vacuous")
+	}
+}
+
+// TestCrashChaosUnderLoad cycles site crashes and recoveries on a
+// durable COMMU cluster while clients keep committing, then verifies
+// exactly-once application and convergence — the full site-failure story
+// of §2.2 exercised end to end.
+func TestCrashChaosUnderLoad(t *testing.T) {
+	eng, err := sim.NewEngine(sim.COMMU, 3, network.Config{
+		Seed: 23, MinLatency: 10 * time.Microsecond, MaxLatency: 200 * time.Microsecond,
+	}, sim.Options{QueueDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eng.Close()
+	ce := eng.(*commu.Engine)
+
+	var committed int64
+	var mu sync.Mutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Clients on sites 1 and 2 (site 3 is the crash victim).
+	for site := 1; site <= 2; site++ {
+		wg.Add(1)
+		go func(site int) {
+			defer wg.Done()
+			for i := 0; i < 80; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := ce.Update(clock.SiteID(site), []op.Op{op.IncOp("x", 1)}); err == nil {
+					mu.Lock()
+					committed++
+					mu.Unlock()
+				}
+				time.Sleep(400 * time.Microsecond)
+			}
+		}(site)
+	}
+	// The chaos loop: crash and recover site 3 repeatedly.
+	for round := 0; round < 3; round++ {
+		time.Sleep(5 * time.Millisecond)
+		if err := ce.CrashSite(3); err != nil {
+			t.Fatalf("round %d crash: %v", round, err)
+		}
+		time.Sleep(8 * time.Millisecond)
+		if err := ce.RestartSite(3); err != nil {
+			t.Fatalf("round %d restart: %v", round, err)
+		}
+	}
+	wg.Wait()
+	close(stop)
+	if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if ok, obj := eng.Cluster().Converged(); !ok {
+		t.Fatalf("diverged on %q", obj)
+	}
+	mu.Lock()
+	want := committed
+	mu.Unlock()
+	if got := eng.Cluster().Site(3).Store.Get("x").Num; got != want {
+		t.Errorf("x = %d at the thrice-crashed site, want %d", got, want)
+	}
+}

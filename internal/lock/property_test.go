@@ -1,0 +1,89 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"esr/internal/op"
+)
+
+// TestQueryLocksUniversallyCompatible is the defining property of the ET
+// tables: RQ is compatible with everything, in both directions, under
+// ORDUP and COMMU ("query ETs are allowed to interleave with other ETs
+// freely", §2.1).
+func TestQueryLocksUniversallyCompatible(t *testing.T) {
+	f := func(tbl, mode uint8) bool {
+		table := []Table{ORDUP, COMMU}[int(tbl)%2]
+		other := Modes[int(mode)%len(Modes)]
+		return table.Compatibility(RQ, other) == OK && table.Compatibility(other, RQ) == OK
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCompatibilitySymmetry: every table's compatibility relation is
+// symmetric (lock conflict is mutual).
+func TestCompatibilitySymmetry(t *testing.T) {
+	f := func(tbl, a, b uint8) bool {
+		table := []Table{Standard, ORDUP, COMMU}[int(tbl)%3]
+		ma := Modes[int(a)%len(Modes)]
+		mb := Modes[int(b)%len(Modes)]
+		return table.Compatibility(ma, mb) == table.Compatibility(mb, ma)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestORDUPStricterThanCOMMU: any pair compatible under ORDUP is also
+// compatible under COMMU (COMMU only relaxes WU conflicts into Comm).
+func TestORDUPStricterThanCOMMU(t *testing.T) {
+	f := func(a, b uint8) bool {
+		ma := Modes[int(a)%len(Modes)]
+		mb := Modes[int(b)%len(Modes)]
+		if ORDUP.Compatibility(ma, mb) == OK {
+			return COMMU.Compatibility(ma, mb) != Conflict
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStandardStrictest: anything incompatible under the ET tables is
+// also incompatible under standard 2PL for update-class locks.
+func TestStandardStrictest(t *testing.T) {
+	updates := []Mode{RU, WU}
+	for _, a := range updates {
+		for _, b := range updates {
+			if ORDUP.Compatibility(a, b) == Conflict && Standard.Compatibility(a, b) == OK {
+				t.Errorf("ORDUP conflicts on %v/%v but Standard allows it", a, b)
+			}
+		}
+	}
+}
+
+// TestCompatibleNeverPanicsOnArbitraryOps: the Comm resolution path must
+// handle every operation pair quick can generate.
+func TestCompatibleNeverPanicsOnArbitraryOps(t *testing.T) {
+	f := func(tbl, a, b uint8, k1, k2 uint8, obj1, obj2 bool, arg1, arg2 int8) bool {
+		table := []Table{Standard, ORDUP, COMMU}[int(tbl)%3]
+		ma := Modes[int(a)%len(Modes)]
+		mb := Modes[int(b)%len(Modes)]
+		mkOp := func(k uint8, sameObj bool, arg int8) op.Op {
+			kinds := []op.Kind{op.Read, op.Write, op.Increment, op.Decrement, op.Multiply, op.Append, op.UnorderedAppend, op.RemoveOne}
+			o := "x"
+			if !sameObj {
+				o = "y"
+			}
+			return op.Op{Kind: kinds[int(k)%len(kinds)], Object: o, Arg: int64(arg)}
+		}
+		_ = table.Compatible(ma, mb, mkOp(k1, obj1, arg1), mkOp(k2, obj2, arg2))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package merge
+
+import (
+	"math/rand"
+	"testing"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/op"
+)
+
+func entry(side clock.SiteID, n uint64, ops ...op.Op) Entry {
+	return Entry{
+		ET:  et.MakeID(side, n),
+		TS:  clock.Timestamp{Time: n, Site: side},
+		Ops: ops,
+	}
+}
+
+func TestCommutativeMergeIsFree(t *testing.T) {
+	a := []Entry{
+		entry(1, 1, op.IncOp("x", 10)),
+		entry(1, 3, op.IncOp("x", 5)),
+	}
+	b := []Entry{
+		entry(2, 2, op.DecOp("x", 3)),
+	}
+	res := Merge(a, b)
+	if res.Conflicts != 0 {
+		t.Errorf("commutative logs reported %d conflicts", res.Conflicts)
+	}
+	if res.FreeMerges != 2 {
+		t.Errorf("FreeMerges = %d, want 2", res.FreeMerges)
+	}
+	if got := res.State["x"]; !got.Equal(op.NumValue(12)) {
+		t.Errorf("merged x = %v, want 12", got)
+	}
+	if res.Replayed != 3 {
+		t.Errorf("Replayed = %d", res.Replayed)
+	}
+}
+
+func TestMergeIsSymmetric(t *testing.T) {
+	a := []Entry{entry(1, 1, op.IncOp("x", 1)), entry(1, 4, op.UAppendOp("s", "a"))}
+	b := []Entry{entry(2, 2, op.IncOp("x", 2)), entry(2, 3, op.UAppendOp("s", "b"))}
+	if !Equivalent(Merge(a, b), Merge(b, a)) {
+		t.Errorf("Merge(a,b) and Merge(b,a) diverged")
+	}
+}
+
+func TestOverwritesResolveByTimestamp(t *testing.T) {
+	wa := op.WriteOp("x", 100)
+	wa.TS = clock.Timestamp{Time: 5, Site: 1}
+	wb := op.WriteOp("x", 200)
+	wb.TS = clock.Timestamp{Time: 9, Site: 2}
+	a := []Entry{{ET: et.MakeID(1, 1), TS: wa.TS, Ops: []op.Op{wa}}}
+	b := []Entry{{ET: et.MakeID(2, 1), TS: wb.TS, Ops: []op.Op{wb}}}
+	res := Merge(a, b)
+	if res.Conflicts != 0 {
+		t.Errorf("timestamped overwrites reported %d conflicts", res.Conflicts)
+	}
+	if got := res.State["x"]; !got.Equal(op.NumValue(200)) {
+		t.Errorf("merged x = %v, want the newer write 200", got)
+	}
+	// And symmetric.
+	if !Equivalent(res, Merge(b, a)) {
+		t.Errorf("overwrite merge not symmetric")
+	}
+}
+
+func TestNonCommutativeCrossPairsCounted(t *testing.T) {
+	a := []Entry{entry(1, 1, op.IncOp("x", 10))}
+	b := []Entry{entry(2, 2, op.MulOp("x", 2))}
+	res := Merge(a, b)
+	if res.Conflicts != 1 {
+		t.Errorf("Conflicts = %d, want 1 (Inc/Mul cross pair)", res.Conflicts)
+	}
+	// The merged order is still deterministic (timestamp order), so the
+	// state is well defined: Inc at ts1 then Mul at ts2.
+	if got := res.State["x"]; !got.Equal(op.NumValue(20)) {
+		t.Errorf("merged x = %v, want 20", got)
+	}
+}
+
+func TestSchedulePreservesLocalOrder(t *testing.T) {
+	a := []Entry{entry(1, 1, op.IncOp("x", 1)), entry(1, 5, op.IncOp("x", 2))}
+	b := []Entry{entry(2, 3, op.IncOp("y", 1))}
+	res := Merge(a, b)
+	posOf := func(id et.ID) int {
+		for i, e := range res.Schedule {
+			if e.ET == id {
+				return i
+			}
+		}
+		return -1
+	}
+	if posOf(a[0].ET) > posOf(a[1].ET) {
+		t.Errorf("side A's local order violated in merged schedule")
+	}
+	if len(res.Schedule) != 3 {
+		t.Errorf("schedule length = %d", len(res.Schedule))
+	}
+}
+
+func TestEmptySides(t *testing.T) {
+	res := Merge(nil, nil)
+	if len(res.Schedule) != 0 || len(res.State) != 0 {
+		t.Errorf("empty merge = %+v", res)
+	}
+	one := []Entry{entry(1, 1, op.IncOp("x", 7))}
+	res = Merge(one, nil)
+	if !res.State["x"].Equal(op.NumValue(7)) {
+		t.Errorf("one-sided merge = %v", res.State["x"])
+	}
+}
+
+// TestMergeMatchesOnlineReplay is the key cross-validation: for
+// commutative workloads, the off-line merge result equals replaying both
+// logs in any interleaving (what COMMU converges to on-line).
+func TestMergeMatchesOnlineReplay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 100; trial++ {
+		var a, b []Entry
+		for i := uint64(1); i <= 6; i++ {
+			obj := []string{"x", "y"}[rng.Intn(2)]
+			e := entry(1, i*2, op.IncOp(obj, int64(rng.Intn(9)-4)))
+			a = append(a, e)
+			obj2 := []string{"x", "y"}[rng.Intn(2)]
+			e2 := entry(2, i*2+1, op.DecOp(obj2, int64(rng.Intn(5))))
+			b = append(b, e2)
+		}
+		res := Merge(a, b)
+		if res.Conflicts != 0 {
+			t.Fatalf("trial %d: commutative workload reported conflicts", trial)
+		}
+		// On-line equivalent: apply a then b (one legal interleaving).
+		want := map[string]int64{}
+		for _, e := range append(append([]Entry{}, a...), b...) {
+			for _, o := range e.Ops {
+				switch o.Kind {
+				case op.Increment:
+					want[o.Object] += o.Arg
+				case op.Decrement:
+					want[o.Object] -= o.Arg
+				}
+			}
+		}
+		for obj, w := range want {
+			if got := res.State[obj]; got.Num != w {
+				t.Fatalf("trial %d: %s = %v, want %d", trial, obj, got, w)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package merge
+
+import (
+	"testing"
+	"testing/quick"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/op"
+)
+
+// entrySeed generates arbitrary log entries through testing/quick.
+type entrySeed struct {
+	Kind uint8
+	Obj  bool
+	Arg  int8
+	TS   uint8
+}
+
+func (e entrySeed) entry(side clock.SiteID, seq uint64) Entry {
+	obj := "x"
+	if e.Obj {
+		obj = "y"
+	}
+	var o op.Op
+	switch e.Kind % 3 {
+	case 0:
+		o = op.IncOp(obj, int64(e.Arg))
+	case 1:
+		o = op.DecOp(obj, int64(e.Arg))
+	default:
+		o = op.UAppendOp(obj, string(rune('a'+e.TS%26)))
+	}
+	// Side-local timestamps are strictly increasing by construction:
+	// (TS, site) pairs with a per-side sequence in the low component.
+	return Entry{
+		ET:  et.MakeID(side, seq),
+		TS:  clock.Timestamp{Time: uint64(e.TS)*100 + seq, Site: side},
+		Ops: []op.Op{o},
+	}
+}
+
+func buildLogs(as, bs []entrySeed) (a, b []Entry) {
+	for i, s := range as {
+		a = append(a, s.entry(1, uint64(i+1)))
+	}
+	for i, s := range bs {
+		b = append(b, s.entry(2, uint64(i+1)))
+	}
+	return a, b
+}
+
+// TestMergeSymmetryProperty: Merge(a,b) and Merge(b,a) always agree on
+// the final state for commutative-family logs.
+func TestMergeSymmetryProperty(t *testing.T) {
+	f := func(as, bs []entrySeed) bool {
+		if len(as) > 12 {
+			as = as[:12]
+		}
+		if len(bs) > 12 {
+			bs = bs[:12]
+		}
+		a, b := buildLogs(as, bs)
+		return Equivalent(Merge(a, b), Merge(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeCountsProperty: FreeMerges + Conflicts always equals the
+// number of cross-partition pairs, and Replayed equals the total op
+// count.
+func TestMergeCountsProperty(t *testing.T) {
+	f := func(as, bs []entrySeed) bool {
+		if len(as) > 10 {
+			as = as[:10]
+		}
+		if len(bs) > 10 {
+			bs = bs[:10]
+		}
+		a, b := buildLogs(as, bs)
+		res := Merge(a, b)
+		if res.FreeMerges+res.Conflicts != len(a)*len(b) {
+			return false
+		}
+		return res.Replayed == len(a)+len(b) // one op per entry
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeLocalOrderProperty: each side's entries keep their relative
+// order in the merged schedule (timestamps are side-monotone).
+func TestMergeLocalOrderProperty(t *testing.T) {
+	f := func(as, bs []entrySeed) bool {
+		if len(as) > 10 {
+			as = as[:10]
+		}
+		if len(bs) > 10 {
+			bs = bs[:10]
+		}
+		a, b := buildLogs(as, bs)
+		// Force side-monotone timestamps explicitly.
+		for i := range a {
+			a[i].TS = clock.Timestamp{Time: uint64(i+1) * 2, Site: 1}
+		}
+		for i := range b {
+			b[i].TS = clock.Timestamp{Time: uint64(i+1)*2 + 1, Site: 2}
+		}
+		res := Merge(a, b)
+		pos := map[et.ID]int{}
+		for i, en := range res.Schedule {
+			pos[en.ET] = i
+		}
+		for i := 1; i < len(a); i++ {
+			if pos[a[i-1].ET] > pos[a[i].ET] {
+				return false
+			}
+		}
+		for i := 1; i < len(b); i++ {
+			if pos[b[i-1].ET] > pos[b[i].ET] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

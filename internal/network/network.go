@@ -1,0 +1,232 @@
+// Package network simulates the asynchronous, unreliable message transport
+// underneath replica control.
+//
+// The paper's model (§2.2) is "a number of sites connected by a network,
+// where both individual sites and network links may fail" and the methods
+// must be "robust in face of very slow links, network partitions, and site
+// failures".  The real multi-site network is replaced — per the
+// reproduction's substitution rule — by an in-process transport with
+// seeded, configurable per-message latency, transient message loss, and
+// explicit network partitions.  Message loss and partitions surface as
+// Send/Call errors, which the stable-queue delivery agents mask by
+// retrying, exactly as the paper prescribes.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+)
+
+// Errors returned by Send and Call.  Both are transient: the caller is
+// expected to retry (stable-queue semantics).
+var (
+	// ErrPartitioned reports that the source and destination are in
+	// different partitions.
+	ErrPartitioned = errors.New("network: sites partitioned")
+	// ErrLost reports that the message was dropped en route.
+	ErrLost = errors.New("network: message lost")
+	// ErrUnknownSite reports a destination with no registered handler.
+	ErrUnknownSite = errors.New("network: unknown site")
+	// ErrSiteDown reports that the destination site is crashed.
+	ErrSiteDown = errors.New("network: site down")
+)
+
+// Handler processes an incoming message at a site and returns a response
+// payload (may be nil for one-way messages) or an error, which is
+// propagated to the sender as a failed delivery.
+type Handler func(from clock.SiteID, payload []byte) ([]byte, error)
+
+// Config parameterizes a Transport.
+type Config struct {
+	// Seed seeds the deterministic random source used for latency and
+	// loss decisions.
+	Seed int64
+	// MinLatency and MaxLatency bound the uniform one-way delay applied
+	// to each message.  Both zero means instantaneous delivery.
+	MinLatency, MaxLatency time.Duration
+	// LossRate is the probability in [0,1] that a message is dropped en
+	// route (after its latency has elapsed, like a real timeout).
+	LossRate float64
+}
+
+// Stats counts transport activity.  All fields are cumulative.
+type Stats struct {
+	Sent        uint64 // messages handed to Send/Call
+	Delivered   uint64 // messages that reached a handler
+	Lost        uint64 // messages dropped by the loss model
+	Partitioned uint64 // messages rejected because of a partition
+	Bytes       uint64 // payload bytes delivered
+}
+
+// Transport connects a set of sites.  It is safe for concurrent use.
+type Transport struct {
+	cfg Config
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	handlers  map[clock.SiteID]Handler
+	partition map[clock.SiteID]int // partition group; absent means group 0
+	down      map[clock.SiteID]bool
+	stats     Stats
+}
+
+// New returns a Transport with the given configuration.
+func New(cfg Config) *Transport {
+	if cfg.MaxLatency < cfg.MinLatency {
+		cfg.MaxLatency = cfg.MinLatency
+	}
+	return &Transport{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		handlers:  make(map[clock.SiteID]Handler),
+		partition: make(map[clock.SiteID]int),
+		down:      make(map[clock.SiteID]bool),
+	}
+}
+
+// Register installs the message handler for a site.  Re-registering
+// replaces the handler (used when a crashed site restarts).
+func (t *Transport) Register(site clock.SiteID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[site] = h
+}
+
+// Partition splits the sites into the given groups.  Sites not mentioned
+// land in group 0 alongside the first group.  Messages between different
+// groups fail with ErrPartitioned until Heal is called.
+func (t *Transport) Partition(groups ...[]clock.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partition = make(map[clock.SiteID]int)
+	for g, sites := range groups {
+		for _, s := range sites {
+			t.partition[s] = g
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (t *Transport) Heal() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.partition = make(map[clock.SiteID]int)
+}
+
+// Reachable reports whether a and b are currently in the same partition
+// and both up.
+func (t *Transport) Reachable(a, b clock.SiteID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.partition[a] == t.partition[b] && !t.down[a] && !t.down[b]
+}
+
+// Crash marks a site as down.  Messages to it fail with ErrSiteDown until
+// Restart.  (Local site state is owned by the replica layer; Crash only
+// models the network-visible effect.)
+func (t *Transport) Crash(site clock.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[site] = true
+}
+
+// Restart marks a crashed site as up again.
+func (t *Transport) Restart(site clock.SiteID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, site)
+}
+
+// Stats returns a snapshot of the cumulative transport statistics.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// Send delivers a one-way message from one site to another, blocking for
+// the sampled link latency.  A nil error means the destination handler ran
+// and succeeded (the implicit acknowledgement); any error means the
+// message must be retried by the caller.
+func (t *Transport) Send(from, to clock.SiteID, payload []byte) error {
+	_, err := t.deliver(from, to, payload, 1)
+	return err
+}
+
+// Call performs a synchronous round trip: request latency, handler,
+// response latency.  It returns the handler's response payload.  The
+// synchronous coherency-control baselines (2PC, quorum voting) are built
+// on Call; the asynchronous replica-control methods use Send via stable
+// queues.
+func (t *Transport) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
+	return t.deliver(from, to, payload, 2)
+}
+
+func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, error) {
+	t.mu.Lock()
+	t.stats.Sent++
+	h, ok := t.handlers[to]
+	lat := t.sampleLatencyLocked() * time.Duration(legs)
+	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
+	partitioned := t.partition[from] != t.partition[to]
+	isDown := t.down[to] || t.down[from]
+	t.mu.Unlock()
+
+	if !ok {
+		return nil, fmt.Errorf("%w: %v", ErrUnknownSite, to)
+	}
+	if partitioned {
+		t.count(func(s *Stats) { s.Partitioned++ })
+		return nil, ErrPartitioned
+	}
+	if isDown {
+		return nil, ErrSiteDown
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if lost {
+		t.count(func(s *Stats) { s.Lost++ })
+		return nil, ErrLost
+	}
+	// Re-check the partition after the transit delay: a partition that
+	// formed while the message was in flight kills it.
+	t.mu.Lock()
+	stillOK := t.partition[from] == t.partition[to] && !t.down[to]
+	t.mu.Unlock()
+	if !stillOK {
+		t.count(func(s *Stats) { s.Partitioned++ })
+		return nil, ErrPartitioned
+	}
+	resp, err := h(from, payload)
+	if err != nil {
+		return nil, err
+	}
+	t.count(func(s *Stats) {
+		s.Delivered++
+		s.Bytes += uint64(len(payload))
+	})
+	return resp, nil
+}
+
+func (t *Transport) count(f func(*Stats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
+
+func (t *Transport) sampleLatencyLocked() time.Duration {
+	if t.cfg.MaxLatency == 0 {
+		return 0
+	}
+	if t.cfg.MaxLatency == t.cfg.MinLatency {
+		return t.cfg.MinLatency
+	}
+	span := int64(t.cfg.MaxLatency - t.cfg.MinLatency)
+	return t.cfg.MinLatency + time.Duration(t.rng.Int63n(span))
+}

@@ -1,0 +1,448 @@
+// Package ordup implements the ORDUP (ordered updates) replica-control
+// method of §3.1.
+//
+// "The idea behind the ORDUP replica control method is to execute the
+// MSets by updating different replicas of the same object asynchronously
+// but in the same order.  In this way the update ETs are SR.  We can
+// process query ETs in any order because they are allowed to see
+// inconsistent results."
+//
+// Two ordering sources are provided, mirroring the paper's MSet-delivery
+// discussion:
+//
+//   - Sequencer: a centralized order server hands each update ET a global
+//     sequence number; every site applies MSets in sequence-number order,
+//     holding back out-of-order arrivals.
+//   - Lamport: updates carry Lamport timestamps; a site applies the MSet
+//     with the minimum pending timestamp once it has heard a timestamp at
+//     least that large from every other site (heartbeats provide the
+//     necessary evidence while updates are outstanding).
+//
+// Divergence bounding follows §3.1's inconsistency counter: each query ET
+// is charged one unit per overlapping update ET on the objects it reads;
+// once the counter would exceed ε, the remaining reads take update-class
+// (RU) locks so the query "is allowed to proceed only when it is running
+// in the global order".
+package ordup
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/lock"
+	"esr/internal/op"
+	"esr/internal/replica"
+	"esr/internal/tsdc"
+)
+
+// Ordering selects the global-order source.
+type Ordering int
+
+const (
+	// Sequencer uses the centralized order server (§3.1: "such ordering
+	// can be generated easily by a centralized order server").
+	Sequencer Ordering = iota
+	// Lamport uses distributed Lamport timestamps ("sometimes true
+	// distributed control is desired").
+	Lamport
+)
+
+// String implements fmt.Stringer.
+func (o Ordering) String() string {
+	if o == Lamport {
+		return "lamport"
+	}
+	return "sequencer"
+}
+
+// Config parameterizes an ORDUP engine.
+type Config struct {
+	// Core configures the underlying cluster chassis.  Its LockTable is
+	// forced to lock.ORDUP.
+	Core core.Config
+	// Ordering selects sequencer or Lamport ordering.
+	Ordering Ordering
+	// Heartbeat is the interval between stability heartbeats in Lamport
+	// mode while updates are outstanding (default 500µs).
+	Heartbeat time.Duration
+	// Scheduler selects the local divergence-control mechanism for
+	// queries: the Table 2 lock modes (default) or basic timestamp
+	// ordering (§3.1's alternative).
+	Scheduler Scheduler
+}
+
+// ErrNotUpdate is returned by Update when the ET contains no update
+// operation.
+var ErrNotUpdate = errors.New("ordup: ET contains no update operation")
+
+type siteState struct {
+	mu        sync.Mutex
+	submit    sync.Mutex // serializes Tick+Broadcast so link FIFO implies TS order
+	next      uint64     // next sequence number to apply (Sequencer mode)
+	lastHeard map[clock.SiteID]clock.Timestamp
+	pending   map[et.ID]clock.Timestamp
+}
+
+// Engine is the ORDUP replica-control engine.
+type Engine struct {
+	cfg    Config
+	c      *core.Cluster
+	states map[clock.SiteID]*siteState
+	tos    map[clock.SiteID]*tsdc.Scheduler // per-site TO schedulers (nil under 2PL)
+
+	mu          sync.Mutex
+	outstanding map[et.ID]map[clock.SiteID]bool // ET -> sites that have not yet applied it
+
+	hbDone chan struct{}
+	hbWG   sync.WaitGroup
+}
+
+// New builds and starts an ORDUP engine.
+func New(cfg Config) (*Engine, error) {
+	cfg.Core.LockTable = lock.ORDUP
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 500 * time.Microsecond
+	}
+	c, err := core.New(cfg.Core)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:         cfg,
+		c:           c,
+		states:      make(map[clock.SiteID]*siteState),
+		tos:         make(map[clock.SiteID]*tsdc.Scheduler),
+		outstanding: make(map[et.ID]map[clock.SiteID]bool),
+		hbDone:      make(chan struct{}),
+	}
+	for _, id := range c.SiteIDs() {
+		e.states[id] = &siteState{
+			next:      1,
+			lastHeard: make(map[clock.SiteID]clock.Timestamp),
+			pending:   make(map[et.ID]clock.Timestamp),
+		}
+		if cfg.Scheduler == TimestampOrdering {
+			e.tos[id] = tsdc.New()
+		}
+	}
+	c.Setup(func(s *replica.Site) replica.ApplyFunc {
+		st := e.states[s.ID]
+		return func(m et.MSet) error { return e.apply(s, st, m) }
+	})
+	if cfg.Ordering == Lamport {
+		e.hbWG.Add(1)
+		go e.heartbeatLoop()
+	}
+	return e, nil
+}
+
+// Name implements core.Engine.
+func (e *Engine) Name() string { return "ORDUP" }
+
+// Traits implements core.Engine; the values are the ORDUP column of the
+// paper's Table 1.
+func (e *Engine) Traits() core.Traits {
+	return core.Traits{
+		Name:             "ORDUP",
+		Restriction:      "message delivery",
+		Applicability:    "Forwards",
+		AsyncPropagation: "Query only",
+		SortingTime:      "at update",
+	}
+}
+
+// Cluster implements core.Engine.
+func (e *Engine) Cluster() *core.Cluster { return e.c }
+
+// Update executes an update ET at origin: it obtains the ET's global
+// order (sequence number or Lamport timestamp), durably enqueues one MSet
+// per site, and returns.  Propagation and application proceed
+// asynchronously ("the client generating the MSets does not have to
+// deliver them in order", §3.1 — ordering is enforced at application).
+func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
+	updates := updateOps(ops)
+	if len(updates) == 0 {
+		return 0, ErrNotUpdate
+	}
+	s := e.c.Site(origin)
+	if s == nil {
+		return 0, fmt.Errorf("ordup: unknown site %v", origin)
+	}
+	id := e.c.NextET(origin)
+	var seq uint64
+	if e.cfg.Ordering == Sequencer {
+		var err error
+		seq, err = e.c.NextSeq(origin)
+		if err != nil {
+			return 0, err
+		}
+	}
+	// In Lamport mode the stability rule depends on per-link FIFO implying
+	// per-origin timestamp order, so timestamp assignment and enqueueing
+	// must be atomic per origin.  (Sequencer mode reorders by Seq at the
+	// destination and needs no such pinning.)
+	st := e.states[origin]
+	if e.cfg.Ordering == Lamport {
+		st.submit.Lock()
+		defer st.submit.Unlock()
+	}
+	ts := s.Clock.Tick()
+	pendingAt := make(map[clock.SiteID]bool, len(e.states))
+	for sid := range e.states {
+		pendingAt[sid] = true
+	}
+	e.mu.Lock()
+	e.outstanding[id] = pendingAt
+	e.mu.Unlock()
+	m := et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: updates}
+	e.c.RecordUpdate(id, ops)
+	if err := e.c.Broadcast(m); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// Query executes a query ET at the given site under an ε limit.  Reads
+// are priced by their overlap with update ETs (§3.1's inconsistency
+// counter); past ε the query joins the global order via RU locks.
+func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit) (et.QueryResult, error) {
+	if e.cfg.Scheduler == TimestampOrdering {
+		return e.queryTO(site, objects, eps)
+	}
+	return core.QueryAtSite(e.c, site, objects, eps, core.OverlapCost)
+}
+
+// QuerySpec executes a query ET under a per-object ε specification
+// (spatial consistency): each object's read is bounded by its own
+// budget.
+func (e *Engine) QuerySpec(site clock.SiteID, objects []string, spec divergence.Spec) (et.QueryResult, error) {
+	return core.QueryAtSiteSpec(e.c, site, objects, spec, core.OverlapCost)
+}
+
+// Outstanding reports the number of update ETs not yet applied at every
+// site.
+func (e *Engine) Outstanding() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.outstanding)
+}
+
+// AppliedEverywhere reports whether the update ET has been applied at
+// every site.  Unknown IDs report true (they are not outstanding).
+func (e *Engine) AppliedEverywhere(id et.ID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	_, out := e.outstanding[id]
+	return !out
+}
+
+// CrashSite simulates a site failure on a durable cluster.
+func (e *Engine) CrashSite(id clock.SiteID) error { return e.c.CrashSite(id) }
+
+// RestartSite recovers a crashed site: the chassis rebuilds the store
+// and queue from WAL and journal, and ORDUP recomputes its per-site
+// ordering state — the next expected sequence number and the
+// last-heard timestamps — from the WAL records rather than trusting
+// anything that survived in memory.
+func (e *Engine) RestartSite(id clock.SiteID) error {
+	return e.c.RestartSite(id, func(_ *replica.Site, records []et.MSet) error {
+		st := e.states[id]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		st.next = 1
+		st.pending = make(map[et.ID]clock.Timestamp)
+		st.lastHeard = make(map[clock.SiteID]clock.Timestamp)
+		for _, m := range records {
+			if m.Seq >= st.next {
+				st.next = m.Seq + 1
+			}
+			if st.lastHeard[m.Origin].Less(m.TS) {
+				st.lastHeard[m.Origin] = m.TS
+			}
+		}
+		return nil
+	})
+}
+
+// Close implements core.Engine.
+func (e *Engine) Close() error {
+	select {
+	case <-e.hbDone:
+	default:
+		close(e.hbDone)
+	}
+	e.hbWG.Wait()
+	return e.c.Close()
+}
+
+func (e *Engine) apply(s *replica.Site, st *siteState, m et.MSet) error {
+	if e.cfg.Ordering == Sequencer {
+		return e.applySequenced(s, st, m)
+	}
+	return e.applyLamport(s, st, m)
+}
+
+func (e *Engine) applySequenced(s *replica.Site, st *siteState, m et.MSet) error {
+	st.mu.Lock()
+	switch {
+	case m.Seq < st.next:
+		// Already applied (duplicate that survived dedup); drop it.
+		st.mu.Unlock()
+		return nil
+	case m.Seq > st.next:
+		// "Each site simply waits for the next MSet in the execution
+		// sequence to show up before running other MSets." (§3.1)
+		st.mu.Unlock()
+		return replica.ErrHold
+	}
+	st.mu.Unlock()
+	if err := e.applyOps(s, m); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	st.next++
+	st.mu.Unlock()
+	e.noteApplied(m.ET, s.ID)
+	return nil
+}
+
+func (e *Engine) applyLamport(s *replica.Site, st *siteState, m et.MSet) error {
+	st.mu.Lock()
+	if st.lastHeard[m.Origin].Less(m.TS) {
+		st.lastHeard[m.Origin] = m.TS
+	}
+	if len(m.Ops) == 0 {
+		// Heartbeat: pure stability evidence.
+		st.mu.Unlock()
+		return nil
+	}
+	st.pending[m.ET] = m.TS
+	// Eligible when (1) every other site has been heard at or past m.TS
+	// — FIFO links then guarantee nothing earlier can still arrive — and
+	// (2) m.TS is the minimum pending timestamp here.
+	for _, id := range e.c.SiteIDs() {
+		if id == m.Origin || id == s.ID {
+			continue
+		}
+		if st.lastHeard[id].Less(m.TS) {
+			st.mu.Unlock()
+			return replica.ErrHold
+		}
+	}
+	for other, ts := range st.pending {
+		if other != m.ET && ts.Less(m.TS) {
+			st.mu.Unlock()
+			return replica.ErrHold
+		}
+	}
+	st.mu.Unlock()
+	if err := e.applyOps(s, m); err != nil {
+		return err
+	}
+	st.mu.Lock()
+	delete(st.pending, m.ET)
+	st.mu.Unlock()
+	e.noteApplied(m.ET, s.ID)
+	return nil
+}
+
+// applyOps applies the MSet's operations under WU locks taken in sorted
+// object order (total acquisition order prevents deadlock against
+// ε-exhausted queries).  Under timestamp ordering the TO stamps bump
+// before the values change, so queries can bracket their reads.
+func (e *Engine) applyOps(s *replica.Site, m et.MSet) error {
+	e.markTO(s.ID, m)
+	tx := lock.TxID(m.ET)
+	objs := make([]string, 0, len(m.Ops))
+	seen := make(map[string]bool, len(m.Ops))
+	for _, o := range m.Ops {
+		if !seen[o.Object] {
+			seen[o.Object] = true
+			objs = append(objs, o.Object)
+		}
+	}
+	sort.Strings(objs)
+	for _, obj := range objs {
+		if err := s.Locks.Acquire(tx, lock.WU, op.Op{Kind: op.Write, Object: obj}); err != nil {
+			s.Locks.ReleaseAll(tx)
+			return fmt.Errorf("ordup: apply lock on %q: %w", obj, err)
+		}
+	}
+	for _, o := range m.Ops {
+		s.Store.Apply(o)
+	}
+	s.Locks.ReleaseAll(tx)
+	return nil
+}
+
+func (e *Engine) noteApplied(id et.ID, site clock.SiteID) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if pending, ok := e.outstanding[id]; ok {
+		delete(pending, site)
+		if len(pending) == 0 {
+			delete(e.outstanding, id)
+		}
+	}
+}
+
+// AppliedAt reports whether the update ET has been applied at the given
+// site.  Unknown IDs report true.
+func (e *Engine) AppliedAt(id et.ID, site clock.SiteID) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	pending, ok := e.outstanding[id]
+	return !ok || !pending[site]
+}
+
+// heartbeatLoop broadcasts empty MSets from every site while updates are
+// outstanding, providing the "heard from everyone" evidence Lamport-mode
+// delivery needs to release held MSets.
+func (e *Engine) heartbeatLoop() {
+	defer e.hbWG.Done()
+	ticker := time.NewTicker(e.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.hbDone:
+			return
+		case <-ticker.C:
+		}
+		if e.Outstanding() == 0 {
+			continue
+		}
+		for _, id := range e.c.SiteIDs() {
+			// Self-clock to link speed: skip this round if earlier
+			// heartbeats are still queued on a slow link, so heartbeat
+			// traffic can never outrun delivery.
+			if e.c.OutBacklog(id) > 2 {
+				continue
+			}
+			s := e.c.Site(id)
+			st := e.states[id]
+			st.submit.Lock()
+			hb := et.MSet{ET: e.c.NextET(id), Origin: id, TS: s.Clock.Tick()}
+			// Best effort: a partitioned heartbeat just retries through
+			// the stable queue like any other MSet.
+			_ = e.c.Broadcast(hb)
+			st.submit.Unlock()
+		}
+	}
+}
+
+func updateOps(ops []op.Op) []op.Op {
+	out := make([]op.Op, 0, len(ops))
+	for _, o := range ops {
+		if o.Kind.IsUpdate() {
+			out = append(out, o)
+		}
+	}
+	return out
+}

@@ -1,0 +1,422 @@
+package ordup
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/history"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/tsdc"
+)
+
+func newEngine(t *testing.T, sites int, ord Ordering, net network.Config) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Core:      core.Config{Sites: sites, Net: net},
+		Ordering:  ord,
+		Heartbeat: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func quiesce(t *testing.T, e *Engine) {
+	t.Helper()
+	if err := e.Cluster().Quiesce(10 * time.Second); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+}
+
+func TestTraitsMatchPaperTable1(t *testing.T) {
+	e := newEngine(t, 1, Sequencer, network.Config{Seed: 1})
+	tr := e.Traits()
+	if tr.Name != "ORDUP" || tr.Restriction != "message delivery" ||
+		tr.Applicability != "Forwards" || tr.AsyncPropagation != "Query only" ||
+		tr.SortingTime != "at update" {
+		t.Errorf("Traits = %+v does not match Table 1", tr)
+	}
+	if e.Name() != "ORDUP" {
+		t.Errorf("Name() = %q", e.Name())
+	}
+}
+
+func TestUpdatePropagatesToAllSites(t *testing.T) {
+	e := newEngine(t, 3, Sequencer, network.Config{Seed: 1})
+	if _, err := e.Update(1, []op.Op{op.WriteOp("x", 42)}); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	quiesce(t, e)
+	for _, id := range e.Cluster().SiteIDs() {
+		if got := e.Cluster().Site(id).Store.Get("x"); !got.Equal(op.NumValue(42)) {
+			t.Errorf("site %v: x = %v, want 42", id, got)
+		}
+	}
+}
+
+func TestRejectsQueryOnlyUpdate(t *testing.T) {
+	e := newEngine(t, 1, Sequencer, network.Config{Seed: 1})
+	if _, err := e.Update(1, []op.Op{op.ReadOp("x")}); !errors.Is(err, ErrNotUpdate) {
+		t.Errorf("Update(reads only) = %v, want ErrNotUpdate", err)
+	}
+}
+
+func TestUnknownSites(t *testing.T) {
+	e := newEngine(t, 2, Sequencer, network.Config{Seed: 1})
+	if _, err := e.Update(9, []op.Op{op.IncOp("x", 1)}); err == nil {
+		t.Errorf("Update at unknown site must fail")
+	}
+	if _, err := e.Query(9, []string{"x"}, divergence.Unlimited); err == nil {
+		t.Errorf("Query at unknown site must fail")
+	}
+}
+
+// TestNonCommutativeConvergence is ORDUP's raison d'être: interleaved
+// non-commutative updates from different origins still leave all replicas
+// with the same value, because every site applies them in the same global
+// order.
+func TestNonCommutativeConvergence(t *testing.T) {
+	for _, ord := range []Ordering{Sequencer, Lamport} {
+		t.Run(ord.String(), func(t *testing.T) {
+			e := newEngine(t, 4, ord, network.Config{Seed: 3, MinLatency: 100 * time.Microsecond, MaxLatency: 2 * time.Millisecond})
+			var wg sync.WaitGroup
+			for site := 1; site <= 4; site++ {
+				wg.Add(1)
+				go func(site int) {
+					defer wg.Done()
+					for i := 0; i < 10; i++ {
+						var o op.Op
+						if i%2 == 0 {
+							o = op.IncOp("x", int64(site))
+						} else {
+							o = op.MulOp("x", 2)
+						}
+						if _, err := e.Update(clock.SiteID(site), []op.Op{o}); err != nil {
+							t.Errorf("Update: %v", err)
+							return
+						}
+					}
+				}(site)
+			}
+			wg.Wait()
+			quiesce(t, e)
+			ok, obj := e.Cluster().Converged()
+			if !ok {
+				var vals []string
+				for _, id := range e.Cluster().SiteIDs() {
+					vals = append(vals, fmt.Sprintf("%v=%v", id, e.Cluster().Site(id).Store.Get(obj)))
+				}
+				t.Fatalf("replicas diverged on %q: %v", obj, vals)
+			}
+		})
+	}
+}
+
+func TestQueryUnlimitedReadsThrough(t *testing.T) {
+	e := newEngine(t, 2, Sequencer, network.Config{Seed: 1})
+	e.Update(1, []op.Op{op.WriteOp("a", 1), op.WriteOp("b", 2)})
+	quiesce(t, e)
+	res, err := e.Query(2, []string{"a", "b"}, divergence.Unlimited)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("a").Equal(op.NumValue(1)) || !res.Value("b").Equal(op.NumValue(2)) {
+		t.Errorf("query values = %v", res.Values)
+	}
+	if res.Inconsistency != 0 {
+		t.Errorf("quiescent query inconsistency = %d, want 0", res.Inconsistency)
+	}
+	if res.Site != 2 {
+		t.Errorf("result site = %v", res.Site)
+	}
+}
+
+// TestInconsistencyBoundedByEpsilon hammers the cluster with updates
+// while issuing queries at varying ε and asserts the reported
+// inconsistency never exceeds the limit.
+func TestInconsistencyBoundedByEpsilon(t *testing.T) {
+	e := newEngine(t, 3, Sequencer, network.Config{Seed: 5, MinLatency: 50 * time.Microsecond, MaxLatency: 500 * time.Microsecond})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Update(1, []op.Op{op.IncOp("x", 1), op.IncOp("y", 1)})
+			i++
+			if i%10 == 0 {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}()
+	for _, eps := range []divergence.Limit{0, 1, 2, 8} {
+		for i := 0; i < 30; i++ {
+			res, err := e.Query(2, []string{"x", "y"}, eps)
+			if err != nil {
+				t.Fatalf("Query(ε=%v): %v", eps, err)
+			}
+			if !eps.Allows(res.Inconsistency) {
+				t.Fatalf("query imported %d units under ε=%v", res.Inconsistency, eps)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	quiesce(t, e)
+	if ok, obj := e.Cluster().Converged(); !ok {
+		t.Errorf("diverged on %q after quiescence", obj)
+	}
+}
+
+// TestZeroEpsilonQueryIsConsistent checks that an ε=0 query sees a value
+// pair that corresponds to a prefix of the update sequence (x and y are
+// always updated together, so any consistent snapshot has x == y).
+func TestZeroEpsilonQueryIsConsistent(t *testing.T) {
+	e := newEngine(t, 2, Sequencer, network.Config{Seed: 7, MinLatency: 50 * time.Microsecond, MaxLatency: 300 * time.Microsecond})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 300; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Update(1, []op.Op{op.IncOp("x", 1), op.IncOp("y", 1)})
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		res, err := e.Query(2, []string{"x", "y"}, 0)
+		if err != nil {
+			t.Fatalf("Query: %v", err)
+		}
+		x, y := res.Value("x").Num, res.Value("y").Num
+		if x != y {
+			t.Fatalf("ε=0 query saw torn state x=%d y=%d", x, y)
+		}
+		if res.Inconsistency != 0 {
+			t.Fatalf("ε=0 query reported inconsistency %d", res.Inconsistency)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	quiesce(t, e)
+}
+
+// TestHistoryIsEpsilonSerial replays a mixed workload and verifies the
+// recorded global history satisfies the ε-serial definition.
+func TestHistoryIsEpsilonSerial(t *testing.T) {
+	e := newEngine(t, 2, Sequencer, network.Config{Seed: 9})
+	for i := 0; i < 20; i++ {
+		origin := clock.SiteID(i%2 + 1)
+		if _, err := e.Update(origin, []op.Op{op.IncOp("x", 1), op.WriteOp("y", int64(i))}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+		if i%3 == 0 {
+			if _, err := e.Query(origin, []string{"x", "y"}, divergence.Limit(2)); err != nil {
+				t.Fatalf("Query: %v", err)
+			}
+		}
+	}
+	quiesce(t, e)
+	events := e.Cluster().Hist.Events()
+	if !history.IsEpsilonSerial(events) {
+		t.Errorf("recorded history is not ε-serial")
+	}
+	// The update subhistory must be fully serializable (update ETs are SR).
+	if !history.IsSerializable(history.DeleteQueries(events)) {
+		t.Errorf("update ETs are not serializable")
+	}
+}
+
+// TestSequencerUnreachableDuringPartition: ORDUP with a centralized order
+// server cannot commit updates from a site partitioned away from the
+// sequencer — the availability cost of centralized ordering.
+func TestSequencerUnreachableDuringPartition(t *testing.T) {
+	e := newEngine(t, 3, Sequencer, network.Config{Seed: 1})
+	c := e.Cluster()
+	// Partition site 3 alone; the sequencer lives in group 0.
+	c.Net.Partition([]clock.SiteID{1, 2, core.SequencerSite}, []clock.SiteID{3})
+	if _, err := e.Update(3, []op.Op{op.IncOp("x", 1)}); err == nil {
+		t.Fatalf("Update from partitioned site must fail in sequencer mode")
+	}
+	// Majority side keeps committing.
+	if _, err := e.Update(1, []op.Op{op.IncOp("x", 1)}); err != nil {
+		t.Fatalf("Update on sequencer side: %v", err)
+	}
+	c.Net.Heal()
+	quiesce(t, e)
+	if ok, obj := c.Converged(); !ok {
+		t.Errorf("diverged on %q after heal", obj)
+	}
+}
+
+// TestPartitionedReplicaCatchesUp: updates committed during a partition
+// reach the isolated replica after healing (stable-queue retry).
+func TestPartitionedReplicaCatchesUp(t *testing.T) {
+	e := newEngine(t, 3, Sequencer, network.Config{Seed: 1})
+	c := e.Cluster()
+	c.Net.Partition([]clock.SiteID{1, 2, core.SequencerSite}, []clock.SiteID{3})
+	for i := 0; i < 5; i++ {
+		if _, err := e.Update(1, []op.Op{op.IncOp("x", 1)}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	// The isolated site can still answer (stale) queries — read-one
+	// availability.
+	res, err := e.Query(3, []string{"x"}, divergence.Unlimited)
+	if err != nil {
+		t.Fatalf("Query on isolated site: %v", err)
+	}
+	if res.Value("x").Num != 0 {
+		t.Errorf("isolated site should still be stale, x=%v", res.Value("x"))
+	}
+	c.Net.Heal()
+	quiesce(t, e)
+	if got := c.Site(3).Store.Get("x"); !got.Equal(op.NumValue(5)) {
+		t.Errorf("site 3 after heal: x = %v, want 5", got)
+	}
+}
+
+func TestOutstandingDrainsToZero(t *testing.T) {
+	e := newEngine(t, 3, Lamport, network.Config{Seed: 2})
+	for i := 0; i < 10; i++ {
+		if _, err := e.Update(clock.SiteID(i%3+1), []op.Op{op.IncOp("n", 1)}); err != nil {
+			t.Fatalf("Update: %v", err)
+		}
+	}
+	quiesce(t, e)
+	deadline := time.Now().Add(5 * time.Second)
+	for e.Outstanding() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if n := e.Outstanding(); n != 0 {
+		t.Errorf("outstanding = %d after quiescence", n)
+	}
+	for _, id := range e.Cluster().SiteIDs() {
+		if got := e.Cluster().Site(id).Store.Get("n"); !got.Equal(op.NumValue(10)) {
+			t.Errorf("site %v: n = %v, want 10", id, got)
+		}
+	}
+}
+
+func TestOrderingString(t *testing.T) {
+	if Sequencer.String() != "sequencer" || Lamport.String() != "lamport" {
+		t.Errorf("Ordering strings: %v %v", Sequencer, Lamport)
+	}
+}
+
+func newTOEngine(t *testing.T, sites int, net network.Config) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Core:      core.Config{Sites: sites, Net: net},
+		Ordering:  Sequencer,
+		Scheduler: TimestampOrdering,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+func TestSchedulerStrings(t *testing.T) {
+	if TwoPhaseLocking.String() != "two-phase-locking" || TimestampOrdering.String() != "timestamp-ordering" {
+		t.Errorf("Scheduler strings wrong")
+	}
+}
+
+func TestTimestampOrderingBasicQuery(t *testing.T) {
+	e := newTOEngine(t, 2, network.Config{Seed: 1})
+	e.Update(1, []op.Op{op.WriteOp("x", 5)})
+	quiesce(t, e)
+	res, err := e.Query(2, []string{"x"}, 0)
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if !res.Value("x").Equal(op.NumValue(5)) || res.Inconsistency != 0 {
+		t.Errorf("TO query = %v inc=%d", res.Value("x"), res.Inconsistency)
+	}
+}
+
+// TestTimestampOrderingEpsilonBound mirrors the 2PL ε-bound test under
+// the TO scheduler: imported inconsistency never exceeds ε and ε=0
+// queries never see torn co-updated objects.
+func TestTimestampOrderingEpsilonBound(t *testing.T) {
+	e := newTOEngine(t, 2, network.Config{Seed: 7, MinLatency: 50 * time.Microsecond, MaxLatency: 300 * time.Microsecond})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			e.Update(1, []op.Op{op.IncOp("x", 1), op.IncOp("y", 1)})
+		}
+	}()
+	for _, eps := range []divergence.Limit{0, 2, 8} {
+		for i := 0; i < 20; i++ {
+			res, err := e.Query(2, []string{"x", "y"}, eps)
+			if err != nil {
+				t.Fatalf("Query(ε=%v): %v", eps, err)
+			}
+			if !eps.Allows(res.Inconsistency) {
+				t.Fatalf("TO query imported %d under ε=%v", res.Inconsistency, eps)
+			}
+			if eps == 0 && res.Value("x").Num != res.Value("y").Num {
+				t.Fatalf("ε=0 TO query saw torn state x=%d y=%d",
+					res.Value("x").Num, res.Value("y").Num)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	quiesce(t, e)
+	if ok, obj := e.Cluster().Converged(); !ok {
+		t.Errorf("diverged on %q", obj)
+	}
+}
+
+func TestSchedulerStatsTracked(t *testing.T) {
+	e := newTOEngine(t, 2, network.Config{Seed: 2})
+	e.Update(1, []op.Op{op.IncOp("x", 1)})
+	quiesce(t, e)
+	e.Query(2, []string{"x"}, divergence.Unlimited)
+	st := e.SchedulerStats(2)
+	if st.Accepted == 0 {
+		t.Errorf("TO scheduler recorded nothing: %+v", st)
+	}
+	// 2PL engines report zero stats.
+	e2 := newEngine(t, 1, Sequencer, network.Config{Seed: 1})
+	if got := e2.SchedulerStats(1); got != (tsdc.Stats{}) {
+		t.Errorf("2PL SchedulerStats = %+v, want zero", got)
+	}
+}
+
+func TestTOQueryUnknownSite(t *testing.T) {
+	e := newTOEngine(t, 1, network.Config{Seed: 1})
+	if _, err := e.Query(9, []string{"x"}, 0); err == nil {
+		t.Errorf("unknown site must fail")
+	}
+}

@@ -1,0 +1,163 @@
+package ordup
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/lock"
+	"esr/internal/op"
+	"esr/internal/tsdc"
+)
+
+// Scheduler selects the local divergence-control mechanism ORDUP sites
+// use to bound what query ETs see.  The paper presents both: the
+// modified 2PL compatibility of Table 2, and basic timestamp ordering
+// with an ESR twist ("the divergence control increments the
+// inconsistency counter and decides whether to allow the read depending
+// on the specified divergence limit", §3.1).
+type Scheduler int
+
+const (
+	// TwoPhaseLocking uses the Table 2 lock modes (default).
+	TwoPhaseLocking Scheduler = iota
+	// TimestampOrdering uses a basic-TO scheduler: each object carries
+	// the timestamp of its last write; query reads that observe a write
+	// newer than the query's timestamp charge the inconsistency counter.
+	TimestampOrdering
+)
+
+// String implements fmt.Stringer.
+func (s Scheduler) String() string {
+	if s == TimestampOrdering {
+		return "timestamp-ordering"
+	}
+	return "two-phase-locking"
+}
+
+// markTO records an applied MSet in the site's TO scheduler.  Called
+// with the apply already serialized (one MSet at a time per site), so
+// rejections cannot occur: applies arrive in global order, hence in
+// non-decreasing TO timestamps.
+func (e *Engine) markTO(site clock.SiteID, m et.MSet) {
+	sched := e.tos[site]
+	if sched == nil {
+		return
+	}
+	ts := e.toTS(m)
+	for _, o := range m.Ops {
+		if o.Kind.IsUpdate() {
+			sched.WriteU(o.Object, ts)
+		}
+	}
+}
+
+// toTS derives the TO timestamp of an MSet: the global sequence number
+// under sequencer ordering (gap-free and monotone at every site), the
+// Lamport timestamp otherwise.
+func (e *Engine) toTS(m et.MSet) clock.Timestamp {
+	if e.cfg.Ordering == Sequencer {
+		return clock.Timestamp{Time: m.Seq}
+	}
+	return m.TS
+}
+
+// highWater returns the site's current query timestamp: everything
+// applied at the site is at or below it.
+func (e *Engine) highWater(site clock.SiteID) clock.Timestamp {
+	if e.cfg.Ordering == Sequencer {
+		st := e.states[site]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		return clock.Timestamp{Time: st.next - 1}
+	}
+	return e.c.Site(site).Clock.Now()
+}
+
+// queryTO executes a query ET under basic-TO divergence control: reads
+// validate against per-object write timestamps, out-of-order
+// observations charge the ε counter, and when the budget is exhausted
+// the query falls back to the serialized (RU-locked) path.
+func (e *Engine) queryTO(site clock.SiteID, objects []string, eps divergence.Limit) (et.QueryResult, error) {
+	s := e.c.Site(site)
+	if s == nil {
+		return et.QueryResult{}, fmt.Errorf("ordup: unknown site %v", site)
+	}
+	sched := e.tos[site]
+	qid := e.c.NextET(site)
+	counter := divergence.NewCounter(eps)
+	sorted := append([]string(nil), objects...)
+	sort.Strings(sorted)
+
+	for attempt := 0; attempt < 3; attempt++ {
+		qts := e.highWater(site)
+		vals := make(map[string]op.Value, len(sorted))
+		outOfOrder := 0
+		for _, obj := range sorted {
+			// Double-check pattern: the applier bumps the TO timestamp
+			// before writing the value, so equal before/after stamps
+			// bracket a consistent (timestamp, value) observation.
+			var v op.Value
+			var wts clock.Timestamp
+			for {
+				_, t1 := sched.ObjectTS(obj)
+				v = s.Store.Get(obj)
+				_, t2 := sched.ObjectTS(obj)
+				if t1 == t2 {
+					wts = t2
+					break
+				}
+			}
+			vals[obj] = v
+			if qts.Less(wts) {
+				outOfOrder++
+			}
+		}
+		if outOfOrder == 0 || counter.TryAdd(outOfOrder) {
+			for _, obj := range sorted {
+				e.c.RecordQueryRead(qid, obj)
+			}
+			return et.QueryResult{
+				Values:        vals,
+				Inconsistency: counter.Count(),
+				Epsilon:       eps,
+				Site:          site,
+			}, nil
+		}
+		// Budget refused the charge: wait for the backlog on these
+		// objects to drain and retry with a fresh timestamp.
+		for _, obj := range sorted {
+			s.WaitDrained(obj, 50*time.Millisecond)
+		}
+	}
+	// Final fallback: join the update serialization order with RU locks,
+	// exactly like the 2PL conservative path.
+	tx := lock.TxID(qid)
+	defer s.Locks.ReleaseAll(tx)
+	vals := make(map[string]op.Value, len(sorted))
+	for _, obj := range sorted {
+		if err := s.Locks.Acquire(tx, lock.RU, op.ReadOp(obj)); err != nil {
+			return et.QueryResult{}, fmt.Errorf("ordup: TO fallback lock on %q: %w", obj, err)
+		}
+		vals[obj] = s.Store.Get(obj)
+		e.c.RecordQueryRead(qid, obj)
+	}
+	return et.QueryResult{
+		Values:        vals,
+		Inconsistency: counter.Count(),
+		Epsilon:       eps,
+		Site:          site,
+	}, nil
+}
+
+// SchedulerStats returns the TO scheduler decision counters for a site
+// (zero stats under 2PL).
+func (e *Engine) SchedulerStats(site clock.SiteID) tsdc.Stats {
+	if sched := e.tos[site]; sched != nil {
+		return sched.Stats()
+	}
+	return tsdc.Stats{}
+}

@@ -1,0 +1,317 @@
+// Package policy implements Wiederhold & Qian's identity-connection
+// update-propagation classes on top of epsilon-transactions.
+//
+// The paper positions ETs as the implementation vehicle for these
+// specifications (§5.1): "While immediate updates are done within
+// standard transactions (ETs with no divergence), deferred updates
+// correspond to ETs with deadlines.  Similarly, independent updates
+// correspond to ETs applied periodically, and potentially inconsistent
+// updates to ETs with backward replica control."
+//
+// A Propagator wraps any engine and offers the four classes:
+//
+//   - Immediate: the update returns only once applied at every replica —
+//     an ET with no divergence window.
+//   - Deferred: the update propagates asynchronously under a deadline;
+//     the propagator reports whether each deadline was met.
+//   - Independent: updates buffer locally and flush as one ET per period.
+//   - PotentiallyInconsistent: a tentative COMPE update resolved later
+//     by Commit or Abort.
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/compe"
+	"esr/internal/core"
+	"esr/internal/et"
+	"esr/internal/op"
+)
+
+// Class names the four propagation classes of §5.1.
+type Class int
+
+const (
+	// Immediate updates complete synchronously at all replicas.
+	Immediate Class = iota
+	// Deferred updates propagate asynchronously under a deadline.
+	Deferred
+	// Independent updates are batched and applied periodically.
+	Independent
+	// PotentiallyInconsistent updates run optimistically with backward
+	// replica control.
+	PotentiallyInconsistent
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Immediate:
+		return "immediate"
+	case Deferred:
+		return "deferred"
+	case Independent:
+		return "independent"
+	case PotentiallyInconsistent:
+		return "potentially-inconsistent"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// appliedTracker is implemented by engines that track per-ET global
+// application (ORDUP, COMMU, RITU).
+type appliedTracker interface {
+	AppliedEverywhere(id et.ID) bool
+}
+
+// Errors returned by the Propagator.
+var (
+	// ErrDeadlineUnsupported reports that the engine cannot track
+	// per-ET application, so deadlines cannot be monitored.
+	ErrDeadlineUnsupported = errors.New("policy: engine does not track per-ET application")
+	// ErrNeedsCOMPE reports that PotentiallyInconsistent requires a
+	// COMPE engine.
+	ErrNeedsCOMPE = errors.New("policy: potentially-inconsistent updates require the COMPE method")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("policy: propagator stopped")
+)
+
+// Stats counts propagation outcomes.
+type Stats struct {
+	Immediate    uint64
+	Deferred     uint64
+	DeadlinesMet uint64
+	Missed       uint64 // deferred updates not applied everywhere by their deadline
+	Batches      uint64 // independent-class flushes
+	BatchedOps   uint64
+	Tentative    uint64
+}
+
+// Config parameterizes a Propagator.
+type Config struct {
+	// Period is the independent-class flush interval (default 10ms).
+	Period time.Duration
+	// ImmediateTimeout bounds Immediate's wait (default 30s).
+	ImmediateTimeout time.Duration
+}
+
+// Propagator applies the four propagation classes over one engine.
+type Propagator struct {
+	eng core.Engine
+	cfg Config
+
+	mu      sync.Mutex
+	pending map[clock.SiteID][]op.Op // independent-class buffers
+	stats   Stats
+	stopped bool
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New wraps an engine.  Call Stop when done.
+func New(eng core.Engine, cfg Config) *Propagator {
+	if cfg.Period <= 0 {
+		cfg.Period = 10 * time.Millisecond
+	}
+	if cfg.ImmediateTimeout <= 0 {
+		cfg.ImmediateTimeout = 30 * time.Second
+	}
+	p := &Propagator{
+		eng:     eng,
+		cfg:     cfg,
+		pending: make(map[clock.SiteID][]op.Op),
+		done:    make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.flushLoop()
+	return p
+}
+
+// Stats returns a snapshot of the propagator's counters.
+func (p *Propagator) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// Immediate executes the update and blocks until it is applied at every
+// replica — "ETs with no divergence".
+func (p *Propagator) Immediate(origin clock.SiteID, ops []op.Op) (et.ID, error) {
+	id, err := p.eng.Update(origin, ops)
+	if err != nil {
+		return 0, err
+	}
+	if err := p.waitApplied(id, p.cfg.ImmediateTimeout); err != nil {
+		return id, err
+	}
+	p.mu.Lock()
+	p.stats.Immediate++
+	p.mu.Unlock()
+	return id, nil
+}
+
+// Deferred executes the update asynchronously and monitors its deadline:
+// if the update has not been applied everywhere when the deadline
+// expires, the miss is counted (and reported through Stats).  The
+// returned channel yields true if the deadline was met.
+func (p *Propagator) Deferred(origin clock.SiteID, ops []op.Op, deadline time.Duration) (et.ID, <-chan bool, error) {
+	tracker, ok := p.eng.(appliedTracker)
+	if !ok {
+		return 0, nil, ErrDeadlineUnsupported
+	}
+	id, err := p.eng.Update(origin, ops)
+	if err != nil {
+		return 0, nil, err
+	}
+	p.mu.Lock()
+	p.stats.Deferred++
+	p.mu.Unlock()
+	met := make(chan bool, 1)
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		expire := time.NewTimer(deadline)
+		defer expire.Stop()
+		tick := time.NewTicker(200 * time.Microsecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.done:
+				met <- tracker.AppliedEverywhere(id)
+				return
+			case <-expire.C:
+				ok := tracker.AppliedEverywhere(id)
+				p.mu.Lock()
+				if ok {
+					p.stats.DeadlinesMet++
+				} else {
+					p.stats.Missed++
+				}
+				p.mu.Unlock()
+				met <- ok
+				return
+			case <-tick.C:
+				if tracker.AppliedEverywhere(id) {
+					p.mu.Lock()
+					p.stats.DeadlinesMet++
+					p.mu.Unlock()
+					met <- true
+					return
+				}
+			}
+		}
+	}()
+	return id, met, nil
+}
+
+// Independent buffers the operations at the origin; the buffered batch
+// is applied as a single update ET once per period — "ETs applied
+// periodically".
+func (p *Propagator) Independent(origin clock.SiteID, ops []op.Op) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	p.pending[origin] = append(p.pending[origin], ops...)
+	return nil
+}
+
+// Tentative starts a potentially-inconsistent update: a COMPE saga step
+// to be resolved with the engine's Commit/Abort.
+func (p *Propagator) Tentative(origin clock.SiteID, ops []op.Op) (et.ID, error) {
+	ce, ok := p.eng.(*compe.Engine)
+	if !ok {
+		return 0, ErrNeedsCOMPE
+	}
+	id, err := ce.Begin(origin, ops)
+	if err != nil {
+		return 0, err
+	}
+	p.mu.Lock()
+	p.stats.Tentative++
+	p.mu.Unlock()
+	return id, nil
+}
+
+// Flush forces all independent-class buffers out immediately.
+func (p *Propagator) Flush() error {
+	p.mu.Lock()
+	batches := p.pending
+	p.pending = make(map[clock.SiteID][]op.Op)
+	p.mu.Unlock()
+	var firstErr error
+	for origin, ops := range batches {
+		if len(ops) == 0 {
+			continue
+		}
+		if _, err := p.eng.Update(origin, ops); err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("policy: flush at %v: %w", origin, err)
+			}
+			// Re-buffer so the ops are not lost; they flush next round.
+			p.mu.Lock()
+			p.pending[origin] = append(ops, p.pending[origin]...)
+			p.mu.Unlock()
+			continue
+		}
+		p.mu.Lock()
+		p.stats.Batches++
+		p.stats.BatchedOps += uint64(len(ops))
+		p.mu.Unlock()
+	}
+	return firstErr
+}
+
+// Stop flushes outstanding independent batches and shuts the propagator
+// down.
+func (p *Propagator) Stop() error {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return nil
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	close(p.done)
+	err := p.Flush()
+	p.wg.Wait()
+	return err
+}
+
+func (p *Propagator) flushLoop() {
+	defer p.wg.Done()
+	ticker := time.NewTicker(p.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-ticker.C:
+			p.Flush()
+		}
+	}
+}
+
+func (p *Propagator) waitApplied(id et.ID, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	if tracker, ok := p.eng.(appliedTracker); ok {
+		for !tracker.AppliedEverywhere(id) {
+			if time.Now().After(deadline) {
+				return fmt.Errorf("policy: immediate update %v not applied everywhere within %v", id, timeout)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		return nil
+	}
+	// Fall back to global quiescence for engines without per-ET
+	// tracking (synchronous baselines are already immediate; COMPE
+	// quiesces).
+	return p.eng.Cluster().Quiesce(timeout)
+}

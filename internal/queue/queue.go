@@ -1,0 +1,433 @@
+// Package queue implements the stable queues the paper assumes for MSet
+// propagation (§2.2): persistent FIFO queues that survive crashes and
+// support at-least-once delivery with duplicate suppression.
+//
+// "We assume the system maintains the unprocessed MSets in some stable
+// storage, such as stable queues [5] and persistent pipes [17]."
+//
+// Two implementations are provided: Mem, an in-memory queue for tests and
+// simulations that do not model crashes, and File, a journal-backed queue
+// whose contents survive Close/reopen (the crash model used by the failure
+// injection tests).  A Delivery agent drains a queue through an unreliable
+// send function, retrying until each message is acknowledged.
+package queue
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Message is one element of a stable queue.  IDs must be unique per queue;
+// enqueueing an ID the queue has already seen (even if since acknowledged)
+// is a no-op, which gives producers idempotent retry.
+type Message struct {
+	// ID uniquely identifies the message within its queue.
+	ID uint64
+	// Payload is the opaque message body (typically a gob-encoded MSet).
+	Payload []byte
+}
+
+// ErrClosed is returned by operations on a closed queue.
+var ErrClosed = errors.New("queue: closed")
+
+// Queue is a stable FIFO with acknowledge-to-remove semantics.
+// Implementations must be safe for concurrent use.
+type Queue interface {
+	// Enqueue appends the message unless its ID has been seen before.
+	Enqueue(Message) error
+	// Peek returns the oldest unacknowledged message without removing it.
+	// ok is false when the queue is empty.
+	Peek() (m Message, ok bool, err error)
+	// Ack removes the message with the given ID.  Acking an unknown or
+	// already-acked ID is a no-op.
+	Ack(id uint64) error
+	// All returns a snapshot of every unacknowledged message in FIFO
+	// order.  Consumers that must process messages out of arrival order
+	// (ORDUP's hold-back delivery) scan All instead of Peek.
+	All() ([]Message, error)
+	// Len reports the number of unacknowledged messages.
+	Len() int
+	// Close releases resources.  A File queue can be reopened afterwards.
+	Close() error
+}
+
+// Mem is an in-memory Queue.  The zero value is not usable; call NewMem.
+type Mem struct {
+	mu     sync.Mutex
+	items  []Message
+	seen   map[uint64]bool
+	closed bool
+}
+
+// NewMem returns an empty in-memory stable queue.
+func NewMem() *Mem {
+	return &Mem{seen: make(map[uint64]bool)}
+}
+
+// Enqueue implements Queue.
+func (q *Mem) Enqueue(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.seen[m.ID] {
+		return nil
+	}
+	q.seen[m.ID] = true
+	q.items = append(q.items, m)
+	return nil
+}
+
+// Peek implements Queue.
+func (q *Mem) Peek() (Message, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Message{}, false, ErrClosed
+	}
+	if len(q.items) == 0 {
+		return Message{}, false, nil
+	}
+	return q.items[0], true, nil
+}
+
+// Ack implements Queue.
+func (q *Mem) Ack(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	for i, m := range q.items {
+		if m.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			return nil
+		}
+	}
+	return nil
+}
+
+// All implements Queue.
+func (q *Mem) All() ([]Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	return append([]Message(nil), q.items...), nil
+}
+
+// Len implements Queue.
+func (q *Mem) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close implements Queue.
+func (q *Mem) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.closed = true
+	return nil
+}
+
+// record is one journal entry.
+type record struct {
+	Ack bool
+	Msg Message // Msg.ID only for acks
+}
+
+// File is a journal-backed Queue.  Every Enqueue and Ack is appended to
+// the journal as a length-prefixed gob record and flushed before
+// returning; Open replays the journal to rebuild in-memory state, so a
+// crash (simulated by Close or by simply abandoning the handle) loses
+// nothing that was acknowledged to the caller.  A torn final record — the
+// artifact of a crash mid-write — is detected by the length prefix and
+// truncated away during replay.
+type File struct {
+	mu     sync.Mutex
+	f      *os.File
+	items  []Message
+	seen   map[uint64]bool
+	closed bool
+}
+
+// Open opens (creating if necessary) the journal at path and replays it.
+func Open(path string) (*File, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("queue: open journal: %w", err)
+	}
+	q := &File{f: f, seen: make(map[uint64]bool)}
+	if err := q.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return q, nil
+}
+
+func (q *File) replay() error {
+	if _, err := q.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("queue: seek journal: %w", err)
+	}
+	br := bufio.NewReader(q.f)
+	var good int64 // offset just past the last complete record
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
+			break // EOF or torn length prefix
+		}
+		n := binary.LittleEndian.Uint32(lenBuf[:])
+		body := make([]byte, n)
+		if _, err := io.ReadFull(br, body); err != nil {
+			break // torn body
+		}
+		var r record
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
+			break // corrupt record
+		}
+		good += 4 + int64(n)
+		if r.Ack {
+			for i, m := range q.items {
+				if m.ID == r.Msg.ID {
+					q.items = append(q.items[:i], q.items[i+1:]...)
+					break
+				}
+			}
+		} else if !q.seen[r.Msg.ID] {
+			q.seen[r.Msg.ID] = true
+			q.items = append(q.items, r.Msg)
+		}
+	}
+	if err := q.f.Truncate(good); err != nil {
+		return fmt.Errorf("queue: truncate torn journal tail: %w", err)
+	}
+	if _, err := q.f.Seek(good, io.SeekStart); err != nil {
+		return fmt.Errorf("queue: seek after replay: %w", err)
+	}
+	return nil
+}
+
+func (q *File) append(r record) error {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(r); err != nil {
+		return fmt.Errorf("queue: encode journal record: %w", err)
+	}
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+	if _, err := q.f.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("queue: journal append: %w", err)
+	}
+	if _, err := q.f.Write(body.Bytes()); err != nil {
+		return fmt.Errorf("queue: journal append: %w", err)
+	}
+	if err := q.f.Sync(); err != nil {
+		return fmt.Errorf("queue: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Enqueue implements Queue.
+func (q *File) Enqueue(m Message) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if q.seen[m.ID] {
+		return nil
+	}
+	if err := q.append(record{Msg: m}); err != nil {
+		return err
+	}
+	q.seen[m.ID] = true
+	q.items = append(q.items, m)
+	return nil
+}
+
+// Peek implements Queue.
+func (q *File) Peek() (Message, bool, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return Message{}, false, ErrClosed
+	}
+	if len(q.items) == 0 {
+		return Message{}, false, nil
+	}
+	return q.items[0], true, nil
+}
+
+// Ack implements Queue.
+func (q *File) Ack(id uint64) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	found := false
+	for i, m := range q.items {
+		if m.ID == id {
+			q.items = append(q.items[:i], q.items[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil
+	}
+	return q.append(record{Ack: true, Msg: Message{ID: id}})
+}
+
+// All implements Queue.
+func (q *File) All() ([]Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	return append([]Message(nil), q.items...), nil
+}
+
+// Len implements Queue.
+func (q *File) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close implements Queue.
+func (q *File) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil
+	}
+	q.closed = true
+	return q.f.Close()
+}
+
+// Delivery pumps messages from a stable queue through an unreliable send
+// function, in FIFO order, retrying each message until send succeeds, then
+// acknowledging it.  This is the "persistently retry message delivery
+// until successful" contract of §2.2.
+type Delivery struct {
+	q       Queue
+	send    func(Message) error
+	backoff time.Duration
+	maxWait time.Duration
+
+	mu      sync.Mutex
+	kick    chan struct{}
+	done    chan struct{}
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+// NewDelivery creates a delivery agent draining q through send.  backoff
+// is the initial retry delay after a failed send; it doubles up to
+// maxWait.  Call Start to begin pumping and Stop to shut down.
+func NewDelivery(q Queue, send func(Message) error, backoff, maxWait time.Duration) *Delivery {
+	if backoff <= 0 {
+		backoff = time.Millisecond
+	}
+	if maxWait < backoff {
+		maxWait = backoff
+	}
+	return &Delivery{
+		q: q, send: send, backoff: backoff, maxWait: maxWait,
+		kick: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the pump goroutine.
+func (d *Delivery) Start() {
+	d.wg.Add(1)
+	go d.run()
+}
+
+// Kick wakes the pump immediately, typically after an Enqueue or a
+// partition heal.
+func (d *Delivery) Kick() {
+	select {
+	case d.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Stop shuts the pump down and waits for it to exit.
+func (d *Delivery) Stop() {
+	d.mu.Lock()
+	if !d.stopped {
+		d.stopped = true
+		close(d.done)
+	}
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+func (d *Delivery) run() {
+	defer d.wg.Done()
+	wait := d.backoff
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		m, ok, err := d.q.Peek()
+		if err != nil {
+			return // queue closed
+		}
+		if ok {
+			if err := d.send(m); err == nil {
+				if err := d.q.Ack(m.ID); err != nil {
+					return
+				}
+				wait = d.backoff
+				continue
+			}
+			// send failed: back off, then retry the same head message.
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(wait)
+			select {
+			case <-d.done:
+				return
+			case <-timer.C:
+			case <-d.kick:
+			}
+			wait *= 2
+			if wait > d.maxWait {
+				wait = d.maxWait
+			}
+			continue
+		}
+		// Queue empty: sleep until kicked or a poll interval passes.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(d.backoff)
+		select {
+		case <-d.done:
+			return
+		case <-d.kick:
+		case <-timer.C:
+		}
+	}
+}

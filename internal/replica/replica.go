@@ -1,0 +1,345 @@
+// Package replica provides the per-site chassis every replica-control
+// method builds on: the local stores, lock manager, inbound stable queue,
+// and the MSet processor goroutine.
+//
+// A Site executes the "MSet processing" step of the paper's framework
+// (§2.4).  The method plugs in an ApplyFunc; the processor drains the
+// inbound stable queue through it.  An ApplyFunc may return ErrHold to
+// signal that an MSet is not yet eligible (ORDUP's in-order delivery,
+// §3.1: "Each site simply waits for the next MSet in the execution
+// sequence to show up before running other MSets") — the processor then
+// skips it and retries after other MSets have been applied.
+package replica
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/lock"
+	"esr/internal/queue"
+	"esr/internal/storage"
+	"esr/internal/trace"
+)
+
+// ErrHold is returned by an ApplyFunc to defer an MSet without error.
+var ErrHold = errors.New("replica: mset held back")
+
+// ApplyFunc applies one MSet at a site.  nil means applied (the MSet is
+// acknowledged and removed); ErrHold means not yet eligible; any other
+// error is recorded and the MSet retried later.
+type ApplyFunc func(m et.MSet) error
+
+// Stats are cumulative per-site counters.
+type Stats struct {
+	Received uint64 // MSets accepted into the inbound queue
+	Applied  uint64 // MSets applied
+	Held     uint64 // hold-back decisions
+	Errors   uint64 // apply errors (excluding holds)
+}
+
+// Site is one replica site.
+type Site struct {
+	// ID is the site's identifier.
+	ID clock.SiteID
+	// Store is the single-version local store.
+	Store *storage.Store
+	// MV is the multi-version local store (used by RITU).
+	MV *storage.MVStore
+	// Locks is the site's lock manager.
+	Locks *lock.Manager
+	// Clock is the site's Lamport clock.
+	Clock *clock.Lamport
+	// Trace, when non-nil, receives receive/hold/apply events.  Set it
+	// before Start.
+	Trace *trace.Ring
+
+	in    queue.Queue
+	apply ApplyFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	pending  map[string]int    // object -> queued-but-unapplied update ETs touching it
+	epoch    map[string]uint64 // object -> update ETs applied here touching it
+	stats    Stats
+	seen     map[uint64]bool    // message IDs accepted (mirrors queue dedup)
+	decoded  map[uint64]et.MSet // decode-once cache, evicted on ack
+	heldOnce map[uint64]bool    // messages whose first hold was traced
+
+	kick chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewSite assembles a site around an inbound stable queue and a lock
+// table.  Call SetApply and Start before delivering MSets.
+func NewSite(id clock.SiteID, in queue.Queue, table lock.Table) *Site {
+	s := &Site{
+		ID:       id,
+		Store:    storage.NewStore(),
+		MV:       storage.NewMVStore(),
+		Locks:    lock.NewManager(table),
+		Clock:    clock.NewLamport(id),
+		in:       in,
+		pending:  make(map[string]int),
+		epoch:    make(map[string]uint64),
+		seen:     make(map[uint64]bool),
+		decoded:  make(map[uint64]et.MSet),
+		heldOnce: make(map[uint64]bool),
+		kick:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// SetApply installs the method-specific MSet executor.  Must be called
+// before Start.
+func (s *Site) SetApply(f ApplyFunc) { s.apply = f }
+
+// Start launches the MSet processor.
+func (s *Site) Start() {
+	if s.apply == nil {
+		panic("replica: Start before SetApply")
+	}
+	s.wg.Add(1)
+	go s.run()
+}
+
+// Stop shuts the processor down and waits for it.
+func (s *Site) Stop() {
+	select {
+	case <-s.done:
+	default:
+		close(s.done)
+	}
+	s.wg.Wait()
+	s.Locks.Close()
+}
+
+// Receive accepts an MSet message into the inbound stable queue.  It is
+// the site's network handler: idempotent under redelivery, and it wakes
+// the processor.  The payload must be an encoded et.MSet.
+func (s *Site) Receive(msg queue.Message) error {
+	m, err := et.DecodeMSet(msg.Payload)
+	if err != nil {
+		return fmt.Errorf("site %v: reject malformed mset: %w", s.ID, err)
+	}
+	if err := s.in.Enqueue(msg); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if !s.seen[msg.ID] {
+		s.seen[msg.ID] = true
+		s.decoded[msg.ID] = m
+		s.stats.Received++
+		for _, obj := range updateObjects(m) {
+			s.pending[obj]++
+		}
+		// Lamport receive rule: fold the MSet's timestamp into the local
+		// clock so later local events order after it.
+		s.Clock.Observe(m.TS)
+		s.Trace.Recordf(trace.Receive, int(s.ID), m.ET.String(), "queue=%d", s.in.Len())
+	}
+	s.mu.Unlock()
+	s.Kick()
+	return nil
+}
+
+// Kick wakes the processor.
+func (s *Site) Kick() {
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Pending reports how many update ETs are queued here, unapplied, that
+// touch the object.  Queries use it to price staleness.
+func (s *Site) Pending(object string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pending[object]
+}
+
+// QueueLen reports the number of unapplied MSets in the inbound queue.
+func (s *Site) QueueLen() int { return s.in.Len() }
+
+// Epoch returns the count of update ETs applied at this site that touched
+// the object.  The difference between two Epoch readings bounds the
+// update ETs a query overlapped on that object.
+func (s *Site) Epoch(object string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch[object]
+}
+
+// Stats returns a snapshot of the site's counters.
+func (s *Site) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// WaitDrained blocks until no unapplied update MSet touching the object
+// remains, or the timeout elapses.  This is the conservative path a query
+// takes when its inconsistency counter is exhausted — it waits until it
+// is effectively "running in the global order" (§3.1).
+func (s *Site) WaitDrained(object string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending[object] > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("site %v: object %q still has %d pending updates after %v",
+				s.ID, object, s.pending[object], timeout)
+		}
+		// cond.Wait has no deadline; poll with a helper waker.
+		waker := time.AfterFunc(time.Millisecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+	return nil
+}
+
+func (s *Site) run() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(500 * time.Microsecond)
+	defer ticker.Stop()
+	for {
+		progress := s.pass()
+		if progress {
+			continue
+		}
+		select {
+		case <-s.done:
+			return
+		case <-s.kick:
+		case <-ticker.C:
+		}
+	}
+}
+
+// pass scans the inbound queue once, applying every eligible MSet.
+func (s *Site) pass() bool {
+	msgs, err := s.in.All()
+	if err != nil {
+		return false
+	}
+	progress := false
+	for _, msg := range msgs {
+		select {
+		case <-s.done:
+			return false
+		default:
+		}
+		s.mu.Lock()
+		m, ok := s.decoded[msg.ID]
+		s.mu.Unlock()
+		if !ok {
+			// Cache miss (queue recovered from a journal after restart):
+			// decode and repopulate.
+			var err error
+			m, err = et.DecodeMSet(msg.Payload)
+			if err != nil {
+				// Malformed payloads are dropped (they passed Receive,
+				// so this indicates corruption; keeping them would wedge
+				// the queue).
+				s.in.Ack(msg.ID)
+				s.bump(func(st *Stats) { st.Errors++ })
+				continue
+			}
+			s.mu.Lock()
+			s.decoded[msg.ID] = m
+			s.mu.Unlock()
+		}
+		switch err := s.apply(m); {
+		case err == nil:
+			if err := s.in.Ack(msg.ID); err == nil {
+				s.applied(m)
+				s.Trace.Record(trace.Apply, int(s.ID), m.ET.String(), "")
+				s.mu.Lock()
+				delete(s.decoded, msg.ID)
+				delete(s.heldOnce, msg.ID)
+				s.mu.Unlock()
+				progress = true
+			}
+		case errors.Is(err, ErrHold):
+			s.bump(func(st *Stats) { st.Held++ })
+			s.mu.Lock()
+			first := !s.heldOnce[msg.ID]
+			s.heldOnce[msg.ID] = true
+			s.mu.Unlock()
+			if first {
+				s.Trace.Recordf(trace.Hold, int(s.ID), m.ET.String(), "seq=%d", m.Seq)
+			}
+		default:
+			s.bump(func(st *Stats) { st.Errors++ })
+		}
+	}
+	return progress
+}
+
+func (s *Site) applied(m et.MSet) {
+	s.mu.Lock()
+	s.stats.Applied++
+	for _, obj := range updateObjects(m) {
+		if s.pending[obj] > 0 {
+			s.pending[obj]--
+		}
+		s.epoch[obj]++
+	}
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+func (s *Site) bump(f func(*Stats)) {
+	s.mu.Lock()
+	f(&s.stats)
+	s.mu.Unlock()
+}
+
+// updateObjects returns the distinct objects the MSet updates.
+func updateObjects(m et.MSet) []string {
+	seen := make(map[string]bool, len(m.Ops))
+	var out []string
+	for _, o := range m.Ops {
+		if o.Kind.IsUpdate() && !seen[o.Object] {
+			seen[o.Object] = true
+			out = append(out, o.Object)
+		}
+	}
+	return out
+}
+
+// Reload rebuilds the site's in-memory indexes (dedup set, decode cache,
+// pending counts) from the contents of its inbound queue.  It is used
+// when a site restarts over a journal-backed queue: the queue's messages
+// survived the crash, but the indexes did not.  Call before Start.
+func (s *Site) Reload() error {
+	msgs, err := s.in.All()
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, msg := range msgs {
+		if s.seen[msg.ID] {
+			continue
+		}
+		m, err := et.DecodeMSet(msg.Payload)
+		if err != nil {
+			continue // dropped by the processor later
+		}
+		s.seen[msg.ID] = true
+		s.decoded[msg.ID] = m
+		for _, obj := range updateObjects(m) {
+			s.pending[obj]++
+		}
+		s.Clock.Observe(m.TS)
+	}
+	return nil
+}

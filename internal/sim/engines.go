@@ -1,0 +1,80 @@
+// Package sim provides the workload generator, metrics collection and
+// experiment harness that regenerate the paper's tables and validate its
+// claims (see DESIGN.md's experiment index).
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"esr/internal/coherency"
+	"esr/internal/commu"
+	"esr/internal/compe"
+	"esr/internal/core"
+	"esr/internal/network"
+	"esr/internal/ordup"
+	"esr/internal/ritu"
+)
+
+// EngineKind names a runnable engine configuration.
+type EngineKind string
+
+// Engine kinds accepted by NewEngine.
+const (
+	ORDUPSeq     EngineKind = "ordup"         // ORDUP with the centralized sequencer
+	ORDUPLamport EngineKind = "ordup-lamport" // ORDUP with Lamport ordering
+	COMMU        EngineKind = "commu"         // commutative operations
+	RITUSV       EngineKind = "ritu"          // RITU, single-version (Thomas write rule)
+	RITUMV       EngineKind = "ritu-mv"       // RITU, multi-version with VTNC
+	COMPE        EngineKind = "compe"         // compensation, commutative discipline
+	COMPEGeneral EngineKind = "compe-general" // compensation, general discipline
+	TwoPC        EngineKind = "2pc"           // baseline: 2PC read-one-write-all
+	QuorumMaj    EngineKind = "quorum"        // baseline: majority quorum voting
+)
+
+// AllMethods lists the paper's four replica-control methods in Table 1
+// order.
+var AllMethods = []EngineKind{ORDUPSeq, COMMU, RITUSV, COMPE}
+
+// Options tunes engine construction beyond the common knobs.
+type Options struct {
+	// CounterLimit throttles COMMU updates (0 disables).
+	CounterLimit int
+	// Heartbeat overrides the ORDUP Lamport heartbeat interval.
+	Heartbeat time.Duration
+	// QueueDir makes stable queues journal-backed.
+	QueueDir string
+	// Trace enables event tracing with a ring of this capacity.
+	Trace int
+}
+
+// NewEngine constructs an engine of the given kind over a fresh cluster.
+func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (core.Engine, error) {
+	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace}
+	switch kind {
+	case ORDUPSeq:
+		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})
+	case ORDUPLamport:
+		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Lamport, Heartbeat: opt.Heartbeat})
+	case COMMU:
+		return commu.New(commu.Config{Core: cc, CounterLimit: opt.CounterLimit})
+	case RITUSV:
+		return ritu.New(ritu.Config{Core: cc, Mode: ritu.SingleVersion})
+	case RITUMV:
+		return ritu.New(ritu.Config{Core: cc, Mode: ritu.MultiVersion})
+	case COMPE:
+		return compe.New(compe.Config{Core: cc, Mode: compe.Commutative, AutoCommit: true})
+	case COMPEGeneral:
+		return compe.New(compe.Config{Core: cc, Mode: compe.General, AutoCommit: true})
+	case TwoPC:
+		return coherency.New(coherency.Config{Core: cc, Protocol: coherency.TwoPC})
+	case QuorumMaj:
+		maj := sites/2 + 1
+		return coherency.New(coherency.Config{
+			Core: cc, Protocol: coherency.Quorum,
+			ReadQuorum: maj, WriteQuorum: maj,
+		})
+	default:
+		return nil, fmt.Errorf("sim: unknown engine kind %q", kind)
+	}
+}

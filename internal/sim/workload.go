@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"esr/internal/core"
+	"esr/internal/divergence"
+	"esr/internal/op"
+)
+
+// OpBuilder produces one update operation for an object; methods differ
+// in which operations they admit.
+type OpBuilder func(rng *rand.Rand, object string) op.Op
+
+// AdditiveOps builds increments — valid under every method except RITU.
+func AdditiveOps(rng *rand.Rand, object string) op.Op {
+	return op.IncOp(object, int64(1+rng.Intn(10)))
+}
+
+// BlindWriteOps builds blind writes — the RITU discipline (also valid
+// under ORDUP, COMPE-general, and the baselines).
+func BlindWriteOps(rng *rand.Rand, object string) op.Op {
+	return op.WriteOp(object, rng.Int63n(1_000_000))
+}
+
+// Workload describes a closed-loop client mix run against an engine.
+type Workload struct {
+	// Seed makes client behaviour reproducible.
+	Seed int64
+	// Clients is the number of concurrent closed-loop clients,
+	// round-robined across sites.
+	Clients int
+	// OpsPerClient is how many ETs each client issues.
+	OpsPerClient int
+	// Objects is the size of the object universe ("obj-0" ...).
+	Objects int
+	// QueryFraction is the probability an ET is a query.
+	QueryFraction float64
+	// OpsPerUpdate is how many operations an update ET carries.
+	OpsPerUpdate int
+	// ObjectsPerQuery is how many objects a query ET reads.
+	ObjectsPerQuery int
+	// Skew, when > 1, draws objects from a Zipf distribution with that
+	// s parameter instead of uniformly: low-numbered objects become hot.
+	Skew float64
+	// Epsilon is the ε limit query ETs run under.
+	Epsilon divergence.Limit
+	// Build produces update operations (default AdditiveOps).
+	Build OpBuilder
+	// Pace, when positive, sleeps between a client's ETs so open-loop
+	// production cannot outrun the simulated links.
+	Pace time.Duration
+}
+
+// Result aggregates a workload run.
+type Result struct {
+	Method        string
+	Sites         int
+	Updates       int // committed update ETs
+	Queries       int // completed query ETs
+	UpdateErrors  int
+	QueryErrors   int
+	Elapsed       time.Duration // workload phase only
+	UpdateLatency LatencyStats
+	QueryLatency  LatencyStats
+	Inconsistency IntStats      // per-query imported inconsistency
+	ConvergeIn    time.Duration // quiesce duration after the workload
+	Converged     bool
+}
+
+// UpdateThroughput returns committed updates per second during the
+// workload phase.
+func (r Result) UpdateThroughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Updates) / r.Elapsed.Seconds()
+}
+
+// LatencyStats summarizes a latency sample.
+type LatencyStats struct {
+	N        int
+	Mean     time.Duration
+	P95, Max time.Duration
+}
+
+// IntStats summarizes an integer sample.
+type IntStats struct {
+	N    int
+	Sum  int
+	Mean float64
+	Max  int
+}
+
+func summarizeLatency(ds []time.Duration) LatencyStats {
+	if len(ds) == 0 {
+		return LatencyStats{}
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return LatencyStats{
+		N:    len(sorted),
+		Mean: sum / time.Duration(len(sorted)),
+		P95:  sorted[(len(sorted)*95)/100],
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+func summarizeInts(xs []int) IntStats {
+	st := IntStats{N: len(xs)}
+	for _, x := range xs {
+		st.Sum += x
+		if x > st.Max {
+			st.Max = x
+		}
+	}
+	if st.N > 0 {
+		st.Mean = float64(st.Sum) / float64(st.N)
+	}
+	return st
+}
+
+// Run executes the workload against the engine, then waits for
+// quiescence and verifies convergence.
+func Run(e core.Engine, w Workload) (Result, error) {
+	if w.Clients <= 0 {
+		w.Clients = 1
+	}
+	if w.OpsPerClient <= 0 {
+		w.OpsPerClient = 10
+	}
+	if w.Objects <= 0 {
+		w.Objects = 4
+	}
+	if w.OpsPerUpdate <= 0 {
+		w.OpsPerUpdate = 1
+	}
+	if w.ObjectsPerQuery <= 0 {
+		w.ObjectsPerQuery = 1
+	}
+	if w.Build == nil {
+		w.Build = AdditiveOps
+	}
+	sites := e.Cluster().SiteIDs()
+
+	type clientOut struct {
+		updates, queries      int
+		updateErrs, queryErrs int
+		updateLat, queryLat   []time.Duration
+		inconsistency         []int
+	}
+	outs := make([]clientOut, w.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for ci := 0; ci < w.Clients; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(w.Seed + int64(ci)*7919))
+			var zipf *rand.Zipf
+			if w.Skew > 1 {
+				zipf = rand.NewZipf(rng, w.Skew, 1, uint64(w.Objects-1))
+			}
+			pick := func(n int) []string { return pickObjects(rng, zipf, w.Objects, n) }
+			site := sites[ci%len(sites)]
+			out := &outs[ci]
+			for i := 0; i < w.OpsPerClient; i++ {
+				if rng.Float64() < w.QueryFraction {
+					objs := pick(w.ObjectsPerQuery)
+					t0 := time.Now()
+					res, err := e.Query(site, objs, w.Epsilon)
+					if err != nil {
+						out.queryErrs++
+					} else {
+						out.queries++
+						out.queryLat = append(out.queryLat, time.Since(t0))
+						out.inconsistency = append(out.inconsistency, res.Inconsistency)
+					}
+				} else {
+					ops := make([]op.Op, w.OpsPerUpdate)
+					objs := pick(w.OpsPerUpdate)
+					for j := range ops {
+						ops[j] = w.Build(rng, objs[j%len(objs)])
+					}
+					t0 := time.Now()
+					if _, err := e.Update(site, ops); err != nil {
+						out.updateErrs++
+					} else {
+						out.updates++
+						out.updateLat = append(out.updateLat, time.Since(t0))
+					}
+				}
+				if w.Pace > 0 {
+					time.Sleep(w.Pace)
+				}
+			}
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res := Result{Method: e.Name(), Sites: len(sites), Elapsed: elapsed}
+	var updateLat, queryLat []time.Duration
+	var inc []int
+	for i := range outs {
+		res.Updates += outs[i].updates
+		res.Queries += outs[i].queries
+		res.UpdateErrors += outs[i].updateErrs
+		res.QueryErrors += outs[i].queryErrs
+		updateLat = append(updateLat, outs[i].updateLat...)
+		queryLat = append(queryLat, outs[i].queryLat...)
+		inc = append(inc, outs[i].inconsistency...)
+	}
+	res.UpdateLatency = summarizeLatency(updateLat)
+	res.QueryLatency = summarizeLatency(queryLat)
+	res.Inconsistency = summarizeInts(inc)
+
+	t0 := time.Now()
+	if err := e.Cluster().Quiesce(60 * time.Second); err != nil {
+		return res, fmt.Errorf("sim: post-workload quiesce: %w", err)
+	}
+	res.ConvergeIn = time.Since(t0)
+	// Engines that deliberately write only a quorum (weighted voting with
+	// w < n) are correct without all-replica identity; their staleness is
+	// masked by quorum reads, so the identity check does not apply.
+	if pw, ok := e.(interface{ PartialWrites() bool }); ok && pw.PartialWrites() {
+		res.Converged = true
+		return res, nil
+	}
+	ok, obj := e.Cluster().Converged()
+	res.Converged = ok
+	if !ok {
+		return res, fmt.Errorf("sim: replicas diverged on %q after quiescence", obj)
+	}
+	return res, nil
+}
+
+func pickObjects(rng *rand.Rand, zipf *rand.Zipf, universe, n int) []string {
+	if n > universe {
+		n = universe
+	}
+	seen := make(map[int]bool, n)
+	out := make([]string, 0, n)
+	for len(out) < n {
+		var k int
+		if zipf != nil {
+			k = int(zipf.Uint64())
+		} else {
+			k = rng.Intn(universe)
+		}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, objName(k))
+	}
+	return out
+}
+
+func objName(k int) string { return fmt.Sprintf("obj-%d", k) }

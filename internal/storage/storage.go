@@ -1,0 +1,311 @@
+// Package storage provides the per-site object stores used by the replica
+// layer.
+//
+// Store is a single-version store with optional timestamped overwrite
+// semantics (the Thomas write rule RITU's single-version mode needs,
+// §3.3: "An RITU update trying to overwrite a newer version is ignored").
+// MVStore is a multi-version store with a visible transaction number
+// counter (VTNC) after the Modular Synchronization Method the paper cites
+// for RITU's multi-version mode: versions at or below the VTNC are stable
+// and yield serializable reads; versions above it are visible only to
+// queries willing to pay inconsistency for freshness.
+package storage
+
+import (
+	"sort"
+	"sync"
+
+	"esr/internal/clock"
+	"esr/internal/op"
+)
+
+// Store is a single-version object store.  The zero value is not usable;
+// call NewStore.  It is safe for concurrent use.
+type Store struct {
+	mu    sync.RWMutex
+	cells map[string]cell
+}
+
+type cell struct {
+	val     op.Value
+	writeTS clock.Timestamp // timestamp of the last timestamped write
+}
+
+// NewStore returns an empty store.  Objects spring into existence with
+// the zero value on first access.
+func NewStore() *Store {
+	return &Store{cells: make(map[string]cell)}
+}
+
+// Get returns the current value of the object (zero Value if never
+// written).
+func (s *Store) Get(object string) op.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cells[object].val.Clone()
+}
+
+// Apply applies the operation to its object and returns the new value.
+// Read returns the current value unchanged.
+func (s *Store) Apply(o op.Op) op.Value {
+	if o.Kind == op.Read {
+		return s.Get(o.Object)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[o.Object]
+	c.val = op.ApplyFull(o, c.val)
+	s.cells[o.Object] = c
+	return c.val.Clone()
+}
+
+// ApplyTimestamped applies a timestamped blind write under the Thomas
+// write rule: the write takes effect only if its timestamp is newer than
+// the object's last write timestamp.  It reports whether the write was
+// applied (false means it was ignored as stale).  Non-Write operations
+// are applied unconditionally, like Apply.
+func (s *Store) ApplyTimestamped(o op.Op) bool {
+	if o.Kind == op.Read {
+		return true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[o.Object]
+	if o.Kind == op.Write && !o.TS.IsZero() {
+		if !c.writeTS.Less(o.TS) {
+			return false // stale write: ignore (Thomas write rule)
+		}
+		c.writeTS = o.TS
+	}
+	c.val = op.ApplyFull(o, c.val)
+	s.cells[o.Object] = c
+	return true
+}
+
+// SetVersioned installs a full value under a version number with
+// last-writer-wins semantics: the write takes effect only if version is
+// strictly newer than the object's current version.  Quorum voting
+// (weighted voting baselines) uses it to install version-stamped copies.
+func (s *Store) SetVersioned(object string, v op.Value, version uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.cells[object]
+	if c.writeTS.Time >= version {
+		return false
+	}
+	c.writeTS = clock.Timestamp{Time: version}
+	c.val = v.Clone()
+	s.cells[object] = c
+	return true
+}
+
+// Version returns the object's current version number as installed by
+// SetVersioned (0 if never versioned).
+func (s *Store) Version(object string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cells[object].writeTS.Time
+}
+
+// WriteTS returns the timestamp of the last applied timestamped write to
+// the object (zero if none).
+func (s *Store) WriteTS(object string) clock.Timestamp {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cells[object].writeTS
+}
+
+// Objects returns the names of all objects that have been written, in
+// sorted order.
+func (s *Store) Objects() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.cells))
+	for k := range s.cells {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns a deep copy of the store's contents.
+func (s *Store) Snapshot() map[string]op.Value {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]op.Value, len(s.cells))
+	for k, c := range s.cells {
+		out[k] = c.val.Clone()
+	}
+	return out
+}
+
+// Version is one committed version of an object in an MVStore.
+type Version struct {
+	// TS is the version's timestamp; versions of an object are totally
+	// ordered by TS.
+	TS clock.Timestamp
+	// Val is the full object value as of this version.
+	Val op.Value
+}
+
+// MVStore is a multi-version object store with VTNC visibility control.
+// It is safe for concurrent use.
+type MVStore struct {
+	mu   sync.RWMutex
+	objs map[string][]Version // sorted ascending by TS
+	vtnc clock.Timestamp
+}
+
+// NewMVStore returns an empty multi-version store with a zero VTNC.
+func NewMVStore() *MVStore {
+	return &MVStore{objs: make(map[string][]Version)}
+}
+
+// Install inserts a version.  Installing a version with a timestamp the
+// object already has replaces that version's value — which is exactly the
+// compensation mechanism §4.2 describes: "adding another version with the
+// same timestamp but bearing the previous value".  Install is idempotent
+// for identical (ts, val) pairs, giving at-least-once MSet delivery a
+// safe landing.
+func (m *MVStore) Install(object string, ts clock.Timestamp, val op.Value) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs := m.objs[object]
+	i := sort.Search(len(vs), func(i int) bool { return !vs[i].TS.Less(ts) })
+	if i < len(vs) && vs[i].TS == ts {
+		vs[i].Val = val.Clone()
+		m.objs[object] = vs
+		return
+	}
+	vs = append(vs, Version{})
+	copy(vs[i+1:], vs[i:])
+	vs[i] = Version{TS: ts, Val: val.Clone()}
+	m.objs[object] = vs
+}
+
+// Delete removes the version with the given timestamp, if present, and
+// reports whether it did.  This is the other compensation mechanism of
+// §4.2 ("deleting the version").
+func (m *MVStore) Delete(object string, ts clock.Timestamp) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	vs := m.objs[object]
+	for i, v := range vs {
+		if v.TS == ts {
+			m.objs[object] = append(vs[:i], vs[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// SetVTNC advances the visible transaction number counter.  The VTNC
+// never moves backwards; attempts to lower it are ignored.
+func (m *MVStore) SetVTNC(ts clock.Timestamp) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.vtnc.Less(ts) {
+		m.vtnc = ts
+	}
+}
+
+// VTNC returns the current visible transaction number counter.
+func (m *MVStore) VTNC() clock.Timestamp {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.vtnc
+}
+
+// ReadVisible returns the newest version at or below the VTNC.  ok is
+// false if the object has no such version.  Reads through ReadVisible are
+// serializable (§3.3: the VTNC "produces SR queries").
+func (m *MVStore) ReadVisible(object string) (Version, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return latestAtOrBelow(m.objs[object], m.vtnc)
+}
+
+// ReadAt returns the newest version at or below the given timestamp.
+func (m *MVStore) ReadAt(object string, ts clock.Timestamp) (Version, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return latestAtOrBelow(m.objs[object], ts)
+}
+
+// ReadLatest returns the newest version of the object regardless of the
+// VTNC, along with beyond=true when that version is newer than the VTNC —
+// i.e. when reading it would cost the query one unit of inconsistency.
+func (m *MVStore) ReadLatest(object string) (v Version, beyond, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	vs := m.objs[object]
+	if len(vs) == 0 {
+		return Version{}, false, false
+	}
+	v = vs[len(vs)-1]
+	v.Val = v.Val.Clone()
+	return v, m.vtnc.Less(v.TS), true
+}
+
+// Versions returns a copy of the object's full version chain, oldest
+// first.
+func (m *MVStore) Versions(object string) []Version {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	vs := m.objs[object]
+	out := make([]Version, len(vs))
+	for i, v := range vs {
+		out[i] = Version{TS: v.TS, Val: v.Val.Clone()}
+	}
+	return out
+}
+
+// Objects returns the names of all objects with at least one version, in
+// sorted order.
+func (m *MVStore) Objects() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.objs))
+	for k := range m.objs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// GC discards all versions strictly older than the newest version at or
+// below the horizon, per object.  The newest version ≤ horizon must be
+// kept because it remains readable.  It returns the number of versions
+// collected.
+func (m *MVStore) GC(horizon clock.Timestamp) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int
+	for obj, vs := range m.objs {
+		// Index of newest version ≤ horizon.
+		keep := -1
+		for i, v := range vs {
+			if !horizon.Less(v.TS) {
+				keep = i
+			} else {
+				break
+			}
+		}
+		if keep > 0 {
+			n += keep
+			m.objs[obj] = append([]Version(nil), vs[keep:]...)
+		}
+	}
+	return n
+}
+
+func latestAtOrBelow(vs []Version, ts clock.Timestamp) (Version, bool) {
+	// Versions are sorted ascending; find the last with TS <= ts.
+	i := sort.Search(len(vs), func(i int) bool { return ts.Less(vs[i].TS) })
+	if i == 0 {
+		return Version{}, false
+	}
+	v := vs[i-1]
+	v.Val = v.Val.Clone()
+	return v, true
+}

@@ -1,0 +1,113 @@
+// Package tabular renders plain-text tables in the style of the paper's
+// Tables 1–3, for the benchmark harness and the experiment reports.
+package tabular
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given title and column headers.
+func New(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row.  Missing cells render empty; extra cells are
+// kept and widen the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells, each built with fmt.Sprint.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if n := utf8.RuneCountInString(c); n > widths[i] {
+				widths[i] = n
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	if t.title != "" {
+		fmt.Fprintf(w, "%s\n", t.title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			pad := widths[i] - utf8.RuneCountInString(cell)
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprint(w, cell, strings.Repeat(" ", pad))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		total := 0
+		for _, wd := range widths {
+			total += wd
+		}
+		fmt.Fprintln(w, strings.Repeat("-", total+2*(cols-1)))
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+// JSON renders the table as a JSON object with "title", "headers" and
+// "rows" keys, for machine consumption of experiment results.
+func (t *Table) JSON() ([]byte, error) {
+	type doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	d := doc{Title: t.title, Headers: t.headers, Rows: t.rows}
+	if d.Headers == nil {
+		d.Headers = []string{}
+	}
+	if d.Rows == nil {
+		d.Rows = [][]string{}
+	}
+	return json.MarshalIndent(d, "", "  ")
+}

@@ -1,0 +1,116 @@
+package tabular
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestBasicAlignment(t *testing.T) {
+	tab := New("My Title", "col1", "column-two")
+	tab.AddRow("a", "b")
+	tab.AddRow("longer-cell", "x")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if lines[0] != "My Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "col1") {
+		t.Errorf("header line = %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "---") {
+		t.Errorf("separator line = %q", lines[2])
+	}
+	// All data rows must start their second column at the same offset.
+	off := strings.Index(lines[3], "b")
+	if off < 0 || strings.Index(lines[4], "x") != off {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestAddRowf(t *testing.T) {
+	tab := New("", "n", "ok")
+	tab.AddRowf(42, true)
+	if !strings.Contains(tab.String(), "42") || !strings.Contains(tab.String(), "true") {
+		t.Errorf("AddRowf output = %q", tab.String())
+	}
+}
+
+func TestMissingAndExtraCells(t *testing.T) {
+	tab := New("", "a", "b")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "extra")
+	out := tab.String()
+	if !strings.Contains(out, "extra") {
+		t.Errorf("extra cell dropped:\n%s", out)
+	}
+	if !strings.Contains(out, "only-one") {
+		t.Errorf("short row dropped:\n%s", out)
+	}
+}
+
+func TestUnicodeWidths(t *testing.T) {
+	tab := New("", "ε", "value")
+	tab.AddRow("∞", "1")
+	tab.AddRow("0", "2")
+	out := tab.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// The numeric column must align in RUNE offsets (display columns)
+	// even with multi-byte runes in column 1.
+	runeIndex := func(s, sub string) int {
+		i := strings.Index(s, sub)
+		if i < 0 {
+			return -1
+		}
+		return len([]rune(s[:i]))
+	}
+	if runeIndex(lines[2], "1") != runeIndex(lines[3], "2") {
+		t.Errorf("unicode width handling broken:\n%s", out)
+	}
+}
+
+func TestNoTitleNoHeaders(t *testing.T) {
+	tab := New("")
+	tab.AddRow("just", "data")
+	out := tab.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("no separator expected without headers:\n%s", out)
+	}
+	if !strings.HasPrefix(out, "just") {
+		t.Errorf("output = %q", out)
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := New("T", "h")
+	tab.AddRow("v")
+	var sb strings.Builder
+	tab.Render(&sb)
+	if sb.String() != tab.String() {
+		t.Errorf("Render and String disagree")
+	}
+}
+
+func TestJSON(t *testing.T) {
+	tab := New("T1", "a", "b")
+	tab.AddRow("1", "2")
+	out, err := tab.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var doc struct {
+		Title   string     `json:"title"`
+		Headers []string   `json:"headers"`
+		Rows    [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(out, &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if doc.Title != "T1" || len(doc.Headers) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" {
+		t.Errorf("JSON round trip = %+v", doc)
+	}
+	empty := New("")
+	if out, err := empty.JSON(); err != nil || !json.Valid(out) {
+		t.Errorf("empty table JSON = %s, %v", out, err)
+	}
+}

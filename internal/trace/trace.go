@@ -1,0 +1,184 @@
+// Package trace provides lightweight, lock-cheap event tracing for the
+// replicated system: a fixed-size ring buffer of structured events that
+// engines and the chassis emit at the interesting points of an MSet's
+// life (commit, send, receive, hold, apply, compensate) and of queries
+// (priced read, conservative fallback).
+//
+// Tracing answers the questions that metrics aggregate away — "why did
+// this MSet wait 40 ms at site 3?", "which query paid the ε budget?" —
+// without external dependencies.  A nil *Ring is valid and records
+// nothing, so call sites never need nil checks.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind string
+
+// Event kinds emitted by the chassis and engines.
+const (
+	// Commit: an update ET committed at its origin.
+	Commit Kind = "commit"
+	// Enqueue: an MSet entered an outbound stable queue.
+	Enqueue Kind = "enqueue"
+	// Receive: an MSet entered a site's inbound queue.
+	Receive Kind = "receive"
+	// Hold: a site's apply deferred the MSet (ordering hold-back).
+	Hold Kind = "hold"
+	// Apply: a site applied the MSet.
+	Apply Kind = "apply"
+	// Compensate: a site undid an aborted MSet.
+	Compensate Kind = "compensate"
+	// QueryCharged: a read imported inconsistency units.
+	QueryCharged Kind = "query-charged"
+	// QueryFallback: a read took the conservative (serialized) path.
+	QueryFallback Kind = "query-fallback"
+)
+
+// Event is one trace record.
+type Event struct {
+	// Seq is the event's position in the trace (monotone).
+	Seq uint64
+	// At is the wall-clock capture time.
+	At time.Time
+	// Kind classifies the event.
+	Kind Kind
+	// Site is where it happened (0 for origin-less events).
+	Site int
+	// ET names the epsilon-transaction involved, if any.
+	ET string
+	// Detail carries event-specific context ("seq=12", "cost=2", ...).
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s site%d %s %s %s",
+		e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET, e.Detail)
+}
+
+// Ring is a fixed-capacity circular trace buffer.  It is safe for
+// concurrent use; a nil *Ring discards all events.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Event
+	next uint64 // total events ever recorded
+}
+
+// NewRing returns a ring holding the most recent capacity events.
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record appends an event.  Safe on a nil ring (no-op).
+func (r *Ring) Record(kind Kind, site int, et string, detail string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e := Event{Seq: r.next, At: time.Now(), Kind: kind, Site: site, ET: et, Detail: detail}
+	r.buf[r.next%uint64(len(r.buf))] = e
+	r.next++
+	r.mu.Unlock()
+}
+
+// Recordf is Record with a formatted detail string.  Safe on nil.
+func (r *Ring) Recordf(kind Kind, site int, et string, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.Record(kind, site, et, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of events currently retained.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.next < uint64(len(r.buf)) {
+		return int(r.next)
+	}
+	return len(r.buf)
+}
+
+// Total reports the number of events ever recorded, including those the
+// ring has since overwritten.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	count := r.next
+	if r.next > n {
+		start = r.next - n
+		count = n
+	}
+	out := make([]Event, 0, count)
+	for i := start; i < r.next; i++ {
+		out = append(out, r.buf[i%n])
+	}
+	return out
+}
+
+// Filter returns the retained events matching every given predicate.
+func (r *Ring) Filter(preds ...func(Event) bool) []Event {
+	var out []Event
+	for _, e := range r.Snapshot() {
+		ok := true
+		for _, p := range preds {
+			if !p(e) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// ByKind is a Filter predicate matching one kind.
+func ByKind(k Kind) func(Event) bool {
+	return func(e Event) bool { return e.Kind == k }
+}
+
+// BySite is a Filter predicate matching one site.
+func BySite(site int) func(Event) bool {
+	return func(e Event) bool { return e.Site == site }
+}
+
+// ByET is a Filter predicate matching one epsilon-transaction.
+func ByET(et string) func(Event) bool {
+	return func(e Event) bool { return e.ET == et }
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Ring) Dump(w io.Writer) {
+	for _, e := range r.Snapshot() {
+		fmt.Fprintln(w, e)
+	}
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRingIsSafe(t *testing.T) {
+	var r *Ring
+	r.Record(Apply, 1, "et1.1", "x")
+	r.Recordf(Hold, 2, "et1.2", "seq=%d", 4)
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Errorf("nil ring reported events")
+	}
+	if r.Snapshot() != nil {
+		t.Errorf("nil ring snapshot not nil")
+	}
+	if got := r.Filter(ByKind(Apply)); got != nil {
+		t.Errorf("nil ring filter = %v", got)
+	}
+}
+
+func TestRecordAndSnapshotOrder(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Recordf(Apply, i, "et", "n=%d", i)
+	}
+	if r.Len() != 5 || r.Total() != 5 {
+		t.Fatalf("Len=%d Total=%d", r.Len(), r.Total())
+	}
+	snap := r.Snapshot()
+	for i, e := range snap {
+		if e.Seq != uint64(i) || e.Site != i {
+			t.Errorf("snapshot[%d] = %+v", i, e)
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Recordf(Receive, i, "et", "n=%d", i)
+	}
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", r.Len())
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	snap := r.Snapshot()
+	if snap[0].Seq != 6 || snap[3].Seq != 9 {
+		t.Errorf("retained window = [%d..%d], want [6..9]", snap[0].Seq, snap[3].Seq)
+	}
+}
+
+func TestFilters(t *testing.T) {
+	r := NewRing(16)
+	r.Record(Apply, 1, "a", "")
+	r.Record(Hold, 1, "b", "")
+	r.Record(Apply, 2, "a", "")
+	if got := len(r.Filter(ByKind(Apply))); got != 2 {
+		t.Errorf("ByKind(Apply) = %d", got)
+	}
+	if got := len(r.Filter(BySite(1))); got != 2 {
+		t.Errorf("BySite(1) = %d", got)
+	}
+	if got := len(r.Filter(ByET("a"), BySite(2))); got != 1 {
+		t.Errorf("combined filter = %d", got)
+	}
+}
+
+func TestDumpAndString(t *testing.T) {
+	r := NewRing(4)
+	r.Record(QueryCharged, 3, "et1.9", "cost=2")
+	var sb strings.Builder
+	r.Dump(&sb)
+	out := sb.String()
+	for _, want := range []string{"site3", "query-charged", "et1.9", "cost=2", "#0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestZeroCapacityDefaults(t *testing.T) {
+	r := NewRing(0)
+	r.Record(Apply, 1, "x", "")
+	if r.Len() != 1 {
+		t.Errorf("default-capacity ring dropped the event")
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRing(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Recordf(Apply, g, "et", "i=%d", i)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Total() != 800 {
+		t.Errorf("Total = %d, want 800", r.Total())
+	}
+	snap := r.Snapshot()
+	if len(snap) != 128 {
+		t.Errorf("retained = %d, want 128", len(snap))
+	}
+	// Sequence numbers in a snapshot are strictly increasing.
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq <= snap[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d", i)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package tsdc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"esr/internal/clock"
+	"esr/internal/divergence"
+)
+
+func ts(t uint64) clock.Timestamp { return clock.Timestamp{Time: t, Site: 1} }
+
+func TestInOrderAccessesAccepted(t *testing.T) {
+	s := New()
+	if err := s.ReadU("x", ts(1)); err != nil {
+		t.Fatalf("ReadU: %v", err)
+	}
+	if ok, err := s.WriteU("x", ts(2)); err != nil || !ok {
+		t.Fatalf("WriteU = %v/%v", ok, err)
+	}
+	if err := s.ReadU("x", ts(3)); err != nil {
+		t.Fatalf("later ReadU: %v", err)
+	}
+	st := s.Stats()
+	if st.Accepted != 3 || st.Rejected != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLateUpdateReadRejected(t *testing.T) {
+	s := New()
+	s.WriteU("x", ts(10))
+	if err := s.ReadU("x", ts(5)); !errors.Is(err, ErrTooLate) {
+		t.Errorf("late ReadU = %v, want ErrTooLate", err)
+	}
+	if st := s.Stats(); st.Rejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestLateWriteAfterReadRejected(t *testing.T) {
+	s := New()
+	s.ReadU("x", ts(10))
+	if _, err := s.WriteU("x", ts(5)); !errors.Is(err, ErrTooLate) {
+		t.Errorf("write under a younger read = %v, want ErrTooLate", err)
+	}
+}
+
+func TestThomasWriteRuleIgnoresStaleWrite(t *testing.T) {
+	s := New()
+	s.WriteU("x", ts(10))
+	applied, err := s.WriteU("x", ts(5))
+	if err != nil {
+		t.Fatalf("stale write must not error: %v", err)
+	}
+	if applied {
+		t.Errorf("stale write must be ignored, not applied")
+	}
+	if st := s.Stats(); st.Ignored != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	// The newer write timestamp survives.
+	if _, w := s.ObjectTS("x"); w != ts(10) {
+		t.Errorf("writeTS = %v", w)
+	}
+}
+
+func TestQueryReadInOrderIsFree(t *testing.T) {
+	s := New()
+	s.WriteU("x", ts(5))
+	c := divergence.NewCounter(0)
+	if err := s.ReadQ("x", ts(9), c); err != nil {
+		t.Fatalf("in-order ReadQ: %v", err)
+	}
+	if c.Count() != 0 {
+		t.Errorf("in-order read charged %d", c.Count())
+	}
+}
+
+func TestQueryReadOutOfOrderCharges(t *testing.T) {
+	s := New()
+	s.WriteU("x", ts(10))
+	c := divergence.NewCounter(2)
+	if err := s.ReadQ("x", ts(5), c); err != nil {
+		t.Fatalf("out-of-order ReadQ within budget: %v", err)
+	}
+	if c.Count() != 1 {
+		t.Errorf("charge = %d, want 1", c.Count())
+	}
+	if st := s.Stats(); st.Charged != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueryReadRefusedPastBudget(t *testing.T) {
+	s := New()
+	s.WriteU("x", ts(10))
+	s.WriteU("y", ts(10))
+	c := divergence.NewCounter(1)
+	if err := s.ReadQ("x", ts(5), c); err != nil {
+		t.Fatalf("first out-of-order read: %v", err)
+	}
+	if err := s.ReadQ("y", ts(5), c); !errors.Is(err, ErrBudget) {
+		t.Errorf("second out-of-order read = %v, want ErrBudget", err)
+	}
+	// Retrying with a current timestamp (the global-order fallback)
+	// succeeds for free.
+	if err := s.ReadQ("y", ts(11), c); err != nil {
+		t.Errorf("fresh-timestamp retry: %v", err)
+	}
+	if c.Count() != 1 {
+		t.Errorf("count = %d after refusal+retry, want 1", c.Count())
+	}
+}
+
+func TestQueryReadsDoNotBlockWriters(t *testing.T) {
+	s := New()
+	c := divergence.NewCounter(divergence.Unlimited)
+	// A query read at a high timestamp must not force later lower-ts
+	// writers to abort (unlike ReadU, which advances readTS).
+	if err := s.ReadQ("x", ts(100), c); err != nil {
+		t.Fatalf("ReadQ: %v", err)
+	}
+	if ok, err := s.WriteU("x", ts(50)); err != nil || !ok {
+		t.Errorf("writer after query read = %v/%v, want applied", ok, err)
+	}
+}
+
+func TestUpdateSchedulePropertySR(t *testing.T) {
+	// Any schedule the scheduler fully accepts for update ETs must be
+	// equivalent to timestamp order: verify the final write timestamp
+	// per object equals the max accepted write ts.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		s := New()
+		maxApplied := map[string]uint64{}
+		for i := 0; i < 30; i++ {
+			obj := []string{"a", "b"}[rng.Intn(2)]
+			tstamp := uint64(1 + rng.Intn(20))
+			if rng.Intn(2) == 0 {
+				s.ReadU(obj, ts(tstamp))
+			} else if ok, err := s.WriteU(obj, ts(tstamp)); err == nil && ok {
+				if tstamp > maxApplied[obj] {
+					maxApplied[obj] = tstamp
+				}
+			}
+		}
+		for obj, want := range maxApplied {
+			if _, w := s.ObjectTS(obj); w.Time != want {
+				t.Fatalf("trial %d: %s writeTS = %v, want %d", trial, obj, w, want)
+			}
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c := divergence.NewCounter(divergence.Unlimited)
+			for i := 0; i < 200; i++ {
+				tstamp := ts(uint64(g*1000 + i))
+				switch i % 3 {
+				case 0:
+					s.WriteU("hot", tstamp)
+				case 1:
+					s.ReadU("hot", tstamp)
+				default:
+					s.ReadQ("hot", tstamp, c)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Accepted+st.Rejected+st.Ignored+st.Charged == 0 {
+		t.Errorf("no decisions recorded: %+v", st)
+	}
+}
+
+func TestObjectTSUnknownObject(t *testing.T) {
+	s := New()
+	r, w := s.ObjectTS("nope")
+	if !r.IsZero() || !w.IsZero() {
+		t.Errorf("unknown object TS = %v/%v", r, w)
+	}
+}
