@@ -1,0 +1,44 @@
+# ESR build and correctness gate.
+#
+# `make check` is the full gate CI runs: build, go vet, esrvet (the
+# project-specific analyzers A1–A5), the test suite, and the race
+# detector over the concurrency-bearing packages.
+
+GO ?= go
+
+# Packages whose goroutine/lock structure warrants the race detector on
+# every run: the lock manager, the simulated network, the stable queues,
+# the transaction core, and the replica state machine.
+RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/core/... ./internal/replica/...
+
+.PHONY: all build test race vet esrvet check fuzz clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+vet:
+	$(GO) vet ./...
+
+# esrvet runs from source so the gate never depends on a stale binary.
+esrvet:
+	$(GO) run ./cmd/esrvet ./...
+
+check: build vet esrvet test race
+
+# Short fuzz bursts over the history parser and checkers; the corpus
+# seeds also run as plain tests under `make test`.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/history/ -run=^$$ -fuzz=FuzzParse -fuzztime=$(FUZZTIME)
+
+clean:
+	$(GO) clean ./...
+	rm -f esrvet

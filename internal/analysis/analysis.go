@@ -1,0 +1,169 @@
+// Package analysis implements esrvet, the project-specific static
+// analyzer for the ESR codebase.
+//
+// The paper's correctness argument rests on invariants the Go compiler
+// cannot see: every lock.Manager acquisition must be released on every
+// return path (strict 2PL's shrinking phase), COMMU's relaxed WU/WU
+// compatibility (Table 3) is only sound for operations registered as
+// commutative, and the asynchronous-propagation results are only
+// trustworthy if the simulator is deterministic.  Each analyzer in this
+// package machine-checks one of those invariants:
+//
+//	A1 lock-pairing      — lock.Manager Acquire/TryAcquire matched by
+//	                       ReleaseAll (and sync.Mutex Lock by Unlock) on
+//	                       all return paths, defer-aware.
+//	A2 mutex-by-value    — no sync.Mutex/RWMutex (or struct containing
+//	                       one, e.g. lock.Manager) copied by value.
+//	A3 commu-registration — every operation kind declared in internal/op
+//	                       appears in the commutativity relation and has
+//	                       a compensation inverse (Table 3 soundness).
+//	A4 sim-determinism   — time.Now/Since/Until and math/rand global
+//	                       functions are banned inside internal/sim,
+//	                       internal/network and internal/tabular, so
+//	                       simulations and table regeneration stay
+//	                       reproducible.
+//	A5 goroutine-leak    — goroutines spawned in internal/network and
+//	                       internal/queue must have a visible join or
+//	                       cancellation (WaitGroup.Done, done-channel
+//	                       receive, or ctx.Done).
+//
+// Analyzers are pure functions from a typed package to a list of
+// diagnostics.  A finding can be suppressed with a trailing comment
+// directive on the offending line (or the line above it):
+//
+//	//esrvet:ignore A1 reason why this is safe
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string // "A1".."A5"
+	Message string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Analyzer is one esrvet rule.
+type Analyzer struct {
+	// Rule is the stable rule ID ("A1".."A5").
+	Rule string
+	// Name is a short slug (used in -only filters).
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one typed package.
+	Run func(p *Package) []Diagnostic
+}
+
+// All returns every analyzer in rule order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		LockPairing,
+		MutexByValue,
+		CommuRegistration,
+		SimDeterminism,
+		GoroutineLeak,
+	}
+}
+
+// RunAll applies every analyzer to every package, filters findings
+// suppressed by //esrvet:ignore directives, and returns the remainder
+// sorted by position.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		ignores := ignoreDirectives(p)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if ignores.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// ignoreSet records, per file and line, which rules are suppressed.
+type ignoreSet map[string]map[int]map[string]bool
+
+func (s ignoreSet) suppressed(d Diagnostic) bool {
+	byLine := s[d.Pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	rules := byLine[d.Pos.Line]
+	return rules != nil && (rules["all"] || rules[d.Rule])
+}
+
+// ignoreDirectives collects //esrvet:ignore comments.  A directive
+// suppresses the named rules (space-separated; "all" suppresses every
+// rule) on its own line and on the following line, so it can trail the
+// offending statement or sit on the line above it.
+func ignoreDirectives(p *Package) ignoreSet {
+	set := make(ignoreSet)
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//esrvet:ignore")
+				if !ok {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				byLine := set[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					set[pos.Filename] = byLine
+				}
+				rules := strings.Fields(text)
+				if len(rules) == 0 {
+					rules = []string{"all"}
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					m := byLine[line]
+					if m == nil {
+						m = make(map[string]bool)
+						byLine[line] = m
+					}
+					for _, r := range rules {
+						if strings.HasPrefix(r, "A") || r == "all" {
+							m[r] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+// diag builds a Diagnostic at a node position.
+func (p *Package) diag(rule string, at ast.Node, format string, args ...any) Diagnostic {
+	return Diagnostic{
+		Pos:     p.Fset.Position(at.Pos()),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	}
+}

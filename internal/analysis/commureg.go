@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CommuRegistration is rule A3: every operation kind declared in the
+// operation package must be explicitly registered in the commutativity
+// relation (the Commutes method) and have a compensation inverse (the
+// Compensate method).  COMMU's Table 3 grants WU/WU and WU/RU lock
+// compatibility exactly when the operations commute, and backward
+// replica control undoes committed MSets via compensations — both are
+// only sound for kinds the relation actually knows about.  A kind that
+// silently falls into a default case may be *safe* (defaults are
+// conservative) but it is unreviewed: this rule forces the review to
+// happen in the algebra, not in production.
+//
+// The check is structural, so it applies to any package declaring a
+// `Kind` type alongside `Commutes` and `Compensate` methods: each
+// exported Kind constant must be mentioned — directly or through
+// same-package helper functions — in each method's body.  Kinds named
+// "Read" are exempt from the compensation requirement (queries have no
+// effect to undo).
+var CommuRegistration = &Analyzer{
+	Rule: "A3",
+	Name: "commureg",
+	Doc:  "every operation kind must appear in Commutes and have a Compensate inverse",
+	Run:  runCommuRegistration,
+}
+
+func runCommuRegistration(p *Package) []Diagnostic {
+	// Locate the Kind type and the two relation methods.
+	kindObj := p.Types.Scope().Lookup("Kind")
+	kindType, ok := kindObj.(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	decls := packageFuncDecls(p)
+	var commutes, compensate *ast.FuncDecl
+	for obj, fd := range decls {
+		switch obj.Name() {
+		case "Commutes":
+			commutes = fd
+		case "Compensate":
+			compensate = fd
+		}
+	}
+	if commutes == nil || compensate == nil {
+		return nil
+	}
+
+	// Exported constants of type Kind are the registered vocabulary.
+	type kindConst struct {
+		obj   *types.Const
+		ident *ast.Ident
+	}
+	var kinds []kindConst
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					c, ok := p.Info.Defs[name].(*types.Const)
+					if !ok || !c.Exported() {
+						continue
+					}
+					if types.Identical(c.Type(), kindType.Type()) {
+						kinds = append(kinds, kindConst{obj: c, ident: name})
+					}
+				}
+			}
+		}
+	}
+
+	commutesUses := reachableConstUses(p, decls, commutes)
+	compensateUses := reachableConstUses(p, decls, compensate)
+
+	var diags []Diagnostic
+	for _, k := range kinds {
+		if !commutesUses[k.obj] {
+			diags = append(diags, p.diag("A3", k.ident,
+				"operation kind %s is not registered in the commutativity relation (Commutes never mentions it; Table 3 soundness is unreviewed for it)", k.obj.Name()))
+		}
+		if k.obj.Name() == "Read" {
+			continue
+		}
+		if !compensateUses[k.obj] {
+			diags = append(diags, p.diag("A3", k.ident,
+				"operation kind %s has no compensation inverse (Compensate never mentions it; backward replica control cannot undo it)", k.obj.Name()))
+		}
+	}
+	return diags
+}
+
+// packageFuncDecls maps every function/method object to its
+// declaration.
+func packageFuncDecls(p *Package) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}
+
+// reachableConstUses collects the constants referenced by root's body
+// or by any same-package function transitively called from it, so
+// registration through helpers (e.g. isAdditive) counts.
+func reachableConstUses(p *Package, decls map[types.Object]*ast.FuncDecl, root *ast.FuncDecl) map[*types.Const]bool {
+	used := make(map[*types.Const]bool)
+	visited := make(map[*ast.FuncDecl]bool)
+	var visit func(fd *ast.FuncDecl)
+	visit = func(fd *ast.FuncDecl) {
+		if visited[fd] {
+			return
+		}
+		visited[fd] = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch obj := p.Info.Uses[id].(type) {
+			case *types.Const:
+				used[obj] = true
+			case *types.Func:
+				if next, ok := decls[obj]; ok {
+					visit(next)
+				}
+			}
+			return true
+		})
+	}
+	visit(root)
+	return used
+}

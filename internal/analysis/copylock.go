@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MutexByValue is rule A2: no sync.Mutex/sync.RWMutex (or any struct
+// transitively containing one — notably lock.Manager, whose sync.Cond
+// and waits-for maps share the embedded mutex) may be passed, received,
+// returned or copied by value.  A copied mutex is a distinct mutex: the
+// copy silently stops providing mutual exclusion with the original,
+// which is exactly the class of bug -race only catches when two
+// goroutines collide at runtime.
+var MutexByValue = &Analyzer{
+	Rule: "A2",
+	Name: "copylock",
+	Doc:  "sync.Mutex/RWMutex and structs containing them must not be copied by value",
+	Run:  runMutexByValue,
+}
+
+// lockHolders are the sync types whose value semantics are broken by
+// copying.
+var lockHolders = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+// containsLockCache memoizes containsLock per package run.
+type copylockScan struct {
+	p     *Package
+	memo  map[types.Type]bool
+	diags []Diagnostic
+}
+
+// containsLock reports whether copying a value of type t copies a sync
+// lock.  Pointers, maps, slices, channels and interfaces are reference
+// types: copying them shares, not duplicates, the lock.
+func (cs *copylockScan) containsLock(t types.Type) bool {
+	if v, ok := cs.memo[t]; ok {
+		return v
+	}
+	cs.memo[t] = false // cycle guard; recursive types recurse via pointers anyway
+	result := false
+	switch u := t.(type) {
+	case *types.Named:
+		if u.Obj().Pkg() != nil && u.Obj().Pkg().Path() == "sync" && lockHolders[u.Obj().Name()] {
+			result = true
+		} else {
+			result = cs.containsLock(u.Underlying())
+		}
+	case *types.Alias:
+		result = cs.containsLock(types.Unalias(u))
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if cs.containsLock(u.Field(i).Type()) {
+				result = true
+				break
+			}
+		}
+	case *types.Array:
+		result = cs.containsLock(u.Elem())
+	}
+	cs.memo[t] = result
+	return result
+}
+
+func runMutexByValue(p *Package) []Diagnostic {
+	cs := &copylockScan{p: p, memo: make(map[types.Type]bool)}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncDecl:
+				if x.Recv != nil {
+					cs.checkFields(x.Recv, "receiver")
+				}
+				cs.checkFuncType(x.Type)
+			case *ast.FuncLit:
+				cs.checkFuncType(x.Type)
+			case *ast.AssignStmt:
+				cs.checkAssign(x)
+			case *ast.RangeStmt:
+				cs.checkRange(x)
+			case *ast.CallExpr:
+				cs.checkCallArgs(x)
+			}
+			return true
+		})
+	}
+	return cs.diags
+}
+
+func (cs *copylockScan) checkFuncType(ft *ast.FuncType) {
+	cs.checkFields(ft.Params, "parameter")
+	if ft.Results != nil {
+		cs.checkFields(ft.Results, "result")
+	}
+}
+
+func (cs *copylockScan) checkFields(fl *ast.FieldList, role string) {
+	for _, field := range fl.List {
+		t := cs.p.Info.Types[field.Type].Type
+		if t == nil {
+			continue
+		}
+		if cs.containsLock(t) {
+			cs.diags = append(cs.diags, cs.p.diag("A2", field,
+				"%s passes %s by value, copying its lock (use a pointer)", role, t))
+		}
+	}
+}
+
+// checkAssign flags `x := *p` and `x = y` where the copied value
+// carries a lock.  Composite-literal initialization of a fresh value is
+// allowed: a brand-new zero lock is not a copy of a locked one.
+func (cs *copylockScan) checkAssign(a *ast.AssignStmt) {
+	for i, rhs := range a.Rhs {
+		if i >= len(a.Lhs) {
+			break
+		}
+		if !cs.copiesLockValue(rhs) {
+			continue
+		}
+		t := cs.p.Info.Types[rhs].Type
+		cs.diags = append(cs.diags, cs.p.diag("A2", a,
+			"assignment copies %s by value, copying its lock (use a pointer)", t))
+	}
+}
+
+// copiesLockValue reports whether evaluating expr yields a copy of an
+// existing lock-carrying value (rather than a freshly composed one).
+func (cs *copylockScan) copiesLockValue(expr ast.Expr) bool {
+	t := cs.p.Info.Types[expr].Type
+	if t == nil || !cs.containsLock(t) {
+		return false
+	}
+	switch e := expr.(type) {
+	case *ast.CompositeLit:
+		return false // fresh value, nothing copied
+	case *ast.CallExpr:
+		return false // the callee's result duplicates nothing the caller owns
+	case *ast.ParenExpr:
+		return cs.copiesLockValue(e.X)
+	}
+	return true // ident, selector, index, star expr: reads an existing value
+}
+
+func (cs *copylockScan) checkRange(r *ast.RangeStmt) {
+	if r.Value == nil {
+		return
+	}
+	// In `for _, v := range xs` the value ident is a definition, recorded
+	// in Defs rather than Types.
+	var t types.Type
+	if id, ok := r.Value.(*ast.Ident); ok && cs.p.Info.Defs[id] != nil {
+		t = cs.p.Info.Defs[id].Type()
+	} else if tv, ok := cs.p.Info.Types[r.Value]; ok {
+		t = tv.Type
+	}
+	if t != nil && cs.containsLock(t) {
+		cs.diags = append(cs.diags, cs.p.diag("A2", r.Value,
+			"range copies %s elements by value, copying their locks (range over indices or pointers)", t))
+	}
+}
+
+// checkCallArgs flags passing a lock-carrying value to any call —
+// including fmt helpers and interface parameters, which the signature
+// checks cannot see.
+func (cs *copylockScan) checkCallArgs(call *ast.CallExpr) {
+	// Conversions (e.g. T(x)) and new/len-style builtins don't copy into
+	// a callee frame in a way the signature check misses; keep this to
+	// genuine function calls.
+	if cs.p.Info.Types[call.Fun].IsType() {
+		return
+	}
+	for _, arg := range call.Args {
+		if cs.copiesLockValue(arg) {
+			t := cs.p.Info.Types[arg].Type
+			cs.diags = append(cs.diags, cs.p.diag("A2", arg,
+				"call passes %s by value, copying its lock (pass a pointer)", t))
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// SimDeterminism is rule A4: wall-clock reads (time.Now/Since/Until)
+// and the math/rand global source are banned inside the simulator, the
+// network model and the table renderer.  Every asynchronous-propagation
+// claim this reproduction makes is backed by simulation runs; those
+// runs (and the regenerated paper tables) are only evidence if the same
+// seed always produces the same execution.  Randomness must flow from
+// an explicitly seeded *rand.Rand, never the process-global source, and
+// the simulator must not branch on wall-clock time — measurement-only
+// timing goes through internal/stopwatch, which is the single
+// sanctioned wall-clock entry point.
+var SimDeterminism = &Analyzer{
+	Rule: "A4",
+	Name: "determinism",
+	Doc:  "no time.Now or math/rand global functions inside internal/sim, internal/network, internal/tabular",
+	Run:  runSimDeterminism,
+}
+
+// deterministicPackages are the import-path suffixes A4 applies to.
+var deterministicPackages = []string{
+	"internal/sim",
+	"internal/network",
+	"internal/tabular",
+}
+
+// seededRandConstructors are the math/rand package-level functions that
+// do not touch the global source: they build or feed an explicit,
+// seeded generator.
+var seededRandConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 explicit-state constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+// bannedTimeFuncs read the wall clock.
+var bannedTimeFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+}
+
+func runSimDeterminism(p *Package) []Diagnostic {
+	applies := false
+	for _, suffix := range deterministicPackages {
+		if strings.HasSuffix(p.Path, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || obj.Pkg() == nil {
+				return true
+			}
+			// Package-level functions only: methods on *rand.Rand or
+			// time.Time values are explicit state and stay legal.
+			if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch obj.Pkg().Path() {
+			case "time":
+				if bannedTimeFuncs[obj.Name()] {
+					diags = append(diags, p.diag("A4", sel,
+						"time.%s reads the wall clock inside a determinism-critical package (use internal/stopwatch for measurement, injected state for logic)", obj.Name()))
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededRandConstructors[obj.Name()] {
+					diags = append(diags, p.diag("A4", sel,
+						"rand.%s draws from the process-global random source (use an explicitly seeded *rand.Rand)", obj.Name()))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

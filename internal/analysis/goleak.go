@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoroutineLeak is rule A5: goroutines spawned in the transport and
+// stable-queue layers must have a visible join or cancellation — a
+// sync.WaitGroup.Done, a receive from a done/kick channel (including
+// select cases and channel ranges), or a ctx.Done() check — reachable
+// from the spawned function.  These two packages run one pump goroutine
+// per (site, link); a pump with no termination signal outlives Close,
+// keeps the queue file open, and turns every simulation into a slow
+// leak the race detector cannot see.
+var GoroutineLeak = &Analyzer{
+	Rule: "A5",
+	Name: "goleak",
+	Doc:  "goroutines in internal/network and internal/queue need a visible join or cancellation",
+	Run:  runGoroutineLeak,
+}
+
+// leakCheckedPackages are the import-path suffixes A5 applies to.
+var leakCheckedPackages = []string{
+	"internal/network",
+	"internal/queue",
+}
+
+func runGoroutineLeak(p *Package) []Diagnostic {
+	applies := false
+	for _, suffix := range leakCheckedPackages {
+		if strings.HasSuffix(p.Path, suffix) {
+			applies = true
+			break
+		}
+	}
+	if !applies {
+		return nil
+	}
+	decls := packageFuncDecls(p)
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !goroutineHasExit(p, decls, gs.Call) {
+				diags = append(diags, p.diag("A5", gs,
+					"goroutine has no visible join or cancellation (want a sync.WaitGroup.Done, a done-channel receive, or ctx.Done() reachable from its body)"))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// goroutineHasExit resolves the spawned call to a body (function
+// literal or same-package declaration) and searches it — transitively
+// through same-package callees — for join/cancellation evidence.
+func goroutineHasExit(p *Package, decls map[types.Object]*ast.FuncDecl, call *ast.CallExpr) bool {
+	var body *ast.BlockStmt
+	switch fun := call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		var id *ast.Ident
+		switch f := fun.(type) {
+		case *ast.Ident:
+			id = f
+		case *ast.SelectorExpr:
+			id = f.Sel
+		}
+		if id == nil {
+			return false
+		}
+		fd, ok := decls[p.Info.Uses[id]]
+		if !ok {
+			return false // cross-package target: nothing visible to check
+		}
+		body = fd.Body
+	}
+	visited := make(map[ast.Node]bool)
+	return hasExitEvidence(p, decls, body, visited)
+}
+
+func hasExitEvidence(p *Package, decls map[types.Object]*ast.FuncDecl, body *ast.BlockStmt, visited map[ast.Node]bool) bool {
+	if visited[body] {
+		return false
+	}
+	visited[body] = true
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			// `<-ch` — a blocking receive doubles as a cancellation signal
+			// in the done-channel idiom (select cases land here too).
+			if x.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// `for m := range ch` exits when the channel closes.
+			if t := p.Info.Types[x.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isExitCall(p, x) {
+				found = true
+				return false
+			}
+			// Follow same-package callees (e.g. go d.run() where run's
+			// helper does the select).
+			var id *ast.Ident
+			switch f := x.Fun.(type) {
+			case *ast.Ident:
+				id = f
+			case *ast.SelectorExpr:
+				id = f.Sel
+			}
+			if id != nil {
+				if fd, ok := decls[p.Info.Uses[id]]; ok {
+					if hasExitEvidence(p, decls, fd.Body, visited) {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isExitCall recognizes sync.WaitGroup.Done and context.Context.Done.
+func isExitCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Name() != "Done" {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync":
+		return methodOnNamed(obj, "WaitGroup")
+	case "context":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,52 @@
+// Package commureg_bad is a miniature operation algebra with holes: one
+// kind missing from the commutativity relation, one with no
+// compensation inverse, and one missing from both.
+package commureg_bad
+
+// Kind enumerates the miniature operation vocabulary.
+type Kind int
+
+// Operation kinds.
+const (
+	// Read is the query kind.
+	Read Kind = iota
+	// Set is fully registered.
+	Set
+	// Add is registered in Commutes but has no compensation.
+	Add // want A3
+	// Mul silently falls into both defaults.
+	Mul // want A3 A3
+)
+
+// Op is one operation.
+type Op struct {
+	Kind Kind
+	Arg  int64
+}
+
+// Commutes never mentions Mul: its Table 3 behaviour is whatever the
+// default case happens to do.
+func (o Op) Commutes(p Op) bool {
+	a, b := o.Kind, p.Kind
+	if a == Read && b == Read {
+		return true
+	}
+	switch {
+	case a == Add && b == Add:
+		return true
+	case a == Set && b == Set:
+		return o.Arg == p.Arg
+	default:
+		return false
+	}
+}
+
+// Compensate never mentions Add or Mul.
+func (o Op) Compensate(prev int64) (Op, bool) {
+	switch o.Kind {
+	case Set:
+		return Op{Kind: Set, Arg: prev}, true
+	default:
+		return Op{}, false
+	}
+}

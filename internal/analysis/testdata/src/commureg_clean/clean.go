@@ -1,0 +1,63 @@
+// Package commureg_clean is a miniature operation algebra in which
+// every kind is registered: each exported Kind constant appears in
+// Commutes (directly or via a helper) and every update kind appears in
+// Compensate.  A3 must report nothing here.
+package commureg_clean
+
+// Kind enumerates the miniature operation vocabulary.
+type Kind int
+
+// Operation kinds.
+const (
+	// Read is the query kind (exempt from compensation).
+	Read Kind = iota
+	// Set overwrites.
+	Set
+	// Add is commutative with itself and Sub.
+	Add
+	// Sub is commutative with itself and Add.
+	Sub
+)
+
+// Op is one operation.
+type Op struct {
+	Kind Kind
+	Arg  int64
+}
+
+// isAdditive registers Add and Sub through a helper, which A3 must
+// follow.
+func isAdditive(k Kind) bool { return k == Add || k == Sub }
+
+// Commutes mentions every kind, directly or through isAdditive.
+func (o Op) Commutes(p Op) bool {
+	a, b := o.Kind, p.Kind
+	if a == Read && b == Read {
+		return true
+	}
+	if a == Read || b == Read {
+		return false
+	}
+	switch {
+	case isAdditive(a) && isAdditive(b):
+		return true
+	case a == Set && b == Set:
+		return o.Arg == p.Arg
+	default:
+		return false
+	}
+}
+
+// Compensate mentions every update kind.
+func (o Op) Compensate(prev int64) (Op, bool) {
+	switch o.Kind {
+	case Add:
+		return Op{Kind: Sub, Arg: o.Arg}, true
+	case Sub:
+		return Op{Kind: Add, Arg: o.Arg}, true
+	case Set:
+		return Op{Kind: Set, Arg: prev}, true
+	default:
+		return Op{}, false
+	}
+}

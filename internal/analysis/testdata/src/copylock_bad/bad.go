@@ -1,0 +1,61 @@
+// Package copylock_bad holds the A2 violations: every way a mutex (or
+// a struct carrying one, like lock.Manager) gets duplicated by value.
+package copylock_bad
+
+import (
+	"fmt"
+	"sync"
+
+	"esr/internal/lock"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// embedded carries the lock transitively.
+type embedded struct {
+	inner counter
+}
+
+// valueParam copies the caller's mutex into the frame.
+func valueParam(c counter) int { // want A2
+	return c.n
+}
+
+// valueReceiver copies the receiver's mutex on every call.
+func (c counter) valueReceiver() int { // want A2
+	return c.n
+}
+
+// valueResult copies the lock out on return.
+func valueResult(c *counter) counter { // want A2
+	return *c
+}
+
+// managerByValue copies lock.Manager (mutex, cond, maps).
+func managerByValue(m lock.Manager) string { // want A2
+	return m.Table().String()
+}
+
+// derefCopy duplicates an existing value through its pointer.
+func derefCopy(e *embedded) int {
+	local := *e // want A2
+	return local.inner.n
+}
+
+// rangeCopy duplicates each element into the loop variable.
+func rangeCopy(cs []counter) int {
+	total := 0
+	for _, c := range cs { // want A2
+		total += c.n
+	}
+	return total
+}
+
+// callArgCopy passes the lock by value through an interface parameter,
+// invisible to signature checks.
+func callArgCopy(c *counter) {
+	fmt.Println(*c) // want A2
+}

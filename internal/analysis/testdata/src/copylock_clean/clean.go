@@ -1,0 +1,57 @@
+// Package copylock_clean shows the lock-safe idioms A2 must accept:
+// pointers everywhere a lock-carrying value moves, fresh composite
+// literals, and reference types that share rather than copy.
+package copylock_clean
+
+import (
+	"sync"
+
+	"esr/internal/lock"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// pointerReceiver and pointer parameters never copy the mutex.
+func (c *counter) bump(by int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += by
+}
+
+func useByPointer(c *counter, m *lock.Manager) *counter {
+	c.bump(1)
+	_ = m.Table()
+	return c
+}
+
+// freshValue builds a brand-new counter; nothing existing is copied.
+func freshValue() *counter {
+	c := counter{n: 1}
+	return &c
+}
+
+// referenceContainers share the values behind pointers.
+func referenceContainers(cs []*counter, byName map[string]*counter) int {
+	total := 0
+	for _, c := range cs {
+		total += c.n
+	}
+	for i := range cs {
+		total += cs[i].n
+	}
+	if c, ok := byName["a"]; ok {
+		total += c.n
+	}
+	return total
+}
+
+// plainStructsCopyFreely: no lock inside, so value semantics are fine.
+type point struct{ x, y int }
+
+func movePoint(p point) point {
+	p.x++
+	return p
+}

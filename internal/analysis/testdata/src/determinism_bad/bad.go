@@ -1,0 +1,34 @@
+// Package determinism_bad holds the A4 violations: wall-clock reads
+// and global-source randomness inside a determinism-critical package.
+package determinism_bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+// wallClockBranch makes simulation behaviour depend on when it runs.
+func wallClockBranch(deadline time.Time) bool {
+	return time.Now().After(deadline) // want A4
+}
+
+// wallClockMeasure should go through internal/stopwatch.
+func wallClockMeasure() time.Duration {
+	t0 := time.Now()          // want A4
+	return time.Since(t0) / 2 // want A4
+}
+
+// globalRandomness draws from the process-global source, which is
+// shared, lock-contended, and reseeded differently on every run.
+func globalRandomness(n int) []int {
+	out := make([]int, 0, n+2)
+	for i := 0; i < n; i++ {
+		out = append(out, rand.Intn(100)) // want A4
+	}
+	out = append(out, int(rand.Int63()))       // want A4
+	out = append(out, int(rand.Float64()*100)) // want A4
+	rand.Shuffle(len(out), func(i, j int) {    // want A4
+		out[i], out[j] = out[j], out[i]
+	})
+	return out
+}

@@ -1,0 +1,37 @@
+// Package determinism_clean shows the randomness and timing idioms A4
+// must accept inside a determinism-critical package: explicitly seeded
+// generators, methods on generator state, durations, sleeps, and
+// measurement through internal/stopwatch.
+package determinism_clean
+
+import (
+	"math/rand"
+	"time"
+
+	"esr/internal/stopwatch"
+)
+
+// seededWorkload draws everything from an explicitly seeded generator.
+func seededWorkload(seed int64, n int) []int {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.5, 1, 64)
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < 0.5 {
+			out = append(out, rng.Intn(100))
+		} else {
+			out = append(out, int(zipf.Uint64()))
+		}
+	}
+	return out
+}
+
+// pacedRun uses durations and sleeps (legal: they delay, they do not
+// branch on the wall clock) and measures through the stopwatch.
+func pacedRun(pace time.Duration, steps int) time.Duration {
+	sw := stopwatch.Start()
+	for i := 0; i < steps; i++ {
+		time.Sleep(pace)
+	}
+	return sw.Elapsed()
+}

@@ -1,0 +1,42 @@
+// Package goleak_bad holds the A5 violations: goroutines with no
+// visible join or cancellation anywhere in their call shape.
+package goleak_bad
+
+import "time"
+
+type spinner struct {
+	n    int
+	stop bool // a plain flag is not a visible cancellation signal
+}
+
+// leakLoop polls a boolean forever; nothing joins or cancels it.
+func (s *spinner) leakLoop() {
+	go func() { // want A5
+		for !s.stop {
+			s.n++
+			time.Sleep(time.Millisecond)
+		}
+	}()
+}
+
+// leakMethod spawns a named method that also has no exit signal.
+func (s *spinner) leakMethod() {
+	go s.spin() // want A5
+}
+
+func (s *spinner) spin() {
+	for {
+		s.n++
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// leakSend spawns a goroutine that only ever sends; a send can block
+// forever but is not a cancellation path.
+func leakSend(out chan<- int) {
+	go func() { // want A5
+		for i := 0; ; i++ {
+			out <- i
+		}
+	}()
+}

@@ -1,0 +1,73 @@
+// Package goleak_clean shows the goroutine shapes A5 must accept: a
+// WaitGroup-joined pump, a done-channel select loop, a channel-range
+// worker, context cancellation, and a named method resolved through a
+// helper.
+package goleak_clean
+
+import (
+	"context"
+	"sync"
+)
+
+type pump struct {
+	wg   sync.WaitGroup
+	kick chan struct{}
+	done chan struct{}
+	work chan int
+}
+
+// startJoined launches a goroutine joined through the WaitGroup.
+func (p *pump) startJoined() {
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		for {
+			select {
+			case <-p.done:
+				return
+			case <-p.kick:
+			}
+		}
+	}()
+}
+
+// startMethod spawns a named method; the select lives in a helper the
+// analyzer must follow.
+func (p *pump) startMethod() {
+	p.wg.Add(1)
+	go p.run()
+}
+
+func (p *pump) run() {
+	defer p.wg.Done()
+	p.loopOnce()
+}
+
+func (p *pump) loopOnce() {
+	select {
+	case <-p.done:
+	case <-p.kick:
+	}
+}
+
+// startRange exits when the work channel closes.
+func (p *pump) startRange() {
+	go func() {
+		for n := range p.work {
+			_ = n
+		}
+	}()
+}
+
+// startWithContext exits on cancellation.
+func startWithContext(ctx context.Context, out chan<- int) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case out <- i:
+			}
+		}
+	}()
+}

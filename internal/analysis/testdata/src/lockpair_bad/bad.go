@@ -1,0 +1,71 @@
+// Package lockpair_bad holds the A1 violations: acquisitions that leak
+// on at least one path.
+package lockpair_bad
+
+import (
+	"sync"
+
+	"esr/internal/lock"
+	"esr/internal/op"
+)
+
+// leakOnErrorBranch forgets ReleaseAll on the error return: earlier
+// iterations' locks stay held forever when a later Acquire deadlocks.
+func leakOnErrorBranch(m *lock.Manager, tx lock.TxID, objs []string) error {
+	for _, obj := range objs {
+		if err := m.Acquire(tx, lock.WU, op.WriteOp(obj, 1)); err != nil { // want A1
+			return err
+		}
+	}
+	m.ReleaseAll(tx)
+	return nil
+}
+
+// neverReleased acquires and falls off the end of the function.
+func neverReleased(m *lock.Manager, tx lock.TxID) {
+	_ = m.Acquire(tx, lock.RU, op.ReadOp("x")) // want A1
+}
+
+// tryAcquireLeak leaks the granted TryAcquire on the success path.
+func tryAcquireLeak(m *lock.Manager, tx lock.TxID) bool {
+	if err := m.TryAcquire(tx, lock.WU, op.WriteOp("x", 1)); err != nil { // want A1
+		return false
+	}
+	return true
+}
+
+type guarded struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	ok bool
+}
+
+// earlyReturnHoldsMutex forgets Unlock on the early return.
+func (g *guarded) earlyReturnHoldsMutex() bool {
+	g.mu.Lock() // want A1
+	if g.ok {
+		return true
+	}
+	g.mu.Unlock()
+	return false
+}
+
+// rUnlockMismatch pairs RLock with Unlock, leaving the read lock held.
+func (g *guarded) rUnlockMismatch() bool {
+	g.rw.RLock() // want A1
+	v := g.ok
+	g.rw.Unlock()
+	return v
+}
+
+// leakInOneSwitchCase releases in only one arm.
+func (g *guarded) leakInOneSwitchCase(n int) int {
+	g.mu.Lock() // want A1
+	switch n {
+	case 0:
+		g.mu.Unlock()
+		return 0
+	default:
+		return n
+	}
+}

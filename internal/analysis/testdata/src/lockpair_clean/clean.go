@@ -1,0 +1,119 @@
+// Package lockpair_clean exercises every release idiom rule A1 must
+// accept: defer-release, error-branch release, loop acquire/release,
+// mid-function mutex pairing, select shutdown paths, and the ignore
+// directive for locks that legitimately outlive the function.
+package lockpair_clean
+
+import (
+	"sync"
+
+	"esr/internal/lock"
+	"esr/internal/op"
+)
+
+// deferRelease is the query-path idiom: one defer covers every return.
+func deferRelease(m *lock.Manager, tx lock.TxID, objs []string) error {
+	defer m.ReleaseAll(tx)
+	for _, obj := range objs {
+		if err := m.Acquire(tx, lock.RQ, op.ReadOp(obj)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// errorBranchRelease is the apply-path idiom: explicit release on both
+// the error branch and the success path.
+func errorBranchRelease(m *lock.Manager, tx lock.TxID, objs []string) error {
+	for _, obj := range objs {
+		if err := m.Acquire(tx, lock.WU, op.WriteOp(obj, 1)); err != nil {
+			m.ReleaseAll(tx)
+			return err
+		}
+	}
+	m.ReleaseAll(tx)
+	return nil
+}
+
+// loopAcquireRelease pairs within each iteration.
+func loopAcquireRelease(m *lock.Manager, tx lock.TxID, objs []string) {
+	for _, obj := range objs {
+		if err := m.Acquire(tx, lock.RU, op.ReadOp(obj)); err != nil {
+			m.ReleaseAll(tx)
+			continue
+		}
+		m.ReleaseAll(tx)
+	}
+}
+
+type guarded struct {
+	mu  sync.Mutex
+	rw  sync.RWMutex
+	val int
+}
+
+// mutexDefer is the standard defer pairing.
+func (g *guarded) mutexDefer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+// mutexMidFunction releases before every return, including inside a
+// switch.
+func (g *guarded) mutexMidFunction(n int) int {
+	g.mu.Lock()
+	v := g.val
+	g.mu.Unlock()
+	switch {
+	case n > 0:
+		g.mu.Lock()
+		g.val = n
+		g.mu.Unlock()
+		return n
+	default:
+		return v
+	}
+}
+
+// rwPairing pairs RLock with RUnlock and Lock with Unlock separately.
+func (g *guarded) rwPairing() int {
+	g.rw.RLock()
+	v := g.val
+	g.rw.RUnlock()
+	g.rw.Lock()
+	g.val = v + 1
+	g.rw.Unlock()
+	return v
+}
+
+// deferredClosure releases inside a deferred function literal.
+func (g *guarded) deferredClosure() int {
+	g.mu.Lock()
+	defer func() {
+		g.mu.Unlock()
+	}()
+	return g.val
+}
+
+// selectShutdown releases on each select arm before returning.
+func selectShutdown(m *lock.Manager, tx lock.TxID, done <-chan struct{}) {
+	if err := m.Acquire(tx, lock.WU, op.WriteOp("x", 1)); err != nil {
+		m.ReleaseAll(tx)
+		return
+	}
+	select {
+	case <-done:
+		m.ReleaseAll(tx)
+		return
+	default:
+		m.ReleaseAll(tx)
+	}
+}
+
+// escapeDirective models a 2PC prepare handler whose locks are released
+// by a later message; the directive documents and suppresses it.
+func escapeDirective(m *lock.Manager, tx lock.TxID) error {
+	//esrvet:ignore A1 released by the paired commit/abort handler
+	return m.Acquire(tx, lock.WU, op.WriteOp("x", 1))
+}

@@ -473,6 +473,9 @@ func (e *Engine) serve(site clock.SiteID, payload []byte) ([]byte, error) {
 		objs := distinctObjects(req.Ops)
 		sort.Strings(objs)
 		for _, obj := range objs {
+			// 2PC participant: prepare locks are deliberately held past
+			// this handler and released by the later commit/abort message.
+			//esrvet:ignore A1 prepare locks are released by the commit/abort handler
 			if err := s.Locks.Acquire(req.Tx, lock.WU, op.Op{Kind: op.Write, Object: obj}); err != nil {
 				s.Locks.ReleaseAll(req.Tx)
 				return nil, err
@@ -510,6 +513,9 @@ func (e *Engine) serve(site clock.SiteID, payload []byte) ([]byte, error) {
 		resp.Vals = vals
 	case "qlock":
 		for _, obj := range req.Objects {
+			// Quorum write locks are held until the coordinator's
+			// qrelease message, mirroring the prepare/commit split above.
+			//esrvet:ignore A1 qlock locks are released by the qrelease handler
 			if err := s.Locks.Acquire(req.Tx, lock.WU, op.Op{Kind: op.Write, Object: obj}); err != nil {
 				s.Locks.ReleaseAll(req.Tx)
 				return nil, err

@@ -19,6 +19,43 @@ func FuzzParse(f *testing.F) {
 		"R1(()",
 		"W1())",
 		strings.Repeat("R1(a) ", 50),
+
+		// Table 2 conflict shapes (ORDUP): each pair of update ETs
+		// touching a shared object in every RU/WU combination.
+		"R1(x) W2(x) W1(y)",       // RU then WU on x between update ETs
+		"W1(x) R2(x) W2(y)",       // WU then RU
+		"W1(x) W2(x) W1(y) W2(y)", // WU/WU, serializable order
+		"W1(x) W2(x) W2(y) W1(y)", // WU/WU crossed — non-SR
+		"R1(x) W2(x) R1(y) W2(y)", // RU/WU crossed reads
+		"W1(a) W1(b) W2(a) W2(b)", // two updaters, consistent order
+
+		// Table 3 / ε-serializability shapes: a pure query ET (RQ locks)
+		// interleaved with updaters.  The query's reads are inconsistent
+		// (it sees a after W1 but b before W1) — not SR, but admissible
+		// under ε-serializability, which is exactly what the checker
+		// must distinguish.
+		"W1(a) R2(a) W1(b) R2(b)",
+		"R3(a) W1(a) W1(b) R3(b)",
+		"W1(a) W2(b) R3(a) R3(b) W1(c) W2(c)",
+
+		// Query-only history: every ET classifies as a query ET (§2.1).
+		"R1(a) R2(a) R1(b) R2(b)",
+
+		// One ET reading and writing its own objects (self-conflict is
+		// never a conflict).
+		"R1(a) W1(a) R1(a) W1(a)",
+
+		// Whitespace variety the grammar must tolerate.
+		"R1(a)\tW2(b)\nR3(c)  W4(d)",
+
+		// Malformed shapes near the grammar's edges.
+		"R(a)",                           // missing ET number
+		"R1()",                           // empty object
+		"W-1(a)",                         // negative ET
+		"W99999999999999999999999999(a)", // ET overflows uint64
+		"R1(a))",                         // trailing junk
+		"R1(a)W2(b)",                     // missing separator — one malformed token
+		"Ŕ1(a)",                          // non-ASCII operation letter
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -281,6 +281,11 @@ func (o Op) Commutes(p Op) bool {
 		return false
 	}
 	switch {
+	case a == Append || b == Append:
+		// Ordered appends expose element order, so an append commutes
+		// with no other update of the same object — not even another
+		// append.  Order-insensitive callers opt into UnorderedAppend.
+		return false
 	case isAdditive(a) && isAdditive(b):
 		return true
 	case a == Multiply && b == Multiply:

@@ -20,6 +20,7 @@ import (
 	"esr/internal/op"
 	"esr/internal/ordup"
 	"esr/internal/ritu"
+	"esr/internal/stopwatch"
 	"esr/internal/tabular"
 )
 
@@ -393,9 +394,9 @@ func runE5(quick bool) (*tabular.Table, error) {
 		close(stop)
 		wg.Wait()
 		c.Net.Heal()
-		t0 := time.Now()
+		t0 := stopwatch.Start()
 		healErr := c.Quiesce(30 * time.Second)
-		healIn := time.Since(t0)
+		healIn := t0.Elapsed()
 		conv, _ := c.Converged()
 		e.Close()
 		if healErr != nil {
@@ -621,7 +622,7 @@ func runE9(quick bool) (*tabular.Table, error) {
 		oe := eng.(*ordup.Engine)
 		var delays []time.Duration
 		for i := 0; i < rounds; i++ {
-			t0 := time.Now()
+			t0 := stopwatch.Start()
 			if _, err := oe.Update(clock.SiteID(i%3+1), []op.Op{op.IncOp("x", 1)}); err != nil {
 				oe.Close()
 				return nil, fmt.Errorf("E9 update: %w", err)
@@ -629,7 +630,7 @@ func runE9(quick bool) (*tabular.Table, error) {
 			for oe.Outstanding() > 0 {
 				time.Sleep(50 * time.Microsecond)
 			}
-			delays = append(delays, time.Since(t0))
+			delays = append(delays, t0.Elapsed())
 		}
 		qerr := oe.Cluster().Quiesce(30 * time.Second)
 		oe.Close()
@@ -727,20 +728,20 @@ func runE11(quick bool) (*tabular.Table, error) {
 
 	// On-line repair: heal and let the queues drain.
 	c.Net.Heal()
-	t0 := time.Now()
+	t0 := stopwatch.Start()
 	if err := c.Quiesce(60 * time.Second); err != nil {
 		return nil, fmt.Errorf("E11 heal quiesce: %w", err)
 	}
-	onlineRepair := time.Since(t0)
+	onlineRepair := t0.Elapsed()
 	if ok, obj := c.Converged(); !ok {
 		return nil, fmt.Errorf("E11: diverged on %q", obj)
 	}
 	onlineState := c.Site(1).Store.Snapshot()
 
 	// Off-line repair: merge the two logs.
-	t0 = time.Now()
+	t0 = stopwatch.Start()
 	res := merge.Merge(logA, logB)
-	offlineRepair := time.Since(t0)
+	offlineRepair := t0.Elapsed()
 
 	match := true
 	for obj, v := range onlineState {
@@ -829,12 +830,12 @@ func runE12(quick bool) (*tabular.Table, error) {
 		}
 		for i := 0; i < ops*3; i++ {
 			objs := pickObjects(rng, zipf, 8, 2)
-			t0 := time.Now()
+			t0 := stopwatch.Start()
 			res, err := ce.QuerySpec(2, objs, cc.spec)
 			if err != nil {
 				continue
 			}
-			latSum += time.Since(t0)
+			latSum += t0.Elapsed()
 			incSum += res.Inconsistency
 			if res.Inconsistency > incMax {
 				incMax = res.Inconsistency
@@ -942,12 +943,12 @@ func runE14(quick bool) (*tabular.Table, error) {
 				return nil, fmt.Errorf("E14 update: %w", err)
 			}
 		}
-		t0 := time.Now()
+		t0 := stopwatch.Start()
 		if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
 			eng.Close()
 			return nil, fmt.Errorf("E14 loss=%.1f: %w", loss, err)
 		}
-		convergeIn := time.Since(t0)
+		convergeIn := t0.Elapsed()
 		exact := true
 		for _, sid := range eng.Cluster().SiteIDs() {
 			if eng.Cluster().Site(sid).Store.Get("x").Num != int64(updates) {

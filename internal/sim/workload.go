@@ -10,6 +10,7 @@ import (
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/op"
+	"esr/internal/stopwatch"
 )
 
 // OpBuilder produces one update operation for an object; methods differ
@@ -159,7 +160,7 @@ func Run(e core.Engine, w Workload) (Result, error) {
 	}
 	outs := make([]clientOut, w.Clients)
 	var wg sync.WaitGroup
-	start := time.Now()
+	start := stopwatch.Start()
 	for ci := 0; ci < w.Clients; ci++ {
 		wg.Add(1)
 		go func(ci int) {
@@ -175,13 +176,13 @@ func Run(e core.Engine, w Workload) (Result, error) {
 			for i := 0; i < w.OpsPerClient; i++ {
 				if rng.Float64() < w.QueryFraction {
 					objs := pick(w.ObjectsPerQuery)
-					t0 := time.Now()
+					t0 := stopwatch.Start()
 					res, err := e.Query(site, objs, w.Epsilon)
 					if err != nil {
 						out.queryErrs++
 					} else {
 						out.queries++
-						out.queryLat = append(out.queryLat, time.Since(t0))
+						out.queryLat = append(out.queryLat, t0.Elapsed())
 						out.inconsistency = append(out.inconsistency, res.Inconsistency)
 					}
 				} else {
@@ -190,12 +191,12 @@ func Run(e core.Engine, w Workload) (Result, error) {
 					for j := range ops {
 						ops[j] = w.Build(rng, objs[j%len(objs)])
 					}
-					t0 := time.Now()
+					t0 := stopwatch.Start()
 					if _, err := e.Update(site, ops); err != nil {
 						out.updateErrs++
 					} else {
 						out.updates++
-						out.updateLat = append(out.updateLat, time.Since(t0))
+						out.updateLat = append(out.updateLat, t0.Elapsed())
 					}
 				}
 				if w.Pace > 0 {
@@ -205,7 +206,7 @@ func Run(e core.Engine, w Workload) (Result, error) {
 		}(ci)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := start.Elapsed()
 
 	res := Result{Method: e.Name(), Sites: len(sites), Elapsed: elapsed}
 	var updateLat, queryLat []time.Duration
@@ -223,11 +224,11 @@ func Run(e core.Engine, w Workload) (Result, error) {
 	res.QueryLatency = summarizeLatency(queryLat)
 	res.Inconsistency = summarizeInts(inc)
 
-	t0 := time.Now()
+	t0 := stopwatch.Start()
 	if err := e.Cluster().Quiesce(60 * time.Second); err != nil {
 		return res, fmt.Errorf("sim: post-workload quiesce: %w", err)
 	}
-	res.ConvergeIn = time.Since(t0)
+	res.ConvergeIn = t0.Elapsed()
 	// Engines that deliberately write only a quorum (weighted voting with
 	// w < n) are correct without all-replica identity; their staleness is
 	// masked by quorum reads, so the identity check does not apply.

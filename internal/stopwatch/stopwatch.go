@@ -1,0 +1,29 @@
+// Package stopwatch is the single sanctioned wall-clock entry point
+// for the determinism-critical packages (internal/sim, internal/network,
+// internal/tabular), where esrvet rule A4 bans direct time.Now calls.
+//
+// The rule exists because simulation *logic* must be a pure function of
+// its seeds: branching on wall-clock time makes runs unreproducible and
+// the asynchronous-propagation results untrustworthy.  Measuring how
+// long something took, however, is observation, not logic — latency and
+// convergence-lag columns in the experiment tables are inherently
+// wall-clock.  Funneling that one legitimate use through this package
+// keeps the ban on direct reads absolute (any new time.Now in sim is a
+// finding) while making every wall-clock dependency grep-able in one
+// place.
+package stopwatch
+
+import "time"
+
+// Stopwatch marks a start instant.  The zero value is not meaningful;
+// obtain one from Start.
+type Stopwatch struct {
+	t0 time.Time
+}
+
+// Start returns a stopwatch running from now.
+func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
+
+// Elapsed returns the wall time since Start.  It may be called any
+// number of times; the stopwatch keeps running.
+func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }
