@@ -8,10 +8,11 @@ GO ?= go
 
 # Packages whose goroutine/lock structure warrants the race detector on
 # every run: the lock manager, the simulated network, the stable queues,
-# the transaction core, and the replica state machine.
-RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/core/... ./internal/replica/...
+# the group-commit WAL, the transaction core, and the replica state
+# machine.
+RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/...
 
-.PHONY: all build test race vet esrvet check fuzz clean
+.PHONY: all build test race vet esrvet check bench fuzz clean
 
 all: build
 
@@ -32,6 +33,13 @@ esrvet:
 	$(GO) run ./cmd/esrvet ./...
 
 check: build vet esrvet test race
+
+# Regenerate the group-commit pipeline baseline (E15): propagation
+# throughput and fsync counts vs batch size, recorded as a JSON artifact
+# CI uploads on every run.  BENCH_FULL=1 uses full-scale workloads.
+BENCH_OUT ?= BENCH_pipeline.json
+bench:
+	$(GO) run ./cmd/esrbench -exp E15 $(if $(BENCH_FULL),-full) -out $(BENCH_OUT)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

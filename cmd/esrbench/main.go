@@ -6,9 +6,15 @@
 //	esrbench -table 1      # just the paper's Table 1 (also 2, 3)
 //	esrbench -exp E5       # one experiment by ID
 //	esrbench -list         # list experiments
+//
+// The group-commit pipeline baseline (E15) can be captured as a JSON
+// artifact for regression tracking:
+//
+//	esrbench -exp E15 -out BENCH_pipeline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,9 +31,14 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
+		out    = flag.String("out", "", "with -exp E15: also write the pipeline baseline JSON to this file")
 	)
 	flag.Parse()
 	jsonOut = *asJSON
+	baselineOut = *out
+	if baselineOut != "" && *exp != "E15" {
+		fatal(fmt.Errorf("-out records the E15 pipeline baseline; use it with -exp E15"))
+	}
 
 	switch {
 	case *list:
@@ -83,6 +94,63 @@ func run(ex sim.Experiment, quick bool) error {
 	fmt.Printf("    claim under test: %s\n\n", ex.Claim)
 	tab.Render(os.Stdout)
 	fmt.Printf("\n    (%s in %v)\n\n", ex.ID, time.Since(start).Round(time.Millisecond))
+	if baselineOut != "" && ex.ID == "E15" {
+		if err := writeBaseline(baselineOut, quick); err != nil {
+			return fmt.Errorf("%s: baseline: %w", ex.ID, err)
+		}
+	}
+	return nil
+}
+
+var baselineOut string
+
+// pipelineBaseline is the BENCH_pipeline.json schema: the raw
+// file-queue pipeline sweep with its batch-32-vs-1 ratios, plus the
+// per-method durable-cluster rows.
+type pipelineBaseline struct {
+	Experiment string             `json:"experiment"`
+	Full       bool               `json:"full"`
+	FileQueue  []sim.E15QueueRow  `json:"file_queue"`
+	SpeedupX   float64            `json:"msgs_per_sec_speedup_batch32_vs_1"`
+	FsyncX     float64            `json:"fsync_reduction_batch32_vs_1"`
+	Methods    []sim.E15MethodRow `json:"methods"`
+}
+
+// writeBaseline measures the E15 pipeline directly (not from the
+// rendered table) and records it as JSON.
+func writeBaseline(path string, quick bool) error {
+	msgs, updates := sim.E15Sizes(quick)
+	b := pipelineBaseline{Experiment: "E15", Full: !quick}
+	for _, batch := range sim.E15BatchSizes {
+		row, err := sim.E15QueuePipeline(batch, msgs)
+		if err != nil {
+			return fmt.Errorf("queue batch=%d: %w", batch, err)
+		}
+		b.FileQueue = append(b.FileQueue, row)
+	}
+	first, last := b.FileQueue[0], b.FileQueue[len(b.FileQueue)-1]
+	b.SpeedupX = last.MsgsPerSec / first.MsgsPerSec
+	if last.Fsyncs > 0 {
+		b.FsyncX = float64(first.Fsyncs) / float64(last.Fsyncs)
+	}
+	for _, kind := range sim.AllMethods {
+		for _, batch := range []int{1, 32} {
+			row, err := sim.E15MethodBurst(kind, batch, updates)
+			if err != nil {
+				return err
+			}
+			b.Methods = append(b.Methods, row)
+		}
+	}
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "esrbench: wrote %s (batch32 vs 1: %.1fx msgs/sec, %.1fx fewer fsyncs)\n",
+		path, b.SpeedupX, b.FsyncX)
 	return nil
 }
 

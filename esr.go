@@ -148,6 +148,15 @@ type Config struct {
 	// JournalDir, when set, makes every stable queue journal-backed
 	// under the directory so queued MSets survive restarts.
 	JournalDir string
+	// FlushWindow, when positive, holds a journal's group-commit leader
+	// open for the duration so concurrent appends coalesce into one
+	// fsync.  Zero syncs each batch as soon as it is staged.
+	FlushWindow time.Duration
+	// DeliveryWindow caps how many queued MSets a delivery agent sends
+	// per network frame and acknowledges in one batched journal update.
+	// Zero keeps the default (32); negative forces one message per
+	// frame.
+	DeliveryWindow int
 	// CounterLimit enables COMMU's update throttling (§3.2): updates
 	// wait while an object has this many in-flight update ETs.
 	CounterLimit int
@@ -193,9 +202,11 @@ func Open(cfg Config) (*Cluster, error) {
 		MaxLatency: cfg.MaxLatency,
 		LossRate:   cfg.LossRate,
 	}, sim.Options{
-		CounterLimit: cfg.CounterLimit,
-		QueueDir:     cfg.JournalDir,
-		Trace:        cfg.TraceCapacity,
+		CounterLimit:   cfg.CounterLimit,
+		QueueDir:       cfg.JournalDir,
+		FlushWindow:    cfg.FlushWindow,
+		DeliveryWindow: cfg.DeliveryWindow,
+		Trace:          cfg.TraceCapacity,
 	})
 	if err != nil {
 		return nil, err

@@ -183,6 +183,58 @@ func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
 	return id, nil
 }
 
+// UpdateBurst executes a burst of update ETs at origin as one propagation
+// batch: every entry is validated and lock-counted as an independent ET,
+// then all MSets leave as a single batch per destination (one journal
+// fsync per link on durable clusters).  Commutativity makes the batch
+// boundary invisible to correctness — order within the burst doesn't
+// matter — so this is pure propagation amortisation.
+func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
+	if len(bursts) == 0 {
+		return nil, nil
+	}
+	s := e.c.Site(origin)
+	if s == nil {
+		return nil, fmt.Errorf("commu: unknown site %v", origin)
+	}
+	allUpdates := make([][]op.Op, len(bursts))
+	for i, ops := range bursts {
+		updates := make([]op.Op, 0, len(ops))
+		for _, o := range ops {
+			if o.Kind.IsUpdate() {
+				updates = append(updates, o)
+			}
+		}
+		if len(updates) == 0 {
+			return nil, ErrNotUpdate
+		}
+		if err := e.reserveFamilies(updates); err != nil {
+			return nil, err
+		}
+		allUpdates[i] = updates
+	}
+	if e.cfg.CounterLimit > 0 {
+		for _, updates := range allUpdates {
+			if err := e.throttle(updates); err != nil {
+				return nil, err
+			}
+		}
+	}
+	ids := make([]et.ID, len(bursts))
+	msets := make([]et.MSet, len(bursts))
+	for i, updates := range allUpdates {
+		id := e.c.NextET(origin)
+		ids[i] = id
+		e.trackFlight(id, updates)
+		msets[i] = et.MSet{ET: id, Origin: origin, TS: s.Clock.Tick(), Ops: updates}
+		e.c.RecordUpdate(id, bursts[i])
+	}
+	if err := e.c.BroadcastAll(msets); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
 // trackFlight registers the ET's lock-counters: "When updating an object,
 // the U^ET increments the object lock-counter by one" (§3.2).  The
 // counters drop once every site has applied the MSet.

@@ -198,6 +198,96 @@ func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
 	return id, nil
 }
 
+// UpdateBurst executes a burst of update ETs at origin as one
+// propagation batch: all tentative MSets leave as a single batch per
+// destination, and under AutoCommit all their commit records follow as a
+// second batch — two fsyncs per link for the whole burst instead of two
+// per update.
+func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
+	ids, err := e.BeginBurst(origin, bursts)
+	if err != nil {
+		return nil, err
+	}
+	if e.cfg.AutoCommit {
+		recs := make([]et.MSet, 0, len(ids))
+		for _, id := range ids {
+			if err := e.resolve(id, committed); err != nil {
+				return nil, err
+			}
+			recs = append(recs, et.MSet{ET: e.c.NextET(origin), Origin: origin, Target: id,
+				TS: e.c.Site(origin).Clock.Tick()})
+		}
+		if err := e.c.BroadcastAll(recs); err != nil {
+			return nil, err
+		}
+	}
+	return ids, nil
+}
+
+// BeginBurst executes a burst of tentative update ETs at origin as one
+// propagation batch.  Every entry is admitted and registered as an
+// independent saga step; in General mode the burst reserves its forward
+// sequence range in a single order-server round trip.
+func (e *Engine) BeginBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
+	if len(bursts) == 0 {
+		return nil, nil
+	}
+	s := e.c.Site(origin)
+	if s == nil {
+		return nil, fmt.Errorf("compe: unknown site %v", origin)
+	}
+	allUpdates := make([][]op.Op, len(bursts))
+	for i, ops := range bursts {
+		var updates []op.Op
+		for _, o := range ops {
+			if !o.Kind.IsUpdate() {
+				continue
+			}
+			if err := e.admissible(o); err != nil {
+				return nil, err
+			}
+			updates = append(updates, o)
+		}
+		if len(updates) == 0 {
+			return nil, ErrNotUpdate
+		}
+		if e.cfg.Mode == Commutative {
+			if err := e.reserveFamilies(updates); err != nil {
+				return nil, err
+			}
+		}
+		allUpdates[i] = updates
+	}
+	var seq0 uint64
+	if e.cfg.Mode == General {
+		var err error
+		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]et.ID, len(bursts))
+	msets := make([]et.MSet, len(bursts))
+	for i, updates := range allUpdates {
+		id := e.c.NextET(origin)
+		ids[i] = id
+		e.mu.Lock()
+		e.status[id] = tentative
+		e.ops[id] = updates
+		e.mu.Unlock()
+		var seq uint64
+		if e.cfg.Mode == General {
+			seq = seq0 + uint64(i)
+		}
+		msets[i] = et.MSet{ET: id, Origin: origin, Seq: seq, TS: s.Clock.Tick(), Ops: updates}
+		e.c.RecordUpdate(id, bursts[i])
+	}
+	if err := e.c.BroadcastAll(msets); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
 // Begin executes a tentative update ET at origin: its MSet propagates and
 // applies optimistically at every site, while its lock-counters stay held
 // until Commit or Abort resolves it.

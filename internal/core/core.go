@@ -90,10 +90,24 @@ type Config struct {
 	// RetryBackoff/RetryMax tune delivery-agent retries.  Zero values
 	// get sensible defaults.
 	RetryBackoff, RetryMax time.Duration
+	// DeliveryWindow is the in-flight window of the outbound delivery
+	// agents: up to this many messages leave per round as one network
+	// frame and are acknowledged with one batched journal record.  Zero
+	// means the default (32); negative forces single-message delivery.
+	DeliveryWindow int
+	// FlushWindow is the journal group-commit window: a durable write
+	// lingers this long so concurrent writers share one fsync.  Zero
+	// means no added latency (writers that collide still coalesce).
+	// Only meaningful on durable clusters (Dir set).
+	FlushWindow time.Duration
 	// Trace, when positive, enables event tracing with a ring buffer of
 	// that capacity (see internal/trace).
 	Trace int
 }
+
+// defaultDeliveryWindow is the outbound in-flight window when
+// Config.DeliveryWindow is zero.
+const defaultDeliveryWindow = 32
 
 type link struct {
 	q queue.Queue
@@ -140,6 +154,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if cfg.RetryMax == 0 {
 		cfg.RetryMax = 50 * time.Millisecond
+	}
+	if cfg.DeliveryWindow == 0 {
+		cfg.DeliveryWindow = defaultDeliveryWindow
+	}
+	if cfg.DeliveryWindow < 0 {
+		cfg.DeliveryWindow = 1
 	}
 	c := &Cluster{
 		cfg:        cfg,
@@ -191,23 +211,34 @@ func New(cfg Config) (*Cluster, error) {
 			d := queue.NewDelivery(q, func(m queue.Message) error {
 				return c.Net.Send(from, to, m.Payload)
 			}, cfg.RetryBackoff, cfg.RetryMax)
+			d.SetWindow(cfg.DeliveryWindow)
+			d.SetBatchSend(func(ms []queue.Message) error {
+				payloads := make([][]byte, len(ms))
+				for i, m := range ms {
+					payloads[i] = m.Payload
+				}
+				return c.Net.SendBatch(from, to, payloads)
+			})
 			c.out[from][to] = &link{q: q, d: d}
 		}
 	}
 	// Network handlers: deliver into the site's inbound stable queue.
 	for id, site := range c.sites {
-		site := site
-		c.Net.Register(id, func(from clock.SiteID, payload []byte) ([]byte, error) {
-			m, err := et.DecodeMSet(payload)
-			if err != nil {
-				return nil, err
-			}
-			return nil, site.Receive(queue.Message{ID: msgIDFor(m), Payload: payload})
-		})
+		c.registerHandlers(id, site)
 	}
-	// The virtual order server (§3.1's "centralized order server").
+	// The virtual order server (§3.1's "centralized order server").  The
+	// request payload carries an 8-byte little-endian count so a commit
+	// burst reserves its whole sequence range in one round trip; shorter
+	// payloads (the legacy "seq" request) reserve one number.  The reply
+	// is the first number of the reserved run.
 	c.Net.Register(SequencerSite, func(from clock.SiteID, payload []byte) ([]byte, error) {
-		n := c.Seq.Next()
+		count := uint64(1)
+		if len(payload) == 8 {
+			if n := decodeU64(payload); n > 0 {
+				count = n
+			}
+		}
+		n := c.Seq.Reserve(count)
 		var b [8]byte
 		for i := 0; i < 8; i++ {
 			b[i] = byte(n >> (8 * i))
@@ -217,11 +248,46 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// registerHandlers installs the site's single-message and batch-frame
+// network handlers (also used when a crashed site restarts).
+func (c *Cluster) registerHandlers(id clock.SiteID, site *replica.Site) {
+	c.Net.Register(id, func(from clock.SiteID, payload []byte) ([]byte, error) {
+		m, err := et.DecodeMSet(payload)
+		if err != nil {
+			return nil, err
+		}
+		return nil, site.Receive(queue.Message{ID: msgIDFor(m), Payload: payload})
+	})
+	c.Net.RegisterBatch(id, func(from clock.SiteID, payloads [][]byte) error {
+		msgs := make([]queue.Message, len(payloads))
+		decoded := make([]et.MSet, len(payloads))
+		for i, p := range payloads {
+			m, err := et.DecodeMSet(p)
+			if err != nil {
+				return err
+			}
+			msgs[i] = queue.Message{ID: msgIDFor(m), Payload: p}
+			decoded[i] = m
+		}
+		return site.ReceiveDecodedBatch(msgs, decoded)
+	})
+}
+
+// decodeU64 reads a little-endian uint64 from up to 8 payload bytes.
+func decodeU64(payload []byte) uint64 {
+	var n uint64
+	for i := 0; i < 8 && i < len(payload); i++ {
+		n |= uint64(payload[i]) << (8 * i)
+	}
+	return n
+}
+
 func (c *Cluster) newQueue(name string) (queue.Queue, error) {
 	if c.cfg.Dir == "" {
 		return queue.NewMem(), nil
 	}
-	q, err := queue.Open(filepath.Join(c.cfg.Dir, name+".journal"))
+	q, err := queue.OpenOptions(filepath.Join(c.cfg.Dir, name+".journal"),
+		queue.Options{FlushWindow: c.cfg.FlushWindow})
 	if err != nil {
 		return nil, err
 	}
@@ -302,11 +368,25 @@ func (c *Cluster) NextSeq(from clock.SiteID) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: order server unreachable: %w", err)
 	}
-	var n uint64
-	for i := 0; i < 8 && i < len(resp); i++ {
-		n |= uint64(resp[i]) << (8 * i)
+	return decodeU64(resp), nil
+}
+
+// NextSeqN reserves n consecutive global sequence numbers in a single
+// round trip to the order server, returning the first of the run.  A
+// commit burst of n updates pays one network exchange instead of n.
+func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("core: reserve of zero sequence numbers")
 	}
-	return n, nil
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(n >> (8 * i))
+	}
+	resp, err := c.Net.Call(from, SequencerSite, b[:])
+	if err != nil {
+		return 0, fmt.Errorf("core: order server unreachable: %w", err)
+	}
+	return decodeU64(resp), nil
 }
 
 // msgIDFor derives a queue-unique message ID from an MSet identity.  The
@@ -348,6 +428,79 @@ func (c *Cluster) Broadcast(m et.MSet) error {
 		l.d.Kick()
 	}
 	return nil
+}
+
+// BroadcastAll propagates a burst of update MSets sharing one origin as
+// a single batch: the origin applies them via one inbound batch append,
+// and every outbound link gets one batched journal record (one fsync on
+// durable clusters) plus one delivery kick — the "one MSet batch per
+// destination per commit burst" propagation the group-commit pipeline
+// exists for.  Like Broadcast, it returns once every copy is durably
+// queued, which is the asynchronous commit point for the whole burst.
+func (c *Cluster) BroadcastAll(msets []et.MSet) error {
+	if len(msets) == 0 {
+		return nil
+	}
+	if len(msets) == 1 {
+		return c.Broadcast(msets[0])
+	}
+	originID := msets[0].Origin
+	msgs := make([]queue.Message, len(msets))
+	for i, m := range msets {
+		if m.Origin != originID {
+			return fmt.Errorf("core: burst mixes origins %v and %v", originID, m.Origin)
+		}
+		payload, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		msgs[i] = queue.Message{ID: msgIDFor(m), Payload: payload}
+	}
+	origin := c.Site(originID)
+	if origin == nil {
+		return fmt.Errorf("core: unknown origin site %v", originID)
+	}
+	for _, m := range msets {
+		c.Trace.Recordf(trace.Commit, int(originID), m.ET.String(), "ops=%d comp=%v burst=%d", len(m.Ops), m.Compensation, len(msets))
+	}
+	if err := origin.ReceiveDecodedBatch(msgs, msets); err != nil {
+		return err
+	}
+	for to, l := range c.out[originID] {
+		if err := l.q.EnqueueBatch(msgs); err != nil {
+			return fmt.Errorf("core: enqueue burst for %v: %w", to, err)
+		}
+		for _, m := range msets {
+			c.Trace.Recordf(trace.Enqueue, int(originID), m.ET.String(), "to=%v", to)
+		}
+		l.d.Kick()
+	}
+	return nil
+}
+
+// JournalSyncs sums the fsyncs issued by every journal-backed stable
+// queue and WAL in the cluster.  On in-memory clusters it returns 0.
+// Experiments use it to show the group-commit fsync amortisation.
+func (c *Cluster) JournalSyncs() uint64 {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	var total uint64
+	for _, q := range c.inQ {
+		if s, ok := q.(queue.Syncer); ok {
+			total += s.Syncs()
+		}
+	}
+	for _, links := range c.out {
+		for _, l := range links {
+			if s, ok := l.q.(queue.Syncer); ok {
+				total += s.Syncs()
+			}
+		}
+	}
+	for _, w := range c.wals {
+		total += w.Syncs()
+	}
+	return total
 }
 
 // OutBacklog returns the largest outbound-queue length among the site's

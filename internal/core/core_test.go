@@ -157,7 +157,22 @@ func TestOutBacklog(t *testing.T) {
 }
 
 func TestMessageLossMaskedByRetry(t *testing.T) {
-	c := newCluster(t, 3, network.Config{Seed: 3, LossRate: 0.4}, nil)
+	// DeliveryWindow -1 forces one frame per message so the loss model
+	// gets a decision per message rather than per batched frame.
+	c, err := New(Config{Sites: 3, Net: network.Config{Seed: 3, LossRate: 0.4},
+		LockTable: lock.COMMU, DeliveryWindow: -1})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	c.Setup(func(s *replica.Site) replica.ApplyFunc {
+		return func(m et.MSet) error {
+			for _, o := range m.Ops {
+				s.Store.Apply(o)
+			}
+			return nil
+		}
+	})
+	t.Cleanup(func() { c.Close() })
 	for i := 0; i < 10; i++ {
 		m := et.MSet{ET: c.NextET(1), Origin: 1, Ops: []op.Op{op.IncOp("x", 1)}}
 		if err := c.Broadcast(m); err != nil {

@@ -77,7 +77,8 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 	if !c.crashed[id] {
 		return ErrSiteRunning
 	}
-	q, err := queue.Open(filepath.Join(c.cfg.Dir, fmt.Sprintf("in-%d.journal", id)))
+	q, err := queue.OpenOptions(filepath.Join(c.cfg.Dir, fmt.Sprintf("in-%d.journal", id)),
+		queue.Options{FlushWindow: c.cfg.FlushWindow})
 	if err != nil {
 		return fmt.Errorf("core: reopen inbound journal: %w", err)
 	}
@@ -116,13 +117,7 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 	c.sites[id] = site
 	c.inQ[id] = q
 	c.wals[id] = w
-	c.Net.Register(id, func(from clock.SiteID, payload []byte) ([]byte, error) {
-		m, err := et.DecodeMSet(payload)
-		if err != nil {
-			return nil, err
-		}
-		return nil, site.Receive(queue.Message{ID: msgIDFor(m), Payload: payload})
-	})
+	c.registerHandlers(id, site)
 	delete(c.crashed, id)
 	c.Net.Restart(id)
 	site.Start()

@@ -1,0 +1,111 @@
+package network
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"esr/internal/clock"
+)
+
+func TestSendBatchDeliversOneFrame(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	var mu sync.Mutex
+	var got [][]byte
+	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		got = append(got, payloads...)
+		return nil
+	})
+	frame := [][]byte{[]byte("a"), []byte("bb"), []byte("ccc")}
+	if err := tr.SendBatch(1, 2, frame); err != nil {
+		t.Fatalf("SendBatch: %v", err)
+	}
+	if err := tr.SendBatch(1, 2, nil); err != nil {
+		t.Errorf("empty SendBatch: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 3 {
+		t.Fatalf("delivered %d payloads, want 3", len(got))
+	}
+	st := tr.Stats()
+	if st.Frames != 1 {
+		t.Errorf("Frames = %d, want 1 (one frame for the whole batch)", st.Frames)
+	}
+	if st.Delivered != 3 || st.Sent != 3 {
+		t.Errorf("Delivered/Sent = %d/%d, want 3/3", st.Delivered, st.Sent)
+	}
+	if st.Bytes != 6 {
+		t.Errorf("Bytes = %d, want 6", st.Bytes)
+	}
+}
+
+func TestSendBatchFallsBackToSingleHandler(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	var n int
+	tr.Register(2, func(from clock.SiteID, payload []byte) ([]byte, error) {
+		n++
+		return nil, nil
+	})
+	if err := tr.SendBatch(1, 2, [][]byte{[]byte("a"), []byte("b")}); err != nil {
+		t.Fatalf("SendBatch without batch handler: %v", err)
+	}
+	if n != 2 {
+		t.Errorf("fallback delivered %d, want 2", n)
+	}
+	if st := tr.Stats(); st.Frames != 1 {
+		t.Errorf("Frames = %d, want 1 even via fallback", st.Frames)
+	}
+}
+
+func TestSendBatchWholeFramePartitioned(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error { return nil })
+	tr.Partition([]clock.SiteID{1}, []clock.SiteID{2})
+	err := tr.SendBatch(1, 2, [][]byte{[]byte("a"), []byte("b")})
+	if !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("want ErrPartitioned, got %v", err)
+	}
+	if st := tr.Stats(); st.Partitioned != 2 {
+		t.Errorf("Partitioned = %d, want 2 (per message)", st.Partitioned)
+	}
+	tr.Heal()
+	if err := tr.SendBatch(1, 2, [][]byte{[]byte("a")}); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestSendBatchLossDropsWholeFrame(t *testing.T) {
+	tr := New(Config{Seed: 7, LossRate: 1})
+	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error {
+		t.Error("lost frame reached the handler")
+		return nil
+	})
+	if err := tr.SendBatch(1, 2, [][]byte{[]byte("a"), []byte("b"), []byte("c")}); !errors.Is(err, ErrLost) {
+		t.Fatalf("want ErrLost, got %v", err)
+	}
+	if st := tr.Stats(); st.Lost != 3 {
+		t.Errorf("Lost = %d, want 3", st.Lost)
+	}
+}
+
+func TestSendBatchHandlerErrorFailsFrame(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	boom := errors.New("apply failed")
+	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error { return boom })
+	if err := tr.SendBatch(1, 2, [][]byte{[]byte("a")}); !errors.Is(err, boom) {
+		t.Fatalf("handler error must fail the frame, got %v", err)
+	}
+	if st := tr.Stats(); st.Frames != 0 || st.Delivered != 0 {
+		t.Errorf("failed frame counted as delivered: %+v", st)
+	}
+}
+
+func TestSendBatchUnknownSite(t *testing.T) {
+	tr := New(Config{Seed: 1})
+	if err := tr.SendBatch(1, 9, [][]byte{[]byte("a")}); !errors.Is(err, ErrUnknownSite) {
+		t.Fatalf("want ErrUnknownSite, got %v", err)
+	}
+}

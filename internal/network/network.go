@@ -41,6 +41,11 @@ var (
 // propagated to the sender as a failed delivery.
 type Handler func(from clock.SiteID, payload []byte) ([]byte, error)
 
+// BatchHandler processes a whole frame of messages delivered together by
+// SendBatch.  An error fails the entire frame: the sender retries all of
+// it, and receiver-side dedup absorbs the duplicates (at-least-once).
+type BatchHandler func(from clock.SiteID, payloads [][]byte) error
+
 // Config parameterizes a Transport.
 type Config struct {
 	// Seed seeds the deterministic random source used for latency and
@@ -61,18 +66,20 @@ type Stats struct {
 	Lost        uint64 // messages dropped by the loss model
 	Partitioned uint64 // messages rejected because of a partition
 	Bytes       uint64 // payload bytes delivered
+	Frames      uint64 // batch frames delivered (one per SendBatch success)
 }
 
 // Transport connects a set of sites.  It is safe for concurrent use.
 type Transport struct {
 	cfg Config
 
-	mu        sync.Mutex
-	rng       *rand.Rand
-	handlers  map[clock.SiteID]Handler
-	partition map[clock.SiteID]int // partition group; absent means group 0
-	down      map[clock.SiteID]bool
-	stats     Stats
+	mu            sync.Mutex
+	rng           *rand.Rand
+	handlers      map[clock.SiteID]Handler
+	batchHandlers map[clock.SiteID]BatchHandler
+	partition     map[clock.SiteID]int // partition group; absent means group 0
+	down          map[clock.SiteID]bool
+	stats         Stats
 }
 
 // New returns a Transport with the given configuration.
@@ -81,11 +88,12 @@ func New(cfg Config) *Transport {
 		cfg.MaxLatency = cfg.MinLatency
 	}
 	return &Transport{
-		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(cfg.Seed)),
-		handlers:  make(map[clock.SiteID]Handler),
-		partition: make(map[clock.SiteID]int),
-		down:      make(map[clock.SiteID]bool),
+		cfg:           cfg,
+		rng:           rand.New(rand.NewSource(cfg.Seed)),
+		handlers:      make(map[clock.SiteID]Handler),
+		batchHandlers: make(map[clock.SiteID]BatchHandler),
+		partition:     make(map[clock.SiteID]int),
+		down:          make(map[clock.SiteID]bool),
 	}
 }
 
@@ -95,6 +103,14 @@ func (t *Transport) Register(site clock.SiteID, h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handlers[site] = h
+}
+
+// RegisterBatch installs the frame handler for a site, used by SendBatch.
+// Re-registering replaces the handler (used when a crashed site restarts).
+func (t *Transport) RegisterBatch(site clock.SiteID, h BatchHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.batchHandlers[site] = h
 }
 
 // Partition splits the sites into the given groups.  Sites not mentioned
@@ -165,6 +181,75 @@ func (t *Transport) Send(from, to clock.SiteID, payload []byte) error {
 // queues.
 func (t *Transport) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
 	return t.deliver(from, to, payload, 2)
+}
+
+// SendBatch delivers a whole frame of messages in one network transit:
+// one latency sample, one loss decision, and one partition check cover
+// the entire batch, which is what makes batched propagation cheap on
+// slow links.  The frame is all-or-nothing — on any error the caller
+// retries the whole batch and dedup at the receiver absorbs repeats.
+// Falls back to the site's per-message handler if no batch handler is
+// registered (still a single simulated transit).
+func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	n := uint64(len(payloads))
+	t.mu.Lock()
+	t.stats.Sent += n
+	bh, bok := t.batchHandlers[to]
+	h, ok := t.handlers[to]
+	lat := t.sampleLatencyLocked()
+	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
+	partitioned := t.partition[from] != t.partition[to]
+	isDown := t.down[to] || t.down[from]
+	t.mu.Unlock()
+
+	if !bok && !ok {
+		return fmt.Errorf("%w: %v", ErrUnknownSite, to)
+	}
+	if partitioned {
+		t.count(func(s *Stats) { s.Partitioned += n })
+		return ErrPartitioned
+	}
+	if isDown {
+		return ErrSiteDown
+	}
+	if lat > 0 {
+		time.Sleep(lat)
+	}
+	if lost {
+		t.count(func(s *Stats) { s.Lost += n })
+		return ErrLost
+	}
+	t.mu.Lock()
+	stillOK := t.partition[from] == t.partition[to] && !t.down[to]
+	t.mu.Unlock()
+	if !stillOK {
+		t.count(func(s *Stats) { s.Partitioned += n })
+		return ErrPartitioned
+	}
+	var bytes uint64
+	for _, p := range payloads {
+		bytes += uint64(len(p))
+	}
+	if bok {
+		if err := bh(from, payloads); err != nil {
+			return err
+		}
+	} else {
+		for _, p := range payloads {
+			if _, err := h(from, p); err != nil {
+				return err
+			}
+		}
+	}
+	t.count(func(s *Stats) {
+		s.Delivered += n
+		s.Bytes += bytes
+		s.Frames++
+	})
+	return nil
 }
 
 func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, error) {

@@ -167,21 +167,41 @@ func (e *Engine) Cluster() *core.Cluster { return e.c }
 // asynchronously ("the client generating the MSets does not have to
 // deliver them in order", §3.1 — ordering is enforced at application).
 func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
-	updates := updateOps(ops)
-	if len(updates) == 0 {
-		return 0, ErrNotUpdate
+	ids, err := e.UpdateBurst(origin, [][]op.Op{ops})
+	if err != nil {
+		return 0, err
+	}
+	return ids[0], nil
+}
+
+// UpdateBurst executes a burst of update ETs at origin as one propagation
+// batch: in Sequencer mode the whole burst reserves a consecutive
+// sequence range in a single order-server round trip, and all MSets leave
+// as one batch per destination (one journal fsync per link on durable
+// clusters).  Each burst entry is an independent ET; the paper's framing
+// holds per ET, only the propagation is coalesced.
+func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
+	if len(bursts) == 0 {
+		return nil, nil
+	}
+	allUpdates := make([][]op.Op, len(bursts))
+	for i, ops := range bursts {
+		updates := updateOps(ops)
+		if len(updates) == 0 {
+			return nil, ErrNotUpdate
+		}
+		allUpdates[i] = updates
 	}
 	s := e.c.Site(origin)
 	if s == nil {
-		return 0, fmt.Errorf("ordup: unknown site %v", origin)
+		return nil, fmt.Errorf("ordup: unknown site %v", origin)
 	}
-	id := e.c.NextET(origin)
-	var seq uint64
+	var seq0 uint64
 	if e.cfg.Ordering == Sequencer {
 		var err error
-		seq, err = e.c.NextSeq(origin)
+		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts)))
 		if err != nil {
-			return 0, err
+			return nil, err
 		}
 	}
 	// In Lamport mode the stability rule depends on per-link FIFO implying
@@ -193,20 +213,30 @@ func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
 		st.submit.Lock()
 		defer st.submit.Unlock()
 	}
-	ts := s.Clock.Tick()
-	pendingAt := make(map[clock.SiteID]bool, len(e.states))
-	for sid := range e.states {
-		pendingAt[sid] = true
+	ids := make([]et.ID, len(bursts))
+	msets := make([]et.MSet, len(bursts))
+	for i, ops := range bursts {
+		id := e.c.NextET(origin)
+		ids[i] = id
+		var seq uint64
+		if e.cfg.Ordering == Sequencer {
+			seq = seq0 + uint64(i)
+		}
+		ts := s.Clock.Tick()
+		pendingAt := make(map[clock.SiteID]bool, len(e.states))
+		for sid := range e.states {
+			pendingAt[sid] = true
+		}
+		e.mu.Lock()
+		e.outstanding[id] = pendingAt
+		e.mu.Unlock()
+		msets[i] = et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: allUpdates[i]}
+		e.c.RecordUpdate(id, ops)
 	}
-	e.mu.Lock()
-	e.outstanding[id] = pendingAt
-	e.mu.Unlock()
-	m := et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: updates}
-	e.c.RecordUpdate(id, ops)
-	if err := e.c.Broadcast(m); err != nil {
-		return 0, err
+	if err := e.c.BroadcastAll(msets); err != nil {
+		return nil, err
 	}
-	return id, nil
+	return ids, nil
 }
 
 // Query executes a query ET at the given site under an ε limit.  Reads

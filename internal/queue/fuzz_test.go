@@ -1,17 +1,19 @@
 package queue
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 // FuzzJournalRecovery feeds arbitrary bytes to the journal reader: Open
-// must never panic, must always produce a usable queue (recovering any
-// intact record prefix), and the recovered queue must accept appends
-// that survive a further reopen.
+// must never panic, and must either produce a usable queue (recovering
+// any intact record prefix, truncating a torn tail) or reject the file
+// with a diagnosable *CorruptError — never any other failure.  When it
+// recovers, the queue must accept appends that survive a further reopen.
 func FuzzJournalRecovery(f *testing.F) {
-	// Seed with a real journal prefix plus corruptions.
+	// Seed with real journal prefixes plus corruptions.
 	dir, err := os.MkdirTemp("", "fuzzseed")
 	if err != nil {
 		f.Fatal(err)
@@ -37,6 +39,44 @@ func FuzzJournalRecovery(f *testing.F) {
 	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
 	f.Add(append(append([]byte{}, seed...), 0xde, 0xad))
 
+	// Batch-written journal: EnqueueBatch and AckBatch records.
+	batchPath := filepath.Join(dir, "batch.journal")
+	qb, err := Open(batchPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	qb.EnqueueBatch([]Message{
+		{ID: 10, Payload: []byte("b0")},
+		{ID: 11, Payload: []byte("b1")},
+		{ID: 12, Payload: []byte("b2")},
+	})
+	qb.AckBatch([]uint64{10, 12})
+	qb.Close()
+	batch, err := os.ReadFile(batchPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(batch)
+	f.Add(batch[:len(batch)-5])
+
+	// Compacted journal: a Seen record followed by live messages.
+	compactPath := filepath.Join(dir, "compact.journal")
+	qc, err := OpenOptions(compactPath, Options{CompactMinRecords: 4, SeenRetention: 2})
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		qc.Enqueue(Message{ID: i, Payload: []byte{byte(i)}})
+	}
+	qc.AckBatch([]uint64{1, 2, 3, 4, 5})
+	qc.Close()
+	compact, err := os.ReadFile(compactPath)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(compact)
+	f.Add(compact[:len(compact)/2])
+
 	f.Fuzz(func(t *testing.T, journal []byte) {
 		path := filepath.Join(t.TempDir(), "q.journal")
 		if err := os.WriteFile(path, journal, 0o600); err != nil {
@@ -44,7 +84,14 @@ func FuzzJournalRecovery(f *testing.F) {
 		}
 		q, err := Open(path)
 		if err != nil {
-			t.Fatalf("Open on arbitrary bytes must recover, got %v", err)
+			var ce *CorruptError
+			if !errors.As(err, &ce) {
+				t.Fatalf("Open on arbitrary bytes must recover or report corruption, got %v", err)
+			}
+			if ce.Offset < 0 || ce.Offset > int64(len(journal)) {
+				t.Fatalf("corruption offset %d out of range [0,%d]", ce.Offset, len(journal))
+			}
+			return
 		}
 		// The recovered queue must be fully usable.
 		if err := q.Enqueue(Message{ID: 1 << 60, Payload: []byte("post-recovery")}); err != nil {

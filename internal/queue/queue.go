@@ -10,6 +10,23 @@
 // whose contents survive Close/reopen (the crash model used by the failure
 // injection tests).  A Delivery agent drains a queue through an unreliable
 // send function, retrying until each message is acknowledged.
+//
+// The file-backed queue is built for throughput as well as durability:
+//
+//   - Group commit: concurrent writers stage their records and the first
+//     one to reach the journal flushes everything staged with a single
+//     write and a single fsync (an optional flush window lets the leader
+//     linger for more joiners).  EnqueueBatch/AckBatch write a whole
+//     batch under one fsync even from a single goroutine.
+//   - Compaction: once acknowledged (dead) records dominate the journal,
+//     the live tail is rewritten to a temporary file which atomically
+//     replaces the journal; the dedup horizon survives via an explicit
+//     Seen record, and recently acked IDs are retained so producer
+//     retries stay idempotent while ancient entries stop leaking memory.
+//   - Diagnosable corruption: replay distinguishes a torn tail (the
+//     expected artifact of a crash mid-append, silently truncated) from
+//     mid-file corruption, which surfaces as a *CorruptError carrying
+//     the byte offset instead of silently discarding the rest of the log.
 package queue
 
 import (
@@ -21,7 +38,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,17 +57,52 @@ type Message struct {
 // ErrClosed is returned by operations on a closed queue.
 var ErrClosed = errors.New("queue: closed")
 
+// CorruptError reports a structurally damaged journal record that is not
+// a torn tail: a record in the middle of the file (or with an impossible
+// length) that cannot be decoded.  Unlike a torn tail — the expected
+// artifact of a crash mid-append, which replay silently truncates — this
+// indicates real corruption, and recovery must be a deliberate decision,
+// so Open returns the error instead of discarding everything after the
+// damage.
+type CorruptError struct {
+	// Path is the journal file.
+	Path string
+	// Offset is the byte offset of the damaged record's length prefix.
+	Offset int64
+	// Reason describes what failed to parse.
+	Reason string
+}
+
+// Error implements error.
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("queue: corrupt journal record in %s at offset %d: %s", e.Path, e.Offset, e.Reason)
+}
+
+// maxRecordSize bounds a single journal record.  Writers never produce
+// records anywhere near this large, so a complete length prefix above it
+// can only be corruption, not a torn write.
+const maxRecordSize = 1 << 26
+
 // Queue is a stable FIFO with acknowledge-to-remove semantics.
 // Implementations must be safe for concurrent use.
 type Queue interface {
 	// Enqueue appends the message unless its ID has been seen before.
 	Enqueue(Message) error
+	// EnqueueBatch appends every not-yet-seen message in the batch,
+	// durably, under a single flush on journal-backed implementations.
+	EnqueueBatch([]Message) error
 	// Peek returns the oldest unacknowledged message without removing it.
 	// ok is false when the queue is empty.
 	Peek() (m Message, ok bool, err error)
+	// PeekN returns up to n of the oldest unacknowledged messages in FIFO
+	// order without removing them.
+	PeekN(n int) ([]Message, error)
 	// Ack removes the message with the given ID.  Acking an unknown or
 	// already-acked ID is a no-op.
 	Ack(id uint64) error
+	// AckBatch removes every listed message, durably, under a single
+	// flush on journal-backed implementations.
+	AckBatch(ids []uint64) error
 	// All returns a snapshot of every unacknowledged message in FIFO
 	// order.  Consumers that must process messages out of arrival order
 	// (ORDUP's hold-back delivery) scan All instead of Peek.
@@ -57,6 +111,13 @@ type Queue interface {
 	Len() int
 	// Close releases resources.  A File queue can be reopened afterwards.
 	Close() error
+}
+
+// Syncer is implemented by queues whose durability costs fsyncs; the
+// benchmarks read it to report fsyncs per operation.
+type Syncer interface {
+	// Syncs reports the cumulative number of fsync calls issued.
+	Syncs() uint64
 }
 
 // Mem is an in-memory Queue.  The zero value is not usable; call NewMem.
@@ -73,17 +134,22 @@ func NewMem() *Mem {
 }
 
 // Enqueue implements Queue.
-func (q *Mem) Enqueue(m Message) error {
+func (q *Mem) Enqueue(m Message) error { return q.EnqueueBatch([]Message{m}) }
+
+// EnqueueBatch implements Queue.
+func (q *Mem) EnqueueBatch(msgs []Message) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	if q.seen[m.ID] {
-		return nil
+	for _, m := range msgs {
+		if q.seen[m.ID] {
+			continue
+		}
+		q.seen[m.ID] = true
+		q.items = append(q.items, m)
 	}
-	q.seen[m.ID] = true
-	q.items = append(q.items, m)
 	return nil
 }
 
@@ -100,19 +166,30 @@ func (q *Mem) Peek() (Message, bool, error) {
 	return q.items[0], true, nil
 }
 
+// PeekN implements Queue.
+func (q *Mem) PeekN(n int) ([]Message, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrClosed
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	return append([]Message(nil), q.items[:n]...), nil
+}
+
 // Ack implements Queue.
-func (q *Mem) Ack(id uint64) error {
+func (q *Mem) Ack(id uint64) error { return q.AckBatch([]uint64{id}) }
+
+// AckBatch implements Queue.
+func (q *Mem) AckBatch(ids []uint64) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrClosed
 	}
-	for i, m := range q.items {
-		if m.ID == id {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			return nil
-		}
-	}
+	q.items = removeIDs(q.items, ids)
 	return nil
 }
 
@@ -141,11 +218,69 @@ func (q *Mem) Close() error {
 	return nil
 }
 
+// removeIDs filters the listed IDs out of items, preserving order.
+func removeIDs(items []Message, ids []uint64) []Message {
+	drop := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		drop[id] = true
+	}
+	out := items[:0]
+	for _, m := range items {
+		if !drop[m.ID] {
+			out = append(out, m)
+		}
+	}
+	// Zero the tail so dropped payloads are not pinned by the backing
+	// array.
+	for i := len(out); i < len(items); i++ {
+		items[i] = Message{}
+	}
+	return out
+}
+
 // record is one journal entry.
 type record struct {
 	Ack bool
 	Msg Message // Msg.ID only for acks
+	// Seen carries the retained dedup horizon across a compaction: the
+	// IDs of recently acknowledged messages that must stay suppressed
+	// even though their enqueue records were compacted away.
+	Seen []uint64
 }
+
+// Options tunes a File queue.  The zero value gives sensible defaults.
+type Options struct {
+	// FlushWindow is how long a group-commit leader lingers for more
+	// writers to stage records before issuing the shared fsync.  Zero
+	// (the default) still group-commits — writers that arrive while a
+	// flush is in progress share the next one — but adds no latency.
+	FlushWindow time.Duration
+	// CompactMinRecords is the journal record count below which
+	// compaction never triggers.  Zero means the default (1024);
+	// negative disables compaction.
+	CompactMinRecords int
+	// SeenRetention is how many recently acknowledged message IDs stay
+	// in the dedup set across a compaction.  Zero means the default
+	// (4096); negative retains none beyond the live messages.
+	SeenRetention int
+}
+
+const (
+	defaultCompactMinRecords = 1024
+	defaultSeenRetention     = 4096
+	compactSuffix            = ".compact"
+)
+
+// compaction crash points, settable only by tests to prove crash safety
+// of each step.
+const (
+	crashNone           = iota
+	crashAfterTempWrite // temp journal written and synced, before rename
+	crashAfterRename    // renamed over the journal, before handle swap
+)
+
+// errSimulatedCrash marks a test-injected crash inside compaction.
+var errSimulatedCrash = errors.New("queue: simulated crash")
 
 // File is a journal-backed Queue.  Every Enqueue and Ack is appended to
 // the journal as a length-prefixed gob record and flushed before
@@ -153,22 +288,60 @@ type record struct {
 // crash (simulated by Close or by simply abandoning the handle) loses
 // nothing that was acknowledged to the caller.  A torn final record — the
 // artifact of a crash mid-write — is detected by the length prefix and
-// truncated away during replay.
+// truncated away during replay; damage anywhere else surfaces as a
+// *CorruptError.
+//
+// Concurrent writers group-commit: records are staged under the state
+// lock and the first writer through the commit lock flushes every staged
+// record with one write and one fsync.  The journal compacts itself once
+// dead records dominate (see Options).
 type File struct {
-	mu     sync.Mutex
-	f      *os.File
-	items  []Message
-	seen   map[uint64]bool
-	closed bool
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	f       *os.File
+	items   []Message
+	seen    map[uint64]bool
+	acked   []uint64 // acked IDs in ack order; the prunable part of seen
+	records int      // complete records in the journal (live + dead)
+	closed  bool
+
+	// Group commit: stage accumulates encoded records; waiters get the
+	// result of the flush that covered their records.  commitMu is held
+	// by the flush leader for the duration of write+fsync.
+	commitMu sync.Mutex
+	stage    []byte
+	waiters  []chan error
+
+	syncs atomic.Uint64
+
+	crashPoint int // test-only compaction crash injection
 }
 
-// Open opens (creating if necessary) the journal at path and replays it.
-func Open(path string) (*File, error) {
+// Open opens (creating if necessary) the journal at path and replays it,
+// using default Options.
+func Open(path string) (*File, error) { return OpenOptions(path, Options{}) }
+
+// OpenOptions opens the journal at path with explicit tuning.
+func OpenOptions(path string, opts Options) (*File, error) {
+	if opts.CompactMinRecords == 0 {
+		opts.CompactMinRecords = defaultCompactMinRecords
+	}
+	if opts.SeenRetention == 0 {
+		opts.SeenRetention = defaultSeenRetention
+	}
+	if opts.SeenRetention < 0 {
+		opts.SeenRetention = 0
+	}
+	// A crash between writing the compaction temp file and renaming it
+	// leaves the temp behind; the journal itself is still authoritative.
+	os.Remove(path + compactSuffix)
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("queue: open journal: %w", err)
 	}
-	q := &File{f: f, seen: make(map[uint64]bool)}
+	q := &File{path: path, opts: opts, f: f, seen: make(map[uint64]bool)}
 	if err := q.replay(); err != nil {
 		f.Close()
 		return nil, err
@@ -176,6 +349,8 @@ func Open(path string) (*File, error) {
 	return q, nil
 }
 
+// replay rebuilds in-memory state from the journal.  A torn tail is
+// truncated; mid-file corruption aborts with a *CorruptError.
 func (q *File) replay() error {
 	if _, err := q.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("queue: seek journal: %w", err)
@@ -185,28 +360,49 @@ func (q *File) replay() error {
 	var lenBuf [4]byte
 	for {
 		if _, err := io.ReadFull(br, lenBuf[:]); err != nil {
-			break // EOF or torn length prefix
+			break // clean EOF, or a torn length prefix
 		}
 		n := binary.LittleEndian.Uint32(lenBuf[:])
+		if n > maxRecordSize {
+			// Length prefixes are written whole from real record sizes; a
+			// complete prefix this large cannot be a torn write.
+			return &CorruptError{Path: q.path, Offset: good,
+				Reason: fmt.Sprintf("record length %d exceeds the %d-byte limit", n, maxRecordSize)}
+		}
 		body := make([]byte, n)
 		if _, err := io.ReadFull(br, body); err != nil {
-			break // torn body
+			break // torn body: the record never finished writing
 		}
 		var r record
 		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&r); err != nil {
-			break // corrupt record
+			// The record is complete on disk but does not parse: that is
+			// damage, not a crash artifact.
+			return &CorruptError{Path: q.path, Offset: good,
+				Reason: fmt.Sprintf("undecodable record: %v", err)}
 		}
 		good += 4 + int64(n)
-		if r.Ack {
+		q.records++
+		switch {
+		case len(r.Seen) > 0:
+			for _, id := range r.Seen {
+				if !q.seen[id] {
+					q.seen[id] = true
+					q.acked = append(q.acked, id)
+				}
+			}
+		case r.Ack:
 			for i, m := range q.items {
 				if m.ID == r.Msg.ID {
 					q.items = append(q.items[:i], q.items[i+1:]...)
+					q.acked = append(q.acked, r.Msg.ID)
 					break
 				}
 			}
-		} else if !q.seen[r.Msg.ID] {
-			q.seen[r.Msg.ID] = true
-			q.items = append(q.items, r.Msg)
+		default:
+			if !q.seen[r.Msg.ID] {
+				q.seen[r.Msg.ID] = true
+				q.items = append(q.items, r.Msg)
+			}
 		}
 	}
 	if err := q.f.Truncate(good); err != nil {
@@ -218,40 +414,111 @@ func (q *File) replay() error {
 	return nil
 }
 
-func (q *File) append(r record) error {
+// encodeRecord appends one length-prefixed record to buf.
+func encodeRecord(buf *bytes.Buffer, r record) error {
 	var body bytes.Buffer
 	if err := gob.NewEncoder(&body).Encode(r); err != nil {
 		return fmt.Errorf("queue: encode journal record: %w", err)
 	}
 	var lenBuf [4]byte
 	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
-	if _, err := q.f.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("queue: journal append: %w", err)
-	}
-	if _, err := q.f.Write(body.Bytes()); err != nil {
-		return fmt.Errorf("queue: journal append: %w", err)
-	}
-	if err := q.f.Sync(); err != nil {
-		return fmt.Errorf("queue: journal sync: %w", err)
-	}
+	buf.Write(lenBuf[:])
+	buf.Write(body.Bytes())
 	return nil
 }
 
-// Enqueue implements Queue.
-func (q *File) Enqueue(m Message) error {
+// stageLocked stages encoded records for the next group commit and
+// returns the channel that will carry that flush's result.  Callers hold
+// q.mu.
+func (q *File) stageLocked(encoded []byte, recs int) chan error {
+	q.stage = append(q.stage, encoded...)
+	q.records += recs
+	ch := make(chan error, 1)
+	q.waiters = append(q.waiters, ch)
+	return ch
+}
+
+// flushWait drives group commit until ch resolves.  The first caller
+// through commitMu becomes the leader: it lingers for the flush window,
+// then writes and fsyncs everything staged and wakes every waiter.
+// Later callers find their result already delivered.
+func (q *File) flushWait(ch chan error) error {
+	q.commitMu.Lock()
+	select {
+	case err := <-ch:
+		q.commitMu.Unlock()
+		return err
+	default:
+	}
+	if q.opts.FlushWindow > 0 {
+		time.Sleep(q.opts.FlushWindow)
+	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
+	data, waiters := q.stage, q.waiters
+	q.stage, q.waiters = nil, nil
+	f, closed := q.f, q.closed
+	q.mu.Unlock()
+	var err error
+	switch {
+	case closed:
+		err = ErrClosed
+	default:
+		if _, werr := f.Write(data); werr != nil {
+			err = fmt.Errorf("queue: journal append: %w", werr)
+		} else if serr := f.Sync(); serr != nil {
+			err = fmt.Errorf("queue: journal sync: %w", serr)
+		} else {
+			q.syncs.Add(1)
+		}
+	}
+	for _, w := range waiters {
+		w <- err
+	}
+	q.commitMu.Unlock()
+	// Our channel was staged before we took commitMu, so the loop above
+	// necessarily resolved it with err.
+	return err
+}
+
+// Syncs implements Syncer.
+func (q *File) Syncs() uint64 { return q.syncs.Load() }
+
+// Enqueue implements Queue.
+func (q *File) Enqueue(m Message) error { return q.EnqueueBatch([]Message{m}) }
+
+// EnqueueBatch implements Queue.  The whole batch is journaled under a
+// single flush (shared with any concurrent writers).
+func (q *File) EnqueueBatch(msgs []Message) error {
+	q.mu.Lock()
 	if q.closed {
+		q.mu.Unlock()
 		return ErrClosed
 	}
-	if q.seen[m.ID] {
+	fresh := make([]Message, 0, len(msgs))
+	var buf bytes.Buffer
+	for _, m := range msgs {
+		if q.seen[m.ID] {
+			continue
+		}
+		if err := encodeRecord(&buf, record{Msg: m}); err != nil {
+			q.mu.Unlock()
+			return err
+		}
+		q.seen[m.ID] = true
+		fresh = append(fresh, m)
+	}
+	if len(fresh) == 0 {
+		q.mu.Unlock()
 		return nil
 	}
-	if err := q.append(record{Msg: m}); err != nil {
+	ch := q.stageLocked(buf.Bytes(), len(fresh))
+	q.mu.Unlock()
+	if err := q.flushWait(ch); err != nil {
 		return err
 	}
-	q.seen[m.ID] = true
-	q.items = append(q.items, m)
+	q.mu.Lock()
+	q.items = append(q.items, fresh...)
+	q.mu.Unlock()
 	return nil
 }
 
@@ -268,25 +535,60 @@ func (q *File) Peek() (Message, bool, error) {
 	return q.items[0], true, nil
 }
 
-// Ack implements Queue.
-func (q *File) Ack(id uint64) error {
+// PeekN implements Queue.
+func (q *File) PeekN(n int) ([]Message, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		return nil, ErrClosed
+	}
+	if n > len(q.items) {
+		n = len(q.items)
+	}
+	return append([]Message(nil), q.items[:n]...), nil
+}
+
+// Ack implements Queue.
+func (q *File) Ack(id uint64) error { return q.AckBatch([]uint64{id}) }
+
+// AckBatch implements Queue.  Every listed message that is present is
+// removed and its ack journaled under a single flush.  The batch may
+// trigger a compaction once dead records dominate the journal.
+func (q *File) AckBatch(ids []uint64) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
 		return ErrClosed
 	}
-	found := false
-	for i, m := range q.items {
-		if m.ID == id {
-			q.items = append(q.items[:i], q.items[i+1:]...)
-			found = true
-			break
-		}
+	present := make(map[uint64]bool, len(q.items))
+	for _, m := range q.items {
+		present[m.ID] = true
 	}
-	if !found {
+	var buf bytes.Buffer
+	found := ids[:0:0]
+	for _, id := range ids {
+		if !present[id] {
+			continue
+		}
+		if err := encodeRecord(&buf, record{Ack: true, Msg: Message{ID: id}}); err != nil {
+			q.mu.Unlock()
+			return err
+		}
+		found = append(found, id)
+	}
+	if len(found) == 0 {
+		q.mu.Unlock()
 		return nil
 	}
-	return q.append(record{Ack: true, Msg: Message{ID: id}})
+	q.items = removeIDs(q.items, found)
+	q.acked = append(q.acked, found...)
+	ch := q.stageLocked(buf.Bytes(), len(found))
+	q.mu.Unlock()
+	if err := q.flushWait(ch); err != nil {
+		return err
+	}
+	q.maybeCompact()
+	return nil
 }
 
 // All implements Queue.
@@ -306,26 +608,152 @@ func (q *File) Len() int {
 	return len(q.items)
 }
 
-// Close implements Queue.
+// Close implements Queue.  It waits for any in-flight group commit, so
+// records whose Enqueue/Ack already returned are on disk.
 func (q *File) Close() error {
+	q.commitMu.Lock()
+	defer q.commitMu.Unlock()
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return nil
 	}
 	q.closed = true
+	// Anything still staged but never flushed was never acknowledged to
+	// its writer; fail those writers rather than leaving them blocked.
+	for _, w := range q.waiters {
+		w <- ErrClosed
+	}
+	q.stage, q.waiters = nil, nil
 	return q.f.Close()
 }
 
+// maybeCompact compacts the journal when it has grown past the
+// configured floor and dead (acknowledged) records outnumber live
+// messages.  Compaction failures are deliberately swallowed: the journal
+// stays valid as-is and a later ack retries.
+func (q *File) maybeCompact() {
+	q.mu.Lock()
+	need := q.compactNeededLocked()
+	q.mu.Unlock()
+	if !need {
+		return
+	}
+	q.commitMu.Lock()
+	defer q.commitMu.Unlock()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	// Re-check under both locks; skip if another writer staged records
+	// in the meantime (the next ack will retrigger).
+	if len(q.stage) > 0 || !q.compactNeededLocked() {
+		return
+	}
+	_ = q.compactLocked()
+}
+
+func (q *File) compactNeededLocked() bool {
+	if q.closed || q.opts.CompactMinRecords < 0 {
+		return false
+	}
+	return q.records >= q.opts.CompactMinRecords && q.records > 2*len(q.items)
+}
+
+// compactLocked rewrites the journal to just its live state: one Seen
+// record carrying the retained dedup horizon, then every unacknowledged
+// message.  The rewrite goes to a temporary file that atomically replaces
+// the journal, so a crash at any point leaves a complete journal — the
+// old one before the rename, the new one after.  Callers hold both
+// commitMu (no flush in flight) and mu.
+func (q *File) compactLocked() error {
+	// Prune the dedup horizon: acked IDs beyond the retention window
+	// stop being remembered.  Live messages always stay in seen via
+	// their rewritten enqueue records.
+	if over := len(q.acked) - q.opts.SeenRetention; over > 0 {
+		for _, id := range q.acked[:over] {
+			delete(q.seen, id)
+		}
+		q.acked = append([]uint64(nil), q.acked[over:]...)
+	}
+	var buf bytes.Buffer
+	recs := 0
+	if len(q.acked) > 0 {
+		if err := encodeRecord(&buf, record{Seen: append([]uint64(nil), q.acked...)}); err != nil {
+			return err
+		}
+		recs++
+	}
+	for _, m := range q.items {
+		if err := encodeRecord(&buf, record{Msg: m}); err != nil {
+			return err
+		}
+		recs++
+	}
+	tmpPath := q.path + compactSuffix
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o600)
+	if err != nil {
+		return fmt.Errorf("queue: create compaction file: %w", err)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("queue: write compaction file: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("queue: sync compaction file: %w", err)
+	}
+	q.syncs.Add(1)
+	if q.crashPoint == crashAfterTempWrite {
+		tmp.Close()
+		return errSimulatedCrash
+	}
+	if err := os.Rename(tmpPath, q.path); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("queue: swap compacted journal: %w", err)
+	}
+	syncDir(filepath.Dir(q.path))
+	if q.crashPoint == crashAfterRename {
+		tmp.Close()
+		return errSimulatedCrash
+	}
+	// tmp's descriptor now refers to the renamed journal, positioned at
+	// its end; it replaces the stale handle.
+	q.f.Close()
+	q.f = tmp
+	q.records = recs
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it is durable.  Best
+// effort: some filesystems refuse directory fsync.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
 // Delivery pumps messages from a stable queue through an unreliable send
-// function, in FIFO order, retrying each message until send succeeds, then
-// acknowledging it.  This is the "persistently retry message delivery
-// until successful" contract of §2.2.
+// function, in FIFO order, retrying until each message is acknowledged.
+// This is the "persistently retry message delivery until successful"
+// contract of §2.2.
+//
+// With a window above one, each round drains up to that many messages:
+// they are pushed through the batch send function (or the single-message
+// send, in order) and every delivered message is acknowledged with one
+// AckBatch — a single journal flush — instead of one Peek/send/Ack cycle
+// per message.
 type Delivery struct {
-	q       Queue
-	send    func(Message) error
-	backoff time.Duration
-	maxWait time.Duration
+	q         Queue
+	send      func(Message) error
+	sendBatch func([]Message) error
+	window    int
+	backoff   time.Duration
+	maxWait   time.Duration
 
 	mu      sync.Mutex
 	kick    chan struct{}
@@ -346,10 +774,25 @@ func NewDelivery(q Queue, send func(Message) error, backoff, maxWait time.Durati
 	}
 	return &Delivery{
 		q: q, send: send, backoff: backoff, maxWait: maxWait,
-		kick: make(chan struct{}, 1),
-		done: make(chan struct{}),
+		window: 1,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
 	}
 }
+
+// SetWindow sets the in-flight window: the maximum number of messages
+// drained per round.  Values below one mean one.  Call before Start.
+func (d *Delivery) SetWindow(n int) {
+	if n < 1 {
+		n = 1
+	}
+	d.window = n
+}
+
+// SetBatchSend installs a batched send used whenever a round drains more
+// than one message; the whole batch either delivers or fails together.
+// Call before Start.
+func (d *Delivery) SetBatchSend(f func([]Message) error) { d.sendBatch = f }
 
 // Start launches the pump goroutine.
 func (d *Delivery) Start() {
@@ -383,19 +826,25 @@ func (d *Delivery) run() {
 	timer := time.NewTimer(wait)
 	defer timer.Stop()
 	for {
-		m, ok, err := d.q.Peek()
+		batch, err := d.q.PeekN(d.window)
 		if err != nil {
 			return // queue closed
 		}
-		if ok {
-			if err := d.send(m); err == nil {
-				if err := d.q.Ack(m.ID); err != nil {
+		if len(batch) > 0 {
+			delivered, sendErr := d.sendRound(batch)
+			if len(delivered) > 0 {
+				if err := d.q.AckBatch(delivered); err != nil {
 					return
 				}
 				wait = d.backoff
+			}
+			if sendErr == nil {
 				continue
 			}
-			// send failed: back off, then retry the same head message.
+			// Send failed: back off, then retry from the head.  A kick
+			// (fresh enqueue or partition heal) retries immediately and
+			// resets the backoff — the stale penalty belongs to the old
+			// link state, not the healed one.
 			if !timer.Stop() {
 				select {
 				case <-timer.C:
@@ -407,11 +856,12 @@ func (d *Delivery) run() {
 			case <-d.done:
 				return
 			case <-timer.C:
+				wait *= 2
+				if wait > d.maxWait {
+					wait = d.maxWait
+				}
 			case <-d.kick:
-			}
-			wait *= 2
-			if wait > d.maxWait {
-				wait = d.maxWait
+				wait = d.backoff
 			}
 			continue
 		}
@@ -430,4 +880,30 @@ func (d *Delivery) run() {
 		case <-timer.C:
 		}
 	}
+}
+
+// sendRound pushes one batch through the transport and reports which
+// message IDs were delivered, plus the first error.  With a batch send
+// installed, multi-message rounds deliver or fail as one frame;
+// otherwise messages go out one at a time, stopping at the first
+// failure so FIFO order holds.
+func (d *Delivery) sendRound(batch []Message) ([]uint64, error) {
+	if d.sendBatch != nil && len(batch) > 1 {
+		if err := d.sendBatch(batch); err != nil {
+			return nil, err
+		}
+		ids := make([]uint64, len(batch))
+		for i, m := range batch {
+			ids[i] = m.ID
+		}
+		return ids, nil
+	}
+	var ids []uint64
+	for _, m := range batch {
+		if err := d.send(m); err != nil {
+			return ids, err
+		}
+		ids = append(ids, m.ID)
+	}
+	return ids, nil
 }

@@ -380,6 +380,207 @@ func TestDeliveryStopIsIdempotentAndPrompt(t *testing.T) {
 	}
 }
 
+func TestEnqueueBatchAndAckBatch(t *testing.T) {
+	for name, mk := range queues(t) {
+		t.Run(name, func(t *testing.T) {
+			q := mk()
+			defer q.Close()
+			batch := []Message{
+				{ID: 1, Payload: []byte("a")},
+				{ID: 2, Payload: []byte("b")},
+				{ID: 1, Payload: []byte("dup")}, // duplicate inside the batch
+				{ID: 3, Payload: []byte("c")},
+			}
+			if err := q.EnqueueBatch(batch); err != nil {
+				t.Fatalf("EnqueueBatch: %v", err)
+			}
+			if got := q.Len(); got != 3 {
+				t.Fatalf("Len = %d after batch with internal dup, want 3", got)
+			}
+			got, err := q.PeekN(2)
+			if err != nil {
+				t.Fatalf("PeekN: %v", err)
+			}
+			if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+				t.Fatalf("PeekN(2) = %v, want IDs [1 2]", got)
+			}
+			// PeekN beyond the queue length returns what exists.
+			if got, _ := q.PeekN(10); len(got) != 3 {
+				t.Fatalf("PeekN(10) returned %d messages, want 3", len(got))
+			}
+			// AckBatch with unknown IDs mixed in is a no-op for those.
+			if err := q.AckBatch([]uint64{2, 99, 1}); err != nil {
+				t.Fatalf("AckBatch: %v", err)
+			}
+			m, ok, _ := q.Peek()
+			if !ok || m.ID != 3 {
+				t.Fatalf("head after AckBatch = %v ok=%v, want ID 3", m, ok)
+			}
+		})
+	}
+}
+
+func TestFileBatchSurvivesReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.journal")
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.EnqueueBatch([]Message{{ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AckBatch([]uint64{1, 3}); err != nil {
+		t.Fatal(err)
+	}
+	q.Close()
+	q2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q2.Close()
+	all, _ := q2.All()
+	if len(all) != 2 || all[0].ID != 2 || all[1].ID != 4 {
+		t.Fatalf("recovered %v, want IDs [2 4]", all)
+	}
+}
+
+func TestGroupCommitCoalescesFsyncs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.journal")
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	// A batch of 64 must cost far fewer fsyncs than 64 singles would.
+	batch := make([]Message, 64)
+	for i := range batch {
+		batch[i] = Message{ID: uint64(i + 1)}
+	}
+	if err := q.EnqueueBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := q.Syncs(); got != 1 {
+		t.Errorf("EnqueueBatch(64) cost %d fsyncs, want 1", got)
+	}
+	// Concurrent single enqueues group-commit: total fsyncs must come in
+	// well under one per write.
+	var wg sync.WaitGroup
+	const writers, per = 8, 25
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				q.Enqueue(Message{ID: 1000 + base*per + i})
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	if got := q.Len(); got != 64+writers*per {
+		t.Fatalf("Len = %d, want %d", got, 64+writers*per)
+	}
+}
+
+func TestDeliveryWindowBatchesSendsAndAcks(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "q.journal")
+	q, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var mu sync.Mutex
+	var frames [][]uint64
+	d := NewDelivery(q, func(m Message) error {
+		mu.Lock()
+		frames = append(frames, []uint64{m.ID})
+		mu.Unlock()
+		return nil
+	}, time.Millisecond, 4*time.Millisecond)
+	d.SetWindow(8)
+	d.SetBatchSend(func(ms []Message) error {
+		ids := make([]uint64, len(ms))
+		for i, m := range ms {
+			ids[i] = m.ID
+		}
+		mu.Lock()
+		frames = append(frames, ids)
+		mu.Unlock()
+		return nil
+	})
+	batch := make([]Message, 32)
+	for i := range batch {
+		batch[i] = Message{ID: uint64(i + 1)}
+	}
+	if err := q.EnqueueBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	enqSyncs := q.Syncs()
+	d.Start()
+	d.Kick()
+	deadline := time.Now().Add(2 * time.Second)
+	for q.Len() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	d.Stop()
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// 32 messages through a window of 8: exactly 4 frames, in FIFO order.
+	var got []uint64
+	for _, f := range frames {
+		got = append(got, f...)
+	}
+	if len(got) != 32 {
+		t.Fatalf("delivered %d messages, want 32", len(got))
+	}
+	for i, id := range got {
+		if id != uint64(i+1) {
+			t.Fatalf("order violated at %d: got %d", i, id)
+		}
+	}
+	if len(frames) > 8 {
+		t.Errorf("used %d frames for 32 messages with window 8, want ≤ 8", len(frames))
+	}
+	// Ack fsyncs are batched too: one per frame, not one per message.
+	ackSyncs := q.Syncs() - enqSyncs
+	if ackSyncs > uint64(len(frames))+1 {
+		t.Errorf("acking cost %d fsyncs over %d frames", ackSyncs, len(frames))
+	}
+}
+
+func TestDeliveryKickResetsBackoff(t *testing.T) {
+	q := NewMem()
+	defer q.Close()
+	var gate atomic.Bool
+	var delivered atomic.Int32
+	d := NewDelivery(q, func(m Message) error {
+		if !gate.Load() {
+			return errors.New("link down")
+		}
+		delivered.Add(1)
+		return nil
+	}, time.Millisecond, 10*time.Second)
+	d.Start()
+	defer d.Stop()
+	q.Enqueue(Message{ID: 1})
+	d.Kick()
+	// Let the backoff climb toward maxWait (1ms, 2ms, 4ms, …).
+	time.Sleep(100 * time.Millisecond)
+	// Heal the link and kick — delivery must happen promptly, not after
+	// the stale multi-second penalty delay.
+	gate.Store(true)
+	d.Kick()
+	deadline := time.Now().Add(500 * time.Millisecond)
+	for delivered.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if delivered.Load() == 0 {
+		t.Fatalf("kick after heal did not deliver promptly; stale backoff penalty still applied")
+	}
+}
+
 func TestConcurrentEnqueueAck(t *testing.T) {
 	q := NewMem()
 	defer q.Close()

@@ -60,14 +60,16 @@ type Site struct {
 	in    queue.Queue
 	apply ApplyFunc
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	pending  map[string]int    // object -> queued-but-unapplied update ETs touching it
-	epoch    map[string]uint64 // object -> update ETs applied here touching it
-	stats    Stats
-	seen     map[uint64]bool    // message IDs accepted (mirrors queue dedup)
-	decoded  map[uint64]et.MSet // decode-once cache, evicted on ack
-	heldOnce map[uint64]bool    // messages whose first hold was traced
+	mu        sync.Mutex
+	cond      *sync.Cond
+	pending   map[string]int    // object -> queued-but-unapplied update ETs touching it
+	epoch     map[string]uint64 // object -> update ETs applied here touching it
+	stats     Stats
+	seen      map[uint64]bool    // message IDs accepted (mirrors queue dedup)
+	decoded   map[uint64]et.MSet // decode-once cache, evicted on ack
+	heldOnce  map[uint64]bool    // messages whose first hold was traced
+	acked     []uint64           // acked IDs still in seen, oldest first
+	retention int                // how many acked IDs stay in seen
 
 	kick chan struct{}
 	done chan struct{}
@@ -78,22 +80,36 @@ type Site struct {
 // table.  Call SetApply and Start before delivering MSets.
 func NewSite(id clock.SiteID, in queue.Queue, table lock.Table) *Site {
 	s := &Site{
-		ID:       id,
-		Store:    storage.NewStore(),
-		MV:       storage.NewMVStore(),
-		Locks:    lock.NewManager(table),
-		Clock:    clock.NewLamport(id),
-		in:       in,
-		pending:  make(map[string]int),
-		epoch:    make(map[string]uint64),
-		seen:     make(map[uint64]bool),
-		decoded:  make(map[uint64]et.MSet),
-		heldOnce: make(map[uint64]bool),
-		kick:     make(chan struct{}, 1),
-		done:     make(chan struct{}),
+		ID:        id,
+		Store:     storage.NewStore(),
+		MV:        storage.NewMVStore(),
+		Locks:     lock.NewManager(table),
+		Clock:     clock.NewLamport(id),
+		in:        in,
+		pending:   make(map[string]int),
+		epoch:     make(map[string]uint64),
+		seen:      make(map[uint64]bool),
+		decoded:   make(map[uint64]et.MSet),
+		heldOnce:  make(map[uint64]bool),
+		retention: defaultSeenRetention,
+		kick:      make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// defaultSeenRetention bounds how many applied message IDs the site's
+// dedup set remembers.  Older duplicates fall to the inbound queue's own
+// dedup (journal-backed queues keep their own horizon) or, at worst,
+// re-apply through an idempotent ApplyFunc — still at-least-once.
+const defaultSeenRetention = 4096
+
+// SetSeenRetention overrides the applied-ID dedup horizon (for tests).
+func (s *Site) SetSeenRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retention = n
 }
 
 // SetApply installs the method-specific MSet executor.  Must be called
@@ -132,21 +148,70 @@ func (s *Site) Receive(msg queue.Message) error {
 		return err
 	}
 	s.mu.Lock()
-	if !s.seen[msg.ID] {
-		s.seen[msg.ID] = true
-		s.decoded[msg.ID] = m
-		s.stats.Received++
-		for _, obj := range updateObjects(m) {
-			s.pending[obj]++
+	s.indexLocked(msg, m)
+	s.mu.Unlock()
+	s.Kick()
+	return nil
+}
+
+// ReceiveBatch accepts a whole frame of MSet messages: one batch append
+// into the stable queue (a single fsync on journal-backed queues) and
+// one processor wake for the lot.  It is the site's batch network
+// handler.  A malformed payload rejects the frame before anything is
+// enqueued, so the sender's retry re-offers the entire batch.
+func (s *Site) ReceiveBatch(msgs []queue.Message) error {
+	if len(msgs) == 0 {
+		return nil
+	}
+	decoded := make([]et.MSet, len(msgs))
+	for i, msg := range msgs {
+		m, err := et.DecodeMSet(msg.Payload)
+		if err != nil {
+			return fmt.Errorf("site %v: reject malformed mset in batch: %w", s.ID, err)
 		}
-		// Lamport receive rule: fold the MSet's timestamp into the local
-		// clock so later local events order after it.
-		s.Clock.Observe(m.TS)
-		s.Trace.Recordf(trace.Receive, int(s.ID), m.ET.String(), "queue=%d", s.in.Len())
+		decoded[i] = m
+	}
+	return s.ReceiveDecodedBatch(msgs, decoded)
+}
+
+// ReceiveDecodedBatch is ReceiveBatch for callers that already decoded
+// the payloads (the cluster's network handler derives message IDs from
+// the decoded MSets); decoded[i] must correspond to msgs[i].
+func (s *Site) ReceiveDecodedBatch(msgs []queue.Message, decoded []et.MSet) error {
+	if len(msgs) != len(decoded) {
+		return fmt.Errorf("site %v: batch length mismatch: %d msgs, %d msets", s.ID, len(msgs), len(decoded))
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	if err := s.in.EnqueueBatch(msgs); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	for i, msg := range msgs {
+		s.indexLocked(msg, decoded[i])
 	}
 	s.mu.Unlock()
 	s.Kick()
 	return nil
+}
+
+// indexLocked folds one accepted message into the site's in-memory
+// indexes.  Caller holds s.mu.
+func (s *Site) indexLocked(msg queue.Message, m et.MSet) {
+	if s.seen[msg.ID] {
+		return
+	}
+	s.seen[msg.ID] = true
+	s.decoded[msg.ID] = m
+	s.stats.Received++
+	for _, obj := range updateObjects(m) {
+		s.pending[obj]++
+	}
+	// Lamport receive rule: fold the MSet's timestamp into the local
+	// clock so later local events order after it.
+	s.Clock.Observe(m.TS)
+	s.Trace.Recordf(trace.Receive, int(s.ID), m.ET.String(), "queue=%d", s.in.Len())
 }
 
 // Kick wakes the processor.
@@ -223,17 +288,24 @@ func (s *Site) run() {
 	}
 }
 
-// pass scans the inbound queue once, applying every eligible MSet.
+// pass scans the inbound queue once, applying every eligible MSet.  All
+// acks earned during the pass are retired with a single AckBatch at the
+// end — one journal record and one fsync per pass instead of one per
+// message.  A crash between apply and the batched ack only widens the
+// at-least-once redelivery window; every ApplyFunc is idempotent per
+// MSet, so re-application is safe.
 func (s *Site) pass() bool {
 	msgs, err := s.in.All()
 	if err != nil {
 		return false
 	}
+	var acks []uint64
 	progress := false
+loop:
 	for _, msg := range msgs {
 		select {
 		case <-s.done:
-			return false
+			break loop
 		default:
 		}
 		s.mu.Lock()
@@ -248,7 +320,7 @@ func (s *Site) pass() bool {
 				// Malformed payloads are dropped (they passed Receive,
 				// so this indicates corruption; keeping them would wedge
 				// the queue).
-				s.in.Ack(msg.ID)
+				acks = append(acks, msg.ID)
 				s.bump(func(st *Stats) { st.Errors++ })
 				continue
 			}
@@ -258,15 +330,14 @@ func (s *Site) pass() bool {
 		}
 		switch err := s.apply(m); {
 		case err == nil:
-			if err := s.in.Ack(msg.ID); err == nil {
-				s.applied(m)
-				s.Trace.Record(trace.Apply, int(s.ID), m.ET.String(), "")
-				s.mu.Lock()
-				delete(s.decoded, msg.ID)
-				delete(s.heldOnce, msg.ID)
-				s.mu.Unlock()
-				progress = true
-			}
+			acks = append(acks, msg.ID)
+			s.applied(m)
+			s.Trace.Record(trace.Apply, int(s.ID), m.ET.String(), "")
+			s.mu.Lock()
+			delete(s.decoded, msg.ID)
+			delete(s.heldOnce, msg.ID)
+			s.mu.Unlock()
+			progress = true
 		case errors.Is(err, ErrHold):
 			s.bump(func(st *Stats) { st.Held++ })
 			s.mu.Lock()
@@ -280,7 +351,30 @@ func (s *Site) pass() bool {
 			s.bump(func(st *Stats) { st.Errors++ })
 		}
 	}
+	if len(acks) > 0 {
+		// An ack failure (e.g. queue closed during shutdown) leaves the
+		// messages queued for idempotent re-application later.
+		if err := s.in.AckBatch(acks); err == nil {
+			s.pruneSeen(acks)
+		}
+	}
 	return progress
+}
+
+// pruneSeen records newly acked IDs and evicts the oldest entries from
+// the dedup set once more than retention acked IDs are remembered.
+// Without this the seen map grows with every message a long-running site
+// ever applies.
+func (s *Site) pruneSeen(acks []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.acked = append(s.acked, acks...)
+	if excess := len(s.acked) - s.retention; excess > 0 {
+		for _, id := range s.acked[:excess] {
+			delete(s.seen, id)
+		}
+		s.acked = append(s.acked[:0], s.acked[excess:]...)
+	}
 }
 
 func (s *Site) applied(m et.MSet) {

@@ -164,6 +164,55 @@ func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
 	return id, nil
 }
 
+// UpdateBurst executes a burst of blind-write update ETs at origin as
+// one propagation batch.  Every entry gets its own version timestamp
+// above the VTNC (later entries stamp later), and all MSets leave as a
+// single batch per destination — one journal fsync per link on durable
+// clusters.  Read independence makes the batching invisible to queries:
+// each version is judged against the VTNC exactly as if sent alone.
+func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
+	if len(bursts) == 0 {
+		return nil, nil
+	}
+	s := e.c.Site(origin)
+	if s == nil {
+		return nil, fmt.Errorf("ritu: unknown site %v", origin)
+	}
+	allUpdates := make([][]op.Op, len(bursts))
+	for i, ops := range bursts {
+		var updates []op.Op
+		for _, o := range ops {
+			if !o.Kind.IsUpdate() {
+				continue
+			}
+			if o.Kind != op.Write {
+				return nil, fmt.Errorf("%w: %v", ErrNotReadIndependent, o)
+			}
+			updates = append(updates, o)
+		}
+		if len(updates) == 0 {
+			return nil, ErrNotUpdate
+		}
+		allUpdates[i] = updates
+	}
+	ids := make([]et.ID, len(bursts))
+	msets := make([]et.MSet, len(bursts))
+	for i, updates := range allUpdates {
+		id := e.c.NextET(origin)
+		ids[i] = id
+		ts := e.trackAboveVTNC(id, s)
+		for j := range updates {
+			updates[j].TS = ts
+		}
+		msets[i] = et.MSet{ET: id, Origin: origin, TS: ts, Ops: updates}
+		e.c.RecordUpdate(id, bursts[i])
+	}
+	if err := e.c.BroadcastAll(msets); err != nil {
+		return nil, err
+	}
+	return ids, nil
+}
+
 // Query executes a query ET at the given site.
 //
 // In MultiVersion mode each read prefers the newest version; if that

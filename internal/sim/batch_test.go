@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"esr/internal/divergence"
+	"esr/internal/network"
+	"esr/internal/op"
+)
+
+// TestConvergenceAllMethods drives every replica-control method through
+// the batched group-commit pipeline — durable journals, burst
+// submission, windowed delivery, batched acks — and checks that all
+// replicas still converge to the exact 1SR value at quiescence.
+func TestConvergenceAllMethods(t *testing.T) {
+	const bursts, perBurst = 4, 8
+	total := bursts * perBurst
+	for _, kind := range AllMethods {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			t.Parallel()
+			e, err := NewEngine(kind, 3, network.Config{
+				Seed: 11, MinLatency: 10 * time.Microsecond, MaxLatency: 200 * time.Microsecond,
+			}, Options{QueueDir: t.TempDir(), FlushWindow: 50 * time.Microsecond})
+			if err != nil {
+				t.Fatalf("NewEngine(%s): %v", kind, err)
+			}
+			defer e.Close()
+			bu, ok := e.(BurstUpdater)
+			if !ok {
+				t.Fatalf("%s does not implement BurstUpdater", kind)
+			}
+			// RITU admits only blind writes; everything else takes
+			// increments.  Monotone per-origin timestamps make the last
+			// write the Thomas-write-rule winner.
+			build := func(i int) []op.Op { return []op.Op{op.IncOp("x", 1)} }
+			want := op.NumValue(int64(total))
+			if kind == RITUSV {
+				build = func(i int) []op.Op { return []op.Op{op.WriteOp("x", int64(i))} }
+				want = op.NumValue(int64(total - 1))
+			}
+			for b := 0; b < bursts; b++ {
+				burst := make([][]op.Op, perBurst)
+				for j := range burst {
+					burst[j] = build(b*perBurst + j)
+				}
+				ids, err := bu.UpdateBurst(1, burst)
+				if err != nil {
+					t.Fatalf("UpdateBurst: %v", err)
+				}
+				if len(ids) != perBurst {
+					t.Fatalf("burst committed %d ETs, want %d", len(ids), perBurst)
+				}
+			}
+			if err := e.Cluster().Quiesce(30 * time.Second); err != nil {
+				t.Fatalf("Quiesce: %v", err)
+			}
+			if ok, obj := e.Cluster().Converged(); !ok {
+				t.Fatalf("replicas diverged on %q", obj)
+			}
+			for _, id := range e.Cluster().SiteIDs() {
+				if got := e.Cluster().Site(id).Store.Get("x"); !got.Equal(want) {
+					t.Errorf("site %v: x = %v, want %v", id, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestErrorBoundedByOverlap re-checks the paper's §2.1 bound with the
+// batched pipeline active: the torn state a query observes never
+// exceeds the reported inconsistency counter plus the updates that
+// committed while it ran.  Burst submission must not let a frame of
+// MSets slip past the counter.
+func TestErrorBoundedByOverlap(t *testing.T) {
+	e, err := NewEngine(COMMU, 3, network.Config{
+		Seed: 13, MinLatency: 100 * time.Microsecond, MaxLatency: 800 * time.Microsecond,
+	}, Options{})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer e.Close()
+	bu := e.(BurstUpdater)
+
+	var committed atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			burst := make([][]op.Op, 4)
+			for j := range burst {
+				burst[j] = []op.Op{op.IncOp("x", 1), op.IncOp("y", 1)}
+			}
+			if ids, err := bu.UpdateBurst(1, burst); err == nil {
+				committed.Add(int64(len(ids)))
+			}
+			time.Sleep(300 * time.Microsecond)
+		}
+	}()
+
+	violations := 0
+	for i := 0; i < 80; i++ {
+		before := committed.Load()
+		res, err := e.Query(3, []string{"x", "y"}, divergence.Limit(8))
+		after := committed.Load()
+		if err != nil {
+			continue
+		}
+		torn := int(res.Value("x").Num - res.Value("y").Num)
+		if torn < 0 {
+			torn = -torn
+		}
+		if torn > res.Inconsistency+int(after-before) {
+			violations++
+			t.Logf("query %d: torn=%d reported=%d overlap=%d", i, torn, res.Inconsistency, after-before)
+		}
+		time.Sleep(400 * time.Microsecond)
+	}
+	close(stop)
+	wg.Wait()
+	if violations > 0 {
+		t.Errorf("%d queries exceeded the overlap bound", violations)
+	}
+	if err := e.Cluster().Quiesce(30 * time.Second); err != nil {
+		t.Fatalf("Quiesce: %v", err)
+	}
+	if ok, obj := e.Cluster().Converged(); !ok {
+		t.Errorf("diverged on %q", obj)
+	}
+}

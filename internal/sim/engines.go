@@ -7,11 +7,14 @@ import (
 	"fmt"
 	"time"
 
+	"esr/internal/clock"
 	"esr/internal/coherency"
 	"esr/internal/commu"
 	"esr/internal/compe"
 	"esr/internal/core"
+	"esr/internal/et"
 	"esr/internal/network"
+	"esr/internal/op"
 	"esr/internal/ordup"
 	"esr/internal/ritu"
 )
@@ -44,13 +47,27 @@ type Options struct {
 	Heartbeat time.Duration
 	// QueueDir makes stable queues journal-backed.
 	QueueDir string
+	// DeliveryWindow overrides the outbound in-flight window (0 keeps
+	// the core default; negative forces single-message delivery).
+	DeliveryWindow int
+	// FlushWindow sets the journal group-commit flush window.
+	FlushWindow time.Duration
 	// Trace enables event tracing with a ring of this capacity.
 	Trace int
 }
 
+// BurstUpdater is implemented by engines that can submit a commit burst
+// of update ETs as one propagation batch per destination (the
+// group-commit pipeline).  All four replica-control methods implement
+// it; the synchronous baselines do not.
+type BurstUpdater interface {
+	UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error)
+}
+
 // NewEngine constructs an engine of the given kind over a fresh cluster.
 func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (core.Engine, error) {
-	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace}
+	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace,
+		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow}
 	switch kind {
 	case ORDUPSeq:
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"esr/internal/network"
 	"esr/internal/op"
 	"esr/internal/ordup"
+	"esr/internal/queue"
 	"esr/internal/ritu"
 	"esr/internal/stopwatch"
 	"esr/internal/tabular"
@@ -97,6 +100,9 @@ func Experiments() []Experiment {
 		{ID: "E14", Title: "Message loss: stable-queue retry masks unreliable links",
 			Claim: "§2.2: stable queues persistently retry message delivery until successful; replica control is robust to message losses",
 			Run:   runE14},
+		{ID: "E15", Title: "Group-commit pipeline: propagation throughput & fsyncs vs batch size",
+			Claim: "§2.2: asynchronous MSet propagation through stable queues buys throughput synchronous methods give up — realized only when journal appends, delivery, and acks are batched",
+			Run:   runE15},
 	}
 }
 
@@ -959,6 +965,182 @@ func runE14(quick bool) (*tabular.Table, error) {
 		eng.Close()
 		t.AddRowf(fmt.Sprintf("%.0f%%", loss*100), updates, exact, lost,
 			convergeIn.Round(100*time.Microsecond))
+	}
+	return t, nil
+}
+
+// --- E15 ---
+
+// E15BatchSizes are the pipeline batch sizes the experiment sweeps.
+var E15BatchSizes = []int{1, 8, 32}
+
+// E15QueueRow is one raw file-queue pipeline measurement, exported so
+// cmd/esrbench can record the BENCH_pipeline.json baseline.
+type E15QueueRow struct {
+	Batch        int     `json:"batch"`
+	Messages     int     `json:"messages"`
+	MsgsPerSec   float64 `json:"msgs_per_sec"`
+	Fsyncs       uint64  `json:"fsyncs"`
+	FsyncsPerMsg float64 `json:"fsyncs_per_msg"`
+}
+
+// E15QueuePipeline drives the enqueue→deliver→ack hot path of a
+// file-backed stable queue at the given batch size and reports
+// throughput and fsync cost.  This is the microbenchmark behind the
+// group-commit claim: batch 32 must beat batch 1 by ≥5x on msgs/sec and
+// ≥10x on fsyncs.
+func E15QueuePipeline(batch, msgs int) (E15QueueRow, error) {
+	dir, err := os.MkdirTemp("", "e15-queue")
+	if err != nil {
+		return E15QueueRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	q, err := queue.Open(filepath.Join(dir, "q.journal"))
+	if err != nil {
+		return E15QueueRow{}, err
+	}
+	defer q.Close()
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	sw := stopwatch.Start()
+	var id uint64
+	for done := 0; done < msgs; done += batch {
+		n := batch
+		if msgs-done < n {
+			n = msgs - done
+		}
+		in := make([]queue.Message, n)
+		for j := range in {
+			id++
+			in[j] = queue.Message{ID: id, Payload: payload}
+		}
+		if err := q.EnqueueBatch(in); err != nil {
+			return E15QueueRow{}, err
+		}
+		got, err := q.PeekN(n)
+		if err != nil {
+			return E15QueueRow{}, err
+		}
+		ids := make([]uint64, len(got))
+		for j, m := range got {
+			ids[j] = m.ID
+		}
+		if err := q.AckBatch(ids); err != nil {
+			return E15QueueRow{}, err
+		}
+	}
+	elapsed := sw.Elapsed()
+	syncs := q.Syncs()
+	return E15QueueRow{
+		Batch:        batch,
+		Messages:     msgs,
+		MsgsPerSec:   float64(msgs) / elapsed.Seconds(),
+		Fsyncs:       syncs,
+		FsyncsPerMsg: float64(syncs) / float64(msgs),
+	}, nil
+}
+
+// E15MethodRow is one per-method durable-cluster measurement.
+type E15MethodRow struct {
+	Method     string  `json:"method"`
+	Batch      int     `json:"batch"`
+	Updates    int     `json:"updates"`
+	MsgsPerSec float64 `json:"updates_per_sec"`
+	Fsyncs     uint64  `json:"fsyncs"`
+}
+
+// E15MethodBurst drives a durable 3-site cluster of the given method
+// with commit bursts of the given size (1 = the unbatched baseline) and
+// reports end-to-end throughput to quiescence plus total journal+WAL
+// fsyncs.
+func E15MethodBurst(kind EngineKind, batch, updates int) (E15MethodRow, error) {
+	dir, err := os.MkdirTemp("", "e15-"+string(kind))
+	if err != nil {
+		return E15MethodRow{}, err
+	}
+	defer os.RemoveAll(dir)
+	window := batch
+	if batch == 1 {
+		window = -1 // force single-message delivery for the baseline
+	}
+	eng, err := NewEngine(kind, 3, network.Config{Seed: 23},
+		Options{QueueDir: dir, DeliveryWindow: window})
+	if err != nil {
+		return E15MethodRow{}, err
+	}
+	defer eng.Close()
+	bu, ok := eng.(BurstUpdater)
+	if !ok {
+		return E15MethodRow{}, fmt.Errorf("E15: %s does not support bursts", kind)
+	}
+	build := func(i int) []op.Op { return []op.Op{op.IncOp("x", 1)} }
+	if kind == RITUSV || kind == RITUMV {
+		build = func(i int) []op.Op { return []op.Op{op.WriteOp("x", int64(i))} }
+	}
+	sw := stopwatch.Start()
+	for done := 0; done < updates; done += batch {
+		n := batch
+		if updates-done < n {
+			n = updates - done
+		}
+		burst := make([][]op.Op, n)
+		for j := range burst {
+			burst[j] = build(done + j)
+		}
+		if _, err := bu.UpdateBurst(1, burst); err != nil {
+			return E15MethodRow{}, fmt.Errorf("E15 %s burst: %w", kind, err)
+		}
+	}
+	if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
+		return E15MethodRow{}, fmt.Errorf("E15 %s: %w", kind, err)
+	}
+	elapsed := sw.Elapsed()
+	return E15MethodRow{
+		Method:     string(kind),
+		Batch:      batch,
+		Updates:    updates,
+		MsgsPerSec: float64(updates) / elapsed.Seconds(),
+		Fsyncs:     eng.Cluster().JournalSyncs(),
+	}, nil
+}
+
+// runE15 measures the group-commit propagation pipeline: first the raw
+// file-backed queue hot path (enqueue→deliver→ack) across batch sizes,
+// then each replica-control method end to end on a durable cluster,
+// unbatched vs burst-batched.  Throughput must rise and fsyncs collapse
+// as the batch grows — the win that makes asynchronous propagation
+// worth its complexity.
+// E15Sizes returns the message and update counts E15 runs at, so
+// cmd/esrbench's baseline writer measures the same workload.
+func E15Sizes(quick bool) (msgs, updates int) {
+	if quick {
+		return 512, 48
+	}
+	return 2048, 192
+}
+
+func runE15(quick bool) (*tabular.Table, error) {
+	msgs, updates := E15Sizes(quick)
+	t := tabular.New("E15: group-commit propagation pipeline (file-backed queues)",
+		"pipeline", "batch", "msgs", "msgs/sec", "fsyncs", "fsyncs/msg")
+	for _, batch := range E15BatchSizes {
+		row, err := E15QueuePipeline(batch, msgs)
+		if err != nil {
+			return nil, fmt.Errorf("E15 queue batch=%d: %w", batch, err)
+		}
+		t.AddRowf("file queue", row.Batch, row.Messages,
+			fmt.Sprintf("%.0f", row.MsgsPerSec), row.Fsyncs,
+			fmt.Sprintf("%.3f", row.FsyncsPerMsg))
+	}
+	for _, kind := range AllMethods {
+		for _, batch := range []int{1, 32} {
+			row, err := E15MethodBurst(kind, batch, updates)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRowf(row.Method, row.Batch, row.Updates,
+				fmt.Sprintf("%.0f", row.MsgsPerSec), row.Fsyncs,
+				fmt.Sprintf("%.3f", float64(row.Fsyncs)/float64(row.Updates)))
+		}
 	}
 	return t, nil
 }

@@ -1,0 +1,107 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"esr/internal/et"
+	"esr/internal/op"
+)
+
+func TestAppendBatchReplaysInOrder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendBatch([]et.MSet{
+		mset(1, op.WriteOp("x", 1)),
+		mset(2, op.IncOp("x", 2)),
+		mset(3, op.MulOp("x", 3)),
+	}); err != nil {
+		t.Fatalf("AppendBatch: %v", err)
+	}
+	if got := w.Syncs(); got != 1 {
+		t.Errorf("AppendBatch(3) cost %d fsyncs, want 1", got)
+	}
+	if err := w.AppendBatch(nil); err != nil {
+		t.Errorf("empty AppendBatch: %v", err)
+	}
+	w.Close()
+	_, recovered, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != 3 {
+		t.Fatalf("recovered %d records, want 3", len(recovered))
+	}
+	for i, m := range recovered {
+		if m.ET != mset(uint64(i+1)).ET {
+			t.Errorf("record %d out of order: %v", i, m.ET)
+		}
+	}
+}
+
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	w, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(base uint64) {
+			defer wg.Done()
+			for i := uint64(0); i < per; i++ {
+				if err := w.Append(mset(1+base*per+i, op.IncOp("x", 1))); err != nil {
+					t.Errorf("Append: %v", err)
+				}
+			}
+		}(uint64(g))
+	}
+	wg.Wait()
+	syncs := w.Syncs()
+	w.Close()
+	_, recovered, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recovered) != writers*per {
+		t.Fatalf("recovered %d records, want %d", len(recovered), writers*per)
+	}
+	if syncs >= writers*per {
+		t.Errorf("group commit did not coalesce: %d fsyncs for %d appends", syncs, writers*per)
+	}
+}
+
+// BenchmarkWALAppend measures durable append cost at several batch
+// sizes; fsyncs/op shows the group-commit amortisation.
+func BenchmarkWALAppend(b *testing.B) {
+	for _, batch := range []int{1, 8, 32} {
+		b.Run(fmt.Sprintf("batch%d", batch), func(b *testing.B) {
+			w, _, err := Open(filepath.Join(b.TempDir(), "site.wal"))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			msets := make([]et.MSet, batch)
+			b.ResetTimer()
+			var id uint64
+			for i := 0; i < b.N; i += batch {
+				for j := range msets {
+					id++
+					msets[j] = mset(id, op.IncOp("x", 1))
+				}
+				if err := w.AppendBatch(msets); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(w.Syncs())/float64(b.N), "fsyncs/op")
+		})
+	}
+}

@@ -25,6 +25,8 @@ import (
 	"io"
 	"os"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"esr/internal/et"
 	"esr/internal/op"
@@ -32,17 +34,36 @@ import (
 	"esr/internal/storage"
 )
 
-// WAL is an append-only, crash-safe log of applied MSets.
+// WAL is an append-only, crash-safe log of applied MSets.  Concurrent
+// appends group-commit: writers stage their encoded records and the
+// first one through becomes the flush leader, paying a single Write and
+// Sync for everything staged while it (optionally) waited out the flush
+// window.
 type WAL struct {
-	mu     sync.Mutex
-	f      *os.File
-	closed bool
+	mu          sync.Mutex
+	f           *os.File
+	closed      bool
+	flushWindow time.Duration
+
+	commitMu sync.Mutex
+	stage    []byte
+	waiters  []chan error
+
+	syncs atomic.Uint64
 }
 
 // Open opens (creating if needed) the log at path and returns it along
 // with every complete record recovered from it; a torn tail from a
 // crash mid-append is truncated away.
 func Open(path string) (*WAL, []et.MSet, error) {
+	return OpenWindow(path, 0)
+}
+
+// OpenWindow is Open with a group-commit flush window: the flush leader
+// sleeps for window before syncing, letting concurrent appenders pile
+// onto the same fsync.  A zero window still coalesces writers that
+// collide naturally, without adding latency.
+func OpenWindow(path string, window time.Duration) (*WAL, []et.MSet, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
 		return nil, nil, fmt.Errorf("wal: open: %w", err)
@@ -60,8 +81,12 @@ func Open(path string) (*WAL, []et.MSet, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &WAL{f: f}, records, nil
+	return &WAL{f: f, flushWindow: window}, records, nil
 }
+
+// Syncs reports the number of fsyncs issued since Open, for benchmarks
+// and experiments measuring the group-commit win.
+func (w *WAL) Syncs() uint64 { return w.syncs.Load() }
 
 func replay(f *os.File) (records []et.MSet, good int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -90,36 +115,93 @@ func replay(f *os.File) (records []et.MSet, good int64, err error) {
 
 // Append durably records one applied MSet.
 func (w *WAL) Append(m et.MSet) error {
-	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(m); err != nil {
-		return fmt.Errorf("wal: encode: %w", err)
+	return w.AppendBatch([]et.MSet{m})
+}
+
+// AppendBatch durably records a batch of applied MSets with a single
+// write and a single fsync.  Concurrent callers coalesce further: all
+// batches staged while one flush is in flight share the next fsync.
+func (w *WAL) AppendBatch(ms []et.MSet) error {
+	if len(ms) == 0 {
+		return nil
 	}
-	var lenBuf [4]byte
-	binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+	var buf bytes.Buffer
+	for _, m := range ms {
+		var body bytes.Buffer
+		if err := gob.NewEncoder(&body).Encode(m); err != nil {
+			return fmt.Errorf("wal: encode: %w", err)
+		}
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(body.Len()))
+		buf.Write(lenBuf[:])
+		buf.Write(body.Bytes())
+	}
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed {
+		w.mu.Unlock()
 		return fmt.Errorf("wal: closed")
 	}
-	if _, err := w.f.Write(lenBuf[:]); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	ch := make(chan error, 1)
+	w.stage = append(w.stage, buf.Bytes()...)
+	w.waiters = append(w.waiters, ch)
+	w.mu.Unlock()
+	return w.flushWait(ch)
+}
+
+// flushWait blocks until ch carries this writer's commit result.  The
+// first writer to take commitMu becomes the leader: it waits out the
+// flush window, snapshots everything staged meanwhile, and commits it
+// with one write + one fsync for the whole cohort.
+func (w *WAL) flushWait(ch chan error) error {
+	w.commitMu.Lock()
+	select {
+	case err := <-ch: // a previous leader already flushed us
+		w.commitMu.Unlock()
+		return err
+	default:
 	}
-	if _, err := w.f.Write(body.Bytes()); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+	if w.flushWindow > 0 {
+		time.Sleep(w.flushWindow)
 	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("wal: sync: %w", err)
+	w.mu.Lock()
+	data, waiters := w.stage, w.waiters
+	w.stage, w.waiters = nil, nil
+	f, closed := w.f, w.closed
+	w.mu.Unlock()
+	var err error
+	switch {
+	case closed:
+		err = fmt.Errorf("wal: closed")
+	default:
+		if _, werr := f.Write(data); werr != nil {
+			err = fmt.Errorf("wal: append: %w", werr)
+		} else if serr := f.Sync(); serr != nil {
+			err = fmt.Errorf("wal: sync: %w", serr)
+		} else {
+			w.syncs.Add(1)
+		}
 	}
-	return nil
+	for _, waiter := range waiters {
+		waiter <- err
+	}
+	w.commitMu.Unlock()
+	return err
 }
 
 // Close releases the log file.  The log can be reopened with Open.
 func (w *WAL) Close() error {
+	w.commitMu.Lock()
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil
 	}
+	// Fail anything staged but not yet flushed.
+	for _, waiter := range w.waiters {
+		waiter <- fmt.Errorf("wal: closed")
+	}
+	w.stage, w.waiters = nil, nil
 	w.closed = true
 	return w.f.Close()
 }
