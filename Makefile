@@ -1,16 +1,16 @@
 # ESR build and correctness gate.
 #
 # `make check` is the full gate CI runs: build, go vet, esrvet (the
-# project-specific analyzers A1–A5), the test suite, and the race
+# project-specific analyzers A1–A6), the test suite, and the race
 # detector over the concurrency-bearing packages.
 
 GO ?= go
 
 # Packages whose goroutine/lock structure warrants the race detector on
 # every run: the lock manager, the simulated network, the stable queues,
-# the group-commit WAL, the transaction core, and the replica state
-# machine.
-RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/...
+# the group-commit WAL, the transaction core, the replica state machine,
+# and the metrics registry every one of them writes concurrently.
+RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/...
 
 .PHONY: all build test race vet esrvet check bench fuzz clean
 
@@ -34,12 +34,19 @@ esrvet:
 
 check: build vet esrvet test race
 
-# Regenerate the group-commit pipeline baseline (E15): propagation
-# throughput and fsync counts vs batch size, recorded as a JSON artifact
-# CI uploads on every run.  BENCH_FULL=1 uses full-scale workloads.
+# Regenerate the benchmark baselines CI uploads on every run:
+#   E15 — group-commit pipeline throughput and fsync counts vs batch
+#         size (BENCH_pipeline.json);
+#   E16 — observability overhead, instrumented vs nil registry
+#         (BENCH_observe.json), failing when the cross-method mean
+#         exceeds MAX_OVERHEAD percent.
+# BENCH_FULL=1 uses full-scale workloads.
 BENCH_OUT ?= BENCH_pipeline.json
+OBSERVE_OUT ?= BENCH_observe.json
+MAX_OVERHEAD ?= 10
 bench:
 	$(GO) run ./cmd/esrbench -exp E15 $(if $(BENCH_FULL),-full) -out $(BENCH_OUT)
+	$(GO) run ./cmd/esrbench -exp E16 $(if $(BENCH_FULL),-full) -out $(OBSERVE_OUT) -maxoverhead $(MAX_OVERHEAD)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

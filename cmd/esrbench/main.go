@@ -7,10 +7,16 @@
 //	esrbench -exp E5       # one experiment by ID
 //	esrbench -list         # list experiments
 //
-// The group-commit pipeline baseline (E15) can be captured as a JSON
-// artifact for regression tracking:
+// The group-commit pipeline baseline (E15) and the observability
+// overhead baseline (E16) can be captured as JSON artifacts for
+// regression tracking:
 //
 //	esrbench -exp E15 -out BENCH_pipeline.json
+//	esrbench -exp E16 -out BENCH_observe.json -maxoverhead 10
+//
+// -maxoverhead fails the run when E16's cross-method mean overhead
+// (instrumented vs nil registry) exceeds the given percentage — the CI
+// regression gate for the metrics layer.
 package main
 
 import (
@@ -31,13 +37,18 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15: also write the pipeline baseline JSON to this file")
+		out    = flag.String("out", "", "with -exp E15 or E16: also write the baseline JSON to this file")
+		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16: fail when mean instrumentation overhead exceeds this percentage (0 disables)")
 	)
 	flag.Parse()
 	jsonOut = *asJSON
 	baselineOut = *out
-	if baselineOut != "" && *exp != "E15" {
-		fatal(fmt.Errorf("-out records the E15 pipeline baseline; use it with -exp E15"))
+	maxOverhead = *maxOvh
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" {
+		fatal(fmt.Errorf("-out records the E15 or E16 baseline; use it with -exp E15 or -exp E16"))
+	}
+	if maxOverhead > 0 && *exp != "E16" {
+		fatal(fmt.Errorf("-maxoverhead gates the E16 overhead; use it with -exp E16"))
 	}
 
 	switch {
@@ -99,10 +110,18 @@ func run(ex sim.Experiment, quick bool) error {
 			return fmt.Errorf("%s: baseline: %w", ex.ID, err)
 		}
 	}
+	if ex.ID == "E16" && (baselineOut != "" || maxOverhead > 0) {
+		if err := observeGate(baselineOut, quick, maxOverhead); err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+	}
 	return nil
 }
 
-var baselineOut string
+var (
+	baselineOut string
+	maxOverhead float64
+)
 
 // pipelineBaseline is the BENCH_pipeline.json schema: the raw
 // file-queue pipeline sweep with its batch-32-vs-1 ratios, plus the
@@ -151,6 +170,46 @@ func writeBaseline(path string, quick bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "esrbench: wrote %s (batch32 vs 1: %.1fx msgs/sec, %.1fx fewer fsyncs)\n",
 		path, b.SpeedupX, b.FsyncX)
+	return nil
+}
+
+// observeBaseline is the BENCH_observe.json schema: per-method
+// instrumented-vs-nil measurements plus the cross-method mean the CI
+// gate tests.
+type observeBaseline struct {
+	Experiment          string       `json:"experiment"`
+	Full                bool         `json:"full"`
+	Methods             []sim.E16Row `json:"methods"`
+	MeanOverheadPercent float64      `json:"mean_overhead_percent"`
+}
+
+// observeGate re-measures the E16 overhead, optionally records it as
+// JSON, and fails when the cross-method mean exceeds maxPct.
+func observeGate(path string, quick bool, maxPct float64) error {
+	b := observeBaseline{Experiment: "E16", Full: !quick}
+	for _, kind := range sim.AllMethods {
+		row, err := sim.E16Overhead(kind, sim.E16Updates(quick))
+		if err != nil {
+			return err
+		}
+		b.Methods = append(b.Methods, row)
+	}
+	b.MeanOverheadPercent = sim.E16MeanOverhead(b.Methods)
+	if path != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esrbench: wrote %s (mean overhead %+.1f%%)\n",
+			path, b.MeanOverheadPercent)
+	}
+	if maxPct > 0 && b.MeanOverheadPercent > maxPct {
+		return fmt.Errorf("mean instrumentation overhead %+.1f%% exceeds the -maxoverhead %.0f%% gate",
+			b.MeanOverheadPercent, maxPct)
+	}
 	return nil
 }
 

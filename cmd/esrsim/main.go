@@ -9,12 +9,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strconv"
 	"time"
 
 	"esr/internal/clock"
 	"esr/internal/core"
 	"esr/internal/divergence"
+	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/sim"
 )
@@ -35,19 +38,46 @@ func main() {
 		skew      = flag.Float64("skew", 0, "Zipf skew parameter (>1 makes low-numbered objects hot; 0 = uniform)")
 		partition = flag.Duration("partition", 0, "if set, split the cluster in half for this long mid-run")
 		traceN    = flag.Int("trace", 0, "record the last N protocol events and dump them after the run")
+		maddr     = flag.String("metrics", "", "serve the observability endpoint on this address (e.g. :9100); implies instrumentation")
+		pprofFlag = flag.Bool("pprof", false, "mount /debug/pprof/ on the metrics endpoint")
+		linger    = flag.Duration("linger", 0, "keep the cluster (and metrics endpoint) alive this long after the run")
 	)
 	flag.Parse()
 
+	var reg *metrics.Registry
+	if *maddr != "" {
+		reg = metrics.NewRegistry()
+	}
 	eng, err := sim.NewEngine(sim.EngineKind(*method), *replicas, network.Config{
 		Seed:       *seed,
 		MinLatency: *latency / 4,
 		MaxLatency: *latency,
 		LossRate:   *loss,
-	}, sim.Options{Trace: *traceN})
+	}, sim.Options{Trace: *traceN, Metrics: reg})
 	if err != nil {
 		fatal(err)
 	}
 	defer eng.Close()
+
+	if *maddr != "" {
+		ring := eng.Cluster().Trace
+		srv, err := metrics.Serve(*maddr, metrics.ServeOptions{
+			Registry: reg,
+			Pprof:    *pprofFlag,
+			Extra: map[string]http.Handler{
+				"/trace": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+					since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					ring.Dump(w, since)
+				}),
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("--- metrics on http://%s/metrics (esrtop -addr %s)\n", srv.Addr(), srv.Addr())
+	}
 
 	if *partition > 0 {
 		go func() {
@@ -98,7 +128,11 @@ func main() {
 		res.ConvergeIn.Round(time.Millisecond), res.Converged)
 	if *traceN > 0 {
 		fmt.Printf("\n--- last %d protocol events ---\n", eng.Cluster().Trace.Len())
-		eng.Cluster().Trace.Dump(os.Stdout)
+		eng.Cluster().Trace.Dump(os.Stdout, 0)
+	}
+	if *linger > 0 {
+		fmt.Printf("--- lingering %v for observers\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -1,0 +1,309 @@
+// Command esrtop is a terminal dashboard for a running cluster's
+// observability endpoint (esr.Config.MetricsAddr or esrsim -metrics).
+// It polls /metrics.json once per interval and redraws a per-site view
+// of the propagation pipeline: commit and apply rates, queue depths,
+// commit→apply lag quantiles, the live ε budget, and the query
+// charged/fallback split.  With -events it also tails the /trace
+// endpoint incrementally (monotone Seq across ring wrap means no event
+// is ever shown twice).
+//
+//	esrsim -method commu -metrics :9100 -linger 1m &
+//	esrtop -addr localhost:9100
+//
+// -once prints a single frame without clearing the screen, for scripts
+// and tests.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"esr/internal/metrics"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:9100", "metrics endpoint host:port")
+		interval = flag.Duration("interval", time.Second, "poll interval")
+		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
+		events   = flag.Int("events", 0, "tail the last N protocol events from /trace per frame (0 disables)")
+	)
+	flag.Parse()
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	t := &top{addr: *addr, client: client, events: *events}
+
+	if *once {
+		if err := t.frame(os.Stdout, false); err != nil {
+			fmt.Fprintln(os.Stderr, "esrtop:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	tick := time.NewTicker(*interval)
+	defer tick.Stop()
+	for {
+		if err := t.frame(os.Stdout, true); err != nil {
+			fmt.Printf("\x1b[H\x1b[2Jesrtop: %v (waiting for %s)\n", err, *addr)
+		}
+		select {
+		case <-sig:
+			fmt.Println()
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+// top holds the state carried between frames: the previous snapshot's
+// totals for rate derivation and the trace cursor for incremental tails.
+type top struct {
+	addr   string
+	client *http.Client
+	events int
+
+	prev   map[string]float64 // summed counter totals by name
+	prevAt time.Time
+	since  uint64 // next trace Seq to fetch
+	tail   []string
+}
+
+func (t *top) frame(w io.Writer, clear bool) error {
+	snap, err := t.fetch()
+	if err != nil {
+		return err
+	}
+	now := time.Now()
+	var b strings.Builder
+	t.render(&b, snap, now)
+	if t.events > 0 {
+		t.fetchEvents()
+		fmt.Fprintf(&b, "\nlast %d protocol events (/trace)\n", t.events)
+		for _, line := range t.tail {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	if clear {
+		fmt.Fprint(w, "\x1b[H\x1b[2J")
+	}
+	_, err = io.WriteString(w, b.String())
+	t.prev = sums(snap)
+	t.prevAt = now
+	return err
+}
+
+func (t *top) fetch() (metrics.Snapshot, error) {
+	var snap metrics.Snapshot
+	resp, err := t.client.Get("http://" + t.addr + "/metrics.json")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET /metrics.json: %s", resp.Status)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// fetchEvents tails /trace incrementally, keeping the last t.events
+// lines.  Errors leave the previous tail in place (the endpoint is
+// optional: it serves nothing unless tracing is enabled).
+func (t *top) fetchEvents() {
+	resp, err := t.client.Get(fmt.Sprintf("http://%s/trace?since=%d", t.addr, t.since))
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		t.tail = append(t.tail, line)
+		// Lines are "#<seq> ..."; advance the cursor past what we saw.
+		if i := strings.IndexByte(line, ' '); strings.HasPrefix(line, "#") && i > 1 {
+			if seq, err := strconv.ParseUint(line[1:i], 10, 64); err == nil && seq >= t.since {
+				t.since = seq + 1
+			}
+		}
+	}
+	if len(t.tail) > t.events {
+		t.tail = t.tail[len(t.tail)-t.events:]
+	}
+}
+
+// sums collapses every counter series to a by-name total, the basis for
+// frame-to-frame rate derivation.
+func sums(s metrics.Snapshot) map[string]float64 {
+	out := make(map[string]float64, len(s.Counters))
+	for _, c := range s.Counters {
+		out[c.Name] += c.Value
+	}
+	return out
+}
+
+func (t *top) rate(name string, cur map[string]float64, now time.Time) float64 {
+	if t.prev == nil {
+		return 0
+	}
+	dt := now.Sub(t.prevAt).Seconds()
+	if dt <= 0 {
+		return 0
+	}
+	return (cur[name] - t.prev[name]) / dt
+}
+
+// row is the per-site line of the dashboard.
+type row struct {
+	site                          string
+	commits, applied, holds       float64
+	depth                         float64
+	p50, p95, p99                 float64
+	eps                           float64
+	hasEps                        bool
+	charged, fallback, compensate float64
+}
+
+func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
+	method := ""
+	sites := map[string]*row{}
+	get := func(site string) *row {
+		r, ok := sites[site]
+		if !ok {
+			r = &row{site: site}
+			sites[site] = r
+		}
+		return r
+	}
+	for _, c := range snap.Counters {
+		if method == "" {
+			method = c.Labels["method"]
+		}
+		site := c.Labels["site"]
+		if site == "" {
+			continue
+		}
+		switch c.Name {
+		case "esr_commits_total":
+			get(site).commits = c.Value
+		case "esr_site_applied_total":
+			get(site).applied = c.Value
+		case "esr_site_holds_total":
+			get(site).holds = c.Value
+		case "esr_query_charged_total":
+			get(site).charged = c.Value
+		case "esr_query_fallback_total":
+			get(site).fallback = c.Value
+		case "esr_compensations_total":
+			get(site).compensate = c.Value
+		}
+	}
+	for _, g := range snap.Gauges {
+		site := g.Labels["site"]
+		if site == "" {
+			continue
+		}
+		switch g.Name {
+		case "esr_queue_depth":
+			get(site).depth += g.Value
+		case "esr_epsilon_budget":
+			r := get(site)
+			r.eps, r.hasEps = g.Value, true
+		}
+	}
+	for _, h := range snap.Histograms {
+		if h.Name != "esr_propagation_lag_seconds" {
+			continue
+		}
+		site := h.Labels["site"]
+		if site == "" || h.Count == 0 {
+			continue
+		}
+		r := get(site)
+		r.p50, r.p95, r.p99 = h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	}
+
+	cur := sums(snap)
+	fmt.Fprintf(b, "esrtop — %s  method=%s  series=%d  %s\n",
+		t.addr, orDash(method), snap.NumSeries(), now.Format("15:04:05"))
+	fmt.Fprintf(b, "cluster  commit/s %7.1f   apply/s %7.1f   net %s/s   lost/s %.1f   deadlocks %d\n\n",
+		t.rate("esr_commits_total", cur, now),
+		t.rate("esr_site_applied_total", cur, now),
+		bytesUnit(t.rate("esr_net_bytes_total", cur, now)),
+		t.rate("esr_net_lost_total", cur, now),
+		int64(cur["esr_lock_deadlocks_total"]))
+
+	names := make([]string, 0, len(sites))
+	for s := range sites {
+		names = append(names, s)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := strconv.Atoi(names[i])
+		c, _ := strconv.Atoi(names[j])
+		return a < c
+	})
+	fmt.Fprintf(b, "%-5s %9s %9s %7s %7s %9s %9s %9s %7s %9s %11s\n",
+		"site", "commits", "applied", "holds", "depth", "lag-p50", "lag-p95", "lag-p99", "ε-left", "q-charged", "q-fallback")
+	for _, s := range names {
+		r := sites[s]
+		eps := "-"
+		if r.hasEps {
+			if r.eps < 0 {
+				eps = "∞"
+			} else {
+				eps = strconv.FormatInt(int64(r.eps), 10)
+			}
+		}
+		fmt.Fprintf(b, "%-5s %9.0f %9.0f %7.0f %7.0f %9s %9s %9s %7s %9.0f %11.0f\n",
+			s, r.commits, r.applied, r.holds, r.depth,
+			secUnit(r.p50), secUnit(r.p95), secUnit(r.p99), eps, r.charged, r.fallback)
+	}
+	if c := cur["esr_compensations_total"]; c > 0 {
+		fmt.Fprintf(b, "\ncompensations %d (backward recovery applied)\n", int64(c))
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// secUnit renders a lag bound in a human unit; histogram buckets are
+// powers of two so precision beyond two digits is noise.
+func secUnit(v float64) string {
+	switch {
+	case v == 0:
+		return "-"
+	case v < 1e-3:
+		return fmt.Sprintf("%.0fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.1fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", v)
+	}
+}
+
+func bytesUnit(v float64) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}

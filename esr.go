@@ -37,6 +37,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
+	"strconv"
 	"time"
 
 	"esr/internal/clock"
@@ -45,6 +47,7 @@ import (
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/et"
+	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/op"
 	"esr/internal/ritu"
@@ -164,12 +167,23 @@ type Config struct {
 	// (commits, receives, holds, applies, compensations, query pricing)
 	// in a ring readable through Trace and DumpTrace.
 	TraceCapacity int
+	// MetricsAddr, when set, instruments every pipeline stage and serves
+	// the observability endpoint on the address (":0" picks a free port;
+	// read it back with MetricsAddr).  Endpoints: /metrics (Prometheus
+	// text), /metrics.json (structured snapshot, what esrtop polls),
+	// /debug/vars (expvar), and /trace (incremental protocol-event dump,
+	// ?since=N) when TraceCapacity is also set.
+	MetricsAddr string
+	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
+	// the metrics endpoint.
+	Pprof bool
 }
 
 // Cluster is a replicated system running one replica-control method.
 type Cluster struct {
 	eng    core.Engine
 	method Method
+	msrv   *metrics.Server
 }
 
 // Errors returned by method-specific interfaces.
@@ -196,6 +210,10 @@ func Open(cfg Config) (*Cluster, error) {
 	if cfg.Method == "" {
 		return nil, fmt.Errorf("esr: Config.Method is required")
 	}
+	var reg *metrics.Registry
+	if cfg.MetricsAddr != "" {
+		reg = metrics.NewRegistry()
+	}
 	eng, err := sim.NewEngine(sim.EngineKind(cfg.Method), cfg.Replicas, network.Config{
 		Seed:       cfg.Seed,
 		MinLatency: cfg.MinLatency,
@@ -207,12 +225,41 @@ func Open(cfg Config) (*Cluster, error) {
 		FlushWindow:    cfg.FlushWindow,
 		DeliveryWindow: cfg.DeliveryWindow,
 		Trace:          cfg.TraceCapacity,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return nil, err
 	}
-	return &Cluster{eng: eng, method: cfg.Method}, nil
+	c := &Cluster{eng: eng, method: cfg.Method}
+	if cfg.MetricsAddr != "" {
+		ring := eng.Cluster().Trace
+		srv, err := metrics.Serve(cfg.MetricsAddr, metrics.ServeOptions{
+			Registry: reg,
+			Pprof:    cfg.Pprof,
+			Extra: map[string]http.Handler{
+				"/trace": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+					since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
+					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+					ring.Dump(w, since)
+				}),
+			},
+		})
+		if err != nil {
+			_ = eng.Close()
+			return nil, err
+		}
+		c.msrv = srv
+	}
+	return c, nil
 }
+
+// MetricsAddr returns the observability endpoint's actual listen address
+// (useful with ":0"), or "" when Config.MetricsAddr was not set.
+func (c *Cluster) MetricsAddr() string { return c.msrv.Addr() }
+
+// Metrics returns the cluster's metrics registry, or nil when
+// Config.MetricsAddr was not set.
+func (c *Cluster) Metrics() *metrics.Registry { return c.eng.Cluster().Registry() }
 
 // Method returns the cluster's replica-control method.
 func (c *Cluster) Method() Method { return c.method }
@@ -431,12 +478,18 @@ func (c *Cluster) Trace() []TraceEvent {
 
 // DumpTrace writes the retained protocol events to w, one per line.
 func (c *Cluster) DumpTrace(w io.Writer) {
-	c.eng.Cluster().Trace.Dump(w)
+	c.eng.Cluster().Trace.Dump(w, 0)
 }
 
 // Engine exposes the underlying engine for advanced use (experiment
 // harnesses, method-specific statistics).
 func (c *Cluster) Engine() core.Engine { return c.eng }
 
-// Close shuts the cluster down.
-func (c *Cluster) Close() error { return c.eng.Close() }
+// Close shuts the cluster down, including its metrics endpoint.
+func (c *Cluster) Close() error {
+	err := c.msrv.Close()
+	if cerr := c.eng.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

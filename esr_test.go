@@ -2,6 +2,8 @@ package esr
 
 import (
 	"errors"
+	"io"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -410,5 +412,65 @@ func TestQueryAtFacade(t *testing.T) {
 	c2 := open(t, Config{Replicas: 2, Method: COMMU, Seed: 1})
 	if _, err := c2.QueryAt(1, []string{"doc"}, Timestamp{}); !errors.Is(err, ErrHistoricalUnsupported) {
 		t.Errorf("QueryAt on COMMU = %v", err)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	c := open(t, Config{Replicas: 3, Method: COMMU, Seed: 7,
+		MetricsAddr: "127.0.0.1:0", TraceCapacity: 128})
+	addr := c.MetricsAddr()
+	if addr == "" {
+		t.Fatal("MetricsAddr() empty with MetricsAddr configured")
+	}
+	if c.Metrics() == nil {
+		t.Fatal("Metrics() nil with MetricsAddr configured")
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := c.Update(1, Inc("x", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Quiesce(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Query(2, []string{"x"}, Epsilon(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		return string(body)
+	}
+	text := get("/metrics")
+	for _, want := range []string{
+		`esr_propagation_lag_seconds_count{method="commu",site="2"}`,
+		`esr_queue_depth{method="commu",queue="in",site="3"}`,
+		`esr_epsilon_budget{method="commu",site="2"}`,
+		`esr_commits_total{method="commu",site="1"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if tr := get("/trace?since=0"); !strings.Contains(tr, "commit") {
+		t.Errorf("/trace missing commit events:\n%s", tr)
+	}
+
+	// No endpoint configured: accessors degrade to zero values.
+	c2 := open(t, Config{Replicas: 2, Method: COMMU, Seed: 1})
+	if got := c2.MetricsAddr(); got != "" {
+		t.Errorf("MetricsAddr() without config = %q", got)
+	}
+	if c2.Metrics() != nil {
+		t.Error("Metrics() without config must be nil")
 	}
 }

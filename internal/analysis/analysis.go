@@ -26,6 +26,10 @@
 //	                       internal/queue must have a visible join or
 //	                       cancellation (WaitGroup.Done, done-channel
 //	                       receive, or ctx.Done).
+//	A6 metricreg         — a function that emits trace events (Record*
+//	                       on a trace ring) must also touch a metrics
+//	                       instrument, so every traced pipeline stage
+//	                       is visible to /metrics and esrtop too.
 //
 // Analyzers are pure functions from a typed package to a list of
 // diagnostics.  A finding can be suppressed with a trailing comment
@@ -45,7 +49,7 @@ import (
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
 	Pos     token.Position
-	Rule    string // "A1".."A5"
+	Rule    string // "A1".."A6"
 	Message string
 }
 
@@ -56,7 +60,7 @@ func (d Diagnostic) String() string {
 
 // Analyzer is one esrvet rule.
 type Analyzer struct {
-	// Rule is the stable rule ID ("A1".."A5").
+	// Rule is the stable rule ID ("A1".."A6").
 	Rule string
 	// Name is a short slug (used in -only filters).
 	Name string
@@ -74,6 +78,7 @@ func All() []*Analyzer {
 		CommuRegistration,
 		SimDeterminism,
 		GoroutineLeak,
+		MetricRegistration,
 	}
 }
 

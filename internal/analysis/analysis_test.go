@@ -84,6 +84,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{SimDeterminism, "determinism_bad", "esrfixture/internal/sim"},
 		{GoroutineLeak, "goleak_clean", "esrfixture/internal/queue"},
 		{GoroutineLeak, "goleak_bad", "esrfixture/internal/queue"},
+		{MetricRegistration, "metricreg_clean", "esrfixture/metricreg_clean"},
+		{MetricRegistration, "metricreg_bad", "esrfixture/metricreg_bad"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Rule+"/"+tc.fixture, func(t *testing.T) {
@@ -134,6 +136,7 @@ func TestFixturePolarity(t *testing.T) {
 		"A3": {{CommuRegistration, "commureg_clean", "esrfixture/a"}, {CommuRegistration, "commureg_bad", "esrfixture/b"}},
 		"A4": {{SimDeterminism, "determinism_clean", "esrfixture/internal/sim"}, {SimDeterminism, "determinism_bad", "esrfixture/internal/sim"}},
 		"A5": {{GoroutineLeak, "goleak_clean", "esrfixture/internal/queue"}, {GoroutineLeak, "goleak_bad", "esrfixture/internal/queue"}},
+		"A6": {{MetricRegistration, "metricreg_clean", "esrfixture/a"}, {MetricRegistration, "metricreg_bad", "esrfixture/b"}},
 	}
 	for rule, pair := range polar {
 		clean, bad := pair[0], pair[1]

@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MetricRegistration is rule A6: a function that emits a trace event
+// (any Record* method on a trace ring) must also touch the metrics
+// layer.  Trace events and metrics are two views of the same pipeline
+// stage — the ring answers "why was this MSet slow", the registry
+// answers "how often and how slow" — and the observability layer is
+// only trustworthy if every stage feeds both.  A stage that traces but
+// never increments a counter silently disappears from /metrics, esrtop
+// and the lag histograms; this rule forces the pairing to happen where
+// the event is emitted.
+//
+// The check is structural: inside a function whose body calls a
+// Record/Recordf/RecordMSet/RecordMSetf method on a value whose named
+// type is `Ring`, some expression must have one of the metrics
+// instrument types (Counter, Gauge, Histogram, their Vec families, Lag,
+// Registry, or a per-site SiteMetrics bundle).  The trace package
+// itself is exempt (its methods delegate to each other), as are test
+// files (tests exercise rings in isolation by design).
+var MetricRegistration = &Analyzer{
+	Rule: "A6",
+	Name: "metricreg",
+	Doc:  "trace-emitting functions must also touch a metrics instrument (paired observability)",
+	Run:  runMetricRegistration,
+}
+
+// metricTypeNames are the named types whose presence in a function
+// counts as touching the metrics layer.
+var metricTypeNames = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterVec": true, "GaugeVec": true, "HistogramVec": true,
+	"Lag": true, "Registry": true, "SiteMetrics": true,
+}
+
+// traceRecordMethods are the ring methods that emit an event.
+var traceRecordMethods = map[string]bool{
+	"Record": true, "Recordf": true, "RecordMSet": true, "RecordMSetf": true,
+}
+
+func runMetricRegistration(p *Package) []Diagnostic {
+	if p.Types.Name() == "trace" {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			emit := firstTraceEmit(p, fd)
+			if emit == nil {
+				continue
+			}
+			if !touchesMetrics(p, fd) {
+				diags = append(diags, p.diag("A6", emit,
+					"%s emits trace events but never touches a metrics instrument (the stage is invisible to /metrics and esrtop; pair the event with a counter, gauge or histogram)", fd.Name.Name))
+			}
+		}
+	}
+	return diags
+}
+
+// firstTraceEmit returns the first Record* call on a trace ring inside
+// the function, or nil.
+func firstTraceEmit(p *Package, fd *ast.FuncDecl) ast.Node {
+	var emit ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if emit != nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !traceRecordMethods[sel.Sel.Name] {
+			return true
+		}
+		fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+		if !ok {
+			return true
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok || sig.Recv() == nil {
+			return true
+		}
+		if namedTypeName(sig.Recv().Type()) == "Ring" {
+			emit = call
+		}
+		return true
+	})
+	return emit
+}
+
+// touchesMetrics reports whether any expression in the function's body
+// (or its receiver/parameters) has a metrics instrument type.
+func touchesMetrics(p *Package, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if tv, ok := p.Info.Types[expr]; ok {
+			if metricTypeNames[namedTypeName(tv.Type)] {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// namedTypeName returns the bare name of the (possibly pointered) named
+// type, or "".
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,28 @@
+// Package metricreg_bad violates rule A6: stages that emit trace
+// events while never touching a metrics instrument, so the stage shows
+// up in the event log but is invisible to /metrics and esrtop.
+package metricreg_bad
+
+import (
+	"esr/internal/trace"
+)
+
+// applyWithoutCount traces the apply but the apply counter is nowhere:
+// the site's apply rate silently reads zero.
+func applyWithoutCount(r *trace.Ring, site int) {
+	r.RecordMSet(trace.Apply, site, "et1.1", 0x42, "") // want A6
+}
+
+// holdWithoutGauge traces the hold-back with formatting but records no
+// depth or hold counter.
+func holdWithoutGauge(r *trace.Ring, site, seq int) {
+	r.RecordMSetf(trace.Hold, site, "et1.2", 0x43, "seq=%d", seq) // want A6
+}
+
+// queryWithoutBudget prices a read in the event log only; the ε-budget
+// gauge never moves.
+func queryWithoutBudget(r *trace.Ring, site int, cost int) {
+	if cost > 0 {
+		r.Recordf(trace.QueryCharged, site, "et1.3", "cost=%d", cost) // want A6
+	}
+}

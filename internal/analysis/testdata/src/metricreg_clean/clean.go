@@ -1,0 +1,58 @@
+// Package metricreg_clean exercises every pairing idiom rule A6 must
+// accept: a counter increment beside the trace call, a histogram
+// observation through a struct field, lag tracking, a function with no
+// trace events at all, and the ignore directive for an emit that is
+// deliberately metrics-free.
+package metricreg_clean
+
+import (
+	"time"
+
+	"esr/internal/metrics"
+	"esr/internal/trace"
+)
+
+// pipeline bundles the instruments a stage writes, the shape the real
+// chassis uses.
+type pipeline struct {
+	applies *metrics.Counter
+	waitSec *metrics.Histogram
+}
+
+// counterBesideTrace is the canonical pairing: the event and the count
+// move together.
+func counterBesideTrace(r *trace.Ring, p *pipeline, site int) {
+	p.applies.Inc()
+	r.RecordMSet(trace.Apply, site, "et1.1", 0x42, "")
+}
+
+// histogramThroughField observes through a field selector rather than a
+// local, which must also count as touching the metrics layer.
+func histogramThroughField(r *trace.Ring, p *pipeline, site int, d time.Duration) {
+	r.Recordf(trace.Hold, site, "et1.2", "seq=%d", 7)
+	p.waitSec.Observe(int64(d))
+}
+
+// lagCounts pairs the commit event with the propagation-lag tracker.
+func lagCounts(r *trace.Ring, l *metrics.Lag, site int) {
+	l.Commit(0x42)
+	r.RecordMSetf(trace.Commit, site, "et1.3", 0x42, "ops=%d", 1)
+}
+
+// noTraceNoObligation emits nothing, so A6 demands nothing — even
+// though it also touches no metrics.
+func noTraceNoObligation(events []trace.Event) int {
+	return len(events)
+}
+
+// dumpIsNotAnEmit reads the ring without recording; readers have no
+// pairing obligation.
+func dumpIsNotAnEmit(r *trace.Ring) []trace.Event {
+	return r.Snapshot()
+}
+
+// deliberatelyUnpaired documents a metrics-free emit with the ignore
+// directive, the sanctioned escape hatch.
+func deliberatelyUnpaired(r *trace.Ring, site int) {
+	r.Record(trace.Receive, site, "et1.4", "debug-only probe") //esrvet:ignore A6 one-off debugging event, no steady-state series wanted
+}

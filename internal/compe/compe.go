@@ -611,7 +611,9 @@ func (e *Engine) applyCompensation(s *replica.Site, sl *siteLog, m et.MSet) erro
 	}
 	sl.entries = append(sl.entries[:idx], sl.entries[idx+1:]...)
 	e.truncateLocked(sl)
-	e.c.Trace.Recordf(trace.Compensate, int(s.ID), m.Target.String(), "log=%d", len(sl.entries))
+	e.c.SiteMetrics(s.ID).Compensations.Inc()
+	e.c.Trace.RecordMSetf(trace.Compensate, int(s.ID), m.Target.String(), m.MsgID(),
+		"log=%d", len(sl.entries))
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"esr/internal/et"
 	"esr/internal/history"
 	"esr/internal/lock"
+	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/op"
 	"esr/internal/queue"
@@ -103,6 +104,13 @@ type Config struct {
 	// Trace, when positive, enables event tracing with a ring buffer of
 	// that capacity (see internal/trace).
 	Trace int
+	// Metrics, when non-nil, instruments the whole pipeline (queues,
+	// locks, network, sites, WALs, propagation lag) on this registry.
+	// nil keeps the uninstrumented no-op path.
+	Metrics *metrics.Registry
+	// Method labels every exported series (method="ORDUP", ...).  Only
+	// meaningful with Metrics set.
+	Method string
 }
 
 // defaultDeliveryWindow is the outbound in-flight window when
@@ -139,6 +147,10 @@ type Cluster struct {
 	etCounter   map[clock.SiteID]*atomic.Uint64
 	msgCounter  map[clock.SiteID]*atomic.Uint64
 	activeQuery atomic.Int64 // in-flight query ETs (observability only)
+
+	// met is the resolved instrumentation (nil when Config.Metrics is
+	// nil; nil clusterMetrics methods hand out no-op instruments).
+	met *clusterMetrics
 
 	closeOnce sync.Once
 }
@@ -177,6 +189,8 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.Trace > 0 {
 		c.Trace = trace.NewRing(cfg.Trace)
 	}
+	c.met = newClusterMetrics(cfg.Metrics, cfg.Method, cfg.Sites)
+	c.Net.SetMetrics(c.met.networkMetrics())
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
 			return nil, fmt.Errorf("core: create queue dir: %w", err)
@@ -188,8 +202,14 @@ func New(cfg Config) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		if iq, ok := in.(queue.Instrumentable); ok {
+			iq.SetMetrics(c.met.queueMetrics(id, "in"))
+		}
 		site := replica.NewSite(id, in, cfg.LockTable)
 		site.Trace = c.Trace
+		site.Metrics = c.met.replicaMetrics(id)
+		site.Lag = c.Lag()
+		site.Locks.SetMetrics(c.met.lockMetrics(id))
 		c.sites[id] = site
 		c.inQ[id] = in
 		c.etCounter[id] = &atomic.Uint64{}
@@ -208,9 +228,13 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, err
 			}
 			from, to := from, to
+			if iq, ok := q.(queue.Instrumentable); ok {
+				iq.SetMetrics(c.met.queueMetrics(from, "out-"+siteLabel(to)))
+			}
 			d := queue.NewDelivery(q, func(m queue.Message) error {
 				return c.Net.Send(from, to, m.Payload)
 			}, cfg.RetryBackoff, cfg.RetryMax)
+			d.SetMetrics(c.met.deliveryMetrics(from, to))
 			d.SetWindow(cfg.DeliveryWindow)
 			d.SetBatchSend(func(ms []queue.Message) error {
 				payloads := make([][]byte, len(ms))
@@ -311,6 +335,7 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 				// open its WAL is unusable, so fail loudly.
 				panic(fmt.Sprintf("core: open wal for %v: %v", id, err))
 			}
+			w.SetMetrics(c.met.walMetrics(id))
 			c.wals[id] = w
 			apply = wal.Wrap(w, apply)
 		}
@@ -389,17 +414,10 @@ func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
 	return decodeU64(resp), nil
 }
 
-// msgIDFor derives a queue-unique message ID from an MSet identity.  The
-// same MSet redelivered gets the same ID, so inbound dedup holds across
-// retries; compensation MSets get a distinct bit so they never collide
-// with the forward MSet of the same ET.
-func msgIDFor(m et.MSet) uint64 {
-	id := uint64(m.ET)
-	if m.Compensation {
-		id |= 1 << 63
-	}
-	return id
-}
+// msgIDFor derives a queue-unique message ID from an MSet identity (see
+// et.MSet.MsgID): redelivery maps to the same ID so inbound dedup holds
+// across retries.
+func msgIDFor(m et.MSet) uint64 { return m.MsgID() }
 
 // Broadcast propagates an update MSet to every site.  The origin's copy
 // is delivered directly (no network); remote copies are enqueued on the
@@ -416,7 +434,10 @@ func (c *Cluster) Broadcast(m et.MSet) error {
 	if origin == nil {
 		return fmt.Errorf("core: unknown origin site %v", m.Origin)
 	}
-	c.Trace.Recordf(trace.Commit, int(m.Origin), m.ET.String(), "ops=%d comp=%v", len(m.Ops), m.Compensation)
+	c.Trace.RecordMSetf(trace.Commit, int(m.Origin), m.ET.String(), msg.ID,
+		"ops=%d comp=%v", len(m.Ops), m.Compensation)
+	c.SiteMetrics(m.Origin).Commits.Inc()
+	c.Lag().Commit(msg.ID)
 	if err := origin.Receive(msg); err != nil {
 		return err
 	}
@@ -424,7 +445,8 @@ func (c *Cluster) Broadcast(m et.MSet) error {
 		if err := l.q.Enqueue(msg); err != nil {
 			return fmt.Errorf("core: enqueue for %v: %w", to, err)
 		}
-		c.Trace.Recordf(trace.Enqueue, int(m.Origin), m.ET.String(), "to=%v", to)
+		c.Trace.RecordMSetf(trace.Enqueue, int(m.Origin), m.ET.String(), msg.ID,
+			"to=%v", to)
 		l.d.Kick()
 	}
 	return nil
@@ -460,8 +482,13 @@ func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 	if origin == nil {
 		return fmt.Errorf("core: unknown origin site %v", originID)
 	}
-	for _, m := range msets {
-		c.Trace.Recordf(trace.Commit, int(originID), m.ET.String(), "ops=%d comp=%v burst=%d", len(m.Ops), m.Compensation, len(msets))
+	sm := c.SiteMetrics(originID)
+	lag := c.Lag()
+	for i, m := range msets {
+		c.Trace.RecordMSetf(trace.Commit, int(originID), m.ET.String(), msgs[i].ID,
+			"ops=%d comp=%v burst=%d", len(m.Ops), m.Compensation, len(msets))
+		sm.Commits.Inc()
+		lag.Commit(msgs[i].ID)
 	}
 	if err := origin.ReceiveDecodedBatch(msgs, msets); err != nil {
 		return err
@@ -470,8 +497,9 @@ func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 		if err := l.q.EnqueueBatch(msgs); err != nil {
 			return fmt.Errorf("core: enqueue burst for %v: %w", to, err)
 		}
-		for _, m := range msets {
-			c.Trace.Recordf(trace.Enqueue, int(originID), m.ET.String(), "to=%v", to)
+		for i, m := range msets {
+			c.Trace.RecordMSetf(trace.Enqueue, int(originID), m.ET.String(), msgs[i].ID,
+				"to=%v", to)
 		}
 		l.d.Kick()
 	}

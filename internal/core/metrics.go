@@ -1,0 +1,274 @@
+// Metrics wiring for the cluster chassis: the single place that names
+// every family the pipeline exports and resolves each component's
+// registry children up front (Vec.With allocates; the hot paths must
+// not).  With no registry configured every instrument below is nil and
+// every update is a no-op — see Experiment E16 for the overhead bound.
+
+package core
+
+import (
+	"strconv"
+
+	"esr/internal/clock"
+	"esr/internal/lock"
+	"esr/internal/metrics"
+	"esr/internal/network"
+	"esr/internal/queue"
+	"esr/internal/replica"
+	"esr/internal/wal"
+)
+
+// SiteMetrics are the per-site, method-level instruments: the engines
+// (and the chassis' query helper) update them at commit, compensation
+// and query time.  Zero-value fields are no-ops, so an uninstrumented
+// cluster hands out a zero SiteMetrics and call sites never guard.
+type SiteMetrics struct {
+	// Commits counts update ETs committed at this origin site.
+	Commits *metrics.Counter
+	// Compensations counts compensation MSets applied at this site
+	// (backward replica control, §4.2).
+	Compensations *metrics.Counter
+	// QueryCharged counts query ETs that imported inconsistency units
+	// against their ε limit.
+	QueryCharged *metrics.Counter
+	// QueryFallback counts query ETs that exhausted their ε limit and
+	// took the conservative (drain-and-serialize) path.
+	QueryFallback *metrics.Counter
+	// EpsilonBudget is the ε units the most recent query at this site
+	// had left after charging (-1 for an unlimited query) — the live
+	// view of how close reads run to their inconsistency bound.
+	EpsilonBudget *metrics.Gauge
+}
+
+// clusterMetrics holds the cluster's resolved instruments plus the vecs
+// late joiners (WALs opened in Setup, restarted sites) resolve from.
+type clusterMetrics struct {
+	reg *metrics.Registry
+	lag *metrics.Lag
+
+	site map[clock.SiteID]*SiteMetrics
+
+	queueDepth     *metrics.GaugeVec
+	queueEnqueued  *metrics.CounterVec
+	queueAcked     *metrics.CounterVec
+	queueSyncs     *metrics.CounterVec
+	queueSyncSec   *metrics.HistogramVec
+	queueDeliver   *metrics.HistogramVec
+	queueCompacted *metrics.CounterVec
+
+	walSyncs   *metrics.CounterVec
+	walSyncSec *metrics.HistogramVec
+	walAppends *metrics.CounterVec
+
+	siteReceived  *metrics.CounterVec
+	siteApplied   *metrics.CounterVec
+	siteHeld      *metrics.CounterVec
+	siteErrors    *metrics.CounterVec
+	siteEvictions *metrics.CounterVec
+
+	lockAcquires  *metrics.CounterVec
+	lockWaits     *metrics.CounterVec
+	lockDeadlocks *metrics.CounterVec
+	lockConflicts *metrics.CounterVec
+	lockWaitSec   *metrics.HistogramVec
+}
+
+// newClusterMetrics declares every family on the registry.  Returns nil
+// when reg is nil — the nil clusterMetrics methods below then hand out
+// nil instruments everywhere.
+func newClusterMetrics(reg *metrics.Registry, method string, sites int) *clusterMetrics {
+	if reg == nil {
+		return nil
+	}
+	if method != "" {
+		reg.SetConstLabels(map[string]string{"method": method})
+	}
+	m := &clusterMetrics{
+		reg:  reg,
+		lag:  metrics.NewLag(reg, sites),
+		site: make(map[clock.SiteID]*SiteMetrics),
+
+		queueDepth:     reg.Gauge("esr_queue_depth", "Unacknowledged messages in a stable queue.", "site", "queue"),
+		queueEnqueued:  reg.Counter("esr_queue_enqueued_total", "Messages accepted (dedup-fresh) into a stable queue.", "site", "queue"),
+		queueAcked:     reg.Counter("esr_queue_acked_total", "Messages acknowledged out of a stable queue.", "site", "queue"),
+		queueSyncs:     reg.Counter("esr_queue_syncs_total", "Journal fsyncs issued by a stable queue.", "site", "queue"),
+		queueSyncSec:   reg.Histogram("esr_queue_sync_seconds", "Journal fsync latency.", metrics.ScaleNanos, "site", "queue"),
+		queueDeliver:   reg.Histogram("esr_queue_deliver_seconds", "Enqueue-to-acknowledge latency per message.", metrics.ScaleNanos, "site", "queue"),
+		queueCompacted: reg.Counter("esr_queue_compactions_total", "Journal compactions performed by a stable queue.", "site", "queue"),
+
+		walSyncs:   reg.Counter("esr_wal_syncs_total", "Write-ahead-log fsyncs issued.", "site"),
+		walSyncSec: reg.Histogram("esr_wal_sync_seconds", "Write-ahead-log fsync latency.", metrics.ScaleNanos, "site"),
+		walAppends: reg.Counter("esr_wal_appends_total", "MSets durably appended to the write-ahead log.", "site"),
+
+		siteReceived:  reg.Counter("esr_site_received_total", "MSets accepted into a site's inbound queue.", "site"),
+		siteApplied:   reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
+		siteHeld:      reg.Counter("esr_site_holds_total", "Hold-back decisions at a site (one per deferred scan).", "site"),
+		siteErrors:    reg.Counter("esr_site_apply_errors_total", "Apply errors at a site (excluding holds).", "site"),
+		siteEvictions: reg.Counter("esr_site_seen_evictions_total", "Applied-ID dedup entries evicted past the retention horizon.", "site"),
+
+		lockAcquires:  reg.Counter("esr_lock_acquires_total", "Granted lock requests.", "site"),
+		lockWaits:     reg.Counter("esr_lock_waits_total", "Lock requests that blocked before granting.", "site"),
+		lockDeadlocks: reg.Counter("esr_lock_deadlocks_total", "Lock requests aborted by deadlock detection.", "site"),
+		lockConflicts: reg.Counter("esr_lock_conflicts_total", "Blocking lock conflicts by compatibility-table cell.", "site", "held", "req"),
+		lockWaitSec:   reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
+	}
+	// Resolve every site's method-level instruments up front: the map is
+	// read-only afterwards, so concurrent engine paths need no lock.
+	for i := 1; i <= sites; i++ {
+		m.resolveSite(clock.SiteID(i))
+	}
+	return m
+}
+
+// siteLabel renders a SiteID as a metric label value.
+func siteLabel(id clock.SiteID) string { return strconv.Itoa(int(id)) }
+
+// resolveSite creates the per-site method-level instruments during
+// construction (the map must not be written after New returns).
+func (m *clusterMetrics) resolveSite(id clock.SiteID) {
+	s := siteLabel(id)
+	m.site[id] = &SiteMetrics{
+		Commits:       m.reg.Counter("esr_commits_total", "Update ETs committed, by origin site.", "site").With(s),
+		Compensations: m.reg.Counter("esr_compensations_total", "Compensation MSets applied, by site.", "site").With(s),
+		QueryCharged:  m.reg.Counter("esr_query_charged_total", "Query ETs that imported inconsistency, by site.", "site").With(s),
+		QueryFallback: m.reg.Counter("esr_query_fallback_total", "Query ETs that took the conservative path, by site.", "site").With(s),
+		EpsilonBudget: m.reg.Gauge("esr_epsilon_budget", "Remaining ε units after the most recent query (-1 = unlimited), by site.", "site").With(s),
+	}
+}
+
+// siteMetrics returns the per-site method-level instruments resolved at
+// construction.  Safe on nil (returns nil; the accessor on Cluster
+// wraps that into a shared zero struct).
+func (m *clusterMetrics) siteMetrics(id clock.SiteID) *SiteMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.site[id]
+}
+
+// queueMetrics resolves one stable queue's instruments.  Safe on nil.
+func (m *clusterMetrics) queueMetrics(site clock.SiteID, name string) queue.Metrics {
+	if m == nil {
+		return queue.Metrics{}
+	}
+	s := siteLabel(site)
+	return queue.Metrics{
+		Depth:          m.queueDepth.With(s, name),
+		Enqueued:       m.queueEnqueued.With(s, name),
+		Acked:          m.queueAcked.With(s, name),
+		Syncs:          m.queueSyncs.With(s, name),
+		SyncSeconds:    m.queueSyncSec.With(s, name),
+		DeliverSeconds: m.queueDeliver.With(s, name),
+		Compactions:    m.queueCompacted.With(s, name),
+	}
+}
+
+// deliveryMetrics resolves one outbound link's delivery instruments.
+// Safe on nil.
+func (m *clusterMetrics) deliveryMetrics(from, to clock.SiteID) queue.DeliveryMetrics {
+	if m == nil {
+		return queue.DeliveryMetrics{}
+	}
+	f, t := siteLabel(from), siteLabel(to)
+	return queue.DeliveryMetrics{
+		BatchSize:     m.reg.Histogram("esr_delivery_batch_size", "Messages delivered per outbound round.", 1, "site", "peer").With(f, t),
+		Retries:       m.reg.Counter("esr_delivery_retries_total", "Failed outbound send rounds (each triggers a backoff).", "site", "peer").With(f, t),
+		BackoffResets: m.reg.Counter("esr_delivery_backoff_resets_total", "Backoffs cut short by a kick (fresh enqueue or heal).", "site", "peer").With(f, t),
+	}
+}
+
+// walMetrics resolves one site's WAL instruments.  Safe on nil.
+func (m *clusterMetrics) walMetrics(id clock.SiteID) wal.Metrics {
+	if m == nil {
+		return wal.Metrics{}
+	}
+	s := siteLabel(id)
+	return wal.Metrics{
+		Syncs:       m.walSyncs.With(s),
+		SyncSeconds: m.walSyncSec.With(s),
+		Appends:     m.walAppends.With(s),
+	}
+}
+
+// replicaMetrics resolves one site's processor instruments.  Safe on
+// nil.
+func (m *clusterMetrics) replicaMetrics(id clock.SiteID) replica.Metrics {
+	if m == nil {
+		return replica.Metrics{}
+	}
+	s := siteLabel(id)
+	return replica.Metrics{
+		Received:      m.siteReceived.With(s),
+		Applied:       m.siteApplied.With(s),
+		Held:          m.siteHeld.With(s),
+		Errors:        m.siteErrors.With(s),
+		SeenEvictions: m.siteEvictions.With(s),
+	}
+}
+
+// lockMetrics resolves one site's lock-manager instruments.  The
+// conflict-by-table-cell counter keeps its held/req labels dynamic (the
+// mode pair is only known at conflict time), so SetMetrics receives the
+// vec curried down to the site.  Safe on nil.
+func (m *clusterMetrics) lockMetrics(id clock.SiteID) lock.Metrics {
+	if m == nil {
+		return lock.Metrics{}
+	}
+	s := siteLabel(id)
+	return lock.Metrics{
+		Acquires:    m.lockAcquires.With(s),
+		Waits:       m.lockWaits.With(s),
+		Deadlocks:   m.lockDeadlocks.With(s),
+		Conflicts:   m.lockConflicts.Curry(s),
+		WaitSeconds: m.lockWaitSec.With(s),
+	}
+}
+
+// networkMetrics resolves the transport's instruments.  Safe on nil.
+func (m *clusterMetrics) networkMetrics() network.Metrics {
+	if m == nil {
+		return network.Metrics{}
+	}
+	return network.Metrics{
+		Sent:           m.reg.Counter("esr_net_sent_total", "Messages handed to the transport.").With(),
+		Delivered:      m.reg.Counter("esr_net_delivered_total", "Messages that reached a handler.").With(),
+		Lost:           m.reg.Counter("esr_net_lost_total", "Messages dropped by the injected loss model.").With(),
+		Partitioned:    m.reg.Counter("esr_net_partitioned_total", "Messages rejected by a partition.").With(),
+		Bytes:          m.reg.Counter("esr_net_bytes_total", "Payload bytes delivered.").With(),
+		Frames:         m.reg.Counter("esr_net_frames_total", "Batch frames delivered.").With(),
+		LatencySeconds: m.reg.Histogram("esr_net_latency_seconds", "Injected one-way link delay per transit.", metrics.ScaleNanos).With(),
+	}
+}
+
+// Registry returns the cluster's metrics registry (nil when the cluster
+// is uninstrumented).
+func (c *Cluster) Registry() *metrics.Registry {
+	if c.met == nil {
+		return nil
+	}
+	return c.met.reg
+}
+
+// Lag returns the cluster's propagation-lag tracker (nil when
+// uninstrumented; nil trackers are no-ops).
+func (c *Cluster) Lag() *metrics.Lag {
+	if c.met == nil {
+		return nil
+	}
+	return c.met.lag
+}
+
+// noSiteMetrics is the shared all-no-op instance SiteMetrics hands out
+// on uninstrumented clusters (and for unknown sites), so the accessor
+// never allocates and callers never guard.
+var noSiteMetrics = &SiteMetrics{}
+
+// SiteMetrics returns the per-site method-level instruments.  Never
+// nil: an uninstrumented cluster returns a zero struct whose fields are
+// no-ops, so engines update metrics unconditionally.
+func (c *Cluster) SiteMetrics(id clock.SiteID) *SiteMetrics {
+	if sm := c.met.siteMetrics(id); sm != nil {
+		return sm
+	}
+	return noSiteMetrics
+}

@@ -49,14 +49,17 @@ func QueryAtSite(c *Cluster, site clock.SiteID, objects []string, eps divergence
 		baseline[obj] = s.Epoch(obj)
 	}
 	vals := make(map[string]op.Value, len(sorted))
+	sm := c.SiteMetrics(site)
 	defer s.Locks.ReleaseAll(tx)
 	for _, obj := range sorted {
 		mode := lock.RQ
 		price := cost(s, obj, baseline[obj])
 		if !counter.TryAdd(price) {
 			mode = lock.RU
+			sm.QueryFallback.Inc()
 			c.Trace.Recordf(trace.QueryFallback, int(site), qid.String(), "obj=%s cost=%d", obj, price)
 		} else if price > 0 {
+			sm.QueryCharged.Inc()
 			c.Trace.Recordf(trace.QueryCharged, int(site), qid.String(), "obj=%s cost=%d", obj, price)
 		}
 		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
@@ -65,6 +68,8 @@ func QueryAtSite(c *Cluster, site clock.SiteID, objects []string, eps divergence
 		vals[obj] = s.Store.Get(obj)
 		c.RecordQueryRead(qid, obj)
 	}
+	// The live ε view: what this site's most recent query had left.
+	sm.EpsilonBudget.Set(int64(counter.Remaining()))
 	return et.QueryResult{
 		Values:        vals,
 		Inconsistency: counter.Count(),

@@ -82,6 +82,19 @@ type MSet struct {
 	Target ID
 }
 
+// MsgID derives the MSet's queue-unique message identity: the same MSet
+// redelivered maps to the same ID (so stable-queue dedup holds across
+// retries), and compensation MSets get a distinct high bit so they never
+// collide with the forward MSet of the same ET.  Trace events and the
+// propagation-lag tracker correlate on this ID.
+func (m MSet) MsgID() uint64 {
+	id := uint64(m.ET)
+	if m.Compensation {
+		id |= 1 << 63
+	}
+	return id
+}
+
 // Encode serializes the MSet for transport through a stable queue.
 func (m MSet) Encode() ([]byte, error) {
 	var buf bytes.Buffer

@@ -20,7 +20,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"esr/internal/metrics"
 	"esr/internal/op"
 )
 
@@ -184,6 +186,33 @@ type Manager struct {
 	waits    map[TxID]map[TxID]bool
 	counters map[string]int // §3.2 lock-counters
 	closed   bool
+	met      Metrics
+}
+
+// Metrics instruments the lock manager.  All fields optional (nil
+// fields are no-ops).
+type Metrics struct {
+	// Acquires counts granted lock requests.
+	Acquires *metrics.Counter
+	// Waits counts requests that blocked at least once before granting.
+	Waits *metrics.Counter
+	// Deadlocks counts requests aborted with ErrDeadlock.
+	Deadlocks *metrics.Counter
+	// Conflicts counts blocking conflicts by table entry: labels are
+	// the held mode and the requested mode ("WU","RU", ...), mapping
+	// each blocked request onto a cell of the paper's compatibility
+	// tables.  Counted once per request, at its first block.
+	Conflicts *metrics.CounterVec
+	// WaitSeconds observes the grant delay (nanoseconds) of requests
+	// that blocked.
+	WaitSeconds *metrics.Histogram
+}
+
+// SetMetrics installs instrumentation.  Call before concurrent use.
+func (m *Manager) SetMetrics(mm Metrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = mm
 }
 
 // NewManager returns a Manager using the given compatibility table.
@@ -208,6 +237,8 @@ func (m *Manager) Table() Table { return m.table }
 func (m *Manager) Acquire(tx TxID, mode Mode, o op.Op) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var waitStart time.Time
+	waited := false
 	for {
 		if m.closed {
 			return ErrClosed
@@ -215,7 +246,20 @@ func (m *Manager) Acquire(tx TxID, mode Mode, o op.Op) error {
 		blockers := m.conflictsLocked(tx, mode, o)
 		if len(blockers) == 0 {
 			m.grantLocked(tx, mode, o)
+			m.met.Acquires.Inc()
+			if waited {
+				m.met.WaitSeconds.Observe(int64(time.Since(waitStart)))
+			}
 			return nil
+		}
+		if !waited {
+			// Count the block (and its table cell) once per request, at
+			// the first conflict: retries around cond.Wait are the same
+			// logical wait.
+			waited = true
+			waitStart = time.Now()
+			m.met.Waits.Inc()
+			m.met.Conflicts.With(blockers[0].mode.String(), mode.String()).Inc()
 		}
 		// Record the wait edges and test for a cycle.
 		w := m.waits[tx]
@@ -224,10 +268,11 @@ func (m *Manager) Acquire(tx TxID, mode Mode, o op.Op) error {
 			m.waits[tx] = w
 		}
 		for _, b := range blockers {
-			w[b] = true
+			w[b.tx] = true
 		}
 		if m.cycleLocked(tx, tx, map[TxID]bool{}) {
 			delete(m.waits, tx)
+			m.met.Deadlocks.Inc()
 			return ErrDeadlock
 		}
 		m.cond.Wait()
@@ -247,6 +292,7 @@ func (m *Manager) TryAcquire(tx TxID, mode Mode, o op.Op) error {
 		return ErrWouldBlock
 	}
 	m.grantLocked(tx, mode, o)
+	m.met.Acquires.Inc()
 	return nil
 }
 
@@ -294,14 +340,16 @@ func (m *Manager) Close() {
 	m.cond.Broadcast()
 }
 
-func (m *Manager) conflictsLocked(tx TxID, mode Mode, o op.Op) []TxID {
-	var out []TxID
+// conflictsLocked returns the grants blocking the request (the whole
+// held record, so callers can label conflicts by mode pair).
+func (m *Manager) conflictsLocked(tx TxID, mode Mode, o op.Op) []held {
+	var out []held
 	for _, g := range m.locks[o.Object] {
 		if g.tx == tx {
 			continue
 		}
 		if !m.table.Compatible(g.mode, mode, g.op, o) {
-			out = append(out, g.tx)
+			out = append(out, g)
 		}
 	}
 	return out

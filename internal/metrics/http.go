@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// ServeOptions configures a metrics Server.
+type ServeOptions struct {
+	// Registry is the registry to expose.  A nil registry serves empty
+	// endpoints (still useful for the pprof/expvar mux).
+	Registry *Registry
+	// Pprof mounts net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Extra mounts additional handlers by path (the cluster facade adds
+	// /trace for the incremental trace dump esrtop's event pane reads).
+	Extra map[string]http.Handler
+}
+
+// Server is a metrics HTTP server.  Endpoints:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  structured Snapshot JSON (what esrtop polls)
+//	/debug/vars    expvar (includes the esr snapshot, published once)
+//	/debug/pprof/  net/http/pprof (only with ServeOptions.Pprof)
+//
+// Close shuts the listener and every in-flight handler down and waits
+// for the serve goroutine to exit, so tests can assert no goroutine
+// leaks across a start/stop cycle.
+type Server struct {
+	registry *Registry
+	ln       net.Listener
+	srv      *http.Server
+	done     chan struct{}
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// expvarOnce guards the process-wide expvar publication: expvar.Publish
+// panics on duplicate names, and tests open many servers.
+var (
+	expvarOnce sync.Once
+	expvarMu   sync.Mutex
+	expvarReg  *Registry
+)
+
+// Serve starts a metrics server on addr (":0" picks a free port; read
+// it back with Addr).
+func Serve(addr string, opts ServeOptions) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{registry: opts.Registry, ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = opts.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(opts.Registry.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	for path, h := range opts.Extra {
+		mux.Handle(path, h)
+	}
+
+	// Publish the most recently served registry under one process-wide
+	// expvar name; /debug/vars then carries the same snapshot the JSON
+	// endpoint serves.
+	expvarMu.Lock()
+	expvarReg = opts.Registry
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("esr", expvar.Func(func() any {
+			expvarMu.Lock()
+			r := expvarReg
+			expvarMu.Unlock()
+			return r.Snapshot()
+		}))
+	})
+
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on shutdown
+	}()
+	return s, nil
+}
+
+// Addr returns the server's actual listen address.
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close shuts the server down, closing idle and in-flight connections,
+// and waits for the serve goroutine to exit.  Safe on nil and safe to
+// call more than once.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	s.closeOnce.Do(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if err := s.srv.Shutdown(ctx); err != nil {
+			s.closeErr = s.srv.Close()
+			if s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+		<-s.done
+	})
+	return s.closeErr
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"sync"
+	"time"
+)
+
+// Lag derives end-to-end commit→apply propagation-lag histograms per
+// site — the quantitative form of the paper's "window of inconsistency"
+// (§2.1): how long a committed update's effects remain invisible at
+// each replica.
+//
+// The chassis calls Commit when an update MSet durably commits at its
+// origin (keyed by the MSet's message ID, the same identity its trace
+// events carry) and each site calls Applied when it applies that MSet;
+// the elapsed wall time lands in the esr_propagation_lag_seconds{site}
+// histogram.  Entries retire once every site has applied the MSet.
+//
+// A nil *Lag discards everything, so call sites never guard.
+type Lag struct {
+	hist  *HistogramVec
+	sites int
+
+	mu       sync.Mutex
+	inflight map[uint64]*lagEntry
+	bySite   map[int]*Histogram // resolved children, so Applied stays allocation-light
+}
+
+type lagEntry struct {
+	start     time.Time
+	remaining int
+}
+
+// maxInflight bounds the tracked-commit map.  MSets that never finish
+// applying everywhere (a crashed site, a partition that outlives the
+// run) would otherwise leak; past the cap, tracking new commits evicts
+// an arbitrary stale entry — lag observation is best-effort telemetry,
+// not accounting.
+const maxInflight = 1 << 16
+
+// LagHistogramName is the per-site propagation-lag family Lag records
+// into.
+const LagHistogramName = "esr_propagation_lag_seconds"
+
+// NewLag returns a tracker recording into r for a cluster of the given
+// site count.  Returns nil (a valid no-op tracker) when r is nil.
+func NewLag(r *Registry, sites int) *Lag {
+	if r == nil {
+		return nil
+	}
+	return &Lag{
+		hist: r.Histogram(LagHistogramName,
+			"End-to-end commit-to-apply propagation lag per site.",
+			ScaleNanos, "site"),
+		sites:    sites,
+		inflight: make(map[uint64]*lagEntry),
+		bySite:   make(map[int]*Histogram),
+	}
+}
+
+// Commit marks the commit instant of the MSet with the given message
+// ID.  Safe on nil.
+func (l *Lag) Commit(id uint64) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.inflight[id]; ok {
+		return // duplicate commit (redelivery); keep the first instant
+	}
+	if len(l.inflight) >= maxInflight {
+		for stale := range l.inflight {
+			delete(l.inflight, stale)
+			break
+		}
+	}
+	l.inflight[id] = &lagEntry{start: now, remaining: l.sites}
+}
+
+// Applied records that the site applied the MSet, observing the elapsed
+// lag.  Unknown IDs (evicted, or applied before Commit was recorded —
+// impossible in the current chassis but harmless) are ignored.  Safe on
+// nil.
+func (l *Lag) Applied(id uint64, site int) {
+	if l == nil {
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	e, ok := l.inflight[id]
+	if !ok {
+		l.mu.Unlock()
+		return
+	}
+	e.remaining--
+	if e.remaining <= 0 {
+		delete(l.inflight, id)
+	}
+	h, ok := l.bySite[site]
+	if !ok {
+		h = l.hist.With(itoa(site))
+		l.bySite[site] = h
+	}
+	l.mu.Unlock()
+	h.Observe(int64(now.Sub(e.start)))
+}
+
+// Tracking reports how many commits are currently awaiting applies
+// (for tests).  Safe on nil.
+func (l *Lag) Tracking() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.inflight)
+}
+
+// itoa is a minimal non-negative itoa so the hot-ish Applied path does
+// not pull in strconv formatting state (and stays obviously
+// allocation-bounded: site counts are small, children are cached).
+func itoa(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n < 10 {
+		return string([]byte{byte('0' + n)})
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

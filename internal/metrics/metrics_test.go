@@ -1,0 +1,229 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the log-scale bucketing rule: bucket i has
+// inclusive upper bound 2^i, values at a bound land in that bucket, one
+// past the bound lands in the next, and values past 2^39 overflow to
+// +Inf.  The table walks every boundary class the hot path hits.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, // clamped
+		{0, 0},
+		{1, 0}, // 1 <= 2^0
+		{2, 1}, // 2 <= 2^1
+		{3, 2}, // 3 <= 4
+		{4, 2}, // 4 <= 4
+		{5, 3}, // 5 <= 8
+		{1023, 10},
+		{1024, 10}, // 2^10 exactly
+		{1025, 11}, // one past
+		{int64(1) << 20, 20},
+		{int64(1)<<20 + 1, 21},
+		{int64(1) << 39, 39},            // last finite bucket bound
+		{int64(1)<<39 + 1, histBuckets}, // first overflow value
+		{math.MaxInt64, histBuckets},    // deep overflow
+		{int64(1)<<39 - 1, 39},          // just inside
+		{int64(1) << 38, 38},            // exact lower power
+		{int64(time.Millisecond), 20},   // 1e6 ns <= 2^20
+		{int64(time.Second), 30},        // 1e9 ns <= 2^30
+		{int64(5 * time.Minute), 39},    // 3e11 ns <= 2^39 (~5.5e11)
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+// TestHistogramCumulative checks that snapshots expose cumulative
+// buckets with correct bounds and that quantile estimation lands on the
+// right bucket bound.
+func TestHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "test latencies", 1).With()
+	for _, v := range []int64{1, 1, 2, 4, 100} {
+		h.Observe(v)
+	}
+	snap := r.Snapshot()
+	hs, ok := snap.FindHistogram("lat", nil)
+	if !ok {
+		t.Fatal("histogram series missing from snapshot")
+	}
+	if hs.Count != 5 {
+		t.Fatalf("count = %d, want 5", hs.Count)
+	}
+	if hs.Sum != 108 {
+		t.Fatalf("sum = %v, want 108", hs.Sum)
+	}
+	// Buckets: le=1:2, le=2:3, le=4:4, le=8..64 still 4, le=128:5, +Inf:5.
+	wantAt := map[float64]uint64{1: 2, 2: 3, 4: 4, 128: 5}
+	for _, b := range hs.Buckets {
+		if b.LE == nil {
+			if b.Count != 5 {
+				t.Errorf("+Inf bucket = %d, want 5", b.Count)
+			}
+			continue
+		}
+		if want, ok := wantAt[*b.LE]; ok && b.Count != want {
+			t.Errorf("bucket le=%v = %d, want %d", *b.LE, b.Count, want)
+		}
+	}
+	if got := hs.Quantile(0.5); got != 2 {
+		t.Errorf("p50 = %v, want 2 (3rd of 5 observations is the value 2)", got)
+	}
+	if got := hs.Quantile(1.0); got != 128 {
+		t.Errorf("p100 = %v, want 128", got)
+	}
+	var empty HistSeries
+	if got := empty.Quantile(0.99); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}
+
+// TestNilSafety exercises the whole nil no-op contract: a nil registry,
+// its nil vecs, their nil children, a nil lag tracker and a nil server
+// must all be inert.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	cv := r.Counter("c", "h", "site")
+	gv := r.Gauge("g", "h")
+	hv := r.Histogram("h", "h", ScaleNanos, "site")
+	if cv != nil || gv != nil || hv != nil {
+		t.Fatal("nil registry must hand out nil vecs")
+	}
+	cv.With("1").Inc()
+	cv.With("1").Add(10)
+	gv.With().Set(5)
+	gv.With().Add(-2)
+	hv.With("2").Observe(123)
+	if cv.With("1").Value() != 0 || gv.With().Value() != 0 || hv.With("2").Count() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if snap := r.Snapshot(); snap.NumSeries() != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	r.SetConstLabels(map[string]string{"method": "x"})
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+
+	l := NewLag(nil, 3)
+	if l != nil {
+		t.Fatal("NewLag(nil) must return nil")
+	}
+	l.Commit(1)
+	l.Applied(1, 1)
+	if l.Tracking() != 0 {
+		t.Fatal("nil lag must track nothing")
+	}
+
+	var srv *Server
+	if srv.Addr() != "" || srv.Close() != nil {
+		t.Fatal("nil server must be inert")
+	}
+}
+
+// TestVecChildrenAndConstLabels checks child identity, label rendering
+// and the const-label stamp.
+func TestVecChildrenAndConstLabels(t *testing.T) {
+	r := NewRegistry()
+	r.SetConstLabels(map[string]string{"method": "ORDUP"})
+	cv := r.Counter("esr_commits_total", "commits", "site")
+	a, b := cv.With("1"), cv.With("1")
+	if a != b {
+		t.Fatal("With must return the same child for the same labels")
+	}
+	cv.With("1").Add(3)
+	cv.With("2").Inc()
+	// Re-registering the same family name returns the same family.
+	if again := r.Counter("esr_commits_total", "commits", "site"); again.With("1") != a {
+		t.Fatal("re-registering a family must return the existing children")
+	}
+
+	snap := r.Snapshot()
+	s1, ok := snap.Find("esr_commits_total", map[string]string{"site": "1"})
+	if !ok || s1.Value != 3 {
+		t.Fatalf("site 1 series = %+v (ok=%v), want value 3", s1, ok)
+	}
+	if s1.Labels["method"] != "ORDUP" {
+		t.Fatalf("const label missing: %+v", s1.Labels)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE esr_commits_total counter",
+		`esr_commits_total{method="ORDUP",site="1"} 3`,
+		`esr_commits_total{method="ORDUP",site="2"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestPrometheusHistogramText checks the _bucket/_sum/_count rendering
+// including the seconds scale.
+func TestPrometheusHistogramText(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("esr_propagation_lag_seconds", "lag", ScaleNanos, "site")
+	h.With("3").Observe(int64(2 * time.Microsecond)) // 2000 ns -> le 2048 ns = 2.048e-06 s
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE esr_propagation_lag_seconds histogram",
+		`esr_propagation_lag_seconds_bucket{site="3",le="2.048e-06"} 1`,
+		`esr_propagation_lag_seconds_bucket{site="3",le="+Inf"} 1`,
+		`esr_propagation_lag_seconds_sum{site="3"} 2e-06`,
+		`esr_propagation_lag_seconds_count{site="3"} 1`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus text missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestLagTracker drives the commit→apply lifecycle: per-site
+// observation, entry retirement once all sites applied, duplicate
+// commits keeping the first instant, and unknown-ID applies ignored.
+func TestLagTracker(t *testing.T) {
+	r := NewRegistry()
+	l := NewLag(r, 2)
+	l.Commit(7)
+	l.Commit(7) // duplicate: ignored
+	if l.Tracking() != 1 {
+		t.Fatalf("tracking = %d, want 1", l.Tracking())
+	}
+	l.Applied(7, 1)
+	if l.Tracking() != 1 {
+		t.Fatalf("after first apply tracking = %d, want 1", l.Tracking())
+	}
+	l.Applied(7, 2)
+	if l.Tracking() != 0 {
+		t.Fatalf("after all applies tracking = %d, want 0", l.Tracking())
+	}
+	l.Applied(99, 1) // unknown: ignored
+
+	snap := r.Snapshot()
+	for _, site := range []string{"1", "2"} {
+		hs, ok := snap.FindHistogram(LagHistogramName, map[string]string{"site": site})
+		if !ok || hs.Count != 1 {
+			t.Errorf("site %s lag series: ok=%v count=%d, want one observation", site, ok, hs.Count)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per series,
+// histograms as cumulative _bucket{le=...} series plus _sum and _count.
+// Safe on nil (writes nothing).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	// Group back into families preserving registration order: snapshot
+	// series of one family are contiguous by construction.
+	type fam struct {
+		name, help string
+		typ        string
+	}
+	var order []fam
+	if r != nil {
+		r.mu.Lock()
+		for _, n := range r.order {
+			f := r.families[n]
+			typ := "counter"
+			switch f.kind {
+			case gaugeKind:
+				typ = "gauge"
+			case histogramKind:
+				typ = "histogram"
+			}
+			order = append(order, fam{name: f.name, help: f.help, typ: typ})
+		}
+		r.mu.Unlock()
+	}
+	for _, f := range order {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ); err != nil {
+			return err
+		}
+		switch f.typ {
+		case "histogram":
+			for _, h := range snap.Histograms {
+				if h.Name != f.name {
+					continue
+				}
+				if err := writeHist(w, h); err != nil {
+					return err
+				}
+			}
+		default:
+			for _, list := range [][]Series{snap.Counters, snap.Gauges} {
+				for _, s := range list {
+					if s.Name != f.name {
+						continue
+					}
+					if _, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, labelString(s.Labels, "", 0), formatValue(s.Value)); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func writeHist(w io.Writer, h HistSeries) error {
+	for _, b := range h.Buckets {
+		le := "+Inf"
+		if b.LE != nil {
+			le = formatValue(*b.LE)
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", h.Name, labelString(h.Labels, le, 1), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", h.Name, labelString(h.Labels, "", 0), formatValue(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", h.Name, labelString(h.Labels, "", 0), h.Count)
+	return err
+}
+
+// labelString renders {k="v",...} with keys sorted, optionally
+// appending le="bound" (mode 1) for histogram buckets.  Empty label
+// sets render as nothing.
+func labelString(labels map[string]string, le string, mode int) string {
+	if len(labels) == 0 && mode == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", k, labels[k])
+	}
+	if mode == 1 {
+		if len(keys) > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "le=%q", le)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// formatValue renders a float the way Prometheus expects: integers
+// without a decimal point, everything else in compact scientific or
+// fixed notation.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%.6g", v)
+}

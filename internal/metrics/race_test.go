@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentWritersAndSnapshots hammers one registry from many
+// writer goroutines — including concurrent child creation through the
+// vec maps — while readers take snapshots and render the text
+// exposition.  Run under -race (the Makefile's RACE_PKGS includes this
+// package); correctness check: the final counter totals add up.
+func TestConcurrentWritersAndSnapshots(t *testing.T) {
+	r := NewRegistry()
+	cv := r.Counter("writes", "w", "site")
+	gv := r.Gauge("depth", "d", "site")
+	hv := r.Histogram("lat", "l", ScaleNanos, "site")
+	lag := NewLag(r, 2)
+
+	const (
+		writers = 8
+		perW    = 2000
+	)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			site := itoa(w % 4)
+			c := cv.With(site)
+			for i := 0; i < perW; i++ {
+				c.Inc()
+				gv.With(site).Set(int64(i))
+				hv.With(site).Observe(int64(i%1000 + 1))
+				id := uint64(w*perW + i)
+				lag.Commit(id)
+				lag.Applied(id, 1)
+				lag.Applied(id, 2)
+			}
+		}(w)
+	}
+	readers := 4
+	stop := make(chan struct{})
+	var rg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				snap := r.Snapshot()
+				_ = snap.NumSeries()
+				_ = r.WritePrometheus(io.Discard)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(stop)
+	rg.Wait()
+
+	var total uint64
+	for _, s := range r.Snapshot().Counters {
+		if s.Name == "writes" {
+			total += uint64(s.Value)
+		}
+	}
+	if want := uint64(writers * perW); total != want {
+		t.Fatalf("writes total = %d, want %d", total, want)
+	}
+	if lag.Tracking() != 0 {
+		t.Fatalf("lag still tracking %d commits, want 0", lag.Tracking())
+	}
+}

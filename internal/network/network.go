@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/metrics"
 )
 
 // Errors returned by Send and Call.  Both are transient: the caller is
@@ -80,6 +81,37 @@ type Transport struct {
 	partition     map[clock.SiteID]int // partition group; absent means group 0
 	down          map[clock.SiteID]bool
 	stats         Stats
+	met           Metrics
+}
+
+// Metrics instruments the transport alongside Stats.  All fields
+// optional (nil fields are no-ops).  The latency histogram observes the
+// sampled (injected) link delay, never the wall clock, so simulation
+// determinism (the A4 rule) is preserved.
+type Metrics struct {
+	// Sent counts messages handed to Send/Call/SendBatch.
+	Sent *metrics.Counter
+	// Delivered counts messages that reached a handler successfully.
+	Delivered *metrics.Counter
+	// Lost counts messages dropped by the loss model.
+	Lost *metrics.Counter
+	// Partitioned counts messages rejected because of a partition.
+	Partitioned *metrics.Counter
+	// Bytes counts payload bytes delivered.
+	Bytes *metrics.Counter
+	// Frames counts batch frames delivered (one per SendBatch success).
+	Frames *metrics.Counter
+	// LatencySeconds observes the sampled one-way link delay in
+	// nanoseconds, one observation per transit (frame or message),
+	// whatever its outcome.
+	LatencySeconds *metrics.Histogram
+}
+
+// SetMetrics installs instrumentation.  Call before concurrent use.
+func (t *Transport) SetMetrics(m Metrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.met = m
 }
 
 // New returns a Transport with the given configuration.
@@ -197,6 +229,7 @@ func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	n := uint64(len(payloads))
 	t.mu.Lock()
 	t.stats.Sent += n
+	t.met.Sent.Add(n)
 	bh, bok := t.batchHandlers[to]
 	h, ok := t.handlers[to]
 	lat := t.sampleLatencyLocked()
@@ -204,12 +237,14 @@ func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	partitioned := t.partition[from] != t.partition[to]
 	isDown := t.down[to] || t.down[from]
 	t.mu.Unlock()
+	t.met.LatencySeconds.Observe(int64(lat))
 
 	if !bok && !ok {
 		return fmt.Errorf("%w: %v", ErrUnknownSite, to)
 	}
 	if partitioned {
 		t.count(func(s *Stats) { s.Partitioned += n })
+		t.met.Partitioned.Add(n)
 		return ErrPartitioned
 	}
 	if isDown {
@@ -220,6 +255,7 @@ func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	}
 	if lost {
 		t.count(func(s *Stats) { s.Lost += n })
+		t.met.Lost.Add(n)
 		return ErrLost
 	}
 	t.mu.Lock()
@@ -227,6 +263,7 @@ func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	t.mu.Unlock()
 	if !stillOK {
 		t.count(func(s *Stats) { s.Partitioned += n })
+		t.met.Partitioned.Add(n)
 		return ErrPartitioned
 	}
 	var bytes uint64
@@ -249,24 +286,30 @@ func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 		s.Bytes += bytes
 		s.Frames++
 	})
+	t.met.Delivered.Add(n)
+	t.met.Bytes.Add(bytes)
+	t.met.Frames.Inc()
 	return nil
 }
 
 func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, error) {
 	t.mu.Lock()
 	t.stats.Sent++
+	t.met.Sent.Inc()
 	h, ok := t.handlers[to]
 	lat := t.sampleLatencyLocked() * time.Duration(legs)
 	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
 	partitioned := t.partition[from] != t.partition[to]
 	isDown := t.down[to] || t.down[from]
 	t.mu.Unlock()
+	t.met.LatencySeconds.Observe(int64(lat))
 
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnknownSite, to)
 	}
 	if partitioned {
 		t.count(func(s *Stats) { s.Partitioned++ })
+		t.met.Partitioned.Inc()
 		return nil, ErrPartitioned
 	}
 	if isDown {
@@ -277,6 +320,7 @@ func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]
 	}
 	if lost {
 		t.count(func(s *Stats) { s.Lost++ })
+		t.met.Lost.Inc()
 		return nil, ErrLost
 	}
 	// Re-check the partition after the transit delay: a partition that
@@ -286,6 +330,7 @@ func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]
 	t.mu.Unlock()
 	if !stillOK {
 		t.count(func(s *Stats) { s.Partitioned++ })
+		t.met.Partitioned.Inc()
 		return nil, ErrPartitioned
 	}
 	resp, err := h(from, payload)
@@ -296,6 +341,8 @@ func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]
 		s.Delivered++
 		s.Bytes += uint64(len(payload))
 	})
+	t.met.Delivered.Inc()
+	t.met.Bytes.Add(uint64(len(payload)))
 	return resp, nil
 }
 

@@ -40,8 +40,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"esr/internal/metrics"
 )
 
 // Message is one element of a stable queue.  IDs must be unique per queue;
@@ -120,17 +121,60 @@ type Syncer interface {
 	Syncs() uint64
 }
 
+// Metrics instruments a stable queue.  Every field is optional (nil
+// fields are no-ops, per the metrics package's nil contract); Syncs,
+// when set, becomes the queue's fsync counter — the one Syncs() reads —
+// unifying the ad-hoc per-queue counter with the cluster registry.
+type Metrics struct {
+	// Depth tracks the number of unacknowledged messages.
+	Depth *metrics.Gauge
+	// Enqueued counts messages accepted (dedup-fresh) into the queue.
+	Enqueued *metrics.Counter
+	// Acked counts messages acknowledged out of the queue.
+	Acked *metrics.Counter
+	// Syncs counts fsyncs (journal-backed queues only).
+	Syncs *metrics.Counter
+	// SyncSeconds observes each fsync's duration in nanoseconds.
+	SyncSeconds *metrics.Histogram
+	// DeliverSeconds observes enqueue→ack latency per message in
+	// nanoseconds — the time a message spent in the queue before its
+	// delivery was acknowledged.  Setting it enables per-message
+	// enqueue timestamping (a map insert/delete per message).
+	DeliverSeconds *metrics.Histogram
+	// Compactions counts journal compactions (journal-backed only).
+	Compactions *metrics.Counter
+}
+
+// Instrumentable is implemented by queues that accept instrumentation;
+// call SetMetrics right after construction, before concurrent use.
+type Instrumentable interface {
+	SetMetrics(Metrics)
+}
+
 // Mem is an in-memory Queue.  The zero value is not usable; call NewMem.
 type Mem struct {
-	mu     sync.Mutex
-	items  []Message
-	seen   map[uint64]bool
-	closed bool
+	mu         sync.Mutex
+	items      []Message
+	seen       map[uint64]bool
+	closed     bool
+	met        Metrics
+	enqueuedAt map[uint64]time.Time
 }
 
 // NewMem returns an empty in-memory stable queue.
 func NewMem() *Mem {
 	return &Mem{seen: make(map[uint64]bool)}
+}
+
+// SetMetrics installs instrumentation.  Call before concurrent use.
+func (q *Mem) SetMetrics(m Metrics) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.met = m
+	if m.DeliverSeconds != nil {
+		q.enqueuedAt = make(map[uint64]time.Time)
+	}
+	m.Depth.Set(int64(len(q.items)))
 }
 
 // Enqueue implements Queue.
@@ -143,12 +187,25 @@ func (q *Mem) EnqueueBatch(msgs []Message) error {
 	if q.closed {
 		return ErrClosed
 	}
+	fresh := 0
+	var now time.Time // one clock read per batch keeps stamping cheap
+	if q.enqueuedAt != nil {
+		now = time.Now()
+	}
 	for _, m := range msgs {
 		if q.seen[m.ID] {
 			continue
 		}
 		q.seen[m.ID] = true
 		q.items = append(q.items, m)
+		fresh++
+		if q.enqueuedAt != nil {
+			q.enqueuedAt[m.ID] = now
+		}
+	}
+	if fresh > 0 {
+		q.met.Enqueued.Add(uint64(fresh))
+		q.met.Depth.Set(int64(len(q.items)))
 	}
 	return nil
 }
@@ -189,8 +246,29 @@ func (q *Mem) AckBatch(ids []uint64) error {
 	if q.closed {
 		return ErrClosed
 	}
+	before := len(q.items)
 	q.items = removeIDs(q.items, ids)
+	if removed := before - len(q.items); removed > 0 {
+		q.met.Acked.Add(uint64(removed))
+		q.met.Depth.Set(int64(len(q.items)))
+	}
+	q.observeDeliveredLocked(ids)
 	return nil
+}
+
+// observeDeliveredLocked records enqueue→ack latency for instrumented
+// queues.  Caller holds q.mu.
+func (q *Mem) observeDeliveredLocked(ids []uint64) {
+	if q.enqueuedAt == nil {
+		return
+	}
+	now := time.Now()
+	for _, id := range ids {
+		if t0, ok := q.enqueuedAt[id]; ok {
+			q.met.DeliverSeconds.Observe(int64(now.Sub(t0)))
+			delete(q.enqueuedAt, id)
+		}
+	}
 }
 
 // All implements Queue.
@@ -314,7 +392,13 @@ type File struct {
 	stage    []byte
 	waiters  []chan error
 
-	syncs atomic.Uint64
+	// syncs is the fsync counter Syncs() reports.  It starts as a
+	// standalone counter and is replaced by the cluster registry's
+	// child when the queue is instrumented (SetMetrics), so benchmarks
+	// and the metrics endpoint read the same number.
+	syncs      *metrics.Counter
+	met        Metrics
+	enqueuedAt map[uint64]time.Time
 
 	crashPoint int // test-only compaction crash injection
 }
@@ -341,12 +425,29 @@ func OpenOptions(path string, opts Options) (*File, error) {
 	if err != nil {
 		return nil, fmt.Errorf("queue: open journal: %w", err)
 	}
-	q := &File{path: path, opts: opts, f: f, seen: make(map[uint64]bool)}
+	q := &File{path: path, opts: opts, f: f, seen: make(map[uint64]bool), syncs: metrics.NewCounter()}
 	if err := q.replay(); err != nil {
 		f.Close()
 		return nil, err
 	}
 	return q, nil
+}
+
+// SetMetrics installs instrumentation.  Call before concurrent use.
+// When m.Syncs is set it takes over as the fsync counter, starting from
+// zero (replay happens before instrumentation and issues no fsyncs, so
+// nothing is lost).
+func (q *File) SetMetrics(m Metrics) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.met = m
+	if m.Syncs != nil {
+		q.syncs = m.Syncs
+	}
+	if m.DeliverSeconds != nil {
+		q.enqueuedAt = make(map[uint64]time.Time)
+	}
+	m.Depth.Set(int64(len(q.items)))
 }
 
 // replay rebuilds in-memory state from the journal.  A torn tail is
@@ -465,10 +566,14 @@ func (q *File) flushWait(ch chan error) error {
 	default:
 		if _, werr := f.Write(data); werr != nil {
 			err = fmt.Errorf("queue: journal append: %w", werr)
-		} else if serr := f.Sync(); serr != nil {
-			err = fmt.Errorf("queue: journal sync: %w", serr)
 		} else {
-			q.syncs.Add(1)
+			t0 := time.Now()
+			if serr := f.Sync(); serr != nil {
+				err = fmt.Errorf("queue: journal sync: %w", serr)
+			} else {
+				q.syncs.Inc()
+				q.met.SyncSeconds.Observe(int64(time.Since(t0)))
+			}
 		}
 	}
 	for _, w := range waiters {
@@ -480,8 +585,10 @@ func (q *File) flushWait(ch chan error) error {
 	return err
 }
 
-// Syncs implements Syncer.
-func (q *File) Syncs() uint64 { return q.syncs.Load() }
+// Syncs implements Syncer.  When the queue is instrumented this is a
+// thin read of the registry's counter, so benchmarks and the metrics
+// endpoint agree.
+func (q *File) Syncs() uint64 { return q.syncs.Value() }
 
 // Enqueue implements Queue.
 func (q *File) Enqueue(m Message) error { return q.EnqueueBatch([]Message{m}) }
@@ -496,6 +603,10 @@ func (q *File) EnqueueBatch(msgs []Message) error {
 	}
 	fresh := make([]Message, 0, len(msgs))
 	var buf bytes.Buffer
+	var now time.Time // one clock read per batch keeps stamping cheap
+	if q.enqueuedAt != nil {
+		now = time.Now()
+	}
 	for _, m := range msgs {
 		if q.seen[m.ID] {
 			continue
@@ -506,6 +617,9 @@ func (q *File) EnqueueBatch(msgs []Message) error {
 		}
 		q.seen[m.ID] = true
 		fresh = append(fresh, m)
+		if q.enqueuedAt != nil {
+			q.enqueuedAt[m.ID] = now
+		}
 	}
 	if len(fresh) == 0 {
 		q.mu.Unlock()
@@ -518,6 +632,8 @@ func (q *File) EnqueueBatch(msgs []Message) error {
 	}
 	q.mu.Lock()
 	q.items = append(q.items, fresh...)
+	q.met.Enqueued.Add(uint64(len(fresh)))
+	q.met.Depth.Set(int64(len(q.items)))
 	q.mu.Unlock()
 	return nil
 }
@@ -582,6 +698,9 @@ func (q *File) AckBatch(ids []uint64) error {
 	}
 	q.items = removeIDs(q.items, found)
 	q.acked = append(q.acked, found...)
+	q.met.Acked.Add(uint64(len(found)))
+	q.met.Depth.Set(int64(len(q.items)))
+	q.observeDeliveredLocked(found)
 	ch := q.stageLocked(buf.Bytes(), len(found))
 	q.mu.Unlock()
 	if err := q.flushWait(ch); err != nil {
@@ -589,6 +708,21 @@ func (q *File) AckBatch(ids []uint64) error {
 	}
 	q.maybeCompact()
 	return nil
+}
+
+// observeDeliveredLocked records enqueue→ack latency for instrumented
+// queues.  Caller holds q.mu.
+func (q *File) observeDeliveredLocked(ids []uint64) {
+	if q.enqueuedAt == nil {
+		return
+	}
+	now := time.Now()
+	for _, id := range ids {
+		if t0, ok := q.enqueuedAt[id]; ok {
+			q.met.DeliverSeconds.Observe(int64(now.Sub(t0)))
+			delete(q.enqueuedAt, id)
+		}
+	}
 }
 
 // All implements Queue.
@@ -703,7 +837,8 @@ func (q *File) compactLocked() error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("queue: sync compaction file: %w", err)
 	}
-	q.syncs.Add(1)
+	q.syncs.Inc()
+	q.met.Compactions.Inc()
 	if q.crashPoint == crashAfterTempWrite {
 		tmp.Close()
 		return errSimulatedCrash
@@ -760,7 +895,24 @@ type Delivery struct {
 	done    chan struct{}
 	stopped bool
 	wg      sync.WaitGroup
+
+	met DeliveryMetrics
 }
+
+// DeliveryMetrics instruments a delivery agent.  All fields optional.
+type DeliveryMetrics struct {
+	// BatchSize observes the number of messages delivered per round.
+	BatchSize *metrics.Histogram
+	// Retries counts failed send rounds (each triggers a backoff).
+	Retries *metrics.Counter
+	// BackoffResets counts kicks that cut a backoff short — a fresh
+	// enqueue or a partition heal arriving while the pump was waiting
+	// out a failure.
+	BackoffResets *metrics.Counter
+}
+
+// SetMetrics installs instrumentation.  Call before Start.
+func (d *Delivery) SetMetrics(m DeliveryMetrics) { d.met = m }
 
 // NewDelivery creates a delivery agent draining q through send.  backoff
 // is the initial retry delay after a failed send; it doubles up to
@@ -836,11 +988,13 @@ func (d *Delivery) run() {
 				if err := d.q.AckBatch(delivered); err != nil {
 					return
 				}
+				d.met.BatchSize.Observe(int64(len(delivered)))
 				wait = d.backoff
 			}
 			if sendErr == nil {
 				continue
 			}
+			d.met.Retries.Inc()
 			// Send failed: back off, then retry from the head.  A kick
 			// (fresh enqueue or partition heal) retries immediately and
 			// resets the backoff — the stale penalty belongs to the old
@@ -862,6 +1016,7 @@ func (d *Delivery) run() {
 				}
 			case <-d.kick:
 				wait = d.backoff
+				d.met.BackoffResets.Inc()
 			}
 			continue
 		}

@@ -20,6 +20,7 @@ import (
 	"esr/internal/clock"
 	"esr/internal/et"
 	"esr/internal/lock"
+	"esr/internal/metrics"
 	"esr/internal/queue"
 	"esr/internal/storage"
 	"esr/internal/trace"
@@ -41,6 +42,23 @@ type Stats struct {
 	Errors   uint64 // apply errors (excluding holds)
 }
 
+// Metrics instruments a site alongside Stats.  All fields optional (nil
+// fields are no-ops); set before Start, like Trace.
+type Metrics struct {
+	// Received counts MSets accepted into the inbound queue.
+	Received *metrics.Counter
+	// Applied counts MSets applied.
+	Applied *metrics.Counter
+	// Held counts hold-back decisions (one per deferred scan, so a
+	// long-held MSet counts many times — it measures hold pressure).
+	Held *metrics.Counter
+	// Errors counts apply errors (excluding holds).
+	Errors *metrics.Counter
+	// SeenEvictions counts applied-ID dedup entries evicted once the
+	// retention horizon passes them.
+	SeenEvictions *metrics.Counter
+}
+
 // Site is one replica site.
 type Site struct {
 	// ID is the site's identifier.
@@ -56,6 +74,12 @@ type Site struct {
 	// Trace, when non-nil, receives receive/hold/apply events.  Set it
 	// before Start.
 	Trace *trace.Ring
+	// Metrics instruments the site's counters.  Set before Start.
+	Metrics Metrics
+	// Lag, when non-nil, is told about every applied MSet so the
+	// cluster's commit→apply propagation-lag histogram can retire the
+	// message for this site.  Set before Start.
+	Lag *metrics.Lag
 
 	in    queue.Queue
 	apply ApplyFunc
@@ -205,13 +229,15 @@ func (s *Site) indexLocked(msg queue.Message, m et.MSet) {
 	s.seen[msg.ID] = true
 	s.decoded[msg.ID] = m
 	s.stats.Received++
+	s.Metrics.Received.Inc()
 	for _, obj := range updateObjects(m) {
 		s.pending[obj]++
 	}
 	// Lamport receive rule: fold the MSet's timestamp into the local
 	// clock so later local events order after it.
 	s.Clock.Observe(m.TS)
-	s.Trace.Recordf(trace.Receive, int(s.ID), m.ET.String(), "queue=%d", s.in.Len())
+	s.Trace.RecordMSetf(trace.Receive, int(s.ID), m.ET.String(), msg.ID,
+		"queue=%d", s.in.Len())
 }
 
 // Kick wakes the processor.
@@ -322,6 +348,7 @@ loop:
 				// the queue).
 				acks = append(acks, msg.ID)
 				s.bump(func(st *Stats) { st.Errors++ })
+				s.Metrics.Errors.Inc()
 				continue
 			}
 			s.mu.Lock()
@@ -332,7 +359,9 @@ loop:
 		case err == nil:
 			acks = append(acks, msg.ID)
 			s.applied(m)
-			s.Trace.Record(trace.Apply, int(s.ID), m.ET.String(), "")
+			s.Metrics.Applied.Inc()
+			s.Lag.Applied(msg.ID, int(s.ID))
+			s.Trace.RecordMSet(trace.Apply, int(s.ID), m.ET.String(), msg.ID, "")
 			s.mu.Lock()
 			delete(s.decoded, msg.ID)
 			delete(s.heldOnce, msg.ID)
@@ -340,15 +369,18 @@ loop:
 			progress = true
 		case errors.Is(err, ErrHold):
 			s.bump(func(st *Stats) { st.Held++ })
+			s.Metrics.Held.Inc()
 			s.mu.Lock()
 			first := !s.heldOnce[msg.ID]
 			s.heldOnce[msg.ID] = true
 			s.mu.Unlock()
 			if first {
-				s.Trace.Recordf(trace.Hold, int(s.ID), m.ET.String(), "seq=%d", m.Seq)
+				s.Trace.RecordMSetf(trace.Hold, int(s.ID), m.ET.String(), msg.ID,
+					"seq=%d", m.Seq)
 			}
 		default:
 			s.bump(func(st *Stats) { st.Errors++ })
+			s.Metrics.Errors.Inc()
 		}
 	}
 	if len(acks) > 0 {
@@ -374,6 +406,7 @@ func (s *Site) pruneSeen(acks []uint64) {
 			delete(s.seen, id)
 		}
 		s.acked = append(s.acked[:0], s.acked[excess:]...)
+		s.Metrics.SeenEvictions.Add(uint64(excess))
 	}
 }
 

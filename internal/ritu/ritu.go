@@ -31,6 +31,7 @@ import (
 	"esr/internal/lock"
 	"esr/internal/op"
 	"esr/internal/replica"
+	"esr/internal/trace"
 )
 
 // Mode selects single- or multi-version storage.
@@ -247,6 +248,7 @@ func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit
 	vtnc := e.VTNC()
 	s.MV.SetVTNC(vtnc)
 	vals := make(map[string]op.Value, len(objects))
+	sm := e.c.SiteMetrics(site)
 	for _, obj := range objects {
 		latest, beyond, ok := s.MV.ReadLatest(obj)
 		switch {
@@ -258,6 +260,8 @@ func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit
 			// "Each time a query ET reads such a version its
 			// inconsistency counter is increased by one."
 			vals[obj] = latest.Val
+			sm.QueryCharged.Inc()
+			e.c.Trace.Recordf(trace.QueryCharged, int(site), qid.String(), "obj=%s cost=1", obj)
 		default:
 			// ε exhausted: "not allowing reading versions that are
 			// newer than VTNC".
@@ -266,9 +270,12 @@ func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit
 			} else {
 				vals[obj] = op.Value{}
 			}
+			sm.QueryFallback.Inc()
+			e.c.Trace.Recordf(trace.QueryFallback, int(site), qid.String(), "obj=%s", obj)
 		}
 		e.c.RecordQueryRead(qid, obj)
 	}
+	sm.EpsilonBudget.Set(int64(counter.Remaining()))
 	return et.QueryResult{
 		Values:        vals,
 		Inconsistency: counter.Count(),

@@ -13,6 +13,7 @@ import (
 	"esr/internal/compe"
 	"esr/internal/core"
 	"esr/internal/et"
+	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/op"
 	"esr/internal/ordup"
@@ -54,6 +55,11 @@ type Options struct {
 	FlushWindow time.Duration
 	// Trace enables event tracing with a ring of this capacity.
 	Trace int
+	// Metrics instruments the cluster: every pipeline stage registers
+	// its counters, gauges and latency histograms there, labeled with
+	// the engine kind via the registry's const labels (nil disables
+	// instrumentation entirely — the no-op path costs nothing).
+	Metrics *metrics.Registry
 }
 
 // BurstUpdater is implemented by engines that can submit a commit burst
@@ -67,7 +73,8 @@ type BurstUpdater interface {
 // NewEngine constructs an engine of the given kind over a fresh cluster.
 func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (core.Engine, error) {
 	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace,
-		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow}
+		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow,
+		Metrics: opt.Metrics, Method: string(kind)}
 	switch kind {
 	case ORDUPSeq:
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})

@@ -42,7 +42,11 @@ const (
 
 // Event is one trace record.
 type Event struct {
-	// Seq is the event's position in the trace (monotone).
+	// Seq is the event's position in the trace.  It counts every event
+	// ever recorded, not ring slots: Seq keeps increasing monotonically
+	// after the ring wraps and overwrites old events, so a consumer can
+	// resume an incremental read with Dump(w, lastSeen+1) and detect
+	// gaps (events evicted before it caught up) by Seq discontinuities.
 	Seq uint64
 	// At is the wall-clock capture time.
 	At time.Time
@@ -52,12 +56,23 @@ type Event struct {
 	Site int
 	// ET names the epsilon-transaction involved, if any.
 	ET string
+	// MSet is the message identity of the MSet involved (0 for events
+	// without one, e.g. query events).  It is the same ID the
+	// propagation pipeline dedups on, so one MSet's commit, enqueue,
+	// receive, hold and apply events correlate across sites — and the
+	// metrics.Lag tracker can derive commit→apply lag from the same
+	// identity.
+	MSet uint64
 	// Detail carries event-specific context ("seq=12", "cost=2", ...).
 	Detail string
 }
 
 // String renders the event as one log line.
 func (e Event) String() string {
+	if e.MSet != 0 {
+		return fmt.Sprintf("#%d %s site%d %s %s mset=%#x %s",
+			e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET, e.MSet, e.Detail)
+	}
 	return fmt.Sprintf("#%d %s site%d %s %s %s",
 		e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET, e.Detail)
 }
@@ -80,22 +95,39 @@ func NewRing(capacity int) *Ring {
 
 // Record appends an event.  Safe on a nil ring (no-op).
 func (r *Ring) Record(kind Kind, site int, et string, detail string) {
+	r.RecordMSet(kind, site, et, 0, detail)
+}
+
+// RecordMSet appends an event carrying the MSet message identity, so
+// the propagation stages of one MSet correlate across sites.  Safe on
+// nil.
+func (r *Ring) RecordMSet(kind Kind, site int, et string, mset uint64, detail string) {
 	if r == nil {
 		return
 	}
 	r.mu.Lock()
-	e := Event{Seq: r.next, At: time.Now(), Kind: kind, Site: site, ET: et, Detail: detail}
+	e := Event{Seq: r.next, At: time.Now(), Kind: kind, Site: site, ET: et, MSet: mset, Detail: detail}
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
 	r.mu.Unlock()
 }
 
-// Recordf is Record with a formatted detail string.  Safe on nil.
+// Recordf is Record with a formatted detail string.  Safe on nil, and
+// the formatting cost is skipped entirely on a nil ring.
 func (r *Ring) Recordf(kind Kind, site int, et string, format string, args ...any) {
 	if r == nil {
 		return
 	}
 	r.Record(kind, site, et, fmt.Sprintf(format, args...))
+}
+
+// RecordMSetf is RecordMSet with a formatted detail string.  Safe on
+// nil, skipping the formatting cost like Recordf.
+func (r *Ring) RecordMSetf(kind Kind, site int, et string, mset uint64, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	r.RecordMSet(kind, site, et, mset, fmt.Sprintf(format, args...))
 }
 
 // Len reports the number of events currently retained.
@@ -124,6 +156,15 @@ func (r *Ring) Total() uint64 {
 
 // Snapshot returns the retained events, oldest first.
 func (r *Ring) Snapshot() []Event {
+	return r.SnapshotSince(0)
+}
+
+// SnapshotSince returns the retained events with Seq >= since, oldest
+// first.  Because Seq is monotone across ring wrap, an incremental
+// consumer passes its last seen Seq + 1 to read only what is new; if
+// the ring wrapped past the consumer, the first returned event's Seq
+// exceeds since and the gap is detectable.  Safe on nil.
+func (r *Ring) SnapshotSince(since uint64) []Event {
 	if r == nil {
 		return nil
 	}
@@ -131,12 +172,16 @@ func (r *Ring) Snapshot() []Event {
 	defer r.mu.Unlock()
 	n := uint64(len(r.buf))
 	start := uint64(0)
-	count := r.next
 	if r.next > n {
 		start = r.next - n
-		count = n
 	}
-	out := make([]Event, 0, count)
+	if since > start {
+		start = since
+	}
+	if start >= r.next {
+		return nil
+	}
+	out := make([]Event, 0, r.next-start)
 	for i := start; i < r.next; i++ {
 		out = append(out, r.buf[i%n])
 	}
@@ -176,9 +221,12 @@ func ByET(et string) func(Event) bool {
 	return func(e Event) bool { return e.ET == et }
 }
 
-// Dump writes the retained events to w, one per line.
-func (r *Ring) Dump(w io.Writer) {
-	for _, e := range r.Snapshot() {
+// Dump writes the retained events with Seq >= since to w, one per
+// line.  Pass 0 for a full dump.  Incremental readers (esrtop's event
+// pane) call it repeatedly with their last seen Seq + 1; monotone Seq
+// across ring wrap guarantees no event is ever re-printed.
+func (r *Ring) Dump(w io.Writer, since uint64) {
+	for _, e := range r.SnapshotSince(since) {
 		fmt.Fprintln(w, e)
 	}
 }

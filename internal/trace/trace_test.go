@@ -74,13 +74,83 @@ func TestDumpAndString(t *testing.T) {
 	r := NewRing(4)
 	r.Record(QueryCharged, 3, "et1.9", "cost=2")
 	var sb strings.Builder
-	r.Dump(&sb)
+	r.Dump(&sb, 0)
 	out := sb.String()
 	for _, want := range []string{"site3", "query-charged", "et1.9", "cost=2", "#0"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("dump missing %q: %s", want, out)
 		}
 	}
+}
+
+// TestSeqMonotoneAcrossWrap pins the overflow contract: Seq counts
+// events ever recorded, so it keeps increasing after the ring wraps and
+// never repeats — the property incremental readers rely on.
+func TestSeqMonotoneAcrossWrap(t *testing.T) {
+	r := NewRing(4)
+	var last uint64
+	for round := 0; round < 5; round++ { // 20 events through a 4-slot ring
+		for i := 0; i < 4; i++ {
+			r.Record(Apply, 1, "et", "")
+		}
+		snap := r.Snapshot()
+		for _, e := range snap {
+			if round > 0 || e.Seq > 0 {
+				if e.Seq <= last && !(round == 0 && e.Seq == 0) {
+					t.Fatalf("Seq %d not monotone after %d (round %d)", e.Seq, last, round)
+				}
+			}
+			last = e.Seq
+		}
+	}
+	if last != 19 {
+		t.Fatalf("final Seq = %d, want 19 (events ever recorded - 1)", last)
+	}
+	if r.Total() != 20 {
+		t.Fatalf("Total = %d, want 20", r.Total())
+	}
+}
+
+// TestDumpSince checks the incremental reader: only events at or past
+// since are printed, a fully caught-up reader gets nothing, and a
+// reader that fell behind a wrap picks up from the oldest retained
+// event (gap detectable via the first Seq).
+func TestDumpSince(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 6; i++ { // retained window is Seq 2..5
+		r.Recordf(Apply, i, "et", "n=%d", i)
+	}
+	var sb strings.Builder
+	r.Dump(&sb, 4)
+	if out := sb.String(); strings.Contains(out, "#3") || !strings.Contains(out, "#4") || !strings.Contains(out, "#5") {
+		t.Errorf("Dump since=4 = %q", out)
+	}
+	if got := r.SnapshotSince(6); got != nil {
+		t.Errorf("caught-up reader got %v", got)
+	}
+	// A reader asking for Seq 0 only gets the retained window.
+	if snap := r.SnapshotSince(0); len(snap) != 4 || snap[0].Seq != 2 {
+		t.Errorf("wrapped reader window = %+v", snap)
+	}
+	var nilRing *Ring
+	if nilRing.SnapshotSince(0) != nil {
+		t.Error("nil ring SnapshotSince not nil")
+	}
+}
+
+// TestRecordMSet checks the MSet identity is carried and rendered.
+func TestRecordMSet(t *testing.T) {
+	r := NewRing(4)
+	r.RecordMSet(Commit, 1, "et1.1", 0x2a, "ops=1")
+	snap := r.Snapshot()
+	if len(snap) != 1 || snap[0].MSet != 0x2a {
+		t.Fatalf("snapshot = %+v, want MSet 0x2a", snap)
+	}
+	if s := snap[0].String(); !strings.Contains(s, "mset=0x2a") {
+		t.Errorf("String() = %q, want mset=0x2a", s)
+	}
+	var nilRing *Ring
+	nilRing.RecordMSet(Commit, 1, "x", 1, "")
 }
 
 func TestZeroCapacityDefaults(t *testing.T) {

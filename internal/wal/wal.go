@@ -25,10 +25,10 @@ import (
 	"io"
 	"os"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"esr/internal/et"
+	"esr/internal/metrics"
 	"esr/internal/op"
 	"esr/internal/replica"
 	"esr/internal/storage"
@@ -49,7 +49,12 @@ type WAL struct {
 	stage    []byte
 	waiters  []chan error
 
-	syncs atomic.Uint64
+	// syncs is the fsync counter Syncs() reports; SetMetrics swaps in
+	// the cluster registry's counter so benchmarks and the metrics
+	// endpoint read the same number.
+	syncs       *metrics.Counter
+	syncSeconds *metrics.Histogram
+	appends     *metrics.Counter
 }
 
 // Open opens (creating if needed) the log at path and returns it along
@@ -81,12 +86,35 @@ func OpenWindow(path string, window time.Duration) (*WAL, []et.MSet, error) {
 		f.Close()
 		return nil, nil, fmt.Errorf("wal: seek: %w", err)
 	}
-	return &WAL{f: f, flushWindow: window}, records, nil
+	return &WAL{f: f, flushWindow: window, syncs: metrics.NewCounter()}, records, nil
+}
+
+// Metrics instruments the log.  All fields optional; Syncs, when set,
+// becomes the fsync counter that Syncs() reads.
+type Metrics struct {
+	// Syncs counts fsyncs issued.
+	Syncs *metrics.Counter
+	// SyncSeconds observes each fsync's duration in nanoseconds.
+	SyncSeconds *metrics.Histogram
+	// Appends counts MSets durably appended.
+	Appends *metrics.Counter
+}
+
+// SetMetrics installs instrumentation.  Call before concurrent use.
+func (w *WAL) SetMetrics(m Metrics) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if m.Syncs != nil {
+		w.syncs = m.Syncs
+	}
+	w.syncSeconds = m.SyncSeconds
+	w.appends = m.Appends
 }
 
 // Syncs reports the number of fsyncs issued since Open, for benchmarks
-// and experiments measuring the group-commit win.
-func (w *WAL) Syncs() uint64 { return w.syncs.Load() }
+// and experiments measuring the group-commit win.  When instrumented it
+// is a thin read of the registry's counter.
+func (w *WAL) Syncs() uint64 { return w.syncs.Value() }
 
 func replay(f *os.File) (records []et.MSet, good int64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
@@ -145,7 +173,11 @@ func (w *WAL) AppendBatch(ms []et.MSet) error {
 	w.stage = append(w.stage, buf.Bytes()...)
 	w.waiters = append(w.waiters, ch)
 	w.mu.Unlock()
-	return w.flushWait(ch)
+	if err := w.flushWait(ch); err != nil {
+		return err
+	}
+	w.appends.Add(uint64(len(ms)))
+	return nil
 }
 
 // flushWait blocks until ch carries this writer's commit result.  The
@@ -175,10 +207,14 @@ func (w *WAL) flushWait(ch chan error) error {
 	default:
 		if _, werr := f.Write(data); werr != nil {
 			err = fmt.Errorf("wal: append: %w", werr)
-		} else if serr := f.Sync(); serr != nil {
-			err = fmt.Errorf("wal: sync: %w", serr)
 		} else {
-			w.syncs.Add(1)
+			t0 := time.Now()
+			if serr := f.Sync(); serr != nil {
+				err = fmt.Errorf("wal: sync: %w", serr)
+			} else {
+				w.syncs.Inc()
+				w.syncSeconds.Observe(int64(time.Since(t0)))
+			}
 		}
 	}
 	for _, waiter := range waiters {
