@@ -1,7 +1,7 @@
 # ESR build and correctness gate.
 #
 # `make check` is the full gate CI runs: build, go vet, esrvet (the
-# project-specific analyzers A1–A6), the test suite, and the race
+# project-specific analyzers A1–A7), the test suite, and the race
 # detector over the concurrency-bearing packages.
 
 GO ?= go
@@ -12,7 +12,7 @@ GO ?= go
 # and the metrics registry every one of them writes concurrently.
 RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/...
 
-.PHONY: all build test race vet esrvet check bench fuzz clean
+.PHONY: all build test race vet esrvet check bench bench-apply fuzz clean
 
 all: build
 
@@ -24,6 +24,7 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+	$(GO) test -race -run TestParallelApplyEquivalence ./internal/sim/
 
 vet:
 	$(GO) vet ./...
@@ -39,14 +40,25 @@ check: build vet esrvet test race
 #         size (BENCH_pipeline.json);
 #   E16 — observability overhead, instrumented vs nil registry
 #         (BENCH_observe.json), failing when the cross-method mean
-#         exceeds MAX_OVERHEAD percent.
+#         exceeds MAX_OVERHEAD percent;
+#   E17 — parallel apply speedup vs workers (BENCH_apply.json), failing
+#         when the commuting workload's mean speedup at 8 workers falls
+#         below min(MIN_SPEEDUP, 0.75*GOMAXPROCS) or the conflicting
+#         workload regresses more than MAX_SLOWDOWN percent.
 # BENCH_FULL=1 uses full-scale workloads.
 BENCH_OUT ?= BENCH_pipeline.json
 OBSERVE_OUT ?= BENCH_observe.json
+APPLY_OUT ?= BENCH_apply.json
 MAX_OVERHEAD ?= 10
+MIN_SPEEDUP ?= 1.5
+MAX_SLOWDOWN ?= 5
 bench:
 	$(GO) run ./cmd/esrbench -exp E15 $(if $(BENCH_FULL),-full) -out $(BENCH_OUT)
 	$(GO) run ./cmd/esrbench -exp E16 $(if $(BENCH_FULL),-full) -out $(OBSERVE_OUT) -maxoverhead $(MAX_OVERHEAD)
+	$(MAKE) bench-apply
+
+bench-apply:
+	$(GO) run ./cmd/esrbench -exp E17 $(if $(BENCH_FULL),-full) -out $(APPLY_OUT) -minspeedup $(MIN_SPEEDUP) -maxslowdown $(MAX_SLOWDOWN)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

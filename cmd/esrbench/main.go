@@ -7,16 +7,26 @@
 //	esrbench -exp E5       # one experiment by ID
 //	esrbench -list         # list experiments
 //
-// The group-commit pipeline baseline (E15) and the observability
-// overhead baseline (E16) can be captured as JSON artifacts for
-// regression tracking:
+// The group-commit pipeline baseline (E15), the observability overhead
+// baseline (E16) and the parallel-apply baseline (E17) can be captured
+// as JSON artifacts for regression tracking:
 //
 //	esrbench -exp E15 -out BENCH_pipeline.json
 //	esrbench -exp E16 -out BENCH_observe.json -maxoverhead 10
+//	esrbench -exp E17 -out BENCH_apply.json -minspeedup 1.5 -maxslowdown 5
 //
 // -maxoverhead fails the run when E16's cross-method mean overhead
 // (instrumented vs nil registry) exceeds the given percentage — the CI
 // regression gate for the metrics layer.
+//
+// -minspeedup fails the run when E17's cross-method mean speedup at the
+// largest worker count on the commuting workload falls short.  The
+// requirement scales with the machine: the effective floor is
+// min(minspeedup, 0.75 x GOMAXPROCS), so a single-core CI runner (which
+// physically cannot show parallel speedup) only gates against parallel
+// overhead.  -maxslowdown fails the run when the conflicting workload's
+// mean at the largest worker count runs more than the given percentage
+// slower than serial.
 package main
 
 import (
@@ -24,6 +34,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"esr/internal/sim"
@@ -37,18 +48,25 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15 or E16: also write the baseline JSON to this file")
+		out    = flag.String("out", "", "with -exp E15, E16 or E17: also write the baseline JSON to this file")
 		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16: fail when mean instrumentation overhead exceeds this percentage (0 disables)")
+		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS) (0 disables)")
+		maxSlw = flag.Float64("maxslowdown", 0, "with -exp E17: fail when the conflicting workload's mean at the largest worker count is more than this percentage slower than serial (0 disables)")
 	)
 	flag.Parse()
 	jsonOut = *asJSON
 	baselineOut = *out
 	maxOverhead = *maxOvh
-	if baselineOut != "" && *exp != "E15" && *exp != "E16" {
-		fatal(fmt.Errorf("-out records the E15 or E16 baseline; use it with -exp E15 or -exp E16"))
+	minSpeedup = *minSpd
+	maxSlowdown = *maxSlw
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" {
+		fatal(fmt.Errorf("-out records the E15, E16 or E17 baseline; use it with -exp E15, E16 or E17"))
 	}
 	if maxOverhead > 0 && *exp != "E16" {
 		fatal(fmt.Errorf("-maxoverhead gates the E16 overhead; use it with -exp E16"))
+	}
+	if (minSpeedup > 0 || maxSlowdown > 0) && *exp != "E17" {
+		fatal(fmt.Errorf("-minspeedup/-maxslowdown gate the E17 apply speedup; use them with -exp E17"))
 	}
 
 	switch {
@@ -115,12 +133,19 @@ func run(ex sim.Experiment, quick bool) error {
 			return fmt.Errorf("%s: %w", ex.ID, err)
 		}
 	}
+	if ex.ID == "E17" && (baselineOut != "" || minSpeedup > 0 || maxSlowdown > 0) {
+		if err := applyGate(baselineOut, quick, minSpeedup, maxSlowdown); err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+	}
 	return nil
 }
 
 var (
 	baselineOut string
 	maxOverhead float64
+	minSpeedup  float64
+	maxSlowdown float64
 )
 
 // pipelineBaseline is the BENCH_pipeline.json schema: the raw
@@ -209,6 +234,70 @@ func observeGate(path string, quick bool, maxPct float64) error {
 	if maxPct > 0 && b.MeanOverheadPercent > maxPct {
 		return fmt.Errorf("mean instrumentation overhead %+.1f%% exceeds the -maxoverhead %.0f%% gate",
 			b.MeanOverheadPercent, maxPct)
+	}
+	return nil
+}
+
+// applyBaseline is the BENCH_apply.json schema: the full E17 sweep
+// plus the two cross-method means the CI gates test, and the effective
+// speedup requirement after scaling to this machine's GOMAXPROCS.
+type applyBaseline struct {
+	Experiment             string       `json:"experiment"`
+	Full                   bool         `json:"full"`
+	GOMAXPROCS             int          `json:"gomaxprocs"`
+	Rows                   []sim.E17Row `json:"rows"`
+	CommutingMeanSpeedup   float64      `json:"commuting_mean_speedup_at_max_workers"`
+	ConflictingMeanSpeedup float64      `json:"conflicting_mean_speedup_at_max_workers"`
+	RequiredSpeedup        float64      `json:"required_speedup"`
+}
+
+// applyGate re-measures the E17 parallel-apply sweep, optionally
+// records it as JSON, and enforces the two CI gates: the commuting
+// workload must reach the (GOMAXPROCS-scaled) speedup floor at the
+// largest worker count, and the conflicting workload must not regress
+// past maxSlw percent there.
+func applyGate(path string, quick bool, minSpd, maxSlw float64) error {
+	rows, err := sim.E17Sweep(quick)
+	if err != nil {
+		return err
+	}
+	maxWorkers := sim.E17Workers[len(sim.E17Workers)-1]
+	b := applyBaseline{
+		Experiment:             "E17",
+		Full:                   !quick,
+		GOMAXPROCS:             runtime.GOMAXPROCS(0),
+		Rows:                   rows,
+		CommutingMeanSpeedup:   sim.E17MeanSpeedup(rows, "commuting", maxWorkers),
+		ConflictingMeanSpeedup: sim.E17MeanSpeedup(rows, "conflicting", maxWorkers),
+	}
+	// A machine with P schedulable cores cannot show a P-fold speedup;
+	// require min(minSpd, 0.75*P) so the gate measures the scheduler,
+	// not the CI runner's core count.
+	b.RequiredSpeedup = minSpd
+	if cap := 0.75 * float64(b.GOMAXPROCS); cap < b.RequiredSpeedup {
+		b.RequiredSpeedup = cap
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esrbench: wrote %s (commuting %.2fx, conflicting %.2fx at %d workers)\n",
+			path, b.CommutingMeanSpeedup, b.ConflictingMeanSpeedup, maxWorkers)
+	}
+	if minSpd > 0 && b.CommutingMeanSpeedup < b.RequiredSpeedup {
+		return fmt.Errorf("commuting mean speedup %.2fx at %d workers below the -minspeedup gate (%.2fx after GOMAXPROCS=%d scaling)",
+			b.CommutingMeanSpeedup, maxWorkers, b.RequiredSpeedup, b.GOMAXPROCS)
+	}
+	if maxSlw > 0 {
+		slowdown := (1 - b.ConflictingMeanSpeedup) * 100
+		if slowdown > maxSlw {
+			return fmt.Errorf("conflicting mean at %d workers runs %.1f%% slower than serial, past the -maxslowdown %.0f%% gate",
+				maxWorkers, slowdown, maxSlw)
+		}
 	}
 	return nil
 }

@@ -177,6 +177,15 @@ type Config struct {
 	// Pprof additionally mounts net/http/pprof under /debug/pprof/ on
 	// the metrics endpoint.
 	Pprof bool
+	// ApplyWorkers sizes each replica's apply worker pool: delivered
+	// MSets are partitioned into commuting conflict groups and applied
+	// concurrently by up to this many workers.  Zero means GOMAXPROCS;
+	// 1 forces serial apply.
+	ApplyWorkers int
+	// LockStripes overrides the per-replica lock-table stripe count.
+	// Zero keeps the default (16); 1 restores a single global lock
+	// table.
+	LockStripes int
 }
 
 // Cluster is a replicated system running one replica-control method.
@@ -226,6 +235,8 @@ func Open(cfg Config) (*Cluster, error) {
 		DeliveryWindow: cfg.DeliveryWindow,
 		Trace:          cfg.TraceCapacity,
 		Metrics:        reg,
+		ApplyWorkers:   cfg.ApplyWorkers,
+		LockStripes:    cfg.LockStripes,
 	})
 	if err != nil {
 		return nil, err

@@ -30,6 +30,10 @@
 //	                       on a trace ring) must also touch a metrics
 //	                       instrument, so every traced pipeline stage
 //	                       is visible to /metrics and esrtop too.
+//	A7 stripeaccess      — the sharded stores' stripe arrays may only be
+//	                       resolved through the stripe/forEachStripe
+//	                       accessors, so the hash-to-stripe mapping
+//	                       stays single-sourced.
 //
 // Analyzers are pure functions from a typed package to a list of
 // diagnostics.  A finding can be suppressed with a trailing comment
@@ -49,7 +53,7 @@ import (
 // Diagnostic is one analyzer finding.
 type Diagnostic struct {
 	Pos     token.Position
-	Rule    string // "A1".."A6"
+	Rule    string // "A1".."A7"
 	Message string
 }
 
@@ -60,7 +64,7 @@ func (d Diagnostic) String() string {
 
 // Analyzer is one esrvet rule.
 type Analyzer struct {
-	// Rule is the stable rule ID ("A1".."A6").
+	// Rule is the stable rule ID ("A1".."A7").
 	Rule string
 	// Name is a short slug (used in -only filters).
 	Name string
@@ -79,6 +83,7 @@ func All() []*Analyzer {
 		SimDeterminism,
 		GoroutineLeak,
 		MetricRegistration,
+		StripeAccess,
 	}
 }
 

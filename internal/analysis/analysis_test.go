@@ -86,6 +86,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{GoroutineLeak, "goleak_bad", "esrfixture/internal/queue"},
 		{MetricRegistration, "metricreg_clean", "esrfixture/metricreg_clean"},
 		{MetricRegistration, "metricreg_bad", "esrfixture/metricreg_bad"},
+		{StripeAccess, "stripeaccess_clean", "esrfixture/stripeaccess_clean"},
+		{StripeAccess, "stripeaccess_bad", "esrfixture/stripeaccess_bad"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Rule+"/"+tc.fixture, func(t *testing.T) {
@@ -137,6 +139,7 @@ func TestFixturePolarity(t *testing.T) {
 		"A4": {{SimDeterminism, "determinism_clean", "esrfixture/internal/sim"}, {SimDeterminism, "determinism_bad", "esrfixture/internal/sim"}},
 		"A5": {{GoroutineLeak, "goleak_clean", "esrfixture/internal/queue"}, {GoroutineLeak, "goleak_bad", "esrfixture/internal/queue"}},
 		"A6": {{MetricRegistration, "metricreg_clean", "esrfixture/a"}, {MetricRegistration, "metricreg_bad", "esrfixture/b"}},
+		"A7": {{StripeAccess, "stripeaccess_clean", "esrfixture/a"}, {StripeAccess, "stripeaccess_bad", "esrfixture/b"}},
 	}
 	for rule, pair := range polar {
 		clean, bad := pair[0], pair[1]

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// StripeAccess is rule A7: the sharded stores' stripe arrays may only
+// be resolved through their accessors.  Store and MVStore hash each
+// object to a stripe (fnv-1a over the object name); any code that
+// indexes the `stripes` slice by hand duplicates the hash, and a
+// mismatch silently splits one object's state across two stripes — two
+// mutexes, two cell maps, lost updates.  Concentrating the resolution
+// in `stripe` (and whole-store scans in `forEachStripe`) makes the
+// hash-to-stripe mapping single-sourced, so this rule flags every other
+// function that touches the field.
+//
+// The check is structural: a selector for a field named `stripes` on a
+// value whose named type is Store or MVStore, outside the constructors
+// that build the array and the two accessors.  Test files are exempt
+// (white-box stripe tests are how the sharding itself is verified).
+var StripeAccess = &Analyzer{
+	Rule: "A7",
+	Name: "stripeaccess",
+	Doc:  "storage stripe arrays may only be resolved through the stripe/forEachStripe accessors",
+	Run:  runStripeAccess,
+}
+
+// stripedStoreTypes are the named types whose stripes field is private
+// to the accessors.
+var stripedStoreTypes = map[string]bool{"Store": true, "MVStore": true}
+
+// stripeAccessors are the only functions allowed to touch the field:
+// the constructors that build the stripe array and the accessors every
+// other method resolves through.
+var stripeAccessors = map[string]bool{
+	"stripe": true, "forEachStripe": true, "NewStore": true, "NewMVStore": true,
+}
+
+func runStripeAccess(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || stripeAccessors[fd.Name.Name] {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "stripes" {
+					return true
+				}
+				tv, ok := p.Info.Types[sel.X]
+				if !ok {
+					return true
+				}
+				name := namedTypeName(tv.Type)
+				if !stripedStoreTypes[name] {
+					return true
+				}
+				diags = append(diags, p.diag("A7", sel,
+					"%s indexes %s.stripes directly (resolve the stripe through the stripe/forEachStripe accessors so the hash-to-stripe mapping stays single-sourced)",
+					fd.Name.Name, name))
+				return true
+			})
+		}
+	}
+	return diags
+}

@@ -1,0 +1,63 @@
+// Package stripeaccess_bad violates rule A7: code that indexes the
+// sharded stores' stripe arrays by hand, duplicating the hash-to-stripe
+// mapping the accessors single-source.
+package stripeaccess_bad
+
+import "sync"
+
+// MVStore mirrors the sharded multi-version store.
+type MVStore struct {
+	stripes []*mvStripe
+}
+
+type mvStripe struct {
+	mu   sync.RWMutex
+	objs map[string][]int64
+}
+
+// NewMVStore builds the stripe array — constructors are allowlisted.
+func NewMVStore(n int) *MVStore {
+	m := &MVStore{stripes: make([]*mvStripe, n)}
+	for i := range m.stripes {
+		m.stripes[i] = &mvStripe{objs: make(map[string][]int64)}
+	}
+	return m
+}
+
+// stripe is the accessor readLatest should have used.
+func (m *MVStore) stripe(object string) *mvStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= 16777619
+	}
+	return m.stripes[int(h%uint32(len(m.stripes)))]
+}
+
+// readLatest resolves the stripe by hand with a different hash than the
+// accessor: reads and writes of the same object land on different
+// stripes.
+func readLatest(m *MVStore, object string) int64 {
+	st := m.stripes[len(object)%len(m.stripes)] // want A7 A7
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	versions := st.objs[object]
+	if len(versions) == 0 {
+		return 0
+	}
+	return versions[len(versions)-1]
+}
+
+// countVersions ranges the field directly instead of going through
+// forEachStripe.
+func countVersions(m *MVStore) int {
+	n := 0
+	for _, st := range m.stripes { // want A7
+		st.mu.RLock()
+		for _, vs := range st.objs {
+			n += len(vs)
+		}
+		st.mu.RUnlock()
+	}
+	return n
+}

@@ -1,0 +1,72 @@
+// Package stripeaccess_clean exercises every access idiom rule A7 must
+// accept: the constructor building the stripe array, resolution through
+// the stripe accessor, whole-store scans through forEachStripe, and the
+// ignore directive for a deliberate direct read.
+package stripeaccess_clean
+
+import "sync"
+
+// Store mirrors the sharded single-version store: objects hash to
+// stripes, each with its own mutex and cell map.
+type Store struct {
+	stripes []*storeStripe
+}
+
+type storeStripe struct {
+	mu    sync.RWMutex
+	cells map[string]int64
+}
+
+// NewStore builds the stripe array — constructors are allowlisted.
+func NewStore(n int) *Store {
+	s := &Store{stripes: make([]*storeStripe, n)}
+	for i := range s.stripes {
+		s.stripes[i] = &storeStripe{cells: make(map[string]int64)}
+	}
+	return s
+}
+
+// stripe is the accessor every method resolves objects through.
+func (s *Store) stripe(object string) *storeStripe {
+	h := uint32(2166136261)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= 16777619
+	}
+	return s.stripes[int(h%uint32(len(s.stripes)))]
+}
+
+// forEachStripe visits every stripe in slot order.
+func (s *Store) forEachStripe(f func(*storeStripe)) {
+	for _, st := range s.stripes {
+		f(st)
+	}
+}
+
+// get resolves through the accessor, the idiom A7 enforces.
+func get(s *Store, object string) int64 {
+	st := s.stripe(object)
+	st.mu.RLock()
+	v := st.cells[object]
+	st.mu.RUnlock()
+	return v
+}
+
+// objects scans through forEachStripe rather than ranging the field.
+func objects(s *Store) []string {
+	var out []string
+	s.forEachStripe(func(st *storeStripe) {
+		st.mu.RLock()
+		for obj := range st.cells {
+			out = append(out, obj)
+		}
+		st.mu.RUnlock()
+	})
+	return out
+}
+
+// stripeCount documents a deliberate direct read with the ignore
+// directive, the sanctioned escape hatch.
+func stripeCount(s *Store) int {
+	return len(s.stripes) //esrvet:ignore A7 stripe count only, no cell access
+}

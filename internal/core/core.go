@@ -41,6 +41,10 @@ import (
 // for ORDUP's centralized order server (§3.1).
 const SequencerSite clock.SiteID = 1000
 
+// framePool recycles the [][]byte frame slices batched delivery builds
+// for every SendBatch — one per propagation frame on the hot path.
+var framePool = sync.Pool{New: func() any { return new([][]byte) }}
+
 // Traits describes a replica-control method along the dimensions of the
 // paper's Table 1.
 type Traits struct {
@@ -111,6 +115,15 @@ type Config struct {
 	// Method labels every exported series (method="ORDUP", ...).  Only
 	// meaningful with Metrics set.
 	Method string
+	// ApplyWorkers sizes each site's apply worker pool: the scheduling
+	// pass partitions the queued window into conflict groups and
+	// dispatches up to this many concurrently.  Zero means GOMAXPROCS;
+	// 1 forces the serial inline path.
+	ApplyWorkers int
+	// LockStripes is the number of lock-table stripes per site's lock
+	// manager.  Zero means lock.DefaultStripes; 1 restores a single
+	// global lock table.
+	LockStripes int
 }
 
 // defaultDeliveryWindow is the outbound in-flight window when
@@ -153,6 +166,17 @@ type Cluster struct {
 	met *clusterMetrics
 
 	closeOnce sync.Once
+}
+
+// configureSite applies the cluster's parallel-apply knobs to a freshly
+// built site — the lock-stripe count, the apply worker pool size, and
+// the lock manager's instruments.  Shared by New and RestartSite.
+func (c *Cluster) configureSite(site *replica.Site) {
+	if c.cfg.LockStripes != 0 {
+		site.Locks = lock.NewManagerStripes(c.cfg.LockTable, c.cfg.LockStripes)
+	}
+	site.SetApplyWorkers(c.cfg.ApplyWorkers)
+	site.Locks.SetMetrics(c.met.lockMetrics(site.ID))
 }
 
 // New builds a cluster.  Sites are created and started only after the
@@ -209,7 +233,7 @@ func New(cfg Config) (*Cluster, error) {
 		site.Trace = c.Trace
 		site.Metrics = c.met.replicaMetrics(id)
 		site.Lag = c.Lag()
-		site.Locks.SetMetrics(c.met.lockMetrics(id))
+		c.configureSite(site)
 		c.sites[id] = site
 		c.inQ[id] = in
 		c.etCounter[id] = &atomic.Uint64{}
@@ -237,11 +261,21 @@ func New(cfg Config) (*Cluster, error) {
 			d.SetMetrics(c.met.deliveryMetrics(from, to))
 			d.SetWindow(cfg.DeliveryWindow)
 			d.SetBatchSend(func(ms []queue.Message) error {
-				payloads := make([][]byte, len(ms))
-				for i, m := range ms {
-					payloads[i] = m.Payload
+				// Frame slices are pooled: SendBatch is synchronous and
+				// the receiver keeps only the payload byte slices, never
+				// the frame itself.
+				fp := framePool.Get().(*[][]byte)
+				payloads := (*fp)[:0]
+				for _, m := range ms {
+					payloads = append(payloads, m.Payload)
 				}
-				return c.Net.SendBatch(from, to, payloads)
+				err := c.Net.SendBatch(from, to, payloads)
+				for i := range payloads {
+					payloads[i] = nil // don't pin payloads via the pool
+				}
+				*fp = payloads
+				framePool.Put(fp)
+				return err
 			})
 			c.out[from][to] = &link{q: q, d: d}
 		}

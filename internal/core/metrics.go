@@ -60,17 +60,20 @@ type clusterMetrics struct {
 	walSyncSec *metrics.HistogramVec
 	walAppends *metrics.CounterVec
 
-	siteReceived  *metrics.CounterVec
-	siteApplied   *metrics.CounterVec
-	siteHeld      *metrics.CounterVec
-	siteErrors    *metrics.CounterVec
-	siteEvictions *metrics.CounterVec
+	siteReceived    *metrics.CounterVec
+	siteApplied     *metrics.CounterVec
+	siteHeld        *metrics.CounterVec
+	siteErrors      *metrics.CounterVec
+	siteEvictions   *metrics.CounterVec
+	siteParallelism *metrics.GaugeVec
+	siteApplySec    *metrics.HistogramVec
 
-	lockAcquires  *metrics.CounterVec
-	lockWaits     *metrics.CounterVec
-	lockDeadlocks *metrics.CounterVec
-	lockConflicts *metrics.CounterVec
-	lockWaitSec   *metrics.HistogramVec
+	lockAcquires   *metrics.CounterVec
+	lockWaits      *metrics.CounterVec
+	lockDeadlocks  *metrics.CounterVec
+	lockConflicts  *metrics.CounterVec
+	lockWaitSec    *metrics.HistogramVec
+	lockContention *metrics.CounterVec
 }
 
 // newClusterMetrics declares every family on the registry.  Returns nil
@@ -104,13 +107,16 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		siteApplied:   reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
 		siteHeld:      reg.Counter("esr_site_holds_total", "Hold-back decisions at a site (one per deferred scan).", "site"),
 		siteErrors:    reg.Counter("esr_site_apply_errors_total", "Apply errors at a site (excluding holds).", "site"),
-		siteEvictions: reg.Counter("esr_site_seen_evictions_total", "Applied-ID dedup entries evicted past the retention horizon.", "site"),
+		siteEvictions:   reg.Counter("esr_site_seen_evictions_total", "Applied-ID dedup entries evicted past the retention horizon.", "site"),
+		siteParallelism: reg.Gauge("esr_site_apply_parallelism", "Apply workers dispatched by the most recent scheduling pass.", "site"),
+		siteApplySec:    reg.Histogram("esr_site_apply_seconds", "Per-MSet apply latency by worker slot.", metrics.ScaleNanos, "site", "worker"),
 
-		lockAcquires:  reg.Counter("esr_lock_acquires_total", "Granted lock requests.", "site"),
-		lockWaits:     reg.Counter("esr_lock_waits_total", "Lock requests that blocked before granting.", "site"),
-		lockDeadlocks: reg.Counter("esr_lock_deadlocks_total", "Lock requests aborted by deadlock detection.", "site"),
-		lockConflicts: reg.Counter("esr_lock_conflicts_total", "Blocking lock conflicts by compatibility-table cell.", "site", "held", "req"),
-		lockWaitSec:   reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
+		lockAcquires:   reg.Counter("esr_lock_acquires_total", "Granted lock requests.", "site"),
+		lockWaits:      reg.Counter("esr_lock_waits_total", "Lock requests that blocked before granting.", "site"),
+		lockDeadlocks:  reg.Counter("esr_lock_deadlocks_total", "Lock requests aborted by deadlock detection.", "site"),
+		lockConflicts:  reg.Counter("esr_lock_conflicts_total", "Blocking lock conflicts by compatibility-table cell.", "site", "held", "req"),
+		lockWaitSec:    reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
+		lockContention: reg.Counter("esr_lock_stripe_contention_total", "Stripe-mutex acquisitions that found the stripe already locked.", "site"),
 	}
 	// Resolve every site's method-level instruments up front: the map is
 	// read-only afterwards, so concurrent engine paths need no lock.
@@ -203,6 +209,8 @@ func (m *clusterMetrics) replicaMetrics(id clock.SiteID) replica.Metrics {
 		Held:          m.siteHeld.With(s),
 		Errors:        m.siteErrors.With(s),
 		SeenEvictions: m.siteEvictions.With(s),
+		Parallelism:   m.siteParallelism.With(s),
+		ApplySeconds:  m.siteApplySec.Curry(s),
 	}
 }
 
@@ -216,11 +224,12 @@ func (m *clusterMetrics) lockMetrics(id clock.SiteID) lock.Metrics {
 	}
 	s := siteLabel(id)
 	return lock.Metrics{
-		Acquires:    m.lockAcquires.With(s),
-		Waits:       m.lockWaits.With(s),
-		Deadlocks:   m.lockDeadlocks.With(s),
-		Conflicts:   m.lockConflicts.Curry(s),
-		WaitSeconds: m.lockWaitSec.With(s),
+		Acquires:         m.lockAcquires.With(s),
+		Waits:            m.lockWaits.With(s),
+		Deadlocks:        m.lockDeadlocks.With(s),
+		Conflicts:        m.lockConflicts.Curry(s),
+		WaitSeconds:      m.lockWaitSec.With(s),
+		StripeContention: m.lockContention.With(s),
 	}
 }
 

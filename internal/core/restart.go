@@ -89,6 +89,7 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 	}
 	site := replica.NewSite(id, q, c.cfg.LockTable)
 	site.Trace = c.Trace
+	c.configureSite(site)
 	applied := wal.Rebuild(site.Store, records)
 	if err := site.Reload(); err != nil {
 		q.Close()

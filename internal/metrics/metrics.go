@@ -237,14 +237,29 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 }
 
 // HistogramVec is a labeled histogram family.
-type HistogramVec struct{ f *family }
+type HistogramVec struct {
+	f      *family
+	prefix []string // label values pre-bound by Curry
+}
 
 // With returns the child histogram for the label values.  Safe on nil.
 func (v *HistogramVec) With(values ...string) *Histogram {
 	if v == nil {
 		return nil
 	}
+	if len(v.prefix) > 0 {
+		values = append(append(make([]string, 0, len(v.prefix)+len(values)), v.prefix...), values...)
+	}
 	return v.f.child(values).(*Histogram)
+}
+
+// Curry returns a vec with the leading label values pre-bound, mirroring
+// CounterVec.Curry.  Safe on nil.
+func (v *HistogramVec) Curry(values ...string) *HistogramVec {
+	if v == nil {
+		return nil
+	}
+	return &HistogramVec{f: v.f, prefix: append(append([]string(nil), v.prefix...), values...)}
 }
 
 // Registry holds metric families.  All methods are safe for concurrent

@@ -14,6 +14,9 @@ package replica
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -57,6 +60,12 @@ type Metrics struct {
 	// SeenEvictions counts applied-ID dedup entries evicted once the
 	// retention horizon passes them.
 	SeenEvictions *metrics.Counter
+	// Parallelism records the number of apply workers the most recent
+	// scheduling pass actually dispatched (1 when the pass ran inline).
+	Parallelism *metrics.Gauge
+	// ApplySeconds observes per-MSet apply latency (nanoseconds), one
+	// series per worker slot; its remaining label is the worker index.
+	ApplySeconds *metrics.HistogramVec
 }
 
 // Site is one replica site.
@@ -84,6 +93,8 @@ type Site struct {
 	in    queue.Queue
 	apply ApplyFunc
 
+	workers int // apply worker pool size; set before Start
+
 	mu        sync.Mutex
 	cond      *sync.Cond
 	pending   map[string]int    // object -> queued-but-unapplied update ETs touching it
@@ -92,7 +103,9 @@ type Site struct {
 	seen      map[uint64]bool    // message IDs accepted (mirrors queue dedup)
 	decoded   map[uint64]et.MSet // decode-once cache, evicted on ack
 	heldOnce  map[uint64]bool    // messages whose first hold was traced
-	acked     []uint64           // acked IDs still in seen, oldest first
+	ackRing   []uint64           // ring of acked IDs still in seen
+	ackHead   int                // ring index of the oldest acked ID
+	ackLen    int                // live entries in the ring
 	retention int                // how many acked IDs stay in seen
 
 	kick chan struct{}
@@ -116,11 +129,22 @@ func NewSite(id clock.SiteID, in queue.Queue, table lock.Table) *Site {
 		decoded:   make(map[uint64]et.MSet),
 		heldOnce:  make(map[uint64]bool),
 		retention: defaultSeenRetention,
+		workers:   runtime.GOMAXPROCS(0),
 		kick:      make(chan struct{}, 1),
 		done:      make(chan struct{}),
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// SetApplyWorkers sizes the apply worker pool the scheduling pass may
+// dispatch conflict groups onto.  n <= 0 restores the default
+// (GOMAXPROCS).  Call before Start.
+func (s *Site) SetApplyWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.workers = n
 }
 
 // defaultSeenRetention bounds how many applied message IDs the site's
@@ -133,7 +157,17 @@ const defaultSeenRetention = 4096
 func (s *Site) SetSeenRetention(n int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	// Re-home the ring under the new horizon: keep the acked IDs in
+	// order, evicting any the smaller horizon no longer covers.
+	old := make([]uint64, 0, s.ackLen)
+	for i := 0; i < s.ackLen; i++ {
+		old = append(old, s.ackRing[(s.ackHead+i)%len(s.ackRing)])
+	}
 	s.retention = n
+	s.ackRing, s.ackHead, s.ackLen = nil, 0, 0
+	for _, id := range old {
+		s.recordAckedLocked(id)
+	}
 }
 
 // SetApply installs the method-specific MSet executor.  Must be called
@@ -314,19 +348,39 @@ func (s *Site) run() {
 	}
 }
 
-// pass scans the inbound queue once, applying every eligible MSet.  All
-// acks earned during the pass are retired with a single AckBatch at the
-// end — one journal record and one fsync per pass instead of one per
-// message.  A crash between apply and the batched ack only widens the
-// at-least-once redelivery window; every ApplyFunc is idempotent per
-// MSet, so re-application is safe.
+// applyItem is one queued message staged for the scheduling pass.
+type applyItem struct {
+	msg  queue.Message
+	m    et.MSet
+	objs []string // distinct objects named by any of the MSet's ops
+}
+
+// pass scans the inbound queue once and applies every eligible MSet
+// through the parallel apply scheduler: the queued window is sorted into
+// the method's order (Seq, then timestamp), partitioned into conflict
+// groups — two MSets land in the same group iff they name a common
+// object and their operations do not all pairwise commute (COMMU's
+// Table 3 rule) — and the groups are dispatched onto the apply worker
+// pool.  Items inside a group run serially in sorted order, so
+// non-commuting updates to an object keep their relative order; groups
+// are mutually commuting, so running them concurrently is
+// indistinguishable from some serial order.  A window containing a
+// compensation MSet collapses to one serial group: compensations edit
+// version chains of objects their MSet does not name (§4.2), so no op
+// footprint bounds them.
+//
+// All acks earned during the pass are retired with a single AckBatch at
+// the end — one journal record and one fsync per pass instead of one
+// per message.  A crash between apply and the batched ack only widens
+// the at-least-once redelivery window; every ApplyFunc is idempotent
+// per MSet, so re-application is safe.
 func (s *Site) pass() bool {
 	msgs, err := s.in.All()
 	if err != nil {
 		return false
 	}
 	var acks []uint64
-	progress := false
+	items := make([]applyItem, 0, len(msgs))
 loop:
 	for _, msg := range msgs {
 		select {
@@ -355,33 +409,89 @@ loop:
 			s.decoded[msg.ID] = m
 			s.mu.Unlock()
 		}
-		switch err := s.apply(m); {
-		case err == nil:
-			acks = append(acks, msg.ID)
-			s.applied(m)
-			s.Metrics.Applied.Inc()
-			s.Lag.Applied(msg.ID, int(s.ID))
-			s.Trace.RecordMSet(trace.Apply, int(s.ID), m.ET.String(), msg.ID, "")
-			s.mu.Lock()
-			delete(s.decoded, msg.ID)
-			delete(s.heldOnce, msg.ID)
-			s.mu.Unlock()
-			progress = true
-		case errors.Is(err, ErrHold):
-			s.bump(func(st *Stats) { st.Held++ })
-			s.Metrics.Held.Inc()
-			s.mu.Lock()
-			first := !s.heldOnce[msg.ID]
-			s.heldOnce[msg.ID] = true
-			s.mu.Unlock()
-			if first {
-				s.Trace.RecordMSetf(trace.Hold, int(s.ID), m.ET.String(), msg.ID,
-					"seq=%d", m.Seq)
-			}
-		default:
-			s.bump(func(st *Stats) { st.Errors++ })
-			s.Metrics.Errors.Inc()
+		items = append(items, applyItem{msg: msg, m: m, objs: opObjects(m)})
+	}
+	// The sorted window: ORDUP's global execution order first (Seq is 0
+	// for the other methods), then logical timestamps.  Parallelism only
+	// ever reorders *within* this window, which is what keeps ORDUP's
+	// in-order guarantee intact — its engine still holds anything ahead
+	// of the sequence gate.
+	sort.SliceStable(items, func(i, j int) bool {
+		a, b := items[i], items[j]
+		if a.m.Seq != b.m.Seq {
+			return a.m.Seq < b.m.Seq
 		}
+		if a.m.TS.Less(b.m.TS) {
+			return true
+		}
+		if b.m.TS.Less(a.m.TS) {
+			return false
+		}
+		return a.msg.ID < b.msg.ID
+	})
+	groups := conflictGroups(items)
+	workers := s.workers
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	progress := false
+	if workers <= 1 {
+		// Inline fast path: a fully-conflicting window (one group) or a
+		// single-worker pool costs no goroutine handoffs at all.
+		if len(items) > 0 {
+			s.Metrics.Parallelism.Set(1)
+		}
+		hist := s.Metrics.ApplySeconds.With("0")
+		for _, g := range groups {
+			for _, it := range g {
+				if s.stopped() {
+					break
+				}
+				ack, ok := s.applyOne(it, hist)
+				if ack {
+					acks = append(acks, it.msg.ID)
+				}
+				progress = progress || ok
+			}
+		}
+	} else {
+		s.Metrics.Parallelism.Set(int64(workers))
+		feed := make(chan []applyItem)
+		var wg sync.WaitGroup
+		var resMu sync.Mutex // guards acks and progress merged from workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				hist := s.Metrics.ApplySeconds.With(strconv.Itoa(w))
+				var local []uint64
+				ok := false
+				for g := range feed {
+					for _, it := range g {
+						if s.stopped() {
+							break
+						}
+						ack, applied := s.applyOne(it, hist)
+						if ack {
+							local = append(local, it.msg.ID)
+						}
+						ok = ok || applied
+					}
+				}
+				resMu.Lock()
+				acks = append(acks, local...)
+				progress = progress || ok
+				resMu.Unlock()
+			}(w)
+		}
+		for _, g := range groups {
+			if s.stopped() {
+				break
+			}
+			feed <- g
+		}
+		close(feed)
+		wg.Wait()
 	}
 	if len(acks) > 0 {
 		// An ack failure (e.g. queue closed during shutdown) leaves the
@@ -393,21 +503,190 @@ loop:
 	return progress
 }
 
-// pruneSeen records newly acked IDs and evicts the oldest entries from
-// the dedup set once more than retention acked IDs are remembered.
-// Without this the seen map grows with every message a long-running site
-// ever applies.
+// stopped reports whether Stop has been requested.
+func (s *Site) stopped() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// applyOne runs the method's ApplyFunc on one staged item and does the
+// per-outcome bookkeeping.  It reports whether the message should be
+// acked and whether it was applied.  Safe for concurrent use: every
+// structure it touches is locked or atomic.
+func (s *Site) applyOne(it applyItem, hist *metrics.Histogram) (ack, ok bool) {
+	start := time.Now()
+	err := s.apply(it.m)
+	hist.Observe(int64(time.Since(start)))
+	switch {
+	case err == nil:
+		s.applied(it.m)
+		s.Metrics.Applied.Inc()
+		s.Lag.Applied(it.msg.ID, int(s.ID))
+		s.Trace.RecordMSet(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, "")
+		s.mu.Lock()
+		delete(s.decoded, it.msg.ID)
+		delete(s.heldOnce, it.msg.ID)
+		s.mu.Unlock()
+		return true, true
+	case errors.Is(err, ErrHold):
+		s.bump(func(st *Stats) { st.Held++ })
+		s.Metrics.Held.Inc()
+		s.mu.Lock()
+		first := !s.heldOnce[it.msg.ID]
+		s.heldOnce[it.msg.ID] = true
+		s.mu.Unlock()
+		if first {
+			s.Trace.RecordMSetf(trace.Hold, int(s.ID), it.m.ET.String(), it.msg.ID,
+				"seq=%d", it.m.Seq)
+		}
+		return false, false
+	default:
+		s.bump(func(st *Stats) { st.Errors++ })
+		s.Metrics.Errors.Inc()
+		return false, false
+	}
+}
+
+// conflictGroups partitions the sorted window into groups that must run
+// serially.  Union-find over the items: two items sharing an object are
+// unioned unless every operation pair between them commutes — exactly
+// the relaxation COMMU's Table 3 grants WU/WU pairs.  Reads count as
+// footprint too (a read does not commute with an update).  Items with
+// an empty footprint (e.g. COMPE commit records, which only advance
+// engine state under the engine's own lock) stay singleton groups.  Any
+// compensation MSet collapses the whole window into one group: backward
+// control edits version chains its MSet does not name (§4.2).
+func conflictGroups(items []applyItem) [][]applyItem {
+	n := len(items)
+	if n == 0 {
+		return nil
+	}
+	for _, it := range items {
+		if it.m.Compensation {
+			return [][]applyItem{items}
+		}
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	byObj := make(map[string][]int)
+	for i, it := range items {
+		for _, obj := range it.objs {
+			byObj[obj] = append(byObj[obj], i)
+		}
+	}
+	for _, idxs := range byObj {
+		for x := 1; x < len(idxs); x++ {
+			for y := 0; y < x; y++ {
+				a, b := idxs[y], idxs[x]
+				if find(a) == find(b) {
+					continue
+				}
+				if !msetsCommute(items[a].m, items[b].m) {
+					union(a, b)
+				}
+			}
+		}
+	}
+	// Assemble groups ordered by their first item, members in window
+	// order, so single-group execution degenerates to the serial pass.
+	slot := make(map[int]int, n)
+	var groups [][]applyItem
+	for i, it := range items {
+		r := find(i)
+		gi, ok := slot[r]
+		if !ok {
+			gi = len(groups)
+			slot[r] = gi
+			groups = append(groups, nil)
+		}
+		groups[gi] = append(groups[gi], it)
+	}
+	return groups
+}
+
+// msetsCommute reports whether every operation pair drawn from the two
+// MSets commutes (ops on distinct objects always do).
+func msetsCommute(a, b et.MSet) bool {
+	for _, oa := range a.Ops {
+		for _, ob := range b.Ops {
+			if !oa.Commutes(ob) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// opObjects returns the distinct objects named by any of the MSet's
+// operations, reads included — a read does not commute with an update,
+// so it fences scheduling like one.
+func opObjects(m et.MSet) []string {
+	seen := make(map[string]bool, len(m.Ops))
+	var out []string
+	for _, o := range m.Ops {
+		if !seen[o.Object] {
+			seen[o.Object] = true
+			out = append(out, o.Object)
+		}
+	}
+	return out
+}
+
+// pruneSeen records newly acked IDs in the retention ring and evicts the
+// oldest entries from the dedup set once the ring wraps.  Without this
+// the seen map grows with every message a long-running site ever
+// applies.  The ring is allocated once at retention capacity; steady
+// state does no allocation at all (the old implementation rebuilt a
+// slice per pass).
 func (s *Site) pruneSeen(acks []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.acked = append(s.acked, acks...)
-	if excess := len(s.acked) - s.retention; excess > 0 {
-		for _, id := range s.acked[:excess] {
-			delete(s.seen, id)
-		}
-		s.acked = append(s.acked[:0], s.acked[excess:]...)
-		s.Metrics.SeenEvictions.Add(uint64(excess))
+	for _, id := range acks {
+		s.recordAckedLocked(id)
 	}
+}
+
+// recordAckedLocked pushes one acked ID into the retention ring,
+// evicting the oldest remembered ID when full.  Caller holds s.mu.
+func (s *Site) recordAckedLocked(id uint64) {
+	if s.retention <= 0 {
+		delete(s.seen, id)
+		s.Metrics.SeenEvictions.Inc()
+		return
+	}
+	if len(s.ackRing) != s.retention {
+		s.ackRing = make([]uint64, s.retention)
+		s.ackHead, s.ackLen = 0, 0
+	}
+	if s.ackLen == len(s.ackRing) {
+		delete(s.seen, s.ackRing[s.ackHead])
+		s.Metrics.SeenEvictions.Inc()
+		s.ackRing[s.ackHead] = id
+		s.ackHead = (s.ackHead + 1) % len(s.ackRing)
+		return
+	}
+	s.ackRing[(s.ackHead+s.ackLen)%len(s.ackRing)] = id
+	s.ackLen++
 }
 
 func (s *Site) applied(m et.MSet) {

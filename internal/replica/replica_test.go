@@ -281,3 +281,26 @@ func TestJournalRecoveryReappliesAfterRestart(t *testing.T) {
 	defer s2.Stop()
 	waitFor(t, "recovered apply", func() bool { return applied.Load() == 1 })
 }
+
+// BenchmarkPruneSeen measures dedup-horizon maintenance per ack batch.
+// Steady state must be allocation-free: the retention ring is allocated
+// once and reused, where the old implementation rebuilt a slice of
+// remembered IDs on every pass.
+func BenchmarkPruneSeen(b *testing.B) {
+	s := NewSite(1, queue.NewMem(), lock.ORDUP)
+	s.SetSeenRetention(4096)
+	acks := make([]uint64, 64)
+	var next uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.mu.Lock()
+		for j := range acks {
+			next++
+			acks[j] = next
+			s.seen[next] = true
+		}
+		s.mu.Unlock()
+		s.pruneSeen(acks)
+	}
+}

@@ -60,6 +60,12 @@ type Options struct {
 	// the engine kind via the registry's const labels (nil disables
 	// instrumentation entirely — the no-op path costs nothing).
 	Metrics *metrics.Registry
+	// ApplyWorkers sizes each site's apply worker pool (0 means
+	// GOMAXPROCS; 1 forces serial apply).
+	ApplyWorkers int
+	// LockStripes overrides the per-site lock-table stripe count (0
+	// keeps the default; 1 restores a single global lock table).
+	LockStripes int
 }
 
 // BurstUpdater is implemented by engines that can submit a commit burst
@@ -74,7 +80,8 @@ type BurstUpdater interface {
 func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (core.Engine, error) {
 	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace,
 		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow,
-		Metrics: opt.Metrics, Method: string(kind)}
+		Metrics: opt.Metrics, Method: string(kind),
+		ApplyWorkers: opt.ApplyWorkers, LockStripes: opt.LockStripes}
 	switch kind {
 	case ORDUPSeq:
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})

@@ -107,6 +107,9 @@ func Experiments() []Experiment {
 		{ID: "E16", Title: "Observability overhead: instrumented vs nil-registry cluster",
 			Claim: "the metrics layer prices every pipeline stage at an atomic add behind a nil-safe indirection, so full instrumentation must not tax the asynchronous propagation it observes",
 			Run:   runE16},
+		{ID: "E17", Title: "Parallel apply: speedup vs workers, commuting vs conflicting workloads",
+			Claim: "§3.2: updates that commute need no mutual ordering — a replica may apply them concurrently; non-commuting updates keep their serial order at no added cost",
+			Run:   runE17},
 	}
 }
 
@@ -1300,6 +1303,208 @@ func runE16(quick bool) (*tabular.Table, error) {
 	}
 	if mean := E16MeanOverhead(rows); mean > 25 {
 		return nil, fmt.Errorf("E16: mean instrumentation overhead %.1f%% exceeds 25%%", mean)
+	}
+	return t, nil
+}
+
+// --- E17 ---
+
+// E17Workers are the apply worker-pool sizes the experiment sweeps.
+var E17Workers = []int{1, 2, 4, 8}
+
+// E17Workloads are the two scheduling regimes E17 drives: "commuting"
+// spreads commutative updates over an object pool (every pair of MSets
+// commutes, so the scheduler may run the whole window concurrently);
+// "conflicting" aims non-commuting updates at one hot object (the
+// window collapses to a single conflict group, which must cost no more
+// than the serial pass).
+var E17Workloads = []string{"commuting", "conflicting"}
+
+// E17Row is one parallel-apply measurement, exported so cmd/esrbench
+// can record the BENCH_apply.json baseline.
+type E17Row struct {
+	Method        string  `json:"method"`
+	Workload      string  `json:"workload"`
+	Workers       int     `json:"workers"`
+	Updates       int     `json:"updates"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// SpeedupVs1 is this row's throughput over the same method and
+	// workload at workers=1.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// E17Trials is how many runs each configuration takes; the best
+// (minimum) time wins, which filters scheduler noise better than means.
+const E17Trials = 3
+
+// E17Updates returns the update count E17 runs at.
+func E17Updates(quick bool) int {
+	if quick {
+		return 960
+	}
+	return 4800
+}
+
+// e17ObjectPool is the commuting workload's object spread: wide enough
+// that conflict groups stay tiny, small enough that stores do not
+// dominate the measurement.
+const e17ObjectPool = 256
+
+// e17Ops builds the i-th update for a method × workload cell, or nil
+// when the method cannot express the workload (COMPE's commutative mode
+// only admits operations that always commute, so no conflicting
+// workload exists for it — that is the point of the mode).
+func e17Ops(kind EngineKind, workload string, i int) []op.Op {
+	if workload == "commuting" {
+		obj := fmt.Sprintf("obj-%03d", i%e17ObjectPool)
+		switch kind {
+		case RITUSV, RITUMV:
+			// Blind writes of the same value: Write/Write pairs commute
+			// exactly when their arguments agree.
+			return []op.Op{op.WriteOp(obj, 1)}
+		default:
+			return []op.Op{op.IncOp(obj, 1)}
+		}
+	}
+	switch kind {
+	case COMMU:
+		// Table 3's only intra-family conflict: UnorderedAppend and
+		// RemoveOne of the same element do not commute.
+		if i%2 == 0 {
+			return []op.Op{op.UAppendOp("hot", "tok")}
+		}
+		return []op.Op{op.RemoveOneOp("hot", "tok")}
+	case COMPE:
+		return nil
+	default:
+		// Distinct blind-write values never commute.
+		return []op.Op{op.WriteOp("hot", int64(i))}
+	}
+}
+
+// e17Trial drives one 3-site in-memory cluster of the given kind with
+// the workload and worker-pool size, in bursts through the group-commit
+// pipeline, and reports the elapsed time to quiescence.
+func e17Trial(kind EngineKind, workload string, workers, updates int) (time.Duration, error) {
+	eng, err := NewEngine(kind, 3, network.Config{Seed: 23},
+		Options{ApplyWorkers: workers})
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	bu, ok := eng.(BurstUpdater)
+	if !ok {
+		return 0, fmt.Errorf("E17: %s does not support bursts", kind)
+	}
+	const burst = 32
+	sw := stopwatch.Start()
+	for done := 0; done < updates; done += burst {
+		n := burst
+		if updates-done < n {
+			n = updates - done
+		}
+		b := make([][]op.Op, n)
+		for j := range b {
+			b[j] = e17Ops(kind, workload, done+j)
+		}
+		if _, err := bu.UpdateBurst(1, b); err != nil {
+			return 0, fmt.Errorf("E17 %s %s burst: %w", kind, workload, err)
+		}
+	}
+	if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
+		return 0, fmt.Errorf("E17 %s %s: %w", kind, workload, err)
+	}
+	return sw.Elapsed(), nil
+}
+
+// E17Measure measures one method × workload × workers cell, best of
+// E17Trials runs.  SpeedupVs1 is left zero; E17Sweep fills it in.
+func E17Measure(kind EngineKind, workload string, workers, updates int) (E17Row, error) {
+	const forever = time.Duration(1<<63 - 1)
+	best := forever
+	for trial := 0; trial < E17Trials; trial++ {
+		d, err := e17Trial(kind, workload, workers, updates)
+		if err != nil {
+			return E17Row{}, err
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return E17Row{
+		Method:        string(kind),
+		Workload:      workload,
+		Workers:       workers,
+		Updates:       updates,
+		UpdatesPerSec: float64(updates) / best.Seconds(),
+	}, nil
+}
+
+// E17Sweep measures every method × workload × workers cell and resolves
+// each row's speedup against its own workers=1 baseline.  Methods that
+// cannot express a workload are skipped.
+func E17Sweep(quick bool) ([]E17Row, error) {
+	updates := E17Updates(quick)
+	var rows []E17Row
+	for _, kind := range AllMethods {
+		for _, workload := range E17Workloads {
+			if e17Ops(kind, workload, 0) == nil {
+				continue
+			}
+			base := -1.0
+			for _, w := range E17Workers {
+				row, err := E17Measure(kind, workload, w, updates)
+				if err != nil {
+					return nil, err
+				}
+				if w == 1 {
+					base = row.UpdatesPerSec
+				}
+				if base > 0 {
+					row.SpeedupVs1 = row.UpdatesPerSec / base
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return rows, nil
+}
+
+// E17MeanSpeedup returns the cross-method mean speedup for a workload
+// at the given worker count — the statistic the CI gate tests (E16's
+// rationale: per-method numbers on short CI runs carry scheduler noise;
+// the mean is stable).
+func E17MeanSpeedup(rows []E17Row, workload string, workers int) float64 {
+	var sum float64
+	var n int
+	for _, r := range rows {
+		if r.Workload == workload && r.Workers == workers {
+			sum += r.SpeedupVs1
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// runE17 sweeps apply-pool sizes against commuting and conflicting
+// workloads for every method.  The tight CI gates live in cmd/esrbench
+// (-minspeedup on the commuting mean, -maxslowdown on the conflicting
+// mean, both scaled to the machine's GOMAXPROCS); the experiment itself
+// only reports.
+func runE17(quick bool) (*tabular.Table, error) {
+	rows, err := E17Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := tabular.New("E17: parallel apply speedup vs workers",
+		"method", "workload", "workers", "updates", "updates/sec", "speedup")
+	for _, r := range rows {
+		t.AddRowf(r.Method, r.Workload, r.Workers, r.Updates,
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			fmt.Sprintf("%.2fx", r.SpeedupVs1))
 	}
 	return t, nil
 }

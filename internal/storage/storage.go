@@ -9,6 +9,13 @@
 // for RITU's multi-version mode: versions at or below the VTNC are stable
 // and yield serializable reads; versions above it are visible only to
 // queries willing to pay inconsistency for freshness.
+//
+// Both stores shard their object maps into per-object stripes (fnv-hash
+// of the object name), each guarded by its own RWMutex, so the parallel
+// apply scheduler's workers touching different objects never contend on
+// a global store lock.  All access goes through the stripe accessor;
+// esrvet rule A7 flags code that reaches into the stripe slices
+// directly.
 package storage
 
 import (
@@ -19,9 +26,33 @@ import (
 	"esr/internal/op"
 )
 
+// defaultStripes is the stripe count for both store kinds; it matches
+// lock.DefaultStripes so lock and store sharding degrade together.
+const defaultStripes = 16
+
+// stripeIndex maps an object name to a stripe slot (fnv-1a, allocation
+// free).
+func stripeIndex(object string, n int) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(object); i++ {
+		h ^= uint32(object[i])
+		h *= prime32
+	}
+	return int(h % uint32(n))
+}
+
 // Store is a single-version object store.  The zero value is not usable;
 // call NewStore.  It is safe for concurrent use.
 type Store struct {
+	stripes []*storeStripe
+}
+
+// storeStripe holds the cells for the objects hashing to one stripe.
+type storeStripe struct {
 	mu    sync.RWMutex
 	cells map[string]cell
 }
@@ -34,15 +65,32 @@ type cell struct {
 // NewStore returns an empty store.  Objects spring into existence with
 // the zero value on first access.
 func NewStore() *Store {
-	return &Store{cells: make(map[string]cell)}
+	s := &Store{stripes: make([]*storeStripe, defaultStripes)}
+	for i := range s.stripes {
+		s.stripes[i] = &storeStripe{cells: make(map[string]cell)}
+	}
+	return s
+}
+
+// stripe is the accessor every method resolves objects through (A7).
+func (s *Store) stripe(object string) *storeStripe {
+	return s.stripes[stripeIndex(object, len(s.stripes))]
+}
+
+// forEachStripe visits every stripe in slot order (whole-store scans).
+func (s *Store) forEachStripe(f func(*storeStripe)) {
+	for _, st := range s.stripes {
+		f(st)
+	}
 }
 
 // Get returns the current value of the object (zero Value if never
 // written).
 func (s *Store) Get(object string) op.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cells[object].val.Clone()
+	st := s.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.cells[object].val.Clone()
 }
 
 // Apply applies the operation to its object and returns the new value.
@@ -51,11 +99,12 @@ func (s *Store) Apply(o op.Op) op.Value {
 	if o.Kind == op.Read {
 		return s.Get(o.Object)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.cells[o.Object]
+	st := s.stripe(o.Object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.cells[o.Object]
 	c.val = op.ApplyFull(o, c.val)
-	s.cells[o.Object] = c
+	st.cells[o.Object] = c
 	return c.val.Clone()
 }
 
@@ -68,9 +117,10 @@ func (s *Store) ApplyTimestamped(o op.Op) bool {
 	if o.Kind == op.Read {
 		return true
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.cells[o.Object]
+	st := s.stripe(o.Object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.cells[o.Object]
 	if o.Kind == op.Write && !o.TS.IsZero() {
 		if !c.writeTS.Less(o.TS) {
 			return false // stale write: ignore (Thomas write rule)
@@ -78,7 +128,7 @@ func (s *Store) ApplyTimestamped(o op.Op) bool {
 		c.writeTS = o.TS
 	}
 	c.val = op.ApplyFull(o, c.val)
-	s.cells[o.Object] = c
+	st.cells[o.Object] = c
 	return true
 }
 
@@ -87,55 +137,62 @@ func (s *Store) ApplyTimestamped(o op.Op) bool {
 // strictly newer than the object's current version.  Quorum voting
 // (weighted voting baselines) uses it to install version-stamped copies.
 func (s *Store) SetVersioned(object string, v op.Value, version uint64) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.cells[object]
+	st := s.stripe(object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c := st.cells[object]
 	if c.writeTS.Time >= version {
 		return false
 	}
 	c.writeTS = clock.Timestamp{Time: version}
 	c.val = v.Clone()
-	s.cells[object] = c
+	st.cells[object] = c
 	return true
 }
 
 // Version returns the object's current version number as installed by
 // SetVersioned (0 if never versioned).
 func (s *Store) Version(object string) uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cells[object].writeTS.Time
+	st := s.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.cells[object].writeTS.Time
 }
 
 // WriteTS returns the timestamp of the last applied timestamped write to
 // the object (zero if none).
 func (s *Store) WriteTS(object string) clock.Timestamp {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.cells[object].writeTS
+	st := s.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.cells[object].writeTS
 }
 
 // Objects returns the names of all objects that have been written, in
 // sorted order.
 func (s *Store) Objects() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.cells))
-	for k := range s.cells {
-		out = append(out, k)
-	}
+	var out []string
+	s.forEachStripe(func(st *storeStripe) {
+		st.mu.RLock()
+		for k := range st.cells {
+			out = append(out, k)
+		}
+		st.mu.RUnlock()
+	})
 	sort.Strings(out)
 	return out
 }
 
 // Snapshot returns a deep copy of the store's contents.
 func (s *Store) Snapshot() map[string]op.Value {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make(map[string]op.Value, len(s.cells))
-	for k, c := range s.cells {
-		out[k] = c.val.Clone()
-	}
+	out := make(map[string]op.Value)
+	s.forEachStripe(func(st *storeStripe) {
+		st.mu.RLock()
+		for k, c := range st.cells {
+			out[k] = c.val.Clone()
+		}
+		st.mu.RUnlock()
+	})
 	return out
 }
 
@@ -149,16 +206,42 @@ type Version struct {
 }
 
 // MVStore is a multi-version object store with VTNC visibility control.
-// It is safe for concurrent use.
+// It is safe for concurrent use.  Version chains are sharded into
+// per-object stripes like Store; the VTNC is store-global and has its
+// own lock.
 type MVStore struct {
+	stripes []*mvStripe
+
+	vtncMu sync.RWMutex
+	vtnc   clock.Timestamp
+}
+
+// mvStripe holds the version chains for the objects hashing to one
+// stripe.
+type mvStripe struct {
 	mu   sync.RWMutex
 	objs map[string][]Version // sorted ascending by TS
-	vtnc clock.Timestamp
 }
 
 // NewMVStore returns an empty multi-version store with a zero VTNC.
 func NewMVStore() *MVStore {
-	return &MVStore{objs: make(map[string][]Version)}
+	m := &MVStore{stripes: make([]*mvStripe, defaultStripes)}
+	for i := range m.stripes {
+		m.stripes[i] = &mvStripe{objs: make(map[string][]Version)}
+	}
+	return m
+}
+
+// stripe is the accessor every method resolves objects through (A7).
+func (m *MVStore) stripe(object string) *mvStripe {
+	return m.stripes[stripeIndex(object, len(m.stripes))]
+}
+
+// forEachStripe visits every stripe in slot order (whole-store scans).
+func (m *MVStore) forEachStripe(f func(*mvStripe)) {
+	for _, st := range m.stripes {
+		f(st)
+	}
 }
 
 // Install inserts a version.  Installing a version with a timestamp the
@@ -168,31 +251,33 @@ func NewMVStore() *MVStore {
 // for identical (ts, val) pairs, giving at-least-once MSet delivery a
 // safe landing.
 func (m *MVStore) Install(object string, ts clock.Timestamp, val op.Value) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	vs := m.objs[object]
+	st := m.stripe(object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	vs := st.objs[object]
 	i := sort.Search(len(vs), func(i int) bool { return !vs[i].TS.Less(ts) })
 	if i < len(vs) && vs[i].TS == ts {
 		vs[i].Val = val.Clone()
-		m.objs[object] = vs
+		st.objs[object] = vs
 		return
 	}
 	vs = append(vs, Version{})
 	copy(vs[i+1:], vs[i:])
 	vs[i] = Version{TS: ts, Val: val.Clone()}
-	m.objs[object] = vs
+	st.objs[object] = vs
 }
 
 // Delete removes the version with the given timestamp, if present, and
 // reports whether it did.  This is the other compensation mechanism of
 // §4.2 ("deleting the version").
 func (m *MVStore) Delete(object string, ts clock.Timestamp) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	vs := m.objs[object]
+	st := m.stripe(object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	vs := st.objs[object]
 	for i, v := range vs {
 		if v.TS == ts {
-			m.objs[object] = append(vs[:i], vs[i+1:]...)
+			st.objs[object] = append(vs[:i], vs[i+1:]...)
 			return true
 		}
 	}
@@ -202,8 +287,8 @@ func (m *MVStore) Delete(object string, ts clock.Timestamp) bool {
 // SetVTNC advances the visible transaction number counter.  The VTNC
 // never moves backwards; attempts to lower it are ignored.
 func (m *MVStore) SetVTNC(ts clock.Timestamp) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.vtncMu.Lock()
+	defer m.vtncMu.Unlock()
 	if m.vtnc.Less(ts) {
 		m.vtnc = ts
 	}
@@ -211,8 +296,8 @@ func (m *MVStore) SetVTNC(ts clock.Timestamp) {
 
 // VTNC returns the current visible transaction number counter.
 func (m *MVStore) VTNC() clock.Timestamp {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.vtncMu.RLock()
+	defer m.vtncMu.RUnlock()
 	return m.vtnc
 }
 
@@ -220,39 +305,45 @@ func (m *MVStore) VTNC() clock.Timestamp {
 // false if the object has no such version.  Reads through ReadVisible are
 // serializable (§3.3: the VTNC "produces SR queries").
 func (m *MVStore) ReadVisible(object string) (Version, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return latestAtOrBelow(m.objs[object], m.vtnc)
+	vtnc := m.VTNC()
+	st := m.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return latestAtOrBelow(st.objs[object], vtnc)
 }
 
 // ReadAt returns the newest version at or below the given timestamp.
 func (m *MVStore) ReadAt(object string, ts clock.Timestamp) (Version, bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return latestAtOrBelow(m.objs[object], ts)
+	st := m.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return latestAtOrBelow(st.objs[object], ts)
 }
 
 // ReadLatest returns the newest version of the object regardless of the
 // VTNC, along with beyond=true when that version is newer than the VTNC —
 // i.e. when reading it would cost the query one unit of inconsistency.
 func (m *MVStore) ReadLatest(object string) (v Version, beyond, ok bool) {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	vs := m.objs[object]
+	vtnc := m.VTNC()
+	st := m.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	vs := st.objs[object]
 	if len(vs) == 0 {
 		return Version{}, false, false
 	}
 	v = vs[len(vs)-1]
 	v.Val = v.Val.Clone()
-	return v, m.vtnc.Less(v.TS), true
+	return v, vtnc.Less(v.TS), true
 }
 
 // Versions returns a copy of the object's full version chain, oldest
 // first.
 func (m *MVStore) Versions(object string) []Version {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	vs := m.objs[object]
+	st := m.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	vs := st.objs[object]
 	out := make([]Version, len(vs))
 	for i, v := range vs {
 		out[i] = Version{TS: v.TS, Val: v.Val.Clone()}
@@ -263,12 +354,14 @@ func (m *MVStore) Versions(object string) []Version {
 // Objects returns the names of all objects with at least one version, in
 // sorted order.
 func (m *MVStore) Objects() []string {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	out := make([]string, 0, len(m.objs))
-	for k := range m.objs {
-		out = append(out, k)
-	}
+	var out []string
+	m.forEachStripe(func(st *mvStripe) {
+		st.mu.RLock()
+		for k := range st.objs {
+			out = append(out, k)
+		}
+		st.mu.RUnlock()
+	})
 	sort.Strings(out)
 	return out
 }
@@ -278,24 +371,26 @@ func (m *MVStore) Objects() []string {
 // kept because it remains readable.  It returns the number of versions
 // collected.
 func (m *MVStore) GC(horizon clock.Timestamp) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	var n int
-	for obj, vs := range m.objs {
-		// Index of newest version ≤ horizon.
-		keep := -1
-		for i, v := range vs {
-			if !horizon.Less(v.TS) {
-				keep = i
-			} else {
-				break
+	m.forEachStripe(func(st *mvStripe) {
+		st.mu.Lock()
+		for obj, vs := range st.objs {
+			// Index of newest version ≤ horizon.
+			keep := -1
+			for i, v := range vs {
+				if !horizon.Less(v.TS) {
+					keep = i
+				} else {
+					break
+				}
+			}
+			if keep > 0 {
+				n += keep
+				st.objs[obj] = append([]Version(nil), vs[keep:]...)
 			}
 		}
-		if keep > 0 {
-			n += keep
-			m.objs[obj] = append([]Version(nil), vs[keep:]...)
-		}
-	}
+		st.mu.Unlock()
+	})
 	return n
 }
 

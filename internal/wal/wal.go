@@ -146,6 +146,11 @@ func (w *WAL) Append(m et.MSet) error {
 	return w.AppendBatch([]et.MSet{m})
 }
 
+// encBufPool recycles the encode buffers AppendBatch burns through.
+// Staging copies the encoded bytes (w.stage = append(...)), so a buffer
+// never outlives its AppendBatch call and reuse is safe.
+var encBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // AppendBatch durably records a batch of applied MSets with a single
 // write and a single fsync.  Concurrent callers coalesce further: all
 // batches staged while one flush is in flight share the next fsync.
@@ -153,10 +158,16 @@ func (w *WAL) AppendBatch(ms []et.MSet) error {
 	if len(ms) == 0 {
 		return nil
 	}
-	var buf bytes.Buffer
+	buf := encBufPool.Get().(*bytes.Buffer)
+	body := encBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		encBufPool.Put(buf)
+		encBufPool.Put(body)
+	}()
 	for _, m := range ms {
-		var body bytes.Buffer
-		if err := gob.NewEncoder(&body).Encode(m); err != nil {
+		body.Reset()
+		if err := gob.NewEncoder(body).Encode(m); err != nil {
 			return fmt.Errorf("wal: encode: %w", err)
 		}
 		var lenBuf [4]byte
