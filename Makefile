@@ -12,7 +12,7 @@ GO ?= go
 # and the metrics registry every one of them writes concurrently.
 RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/...
 
-.PHONY: all build test race vet esrvet check bench bench-apply fuzz clean
+.PHONY: all build test race vet esrvet check bench bench-apply bench-net node smoke-node fuzz clean
 
 all: build
 
@@ -59,6 +59,22 @@ bench:
 
 bench-apply:
 	$(GO) run ./cmd/esrbench -exp E17 $(if $(BENCH_FULL),-full) -out $(APPLY_OUT) -minspeedup $(MIN_SPEEDUP) -maxslowdown $(MAX_SLOWDOWN)
+
+# Multi-process deployment: `make node` builds the per-site server
+# binary; `make smoke-node` runs a 3-process cluster per method over
+# loopback TCP and requires byte-identical store dumps (RACE=1 builds
+# the nodes with the race detector, which is how CI runs it).
+node:
+	$(GO) build -o esrnode ./cmd/esrnode
+
+smoke-node:
+	bash scripts/smoke_node.sh
+
+# E18 — in-memory simulator vs loopback TCP: transport throughput and
+# propagation lag (BENCH_net.json).
+NET_OUT ?= BENCH_net.json
+bench-net:
+	$(GO) run ./cmd/esrbench -exp E18 $(if $(BENCH_FULL),-full) -out $(NET_OUT)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

@@ -14,6 +14,7 @@
 //	esrbench -exp E15 -out BENCH_pipeline.json
 //	esrbench -exp E16 -out BENCH_observe.json -maxoverhead 10
 //	esrbench -exp E17 -out BENCH_apply.json -minspeedup 1.5 -maxslowdown 5
+//	esrbench -exp E18 -out BENCH_net.json
 //
 // -maxoverhead fails the run when E16's cross-method mean overhead
 // (instrumented vs nil registry) exceeds the given percentage — the CI
@@ -48,7 +49,7 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15, E16 or E17: also write the baseline JSON to this file")
+		out    = flag.String("out", "", "with -exp E15, E16, E17 or E18: also write the baseline JSON to this file")
 		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16: fail when mean instrumentation overhead exceeds this percentage (0 disables)")
 		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS) (0 disables)")
 		maxSlw = flag.Float64("maxslowdown", 0, "with -exp E17: fail when the conflicting workload's mean at the largest worker count is more than this percentage slower than serial (0 disables)")
@@ -59,8 +60,8 @@ func main() {
 	maxOverhead = *maxOvh
 	minSpeedup = *minSpd
 	maxSlowdown = *maxSlw
-	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" {
-		fatal(fmt.Errorf("-out records the E15, E16 or E17 baseline; use it with -exp E15, E16 or E17"))
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" {
+		fatal(fmt.Errorf("-out records the E15, E16, E17 or E18 baseline; use it with that -exp"))
 	}
 	if maxOverhead > 0 && *exp != "E16" {
 		fatal(fmt.Errorf("-maxoverhead gates the E16 overhead; use it with -exp E16"))
@@ -136,6 +137,11 @@ func run(ex sim.Experiment, quick bool) error {
 	if ex.ID == "E17" && (baselineOut != "" || minSpeedup > 0 || maxSlowdown > 0) {
 		if err := applyGate(baselineOut, quick, minSpeedup, maxSlowdown); err != nil {
 			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+	}
+	if ex.ID == "E18" && baselineOut != "" {
+		if err := writeNetBaseline(baselineOut, quick); err != nil {
+			return fmt.Errorf("%s: baseline: %w", ex.ID, err)
 		}
 	}
 	return nil
@@ -299,6 +305,58 @@ func applyGate(path string, quick bool, minSpd, maxSlw float64) error {
 				maxWorkers, slowdown, maxSlw)
 		}
 	}
+	return nil
+}
+
+// netBaseline is the BENCH_net.json schema: the raw transport ×
+// pattern sweep plus the ratio the batched pipeline is expected to
+// recover — loopback-TCP batch throughput over loopback-TCP single-send
+// throughput.
+type netBaseline struct {
+	Experiment string       `json:"experiment"`
+	Full       bool         `json:"full"`
+	Rows       []sim.E18Row `json:"rows"`
+	// TCPBatchSpeedupX is TCP batched msgs/sec over TCP single-send
+	// msgs/sec: how much of the serialization + syscall cost the
+	// SendBatch framing amortizes away.
+	TCPBatchSpeedupX float64 `json:"tcp_batch_speedup_x"`
+	// SimOverTCPBatchX is simulator batched throughput over TCP batched
+	// throughput: the remaining in-memory vs loopback-socket gap in the
+	// regime the asynchronous methods actually run in.
+	SimOverTCPBatchX float64 `json:"sim_over_tcp_batch_x"`
+}
+
+// writeNetBaseline re-measures the E18 transport sweep and records it
+// as JSON.
+func writeNetBaseline(path string, quick bool) error {
+	rows, err := sim.E18Sweep(quick)
+	if err != nil {
+		return err
+	}
+	b := netBaseline{Experiment: "E18", Full: !quick, Rows: rows}
+	rate := func(transport, pattern string) float64 {
+		for _, r := range rows {
+			if r.Transport == transport && r.Pattern == pattern {
+				return r.MsgsPerSec
+			}
+		}
+		return 0
+	}
+	if s := rate("tcp", "send"); s > 0 {
+		b.TCPBatchSpeedupX = rate("tcp", "batch") / s
+	}
+	if s := rate("tcp", "batch"); s > 0 {
+		b.SimOverTCPBatchX = rate("sim", "batch") / s
+	}
+	enc, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "esrbench: wrote %s (TCP batch vs send: %.1fx; sim vs TCP batched: %.1fx)\n",
+		path, b.TCPBatchSpeedupX, b.SimOverTCPBatchX)
 	return nil
 }
 

@@ -85,8 +85,21 @@ type Engine interface {
 type Config struct {
 	// Sites is the number of replica sites (IDs 1..Sites).
 	Sites int
-	// Net configures the simulated network.
+	// Net configures the simulated network (ignored when Transport is
+	// set).
 	Net network.Config
+	// Transport, when non-nil, replaces the default simulator — e.g. a
+	// network.TCP instance in a multi-process deployment.  The caller
+	// keeps ownership and closes it after the cluster; when nil, the
+	// cluster builds a simulator from Net and closes it itself.
+	Transport network.Transport
+	// LocalSites, when non-empty, restricts this cluster instance to
+	// hosting the listed sites: only their stores, queues, handlers and
+	// outbound links exist in this process, and everything else is
+	// reached through Transport.  The virtual order server rides with
+	// site 1 (its handler registers only where site 1 is local).  Empty
+	// means all Sites are local — the single-process default.
+	LocalSites []clock.SiteID
 	// Dir, when non-empty, makes every stable queue journal-backed under
 	// this directory; empty means in-memory queues.
 	Dir string
@@ -137,9 +150,11 @@ type link struct {
 
 // Cluster is the replicated-system chassis.
 type Cluster struct {
-	cfg  Config
-	Net  *network.Transport
-	Seq  *clock.Sequencer
+	cfg    Config
+	Net    network.Transport
+	ownNet bool // Net was built here (no Config.Transport); Close closes it
+	local  map[clock.SiteID]bool
+	Seq    *clock.Sequencer
 	Hist *history.Log
 	// Trace is the cluster's event ring (nil when tracing is disabled;
 	// nil rings discard records, so emit sites need no checks).
@@ -197,9 +212,28 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DeliveryWindow < 0 {
 		cfg.DeliveryWindow = 1
 	}
+	tn := cfg.Transport
+	ownNet := false
+	if tn == nil {
+		var err error
+		tn, err = network.New(cfg.Net)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ownNet = true
+	}
+	local := make(map[clock.SiteID]bool, len(cfg.LocalSites))
+	for _, s := range cfg.LocalSites {
+		if s < 1 || int(s) > cfg.Sites {
+			return nil, fmt.Errorf("core: local site %v outside 1..%d", s, cfg.Sites)
+		}
+		local[s] = true
+	}
 	c := &Cluster{
 		cfg:        cfg,
-		Net:        network.New(cfg.Net),
+		Net:        tn,
+		ownNet:     ownNet,
+		local:      local,
 		Seq:        &clock.Sequencer{},
 		Hist:       &history.Log{},
 		sites:      make(map[clock.SiteID]*replica.Site),
@@ -222,6 +256,11 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	for i := 1; i <= cfg.Sites; i++ {
 		id := clock.SiteID(i)
+		c.etCounter[id] = &atomic.Uint64{}
+		c.msgCounter[id] = &atomic.Uint64{}
+		if !c.IsLocal(id) {
+			continue
+		}
 		in, err := c.newQueue(fmt.Sprintf("in-%d", i))
 		if err != nil {
 			return nil, err
@@ -236,14 +275,15 @@ func New(cfg Config) (*Cluster, error) {
 		c.configureSite(site)
 		c.sites[id] = site
 		c.inQ[id] = in
-		c.etCounter[id] = &atomic.Uint64{}
-		c.msgCounter[id] = &atomic.Uint64{}
 	}
 	// Outbound links: one stable queue + delivery agent per (from, to)
-	// pair, to-site handler enqueues into the destination inbound queue.
+	// pair.  Origins are the local sites only; destinations are every
+	// site in the cluster, local or not — remote destinations are
+	// reached through the transport's peer addressing.
 	for from := range c.sites {
 		c.out[from] = make(map[clock.SiteID]*link)
-		for to := range c.sites {
+		for i := 1; i <= cfg.Sites; i++ {
+			to := clock.SiteID(i)
 			if to == from {
 				continue
 			}
@@ -288,7 +328,24 @@ func New(cfg Config) (*Cluster, error) {
 	// request payload carries an 8-byte little-endian count so a commit
 	// burst reserves its whole sequence range in one round trip; shorter
 	// payloads (the legacy "seq" request) reserve one number.  The reply
-	// is the first number of the reserved run.
+	// is the first number of the reserved run.  In a multi-process
+	// deployment the server rides with site 1: only the process hosting
+	// site 1 answers, and every other process routes SequencerSite to
+	// that node's address.
+	if c.IsLocal(1) {
+		c.registerSequencer()
+	}
+	return c, nil
+}
+
+// IsLocal reports whether the site is hosted by this cluster instance
+// (always true in the single-process default).
+func (c *Cluster) IsLocal(id clock.SiteID) bool {
+	return len(c.local) == 0 || c.local[id]
+}
+
+// registerSequencer installs the virtual order server's handler.
+func (c *Cluster) registerSequencer() {
 	c.Net.Register(SequencerSite, func(from clock.SiteID, payload []byte) ([]byte, error) {
 		count := uint64(1)
 		if len(payload) == 8 {
@@ -303,7 +360,6 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		return b[:], nil
 	})
-	return c, nil
 }
 
 // registerHandlers installs the site's single-message and batch-frame
@@ -668,6 +724,9 @@ func (c *Cluster) Close() error {
 			for _, l := range links {
 				l.q.Close()
 			}
+		}
+		if c.ownNet {
+			c.Net.Close()
 		}
 	})
 	return nil

@@ -10,7 +10,7 @@ import (
 )
 
 func TestSendBatchDeliversOneFrame(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	var mu sync.Mutex
 	var got [][]byte
 	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error {
@@ -44,7 +44,7 @@ func TestSendBatchDeliversOneFrame(t *testing.T) {
 }
 
 func TestSendBatchFallsBackToSingleHandler(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	var n int
 	tr.Register(2, func(from clock.SiteID, payload []byte) ([]byte, error) {
 		n++
@@ -62,7 +62,7 @@ func TestSendBatchFallsBackToSingleHandler(t *testing.T) {
 }
 
 func TestSendBatchWholeFramePartitioned(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error { return nil })
 	tr.Partition([]clock.SiteID{1}, []clock.SiteID{2})
 	err := tr.SendBatch(1, 2, [][]byte{[]byte("a"), []byte("b")})
@@ -79,7 +79,7 @@ func TestSendBatchWholeFramePartitioned(t *testing.T) {
 }
 
 func TestSendBatchLossDropsWholeFrame(t *testing.T) {
-	tr := New(Config{Seed: 7, LossRate: 1})
+	tr := mustSim(t, Config{Seed: 7, LossRate: 1})
 	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error {
 		t.Error("lost frame reached the handler")
 		return nil
@@ -93,7 +93,7 @@ func TestSendBatchLossDropsWholeFrame(t *testing.T) {
 }
 
 func TestSendBatchHandlerErrorFailsFrame(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	boom := errors.New("apply failed")
 	tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error { return boom })
 	if err := tr.SendBatch(1, 2, [][]byte{[]byte("a")}); !errors.Is(err, boom) {
@@ -105,7 +105,7 @@ func TestSendBatchHandlerErrorFailsFrame(t *testing.T) {
 }
 
 func TestSendBatchUnknownSite(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	if err := tr.SendBatch(1, 9, [][]byte{[]byte("a")}); !errors.Is(err, ErrUnknownSite) {
 		t.Fatalf("want ErrUnknownSite, got %v", err)
 	}
@@ -118,7 +118,7 @@ func TestSendBatchUnknownSite(t *testing.T) {
 func BenchmarkSendBatch(b *testing.B) {
 	for _, size := range []int{1, 8, 32} {
 		b.Run(fmt.Sprintf("frame%d", size), func(b *testing.B) {
-			tr := New(Config{Seed: 1})
+			tr := mustSim(b, Config{Seed: 1})
 			tr.RegisterBatch(2, func(from clock.SiteID, payloads [][]byte) error { return nil })
 			frame := make([][]byte, size)
 			for i := range frame {

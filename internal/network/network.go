@@ -1,41 +1,67 @@
-// Package network simulates the asynchronous, unreliable message transport
-// underneath replica control.
+// Package network is the message transport underneath replica control.
 //
 // The paper's model (§2.2) is "a number of sites connected by a network,
 // where both individual sites and network links may fail" and the methods
 // must be "robust in face of very slow links, network partitions, and site
-// failures".  The real multi-site network is replaced — per the
-// reproduction's substitution rule — by an in-process transport with
-// seeded, configurable per-message latency, transient message loss, and
-// explicit network partitions.  Message loss and partitions surface as
-// Send/Call errors, which the stable-queue delivery agents mask by
-// retrying, exactly as the paper prescribes.
+// failures".  The package defines the Transport interface the rest of the
+// system (core, the replica chassis, the experiment harness and the esr
+// facade) depends on, plus two implementations:
+//
+//   - Sim, the in-process simulator with seeded, configurable per-message
+//     latency, transient message loss, and explicit network partitions —
+//     the deterministic default every experiment runs on; and
+//   - TCP, a real transport on the standard library's net package with
+//     length-prefixed versioned frames and per-peer connection pools, so
+//     a cluster of cmd/esrnode processes spans machine boundaries.
+//
+// Message loss, partitions and connection failures surface as Send/Call
+// errors, which the stable-queue delivery agents mask by retrying,
+// exactly as the paper prescribes.  Delivery is therefore at-least-once:
+// receivers own deduplication (the replica layer's seen-set), never the
+// transport.
 package network
 
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sync"
 	"time"
 
 	"esr/internal/clock"
 	"esr/internal/metrics"
 )
 
-// Errors returned by Send and Call.  Both are transient: the caller is
-// expected to retry (stable-queue semantics).
+// Errors returned by Send, Call and SendBatch.  All are transient: the
+// caller is expected to retry (stable-queue semantics).  The TCP
+// transport maps these across the wire, so errors.Is works identically
+// against both implementations.
 var (
 	// ErrPartitioned reports that the source and destination are in
 	// different partitions.
 	ErrPartitioned = errors.New("network: sites partitioned")
 	// ErrLost reports that the message was dropped en route.
 	ErrLost = errors.New("network: message lost")
-	// ErrUnknownSite reports a destination with no registered handler.
+	// ErrUnknownSite reports a destination with no registered handler
+	// and no known peer address.
 	ErrUnknownSite = errors.New("network: unknown site")
 	// ErrSiteDown reports that the destination site is crashed.
 	ErrSiteDown = errors.New("network: site down")
+	// ErrClosed reports an operation on a closed transport.
+	ErrClosed = errors.New("network: transport closed")
+	// ErrUnreachable reports that the peer's connection is down and a
+	// reconnect attempt is pending (dial backoff).  Retry later.
+	ErrUnreachable = errors.New("network: peer unreachable")
 )
+
+// RemoteError is a destination-side failure relayed back over a real
+// transport: the remote handler (or the remote transport's dispatch)
+// rejected the message.  The sender retries exactly as it would for a
+// local handler error.
+type RemoteError struct {
+	// Msg is the remote error text.
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "network: remote: " + e.Msg }
 
 // Handler processes an incoming message at a site and returns a response
 // payload (may be nil for one-way messages) or an error, which is
@@ -47,7 +73,65 @@ type Handler func(from clock.SiteID, payload []byte) ([]byte, error)
 // it, and receiver-side dedup absorbs the duplicates (at-least-once).
 type BatchHandler func(from clock.SiteID, payloads [][]byte) error
 
-// Config parameterizes a Transport.
+// Transport connects a set of sites.  Implementations are safe for
+// concurrent use.
+//
+// The contract every implementation (and the conformance suite in
+// conformance_test.go) holds to:
+//
+//   - Send returns nil only after the destination handler ran and
+//     succeeded — the implicit acknowledgement.  Any error means the
+//     message may or may not have been delivered and must be retried;
+//     the receiver's dedup absorbs repeats (at-least-once).
+//   - SendBatch is all-or-nothing per frame: one transit covers the
+//     whole batch, an error retries the whole batch.  When the
+//     destination has no batch handler the frame falls back to its
+//     per-message handler, still as one transit.
+//   - Call is a synchronous round trip returning the handler's response.
+//   - Partition/Heal/Crash/Restart are fault-injection hooks.  The
+//     simulator applies them to the whole (in-process) network; a
+//     distributed transport applies them to this instance's local view,
+//     which is what tests and operators hold a handle to.
+type Transport interface {
+	// Send delivers a one-way message; nil means the destination handler
+	// ran and succeeded.
+	Send(from, to clock.SiteID, payload []byte) error
+	// Call performs a synchronous round trip and returns the handler's
+	// response payload.
+	Call(from, to clock.SiteID, payload []byte) ([]byte, error)
+	// SendBatch delivers a whole frame of messages in one transit,
+	// all-or-nothing.
+	SendBatch(from, to clock.SiteID, payloads [][]byte) error
+	// Register installs the message handler for a site hosted behind
+	// this transport.  Re-registering replaces the handler (crashed-site
+	// restart).
+	Register(site clock.SiteID, h Handler)
+	// RegisterBatch installs the frame handler for a site, used by
+	// SendBatch.
+	RegisterBatch(site clock.SiteID, h BatchHandler)
+	// SetMetrics installs instrumentation.  Call before concurrent use.
+	SetMetrics(m Metrics)
+	// Stats returns a snapshot of the cumulative transport statistics.
+	Stats() Stats
+	// Partition splits the sites into groups; messages between different
+	// groups fail with ErrPartitioned until Heal.
+	Partition(groups ...[]clock.SiteID)
+	// Heal removes all partitions.
+	Heal()
+	// Reachable reports whether a and b are in the same partition and
+	// both up, from this transport's point of view.
+	Reachable(a, b clock.SiteID) bool
+	// Crash marks a site as down; messages to and from it fail with
+	// ErrSiteDown until Restart.
+	Crash(site clock.SiteID)
+	// Restart marks a crashed site as up again.
+	Restart(site clock.SiteID)
+	// Close shuts the transport down; in-flight operations fail with
+	// ErrClosed.  Close is idempotent.
+	Close() error
+}
+
+// Config parameterizes the simulated transport (Sim).
 type Config struct {
 	// Seed seeds the deterministic random source used for latency and
 	// loss decisions.
@@ -60,34 +144,41 @@ type Config struct {
 	LossRate float64
 }
 
-// Stats counts transport activity.  All fields are cumulative.
+// Validate rejects configurations that would silently misbehave at send
+// time: inverted latency bounds, negative delays, and probabilities
+// outside [0,1].
+func (c Config) Validate() error {
+	if c.MinLatency < 0 || c.MaxLatency < 0 {
+		return fmt.Errorf("network: negative latency bound (min %v, max %v)", c.MinLatency, c.MaxLatency)
+	}
+	if c.MaxLatency < c.MinLatency {
+		return fmt.Errorf("network: MinLatency %v exceeds MaxLatency %v", c.MinLatency, c.MaxLatency)
+	}
+	if c.LossRate < 0 || c.LossRate > 1 {
+		return fmt.Errorf("network: LossRate %v outside [0,1]", c.LossRate)
+	}
+	return nil
+}
+
+// Stats counts transport activity.  All fields are cumulative.  On a
+// distributed transport each instance counts its own view: Sent on the
+// sender, Delivered/Bytes/Frames on the receiver (an in-process local
+// delivery counts both sides at once).
 type Stats struct {
-	Sent        uint64 // messages handed to Send/Call
+	Sent        uint64 // messages handed to Send/Call/SendBatch
 	Delivered   uint64 // messages that reached a handler
 	Lost        uint64 // messages dropped by the loss model
 	Partitioned uint64 // messages rejected because of a partition
 	Bytes       uint64 // payload bytes delivered
 	Frames      uint64 // batch frames delivered (one per SendBatch success)
+	Dials       uint64 // connection (re)establishments (TCP only)
 }
 
-// Transport connects a set of sites.  It is safe for concurrent use.
-type Transport struct {
-	cfg Config
-
-	mu            sync.Mutex
-	rng           *rand.Rand
-	handlers      map[clock.SiteID]Handler
-	batchHandlers map[clock.SiteID]BatchHandler
-	partition     map[clock.SiteID]int // partition group; absent means group 0
-	down          map[clock.SiteID]bool
-	stats         Stats
-	met           Metrics
-}
-
-// Metrics instruments the transport alongside Stats.  All fields
-// optional (nil fields are no-ops).  The latency histogram observes the
-// sampled (injected) link delay, never the wall clock, so simulation
-// determinism (the A4 rule) is preserved.
+// Metrics instruments a transport alongside Stats.  All fields optional
+// (nil fields are no-ops).  On the simulator the latency histogram
+// observes the sampled (injected) link delay, never the wall clock, so
+// simulation determinism (the A4 rule) is preserved; on the TCP
+// transport it observes the measured round-trip time.
 type Metrics struct {
 	// Sent counts messages handed to Send/Call/SendBatch.
 	Sent *metrics.Counter
@@ -101,264 +192,7 @@ type Metrics struct {
 	Bytes *metrics.Counter
 	// Frames counts batch frames delivered (one per SendBatch success).
 	Frames *metrics.Counter
-	// LatencySeconds observes the sampled one-way link delay in
-	// nanoseconds, one observation per transit (frame or message),
-	// whatever its outcome.
+	// LatencySeconds observes the per-transit delay in nanoseconds, one
+	// observation per transit (frame or message), whatever its outcome.
 	LatencySeconds *metrics.Histogram
-}
-
-// SetMetrics installs instrumentation.  Call before concurrent use.
-func (t *Transport) SetMetrics(m Metrics) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.met = m
-}
-
-// New returns a Transport with the given configuration.
-func New(cfg Config) *Transport {
-	if cfg.MaxLatency < cfg.MinLatency {
-		cfg.MaxLatency = cfg.MinLatency
-	}
-	return &Transport{
-		cfg:           cfg,
-		rng:           rand.New(rand.NewSource(cfg.Seed)),
-		handlers:      make(map[clock.SiteID]Handler),
-		batchHandlers: make(map[clock.SiteID]BatchHandler),
-		partition:     make(map[clock.SiteID]int),
-		down:          make(map[clock.SiteID]bool),
-	}
-}
-
-// Register installs the message handler for a site.  Re-registering
-// replaces the handler (used when a crashed site restarts).
-func (t *Transport) Register(site clock.SiteID, h Handler) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.handlers[site] = h
-}
-
-// RegisterBatch installs the frame handler for a site, used by SendBatch.
-// Re-registering replaces the handler (used when a crashed site restarts).
-func (t *Transport) RegisterBatch(site clock.SiteID, h BatchHandler) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.batchHandlers[site] = h
-}
-
-// Partition splits the sites into the given groups.  Sites not mentioned
-// land in group 0 alongside the first group.  Messages between different
-// groups fail with ErrPartitioned until Heal is called.
-func (t *Transport) Partition(groups ...[]clock.SiteID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.partition = make(map[clock.SiteID]int)
-	for g, sites := range groups {
-		for _, s := range sites {
-			t.partition[s] = g
-		}
-	}
-}
-
-// Heal removes all partitions.
-func (t *Transport) Heal() {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.partition = make(map[clock.SiteID]int)
-}
-
-// Reachable reports whether a and b are currently in the same partition
-// and both up.
-func (t *Transport) Reachable(a, b clock.SiteID) bool {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.partition[a] == t.partition[b] && !t.down[a] && !t.down[b]
-}
-
-// Crash marks a site as down.  Messages to it fail with ErrSiteDown until
-// Restart.  (Local site state is owned by the replica layer; Crash only
-// models the network-visible effect.)
-func (t *Transport) Crash(site clock.SiteID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.down[site] = true
-}
-
-// Restart marks a crashed site as up again.
-func (t *Transport) Restart(site clock.SiteID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.down, site)
-}
-
-// Stats returns a snapshot of the cumulative transport statistics.
-func (t *Transport) Stats() Stats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
-}
-
-// Send delivers a one-way message from one site to another, blocking for
-// the sampled link latency.  A nil error means the destination handler ran
-// and succeeded (the implicit acknowledgement); any error means the
-// message must be retried by the caller.
-func (t *Transport) Send(from, to clock.SiteID, payload []byte) error {
-	_, err := t.deliver(from, to, payload, 1)
-	return err
-}
-
-// Call performs a synchronous round trip: request latency, handler,
-// response latency.  It returns the handler's response payload.  The
-// synchronous coherency-control baselines (2PC, quorum voting) are built
-// on Call; the asynchronous replica-control methods use Send via stable
-// queues.
-func (t *Transport) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
-	return t.deliver(from, to, payload, 2)
-}
-
-// SendBatch delivers a whole frame of messages in one network transit:
-// one latency sample, one loss decision, and one partition check cover
-// the entire batch, which is what makes batched propagation cheap on
-// slow links.  The frame is all-or-nothing — on any error the caller
-// retries the whole batch and dedup at the receiver absorbs repeats.
-// Falls back to the site's per-message handler if no batch handler is
-// registered (still a single simulated transit).
-func (t *Transport) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
-	if len(payloads) == 0 {
-		return nil
-	}
-	n := uint64(len(payloads))
-	t.mu.Lock()
-	t.stats.Sent += n
-	t.met.Sent.Add(n)
-	bh, bok := t.batchHandlers[to]
-	h, ok := t.handlers[to]
-	lat := t.sampleLatencyLocked()
-	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
-	partitioned := t.partition[from] != t.partition[to]
-	isDown := t.down[to] || t.down[from]
-	t.mu.Unlock()
-	t.met.LatencySeconds.Observe(int64(lat))
-
-	if !bok && !ok {
-		return fmt.Errorf("%w: %v", ErrUnknownSite, to)
-	}
-	if partitioned {
-		t.count(func(s *Stats) { s.Partitioned += n })
-		t.met.Partitioned.Add(n)
-		return ErrPartitioned
-	}
-	if isDown {
-		return ErrSiteDown
-	}
-	if lat > 0 {
-		time.Sleep(lat)
-	}
-	if lost {
-		t.count(func(s *Stats) { s.Lost += n })
-		t.met.Lost.Add(n)
-		return ErrLost
-	}
-	t.mu.Lock()
-	stillOK := t.partition[from] == t.partition[to] && !t.down[to]
-	t.mu.Unlock()
-	if !stillOK {
-		t.count(func(s *Stats) { s.Partitioned += n })
-		t.met.Partitioned.Add(n)
-		return ErrPartitioned
-	}
-	var bytes uint64
-	for _, p := range payloads {
-		bytes += uint64(len(p))
-	}
-	if bok {
-		if err := bh(from, payloads); err != nil {
-			return err
-		}
-	} else {
-		for _, p := range payloads {
-			if _, err := h(from, p); err != nil {
-				return err
-			}
-		}
-	}
-	t.count(func(s *Stats) {
-		s.Delivered += n
-		s.Bytes += bytes
-		s.Frames++
-	})
-	t.met.Delivered.Add(n)
-	t.met.Bytes.Add(bytes)
-	t.met.Frames.Inc()
-	return nil
-}
-
-func (t *Transport) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, error) {
-	t.mu.Lock()
-	t.stats.Sent++
-	t.met.Sent.Inc()
-	h, ok := t.handlers[to]
-	lat := t.sampleLatencyLocked() * time.Duration(legs)
-	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
-	partitioned := t.partition[from] != t.partition[to]
-	isDown := t.down[to] || t.down[from]
-	t.mu.Unlock()
-	t.met.LatencySeconds.Observe(int64(lat))
-
-	if !ok {
-		return nil, fmt.Errorf("%w: %v", ErrUnknownSite, to)
-	}
-	if partitioned {
-		t.count(func(s *Stats) { s.Partitioned++ })
-		t.met.Partitioned.Inc()
-		return nil, ErrPartitioned
-	}
-	if isDown {
-		return nil, ErrSiteDown
-	}
-	if lat > 0 {
-		time.Sleep(lat)
-	}
-	if lost {
-		t.count(func(s *Stats) { s.Lost++ })
-		t.met.Lost.Inc()
-		return nil, ErrLost
-	}
-	// Re-check the partition after the transit delay: a partition that
-	// formed while the message was in flight kills it.
-	t.mu.Lock()
-	stillOK := t.partition[from] == t.partition[to] && !t.down[to]
-	t.mu.Unlock()
-	if !stillOK {
-		t.count(func(s *Stats) { s.Partitioned++ })
-		t.met.Partitioned.Inc()
-		return nil, ErrPartitioned
-	}
-	resp, err := h(from, payload)
-	if err != nil {
-		return nil, err
-	}
-	t.count(func(s *Stats) {
-		s.Delivered++
-		s.Bytes += uint64(len(payload))
-	})
-	t.met.Delivered.Inc()
-	t.met.Bytes.Add(uint64(len(payload)))
-	return resp, nil
-}
-
-func (t *Transport) count(f func(*Stats)) {
-	t.mu.Lock()
-	f(&t.stats)
-	t.mu.Unlock()
-}
-
-func (t *Transport) sampleLatencyLocked() time.Duration {
-	if t.cfg.MaxLatency == 0 {
-		return 0
-	}
-	if t.cfg.MaxLatency == t.cfg.MinLatency {
-		return t.cfg.MinLatency
-	}
-	span := int64(t.cfg.MaxLatency - t.cfg.MinLatency)
-	return t.cfg.MinLatency + time.Duration(t.rng.Int63n(span))
 }

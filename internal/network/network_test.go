@@ -10,6 +10,16 @@ import (
 	"esr/internal/clock"
 )
 
+// mustSim builds a simulator transport or aborts the test.
+func mustSim(tb testing.TB, cfg Config) *Sim {
+	tb.Helper()
+	tr, err := New(cfg)
+	if err != nil {
+		tb.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return tr
+}
+
 func echoHandler(calls *atomic.Int64) Handler {
 	return func(from clock.SiteID, payload []byte) ([]byte, error) {
 		if calls != nil {
@@ -20,7 +30,7 @@ func echoHandler(calls *atomic.Int64) Handler {
 }
 
 func TestSendDelivers(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	var calls atomic.Int64
 	tr.Register(2, echoHandler(&calls))
 	if err := tr.Send(1, 2, []byte("hello")); err != nil {
@@ -36,7 +46,7 @@ func TestSendDelivers(t *testing.T) {
 }
 
 func TestCallRoundTrip(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	tr.Register(2, func(from clock.SiteID, p []byte) ([]byte, error) {
 		return append([]byte("re:"), p...), nil
 	})
@@ -50,14 +60,14 @@ func TestCallRoundTrip(t *testing.T) {
 }
 
 func TestUnknownSite(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	if err := tr.Send(1, 9, nil); !errors.Is(err, ErrUnknownSite) {
 		t.Errorf("Send to unknown site = %v, want ErrUnknownSite", err)
 	}
 }
 
 func TestPartitionBlocksAndHealRestores(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	var calls atomic.Int64
 	tr.Register(1, echoHandler(nil))
 	tr.Register(2, echoHandler(&calls))
@@ -84,7 +94,7 @@ func TestPartitionBlocksAndHealRestores(t *testing.T) {
 }
 
 func TestCrashAndRestart(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	tr.Register(2, echoHandler(nil))
 	tr.Crash(2)
 	if err := tr.Send(1, 2, nil); !errors.Is(err, ErrSiteDown) {
@@ -100,7 +110,7 @@ func TestCrashAndRestart(t *testing.T) {
 }
 
 func TestLossRateDropsSome(t *testing.T) {
-	tr := New(Config{Seed: 7, LossRate: 0.5})
+	tr := mustSim(t, Config{Seed: 7, LossRate: 0.5})
 	tr.Register(2, echoHandler(nil))
 	var lost, ok int
 	for i := 0; i < 200; i++ {
@@ -122,7 +132,7 @@ func TestLossRateDropsSome(t *testing.T) {
 }
 
 func TestLatencyApplied(t *testing.T) {
-	tr := New(Config{Seed: 1, MinLatency: 5 * time.Millisecond, MaxLatency: 5 * time.Millisecond})
+	tr := mustSim(t, Config{Seed: 1, MinLatency: 5 * time.Millisecond, MaxLatency: 5 * time.Millisecond})
 	tr.Register(2, echoHandler(nil))
 	start := time.Now()
 	if err := tr.Send(1, 2, nil); err != nil {
@@ -141,7 +151,7 @@ func TestLatencyApplied(t *testing.T) {
 }
 
 func TestHandlerErrorPropagates(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	errBoom := errors.New("boom")
 	tr.Register(2, func(clock.SiteID, []byte) ([]byte, error) { return nil, errBoom })
 	if err := tr.Send(1, 2, nil); !errors.Is(err, errBoom) {
@@ -154,7 +164,7 @@ func TestHandlerErrorPropagates(t *testing.T) {
 }
 
 func TestConcurrentSends(t *testing.T) {
-	tr := New(Config{Seed: 1, MinLatency: time.Microsecond, MaxLatency: 100 * time.Microsecond})
+	tr := mustSim(t, Config{Seed: 1, MinLatency: time.Microsecond, MaxLatency: 100 * time.Microsecond})
 	var calls atomic.Int64
 	for s := clock.SiteID(1); s <= 4; s++ {
 		tr.Register(s, echoHandler(&calls))
@@ -182,7 +192,7 @@ func TestConcurrentSends(t *testing.T) {
 
 func TestDeterministicLatencySampling(t *testing.T) {
 	sample := func() []time.Duration {
-		tr := New(Config{Seed: 99, MinLatency: time.Millisecond, MaxLatency: 10 * time.Millisecond})
+		tr := mustSim(t, Config{Seed: 99, MinLatency: time.Millisecond, MaxLatency: 10 * time.Millisecond})
 		var out []time.Duration
 		for i := 0; i < 20; i++ {
 			tr.mu.Lock()
@@ -203,7 +213,7 @@ func TestDeterministicLatencySampling(t *testing.T) {
 }
 
 func TestPartitionUnmentionedSitesStayInGroupZero(t *testing.T) {
-	tr := New(Config{Seed: 1})
+	tr := mustSim(t, Config{Seed: 1})
 	for s := clock.SiteID(1); s <= 3; s++ {
 		tr.Register(s, echoHandler(nil))
 	}

@@ -66,6 +66,13 @@ type Options struct {
 	// LockStripes overrides the per-site lock-table stripe count (0
 	// keeps the default; 1 restores a single global lock table).
 	LockStripes int
+	// Transport replaces the default simulated network (e.g. a
+	// network.TCP in a cmd/esrnode process).  The caller owns and
+	// closes it; nil builds a simulator from the net Config.
+	Transport network.Transport
+	// LocalSites restricts the cluster instance to hosting the listed
+	// sites (multi-process deployment).  Empty hosts all sites.
+	LocalSites []clock.SiteID
 }
 
 // BurstUpdater is implemented by engines that can submit a commit burst
@@ -81,7 +88,8 @@ func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (cor
 	cc := core.Config{Sites: sites, Net: net, Dir: opt.QueueDir, Trace: opt.Trace,
 		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow,
 		Metrics: opt.Metrics, Method: string(kind),
-		ApplyWorkers: opt.ApplyWorkers, LockStripes: opt.LockStripes}
+		ApplyWorkers: opt.ApplyWorkers, LockStripes: opt.LockStripes,
+		Transport: opt.Transport, LocalSites: opt.LocalSites}
 	switch kind {
 	case ORDUPSeq:
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})

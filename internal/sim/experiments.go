@@ -110,6 +110,9 @@ func Experiments() []Experiment {
 		{ID: "E17", Title: "Parallel apply: speedup vs workers, commuting vs conflicting workloads",
 			Claim: "§3.2: updates that commute need no mutual ordering — a replica may apply them concurrently; non-commuting updates keep their serial order at no added cost",
 			Run:   runE17},
+		{ID: "E18", Title: "Transport throughput: in-memory simulator vs loopback TCP",
+			Claim: "§2.2: asynchronous propagation tolerates very slow links because MSets travel in batched frames through stable queues — so a real socket transport must keep batched throughput within the same regime as the in-process simulator",
+			Run:   runE18},
 	}
 }
 
@@ -1505,6 +1508,211 @@ func runE17(quick bool) (*tabular.Table, error) {
 		t.AddRowf(r.Method, r.Workload, r.Workers, r.Updates,
 			fmt.Sprintf("%.0f", r.UpdatesPerSec),
 			fmt.Sprintf("%.2fx", r.SpeedupVs1))
+	}
+	return t, nil
+}
+
+// --- E18 ---
+
+// E18Transports are the transport implementations E18 compares: the
+// deterministic in-process simulator every experiment runs on, and the
+// real TCP transport over loopback sockets.
+var E18Transports = []string{"sim", "tcp"}
+
+// E18Patterns are the traffic shapes E18 drives through each transport:
+// single at-least-once messages from concurrent senders (the retry
+// agents' shape), whole SendBatch frames (the group-commit pipeline's
+// shape), and synchronous round trips (the sequencer's and the
+// coherency baselines' shape).
+var E18Patterns = []string{"send", "batch", "call"}
+
+// E18Row is one transport × pattern measurement, exported so
+// cmd/esrbench can record the BENCH_net.json baseline.
+type E18Row struct {
+	Transport string `json:"transport"`
+	Pattern   string `json:"pattern"`
+	// Messages is the number of payloads delivered.
+	Messages int `json:"messages"`
+	// Frames is the number of network transits that carried them.
+	Frames int `json:"frames"`
+	// MsgsPerSec is delivered messages per wall-clock second.
+	MsgsPerSec float64 `json:"msgs_per_sec"`
+	// MBPerSec is delivered payload megabytes per second.
+	MBPerSec float64 `json:"mb_per_sec"`
+	// MeanLatencyMicros is the mean per-transit latency in microseconds
+	// (round trip for "call", one-way implicit-ack for "send").
+	MeanLatencyMicros float64 `json:"mean_latency_micros"`
+}
+
+// e18Payload is the per-message payload size: the ballpark of an
+// encoded single-op MSet.
+const e18Payload = 256
+
+// e18BatchSize is the SendBatch frame size, matching the default
+// delivery window of the group-commit pipeline.
+const e18BatchSize = 32
+
+// e18Senders is the concurrency of the "send" pattern — enough to
+// exercise the TCP transport's write coalescing.
+const e18Senders = 8
+
+// E18Messages returns the per-pattern message count E18 runs at.
+func E18Messages(quick bool) int {
+	if quick {
+		return 4_000
+	}
+	return 40_000
+}
+
+// e18Mesh builds the named transport deployment for two sites and
+// returns the transport to send from, the transport to register site
+// 2's handler on, and a teardown.
+func e18Mesh(name string) (send, recv network.Transport, closeAll func(), err error) {
+	switch name {
+	case "sim":
+		tr, err := network.New(network.Config{Seed: 5})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return tr, tr, func() { tr.Close() }, nil
+	case "tcp":
+		a, err := network.NewTCP(network.TCPOptions{
+			Listen: "127.0.0.1:0", Local: []clock.SiteID{1}, Seed: 5})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		b, err := network.NewTCP(network.TCPOptions{
+			Listen: "127.0.0.1:0", Local: []clock.SiteID{2}, Seed: 6})
+		if err != nil {
+			a.Close()
+			return nil, nil, nil, err
+		}
+		a.AddPeer(2, b.Addr())
+		b.AddPeer(1, a.Addr())
+		return a, b, func() { a.Close(); b.Close() }, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("E18: unknown transport %q", name)
+	}
+}
+
+// e18Measure drives one transport × pattern cell and reports the row.
+func e18Measure(transport, pattern string, messages int) (E18Row, error) {
+	send, recv, closeAll, err := e18Mesh(transport)
+	if err != nil {
+		return E18Row{}, err
+	}
+	defer closeAll()
+	var delivered atomic.Int64
+	recv.Register(2, func(clock.SiteID, []byte) ([]byte, error) {
+		delivered.Add(1)
+		return nil, nil
+	})
+	recv.RegisterBatch(2, func(_ clock.SiteID, payloads [][]byte) error {
+		delivered.Add(int64(len(payloads)))
+		return nil
+	})
+	payload := make([]byte, e18Payload)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	row := E18Row{Transport: transport, Pattern: pattern}
+	sw := stopwatch.Start()
+	switch pattern {
+	case "send":
+		var wg sync.WaitGroup
+		errc := make(chan error, e18Senders)
+		per := messages / e18Senders
+		for g := 0; g < e18Senders; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := send.Send(1, 2, payload); err != nil {
+						errc <- err
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		if err := <-errc; err != nil {
+			return E18Row{}, fmt.Errorf("E18 %s send: %w", transport, err)
+		}
+		row.Messages = per * e18Senders
+		row.Frames = row.Messages
+	case "batch":
+		frame := make([][]byte, e18BatchSize)
+		for i := range frame {
+			frame[i] = payload
+		}
+		frames := messages / e18BatchSize
+		for i := 0; i < frames; i++ {
+			if err := send.SendBatch(1, 2, frame); err != nil {
+				return E18Row{}, fmt.Errorf("E18 %s batch: %w", transport, err)
+			}
+		}
+		row.Messages = frames * e18BatchSize
+		row.Frames = frames
+	case "call":
+		// Round trips are latency-bound; a fraction of the message
+		// budget keeps the cell's wall time comparable.
+		calls := messages / 4
+		for i := 0; i < calls; i++ {
+			if _, err := send.Call(1, 2, payload); err != nil {
+				return E18Row{}, fmt.Errorf("E18 %s call: %w", transport, err)
+			}
+		}
+		row.Messages = calls
+		row.Frames = calls
+	default:
+		return E18Row{}, fmt.Errorf("E18: unknown pattern %q", pattern)
+	}
+	elapsed := sw.Elapsed()
+	if got := int(delivered.Load()); got != row.Messages {
+		return E18Row{}, fmt.Errorf("E18 %s %s: delivered %d of %d", transport, pattern, got, row.Messages)
+	}
+	secs := elapsed.Seconds()
+	row.MsgsPerSec = float64(row.Messages) / secs
+	row.MBPerSec = float64(row.Messages) * e18Payload / 1e6 / secs
+	row.MeanLatencyMicros = elapsed.Seconds() * 1e6 / float64(row.Frames)
+	return row, nil
+}
+
+// E18Sweep measures every transport × pattern cell.
+func E18Sweep(quick bool) ([]E18Row, error) {
+	messages := E18Messages(quick)
+	rows := make([]E18Row, 0, len(E18Transports)*len(E18Patterns))
+	for _, tr := range E18Transports {
+		for _, pat := range E18Patterns {
+			row, err := e18Measure(tr, pat, messages)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runE18 compares the in-process simulator against the TCP transport on
+// loopback for each traffic shape.  The point is not that sockets are
+// slower — they are — but that batched frames recover most of the gap:
+// serialization and syscalls are paid once per frame, which is the
+// propagation regime the asynchronous methods actually run in.
+func runE18(quick bool) (*tabular.Table, error) {
+	rows, err := E18Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := tabular.New("E18: transport throughput — in-memory simulator vs loopback TCP",
+		"transport", "pattern", "messages", "frames", "msgs/sec", "MB/sec", "mean latency")
+	for _, r := range rows {
+		t.AddRowf(r.Transport, r.Pattern, r.Messages, r.Frames,
+			fmt.Sprintf("%.0f", r.MsgsPerSec),
+			fmt.Sprintf("%.1f", r.MBPerSec),
+			fmt.Sprintf("%.1fµs", r.MeanLatencyMicros))
 	}
 	return t, nil
 }
