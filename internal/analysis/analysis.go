@@ -34,10 +34,31 @@
 //	                       resolved through the stripe/forEachStripe
 //	                       accessors, so the hash-to-stripe mapping
 //	                       stays single-sourced.
+//	A8 lockheld          — no blocking operation (transport
+//	                       Send/Call/SendBatch, file Sync/fsync,
+//	                       unbuffered channel send/receive, time.Sleep)
+//	                       while a lock.Manager acquisition or stripe
+//	                       mutex may be held; interprocedural, so a
+//	                       lock held by a caller poisons its callees'
+//	                       blocking sites too.
+//	A9 atomicmix         — a field or package variable whose address is
+//	                       ever passed to sync/atomic must never be
+//	                       read or written plainly anywhere in the
+//	                       module (mixed access is a data race the race
+//	                       detector only catches when both sides run).
+//	A10 errdrop          — errors returned by WAL/queue/transport
+//	                       mutating calls (Append, Sync, Enqueue, Ack,
+//	                       Send, Call, ...) must be consumed, not
+//	                       discarded with _ or an ignored return.
 //
-// Analyzers are pure functions from a typed package to a list of
-// diagnostics.  A finding can be suppressed with a trailing comment
-// directive on the offending line (or the line above it):
+// Rules A1 and A8 are interprocedural: they run on the dataflow engine
+// in internal/analysis/flow (per-function CFGs, a static call graph,
+// and a worklist fixpoint over per-function lock summaries — see
+// lockflow.go).  The remaining rules are per-package (Analyzer.Run) or
+// whole-module (Analyzer.RunModule) AST/type walks.
+//
+// A finding can be suppressed with a trailing comment directive on the
+// offending line (or the line above it):
 //
 //	//esrvet:ignore A1 reason why this is safe
 package analysis
@@ -62,9 +83,11 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
 }
 
-// Analyzer is one esrvet rule.
+// Analyzer is one esrvet rule.  Exactly one of Run and RunModule is
+// set: Run analyzes one package at a time, RunModule sees the whole
+// load at once (for interprocedural and cross-package rules).
 type Analyzer struct {
-	// Rule is the stable rule ID ("A1".."A7").
+	// Rule is the stable rule ID ("A1".."A10").
 	Rule string
 	// Name is a short slug (used in -only filters).
 	Name string
@@ -72,6 +95,8 @@ type Analyzer struct {
 	Doc string
 	// Run analyzes one typed package.
 	Run func(p *Package) []Diagnostic
+	// RunModule analyzes the whole module.
+	RunModule func(m *Module) []Diagnostic
 }
 
 // All returns every analyzer in rule order.
@@ -84,17 +109,40 @@ func All() []*Analyzer {
 		GoroutineLeak,
 		MetricRegistration,
 		StripeAccess,
+		LockHeldBlocking,
+		AtomicMix,
+		ErrDrop,
 	}
 }
 
 // RunAll applies every analyzer to every package, filters findings
 // suppressed by //esrvet:ignore directives, and returns the remainder
-// sorted by position.
+// sorted by position.  Module-level analyzers run once over the whole
+// package set; suppression directives from every file apply to them
+// too.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	ignores := make(ignoreSet)
 	for _, p := range pkgs {
-		ignores := ignoreDirectives(p)
+		ignoreDirectivesInto(ignores, p)
+	}
+	mod := NewModule(pkgs)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, d := range a.RunModule(mod) {
+			if ignores.suppressed(d) {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	for _, p := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, d := range a.Run(p) {
 				if ignores.suppressed(d) {
 					continue
@@ -134,6 +182,13 @@ func (s ignoreSet) suppressed(d Diagnostic) bool {
 // offending statement or sit on the line above it.
 func ignoreDirectives(p *Package) ignoreSet {
 	set := make(ignoreSet)
+	ignoreDirectivesInto(set, p)
+	return set
+}
+
+// ignoreDirectivesInto accumulates one package's directives into an
+// existing set (keyed by filename, so packages never collide).
+func ignoreDirectivesInto(set ignoreSet, p *Package) {
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -166,7 +221,6 @@ func ignoreDirectives(p *Package) ignoreSet {
 			}
 		}
 	}
-	return set
 }
 
 // diag builds a Diagnostic at a node position.

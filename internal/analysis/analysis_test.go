@@ -30,7 +30,7 @@ func newTestLoader(t *testing.T) *Loader {
 	return l
 }
 
-var wantRe = regexp.MustCompile(`// want (A\d(?: A\d)*)$`)
+var wantRe = regexp.MustCompile(`// want (A\d+(?: A\d+)*)$`)
 
 // wantDiags extracts the `// want A<n> [A<n>...]` expectations from
 // every file of a fixture directory, keyed file:line.
@@ -88,6 +88,12 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{MetricRegistration, "metricreg_bad", "esrfixture/metricreg_bad"},
 		{StripeAccess, "stripeaccess_clean", "esrfixture/stripeaccess_clean"},
 		{StripeAccess, "stripeaccess_bad", "esrfixture/stripeaccess_bad"},
+		{LockHeldBlocking, "lockheldio_clean", "esrfixture/lockheldio_clean"},
+		{LockHeldBlocking, "lockheldio_bad", "esrfixture/lockheldio_bad"},
+		{AtomicMix, "atomicmix_clean", "esrfixture/atomicmix_clean"},
+		{AtomicMix, "atomicmix_bad", "esrfixture/atomicmix_bad"},
+		{ErrDrop, "errdrop_clean", "esrfixture/errdrop_clean"},
+		{ErrDrop, "errdrop_bad", "esrfixture/errdrop_bad"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Rule+"/"+tc.fixture, func(t *testing.T) {
@@ -140,6 +146,9 @@ func TestFixturePolarity(t *testing.T) {
 		"A5": {{GoroutineLeak, "goleak_clean", "esrfixture/internal/queue"}, {GoroutineLeak, "goleak_bad", "esrfixture/internal/queue"}},
 		"A6": {{MetricRegistration, "metricreg_clean", "esrfixture/a"}, {MetricRegistration, "metricreg_bad", "esrfixture/b"}},
 		"A7": {{StripeAccess, "stripeaccess_clean", "esrfixture/a"}, {StripeAccess, "stripeaccess_bad", "esrfixture/b"}},
+		"A8": {{LockHeldBlocking, "lockheldio_clean", "esrfixture/a"}, {LockHeldBlocking, "lockheldio_bad", "esrfixture/b"}},
+		"A9": {{AtomicMix, "atomicmix_clean", "esrfixture/a"}, {AtomicMix, "atomicmix_bad", "esrfixture/b"}},
+		"A10": {{ErrDrop, "errdrop_clean", "esrfixture/a"}, {ErrDrop, "errdrop_bad", "esrfixture/b"}},
 	}
 	for rule, pair := range polar {
 		clean, bad := pair[0], pair[1]

@@ -1,0 +1,152 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicMix is rule A9: a struct field or package-level variable whose
+// address is ever passed to a sync/atomic function must never be read
+// or written plainly anywhere in the module.  Mixed access is a data
+// race the runtime race detector only reports when both sides actually
+// execute in one run; the type information sees every access site
+// statically.
+//
+// The rule is module-wide in both passes: pass 1 collects the set of
+// variable objects (fields and globals; locals are exempt, they cannot
+// be shared without escaping through one of the former) used
+// atomically anywhere, pass 2 flags every plain use of those objects.
+// Taking the address (&x) for an atomic call and composite-literal
+// keys (pre-publication initialization) are not plain uses.  The typed
+// atomics (atomic.Uint64 and friends) make the rule moot — their
+// plain value is inaccessible — which is why the production packages
+// prefer them; this rule guards the raw-pointer style.
+var AtomicMix = &Analyzer{
+	Rule:      "A9",
+	Name:      "atomicmix",
+	Doc:       "fields accessed via sync/atomic must never be accessed plainly",
+	RunModule: runAtomicMix,
+}
+
+func runAtomicMix(m *Module) []Diagnostic {
+	// Pass 1: objects used atomically, and the identifiers naming them
+	// inside &x atomic arguments (excluded from pass 2).
+	atomicObjs := map[types.Object]bool{}
+	atomicIdents := map[*ast.Ident]bool{}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					var id *ast.Ident
+					switch t := ast.Unparen(un.X).(type) {
+					case *ast.Ident:
+						id = t
+					case *ast.SelectorExpr:
+						id = t.Sel
+					default:
+						continue
+					}
+					if obj := p.Info.Uses[id]; obj != nil && isSharedVar(obj) {
+						atomicObjs[obj] = true
+						atomicIdents[id] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return nil
+	}
+	// Pass 2: plain uses of those objects.  Identifier-driven, so a
+	// field reached through any selector chain is caught at its Sel.
+	var out []Diagnostic
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			keyIdents := compositeKeyIdents(f)
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !atomicObjs[obj] || atomicIdents[id] || keyIdents[id] {
+					return true
+				}
+				out = append(out, p.diag("A9", id,
+					"plain access to %s, which is accessed with sync/atomic elsewhere; use atomic loads/stores everywhere (or a typed atomic)", id.Name))
+				return true
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		return a.Pos.Line < b.Pos.Line
+	})
+	return out
+}
+
+// isAtomicCall reports whether the call targets one of sync/atomic's
+// free functions (atomic.AddInt64, atomic.LoadPointer, ...).  Methods
+// of the typed atomics encapsulate their value and need no rule.
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	sig, _ := obj.Type().(*types.Signature)
+	return sig != nil && sig.Recv() == nil
+}
+
+// isSharedVar reports whether obj is a struct field or a package-level
+// variable — the objects reachable from more than one goroutine
+// without escape analysis.
+func isSharedVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// compositeKeyIdents collects identifiers used as composite-literal
+// keys (Struct{field: v}), which name a field without accessing it at
+// runtime.
+func compositeKeyIdents(f *ast.File) map[*ast.Ident]bool {
+	out := map[*ast.Ident]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					out[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A baseline is a committed snapshot of known findings, so esrvet can
+// gate on *new* findings while previously accepted ones age out
+// incrementally.  Entries aggregate identical findings per file —
+// keyed by (file, rule, message) with a count, not by line — so pure
+// line drift from unrelated edits does not invalidate the baseline,
+// while any new instance of a known message still fails the build.
+//
+// Workflow:
+//
+//	esrvet -baseline scripts/esrvet_baseline.json ./...   # diff mode
+//	esrvet -fix-baseline -baseline scripts/... ./...      # regenerate
+//
+// The committed baseline is empty — the repository is clean under
+// A1–A10 — but the mechanism keeps the gate usable when a future rule
+// lands with pre-existing findings.
+
+// BaselineEntry aggregates identical findings in one file.
+type BaselineEntry struct {
+	File    string `json:"file"` // module-root-relative, slash-separated
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+	Count   int    `json:"count"`
+}
+
+// Baseline is the committed findings snapshot.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+func baselineKey(file, rule, message string) string {
+	return file + "\x00" + rule + "\x00" + message
+}
+
+// relFile renders a diagnostic's filename relative to the module root.
+func relFile(root, filename string) string {
+	if r, err := filepath.Rel(root, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// NewBaseline snapshots the given findings.
+func NewBaseline(root string, diags []Diagnostic) *Baseline {
+	counts := map[string]*BaselineEntry{}
+	for _, d := range diags {
+		key := baselineKey(relFile(root, d.Pos.Filename), d.Rule, d.Message)
+		if e, ok := counts[key]; ok {
+			e.Count++
+			continue
+		}
+		counts[key] = &BaselineEntry{File: relFile(root, d.Pos.Filename), Rule: d.Rule, Message: d.Message, Count: 1}
+	}
+	b := &Baseline{Findings: []BaselineEntry{}}
+	for _, e := range counts {
+		b.Findings = append(b.Findings, *e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Rule != c.Rule {
+			return a.Rule < c.Rule
+		}
+		return a.Message < c.Message
+	})
+	return b
+}
+
+// Filter returns the findings not covered by the baseline: for each
+// (file, rule, message) key, occurrences beyond the baselined count.
+func (b *Baseline) Filter(root string, diags []Diagnostic) []Diagnostic {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[baselineKey(e.File, e.Rule, e.Message)] += e.Count
+	}
+	var fresh []Diagnostic
+	for _, d := range diags {
+		key := baselineKey(relFile(root, d.Pos.Filename), d.Rule, d.Message)
+		if budget[key] > 0 {
+			budget[key]--
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	return fresh
+}
+
+// ReadBaseline loads a baseline file.
+func ReadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes a baseline file, stable and human-diffable.
+func WriteBaseline(path string, b *Baseline) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

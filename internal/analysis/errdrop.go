@@ -1,0 +1,168 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop is rule A10: errors returned by mutating calls on durable
+// paths — the WAL, the propagation queue, and the transport — must be
+// consumed.  A dropped Append or Sync error silently voids the
+// durability the ε-bound argument depends on: the site keeps
+// acknowledging writes its log never persisted.  Flagged shapes:
+//
+//   - an expression statement discarding the whole result,
+//   - `_` in the error's position of an assignment,
+//   - `go`/`defer` directly on the call (the result is unobservable).
+//
+// Close is deliberately not in the method set: shutdown paths drain
+// best-effort, and flagging every deferred Close would bury the
+// durable-path signal.
+var ErrDrop = &Analyzer{
+	Rule: "A10",
+	Name: "errdrop",
+	Doc:  "errors from WAL/queue/transport mutating calls must be consumed",
+	Run:  runErrDrop,
+}
+
+// errDropMethods are the mutating entry points whose error return is
+// load-bearing for durability or delivery.
+var errDropMethods = map[string]bool{
+	"Append": true, "AppendBatch": true, "Sync": true, "Compact": true,
+	"Enqueue": true, "EnqueueBatch": true, "Ack": true, "AckBatch": true,
+	"Send": true, "SendBatch": true, "Call": true,
+}
+
+func runErrDrop(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					if name, ok := durableCall(p, call); ok {
+						out = append(out, p.diag("A10", call,
+							"error returned by %s is dropped; durable-path errors must be handled (assign and check, don't ignore)", name))
+					}
+				}
+			case *ast.GoStmt:
+				if name, ok := durableCall(p, s.Call); ok {
+					out = append(out, p.diag("A10", s.Call,
+						"error returned by %s is unobservable behind go; call it in a closure that handles the error", name))
+				}
+			case *ast.DeferStmt:
+				if name, ok := durableCall(p, s.Call); ok {
+					out = append(out, p.diag("A10", s.Call,
+						"error returned by %s is unobservable behind defer; call it in a closure that handles the error", name))
+				}
+			case *ast.AssignStmt:
+				out = append(out, errDropAssign(p, s)...)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// errDropAssign flags `_`-discarded errors in assignments whose RHS is
+// a durable call: both `_ = q.Sync()` and `v, _ := t.Call(...)`.
+func errDropAssign(p *Package, s *ast.AssignStmt) []Diagnostic {
+	var out []Diagnostic
+	check := func(call *ast.CallExpr, lhs []ast.Expr) {
+		name, ok := durableCall(p, call)
+		if !ok {
+			return
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok {
+			return
+		}
+		idx := errResultIndex(tv.Type)
+		if idx < 0 || idx >= len(lhs) {
+			return
+		}
+		if id, ok := lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+			out = append(out, p.diag("A10", call,
+				"error returned by %s is discarded with _; durable-path errors must be handled", name))
+		}
+	}
+	if len(s.Rhs) == 1 {
+		if call, ok := s.Rhs[0].(*ast.CallExpr); ok {
+			check(call, s.Lhs)
+		}
+		return out
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i, rhs := range s.Rhs {
+			if call, ok := rhs.(*ast.CallExpr); ok {
+				check(call, s.Lhs[i:i+1])
+			}
+		}
+	}
+	return out
+}
+
+// durableCall reports whether the call targets one of the durable-path
+// mutators, and its display name.
+func durableCall(p *Package, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || obj.Pkg() == nil {
+		return "", false
+	}
+	if obj.Pkg().Path() == "os" && obj.Name() == "Sync" && methodOnNamed(obj, "File") {
+		return "(*os.File).Sync", true
+	}
+	path := obj.Pkg().Path()
+	if !strings.HasSuffix(path, "internal/wal") &&
+		!strings.HasSuffix(path, "internal/queue") &&
+		!strings.HasSuffix(path, "internal/network") {
+		return "", false
+	}
+	if !errDropMethods[obj.Name()] {
+		return "", false
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || errResultIndex(sig.Results()) < 0 {
+		return "", false
+	}
+	name := obj.Name()
+	if sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if ptr, ok := t.(*types.Pointer); ok {
+			t = ptr.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	return name, true
+}
+
+// errResultIndex returns the index of the error in a call's result type
+// (a bare type or a tuple), or -1.
+func errResultIndex(t types.Type) int {
+	switch t := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	default:
+		if isErrorType(t) {
+			return 0
+		}
+		return -1
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}

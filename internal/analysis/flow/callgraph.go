@@ -1,0 +1,244 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Package is the slice of one loaded package the flow engine needs.
+// internal/analysis adapts its loader's packages into this shape.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FuncNode is one function in the call graph: a declared function or
+// method (Obj non-nil) or a function literal (Lit non-nil).  Function
+// literals are their own nodes — a literal runs at an unknown time, so
+// its body is never inlined into the enclosing function's CFG.
+type FuncNode struct {
+	// Obj is the declared function's type object; nil for literals.
+	Obj *types.Func
+	// Decl is the declaration; nil for literals.
+	Decl *ast.FuncDecl
+	// Lit is the literal; nil for declared functions.
+	Lit *ast.FuncLit
+	// Body is the function body.
+	Body *ast.BlockStmt
+	// Pkg is the package the function lives in.
+	Pkg *Package
+	// Name is a display name for diagnostics: "(*Engine).update2PC",
+	// "flushWait", or "func@file.go:123" for literals.
+	Name string
+	// RecvVar is the receiver variable, when the method names one.
+	RecvVar *types.Var
+	// ParamVars are the declared parameters, in order.
+	ParamVars []*types.Var
+	// Calls are this function's resolved outgoing call sites.
+	Calls []*CallSite
+	// Callers are the resolved call sites that target this function.
+	Callers []*CallSite
+
+	cfg *CFG
+}
+
+// CFG returns the function's control-flow graph, built on first use.
+func (n *FuncNode) CFG() *CFG {
+	if n.cfg == nil {
+		n.cfg = NewCFG(n.Body)
+	}
+	return n.cfg
+}
+
+// CallSite is one statically resolved call.
+type CallSite struct {
+	Caller *FuncNode
+	Callee *FuncNode
+	Call   *ast.CallExpr
+}
+
+// Graph is the call graph over a set of loaded packages.
+//
+// Resolution is static: direct calls to declared functions and method
+// calls whose receiver is a concrete type resolve to their FuncNode.
+// Everything else — interface dispatch, calls through function values,
+// calls into packages outside the load — is an unknown callee, for
+// which SiteFor returns nil and each analysis applies its documented
+// havoc (see the analyzers for the per-rule choice).
+type Graph struct {
+	// Funcs lists every function in deterministic order (package, file,
+	// then source position).
+	Funcs []*FuncNode
+
+	byObj  map[*types.Func]*FuncNode
+	bySite map[*ast.CallExpr]*CallSite
+}
+
+// BuildGraph constructs the call graph for the given packages.
+func BuildGraph(pkgs []*Package) *Graph {
+	g := &Graph{
+		byObj:  make(map[*types.Func]*FuncNode),
+		bySite: make(map[*ast.CallExpr]*CallSite),
+	}
+	// Pass 1: enumerate functions (declarations and literals).
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch d := n.(type) {
+				case *ast.FuncDecl:
+					if d.Body == nil {
+						return true
+					}
+					obj, ok := pkg.Info.Defs[d.Name].(*types.Func)
+					if !ok {
+						return true
+					}
+					node := &FuncNode{
+						Obj:  obj,
+						Decl: d,
+						Body: d.Body,
+						Pkg:  pkg,
+						Name: declName(d),
+					}
+					node.RecvVar, node.ParamVars = signatureVars(pkg, d.Recv, d.Type.Params)
+					g.Funcs = append(g.Funcs, node)
+					g.byObj[obj] = node
+				case *ast.FuncLit:
+					node := &FuncNode{
+						Lit:  d,
+						Body: d.Body,
+						Pkg:  pkg,
+						Name: fmt.Sprintf("func@%s", shortPos(pkg.Fset, d.Pos())),
+					}
+					_, node.ParamVars = signatureVars(pkg, nil, d.Type.Params)
+					g.Funcs = append(g.Funcs, node)
+				}
+				return true
+			})
+		}
+	}
+	// Pass 2: resolve each function's own call sites (literals nested
+	// inside a body belong to their own node, so walkOwn stops at them).
+	for _, fn := range g.Funcs {
+		fn := fn
+		walkOwn(fn.Body, func(call *ast.CallExpr) {
+			callee := g.resolve(fn.Pkg, call)
+			if callee == nil {
+				return
+			}
+			site := &CallSite{Caller: fn, Callee: callee, Call: call}
+			fn.Calls = append(fn.Calls, site)
+			callee.Callers = append(callee.Callers, site)
+			g.bySite[call] = site
+		})
+	}
+	return g
+}
+
+// Node returns the FuncNode for a declared function, or nil.
+func (g *Graph) Node(obj *types.Func) *FuncNode {
+	return g.byObj[obj]
+}
+
+// SiteFor returns the resolved call site for a call expression, or nil
+// when the callee is unknown (interface dispatch, function values,
+// out-of-load packages) and havoc applies.
+func (g *Graph) SiteFor(call *ast.CallExpr) *CallSite {
+	return g.bySite[call]
+}
+
+// resolve maps one call expression to its static callee, if any.
+func (g *Graph) resolve(pkg *Package, call *ast.CallExpr) *FuncNode {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return g.byObj[fn.Origin()]
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok {
+			return nil
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if types.IsInterface(sig.Recv().Type()) {
+				return nil // dynamic dispatch: unknown callee
+			}
+		}
+		return g.byObj[fn.Origin()]
+	}
+	return nil
+}
+
+// walkOwn visits every call expression in the body without descending
+// into nested function literals.
+func walkOwn(body *ast.BlockStmt, visit func(*ast.CallExpr)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			visit(n)
+		}
+		return true
+	})
+}
+
+// signatureVars resolves the receiver and parameter idents to their
+// type objects.
+func signatureVars(pkg *Package, recv *ast.FieldList, params *ast.FieldList) (*types.Var, []*types.Var) {
+	var recvVar *types.Var
+	if recv != nil && len(recv.List) == 1 && len(recv.List[0].Names) == 1 {
+		recvVar, _ = pkg.Info.Defs[recv.List[0].Names[0]].(*types.Var)
+	}
+	var paramVars []*types.Var
+	if params != nil {
+		for _, field := range params.List {
+			if len(field.Names) == 0 {
+				// Unnamed parameter still occupies a position.
+				paramVars = append(paramVars, nil)
+				continue
+			}
+			for _, name := range field.Names {
+				v, _ := pkg.Info.Defs[name].(*types.Var)
+				paramVars = append(paramVars, v)
+			}
+		}
+	}
+	return recvVar, paramVars
+}
+
+// declName renders a declaration's display name, with the receiver
+// type for methods: "flushWait", "(*Engine).update2PC".
+func declName(d *ast.FuncDecl) string {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return d.Name.Name
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		if id, ok := star.X.(*ast.Ident); ok {
+			return "(*" + id.Name + ")." + d.Name.Name
+		}
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return "(" + id.Name + ")." + d.Name.Name
+	}
+	return d.Name.Name
+}
+
+func shortPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", base(p.Filename), p.Line)
+}
+
+func base(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' || path[i] == '\\' {
+			return path[i+1:]
+		}
+	}
+	return path
+}

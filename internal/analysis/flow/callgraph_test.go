@@ -1,0 +1,202 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// loadGraph type-checks a self-contained source string (no imports) and
+// builds its call graph.
+func loadGraph(t *testing.T, src string) (*Graph, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	var conf types.Config
+	tpkg, err := conf.Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatalf("type-check: %v", err)
+	}
+	pkg := &Package{Fset: fset, Files: []*ast.File{file}, Types: tpkg, Info: info}
+	return BuildGraph([]*Package{pkg}), pkg
+}
+
+const graphSrc = `package p
+
+type T struct{ n int }
+
+func (t *T) M() { helper() }
+
+type I interface{ M() }
+
+func helper() {}
+
+func callsStatic() { helper() }
+
+func callsMethod(t *T) { t.M() }
+
+func callsInterface(i I) { i.M() }
+
+func callsValue() {
+	f := helper
+	f()
+}
+
+func spawns() {
+	go func() {
+		helper()
+	}()
+}
+`
+
+func funcByName(t *testing.T, g *Graph, name string) *FuncNode {
+	t.Helper()
+	for _, fn := range g.Funcs {
+		if fn.Name == name {
+			return fn
+		}
+	}
+	t.Fatalf("function %q not in graph (have %v)", name, names(g))
+	return nil
+}
+
+func names(g *Graph) []string {
+	var out []string
+	for _, fn := range g.Funcs {
+		out = append(out, fn.Name)
+	}
+	return out
+}
+
+// callExprsIn collects the call expressions in a function's own body
+// (excluding nested literals), in source order.
+func callExprsIn(fn *FuncNode) []*ast.CallExpr {
+	var out []*ast.CallExpr
+	walkOwn(fn.Body, func(c *ast.CallExpr) { out = append(out, c) })
+	return out
+}
+
+// TestCallGraphStatic pins direct-call and concrete-method resolution.
+func TestCallGraphStatic(t *testing.T) {
+	g, _ := loadGraph(t, graphSrc)
+
+	static := funcByName(t, g, "callsStatic")
+	if len(static.Calls) != 1 || static.Calls[0].Callee.Name != "helper" {
+		t.Errorf("callsStatic calls = %v, want one call to helper", siteNames(static.Calls))
+	}
+
+	method := funcByName(t, g, "callsMethod")
+	if len(method.Calls) != 1 || method.Calls[0].Callee.Name != "(*T).M" {
+		t.Errorf("callsMethod calls = %v, want one call to (*T).M", siteNames(method.Calls))
+	}
+
+	// Callers back-edges: helper is called from callsStatic, (*T).M,
+	// and the goroutine literal inside spawns.
+	helper := funcByName(t, g, "helper")
+	var callers []string
+	for _, site := range helper.Callers {
+		callers = append(callers, site.Caller.Name)
+	}
+	want := map[string]bool{"callsStatic": true, "(*T).M": true}
+	litCaller := false
+	for _, c := range callers {
+		if strings.HasPrefix(c, "func@p.go:") {
+			litCaller = true
+			continue
+		}
+		if !want[c] {
+			t.Errorf("unexpected caller of helper: %s", c)
+		}
+		delete(want, c)
+	}
+	if len(want) != 0 || !litCaller {
+		t.Errorf("helper callers = %v, want callsStatic, (*T).M, and the literal", callers)
+	}
+}
+
+// TestCallGraphUnknownCallees pins the havoc boundary: interface
+// dispatch and calls through function values resolve to nil.
+func TestCallGraphUnknownCallees(t *testing.T) {
+	g, _ := loadGraph(t, graphSrc)
+
+	iface := funcByName(t, g, "callsInterface")
+	if len(iface.Calls) != 0 {
+		t.Errorf("callsInterface resolved %v, want none (interface dispatch)", siteNames(iface.Calls))
+	}
+	calls := callExprsIn(iface)
+	if len(calls) != 1 {
+		t.Fatalf("callsInterface body has %d calls, want 1", len(calls))
+	}
+	if site := g.SiteFor(calls[0]); site != nil {
+		t.Errorf("SiteFor(i.M()) = %s, want nil", site.Callee.Name)
+	}
+
+	value := funcByName(t, g, "callsValue")
+	if len(value.Calls) != 0 {
+		t.Errorf("callsValue resolved %v, want none (function value)", siteNames(value.Calls))
+	}
+}
+
+// TestCallGraphLiterals pins that function literals are separate nodes:
+// the spawning function does not absorb the literal's calls.
+func TestCallGraphLiterals(t *testing.T) {
+	g, _ := loadGraph(t, graphSrc)
+
+	spawns := funcByName(t, g, "spawns")
+	if len(spawns.Calls) != 0 {
+		t.Errorf("spawns resolved %v, want none (literal bodies are separate nodes)", siteNames(spawns.Calls))
+	}
+	var lit *FuncNode
+	for _, fn := range g.Funcs {
+		if fn.Lit != nil {
+			lit = fn
+			break
+		}
+	}
+	if lit == nil {
+		t.Fatalf("no literal node in graph: %v", names(g))
+	}
+	if !strings.HasPrefix(lit.Name, "func@p.go:") {
+		t.Errorf("literal name = %q, want func@p.go:<line>", lit.Name)
+	}
+	if len(lit.Calls) != 1 || lit.Calls[0].Callee.Name != "helper" {
+		t.Errorf("literal calls = %v, want one call to helper", siteNames(lit.Calls))
+	}
+}
+
+// TestCallGraphNodeLookup pins the Obj -> node index used by the
+// analyses to jump from a types.Func to its summary.
+func TestCallGraphNodeLookup(t *testing.T) {
+	g, pkg := loadGraph(t, graphSrc)
+	obj, ok := pkg.Types.Scope().Lookup("helper").(*types.Func)
+	if !ok {
+		t.Fatalf("helper not found in package scope")
+	}
+	n := g.Node(obj)
+	if n == nil || n.Name != "helper" {
+		t.Fatalf("Node(helper) = %v", n)
+	}
+	if got := n.CFG(); got == nil || got != n.CFG() {
+		t.Errorf("CFG() not memoized")
+	}
+}
+
+func siteNames(sites []*CallSite) []string {
+	var out []string
+	for _, s := range sites {
+		out = append(out, s.Callee.Name)
+	}
+	return out
+}

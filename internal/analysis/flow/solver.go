@@ -1,0 +1,97 @@
+package flow
+
+// Forward runs a forward dataflow analysis over one CFG to fixpoint and
+// returns each reached block's IN state.  Unreachable blocks (no path
+// from the entry) have no map entry.
+//
+//   - entry is the state on entry to the function.
+//   - clone must deep-copy a state, so two successors never alias.
+//   - join merges src into dst, returning the merged state and whether
+//     it differs from dst; it must be monotone for termination.
+//   - transfer interprets one block, returning the OUT state for the
+//     given IN; it must not mutate in.
+//
+// Analyses typically run Forward once, then re-walk the reached blocks
+// with the final IN states to emit diagnostics at individual nodes.
+func Forward[S any](c *CFG, entry S, clone func(S) S, join func(dst, src S) (S, bool), transfer func(b *Block, in S) S) map[*Block]S {
+	in := make(map[*Block]S, len(c.Blocks))
+	in[c.Entry] = entry
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := transfer(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			changed := false
+			if !ok {
+				in[s] = clone(out)
+				changed = true
+			} else if merged, ch := join(cur, out); ch {
+				in[s] = merged
+				changed = true
+			}
+			if changed && !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// Fixpoint drives the interprocedural summary computation: compute is
+// called per function and reports whether that function's summary
+// changed; when it does, every caller is requeued, until no summary
+// moves.  Functions are first processed callee-before-caller (postorder
+// over the call graph), which reaches the fixpoint in one pass on
+// recursion-free graphs.  compute must be monotone over a finite
+// summary lattice for termination.
+func (g *Graph) Fixpoint(compute func(*FuncNode) bool) {
+	order := g.postorder()
+	queued := make(map[*FuncNode]bool, len(order))
+	work := make([]*FuncNode, len(order))
+	copy(work, order)
+	for _, n := range order {
+		queued[n] = true
+	}
+	for len(work) > 0 {
+		n := work[0]
+		work = work[1:]
+		queued[n] = false
+		if !compute(n) {
+			continue
+		}
+		for _, site := range n.Callers {
+			if c := site.Caller; !queued[c] {
+				queued[c] = true
+				work = append(work, c)
+			}
+		}
+	}
+}
+
+// postorder returns the functions callee-first: a DFS postorder over
+// the static call edges, seeded from every function in declaration
+// order so disconnected components keep a deterministic order.
+func (g *Graph) postorder() []*FuncNode {
+	seen := make(map[*FuncNode]bool, len(g.Funcs))
+	out := make([]*FuncNode, 0, len(g.Funcs))
+	var visit func(n *FuncNode)
+	visit = func(n *FuncNode) {
+		if seen[n] {
+			return
+		}
+		seen[n] = true
+		for _, site := range n.Calls {
+			visit(site.Callee)
+		}
+		out = append(out, n)
+	}
+	for _, n := range g.Funcs {
+		visit(n)
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package flow
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// calledSet is the test lattice: the set of function names that may
+// have been called on some path. Union join, monotone, finite.
+type calledSet map[string]bool
+
+func cloneSet(s calledSet) calledSet {
+	out := make(calledSet, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+func joinSet(dst, src calledSet) (calledSet, bool) {
+	changed := false
+	for k := range src {
+		if !dst[k] {
+			dst[k] = true
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func transferCalls(b *Block, in calledSet) calledSet {
+	out := cloneSet(in)
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if call, ok := x.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func sorted(s calledSet) string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return strings.Join(out, " ")
+}
+
+// TestForwardMayAnalysis runs a may-called analysis over branches and a
+// loop and checks the state reaching the exit block.
+func TestForwardMayAnalysis(t *testing.T) {
+	c, _ := buildCFG(t, `func f() {
+	a()
+	if cond {
+		b()
+	}
+	for i := 0; i < n; i++ {
+		d()
+	}
+	e()
+}`)
+	in := Forward(c, calledSet{}, cloneSet, joinSet, transferCalls)
+	got, ok := in[c.Exit]
+	if !ok {
+		t.Fatalf("exit block not reached")
+	}
+	if want := "a b d e"; sorted(got) != want {
+		t.Errorf("exit IN = %q, want %q", sorted(got), want)
+	}
+}
+
+// TestForwardLoopFixpoint checks that loop-carried state converges: a
+// call inside the loop body must flow back into the loop head's IN.
+func TestForwardLoopFixpoint(t *testing.T) {
+	c, _ := buildCFG(t, `func f() {
+	for p {
+		d()
+	}
+}`)
+	in := Forward(c, calledSet{}, cloneSet, joinSet, transferCalls)
+	var head *Block
+	for _, b := range c.Blocks {
+		if b.Kind == "for.head" {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no for.head block")
+	}
+	if !in[head]["d"] {
+		t.Errorf("loop head IN = %q, want it to include d via the back edge", sorted(in[head]))
+	}
+}
+
+// TestForwardUnreachable checks that blocks with no path from the entry
+// get no IN state at all, rather than a bottom state.
+func TestForwardUnreachable(t *testing.T) {
+	c, _ := buildCFG(t, `func f() {
+	return
+	dead()
+}`)
+	in := Forward(c, calledSet{}, cloneSet, joinSet, transferCalls)
+	for b, s := range in {
+		if s["dead"] {
+			t.Errorf("dead() reached analysis in block b%d", b.Index)
+		}
+	}
+}
+
+// TestFixpointTransitive computes transitive may-call summaries over a
+// three-function chain and a mutual recursion, exercising both the
+// callee-first seeding and the caller requeue on change.
+func TestFixpointTransitive(t *testing.T) {
+	g, _ := loadGraph(t, `package p
+
+func a() { b() }
+func b() { c() }
+func c() {}
+
+func r1() { r2() }
+func r2() { r1() }
+`)
+	// Summary: the set of function names transitively reachable.
+	sum := make(map[*FuncNode]calledSet)
+	for _, fn := range g.Funcs {
+		sum[fn] = calledSet{}
+	}
+	g.Fixpoint(func(fn *FuncNode) bool {
+		next := cloneSet(sum[fn])
+		for _, site := range fn.Calls {
+			next[site.Callee.Name] = true
+			for k := range sum[site.Callee] {
+				next[k] = true
+			}
+		}
+		changed := len(next) != len(sum[fn])
+		sum[fn] = next
+		return changed
+	})
+	if got := sorted(sum[funcByName(t, g, "a")]); got != "b c" {
+		t.Errorf("reach(a) = %q, want \"b c\"", got)
+	}
+	if got := sorted(sum[funcByName(t, g, "c")]); got != "" {
+		t.Errorf("reach(c) = %q, want empty", got)
+	}
+	if got := sorted(sum[funcByName(t, g, "r1")]); got != "r1 r2" {
+		t.Errorf("reach(r1) = %q, want \"r1 r2\" (mutual recursion converged)", got)
+	}
+}

@@ -1,0 +1,36 @@
+package analysis
+
+// LockHeldBlocking is rule A8: no blocking operation while a lock may
+// be held.  Blocking operations are the network.Transport methods
+// Send/Call/SendBatch (classified by method set, so interface dispatch
+// is caught), (*os.File).Sync, time.Sleep, and send/receive on channels
+// the module only ever creates unbuffered (operations inside a select
+// with a default clause are non-blocking and exempt).  Locks are
+// lock.Manager acquisitions and sync.Mutex/RWMutex stripe mutexes.
+//
+// The rule is interprocedural both ways: a function that blocks taints
+// every caller (its summary carries the root-cause witness), and a lock
+// a callee leaves held — even one rooted in the callee's locals, which
+// propagates as an opaque hold — poisons blocking sites after the call
+// returns.  This is exactly the 2PC shape: the participant handler
+// acquires its site's lock manager during prepare, so every subsequent
+// transport Call the coordinator makes happens with a remote lock held;
+// cross-shard latency (or a deadlock, once ordering domains shard) then
+// sits inside the lock's critical section.
+//
+// Havoc: an unknown callee (interface dispatch, function value) is
+// assumed not to block — except the explicitly classified primitives
+// above, which need no body to be recognized.  That is the pragmatic
+// direction; the sound one would flag every dynamic call under a lock,
+// drowning the signal.
+var LockHeldBlocking = &Analyzer{
+	Rule:      "A8",
+	Name:      "lockheld",
+	Doc:       "no transport I/O, fsync, unbuffered channel ops, or sleeps while a lock may be held",
+	RunModule: runLockHeld,
+}
+
+func runLockHeld(m *Module) []Diagnostic {
+	_, a8 := m.lockFlowResults()
+	return a8
+}

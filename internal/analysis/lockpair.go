@@ -1,380 +1,27 @@
 package analysis
 
-import (
-	"go/ast"
-	"go/token"
-	"go/types"
-	"strings"
-)
-
 // LockPairing is rule A1: every lock.Manager Acquire/TryAcquire call is
-// matched by a ReleaseAll on all return paths of the enclosing function
-// (defer-aware), and every sync.Mutex/RWMutex Lock is matched by the
-// corresponding Unlock.  Strict 2PL's correctness (and the deadlock
-// detector's waits-for bookkeeping) both assume the shrinking phase
-// always runs; a lock that escapes an error branch blocks every later
-// conflicting ET forever.
+// matched by a ReleaseAll on all return paths (defer-aware), and every
+// sync.Mutex/RWMutex Lock is matched by the corresponding Unlock.
+// Strict 2PL's correctness (and the deadlock detector's waits-for
+// bookkeeping) both assume the shrinking phase always runs; a lock that
+// escapes an error branch blocks every later conflicting ET forever.
+//
+// Since esrvet v2 the rule is interprocedural: the shared lock engine
+// (lockflow.go) runs a CFG dataflow per function and propagates lock
+// deltas through per-function summaries over the call graph.  A helper
+// that acquires a lock every caller releases is clean; a lock leaking
+// through a chain of calls is reported once, at the original
+// acquisition site, in the outermost function where no caller can still
+// release it.
 var LockPairing = &Analyzer{
-	Rule: "A1",
-	Name: "lockpair",
-	Doc:  "lock.Manager acquisitions must be released on all return paths (defer-aware)",
-	Run:  runLockPairing,
+	Rule:      "A1",
+	Name:      "lockpair",
+	Doc:       "lock acquisitions must be released on all return paths, across call boundaries (defer-aware)",
+	RunModule: runLockPairing,
 }
 
-// lockAction classifies a call's effect on lock state.
-type lockAction int
-
-const (
-	lockNone lockAction = iota
-	lockAcquire
-	lockRelease
-)
-
-// classifyLockCall decides whether a call acquires or releases, and
-// under which state key.  Keys combine the receiver expression with the
-// lock flavor, so mu.RLock pairs with mu.RUnlock, not mu.Unlock.
-func classifyLockCall(p *Package, call *ast.CallExpr) (lockAction, string) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return lockNone, ""
-	}
-	obj, ok := p.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || obj.Pkg() == nil {
-		return lockNone, ""
-	}
-	recv := types.ExprString(sel.X)
-	switch {
-	case strings.HasSuffix(obj.Pkg().Path(), "internal/lock") && methodOnNamed(obj, "Manager"):
-		switch sel.Sel.Name {
-		case "Acquire", "TryAcquire":
-			return lockAcquire, recv
-		case "ReleaseAll", "Close":
-			// Close unblocks waiters and poisons the manager; treating it
-			// as a release avoids flagging shutdown paths.
-			return lockRelease, recv
-		}
-	case obj.Pkg().Path() == "sync" && (methodOnNamed(obj, "Mutex") || methodOnNamed(obj, "RWMutex")):
-		switch sel.Sel.Name {
-		case "Lock":
-			return lockAcquire, recv
-		case "Unlock":
-			return lockRelease, recv
-		case "RLock":
-			return lockAcquire, recv + "/R"
-		case "RUnlock":
-			return lockRelease, recv + "/R"
-		}
-	}
-	return lockNone, ""
-}
-
-// methodOnNamed reports whether fn is a method whose receiver's named
-// type (through a pointer) is called name.
-func methodOnNamed(fn *types.Func, name string) bool {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return false
-	}
-	t := sig.Recv().Type()
-	if ptr, ok := t.(*types.Pointer); ok {
-		t = ptr.Elem()
-	}
-	named, ok := t.(*types.Named)
-	return ok && named.Obj().Name() == name
-}
-
-func runLockPairing(p *Package) []Diagnostic {
-	lp := &lockPairScan{p: p, reported: make(map[token.Pos]bool)}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch fn := n.(type) {
-			case *ast.FuncDecl:
-				if fn.Body != nil {
-					lp.checkFunc(fn.Body)
-				}
-			case *ast.FuncLit:
-				lp.checkFunc(fn.Body)
-			}
-			return true
-		})
-	}
-	return lp.diags
-}
-
-type lockPairScan struct {
-	p        *Package
-	diags    []Diagnostic
-	reported map[token.Pos]bool
-}
-
-// lpState is the abstract lock state along one control-flow path.
-type lpState struct {
-	held     map[string]token.Pos // key -> acquire position
-	deferred map[string]bool      // keys released by a registered defer
-}
-
-func newLPState() lpState {
-	return lpState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
-}
-
-func (s lpState) clone() lpState {
-	n := newLPState()
-	for k, v := range s.held {
-		n.held[k] = v
-	}
-	for k := range s.deferred {
-		n.deferred[k] = true
-	}
-	return n
-}
-
-// merge unions another path's state into s (conservative: held anywhere
-// counts as held).
-func (s lpState) merge(o lpState) {
-	for k, v := range o.held {
-		if _, ok := s.held[k]; !ok {
-			s.held[k] = v
-		}
-	}
-	for k := range o.deferred {
-		s.deferred[k] = true
-	}
-}
-
-func (lp *lockPairScan) checkFunc(body *ast.BlockStmt) {
-	// Functions with FuncLits nested inside them are scanned with the
-	// literals' bodies opaque: a literal runs at an unknown time, so its
-	// acquisitions and releases belong to its own scan.
-	st := newLPState()
-	st, terminated := lp.scanStmts(body.List, st)
-	if !terminated {
-		lp.leaks(st, body.End())
-	}
-}
-
-// leaks reports every lock still held (and not defer-released) when a
-// path leaves the function.
-func (lp *lockPairScan) leaks(st lpState, at token.Pos) {
-	for key, pos := range st.held {
-		if st.deferred[key] {
-			continue
-		}
-		if lp.reported[pos] {
-			continue
-		}
-		lp.reported[pos] = true
-		lp.diags = append(lp.diags, Diagnostic{
-			Pos:  lp.p.Fset.Position(pos),
-			Rule: "A1",
-			Message: "lock acquired on " + strings.TrimSuffix(key, "/R") +
-				" may still be held when the function returns (missing release on some path; add ReleaseAll/Unlock or a defer)",
-		})
-	}
-	_ = at
-}
-
-// scanStmts interprets a statement list, returning the state at its end
-// and whether every path through it terminates (returns/branches away).
-func (lp *lockPairScan) scanStmts(stmts []ast.Stmt, st lpState) (lpState, bool) {
-	for _, stmt := range stmts {
-		var terminated bool
-		st, terminated = lp.scanStmt(stmt, st)
-		if terminated {
-			return st, true
-		}
-	}
-	return st, false
-}
-
-func (lp *lockPairScan) scanStmt(stmt ast.Stmt, st lpState) (lpState, bool) {
-	switch s := stmt.(type) {
-	case *ast.ExprStmt:
-		lp.scanExpr(s.X, &st)
-	case *ast.AssignStmt:
-		for _, rhs := range s.Rhs {
-			lp.scanExpr(rhs, &st)
-		}
-	case *ast.DeclStmt:
-		if gd, ok := s.Decl.(*ast.GenDecl); ok {
-			for _, spec := range gd.Specs {
-				if vs, ok := spec.(*ast.ValueSpec); ok {
-					for _, v := range vs.Values {
-						lp.scanExpr(v, &st)
-					}
-				}
-			}
-		}
-	case *ast.DeferStmt:
-		for key := range lp.releasesIn(s.Call) {
-			st.deferred[key] = true
-		}
-	case *ast.ReturnStmt:
-		for _, r := range s.Results {
-			lp.scanExpr(r, &st)
-		}
-		lp.leaks(st, s.Pos())
-		return st, true
-	case *ast.BranchStmt:
-		// break/continue/goto leave this path; treat as terminated so the
-		// fallthrough merge does not double-count it.
-		return st, true
-	case *ast.BlockStmt:
-		return lp.scanStmts(s.List, st)
-	case *ast.LabeledStmt:
-		return lp.scanStmt(s.Stmt, st)
-	case *ast.IfStmt:
-		if s.Init != nil {
-			st, _ = lp.scanStmt(s.Init, st)
-		}
-		lp.scanExpr(s.Cond, &st)
-		thenSt, thenTerm := lp.scanStmts(s.Body.List, st.clone())
-		var elseSt lpState
-		elseTerm := false
-		if s.Else != nil {
-			elseSt, elseTerm = lp.scanStmt(s.Else, st.clone())
-		} else {
-			elseSt = st.clone()
-		}
-		switch {
-		case thenTerm && elseTerm:
-			return st, true
-		case thenTerm:
-			return elseSt, false
-		case elseTerm:
-			return thenSt, false
-		default:
-			thenSt.merge(elseSt)
-			return thenSt, false
-		}
-	case *ast.ForStmt:
-		if s.Init != nil {
-			st, _ = lp.scanStmt(s.Init, st)
-		}
-		if s.Cond != nil {
-			lp.scanExpr(s.Cond, &st)
-		}
-		bodySt, _ := lp.scanStmts(s.Body.List, st.clone())
-		if s.Cond == nil {
-			// for {}: the only way past is break; the body state stands in
-			// for whatever path broke out.
-			return bodySt, false
-		}
-		st.merge(bodySt)
-		return st, false
-	case *ast.RangeStmt:
-		lp.scanExpr(s.X, &st)
-		bodySt, _ := lp.scanStmts(s.Body.List, st.clone())
-		st.merge(bodySt)
-		return st, false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return lp.scanCases(stmt, st)
-	case *ast.GoStmt:
-		// The spawned goroutine's body is scanned as its own function;
-		// argument expressions still run here.
-		for _, a := range s.Call.Args {
-			lp.scanExpr(a, &st)
-		}
-	case *ast.SendStmt:
-		lp.scanExpr(s.Value, &st)
-	}
-	return st, false
-}
-
-// scanCases handles switch/type-switch/select uniformly: each clause is
-// one path from the pre-state; clause states that fall through the end
-// merge.
-func (lp *lockPairScan) scanCases(stmt ast.Stmt, st lpState) (lpState, bool) {
-	var body *ast.BlockStmt
-	hasDefault := false
-	switch s := stmt.(type) {
-	case *ast.SwitchStmt:
-		if s.Init != nil {
-			st, _ = lp.scanStmt(s.Init, st)
-		}
-		if s.Tag != nil {
-			lp.scanExpr(s.Tag, &st)
-		}
-		body = s.Body
-	case *ast.TypeSwitchStmt:
-		body = s.Body
-	case *ast.SelectStmt:
-		body = s.Body
-		hasDefault = true // select blocks until some case runs
-	}
-	out := newLPState()
-	anyFallthrough := false
-	allTerminated := true
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			if cc.List == nil {
-				hasDefault = true
-			}
-			stmts = cc.Body
-		case *ast.CommClause:
-			stmts = cc.Body
-		}
-		cs, term := lp.scanStmts(stmts, st.clone())
-		if !term {
-			out.merge(cs)
-			anyFallthrough = true
-			allTerminated = false
-		}
-	}
-	if !hasDefault || len(body.List) == 0 {
-		// No default: the zero-case path carries the pre-state through.
-		out.merge(st)
-		anyFallthrough = true
-		allTerminated = false
-	}
-	if !anyFallthrough && allTerminated && len(body.List) > 0 {
-		return st, true
-	}
-	return out, false
-}
-
-// scanExpr applies every acquire/release call inside an expression to
-// the state, in source order, without descending into function
-// literals.
-func (lp *lockPairScan) scanExpr(expr ast.Expr, st *lpState) {
-	ast.Inspect(expr, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		switch action, key := classifyLockCall(lp.p, call); action {
-		case lockAcquire:
-			if _, already := st.held[key]; !already {
-				st.held[key] = call.Pos()
-			}
-		case lockRelease:
-			delete(st.held, key)
-		}
-		return true
-	})
-}
-
-// releasesIn collects the state keys released anywhere inside a call —
-// either the call itself or, for `defer func() { ... }()`, release
-// calls within the literal's body.
-func (lp *lockPairScan) releasesIn(call *ast.CallExpr) map[string]bool {
-	out := map[string]bool{}
-	if action, key := classifyLockCall(lp.p, call); action == lockRelease {
-		out[key] = true
-	}
-	if lit, ok := call.Fun.(*ast.FuncLit); ok {
-		ast.Inspect(lit.Body, func(n ast.Node) bool {
-			if inner, ok := n.(*ast.CallExpr); ok {
-				if action, key := classifyLockCall(lp.p, inner); action == lockRelease {
-					out[key] = true
-				}
-			}
-			return true
-		})
-	}
-	return out
+func runLockPairing(m *Module) []Diagnostic {
+	a1, _ := m.lockFlowResults()
+	return a1
 }

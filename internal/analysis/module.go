@@ -1,0 +1,38 @@
+package analysis
+
+import (
+	"esr/internal/analysis/flow"
+)
+
+// Module bundles the packages of one analysis run and lazily builds the
+// shared interprocedural infrastructure on top of them: the call graph
+// and the lock-flow fixpoint that rules A1 and A8 both read.  Rules
+// that only need a single package keep using Analyzer.Run; rules that
+// need cross-package visibility implement Analyzer.RunModule and
+// receive this.
+type Module struct {
+	Pkgs []*Package
+
+	graph *flow.Graph
+
+	lockDone     bool
+	lockA1, lockA8 []Diagnostic
+}
+
+// NewModule wraps an already-loaded package set.
+func NewModule(pkgs []*Package) *Module {
+	return &Module{Pkgs: pkgs}
+}
+
+// Graph returns the call graph over the module's packages, built on
+// first use.
+func (m *Module) Graph() *flow.Graph {
+	if m.graph == nil {
+		fps := make([]*flow.Package, len(m.Pkgs))
+		for i, p := range m.Pkgs {
+			fps[i] = &flow.Package{Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+		}
+		m.graph = flow.BuildGraph(fps)
+	}
+	return m.graph
+}

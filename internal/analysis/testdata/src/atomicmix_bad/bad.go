@@ -1,0 +1,37 @@
+// Package atomicmix_bad holds the A9 violations: fields and globals
+// accessed both through sync/atomic and plainly.
+package atomicmix_bad
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	other int64
+}
+
+// bump is the atomic side: it marks counter.n as an atomic field
+// module-wide.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// read is the racy side: a plain load of an atomically written field.
+func (c *counter) read() int64 {
+	return c.n // want A9
+}
+
+// reset is a racy plain store.
+func (c *counter) reset() {
+	c.n = 0 // want A9
+}
+
+// hits is a package-level variable with the same mixed pattern.
+var hits uint64
+
+func recordHit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func hitCount() uint64 {
+	return hits // want A9
+}

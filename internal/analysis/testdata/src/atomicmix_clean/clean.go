@@ -1,0 +1,41 @@
+// Package atomicmix_clean holds the A9 non-violations: consistently
+// atomic access, typed atomics, pre-publication initialization, and
+// same-named fields on unrelated types.
+package atomicmix_clean
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	typed atomic.Int64
+}
+
+// Every access to counter.n goes through sync/atomic.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// The typed atomic needs no rule: its plain value is inaccessible.
+func (c *counter) bumpTyped() {
+	c.typed.Add(1)
+}
+
+// newCounter names n in a composite literal: initialization before the
+// value is shared, not a racy access.
+func newCounter() *counter {
+	return &counter{n: 0}
+}
+
+// gauge has its own field called n, never touched atomically; object
+// identity keeps it out of counter.n's blast radius.
+type gauge struct {
+	n int64
+}
+
+func (g *gauge) bump() {
+	g.n++
+}

@@ -1,0 +1,47 @@
+// Package errdrop_bad holds the A10 violations: durable-path errors
+// dropped on the floor.
+package errdrop_bad
+
+import (
+	"os"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/network"
+	"esr/internal/queue"
+	"esr/internal/wal"
+)
+
+// ignoredAppend discards the WAL append result entirely: the caller
+// acknowledges a write the log may never have seen.
+func ignoredAppend(w *wal.WAL, m et.MSet) {
+	w.Append(m) // want A10
+}
+
+// blankAck discards the ack error with _: the queue may re-deliver
+// forever.
+func blankAck(q *queue.File, id uint64) {
+	_ = q.Ack(id) // want A10
+}
+
+// blankCall keeps the payload but drops the transport error.
+func blankCall(t network.Transport) []byte {
+	resp, _ := t.Call(clock.SiteID(1), clock.SiteID(2), nil) // want A10
+	return resp
+}
+
+// goEnqueue makes the error unobservable: the goroutine's return value
+// vanishes.
+func goEnqueue(q *queue.File, m queue.Message) {
+	go q.Enqueue(m) // want A10
+}
+
+// deferredSync defers the fsync and loses its result.
+func deferredSync(f *os.File) {
+	defer f.Sync() // want A10
+}
+
+// ignoredFileSync drops the raw file fsync on a durable path.
+func ignoredFileSync(f *os.File) {
+	f.Sync() // want A10
+}

@@ -1,0 +1,59 @@
+// Package errdrop_clean holds the A10 non-violations: durable-path
+// errors consumed, wrapped, or handled inside a closure.
+package errdrop_clean
+
+import (
+	"fmt"
+	"os"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/network"
+	"esr/internal/queue"
+	"esr/internal/wal"
+)
+
+// checkedAppend propagates the error.
+func checkedAppend(w *wal.WAL, m et.MSet) error {
+	if err := w.Append(m); err != nil {
+		return fmt.Errorf("append: %w", err)
+	}
+	return nil
+}
+
+// assignedAck stores the error in a named variable; what the caller
+// does with it is its business.
+func assignedAck(q *queue.File, id uint64) error {
+	err := q.Ack(id)
+	return err
+}
+
+// checkedCall consumes both results.
+func checkedCall(t network.Transport) ([]byte, error) {
+	resp, err := t.Call(clock.SiteID(1), clock.SiteID(2), nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// closureEnqueue moves the work to a goroutine without losing the
+// error: the closure handles it.
+func closureEnqueue(q *queue.File, m queue.Message, errs chan<- error) {
+	go func() {
+		if err := q.Enqueue(m); err != nil {
+			errs <- err
+		}
+	}()
+}
+
+// syncReturned hands the fsync result to the caller.
+func syncReturned(f *os.File) error {
+	return f.Sync()
+}
+
+// closeDropped: Close is deliberately outside the rule — shutdown is
+// best-effort drain, not a durable path.
+func closeDropped(q *queue.File) {
+	q.Close()
+}

@@ -1,0 +1,81 @@
+// Package lockheldio_bad holds the A8 violations: blocking operations
+// performed while a lock may be held, including interprocedurally
+// through call chains.
+package lockheldio_bad
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/lock"
+	"esr/internal/network"
+	"esr/internal/op"
+)
+
+// sleepUnderMutex sleeps inside the critical section.
+func sleepUnderMutex(mu *sync.Mutex) {
+	mu.Lock()
+	time.Sleep(time.Millisecond) // want A8
+	mu.Unlock()
+}
+
+// callUnderManager performs a transport round-trip while the lock
+// manager holds the transaction's locks.
+func callUnderManager(m *lock.Manager, t network.Transport, tx lock.TxID) error {
+	if err := m.Acquire(tx, lock.WU, op.WriteOp("x", 1)); err != nil {
+		return err
+	}
+	_, err := t.Call(clock.SiteID(1), clock.SiteID(2), nil) // want A8
+	m.ReleaseAll(tx)
+	return err
+}
+
+// fsyncUnderLock fsyncs while holding the stripe mutex.
+func fsyncUnderLock(mu *sync.Mutex, f *os.File) error {
+	mu.Lock()
+	defer mu.Unlock()
+	return f.Sync() // want A8
+}
+
+// unbufferedSendUnderLock sends on an unbuffered channel — a rendezvous
+// that waits for a receiver — inside the critical section.
+func unbufferedSendUnderLock(mu *sync.Mutex) {
+	ch := make(chan int)
+	go func() { <-ch }()
+	mu.Lock()
+	ch <- 1 // want A8
+	mu.Unlock()
+}
+
+// acquireHelper hands the lock back to its caller (clean under A1: all
+// callers release), setting up the interprocedural cases below.
+func acquireHelper(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+// sleeper blocks; its summary carries the witness.
+func sleeper() {
+	time.Sleep(time.Millisecond)
+}
+
+// blockThroughCall: the lock arrives via a helper's summary and the
+// blocking arrives via another's — neither is visible in this body.
+func blockThroughCall(mu *sync.Mutex) {
+	acquireHelper(mu)
+	sleeper() // want A8
+	mu.Unlock()
+}
+
+// sendUnderHeldLock: the transport send happens two frames below the
+// acquisition.
+func sendUnderHeldLock(mu *sync.Mutex, t network.Transport) {
+	acquireHelper(mu)
+	relay(t) // want A8
+	mu.Unlock()
+}
+
+func relay(t network.Transport) {
+	_ = t.Send(clock.SiteID(1), clock.SiteID(2), nil)
+}

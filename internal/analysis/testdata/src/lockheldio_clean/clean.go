@@ -1,0 +1,75 @@
+// Package lockheldio_clean holds the A8 non-violations: blocking
+// operations outside critical sections, non-blocking channel shapes,
+// and goroutine hand-offs.
+package lockheldio_clean
+
+import (
+	"sync"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/lock"
+	"esr/internal/network"
+	"esr/internal/op"
+)
+
+// sleepAfterUnlock blocks only once the lock is gone.
+func sleepAfterUnlock(mu *sync.Mutex) {
+	mu.Lock()
+	mu.Unlock()
+	time.Sleep(time.Millisecond)
+}
+
+// callAfterRelease does the round-trip outside the critical section.
+func callAfterRelease(m *lock.Manager, t network.Transport, tx lock.TxID) error {
+	if err := m.Acquire(tx, lock.WU, op.WriteOp("x", 1)); err != nil {
+		return err
+	}
+	m.ReleaseAll(tx)
+	_, err := t.Call(clock.SiteID(1), clock.SiteID(2), nil)
+	return err
+}
+
+// selectDefaultUnderLock: the unbuffered probe cannot block — select
+// with a default clause is a non-blocking poll.
+func selectDefaultUnderLock(mu *sync.Mutex, ch chan int) bool {
+	done := make(chan struct{})
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case <-done:
+		return false
+	default:
+		return true
+	}
+}
+
+// bufferedSendUnderLock: a buffered channel with room does not
+// rendezvous.
+func bufferedSendUnderLock(mu *sync.Mutex) {
+	ch := make(chan int, 1)
+	mu.Lock()
+	ch <- 1
+	mu.Unlock()
+}
+
+// spawnUnderLock: the blocking work runs on another goroutine; the
+// critical section only pays for the spawn.
+func spawnUnderLock(mu *sync.Mutex, t network.Transport) {
+	mu.Lock()
+	go func() {
+		_ = t.Send(clock.SiteID(1), clock.SiteID(2), nil)
+	}()
+	mu.Unlock()
+}
+
+// helperPairThenBlock: the helper-acquired lock is released before the
+// transport send, across the same call boundary A8 tracks.
+func helperPairThenBlock(mu *sync.Mutex, t network.Transport) {
+	acquire(mu)
+	release(mu)
+	_ = t.Send(clock.SiteID(1), clock.SiteID(2), nil)
+}
+
+func acquire(mu *sync.Mutex) { mu.Lock() }
+func release(mu *sync.Mutex) { mu.Unlock() }

@@ -1,0 +1,46 @@
+// Interprocedural A1 violations: leaks that no single function's body
+// reveals.
+package lockpair_bad
+
+import "sync"
+
+// acquireDeep is the bottom of a three-call chain; its caller chain
+// never releases, so the leak is reported here, at the acquisition.
+func acquireDeep(mu *sync.Mutex) {
+	mu.Lock() // want A1
+}
+
+func acquireMid(mu *sync.Mutex) {
+	acquireDeep(mu)
+}
+
+// leakThroughThree ends the chain still holding mu and has no caller
+// left to release it.
+func leakThroughThree(mu *sync.Mutex) {
+	acquireMid(mu)
+}
+
+// escapedHolder leaks a lock rooted in a local: no caller can even name
+// h.mu, so the hold is opaque and reported at the acquisition.
+type holder struct {
+	mu sync.Mutex
+}
+
+func escapedHolder() *holder {
+	h := &holder{}
+	h.mu.Lock() // want A1
+	return h
+}
+
+// releaseOnlyOnFlag releases through a helper on one branch only; the
+// other branch leaks.
+func conditionalHelperRelease(mu *sync.Mutex, flag bool) {
+	mu.Lock() // want A1
+	if flag {
+		unlockHelper(mu)
+	}
+}
+
+func unlockHelper(mu *sync.Mutex) {
+	mu.Unlock()
+}

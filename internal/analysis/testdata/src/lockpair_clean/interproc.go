@@ -1,0 +1,50 @@
+// Interprocedural A1 non-violations: acquisition and release split
+// across helpers, which the summary-based analysis pairs up.
+package lockpair_clean
+
+import "sync"
+
+func lockHelper(mu *sync.Mutex)   { mu.Lock() }
+func unlockHelper(mu *sync.Mutex) { mu.Unlock() }
+
+// helperPair: a helper acquires, the caller releases directly.
+func helperPair(mu *sync.Mutex) {
+	lockHelper(mu)
+	mu.Unlock()
+}
+
+// helperBothSides: both halves live in helpers.
+func helperBothSides(mu *sync.Mutex) {
+	lockHelper(mu)
+	unlockHelper(mu)
+}
+
+// deferHelper releases through a deferred helper call.
+func deferHelper(mu *sync.Mutex) {
+	lockHelper(mu)
+	defer unlockHelper(mu)
+}
+
+// throughThree threads the lock down a three-call chain and back.
+func throughThree(mu *sync.Mutex) {
+	acquire3(mu)
+	defer unlockHelper(mu)
+}
+
+func acquire3(mu *sync.Mutex) { acquire2(mu) }
+func acquire2(mu *sync.Mutex) { lockHelper(mu) }
+
+// splitGuarded is the receiver-rooted version of the same split.
+type splitGuarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *splitGuarded) lock()   { g.mu.Lock() }
+func (g *splitGuarded) unlock() { g.mu.Unlock() }
+
+func (g *splitGuarded) incr() {
+	g.lock()
+	g.n++
+	g.unlock()
+}

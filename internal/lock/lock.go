@@ -298,13 +298,14 @@ func (m *Manager) stripeFor(object string) *stripe {
 }
 
 // lockStripe takes the stripe mutex, counting acquisitions that had to
-// contend with another holder.
+// contend with another holder.  Deliberately an acquisition helper:
+// esrvet's interprocedural A1 verifies every caller releases st.mu.
 func (m *Manager) lockStripe(st *stripe) {
 	if st.mu.TryLock() {
 		return
 	}
 	m.met.StripeContention.Inc()
-	st.mu.Lock() //esrvet:ignore A1 acquisition helper; every caller releases st.mu
+	st.mu.Lock()
 }
 
 // Acquire blocks until tx holds a lock of the given mode on o.Object, or
