@@ -13,9 +13,9 @@ GO ?= go
 # the metrics registry every one of them writes concurrently, and the
 # analysis engine whose CFG/call-graph/fixpoint tests exercise shared
 # structures.
-RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/... ./internal/analysis/...
+RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/... ./internal/analysis/... ./internal/seqrep/... ./internal/ordup/...
 
-.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net node smoke-node fuzz clean
+.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net bench-fault node smoke-node smoke-chaos fuzz clean
 
 all: build
 
@@ -87,11 +87,25 @@ node:
 smoke-node:
 	bash scripts/smoke_node.sh
 
+# Replicated-sequencer failover drill: a 3-process ordup cluster with
+# -seqrep, kill -9 of the leading process mid-load, cold restart over
+# the surviving journals, byte-identical dumps required.
+smoke-chaos:
+	CHAOS=1 bash scripts/smoke_node.sh
+
 # E18 — in-memory simulator vs loopback TCP: transport throughput and
 # propagation lag (BENCH_net.json).
 NET_OUT ?= BENCH_net.json
 bench-net:
 	$(GO) run ./cmd/esrbench -exp E18 $(if $(BENCH_FULL),-full) -out $(NET_OUT)
+
+# E19 — replicated vs centralized sequencer: failover downtime and
+# no-fault overhead (BENCH_fault.json), failing when replication costs
+# more than MAX_FAULT_OVERHEAD percent throughput with no faults.
+FAULT_OUT ?= BENCH_fault.json
+MAX_FAULT_OVERHEAD ?= 15
+bench-fault:
+	$(GO) run ./cmd/esrbench -exp E19 $(if $(BENCH_FULL),-full) -out $(FAULT_OUT) -maxoverhead $(MAX_FAULT_OVERHEAD)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.
@@ -101,4 +115,4 @@ fuzz:
 
 clean:
 	$(GO) clean ./...
-	rm -f esrvet
+	rm -f esrvet esrnode

@@ -15,10 +15,13 @@
 //	esrbench -exp E16 -out BENCH_observe.json -maxoverhead 10
 //	esrbench -exp E17 -out BENCH_apply.json -minspeedup 1.5 -maxslowdown 5
 //	esrbench -exp E18 -out BENCH_net.json
+//	esrbench -exp E19 -out BENCH_fault.json -maxoverhead 15
 //
-// -maxoverhead fails the run when E16's cross-method mean overhead
-// (instrumented vs nil registry) exceeds the given percentage — the CI
-// regression gate for the metrics layer.
+// -maxoverhead fails the run when the measured overhead exceeds the
+// given percentage: with -exp E16 the cross-method mean of instrumented
+// vs nil-registry throughput (the metrics layer's CI gate), with -exp
+// E19 the replicated-vs-centralized sequencer throughput cost (the
+// fault-tolerance CI gate, a median of paired trials).
 //
 // -minspeedup fails the run when E17's cross-method mean speedup at the
 // largest worker count on the commuting workload falls short.  The
@@ -49,8 +52,8 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15, E16, E17 or E18: also write the baseline JSON to this file")
-		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16: fail when mean instrumentation overhead exceeds this percentage (0 disables)")
+		out    = flag.String("out", "", "with -exp E15, E16, E17, E18 or E19: also write the baseline JSON to this file")
+		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16 or E19: fail when the measured overhead exceeds this percentage (0 disables)")
 		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS) (0 disables)")
 		maxSlw = flag.Float64("maxslowdown", 0, "with -exp E17: fail when the conflicting workload's mean at the largest worker count is more than this percentage slower than serial (0 disables)")
 	)
@@ -60,11 +63,11 @@ func main() {
 	maxOverhead = *maxOvh
 	minSpeedup = *minSpd
 	maxSlowdown = *maxSlw
-	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" {
-		fatal(fmt.Errorf("-out records the E15, E16, E17 or E18 baseline; use it with that -exp"))
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" && *exp != "E19" {
+		fatal(fmt.Errorf("-out records the E15, E16, E17, E18 or E19 baseline; use it with that -exp"))
 	}
-	if maxOverhead > 0 && *exp != "E16" {
-		fatal(fmt.Errorf("-maxoverhead gates the E16 overhead; use it with -exp E16"))
+	if maxOverhead > 0 && *exp != "E16" && *exp != "E19" {
+		fatal(fmt.Errorf("-maxoverhead gates the E16 or E19 overhead; use it with that -exp"))
 	}
 	if (minSpeedup > 0 || maxSlowdown > 0) && *exp != "E17" {
 		fatal(fmt.Errorf("-minspeedup/-maxslowdown gate the E17 apply speedup; use them with -exp E17"))
@@ -142,6 +145,11 @@ func run(ex sim.Experiment, quick bool) error {
 	if ex.ID == "E18" && baselineOut != "" {
 		if err := writeNetBaseline(baselineOut, quick); err != nil {
 			return fmt.Errorf("%s: baseline: %w", ex.ID, err)
+		}
+	}
+	if ex.ID == "E19" && (baselineOut != "" || maxOverhead > 0) {
+		if err := faultGate(baselineOut, quick, maxOverhead); err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
 		}
 	}
 	return nil
@@ -357,6 +365,59 @@ func writeNetBaseline(path string, quick bool) error {
 	}
 	fmt.Fprintf(os.Stderr, "esrbench: wrote %s (TCP batch vs send: %.1fx; sim vs TCP batched: %.1fx)\n",
 		path, b.TCPBatchSpeedupX, b.SimOverTCPBatchX)
+	return nil
+}
+
+// faultBaseline is the BENCH_fault.json schema: the sequencer
+// deployment-mode rows plus the two numbers the CI gate and the
+// availability story rest on — no-fault replication overhead and
+// failover downtime.
+type faultBaseline struct {
+	Experiment string       `json:"experiment"`
+	Full       bool         `json:"full"`
+	Rows       []sim.E19Row `json:"rows"`
+	// ReplicationOverheadPercent is the no-fault throughput cost of the
+	// replicated order service vs the centralized one (median of paired
+	// trials).
+	ReplicationOverheadPercent float64 `json:"replication_overhead_percent"`
+	FailoverP50Millis          float64 `json:"failover_p50_millis"`
+	FailoverP99Millis          float64 `json:"failover_p99_millis"`
+}
+
+// faultGate re-measures the E19 sweep, optionally records it as JSON,
+// and fails when replication's no-fault overhead exceeds maxPct.
+func faultGate(path string, quick bool, maxPct float64) error {
+	rows, err := sim.E19Sweep(quick)
+	if err != nil {
+		return err
+	}
+	b := faultBaseline{
+		Experiment:                 "E19",
+		Full:                       !quick,
+		Rows:                       rows,
+		ReplicationOverheadPercent: 100 * sim.E19Overhead(rows),
+	}
+	for _, r := range rows {
+		if r.Failovers > 0 {
+			b.FailoverP50Millis = r.FailoverP50Millis
+			b.FailoverP99Millis = r.FailoverP99Millis
+		}
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esrbench: wrote %s (replication overhead %+.1f%%, failover p50 %.1fms p99 %.1fms)\n",
+			path, b.ReplicationOverheadPercent, b.FailoverP50Millis, b.FailoverP99Millis)
+	}
+	if maxPct > 0 && b.ReplicationOverheadPercent > maxPct {
+		return fmt.Errorf("replicated sequencer costs %+.1f%% no-fault throughput, past the -maxoverhead %.0f%% gate",
+			b.ReplicationOverheadPercent, maxPct)
+	}
 	return nil
 }
 

@@ -42,6 +42,7 @@ import (
 	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/op"
+	"esr/internal/seqrep"
 	"esr/internal/sim"
 )
 
@@ -77,23 +78,31 @@ func main() {
 		out       = flag.String("out", "", "write the post-convergence store dump to this file")
 		settle    = flag.Duration("settle", 60*time.Second, "distributed drain-barrier timeout")
 		linger    = flag.Duration("linger", time.Second, "grace period after the barrier so peers finish their final polls")
+		repSeq    = flag.Bool("seqrep", false, "replicate the ORDUP order service: every process co-hosts one ensemble member, so killing any single node never loses sequencing")
 	)
 	flag.Parse()
 	if err := run(*site, *sites, *method, *listen, *peers, *peersFile, *dir, *maddr,
-		*updates, *objects, *opsPer, *seed, *out, *settle, *linger); err != nil {
+		*updates, *objects, *opsPer, *seed, *out, *settle, *linger, *repSeq); err != nil {
 		log.Fatalf("esrnode: %v", err)
 	}
 }
 
 func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string,
-	updates, objects, opsPer int, seed int64, out string, settle, linger time.Duration) error {
+	updates, objects, opsPer int, seed int64, out string, settle, linger time.Duration,
+	replicatedSeq bool) error {
 	if site < 1 || site > sites {
 		return fmt.Errorf("-site %d outside 1..%d", site, sites)
 	}
 	self := clock.SiteID(site)
 
-	localSites := []clock.SiteID{self, ctrlSite(self)}
-	if site == 1 {
+	// Beyond the replica site and the control channel, each process may
+	// host virtual transport sites: the legacy order server (rides with
+	// site 1), a replicated-sequencer ensemble member (-seqrep: one per
+	// process), and the snapshot donor serving site catch-up.
+	localSites := []clock.SiteID{self, ctrlSite(self), core.SnapSite(self)}
+	if replicatedSeq {
+		localSites = append(localSites, seqrep.ReplicaSite(self))
+	} else if site == 1 {
 		localSites = append(localSites, core.SequencerSite)
 	}
 	tn, err := network.NewTCP(network.TCPOptions{
@@ -118,8 +127,14 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		}
 		tn.AddPeer(id, addrs[id])
 		tn.AddPeer(ctrlSite(id), addrs[id])
+		tn.AddPeer(core.SnapSite(id), addrs[id])
+		if replicatedSeq {
+			tn.AddPeer(seqrep.ReplicaSite(id), addrs[id])
+		}
 	}
-	tn.AddPeer(core.SequencerSite, addrs[1])
+	if !replicatedSeq {
+		tn.AddPeer(core.SequencerSite, addrs[1])
+	}
 
 	var reg *metrics.Registry
 	traceCap := 0
@@ -128,12 +143,17 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		traceCap = 4096
 	}
 
+	seqReplicas := 0
+	if replicatedSeq {
+		seqReplicas = sites
+	}
 	eng, err := sim.NewEngine(sim.EngineKind(method), sites, network.Config{}, sim.Options{
-		QueueDir:   dir,
-		Metrics:    reg,
-		Trace:      traceCap,
-		Transport:  tn,
-		LocalSites: []clock.SiteID{self},
+		QueueDir:    dir,
+		Metrics:     reg,
+		Trace:       traceCap,
+		Transport:   tn,
+		LocalSites:  []clock.SiteID{self},
+		SeqReplicas: seqReplicas,
 	})
 	if err != nil {
 		return err

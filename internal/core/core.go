@@ -17,6 +17,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"sync"
@@ -33,6 +34,7 @@ import (
 	"esr/internal/op"
 	"esr/internal/queue"
 	"esr/internal/replica"
+	"esr/internal/seqrep"
 	"esr/internal/trace"
 	"esr/internal/wal"
 )
@@ -40,6 +42,17 @@ import (
 // SequencerSite is the virtual site that answers global-order requests
 // for ORDUP's centralized order server (§3.1).
 const SequencerSite clock.SiteID = 1000
+
+// SnapBase is the first virtual site of the per-site catch-up snapshot
+// service: the process hosting cluster site i serves state transfers on
+// SnapBase+i (see ordup's catch-up).  The range sits clear of real
+// sites (1..Sites), the order server (1000), the sequencer ensemble
+// (1100+) and esrnode's control sites (2000+).
+const SnapBase clock.SiteID = 1500
+
+// SnapSite maps a donor's cluster-site ID to its snapshot-service
+// virtual site.
+func SnapSite(id clock.SiteID) clock.SiteID { return SnapBase + id }
 
 // framePool recycles the [][]byte frame slices batched delivery builds
 // for every SendBatch — one per propagation frame on the hot path.
@@ -137,6 +150,18 @@ type Config struct {
 	// manager.  Zero means lock.DefaultStripes; 1 restores a single
 	// global lock table.
 	LockStripes int
+	// SeqReplicas, when positive, replaces the single virtual order
+	// server with a replicated sequencer ensemble of that size (see
+	// internal/seqrep): replica i rides with cluster site i on virtual
+	// transport site seqrep.ReplicaSite(i), and NextSeq/NextSeqN route
+	// through a leader-discovering client that survives replica
+	// failover.  Typically 3 (majorities need an odd size).  Zero keeps
+	// the legacy centralized server at SequencerSite.
+	SeqReplicas int
+	// SeqElectionTimeout tunes the ensemble's base election timeout
+	// (tests use small values for fast failover).  Zero means the
+	// seqrep default.
+	SeqElectionTimeout time.Duration
 }
 
 // defaultDeliveryWindow is the outbound in-flight window when
@@ -155,7 +180,7 @@ type Cluster struct {
 	ownNet bool // Net was built here (no Config.Transport); Close closes it
 	local  map[clock.SiteID]bool
 	Seq    *clock.Sequencer
-	Hist *history.Log
+	Hist   *history.Log
 	// Trace is the cluster's event ring (nil when tracing is disabled;
 	// nil rings discard records, so emit sites need no checks).
 	Trace *trace.Ring
@@ -175,6 +200,18 @@ type Cluster struct {
 	etCounter   map[clock.SiteID]*atomic.Uint64
 	msgCounter  map[clock.SiteID]*atomic.Uint64
 	activeQuery atomic.Int64 // in-flight query ETs (observability only)
+
+	// Replicated-sequencer machinery (Config.SeqReplicas > 0): locally
+	// hosted replicas by cluster-site ID (guarded by siteMu once crash/
+	// restart is in play), the shared leader-discovering client, and the
+	// per-origin reservation-intent journals durable clusters use for
+	// crash recovery.  seqRng jitters the legacy retry backoff.
+	seqReps   map[clock.SiteID]*seqrep.Replica
+	seqClient *seqrep.Client
+	intents   map[clock.SiteID]*intentFile
+	recovered map[clock.SiteID][]et.MSet // WAL records stashed during Setup cold recovery
+	seqRngMu  sync.Mutex
+	seqRng    *rand.Rand
 
 	// met is the resolved instrumentation (nil when Config.Metrics is
 	// nil; nil clusterMetrics methods hand out no-op instruments).
@@ -243,6 +280,9 @@ func New(cfg Config) (*Cluster, error) {
 		crashed:    make(map[clock.SiteID]bool),
 		etCounter:  make(map[clock.SiteID]*atomic.Uint64),
 		msgCounter: make(map[clock.SiteID]*atomic.Uint64),
+		seqReps:    make(map[clock.SiteID]*seqrep.Replica),
+		intents:    make(map[clock.SiteID]*intentFile),
+		seqRng:     rand.New(rand.NewSource(20260808)),
 	}
 	if cfg.Trace > 0 {
 		c.Trace = trace.NewRing(cfg.Trace)
@@ -332,8 +372,24 @@ func New(cfg Config) (*Cluster, error) {
 	// deployment the server rides with site 1: only the process hosting
 	// site 1 answers, and every other process routes SequencerSite to
 	// that node's address.
-	if c.IsLocal(1) {
+	if cfg.SeqReplicas == 0 && c.IsLocal(1) {
 		c.registerSequencer()
+	}
+	if cfg.SeqReplicas > 0 {
+		if err := c.hostSequencerReplicas(); err != nil {
+			return nil, err
+		}
+	}
+	// Reservation-intent journals: one per local site on durable
+	// clusters, so NextSeqN can note a run's owner before handing it out.
+	if cfg.Dir != "" {
+		for id := range c.sites {
+			it, err := openIntent(cfg.Dir, id)
+			if err != nil {
+				return nil, err
+			}
+			c.intents[id] = it
+		}
 	}
 	return c, nil
 }
@@ -415,10 +471,17 @@ func (c *Cluster) newQueue(name string) (queue.Queue, error) {
 // RestartSite.
 func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 	c.factory = factory
-	for id, s := range c.sites {
-		apply := factory(s)
-		if c.cfg.Dir != "" {
-			w, _, err := wal.Open(c.walPath(id))
+	// Cold recovery (durable clusters): a WAL that already holds records
+	// belongs to a previous process incarnation killed without warning.
+	// Rebuild the store from it, reload the inbound queue's indexes, and
+	// stash the records so engine factories can restore per-site protocol
+	// state through RecoveredRecords — the same contract RestartSite's
+	// RecoverFunc provides within one process lifetime.
+	appliedBy := make(map[clock.SiteID]map[et.ID]bool)
+	if c.cfg.Dir != "" {
+		c.recovered = make(map[clock.SiteID][]et.MSet)
+		for id, s := range c.sites {
+			w, records, err := wal.Open(c.walPath(id))
 			if err != nil {
 				// Surfacing an error here would change Setup's signature
 				// for one unlikely failure; a durable cluster that cannot
@@ -427,7 +490,36 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 			}
 			w.SetMetrics(c.met.walMetrics(id))
 			c.wals[id] = w
-			apply = wal.Wrap(w, apply)
+			if len(records) == 0 {
+				continue
+			}
+			appliedBy[id] = wal.Rebuild(s.Store, records)
+			if err := s.Reload(); err != nil {
+				panic(fmt.Sprintf("core: reload queue indexes for %v: %v", id, err))
+			}
+			c.recovered[id] = records
+			c.restoreETCounter(id, records)
+		}
+	}
+	for id, s := range c.sites {
+		apply := factory(s)
+		if w := c.wals[id]; w != nil {
+			if applied := appliedBy[id]; applied != nil {
+				inner := apply
+				apply = func(m et.MSet) error {
+					if applied[m.ET] && !m.Compensation {
+						// Applied and logged before the crash; the queued
+						// copy is a leftover to acknowledge, not re-apply.
+						return nil
+					}
+					if err := inner(m); err != nil {
+						return err
+					}
+					return w.Append(m)
+				}
+			} else {
+				apply = wal.Wrap(w, apply)
+			}
 		}
 		s.SetApply(apply)
 		s.Start()
@@ -437,6 +529,45 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 			l.d.Start()
 		}
 	}
+	// Settle reservation intents from the previous incarnation: the last
+	// reserved run of each local origin is re-broadcast or gap-filled so
+	// no site can stall forever on a sequence number the dead process
+	// reserved but never propagated.
+	for id, s := range c.sites {
+		if err := c.resolveSeqIntents(id, s, c.inQ[id], c.recovered[id]); err != nil {
+			panic(fmt.Sprintf("core: resolve seq intents for %v: %v", id, err))
+		}
+	}
+}
+
+// restoreETCounter restarts a site's ET counter past every ID it issued
+// before the crash (found in its own WAL and inbound journal — the
+// inbound journal is written before any outbound link, so it is a
+// superset of what other sites may hold).  Gap-fill and snapshot IDs
+// live in disjoint reserved ranges and are excluded.
+func (c *Cluster) restoreETCounter(id clock.SiteID, records []et.MSet) {
+	max := c.etCounter[id].Load()
+	note := func(m et.MSet) {
+		if m.ET.Origin() != id || m.ET.IsGap() || m.ET.IsSnap() {
+			return
+		}
+		if l := m.ET.Local(); l > max {
+			max = l
+		}
+	}
+	for _, m := range records {
+		note(m)
+	}
+	if q := c.inQ[id]; q != nil {
+		if msgs, err := q.All(); err == nil {
+			for _, msg := range msgs {
+				if m, err := et.DecodeMSet(msg.Payload); err == nil {
+					note(m)
+				}
+			}
+		}
+	}
+	c.etCounter[id].Store(max)
 }
 
 // Site returns the site with the given ID (nil if unknown).
@@ -457,9 +588,11 @@ func (c *Cluster) sitesSnapshot() []*replica.Site {
 	return out
 }
 
-// SiteIDs returns all site IDs in ascending order.
+// SiteIDs returns all site IDs in ascending order.  It derives the list
+// from the immutable configuration, not the site map, so it is safe to
+// call concurrently with CrashSite/RestartSite without the site lock.
 func (c *Cluster) SiteIDs() []clock.SiteID {
-	out := make([]clock.SiteID, 0, len(c.sites))
+	out := make([]clock.SiteID, 0, c.cfg.Sites)
 	for i := 1; i <= c.cfg.Sites; i++ {
 		out = append(out, clock.SiteID(i))
 	}
@@ -474,34 +607,84 @@ func (c *Cluster) NextET(origin clock.SiteID) et.ID {
 	return et.MakeID(origin, c.etCounter[origin].Add(1))
 }
 
-// NextSeq asks the order server for the next global sequence number,
-// paying a network round trip from the requesting site.  If the server is
-// unreachable (partition), an error is returned and the update cannot
-// proceed — the centralized-sequencer availability cost ORDUP pays.
+// NextSeq asks the order service for the next global sequence number,
+// paying a network round trip from the requesting site.  Transient
+// transport failures are retried with jittered backoff; only after
+// bounded retry (or on a permanent protocol error) does the update fail
+// — the centralized-sequencer availability cost ORDUP pays, now limited
+// to real outages instead of any dropped packet.
 func (c *Cluster) NextSeq(from clock.SiteID) (uint64, error) {
-	resp, err := c.Net.Call(from, SequencerSite, []byte("seq"))
-	if err != nil {
-		return 0, fmt.Errorf("core: order server unreachable: %w", err)
-	}
-	return decodeU64(resp), nil
+	return c.NextSeqN(from, 1)
 }
 
-// NextSeqN reserves n consecutive global sequence numbers in a single
-// round trip to the order server, returning the first of the run.  A
-// commit burst of n updates pays one network exchange instead of n.
+// legacySeqAttempts bounds the retry loop against the unreplicated
+// order server (the replicated client has its own deadline-based loop).
+const legacySeqAttempts = 6
+
+// NextSeqN reserves n consecutive global sequence numbers, returning
+// the first of the run.  A commit burst of n updates pays one network
+// exchange instead of n.  With Config.SeqReplicas set the reservation
+// goes through the replicated sequencer's leader-discovering client and
+// transparently survives leader failover; otherwise the legacy
+// centralized server answers, with bounded retry around transient
+// transport faults.  On durable clusters the run is recorded in the
+// origin's reservation-intent journal before it is returned, so a crash
+// between reserving and broadcasting can be resolved on restart
+// (re-broadcast what was durably produced, gap-fill the rest).
 func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("core: reserve of zero sequence numbers")
 	}
+	var start uint64
+	var err error
+	if c.seqClient != nil {
+		start, err = c.seqClient.Reserve(from, n)
+	} else {
+		start, err = c.legacyReserve(from, n)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("core: order service unreachable: %w", err)
+	}
+	if err := c.recordSeqIntent(from, start, n); err != nil {
+		return 0, err
+	}
+	return start, nil
+}
+
+// legacyReserve is the unreplicated reservation path: one round trip to
+// the virtual order server at SequencerSite, retried a bounded number
+// of times with jittered exponential backoff.  Only transient transport
+// faults (network.Transient) retry; a permanent error — an encode or
+// protocol failure surfacing as a RemoteError — fails immediately, the
+// distinction the old single-shot path collapsed into "unreachable".
+func (c *Cluster) legacyReserve(from clock.SiteID, n uint64) (uint64, error) {
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(n >> (8 * i))
 	}
-	resp, err := c.Net.Call(from, SequencerSite, b[:])
-	if err != nil {
-		return 0, fmt.Errorf("core: order server unreachable: %w", err)
+	backoff := 200 * time.Microsecond
+	var lastErr error
+	for attempt := 0; attempt < legacySeqAttempts; attempt++ {
+		if attempt > 0 {
+			c.met.seqRetryCounter().Inc()
+			c.seqRngMu.Lock()
+			jitter := time.Duration(c.seqRng.Int63n(int64(backoff) + 1))
+			c.seqRngMu.Unlock()
+			time.Sleep(backoff + jitter)
+			if backoff < 20*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		resp, err := c.Net.Call(from, SequencerSite, b[:])
+		if err == nil {
+			return decodeU64(resp), nil
+		}
+		if !network.Transient(err) {
+			return 0, err
+		}
+		lastErr = err
 	}
-	return decodeU64(resp), nil
+	return 0, lastErr
 }
 
 // msgIDFor derives a queue-unique message ID from an MSet identity (see
@@ -710,6 +893,9 @@ func (c *Cluster) Close() error {
 			}
 		}
 		c.siteMu.Lock()
+		for _, r := range c.seqReps {
+			r.Stop() //esrvet:ignore A8 shutdown path: replica Stop fsyncs final state under siteMu; no request traffic contends at Close
+		}
 		for id, s := range c.sites {
 			if c.crashed[id] {
 				continue
@@ -718,6 +904,9 @@ func (c *Cluster) Close() error {
 			if w := c.wals[id]; w != nil {
 				w.Close()
 			}
+		}
+		for _, it := range c.intents {
+			it.close()
 		}
 		c.siteMu.Unlock()
 		for _, links := range c.out {

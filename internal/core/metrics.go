@@ -15,6 +15,7 @@ import (
 	"esr/internal/network"
 	"esr/internal/queue"
 	"esr/internal/replica"
+	"esr/internal/seqrep"
 	"esr/internal/wal"
 )
 
@@ -55,6 +56,7 @@ type clusterMetrics struct {
 	queueSyncSec   *metrics.HistogramVec
 	queueDeliver   *metrics.HistogramVec
 	queueCompacted *metrics.CounterVec
+	queueDirSyncEr *metrics.CounterVec
 
 	walSyncs   *metrics.CounterVec
 	walSyncSec *metrics.HistogramVec
@@ -74,6 +76,13 @@ type clusterMetrics struct {
 	lockConflicts  *metrics.CounterVec
 	lockWaitSec    *metrics.HistogramVec
 	lockContention *metrics.CounterVec
+
+	seqElections *metrics.CounterVec
+	seqLeader    *metrics.GaugeVec
+	seqRetries   *metrics.Counter
+	seqGapFills  *metrics.CounterVec
+	catchupBytes *metrics.CounterVec
+	catchupSec   *metrics.HistogramVec
 }
 
 // newClusterMetrics declares every family on the registry.  Returns nil
@@ -98,15 +107,16 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		queueSyncSec:   reg.Histogram("esr_queue_sync_seconds", "Journal fsync latency.", metrics.ScaleNanos, "site", "queue"),
 		queueDeliver:   reg.Histogram("esr_queue_deliver_seconds", "Enqueue-to-acknowledge latency per message.", metrics.ScaleNanos, "site", "queue"),
 		queueCompacted: reg.Counter("esr_queue_compactions_total", "Journal compactions performed by a stable queue.", "site", "queue"),
+		queueDirSyncEr: reg.Counter("esr_queue_dirsync_errors_total", "Failed directory fsyncs after a journal compaction's rename.", "site", "queue"),
 
 		walSyncs:   reg.Counter("esr_wal_syncs_total", "Write-ahead-log fsyncs issued.", "site"),
 		walSyncSec: reg.Histogram("esr_wal_sync_seconds", "Write-ahead-log fsync latency.", metrics.ScaleNanos, "site"),
 		walAppends: reg.Counter("esr_wal_appends_total", "MSets durably appended to the write-ahead log.", "site"),
 
-		siteReceived:  reg.Counter("esr_site_received_total", "MSets accepted into a site's inbound queue.", "site"),
-		siteApplied:   reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
-		siteHeld:      reg.Counter("esr_site_holds_total", "Hold-back decisions at a site (one per deferred scan).", "site"),
-		siteErrors:    reg.Counter("esr_site_apply_errors_total", "Apply errors at a site (excluding holds).", "site"),
+		siteReceived:    reg.Counter("esr_site_received_total", "MSets accepted into a site's inbound queue.", "site"),
+		siteApplied:     reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
+		siteHeld:        reg.Counter("esr_site_holds_total", "Hold-back decisions at a site (one per deferred scan).", "site"),
+		siteErrors:      reg.Counter("esr_site_apply_errors_total", "Apply errors at a site (excluding holds).", "site"),
 		siteEvictions:   reg.Counter("esr_site_seen_evictions_total", "Applied-ID dedup entries evicted past the retention horizon.", "site"),
 		siteParallelism: reg.Gauge("esr_site_apply_parallelism", "Apply workers dispatched by the most recent scheduling pass.", "site"),
 		siteApplySec:    reg.Histogram("esr_site_apply_seconds", "Per-MSet apply latency by worker slot.", metrics.ScaleNanos, "site", "worker"),
@@ -117,6 +127,13 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		lockConflicts:  reg.Counter("esr_lock_conflicts_total", "Blocking lock conflicts by compatibility-table cell.", "site", "held", "req"),
 		lockWaitSec:    reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
 		lockContention: reg.Counter("esr_lock_stripe_contention_total", "Stripe-mutex acquisitions that found the stripe already locked.", "site"),
+
+		seqElections: reg.Counter("esr_seq_elections_total", "Election rounds started by a sequencer replica.", "replica"),
+		seqLeader:    reg.Gauge("esr_seq_leader", "1 while the sequencer replica believes it leads.", "replica"),
+		seqRetries:   reg.Counter("esr_seq_client_retries_total", "Sequencer reservation attempts beyond the first (leader re-discovery and transient-failure retries).").With(),
+		seqGapFills:  reg.Counter("esr_seq_gap_fills_total", "Gap-fill MSets broadcast for reserved-but-unused sequence numbers.", "site"),
+		catchupBytes: reg.Counter("esr_catchup_bytes_total", "Snapshot bytes transferred into a catching-up site.", "site"),
+		catchupSec:   reg.Histogram("esr_catchup_seconds", "End-to-end duration of site catch-up state transfers.", metrics.ScaleNanos, "site"),
 	}
 	// Resolve every site's method-level instruments up front: the map is
 	// read-only afterwards, so concurrent engine paths need no lock.
@@ -140,6 +157,45 @@ func (m *clusterMetrics) resolveSite(id clock.SiteID) {
 		QueryFallback: m.reg.Counter("esr_query_fallback_total", "Query ETs that took the conservative path, by site.", "site").With(s),
 		EpsilonBudget: m.reg.Gauge("esr_epsilon_budget", "Remaining ε units after the most recent query (-1 = unlimited), by site.", "site").With(s),
 	}
+}
+
+// seqrepMetrics resolves one sequencer replica's instruments.  Safe on
+// nil.
+func (m *clusterMetrics) seqrepMetrics(id clock.SiteID) seqrep.Metrics {
+	if m == nil {
+		return seqrep.Metrics{}
+	}
+	s := siteLabel(id)
+	return seqrep.Metrics{
+		Elections: m.seqElections.With(s),
+		Leader:    m.seqLeader.With(s),
+	}
+}
+
+// seqRetryCounter resolves the shared sequencer-client retry counter.
+// Safe on nil.
+func (m *clusterMetrics) seqRetryCounter() *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.seqRetries
+}
+
+// gapFillCounter resolves one site's gap-fill counter.  Safe on nil.
+func (m *clusterMetrics) gapFillCounter(id clock.SiteID) *metrics.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.seqGapFills.With(siteLabel(id))
+}
+
+// catchupMetrics resolves one site's catch-up instruments.  Safe on nil.
+func (m *clusterMetrics) catchupMetrics(id clock.SiteID) (*metrics.Counter, *metrics.Histogram) {
+	if m == nil {
+		return nil, nil
+	}
+	s := siteLabel(id)
+	return m.catchupBytes.With(s), m.catchupSec.With(s)
 }
 
 // siteMetrics returns the per-site method-level instruments resolved at
@@ -166,6 +222,7 @@ func (m *clusterMetrics) queueMetrics(site clock.SiteID, name string) queue.Metr
 		SyncSeconds:    m.queueSyncSec.With(s, name),
 		DeliverSeconds: m.queueDeliver.With(s, name),
 		Compactions:    m.queueCompacted.With(s, name),
+		DirSyncErrors:  m.queueDirSyncEr.With(s, name),
 	}
 }
 
@@ -247,6 +304,13 @@ func (m *clusterMetrics) networkMetrics() network.Metrics {
 		Frames:         m.reg.Counter("esr_net_frames_total", "Batch frames delivered.").With(),
 		LatencySeconds: m.reg.Histogram("esr_net_latency_seconds", "Injected one-way link delay per transit.", metrics.ScaleNanos).With(),
 	}
+}
+
+// CatchupMetrics returns the site's catch-up instruments (bytes
+// transferred, end-to-end transfer duration).  Nil instruments on
+// uninstrumented clusters are no-ops at the call sites.
+func (c *Cluster) CatchupMetrics(id clock.SiteID) (*metrics.Counter, *metrics.Histogram) {
+	return c.met.catchupMetrics(id)
 }
 
 // Registry returns the cluster's metrics registry (nil when the cluster

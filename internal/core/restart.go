@@ -52,6 +52,7 @@ func (c *Cluster) CrashSite(id clock.SiteID) error {
 		return ErrSiteCrashed
 	}
 	c.Net.Crash(id)
+	c.crashSeqReplicaLocked(id) //esrvet:ignore A8 crash injection stops the co-hosted replica (final fsync) under siteMu so no reservation races the crash
 	s.Stop()
 	if q := c.inQ[id]; q != nil {
 		q.Close()
@@ -122,6 +123,17 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 	delete(c.crashed, id)
 	c.Net.Restart(id)
 	site.Start()
+	// The co-hosted sequencer replica comes back with its site, from its
+	// own durable state (term, vote, watermark).
+	if err := c.restartSeqReplicaLocked(id); err != nil {
+		return err
+	}
+	// Settle the origin's last reserved sequence run: re-broadcast what
+	// survived durably, gap-fill the rest, so no peer stalls forever on
+	// a number this site reserved but never propagated.
+	if err := c.resolveSeqIntents(id, site, q, records); err != nil {
+		return err
+	}
 	// Nudge peers' delivery agents: anything queued for this site flows
 	// again now.
 	for _, links := range c.out {

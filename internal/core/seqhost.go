@@ -1,0 +1,134 @@
+// Replicated-sequencer hosting: when Config.SeqReplicas is set, the
+// cluster co-hosts one seqrep.Replica with each of its first
+// SeqReplicas sites (replica i answers on virtual transport site
+// seqrep.ReplicaSite(i)), and NextSeq/NextSeqN route through a
+// leader-discovering client instead of the single order server at
+// SequencerSite.  CrashSite/RestartSite take the co-hosted replica down
+// and bring it back with its site, so killing the sequencer leader is
+// exactly the fault the ensemble exists to survive.
+package core
+
+import (
+	"fmt"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/seqrep"
+)
+
+// hostSequencerReplicas builds the locally hosted ensemble members and
+// the shared reservation client.  Called from New.
+func (c *Cluster) hostSequencerReplicas() error {
+	n := c.cfg.SeqReplicas
+	if n > c.cfg.Sites {
+		return fmt.Errorf("core: SeqReplicas %d exceeds Sites %d", n, c.cfg.Sites)
+	}
+	for i := 1; i <= n; i++ {
+		id := clock.SiteID(i)
+		if !c.IsLocal(id) {
+			continue
+		}
+		r, err := c.newSeqReplica(id)
+		if err != nil {
+			return err
+		}
+		c.seqReps[id] = r
+	}
+	c.seqClient = seqrep.NewClient(c.Net, n, 0)
+	c.seqClient.Retries = c.met.seqRetryCounter()
+	return nil
+}
+
+// newSeqReplica builds one ensemble member (initial hosting and
+// restart after a crash share this).
+func (c *Cluster) newSeqReplica(id clock.SiteID) (*seqrep.Replica, error) {
+	r, err := seqrep.New(seqrep.Config{
+		ID:              id,
+		Replicas:        c.cfg.SeqReplicas,
+		Transport:       c.Net,
+		Dir:             c.cfg.Dir,
+		ElectionTimeout: c.cfg.SeqElectionTimeout,
+		Metrics:         c.met.seqrepMetrics(id),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: sequencer replica %v: %w", id, err)
+	}
+	return r, nil
+}
+
+// SeqReplicated reports whether sequence reservations go through the
+// replicated ensemble.
+func (c *Cluster) SeqReplicated() bool { return c.seqClient != nil }
+
+// SeqLeader returns the reservation client's current leader hint
+// (0 = unknown or unreplicated).
+func (c *Cluster) SeqLeader() clock.SiteID {
+	if c.seqClient == nil {
+		return 0
+	}
+	return c.seqClient.Leader()
+}
+
+// SeqCommittedWatermark asks the ensemble leader for its committed
+// (majority-acked) watermark: every run confirmed after this call
+// starts above the returned value.  ORDUP's sequencer-mode heartbeats
+// use it to raise the sequence floor idle origins advertise.
+func (c *Cluster) SeqCommittedWatermark(from clock.SiteID) (uint64, error) {
+	if c.seqClient == nil {
+		return c.Seq.Current(), nil
+	}
+	return c.seqClient.CommittedWatermark(from)
+}
+
+// SeqReplica returns the locally hosted ensemble member co-located with
+// the site (nil when none).  Tests and esrnode use it to observe
+// leadership.
+func (c *Cluster) SeqReplica(id clock.SiteID) *seqrep.Replica {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	return c.seqReps[id]
+}
+
+// SiteCrashed reports whether the site is currently crashed.
+func (c *Cluster) SiteCrashed(id clock.SiteID) bool {
+	c.siteMu.Lock()
+	defer c.siteMu.Unlock()
+	return c.crashed[id]
+}
+
+// RecoveredRecords returns the WAL records recovered for the site
+// during Setup's cold-start path (nil when the site started fresh).
+// Engine factories use them to rebuild per-site protocol state — e.g.
+// ORDUP's next expected sequence number — exactly as RestartSite's
+// RecoverFunc does within one process lifetime.
+func (c *Cluster) RecoveredRecords(id clock.SiteID) []et.MSet {
+	return c.recovered[id]
+}
+
+// crashSeqReplicaLocked takes the site's co-hosted ensemble member down
+// with it: the virtual replica site goes unreachable and the replica's
+// goroutines stop.  Called under siteMu from CrashSite.
+func (c *Cluster) crashSeqReplicaLocked(id clock.SiteID) {
+	r := c.seqReps[id]
+	if r == nil {
+		return
+	}
+	c.Net.Crash(seqrep.ReplicaSite(id))
+	r.Stop()
+}
+
+// restartSeqReplicaLocked brings the site's co-hosted ensemble member
+// back from its durable state (term, vote, watermark).  Called under
+// siteMu from RestartSite.
+func (c *Cluster) restartSeqReplicaLocked(id clock.SiteID) error {
+	if c.seqReps[id] == nil {
+		return nil
+	}
+	c.Net.Restart(seqrep.ReplicaSite(id))
+	r, err := c.newSeqReplica(id)
+	if err != nil {
+		return err
+	}
+	c.seqReps[id] = r
+	return nil
+}

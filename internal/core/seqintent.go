@@ -1,0 +1,221 @@
+// Reservation-intent journal: the origin-side half of gap-free
+// sequencing.  NextSeqN durably records each reserved run [start,
+// start+count) before handing it to the engine, so a crash between
+// reserving and broadcasting leaves evidence of who owns the numbers.
+// On restart the origin resolves its last intent: MSets it durably
+// produced (write-ahead log or inbound journal) are re-broadcast —
+// receivers dedup by message identity — and the rest of the run is
+// filled with empty gap MSets carrying deterministic IDs
+// (et.MakeGapID), so every site's sequence cursor can pass the run.
+//
+// Only the LAST intent can be unresolved: reservation and broadcast are
+// serialized per origin (ordup holds its submit lock across both), so
+// every earlier run finished enqueueing on all links before the next
+// reservation was recorded.
+package core
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"esr/internal/clock"
+	"esr/internal/et"
+	"esr/internal/queue"
+	"esr/internal/replica"
+)
+
+// intentRec is one reserved run.
+type intentRec struct {
+	start, count uint64
+}
+
+// intentFile is one origin's reservation-intent journal: fixed-size
+// 16-byte little-endian records, appended with an fsync each, last
+// intact record wins.  A torn tail (partial final record) is ignored —
+// a run whose intent never became durable was never returned to the
+// engine, so nothing references its numbers.
+type intentFile struct {
+	mu   sync.Mutex
+	f    *os.File
+	last intentRec
+	ok   bool // last is valid (at least one intact record)
+}
+
+const intentRecLen = 16
+
+func intentPath(dir string, id clock.SiteID) string {
+	return filepath.Join(dir, fmt.Sprintf("seq-intent-%d.log", id))
+}
+
+// openIntent opens (creating if needed) the origin's intent journal and
+// loads its last intact record.
+func openIntent(dir string, id clock.SiteID) (*intentFile, error) {
+	f, err := os.OpenFile(intentPath(dir, id), os.O_CREATE|os.O_RDWR, 0o600)
+	if err != nil {
+		return nil, fmt.Errorf("core: open seq intent journal: %w", err)
+	}
+	it := &intentFile{f: f}
+	buf, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: read seq intent journal: %w", err)
+	}
+	whole := len(buf) / intentRecLen * intentRecLen
+	if whole > 0 {
+		rec := buf[whole-intentRecLen : whole]
+		it.last = intentRec{start: decodeU64(rec[:8]), count: decodeU64(rec[8:])}
+		it.ok = true
+	}
+	if whole < len(buf) {
+		// Drop the torn tail so the next append starts on a record
+		// boundary.
+		if err := f.Truncate(int64(whole)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("core: trim seq intent journal: %w", err)
+		}
+	}
+	if _, err := f.Seek(int64(whole), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return it, nil
+}
+
+// record appends one run and makes it durable before returning.
+func (it *intentFile) record(start, count uint64) error {
+	var b [intentRecLen]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(start >> (8 * i))
+		b[8+i] = byte(count >> (8 * i))
+	}
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if _, err := it.f.Write(b[:]); err != nil {
+		return fmt.Errorf("core: append seq intent: %w", err)
+	}
+	if err := it.f.Sync(); err != nil { //esrvet:ignore A8 the intent record must be durable before NextSeqN returns; it.mu serializes appends by design
+		return fmt.Errorf("core: sync seq intent: %w", err)
+	}
+	it.last = intentRec{start: start, count: count}
+	it.ok = true
+	return nil
+}
+
+// lastRun returns the most recent durable reservation (ok=false when
+// the journal is empty).
+func (it *intentFile) lastRun() (intentRec, bool) {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	return it.last, it.ok
+}
+
+func (it *intentFile) close() {
+	it.mu.Lock()
+	defer it.mu.Unlock()
+	if it.f != nil {
+		it.f.Close()
+		it.f = nil
+	}
+}
+
+// recordSeqIntent durably notes a reserved run against its origin
+// before NextSeqN returns it.  In-memory clusters (no Dir) skip the
+// journal: there is no durable state to resolve against after a crash.
+func (c *Cluster) recordSeqIntent(from clock.SiteID, start, n uint64) error {
+	it := c.intents[from]
+	if it == nil {
+		return nil
+	}
+	if err := it.record(start, n); err != nil {
+		return fmt.Errorf("core: record seq intent: %w", err)
+	}
+	return nil
+}
+
+// resolveSeqIntents settles the origin's last reserved run after a
+// restart: every sequence number of the run is either re-broadcast
+// (the MSet survives in the WAL or the inbound journal — receivers
+// collapse duplicates by message identity) or filled with an empty gap
+// MSet whose deterministic ID makes repeated resolutions converge.  The
+// caller passes the site handle, inbound queue and recovered WAL
+// records explicitly so this is callable under siteMu from RestartSite
+// as well as from Setup's cold-recovery path.
+func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queue.Queue, records []et.MSet) error {
+	it := c.intents[id]
+	if it == nil {
+		return nil
+	}
+	run, ok := it.lastRun()
+	if !ok || run.count == 0 {
+		return nil
+	}
+	inRun := func(seq uint64) bool {
+		return seq >= run.start && seq < run.start+run.count
+	}
+	bySeq := make(map[uint64]et.MSet, run.count)
+	for _, m := range records {
+		if m.Origin == id && inRun(m.Seq) {
+			bySeq[m.Seq] = m
+		}
+	}
+	if in != nil {
+		msgs, err := in.All()
+		if err != nil {
+			return fmt.Errorf("core: scan inbound journal for intents: %w", err)
+		}
+		for _, msg := range msgs {
+			m, err := et.DecodeMSet(msg.Payload)
+			if err != nil {
+				continue
+			}
+			if m.Origin == id && inRun(m.Seq) {
+				bySeq[m.Seq] = m
+			}
+		}
+	}
+	gapFills := c.met.gapFillCounter(id)
+	msets := make([]et.MSet, 0, run.count)
+	for seq := run.start; seq < run.start+run.count; seq++ {
+		m, found := bySeq[seq]
+		if !found {
+			// The number was reserved but its MSet never became durable
+			// anywhere: it cannot be in flight (the inbound journal is
+			// written before any outbound link), so the origin still
+			// owns it exclusively and may retire it with an empty MSet.
+			m = et.MSet{
+				ET:       et.MakeGapID(id, seq),
+				Origin:   id,
+				Seq:      seq,
+				TS:       site.Clock.Tick(),
+				SeqFloor: seq,
+			}
+			gapFills.Inc()
+		}
+		msets = append(msets, m)
+	}
+	// Re-broadcast the run in sequence order: origin first (its inbound
+	// queue and applied-ID index drop what it already has), then every
+	// outbound link.  This mirrors BroadcastAll without touching the
+	// siteMu-guarded maps.
+	msgs := make([]queue.Message, len(msets))
+	for i, m := range msets {
+		payload, err := m.Encode()
+		if err != nil {
+			return err
+		}
+		msgs[i] = queue.Message{ID: msgIDFor(m), Payload: payload}
+	}
+	if err := site.ReceiveDecodedBatch(msgs, msets); err != nil {
+		return fmt.Errorf("core: redeliver intent run at origin: %w", err)
+	}
+	for to, l := range c.out[id] {
+		if err := l.q.EnqueueBatch(msgs); err != nil {
+			return fmt.Errorf("core: re-enqueue intent run for %v: %w", to, err)
+		}
+		l.d.Kick()
+	}
+	return nil
+}

@@ -35,6 +35,42 @@ func MakeID(origin clock.SiteID, local uint64) ID {
 // Origin extracts the origin site from an ID.
 func (id ID) Origin() clock.SiteID { return clock.SiteID(uint64(id) >> 48) }
 
+// Local extracts the site-local counter part of an ID.  Cold recovery
+// uses it to restart a site's ET counter past every ID it ever issued.
+func (id ID) Local() uint64 { return uint64(id) & (1<<48 - 1) }
+
+// gapBit marks the ID range reserved for gap-fill MSets: bit 46 of the
+// site-local counter.  Ordinary ET counters count up from zero and
+// never plausibly reach 2^46, so the two ranges cannot collide.
+const gapBit = uint64(1) << 46
+
+// MakeGapID builds the deterministic ET ID of the gap-fill MSet for one
+// sequence number.  Determinism is the point: if two recoveries (or a
+// recovery racing a stalled-site skip) both fill the same gap, the
+// MSets carry the same identity and stable-queue dedup collapses them.
+func MakeGapID(origin clock.SiteID, seq uint64) ID {
+	return MakeID(origin, gapBit|(seq&(gapBit-1)))
+}
+
+// IsGap reports whether the ID lies in the gap-fill range.
+func (id ID) IsGap() bool { return uint64(id)&gapBit != 0 }
+
+// snapBit marks the ID range reserved for catch-up snapshot MSets: bit
+// 45 of the site-local counter.  Disjoint from both ordinary counters
+// and the gap-fill range.
+const snapBit = uint64(1) << 45
+
+// MakeSnapID builds the ET ID of a catch-up snapshot MSet installing
+// state through the given sequence number at the given site.
+func MakeSnapID(site clock.SiteID, seq uint64) ID {
+	return MakeID(site, snapBit|(seq&(snapBit-1)))
+}
+
+// IsSnap reports whether the ID lies in the catch-up snapshot range.
+func (id ID) IsSnap() bool {
+	return uint64(id)&snapBit != 0 && uint64(id)&gapBit == 0
+}
+
 // String implements fmt.Stringer.
 func (id ID) String() string {
 	return fmt.Sprintf("et%d.%d", uint64(id)>>48, uint64(id)&(1<<48-1))
@@ -75,6 +111,13 @@ type MSet struct {
 	TS clock.Timestamp
 	// Ops are the update operations to apply at the destination.
 	Ops []op.Op
+	// SeqFloor, when non-zero, is the origin's promise that it will
+	// never broadcast an MSet with Seq below this value that it has not
+	// already sent.  Over FIFO links this is the evidence ORDUP sites
+	// use to skip permitted sequence gaps (runs reserved from the
+	// replicated sequencer but never used): once every origin's floor
+	// has passed a missing number and it has not arrived, it never will.
+	SeqFloor uint64
 	// Compensation marks a compensation MSet issued by backward replica
 	// control (§4.2).
 	Compensation bool

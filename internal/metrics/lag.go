@@ -23,6 +23,8 @@ type Lag struct {
 
 	mu       sync.Mutex
 	inflight map[uint64]*lagEntry
+	order    []uint64           // commit order; may hold retired IDs, skipped lazily
+	evicted  *Gauge             // esr_propagation_lag_evictions
 	bySite   map[int]*Histogram // resolved children, so Applied stays allocation-light
 }
 
@@ -33,10 +35,14 @@ type lagEntry struct {
 
 // maxInflight bounds the tracked-commit map.  MSets that never finish
 // applying everywhere (a crashed site, a partition that outlives the
-// run) would otherwise leak; past the cap, tracking new commits evicts
-// an arbitrary stale entry — lag observation is best-effort telemetry,
-// not accounting.
+// run) would otherwise leak; past the cap, tracking a new commit evicts
+// the oldest tracked commit — the entry most likely to be a leak rather
+// than a live pair — and counts the eviction, so a soak run can see its
+// lag telemetry degrading instead of silently skewing.
 const maxInflight = 1 << 16
+
+// LagEvictionsName is the gauge family counting evicted commit entries.
+const LagEvictionsName = "esr_propagation_lag_evictions"
 
 // LagHistogramName is the per-site propagation-lag family Lag records
 // into.
@@ -52,6 +58,8 @@ func NewLag(r *Registry, sites int) *Lag {
 		hist: r.Histogram(LagHistogramName,
 			"End-to-end commit-to-apply propagation lag per site.",
 			ScaleNanos, "site"),
+		evicted: r.Gauge(LagEvictionsName,
+			"Tracked commits evicted oldest-first because the pairing map filled (never-applied MSets leaking).").With(),
 		sites:    sites,
 		inflight: make(map[uint64]*lagEntry),
 		bySite:   make(map[int]*Histogram),
@@ -71,12 +79,37 @@ func (l *Lag) Commit(id uint64) {
 		return // duplicate commit (redelivery); keep the first instant
 	}
 	if len(l.inflight) >= maxInflight {
-		for stale := range l.inflight {
-			delete(l.inflight, stale)
-			break
+		// Evict the oldest live entry: commit times are monotone, so the
+		// front of the order queue is the entry a crashed site or
+		// outliving partition has most plausibly orphaned.  Entries that
+		// already retired normally are skipped lazily.
+		for len(l.order) > 0 {
+			oldest := l.order[0]
+			l.order = l.order[1:]
+			if _, live := l.inflight[oldest]; live {
+				delete(l.inflight, oldest)
+				l.evicted.Add(1)
+				break
+			}
 		}
 	}
 	l.inflight[id] = &lagEntry{start: now, remaining: l.sites}
+	l.order = append(l.order, id)
+	if len(l.order) >= 2*maxInflight {
+		l.compactOrderLocked()
+	}
+}
+
+// compactOrderLocked drops retired IDs from the order queue (preserving
+// commit order), bounding its growth to a constant factor of the map.
+func (l *Lag) compactOrderLocked() {
+	live := make([]uint64, 0, len(l.inflight))
+	for _, id := range l.order {
+		if _, ok := l.inflight[id]; ok {
+			live = append(live, id)
+		}
+	}
+	l.order = live
 }
 
 // Applied records that the site applied the MSet, observing the elapsed

@@ -227,3 +227,41 @@ func TestLagTracker(t *testing.T) {
 		}
 	}
 }
+
+// TestLagEvictsOldestFirst fills the tracker past its cap and checks
+// that evictions remove the oldest live commit (not an arbitrary map
+// entry) and are counted.
+func TestLagEvictsOldestFirst(t *testing.T) {
+	r := NewRegistry()
+	l := NewLag(r, 1)
+	for id := uint64(1); id <= maxInflight; id++ {
+		l.Commit(id)
+	}
+	// Retire id 1 normally (map drops just below the cap), refill with
+	// one commit, then overflow: eviction must skip id 1's retired slot
+	// and take id 2, the oldest still-live commit.
+	l.Applied(1, 1)
+	l.Commit(maxInflight + 1)
+	l.Commit(maxInflight + 2)
+	l.mu.Lock()
+	_, live2 := l.inflight[2]
+	_, live3 := l.inflight[3]
+	_, liveNew := l.inflight[maxInflight+2]
+	l.mu.Unlock()
+	if live2 || !live3 || !liveNew {
+		t.Fatalf("eviction picked wrong entry: live2=%v live3=%v liveNew=%v", live2, live3, liveNew)
+	}
+	if se, ok := r.Snapshot().Find(LagEvictionsName, nil); !ok || se.Value != 1 {
+		t.Fatalf("eviction gauge = %+v (ok=%v), want 1", se, ok)
+	}
+	// The order queue must stay bounded even as retired IDs accumulate.
+	for id := uint64(maxInflight + 3); id <= 4*maxInflight; id++ {
+		l.Commit(id)
+	}
+	l.mu.Lock()
+	orderLen := len(l.order)
+	l.mu.Unlock()
+	if orderLen >= 2*maxInflight {
+		t.Fatalf("order queue grew to %d, want < %d", orderLen, 2*maxInflight)
+	}
+}

@@ -457,3 +457,126 @@ func TestConformanceCloseFailsFurtherSends(t *testing.T) {
 		}
 	})
 }
+
+// TestConformanceColocatedVirtualService covers the deployment shape
+// the replicated sequencer and snapshot catch-up rely on: a process
+// hosting replica site s also hosts virtual service sites (an ensemble
+// member at 1100+s, a snapshot donor at 1500+s) behind the same
+// address.  Both transports must route any site's call to a virtual
+// site to the process co-hosting it, and a crashed virtual site must
+// fail independently of its co-hosted replica site.
+func TestConformanceColocatedVirtualService(t *testing.T) {
+	sites := []clock.SiteID{1, 2, 3}
+	virt := func(s clock.SiteID) clock.SiteID { return 1100 + s }
+	register := func(tr Transport, s clock.SiteID) {
+		tr.Register(virt(s), func(from clock.SiteID, p []byte) ([]byte, error) {
+			return append([]byte{byte(s)}, p...), nil
+		})
+	}
+	check := func(t *testing.T, tr Transport) {
+		t.Helper()
+		for _, from := range sites {
+			for _, s := range sites {
+				resp, err := tr.Call(from, virt(s), []byte{42})
+				if err != nil {
+					t.Fatalf("Call(%v -> %v): %v", from, virt(s), err)
+				}
+				if len(resp) != 2 || resp[0] != byte(s) || resp[1] != 42 {
+					t.Fatalf("Call(%v -> %v) = %v, want [%d 42]", from, virt(s), resp, s)
+				}
+			}
+		}
+		// The virtual service fails independently of its replica site.
+		tr.Crash(virt(2))
+		if _, err := tr.Call(1, virt(2), []byte{1}); !errors.Is(err, ErrSiteDown) {
+			t.Errorf("Call to crashed virtual site = %v, want ErrSiteDown", err)
+		}
+		if _, err := tr.Call(1, virt(3), []byte{1}); err != nil {
+			t.Errorf("Call to sibling virtual site after crash: %v", err)
+		}
+		tr.Restart(virt(2))
+		if _, err := tr.Call(1, virt(2), []byte{1}); err != nil {
+			t.Errorf("Call after virtual-site restart: %v", err)
+		}
+	}
+	t.Run("Sim", func(t *testing.T) {
+		tr := mustSim(t, Config{Seed: 1})
+		defer tr.Close()
+		for _, s := range sites {
+			register(tr, s)
+		}
+		check(t, tr)
+	})
+	t.Run("TCP", func(t *testing.T) {
+		instances := make(map[clock.SiteID]*TCP, len(sites))
+		all := make([]clock.SiteID, 0, len(sites))
+		for _, s := range sites {
+			tr, err := NewTCP(TCPOptions{
+				Listen: "127.0.0.1:0",
+				Local:  []clock.SiteID{s, virt(s)},
+				Seed:   int64(s),
+			})
+			if err != nil {
+				t.Fatalf("NewTCP(site %v): %v", s, err)
+			}
+			defer tr.Close()
+			instances[s] = tr
+			register(tr, s)
+			all = append(all, s)
+		}
+		for _, a := range all {
+			for _, b := range all {
+				if a != b {
+					instances[a].AddPeer(b, instances[b].Addr())
+					instances[a].AddPeer(virt(b), instances[b].Addr())
+				}
+			}
+		}
+		// Drive the checks from instance 1's viewpoint, but apply fault
+		// hooks everywhere (a crash is a property of the whole mesh).
+		tr := &meshView{self: instances[1], all: instances}
+		check(t, tr)
+	})
+}
+
+// meshView adapts a multi-instance TCP mesh to the single-Transport
+// check above: calls go through one instance, fault hooks fan out to
+// every instance.
+type meshView struct {
+	self *TCP
+	all  map[clock.SiteID]*TCP
+}
+
+func (v *meshView) Send(from, to clock.SiteID, p []byte) error { return v.self.Send(from, to, p) }
+func (v *meshView) SendBatch(from, to clock.SiteID, p [][]byte) error {
+	return v.self.SendBatch(from, to, p)
+}
+func (v *meshView) Call(from, to clock.SiteID, p []byte) ([]byte, error) {
+	return v.self.Call(from, to, p)
+}
+func (v *meshView) Register(site clock.SiteID, h Handler)           { v.self.Register(site, h) }
+func (v *meshView) RegisterBatch(site clock.SiteID, h BatchHandler) { v.self.RegisterBatch(site, h) }
+func (v *meshView) SetMetrics(m Metrics)                            { v.self.SetMetrics(m) }
+func (v *meshView) Stats() Stats                                    { return v.self.Stats() }
+func (v *meshView) Reachable(a, b clock.SiteID) bool                { return v.self.Reachable(a, b) }
+func (v *meshView) Close() error                                    { return nil }
+func (v *meshView) Partition(groups ...[]clock.SiteID) {
+	for _, tr := range v.all {
+		tr.Partition(groups...)
+	}
+}
+func (v *meshView) Heal() {
+	for _, tr := range v.all {
+		tr.Heal()
+	}
+}
+func (v *meshView) Crash(s clock.SiteID) {
+	for _, tr := range v.all {
+		tr.Crash(s)
+	}
+}
+func (v *meshView) Restart(s clock.SiteID) {
+	for _, tr := range v.all {
+		tr.Restart(s)
+	}
+}

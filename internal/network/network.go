@@ -63,6 +63,22 @@ type RemoteError struct {
 
 func (e *RemoteError) Error() string { return "network: remote: " + e.Msg }
 
+// Transient reports whether a Send/Call/SendBatch failure is worth
+// retrying: the fault sentinels above (crash, partition, loss, dial
+// backoff) plus ErrUnknownSite, which during a rolling restart means
+// "the peer has not registered its handler yet".  Everything else —
+// encode failures, protocol violations, a closed transport — is
+// permanent and retrying it can only repeat the failure.  RemoteError
+// is not transient: the message reached the destination and its handler
+// rejected it, so the request itself is at fault.
+func Transient(err error) bool {
+	return errors.Is(err, ErrPartitioned) ||
+		errors.Is(err, ErrLost) ||
+		errors.Is(err, ErrSiteDown) ||
+		errors.Is(err, ErrUnreachable) ||
+		errors.Is(err, ErrUnknownSite)
+}
+
 // Handler processes an incoming message at a site and returns a response
 // payload (may be nil for one-way messages) or an error, which is
 // propagated to the sender as a failed delivery.

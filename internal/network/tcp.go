@@ -505,7 +505,12 @@ func (p *tcpPeer) ensureConn() error {
 		p.mu.Unlock()
 		p.t.wg.Add(1)
 		go p.cooldown(p.t.jitter(d))
-		return fmt.Errorf("network: dial %s: %w", p.addr, err)
+		// A refused or timed-out dial is the remote-process analogue of
+		// ErrSiteDown: the peer may be mid-restart.  Carry the
+		// ErrUnreachable sentinel (like every other lost-connection
+		// path here) so retry agents and the sequencer client keep
+		// trying instead of treating a restarting peer as fatal.
+		return fmt.Errorf("%w: dial %s: %v", ErrUnreachable, p.addr, err)
 	}
 	select {
 	case <-p.t.done:

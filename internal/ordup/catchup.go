@@ -1,0 +1,241 @@
+// Site catch-up (anti-entropy): a site restarted so far behind that
+// normal redelivery can no longer help it — its journals wiped or
+// compacted past the horizon — pulls a state transfer from a live peer
+// instead of waiting for MSets that will never come.
+//
+// Every process hosting cluster site i serves snapshots of it on
+// virtual transport site core.SnapSite(i).  A snapshot is the donor's
+// store content plus its applied-sequence watermark, captured between
+// applies (under the site's applyMu) so it is exactly the prefix of the
+// global order below the watermark.  The blob travels in bounded chunks
+// (queue's chunk framing); the donor pins the encoding under a handle
+// so chunks stay consistent while the donor keeps applying.
+//
+// Installation rides the normal apply pipeline: the fetched state
+// becomes one synthetic MSet (ET in the reserved snapshot-ID range)
+// whose ops rebuild the store from empty and whose Seq is the last
+// sequence number the snapshot covers.  Applying it jumps the site's
+// cursor past the donor's prefix, and — because it flows through
+// Receive like any MSet — it lands in the inbound journal and the WAL,
+// so a second crash recovers the transferred state without a second
+// transfer.
+package ordup
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/et"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/queue"
+)
+
+// snapChunk bounds one state-transfer response.
+const snapChunk = 64 << 10
+
+// siteSnapshot is the transferred state: ops that rebuild the donor's
+// store from empty, and the donor's next expected sequence number.
+type siteSnapshot struct {
+	Next uint64
+	Ops  []op.Op
+}
+
+// registerSnapshotServers installs a snapshot handler for every locally
+// hosted site.
+func (e *Engine) registerSnapshotServers() {
+	for _, id := range e.c.SiteIDs() {
+		if e.c.Site(id) == nil {
+			continue // remote in this process
+		}
+		id := id
+		e.c.Net.Register(core.SnapSite(id), func(from clock.SiteID, payload []byte) ([]byte, error) {
+			return e.serveSnapshot(id, payload)
+		})
+	}
+}
+
+// serveSnapshot answers one chunk request against the donor site.
+func (e *Engine) serveSnapshot(id clock.SiteID, payload []byte) ([]byte, error) {
+	handle, offset, err := queue.DecodeChunkReq(payload)
+	if err != nil {
+		return nil, err
+	}
+	if e.c.SiteCrashed(id) {
+		return nil, fmt.Errorf("ordup: snapshot donor %v is crashed", id)
+	}
+	e.snapMu.Lock()
+	defer e.snapMu.Unlock()
+	if handle == 0 {
+		blob, err := e.buildSnapshot(id)
+		if err != nil {
+			return nil, err
+		}
+		e.snapHandle++
+		handle = e.snapHandle
+		e.snaps[handle] = blob
+		// A client that dies mid-transfer leaks its pinned encoding;
+		// keep only the newest few.
+		for len(e.snaps) > 8 {
+			oldest := handle
+			for h := range e.snaps {
+				if h < oldest {
+					oldest = h
+				}
+			}
+			delete(e.snaps, oldest)
+		}
+	}
+	blob, ok := e.snaps[handle]
+	if !ok {
+		return nil, fmt.Errorf("ordup: unknown snapshot handle %d", handle)
+	}
+	if offset > uint64(len(blob)) {
+		return nil, fmt.Errorf("ordup: snapshot offset %d past end %d", offset, len(blob))
+	}
+	end := offset + snapChunk
+	if end > uint64(len(blob)) {
+		end = uint64(len(blob))
+	}
+	if end == uint64(len(blob)) {
+		defer delete(e.snaps, handle)
+	}
+	return queue.EncodeChunk(handle, uint64(len(blob)), offset, blob[offset:end]), nil
+}
+
+// buildSnapshot captures the donor between applies: with applyMu held
+// the store holds exactly the applied prefix below next.
+func (e *Engine) buildSnapshot(id clock.SiteID) ([]byte, error) {
+	s := e.c.Site(id)
+	if s == nil {
+		return nil, fmt.Errorf("ordup: unknown snapshot donor %v", id)
+	}
+	st := e.states[id]
+	st.applyMu.Lock()
+	st.mu.Lock()
+	next := st.next
+	st.mu.Unlock()
+	values := s.Store.Snapshot()
+	st.applyMu.Unlock()
+	snap := siteSnapshot{Next: next, Ops: storeOps(values)}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("ordup: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// storeOps flattens store content into operations that rebuild it from
+// an empty store: a write per numeric object, an append per list
+// element.  (An object holding an empty list is indistinguishable from
+// an untouched one after transfer; ORDUP's operation mix never produces
+// one.)  Objects are emitted in sorted order so the encoding is
+// deterministic.
+func storeOps(values map[string]op.Value) []op.Op {
+	objs := make([]string, 0, len(values))
+	for o := range values {
+		objs = append(objs, o)
+	}
+	sort.Strings(objs)
+	ops := make([]op.Op, 0, len(objs))
+	for _, obj := range objs {
+		v := values[obj]
+		if v.Kind == op.Numeric {
+			ops = append(ops, op.WriteOp(obj, v.Num))
+			continue
+		}
+		for _, el := range v.List {
+			ops = append(ops, op.AppendOp(obj, el))
+		}
+	}
+	return ops
+}
+
+// CatchUpFrom pulls a state transfer for the (freshly restarted, empty)
+// site from the donor and hands it to the site's apply pipeline.  It
+// returns once the snapshot is durably queued at the site; application
+// is asynchronous like any MSet.  Transfer size and duration feed the
+// esr_catchup_* metrics.
+func (e *Engine) CatchUpFrom(id, donor clock.SiteID) error {
+	s := e.c.Site(id)
+	if s == nil {
+		return fmt.Errorf("ordup: unknown site %v", id)
+	}
+	start := time.Now()
+	bytesCtr, durHist := e.c.CatchupMetrics(id)
+	var blob []byte
+	var handle uint64
+	for {
+		req := queue.EncodeChunkReq(handle, uint64(len(blob)))
+		resp, err := e.snapCall(id, core.SnapSite(donor), req)
+		if err != nil {
+			return fmt.Errorf("ordup: fetch snapshot from %v: %w", donor, err)
+		}
+		h, total, offset, data, err := queue.DecodeChunk(resp)
+		if err != nil {
+			return err
+		}
+		if offset != uint64(len(blob)) {
+			return fmt.Errorf("ordup: snapshot chunk at %d, want %d", offset, len(blob))
+		}
+		handle = h
+		blob = append(blob, data...)
+		bytesCtr.Add(uint64(len(data)))
+		if uint64(len(blob)) >= total {
+			break
+		}
+	}
+	var snap siteSnapshot
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&snap); err != nil {
+		return fmt.Errorf("ordup: decode snapshot: %w", err)
+	}
+	if snap.Next <= 1 {
+		durHist.Observe(int64(time.Since(start)))
+		return nil // donor had applied nothing; nothing to install
+	}
+	m := et.MSet{
+		ET:     et.MakeSnapID(id, snap.Next-1),
+		Origin: id,
+		Seq:    snap.Next - 1,
+		TS:     s.Clock.Tick(),
+		Ops:    snap.Ops,
+	}
+	payload, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	if err := s.Receive(queue.Message{ID: m.MsgID(), Payload: payload}); err != nil {
+		return fmt.Errorf("ordup: deliver snapshot: %w", err)
+	}
+	durHist.Observe(int64(time.Since(start)))
+	return nil
+}
+
+// snapCall is a transport call with bounded retry around transient
+// faults (the donor may be mid-restart or briefly partitioned).
+func (e *Engine) snapCall(from, to clock.SiteID, payload []byte) ([]byte, error) {
+	backoff := 500 * time.Microsecond
+	var lastErr error
+	for attempt := 0; attempt < 6; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			if backoff < 20*time.Millisecond {
+				backoff *= 2
+			}
+		}
+		resp, err := e.c.Net.Call(from, to, payload)
+		if err == nil {
+			return resp, nil
+		}
+		if !network.Transient(err) {
+			return nil, err
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}

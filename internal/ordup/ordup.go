@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"esr/internal/clock"
@@ -82,10 +83,24 @@ type Config struct {
 // operation.
 var ErrNotUpdate = errors.New("ordup: ET contains no update operation")
 
+// floorSeq is the sentinel sequence number sequencer-mode heartbeats
+// carry.  It sorts after every real MSet in a scheduling pass, so a
+// site always records real arrivals before acting on the heartbeat's
+// floor evidence — a floor can never skip a number whose MSet is
+// sitting in the same window.
+const floorSeq = ^uint64(0)
+
 type siteState struct {
-	mu        sync.Mutex
-	submit    sync.Mutex // serializes Tick+Broadcast so link FIFO implies TS order
-	next      uint64     // next sequence number to apply (Sequencer mode)
+	mu     sync.Mutex
+	submit sync.Mutex // serializes order acquisition + broadcast per origin
+	// applyMu is held across each apply and its sequence-cursor advance,
+	// so a snapshot reader (catch-up donor) never observes a half-applied
+	// MSet: with applyMu held, the store holds exactly the prefix below
+	// next.
+	applyMu   sync.Mutex
+	next      uint64                  // next sequence number to apply (Sequencer mode)
+	arrived   map[uint64]bool         // seqs >= next whose MSet has arrived (held, not yet applied)
+	floors    map[clock.SiteID]uint64 // highest SeqFloor heard per origin
 	lastHeard map[clock.SiteID]clock.Timestamp
 	pending   map[et.ID]clock.Timestamp
 }
@@ -99,6 +114,12 @@ type Engine struct {
 
 	mu          sync.Mutex
 	outstanding map[et.ID]map[clock.SiteID]bool // ET -> sites that have not yet applied it
+
+	applies atomic.Uint64 // MSets applied anywhere (stall detection)
+
+	snapMu     sync.Mutex
+	snaps      map[uint64][]byte // pinned snapshot encodings by handle
+	snapHandle uint64
 
 	hbDone chan struct{}
 	hbWG   sync.WaitGroup
@@ -120,11 +141,14 @@ func New(cfg Config) (*Engine, error) {
 		states:      make(map[clock.SiteID]*siteState),
 		tos:         make(map[clock.SiteID]*tsdc.Scheduler),
 		outstanding: make(map[et.ID]map[clock.SiteID]bool),
+		snaps:       make(map[uint64][]byte),
 		hbDone:      make(chan struct{}),
 	}
 	for _, id := range c.SiteIDs() {
 		e.states[id] = &siteState{
 			next:      1,
+			arrived:   make(map[uint64]bool),
+			floors:    make(map[clock.SiteID]uint64),
 			lastHeard: make(map[clock.SiteID]clock.Timestamp),
 			pending:   make(map[et.ID]clock.Timestamp),
 		}
@@ -134,11 +158,21 @@ func New(cfg Config) (*Engine, error) {
 	}
 	c.Setup(func(s *replica.Site) replica.ApplyFunc {
 		st := e.states[s.ID]
+		// Cold start over a surviving WAL (a process killed without
+		// warning): recompute the ordering state exactly as RestartSite
+		// does within one process lifetime.
+		if recs := c.RecoveredRecords(s.ID); len(recs) > 0 {
+			recoverSiteState(st, recs)
+		}
 		return func(m et.MSet) error { return e.apply(s, st, m) }
 	})
+	e.registerSnapshotServers()
 	if cfg.Ordering == Lamport {
 		e.hbWG.Add(1)
 		go e.heartbeatLoop()
+	} else if c.SeqReplicated() {
+		e.hbWG.Add(1)
+		go e.seqHeartbeatLoop()
 	}
 	return e, nil
 }
@@ -196,31 +230,38 @@ func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, er
 	if s == nil {
 		return nil, fmt.Errorf("ordup: unknown site %v", origin)
 	}
+	// In Lamport mode the stability rule depends on per-link FIFO implying
+	// per-origin timestamp order, so timestamp assignment and enqueueing
+	// must be atomic per origin.  With the replicated sequencer the same
+	// holds for reservation and enqueueing: a data MSet's SeqFloor (its
+	// own Seq) promises that nothing below it is still unsent from this
+	// origin, which is only true if runs leave in reservation order.
+	// (The legacy sequencer advertises no floors and needs no pinning.)
+	st := e.states[origin]
+	replicated := e.cfg.Ordering == Sequencer && e.c.SeqReplicated()
+	if e.cfg.Ordering == Lamport || replicated {
+		st.submit.Lock()
+		defer st.submit.Unlock()
+	}
 	var seq0 uint64
 	if e.cfg.Ordering == Sequencer {
 		var err error
-		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts)))
+		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts))) //esrvet:ignore A8 reserve-then-broadcast must be atomic per origin (SeqFloor promise); submit is that gate
 		if err != nil {
 			return nil, err
 		}
-	}
-	// In Lamport mode the stability rule depends on per-link FIFO implying
-	// per-origin timestamp order, so timestamp assignment and enqueueing
-	// must be atomic per origin.  (Sequencer mode reorders by Seq at the
-	// destination and needs no such pinning.)
-	st := e.states[origin]
-	if e.cfg.Ordering == Lamport {
-		st.submit.Lock()
-		defer st.submit.Unlock()
 	}
 	ids := make([]et.ID, len(bursts))
 	msets := make([]et.MSet, len(bursts))
 	for i, ops := range bursts {
 		id := e.c.NextET(origin)
 		ids[i] = id
-		var seq uint64
+		var seq, floor uint64
 		if e.cfg.Ordering == Sequencer {
 			seq = seq0 + uint64(i)
+			if replicated {
+				floor = seq
+			}
 		}
 		ts := s.Clock.Tick()
 		pendingAt := make(map[clock.SiteID]bool, len(e.states))
@@ -230,7 +271,7 @@ func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, er
 		e.mu.Lock()
 		e.outstanding[id] = pendingAt
 		e.mu.Unlock()
-		msets[i] = et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: allUpdates[i]}
+		msets[i] = et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: allUpdates[i], SeqFloor: floor}
 		e.c.RecordUpdate(id, ops)
 	}
 	if err := e.c.BroadcastAll(msets); err != nil {
@@ -283,22 +324,34 @@ func (e *Engine) CrashSite(id clock.SiteID) error { return e.c.CrashSite(id) }
 // anything that survived in memory.
 func (e *Engine) RestartSite(id clock.SiteID) error {
 	return e.c.RestartSite(id, func(_ *replica.Site, records []et.MSet) error {
-		st := e.states[id]
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		st.next = 1
-		st.pending = make(map[et.ID]clock.Timestamp)
-		st.lastHeard = make(map[clock.SiteID]clock.Timestamp)
-		for _, m := range records {
-			if m.Seq >= st.next {
-				st.next = m.Seq + 1
-			}
-			if st.lastHeard[m.Origin].Less(m.TS) {
-				st.lastHeard[m.Origin] = m.TS
-			}
-		}
+		recoverSiteState(e.states[id], records)
 		return nil
 	})
+}
+
+// recoverSiteState recomputes a site's ordering state from its WAL
+// records: the next expected sequence number is one past the highest
+// applied (sequencer-mode heartbeats, which carry the floorSeq sentinel
+// and are never applied, are excluded), and the last-heard timestamps
+// restart from what was durably heard.  Floors are deliberately reset:
+// they are re-learnable evidence, and until fresh floors arrive a site
+// skips nothing.
+func recoverSiteState(st *siteState, records []et.MSet) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next = 1
+	st.pending = make(map[et.ID]clock.Timestamp)
+	st.lastHeard = make(map[clock.SiteID]clock.Timestamp)
+	st.arrived = make(map[uint64]bool)
+	st.floors = make(map[clock.SiteID]uint64)
+	for _, m := range records {
+		if m.Seq != floorSeq && m.Seq >= st.next {
+			st.next = m.Seq + 1
+		}
+		if st.lastHeard[m.Origin].Less(m.TS) {
+			st.lastHeard[m.Origin] = m.TS
+		}
+	}
 }
 
 // Close implements core.Engine.
@@ -321,11 +374,30 @@ func (e *Engine) apply(s *replica.Site, st *siteState, m et.MSet) error {
 
 func (e *Engine) applySequenced(s *replica.Site, st *siteState, m et.MSet) error {
 	st.mu.Lock()
+	if m.SeqFloor > st.floors[m.Origin] {
+		st.floors[m.Origin] = m.SeqFloor
+		e.trySkipLocked(st)
+	}
+	if m.Seq == floorSeq {
+		// Sequencer-mode heartbeat: pure floor evidence, never applied
+		// and never logged.
+		st.mu.Unlock()
+		return replica.ErrStale
+	}
+	if m.ET.IsSnap() {
+		st.mu.Unlock()
+		return e.installSnapshot(s, st, m)
+	}
+	if m.Seq >= st.next {
+		st.arrived[m.Seq] = true
+	}
 	switch {
 	case m.Seq < st.next:
-		// Already applied (duplicate that survived dedup); drop it.
+		// Already applied or skipped (duplicate that survived dedup, a
+		// gap fill racing a floor skip, or a redelivery below a snapshot
+		// install); superseded, so it must stay out of the WAL too.
 		st.mu.Unlock()
-		return nil
+		return replica.ErrStale
 	case m.Seq > st.next:
 		// "Each site simply waits for the next MSet in the execution
 		// sequence to show up before running other MSets." (§3.1)
@@ -333,13 +405,69 @@ func (e *Engine) applySequenced(s *replica.Site, st *siteState, m et.MSet) error
 		return replica.ErrHold
 	}
 	st.mu.Unlock()
+	st.applyMu.Lock()
+	if err := e.applyOps(s, m); err != nil {
+		st.applyMu.Unlock()
+		return err
+	}
+	st.mu.Lock()
+	delete(st.arrived, m.Seq)
+	st.next++
+	e.trySkipLocked(st)
+	st.mu.Unlock()
+	st.applyMu.Unlock()
+	e.noteApplied(m.ET, s.ID)
+	return nil
+}
+
+// trySkipLocked advances the sequence cursor past numbers that can no
+// longer arrive: every origin has promised (via SeqFloor over FIFO
+// links) never to send anything new below its floor, so a number below
+// every floor with no arrived MSet is a permitted gap — a run reserved
+// from the sequencer and abandoned.  Called with st.mu held.
+func (e *Engine) trySkipLocked(st *siteState) {
+	if len(st.floors) == 0 {
+		return
+	}
+	min := uint64(floorSeq)
+	for _, id := range e.c.SiteIDs() {
+		if f := st.floors[id]; f < min {
+			min = f // an origin never heard from has floor 0
+		}
+	}
+	for min > st.next && !st.arrived[st.next] {
+		st.next++
+	}
+}
+
+// installSnapshot applies a catch-up state transfer: the MSet's ops
+// rebuild the donor's store content from empty, and the sequence cursor
+// jumps to just past the donor's applied prefix.  MSets below the
+// cursor that later trickle in are dropped as duplicates.
+func (e *Engine) installSnapshot(s *replica.Site, st *siteState, m et.MSet) error {
+	st.applyMu.Lock()
+	defer st.applyMu.Unlock()
+	st.mu.Lock()
+	if m.Seq < st.next {
+		// This site is already past the snapshot; nothing to install.
+		st.mu.Unlock()
+		return replica.ErrStale
+	}
+	st.mu.Unlock()
 	if err := e.applyOps(s, m); err != nil {
 		return err
 	}
 	st.mu.Lock()
-	st.next++
+	if m.Seq+1 > st.next {
+		st.next = m.Seq + 1
+	}
+	for seq := range st.arrived {
+		if seq < st.next {
+			delete(st.arrived, seq)
+		}
+	}
+	e.trySkipLocked(st)
 	st.mu.Unlock()
-	e.noteApplied(m.ET, s.ID)
 	return nil
 }
 
@@ -413,6 +541,7 @@ func (e *Engine) applyOps(s *replica.Site, m et.MSet) error {
 }
 
 func (e *Engine) noteApplied(id et.ID, site clock.SiteID) {
+	e.applies.Add(1)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if pending, ok := e.outstanding[id]; ok {
@@ -465,6 +594,77 @@ func (e *Engine) heartbeatLoop() {
 			st.submit.Unlock()
 		}
 	}
+}
+
+// seqHeartbeatLoop is the sequencer-mode counterpart of the Lamport
+// heartbeats, run only with the replicated sequencer: while application
+// is stalled (inbound MSets queued but nothing applying for a few
+// intervals — the signature of a permitted gap), every live origin
+// broadcasts a floor heartbeat carrying one past the ensemble's
+// committed watermark.  Any run confirmed in the future starts above
+// that watermark, and the origin holds its submit lock across the query
+// and the broadcast, so every already-reserved run of its own is fully
+// enqueued ahead of the heartbeat on each FIFO link — the floor promise
+// holds.  Once every origin's floor passes the missing number, sites
+// skip it and drain.  Idle and busy clusters pay nothing: the loop only
+// queries the ensemble when stalled.
+func (e *Engine) seqHeartbeatLoop() {
+	defer e.hbWG.Done()
+	ticker := time.NewTicker(e.cfg.Heartbeat)
+	defer ticker.Stop()
+	stallAfter := 4 * e.cfg.Heartbeat
+	lastApplies := e.applies.Load()
+	lastProgress := time.Now()
+	for {
+		select {
+		case <-e.hbDone:
+			return
+		case <-ticker.C:
+		}
+		if cur := e.applies.Load(); cur != lastApplies {
+			lastApplies = cur
+			lastProgress = time.Now()
+			continue
+		}
+		if time.Since(lastProgress) < stallAfter || !e.anyBacklog() {
+			continue
+		}
+		for _, id := range e.c.SiteIDs() {
+			if e.c.SiteCrashed(id) || e.c.OutBacklog(id) > 2 {
+				continue
+			}
+			s := e.c.Site(id)
+			if s == nil {
+				continue
+			}
+			st := e.states[id]
+			st.submit.Lock()
+			wm, err := e.c.SeqCommittedWatermark(id) //esrvet:ignore A8 watermark must be read with submit held so every reservation below it is already enqueued
+			if err == nil {
+				hb := et.MSet{ET: e.c.NextET(id), Origin: id, Seq: floorSeq,
+					TS: s.Clock.Tick(), SeqFloor: wm + 1}
+				_ = e.c.Broadcast(hb)
+			}
+			st.submit.Unlock()
+		}
+		// Give the floors a chance to propagate before the next round.
+		lastProgress = time.Now()
+	}
+}
+
+// anyBacklog reports whether any live site still has inbound MSets
+// queued (held or undelivered work — the only state a floor heartbeat
+// can help).
+func (e *Engine) anyBacklog() bool {
+	for _, id := range e.c.SiteIDs() {
+		if e.c.SiteCrashed(id) {
+			continue
+		}
+		if s := e.c.Site(id); s != nil && s.QueueLen() > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 func updateOps(ops []op.Op) []op.Op {

@@ -64,6 +64,18 @@ func TestCompactionRewritesLiveTail(t *testing.T) {
 	}
 }
 
+// TestSyncDirReportsErrors pins the bugfix contract: directory fsync
+// stays best effort, but failures are reported to the caller (which
+// counts them) instead of being swallowed.
+func TestSyncDirReportsErrors(t *testing.T) {
+	if err := syncDir(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("syncDir on a missing directory reported success")
+	}
+	if err := syncDir(t.TempDir()); err != nil {
+		t.Fatalf("syncDir on a real directory: %v", err)
+	}
+}
+
 func TestCompactionPrunesSeenPastRetention(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "q.journal")
 	q := openSmall(t, path, 2) // remember only the last 2 acked IDs

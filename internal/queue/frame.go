@@ -1,0 +1,75 @@
+// Chunked-transfer framing: the fixed little-endian frames state
+// transfer uses to move a large blob (a site snapshot) over the
+// transport's request/response calls in bounded pieces.  The codec
+// lives beside the stable-queue journal framing because both are the
+// same discipline — self-describing fixed headers, no allocation
+// surprises, identical over every transport.
+//
+// A transfer is a sequence of calls:
+//
+//	request:  [handle u64][offset u64]
+//	response: [handle u64][total u64][offset u64][chunk bytes]
+//
+// The first request carries handle 0; the server pins an encoding of
+// the blob, assigns a handle, and every later request addresses that
+// pinned encoding, so chunks are consistent even while the underlying
+// state keeps changing.  The server releases the handle after serving
+// the final chunk.
+package queue
+
+import "fmt"
+
+// chunkReqLen is the encoded request size.
+const chunkReqLen = 16
+
+// chunkHdrLen is the response header size preceding the chunk bytes.
+const chunkHdrLen = 24
+
+// EncodeChunkReq builds a chunk request frame.
+func EncodeChunkReq(handle, offset uint64) []byte {
+	b := make([]byte, chunkReqLen)
+	putLE(b[0:], handle)
+	putLE(b[8:], offset)
+	return b
+}
+
+// DecodeChunkReq parses a chunk request frame.
+func DecodeChunkReq(b []byte) (handle, offset uint64, err error) {
+	if len(b) != chunkReqLen {
+		return 0, 0, fmt.Errorf("queue: chunk request length %d, want %d", len(b), chunkReqLen)
+	}
+	return getLE(b[0:]), getLE(b[8:]), nil
+}
+
+// EncodeChunk builds a chunk response frame.
+func EncodeChunk(handle, total, offset uint64, data []byte) []byte {
+	b := make([]byte, chunkHdrLen+len(data))
+	putLE(b[0:], handle)
+	putLE(b[8:], total)
+	putLE(b[16:], offset)
+	copy(b[chunkHdrLen:], data)
+	return b
+}
+
+// DecodeChunk parses a chunk response frame.  The returned data aliases
+// b.
+func DecodeChunk(b []byte) (handle, total, offset uint64, data []byte, err error) {
+	if len(b) < chunkHdrLen {
+		return 0, 0, 0, nil, fmt.Errorf("queue: chunk frame length %d, want at least %d", len(b), chunkHdrLen)
+	}
+	return getLE(b[0:]), getLE(b[8:]), getLE(b[16:]), b[chunkHdrLen:], nil
+}
+
+func putLE(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getLE(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

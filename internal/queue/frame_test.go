@@ -1,0 +1,60 @@
+package queue
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChunkReqRoundTrip(t *testing.T) {
+	b := EncodeChunkReq(7, 1<<40)
+	if len(b) != chunkReqLen {
+		t.Fatalf("request length = %d, want %d", len(b), chunkReqLen)
+	}
+	handle, offset, err := DecodeChunkReq(b)
+	if err != nil {
+		t.Fatalf("DecodeChunkReq: %v", err)
+	}
+	if handle != 7 || offset != 1<<40 {
+		t.Errorf("decoded (%d, %d), want (7, %d)", handle, offset, uint64(1)<<40)
+	}
+}
+
+func TestChunkReqRejectsBadLength(t *testing.T) {
+	for _, n := range []int{0, chunkReqLen - 1, chunkReqLen + 1} {
+		if _, _, err := DecodeChunkReq(make([]byte, n)); err == nil {
+			t.Errorf("DecodeChunkReq accepted length %d", n)
+		}
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	data := []byte("snapshot bytes")
+	b := EncodeChunk(3, 100, 24, data)
+	handle, total, offset, got, err := DecodeChunk(b)
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if handle != 3 || total != 100 || offset != 24 || !bytes.Equal(got, data) {
+		t.Errorf("decoded (%d, %d, %d, %q)", handle, total, offset, got)
+	}
+}
+
+func TestChunkEmptyData(t *testing.T) {
+	b := EncodeChunk(1, 0, 0, nil)
+	if len(b) != chunkHdrLen {
+		t.Fatalf("empty chunk length = %d, want %d", len(b), chunkHdrLen)
+	}
+	_, _, _, data, err := DecodeChunk(b)
+	if err != nil {
+		t.Fatalf("DecodeChunk: %v", err)
+	}
+	if len(data) != 0 {
+		t.Errorf("data = %q, want empty", data)
+	}
+}
+
+func TestChunkRejectsShortFrame(t *testing.T) {
+	if _, _, _, _, err := DecodeChunk(make([]byte, chunkHdrLen-1)); err == nil {
+		t.Error("DecodeChunk accepted a short frame")
+	}
+}

@@ -143,6 +143,11 @@ type Metrics struct {
 	DeliverSeconds *metrics.Histogram
 	// Compactions counts journal compactions (journal-backed only).
 	Compactions *metrics.Counter
+	// DirSyncErrors counts failed directory fsyncs after a journal
+	// compaction's rename.  Directory sync is best effort (some
+	// filesystems refuse it), but a failure means the compacted journal's
+	// name may not survive a power cut — worth counting, not hiding.
+	DirSyncErrors *metrics.Counter
 }
 
 // Instrumentable is implemented by queues that accept instrumentation;
@@ -848,7 +853,9 @@ func (q *File) compactLocked() error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("queue: swap compacted journal: %w", err)
 	}
-	syncDir(filepath.Dir(q.path))
+	if err := syncDir(filepath.Dir(q.path)); err != nil {
+		q.met.DirSyncErrors.Inc()
+	}
 	if q.crashPoint == crashAfterRename {
 		tmp.Close()
 		return errSimulatedCrash
@@ -862,14 +869,17 @@ func (q *File) compactLocked() error {
 }
 
 // syncDir fsyncs a directory so a rename inside it is durable.  Best
-// effort: some filesystems refuse directory fsync.
-func syncDir(dir string) {
+// effort — some filesystems refuse directory fsync — but the failure is
+// reported so callers can count it instead of silently weakening the
+// rename's durability.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return err
 	}
-	d.Sync() //esrvet:ignore A10 best effort by contract: some filesystems refuse directory fsync; rename durability degrades gracefully
+	serr := d.Sync()
 	d.Close()
+	return serr
 }
 
 // Delivery pumps messages from a stable queue through an unreliable send

@@ -32,6 +32,16 @@ import (
 // ErrHold is returned by an ApplyFunc to defer an MSet without error.
 var ErrHold = errors.New("replica: mset held back")
 
+// ErrStale is returned by an ApplyFunc for an MSet that is already
+// superseded at this site — its effect is covered by state the site
+// holds (a sequence number below the cursor after a snapshot install, a
+// pure protocol message like a sequencer heartbeat).  The message is
+// acknowledged and removed like a successful apply, but callers that
+// write-ahead log applied MSets must not log it: replaying it on
+// recovery would double-apply state the covering record already
+// carries.
+var ErrStale = errors.New("replica: mset superseded")
+
 // ApplyFunc applies one MSet at a site.  nil means applied (the MSet is
 // acknowledged and removed); ErrHold means not yet eligible; any other
 // error is recorded and the MSet retried later.
@@ -527,6 +537,18 @@ func (s *Site) applyOne(it applyItem, hist *metrics.Histogram) (ack, ok bool) {
 		s.Metrics.Applied.Inc()
 		s.Lag.Applied(it.msg.ID, int(s.ID))
 		s.Trace.RecordMSet(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, "")
+		s.mu.Lock()
+		delete(s.decoded, it.msg.ID)
+		delete(s.heldOnce, it.msg.ID)
+		s.mu.Unlock()
+		return true, true
+	case errors.Is(err, ErrStale):
+		// Superseded: acknowledge and clean up exactly like an apply so
+		// dedup still recognises redeliveries, without counting it as
+		// applied work.
+		s.applied(it.m)
+		s.Lag.Applied(it.msg.ID, int(s.ID))
+		s.Trace.RecordMSet(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, "stale")
 		s.mu.Lock()
 		delete(s.decoded, it.msg.ID)
 		delete(s.heldOnce, it.msg.ID)

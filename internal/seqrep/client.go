@@ -1,0 +1,200 @@
+package seqrep
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/metrics"
+	"esr/internal/network"
+)
+
+// ErrNoLeader reports that a reservation could not reach a leader
+// within the client's deadline — the replicated analogue of "order
+// server unreachable", returned only after bounded retry across the
+// whole ensemble.
+var ErrNoLeader = errors.New("seqrep: no sequencer leader reachable")
+
+// Client reserves sequence runs against the ensemble, discovering the
+// leader as it goes: a cached hint is tried first, NotLeader redirects
+// update it, and transient transport failures rotate to the next
+// replica under jittered exponential backoff.  Permanent errors
+// (protocol/encode) surface immediately.  Safe for concurrent use.
+type Client struct {
+	net      network.Transport
+	replicas int
+	deadline time.Duration
+
+	hint atomic.Uint64 // leader replica ID (0 = unknown)
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	// Retries counts reserve attempts beyond the first, per call.
+	Retries *metrics.Counter
+}
+
+// NewClient builds a client for an ensemble of the given size.
+// deadline bounds each Reserve end to end; zero means 8s (long enough
+// to ride out an election on either transport).
+func NewClient(t network.Transport, replicas int, deadline time.Duration) *Client {
+	if deadline <= 0 {
+		deadline = 8 * time.Second
+	}
+	return &Client{
+		net:      t,
+		replicas: replicas,
+		deadline: deadline,
+		rng:      rand.New(rand.NewSource(20260808)),
+	}
+}
+
+// Reserve obtains a run of n consecutive sequence numbers on behalf of
+// the given origin site, returning the first number.  It survives
+// leader failover transparently: elections in progress show up as
+// NotLeader replies or crashed-site errors, both retried until the
+// deadline.
+func (c *Client) Reserve(from clock.SiteID, n uint64) (uint64, error) {
+	if n == 0 {
+		return 0, fmt.Errorf("seqrep: reserve of zero sequence numbers")
+	}
+	var (
+		lastErr error
+		backoff = 500 * time.Microsecond
+		limit   = time.Now().Add(c.deadline)
+		next    = clock.SiteID(1) // rotation cursor when no hint
+	)
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			c.Retries.Inc()
+		}
+		target := clock.SiteID(c.hint.Load())
+		if target == 0 {
+			target = next
+			next = next%clock.SiteID(c.replicas) + 1
+		}
+		sleep := true
+		resp, err := c.net.Call(from, ReplicaSite(target), message{
+			Kind: kindReserve, From: uint64(from), Count: n,
+		}.encode())
+		switch {
+		case err == nil:
+			m, derr := decode(resp)
+			if derr != nil {
+				return 0, derr
+			}
+			if m.Flags&flagOK != 0 {
+				c.hint.Store(uint64(target))
+				return m.Watermark, nil
+			}
+			// NotLeader: adopt the redirect if the replica knows one,
+			// otherwise forget the hint and rotate.
+			lastErr = fmt.Errorf("seqrep: %v is not the leader", target)
+			if m.From != 0 && clock.SiteID(m.From) != target {
+				c.hint.Store(m.From)
+				sleep = false // follow the redirect without backing off
+			} else {
+				c.hint.CompareAndSwap(uint64(target), 0)
+			}
+		case network.Transient(err):
+			lastErr = err
+			c.hint.CompareAndSwap(uint64(target), 0)
+		default:
+			var remote *network.RemoteError
+			if errors.As(err, &remote) {
+				// The replica's handler rejected the frame (e.g. a replica
+				// restarting mid-registration); rotate and retry.
+				lastErr = err
+				c.hint.CompareAndSwap(uint64(target), 0)
+				break
+			}
+			return 0, fmt.Errorf("seqrep: reserve: %w", err)
+		}
+		if time.Now().After(limit) {
+			return 0, fmt.Errorf("%w (last: %v)", ErrNoLeader, lastErr)
+		}
+		if !sleep {
+			continue
+		}
+		c.mu.Lock()
+		jitter := time.Duration(c.rng.Int63n(int64(backoff) + 1))
+		c.mu.Unlock()
+		time.Sleep(backoff + jitter)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// CommittedWatermark asks the leader for its committed (majority-acked)
+// watermark, with the same leader discovery and retry as Reserve.  Every
+// sequence run confirmed after this call starts above the returned
+// value, so callers may use it as a floor for their own future runs.
+func (c *Client) CommittedWatermark(from clock.SiteID) (uint64, error) {
+	var (
+		lastErr error
+		backoff = 500 * time.Microsecond
+		limit   = time.Now().Add(c.deadline)
+		next    = clock.SiteID(1)
+	)
+	for {
+		target := clock.SiteID(c.hint.Load())
+		if target == 0 {
+			target = next
+			next = next%clock.SiteID(c.replicas) + 1
+		}
+		sleep := true
+		resp, err := c.net.Call(from, ReplicaSite(target), message{
+			Kind: kindWmQuery, From: uint64(from),
+		}.encode())
+		switch {
+		case err == nil:
+			m, derr := decode(resp)
+			if derr != nil {
+				return 0, derr
+			}
+			if m.Flags&flagOK != 0 {
+				c.hint.Store(uint64(target))
+				return m.Watermark, nil
+			}
+			lastErr = fmt.Errorf("seqrep: %v is not the leader", target)
+			if m.From != 0 && clock.SiteID(m.From) != target {
+				c.hint.Store(m.From)
+				sleep = false
+			} else {
+				c.hint.CompareAndSwap(uint64(target), 0)
+			}
+		case network.Transient(err):
+			lastErr = err
+			c.hint.CompareAndSwap(uint64(target), 0)
+		default:
+			var remote *network.RemoteError
+			if errors.As(err, &remote) {
+				lastErr = err
+				c.hint.CompareAndSwap(uint64(target), 0)
+				break
+			}
+			return 0, fmt.Errorf("seqrep: watermark query: %w", err)
+		}
+		if time.Now().After(limit) {
+			return 0, fmt.Errorf("%w (last: %v)", ErrNoLeader, lastErr)
+		}
+		if !sleep {
+			continue
+		}
+		c.mu.Lock()
+		jitter := time.Duration(c.rng.Int63n(int64(backoff) + 1))
+		c.mu.Unlock()
+		time.Sleep(backoff + jitter)
+		if backoff < 50*time.Millisecond {
+			backoff *= 2
+		}
+	}
+}
+
+// Leader returns the client's current leader hint (0 = unknown).
+func (c *Client) Leader() clock.SiteID { return clock.SiteID(c.hint.Load()) }

@@ -1,0 +1,139 @@
+// Durable replica state: term, vote and watermark, the three promises a
+// sequencer replica must not forget across kill -9.  Records append to
+// a small file with one fsync per change; the file compacts through a
+// tmp-write + rename (the same crash-safe swap the stable queues use)
+// once it outgrows its bound, and loading keeps the last intact record,
+// so a torn final append loses nothing but the unacknowledged change
+// itself.
+package seqrep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"esr/internal/clock"
+)
+
+// stateRec is one persisted snapshot of the replica's promises.
+type stateRec struct {
+	term      uint64
+	votedFor  uint64
+	watermark uint64
+}
+
+// stateRecLen is the on-disk record size: a version byte plus three
+// uint64s.
+const stateRecLen = 1 + 3*8
+
+// stateVersion guards the record layout.
+const stateVersion = 1
+
+// compactAt is the file size past which save rewrites the file down to
+// one record.
+const compactAt = 64 << 10
+
+// stateFile is the append-mostly backing file.
+type stateFile struct {
+	path string
+	f    *os.File
+	size int64
+}
+
+func statePath(dir string, id clock.SiteID) string {
+	return filepath.Join(dir, fmt.Sprintf("seqrep-%d.state", id))
+}
+
+// openState opens (creating if absent) the replica's state file and
+// returns the last intact record.
+func openState(dir string, id clock.SiteID) (*stateFile, stateRec, error) {
+	path := statePath(dir, id)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
+	if err != nil {
+		return nil, stateRec{}, fmt.Errorf("seqrep: open state: %w", err)
+	}
+	var rec stateRec
+	var size int64
+	buf := make([]byte, stateRecLen)
+	for {
+		n, err := io.ReadFull(f, buf)
+		if err != nil {
+			// A short or torn tail is expected after a crash mid-append;
+			// everything before it already parsed.
+			break
+		}
+		size += int64(n)
+		if buf[0] != stateVersion {
+			continue
+		}
+		rec = stateRec{
+			term:      getU64(buf[1:]),
+			votedFor:  getU64(buf[9:]),
+			watermark: getU64(buf[17:]),
+		}
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, stateRec{}, fmt.Errorf("seqrep: seek state: %w", err)
+	}
+	return &stateFile{path: path, f: f, size: size}, rec, nil
+}
+
+// save appends the record and fsyncs.  Failures panic: a replica that
+// cannot persist its promises must not keep making them (continuing
+// could grant two votes in one term after a restart, breaking the
+// no-duplicate-run guarantee).
+func (s *stateFile) save(rec stateRec) {
+	if s.size >= compactAt {
+		s.compact(rec)
+		return
+	}
+	buf := make([]byte, stateRecLen)
+	buf[0] = stateVersion
+	putU64(buf[1:], rec.term)
+	putU64(buf[9:], rec.votedFor)
+	putU64(buf[17:], rec.watermark)
+	if _, err := s.f.Write(buf); err != nil {
+		panic(fmt.Sprintf("seqrep: persist state: %v", err))
+	}
+	if err := s.f.Sync(); err != nil {
+		panic(fmt.Sprintf("seqrep: sync state: %v", err))
+	}
+	s.size += stateRecLen
+}
+
+// compact rewrites the file down to the single current record via
+// tmp + rename, so a crash at any point leaves either the old history
+// or the new single-record file.
+func (s *stateFile) compact(rec stateRec) {
+	tmpPath := s.path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o600)
+	if err != nil {
+		panic(fmt.Sprintf("seqrep: compact state: %v", err))
+	}
+	buf := make([]byte, stateRecLen)
+	buf[0] = stateVersion
+	putU64(buf[1:], rec.term)
+	putU64(buf[9:], rec.votedFor)
+	putU64(buf[17:], rec.watermark)
+	if _, err := tmp.Write(buf); err != nil {
+		panic(fmt.Sprintf("seqrep: compact state: %v", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		panic(fmt.Sprintf("seqrep: sync compacted state: %v", err))
+	}
+	if err := os.Rename(tmpPath, s.path); err != nil {
+		panic(fmt.Sprintf("seqrep: swap compacted state: %v", err))
+	}
+	s.f.Close()
+	s.f = tmp
+	s.size = stateRecLen
+}
+
+func (s *stateFile) close() {
+	if s.f != nil {
+		s.f.Close()
+		s.f = nil
+	}
+}

@@ -1,0 +1,95 @@
+// Wire codec for the replicated sequencer.  Every protocol exchange —
+// vote requests, append/heartbeat rounds, client reservations — is one
+// fixed-size frame of little-endian integers, so the codec is identical
+// over network.Sim and network.TCP and never allocates on decode.
+package seqrep
+
+import "fmt"
+
+// msgKind discriminates the protocol frames.
+type msgKind uint8
+
+const (
+	kindVoteReq msgKind = iota + 1
+	kindVoteResp
+	kindAppend
+	kindAppendResp
+	kindReserve
+	kindReserveResp
+	kindWmQuery
+	kindWmResp
+)
+
+// Reply flag bits (message.Flags).
+const (
+	// flagOK marks a granted vote, an accepted append, or a fulfilled
+	// reservation.
+	flagOK = 1 << iota
+	// flagNotLeader marks a reservation rejected because the replica is
+	// not the leader; From carries its current leader hint (0 = none).
+	flagNotLeader
+)
+
+// message is the single frame shape all kinds share.  Field use by
+// kind:
+//
+//	kind        Term      From          Watermark        Count
+//	voteReq     cand term candidate id  candidate wm     —
+//	voteResp    my term   voter id      voter wm         —  (flagOK = granted)
+//	append      ldr term  leader id     replicated wm    —
+//	appendResp  my term   follower id   follower wm      —  (flagOK = accepted)
+//	reserve     —         origin site   —                run length
+//	reserveResp my term   leader hint   run start        —  (flagOK | flagNotLeader)
+//	wmQuery     —         origin site   —                —
+//	wmResp      my term   leader hint   committed wm     —  (flagOK | flagNotLeader)
+type message struct {
+	Kind      msgKind
+	Flags     uint8
+	Term      uint64
+	From      uint64
+	Watermark uint64
+	Count     uint64
+}
+
+// wireLen is the encoded frame size: kind, flags, then four uint64s.
+const wireLen = 2 + 4*8
+
+func (m message) encode() []byte {
+	b := make([]byte, wireLen)
+	b[0] = byte(m.Kind)
+	b[1] = m.Flags
+	putU64(b[2:], m.Term)
+	putU64(b[10:], m.From)
+	putU64(b[18:], m.Watermark)
+	putU64(b[26:], m.Count)
+	return b
+}
+
+func decode(b []byte) (message, error) {
+	if len(b) != wireLen {
+		return message{}, fmt.Errorf("seqrep: frame length %d, want %d", len(b), wireLen)
+	}
+	m := message{Kind: msgKind(b[0]), Flags: b[1]}
+	m.Term = getU64(b[2:])
+	m.From = getU64(b[10:])
+	m.Watermark = getU64(b[18:])
+	m.Count = getU64(b[26:])
+	if m.Kind < kindVoteReq || m.Kind > kindWmResp {
+		return message{}, fmt.Errorf("seqrep: unknown frame kind %d", m.Kind)
+	}
+	return m, nil
+}
+
+func putU64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}
+
+func getU64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * i)
+	}
+	return v
+}

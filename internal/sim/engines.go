@@ -73,6 +73,10 @@ type Options struct {
 	// LocalSites restricts the cluster instance to hosting the listed
 	// sites (multi-process deployment).  Empty hosts all sites.
 	LocalSites []clock.SiteID
+	// SeqReplicas replicates ORDUP's order service across this many
+	// ensemble members co-hosted with sites 1..SeqReplicas (0 keeps
+	// the single virtual order server).
+	SeqReplicas int
 }
 
 // BurstUpdater is implemented by engines that can submit a commit burst
@@ -89,10 +93,11 @@ func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (cor
 		DeliveryWindow: opt.DeliveryWindow, FlushWindow: opt.FlushWindow,
 		Metrics: opt.Metrics, Method: string(kind),
 		ApplyWorkers: opt.ApplyWorkers, LockStripes: opt.LockStripes,
-		Transport: opt.Transport, LocalSites: opt.LocalSites}
+		Transport: opt.Transport, LocalSites: opt.LocalSites,
+		SeqReplicas: opt.SeqReplicas}
 	switch kind {
 	case ORDUPSeq:
-		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer})
+		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer, Heartbeat: opt.Heartbeat})
 	case ORDUPLamport:
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Lamport, Heartbeat: opt.Heartbeat})
 	case COMMU:

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,9 @@ func Experiments() []Experiment {
 		{ID: "E18", Title: "Transport throughput: in-memory simulator vs loopback TCP",
 			Claim: "§2.2: asynchronous propagation tolerates very slow links because MSets travel in batched frames through stable queues — so a real socket transport must keep batched throughput within the same regime as the in-process simulator",
 			Run:   runE18},
+		{ID: "E19", Title: "Sequencer fault tolerance: failover downtime and no-fault overhead",
+			Claim: "§3.1: ordering is easy with a centralized order server — but one server is a single point of failure; replicating it across ensemble members keeps ORDUP ordering available through a leader crash at a bounded no-fault cost",
+			Run:   runE19},
 	}
 }
 
@@ -1714,5 +1718,256 @@ func runE18(quick bool) (*tabular.Table, error) {
 			fmt.Sprintf("%.1f", r.MBPerSec),
 			fmt.Sprintf("%.1fµs", r.MeanLatencyMicros))
 	}
+	return t, nil
+}
+
+// --- E19 ---
+
+// E19Row is one sequencer-deployment cell, exported so cmd/esrbench can
+// record the BENCH_fault.json baseline.
+type E19Row struct {
+	// Mode is "single" (one virtual order server, the paper's
+	// centralized sequencer) or "replicated" (one ensemble member
+	// co-hosted with every site).
+	Mode string `json:"mode"`
+	// Updates is the number of update ETs driven to quiescence.
+	Updates int `json:"updates"`
+	// UpdatesPerSec is end-to-end update throughput with no faults
+	// injected — the price of majority-acked reservations.
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	// Failover statistics; zero in "single" mode, where a sequencer
+	// crash is an outage rather than a failover.
+	Failovers         int     `json:"failovers,omitempty"`
+	FailoverP50Millis float64 `json:"failover_p50_millis,omitempty"`
+	FailoverP99Millis float64 `json:"failover_p99_millis,omitempty"`
+}
+
+// E19Updates returns the per-mode update count E19 runs at.
+func E19Updates(quick bool) int {
+	if quick {
+		return 2_400
+	}
+	return 9_600
+}
+
+// E19FailoverRounds returns the number of leader kills the failover
+// loop performs.
+func E19FailoverRounds(quick bool) int {
+	if quick {
+		return 5
+	}
+	return 12
+}
+
+// E19Overhead returns the fractional no-fault throughput cost of
+// replicating the sequencer: (single - replicated) / single.
+func E19Overhead(rows []E19Row) float64 {
+	var single, repl float64
+	for _, r := range rows {
+		switch r.Mode {
+		case "single":
+			single = r.UpdatesPerSec
+		case "replicated":
+			repl = r.UpdatesPerSec
+		}
+	}
+	if single == 0 {
+		return 0
+	}
+	return (single - repl) / single
+}
+
+// e19Engine builds a durable 3-site ORDUP sequencer cluster, with the
+// order service either centralized (replicas == 0) or replicated
+// across one ensemble member per site.  hb is the ORDUP stall
+// heartbeat: the failover loop needs a fast one (crashed reservations
+// orphan ranges that only heartbeat floors can close), while the
+// no-fault throughput runs use a relaxed one — each heartbeat's
+// watermark query is an ensemble round trip when replicated but a free
+// local read when centralized, so a hot heartbeat would bill the
+// replicated mode for traffic the workload never needs.
+func e19Engine(replicas int, hb time.Duration) (*ordup.Engine, func(), error) {
+	dir, err := os.MkdirTemp("", "e19")
+	if err != nil {
+		return nil, nil, err
+	}
+	eng, err := NewEngine(ORDUPSeq, 3, network.Config{Seed: 19},
+		Options{QueueDir: dir, SeqReplicas: replicas, Heartbeat: hb})
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	oe := eng.(*ordup.Engine)
+	return oe, func() { oe.Close(); os.RemoveAll(dir) }, nil
+}
+
+// e19Burst is the commit-burst size the no-fault workload runs at: the
+// group-commit pipeline's default delivery window, the operating point
+// E15 established.  One sequence reservation (one ensemble round when
+// replicated) covers the whole burst.
+const e19Burst = 32
+
+// e19Throughput measures no-fault update throughput to quiescence for
+// one deployment mode.
+func e19Throughput(mode string, replicas, updates int) (E19Row, error) {
+	oe, done, err := e19Engine(replicas, 5*time.Millisecond)
+	if err != nil {
+		return E19Row{}, err
+	}
+	defer done()
+	const workers = 3
+	rounds := updates / (workers * e19Burst)
+	per := rounds * e19Burst
+	sw := stopwatch.Start()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(origin clock.SiteID) {
+			defer wg.Done()
+			burst := make([][]op.Op, e19Burst)
+			for i := range burst {
+				burst[i] = []op.Op{op.IncOp("x", 1)}
+			}
+			for i := 0; i < rounds; i++ {
+				if _, err := oe.UpdateBurst(origin, burst); err != nil {
+					errc <- fmt.Errorf("E19 %s burst at %v: %w", mode, origin, err)
+					return
+				}
+			}
+		}(clock.SiteID(w + 1))
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		return E19Row{}, err
+	}
+	if err := oe.Cluster().Quiesce(60 * time.Second); err != nil {
+		return E19Row{}, fmt.Errorf("E19 %s: %w", mode, err)
+	}
+	elapsed := sw.Elapsed()
+	return E19Row{
+		Mode:          mode,
+		Updates:       per * workers,
+		UpdatesPerSec: float64(per*workers) / elapsed.Seconds(),
+	}, nil
+}
+
+// e19SeqLeader finds the site whose co-hosted ensemble member currently
+// leads (0 when no leader is elected yet).
+func e19SeqLeader(c *core.Cluster) clock.SiteID {
+	for _, id := range c.SiteIDs() {
+		if r := c.SeqReplica(id); r != nil && r.IsLeader() {
+			return id
+		}
+	}
+	return 0
+}
+
+// e19Failover kills the ensemble leader's host site repeatedly and
+// measures, per kill, how long a surviving origin is locked out of the
+// order service: the wall time until its next update commits.
+func e19Failover(rounds int) ([]time.Duration, error) {
+	oe, done, err := e19Engine(3, 200*time.Microsecond)
+	if err != nil {
+		return nil, err
+	}
+	defer done()
+	c := oe.Cluster()
+	// Elect a first leader and warm the client's hint.
+	if _, err := oe.Update(1, []op.Op{op.IncOp("x", 1)}); err != nil {
+		return nil, fmt.Errorf("E19 warmup: %w", err)
+	}
+	var downtimes []time.Duration
+	for round := 0; round < rounds; round++ {
+		var leader clock.SiteID
+		wait := stopwatch.Start()
+		for leader == 0 {
+			if leader = e19SeqLeader(c); leader == 0 {
+				if wait.Elapsed() > 10*time.Second {
+					return nil, fmt.Errorf("E19 round %d: no leader elected", round)
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}
+		survivor := leader%3 + 1
+		if err := oe.CrashSite(leader); err != nil {
+			return nil, fmt.Errorf("E19 round %d crash: %w", round, err)
+		}
+		sw := stopwatch.Start()
+		if _, err := oe.Update(survivor, []op.Op{op.IncOp("x", 1)}); err != nil {
+			return nil, fmt.Errorf("E19 round %d update at %v: %w", round, survivor, err)
+		}
+		downtimes = append(downtimes, sw.Elapsed())
+		if err := oe.RestartSite(leader); err != nil {
+			return nil, fmt.Errorf("E19 round %d restart: %w", round, err)
+		}
+	}
+	if err := c.Quiesce(60 * time.Second); err != nil {
+		return nil, err
+	}
+	return downtimes, nil
+}
+
+// e19Trials is the number of paired throughput trials.  The workload is
+// fsync- and scheduler-bound, so any single trial is at the mercy of
+// the machine's mood; running the two modes back to back inside each
+// pair cancels drift, and the median pair's ratio is what E19 reports —
+// a robust estimate of replication's cost rather than the noise floor.
+const e19Trials = 5
+
+// E19Sweep measures both deployment modes plus the failover loop.
+func E19Sweep(quick bool) ([]E19Row, error) {
+	updates := E19Updates(quick)
+	type pair struct{ single, repl E19Row }
+	pairs := make([]pair, 0, e19Trials)
+	for i := 0; i < e19Trials; i++ {
+		s, err := e19Throughput("single", 0, updates)
+		if err != nil {
+			return nil, err
+		}
+		r, err := e19Throughput("replicated", 3, updates)
+		if err != nil {
+			return nil, err
+		}
+		pairs = append(pairs, pair{s, r})
+	}
+	ratio := func(p pair) float64 { return p.repl.UpdatesPerSec / p.single.UpdatesPerSec }
+	sort.Slice(pairs, func(i, j int) bool { return ratio(pairs[i]) < ratio(pairs[j]) })
+	median := pairs[len(pairs)/2]
+	single, repl := median.single, median.repl
+	downtimes, err := e19Failover(E19FailoverRounds(quick))
+	if err != nil {
+		return nil, err
+	}
+	sorted := append([]time.Duration(nil), downtimes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	repl.Failovers = len(sorted)
+	repl.FailoverP50Millis = float64(sorted[len(sorted)/2]) / float64(time.Millisecond)
+	repl.FailoverP99Millis = float64(sorted[(len(sorted)*99)/100]) / float64(time.Millisecond)
+	return []E19Row{single, repl}, nil
+}
+
+// runE19 prices the replicated order service: the no-fault throughput
+// cost of majority-acked reservations, and the availability it buys —
+// bounded lockout while the ensemble elects a new leader after the
+// leader's host dies.
+func runE19(quick bool) (*tabular.Table, error) {
+	rows, err := E19Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := tabular.New("E19: sequencer fault tolerance — failover downtime and no-fault overhead",
+		"mode", "updates", "updates/sec", "failovers", "downtime p50", "downtime p99")
+	for _, r := range rows {
+		fo, p50, p99 := "n/a", "n/a", "n/a"
+		if r.Failovers > 0 {
+			fo = fmt.Sprintf("%d", r.Failovers)
+			p50 = fmt.Sprintf("%.1fms", r.FailoverP50Millis)
+			p99 = fmt.Sprintf("%.1fms", r.FailoverP99Millis)
+		}
+		t.AddRowf(r.Mode, r.Updates, fmt.Sprintf("%.0f", r.UpdatesPerSec), fo, p50, p99)
+	}
+	t.AddRowf("overhead", "", fmt.Sprintf("%.1f%%", 100*E19Overhead(rows)), "", "", "")
 	return t, nil
 }

@@ -8,8 +8,13 @@
 #
 # Usage: scripts/smoke_node.sh [method...]
 #   RACE=1      build esrnode with the race detector
-#   UPDATES=n   updates per node (default 30)
+#   UPDATES=n   updates per node (default 30; 200 in chaos mode)
 #   SITES=n     cluster size (default 3)
+#   CHAOS=1     replicated-sequencer failover drill instead of the
+#               method sweep: run ordup with -seqrep on static ports,
+#               kill -9 the site-1 process (the ensemble member that
+#               leads first) mid-load, restart it over the surviving
+#               journals, and still require byte-identical dumps
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -19,7 +24,6 @@ if [ ${#METHODS[@]} -eq 0 ]; then
     METHODS=(ordup commu ritu compe)
 fi
 SITES="${SITES:-3}"
-UPDATES="${UPDATES:-30}"
 
 WORK="$(mktemp -d)"
 trap 'rm -rf "$WORK"' EXIT
@@ -29,6 +33,63 @@ if [ "${RACE:-0}" = "1" ]; then
     BUILDFLAGS+=(-race)
 fi
 go build "${BUILDFLAGS[@]}" -o "$WORK/esrnode" ./cmd/esrnode
+
+if [ "${CHAOS:-0}" = "1" ]; then
+    # Failover drill: static ports so the restarted process comes back
+    # at the address its peers already hold.
+    UPDATES="${UPDATES:-200}"
+    dir="$WORK/chaos"
+    mkdir -p "$dir"
+    BASE=$((20000 + RANDOM % 20000))
+    PEERS=""
+    for i in $(seq 1 "$SITES"); do
+        PEERS+="$i=127.0.0.1:$((BASE + i)),"
+    done
+    PEERS="${PEERS%,}"
+    launch() { # launch SITE UPDATES -> pid in $!
+        local i="$1" n="$2"
+        "$WORK/esrnode" \
+            -site "$i" -sites "$SITES" -method ordup -seqrep \
+            -listen "127.0.0.1:$((BASE + i))" -peers "$PEERS" \
+            -dir "$dir/wal$i" -updates "$n" -seed 42 \
+            -out "$dir/store$i.json" -linger 3s \
+            >>"$dir/node$i.log" 2>&1 &
+    }
+    pids=()
+    for i in $(seq 2 "$SITES"); do
+        launch "$i" "$UPDATES"
+        pids+=($!)
+    done
+    launch 1 "$UPDATES"
+    victim=$!
+    sleep 0.5 # cluster is mid-load by now
+    kill -9 "$victim" 2>/dev/null || true
+    wait "$victim" 2>/dev/null || true
+    sleep 0.3 # survivors elect a new sequencer leader
+    # Same ports, same journals: cold recovery replays the WAL, settles
+    # the torn reservation run, and rejoins without fresh updates.
+    launch 1 0
+    pids+=($!)
+    status=0
+    for pid in "${pids[@]}"; do
+        wait "$pid" || status=$?
+    done
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL chaos: a node exited non-zero"
+        tail -n 5 "$dir"/node*.log
+        exit 1
+    fi
+    for i in $(seq 2 "$SITES"); do
+        if ! cmp -s "$dir/store1.json" "$dir/store$i.json"; then
+            echo "FAIL chaos: store dump of site $i differs from restarted site 1"
+            diff "$dir/store1.json" "$dir/store$i.json" | head -n 10 || true
+            exit 1
+        fi
+    done
+    echo "PASS chaos: leader killed and restarted mid-load, $SITES processes converged to identical stores"
+    exit 0
+fi
+UPDATES="${UPDATES:-30}"
 
 fail=0
 for method in "${METHODS[@]}"; do
