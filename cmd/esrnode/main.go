@@ -44,6 +44,7 @@ import (
 	"esr/internal/op"
 	"esr/internal/seqrep"
 	"esr/internal/sim"
+	"esr/internal/trace"
 )
 
 // ctrlBase offsets the per-node control channel's virtual site IDs well
@@ -166,11 +167,7 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		srv, err := metrics.Serve(maddr, metrics.ServeOptions{
 			Registry: reg,
 			Extra: map[string]http.Handler{
-				"/trace": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-					since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
-					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-					ring.Dump(w, since)
-				}),
+				"/trace": trace.Handler(ring),
 			},
 		})
 		if err != nil {

@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"net/http"
 	"os"
-	"strconv"
 	"time"
 
 	"esr/internal/clock"
@@ -20,6 +19,7 @@ import (
 	"esr/internal/metrics"
 	"esr/internal/network"
 	"esr/internal/sim"
+	"esr/internal/trace"
 )
 
 func main() {
@@ -65,11 +65,7 @@ func main() {
 			Registry: reg,
 			Pprof:    *pprofFlag,
 			Extra: map[string]http.Handler{
-				"/trace": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-					since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
-					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-					ring.Dump(w, since)
-				}),
+				"/trace": trace.Handler(ring),
 			},
 		})
 		if err != nil {

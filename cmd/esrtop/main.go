@@ -5,17 +5,24 @@
 // commit→apply lag quantiles, the live ε budget, and the query
 // charged/fallback split.  With -events it also tails the /trace
 // endpoint incrementally (monotone Seq across ring wrap means no event
-// is ever shown twice).
+// is ever shown twice); with -timeline it folds the tailed events into
+// per-MSet timelines with per-leg latency (see internal/trace).
 //
 //	esrsim -method commu -metrics :9100 -linger 1m &
 //	esrtop -addr localhost:9100
+//
+// Cluster mode attaches to every node of a multi-process deployment at
+// once and merges their metrics and trace rings into one view — the
+// causal stamps carried in the transport frames order events across
+// processes:
+//
+//	esrtop -nodes 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 -timeline 5
 //
 // -once prints a single frame without clearing the screen, for scripts
 // and tests.
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -29,19 +36,38 @@ import (
 	"time"
 
 	"esr/internal/metrics"
+	"esr/internal/trace"
 )
+
+// evCap bounds the merged event buffer timelines are assembled from;
+// older events age out first (their MSets have long since applied).
+const evCap = 16384
 
 func main() {
 	var (
 		addr     = flag.String("addr", "localhost:9100", "metrics endpoint host:port")
+		nodes    = flag.String("nodes", "", "cluster mode: comma-separated metrics endpoints of every node (overrides -addr)")
 		interval = flag.Duration("interval", time.Second, "poll interval")
 		once     = flag.Bool("once", false, "print one frame and exit (no screen clearing)")
 		events   = flag.Int("events", 0, "tail the last N protocol events from /trace per frame (0 disables)")
+		timeline = flag.Int("timeline", 0, "show the N most recent per-MSet timelines with per-leg latency (0 disables)")
 	)
 	flag.Parse()
 
+	addrs := []string{*addr}
+	if *nodes != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*nodes, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+	}
 	client := &http.Client{Timeout: 5 * time.Second}
-	t := &top{addr: *addr, client: client, events: *events}
+	t := &top{client: client, events: *events, timeline: *timeline}
+	for _, a := range addrs {
+		t.nodes = append(t.nodes, &node{addr: a})
+	}
 
 	if *once {
 		if err := t.frame(os.Stdout, false); err != nil {
@@ -57,7 +83,7 @@ func main() {
 	defer tick.Stop()
 	for {
 		if err := t.frame(os.Stdout, true); err != nil {
-			fmt.Printf("\x1b[H\x1b[2Jesrtop: %v (waiting for %s)\n", err, *addr)
+			fmt.Printf("\x1b[H\x1b[2Jesrtop: %v (waiting for %s)\n", err, strings.Join(addrs, ","))
 		}
 		select {
 		case <-sig:
@@ -68,32 +94,48 @@ func main() {
 	}
 }
 
+// node is one endpoint being polled: its address and the trace cursor
+// for incremental (?since=N) event tails.
+type node struct {
+	addr  string
+	since uint64
+}
+
 // top holds the state carried between frames: the previous snapshot's
-// totals for rate derivation and the trace cursor for incremental tails.
+// totals for rate derivation and the merged trace-event buffer.
 type top struct {
-	addr   string
-	client *http.Client
-	events int
+	nodes    []*node
+	client   *http.Client
+	events   int
+	timeline int
 
 	prev   map[string]float64 // summed counter totals by name
 	prevAt time.Time
-	since  uint64 // next trace Seq to fetch
-	tail   []string
+	evbuf  []trace.Event // merged tail across nodes, oldest first
 }
 
 func (t *top) frame(w io.Writer, clear bool) error {
-	snap, err := t.fetch()
+	snap, up, err := t.fetch()
 	if err != nil {
 		return err
 	}
 	now := time.Now()
 	var b strings.Builder
-	t.render(&b, snap, now)
-	if t.events > 0 {
+	t.render(&b, snap, up, now)
+	if t.events > 0 || t.timeline > 0 {
 		t.fetchEvents()
+	}
+	if t.timeline > 0 {
+		t.renderTimelines(&b)
+	}
+	if t.events > 0 {
 		fmt.Fprintf(&b, "\nlast %d protocol events (/trace)\n", t.events)
-		for _, line := range t.tail {
-			b.WriteString("  " + line + "\n")
+		tail := t.evbuf
+		if len(tail) > t.events {
+			tail = tail[len(tail)-t.events:]
+		}
+		for _, e := range tail {
+			b.WriteString("  " + e.String() + "\n")
 		}
 	}
 	if clear {
@@ -105,9 +147,34 @@ func (t *top) frame(w io.Writer, clear bool) error {
 	return err
 }
 
-func (t *top) fetch() (metrics.Snapshot, error) {
+// fetch polls every node's /metrics.json and merges the snapshots into
+// one (per-site series live only in the process hosting the site, so
+// concatenation is the merge).  It reports how many nodes answered and
+// errors only when none did.
+func (t *top) fetch() (metrics.Snapshot, int, error) {
+	var merged metrics.Snapshot
+	up := 0
+	var lastErr error
+	for _, n := range t.nodes {
+		snap, err := t.fetchOne(n.addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		up++
+		merged.Counters = append(merged.Counters, snap.Counters...)
+		merged.Gauges = append(merged.Gauges, snap.Gauges...)
+		merged.Histograms = append(merged.Histograms, snap.Histograms...)
+	}
+	if up == 0 {
+		return merged, 0, lastErr
+	}
+	return merged, up, nil
+}
+
+func (t *top) fetchOne(addr string) (metrics.Snapshot, error) {
 	var snap metrics.Snapshot
-	resp, err := t.client.Get("http://" + t.addr + "/metrics.json")
+	resp, err := t.client.Get("http://" + addr + "/metrics.json")
 	if err != nil {
 		return snap, err
 	}
@@ -118,30 +185,91 @@ func (t *top) fetch() (metrics.Snapshot, error) {
 	return snap, json.NewDecoder(resp.Body).Decode(&snap)
 }
 
-// fetchEvents tails /trace incrementally, keeping the last t.events
-// lines.  Errors leave the previous tail in place (the endpoint is
-// optional: it serves nothing unless tracing is enabled).
+// fetchEvents tails every node's /trace incrementally in NDJSON form
+// and appends the new events to the merged buffer in causal order.
+// Errors leave the previous tail in place (the endpoint is optional:
+// it serves nothing unless tracing is enabled).
 func (t *top) fetchEvents() {
-	resp, err := t.client.Get(fmt.Sprintf("http://%s/trace?since=%d", t.addr, t.since))
-	if err != nil {
+	var fresh []trace.Event
+	for _, n := range t.nodes {
+		resp, err := t.client.Get(fmt.Sprintf("http://%s/trace?since=%d&format=json", n.addr, n.since))
+		if err != nil {
+			continue
+		}
+		dec := json.NewDecoder(resp.Body)
+		var hdr trace.StreamHeader
+		if err := dec.Decode(&hdr); err != nil {
+			resp.Body.Close()
+			continue
+		}
+		for i := 0; i < hdr.Count; i++ {
+			var e trace.Event
+			if err := dec.Decode(&e); err != nil {
+				break
+			}
+			fresh = append(fresh, e)
+		}
+		n.since = hdr.Next
+		resp.Body.Close()
+	}
+	// Causal stamps order cross-process arrivals; wall clock breaks ties.
+	sort.SliceStable(fresh, func(i, j int) bool {
+		if fresh[i].Stamp != fresh[j].Stamp {
+			return fresh[i].Stamp < fresh[j].Stamp
+		}
+		return fresh[i].At.Before(fresh[j].At)
+	})
+	t.evbuf = append(t.evbuf, fresh...)
+	if len(t.evbuf) > evCap {
+		t.evbuf = t.evbuf[len(t.evbuf)-evCap:]
+	}
+}
+
+// renderTimelines folds the merged event buffer into per-MSet
+// timelines and shows the most recent ones plus the aggregated per-leg
+// latency table — the same assembly the esrtrace collector performs,
+// live.
+func (t *top) renderTimelines(b *strings.Builder) {
+	timelines := trace.Assemble(t.evbuf)
+	if len(timelines) == 0 {
+		fmt.Fprintf(b, "\nper-MSet timelines: none yet (is tracing enabled?)\n")
 		return
 	}
-	defer resp.Body.Close()
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
-	for sc.Scan() {
-		line := sc.Text()
-		t.tail = append(t.tail, line)
-		// Lines are "#<seq> ..."; advance the cursor past what we saw.
-		if i := strings.IndexByte(line, ' '); strings.HasPrefix(line, "#") && i > 1 {
-			if seq, err := strconv.ParseUint(line[1:i], 10, 64); err == nil && seq >= t.since {
-				t.since = seq + 1
-			}
+	show := timelines
+	if len(show) > t.timeline {
+		show = show[len(show)-t.timeline:]
+	}
+	fmt.Fprintf(b, "\nper-MSet timelines (%d most recent of %d assembled)\n", len(show), len(timelines))
+	fmt.Fprintf(b, "  %-20s %-7s %6s %7s %9s  %s\n", "mset", "et", "origin", "events", "window", "legs (max per name)")
+	for _, tl := range show {
+		fmt.Fprintf(b, "  %-20s %-7s %6d %7d %9s  %s\n",
+			fmt.Sprintf("%#x", tl.MSet), tl.ET, tl.Origin, len(tl.Events),
+			durUnit(tl.Window()), legSummary(tl))
+	}
+	fmt.Fprintf(b, "  %-18s %6s %9s %9s %9s\n", "leg", "count", "p50", "p99", "max")
+	for _, s := range trace.LegStats(timelines) {
+		fmt.Fprintf(b, "  %-18s %6d %9s %9s %9s\n",
+			s.Name, s.Count, durUnit(s.P50), durUnit(s.P99), durUnit(s.Max))
+	}
+}
+
+// legSummary compacts one timeline's legs to "name=maxdur" pairs.
+func legSummary(tl *trace.Timeline) string {
+	max := map[string]time.Duration{}
+	var order []string
+	for _, l := range tl.Legs() {
+		if _, ok := max[l.Name]; !ok {
+			order = append(order, l.Name)
+		}
+		if l.Dur > max[l.Name] {
+			max[l.Name] = l.Dur
 		}
 	}
-	if len(t.tail) > t.events {
-		t.tail = t.tail[len(t.tail)-t.events:]
+	parts := make([]string, 0, len(order))
+	for _, n := range order {
+		parts = append(parts, n+"="+durUnit(max[n]))
 	}
+	return strings.Join(parts, " ")
 }
 
 // sums collapses every counter series to a by-name total, the basis for
@@ -176,7 +304,7 @@ type row struct {
 	charged, fallback, compensate float64
 }
 
-func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
+func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time.Time) {
 	method := ""
 	sites := map[string]*row{}
 	get := func(site string) *row {
@@ -187,6 +315,9 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
 		}
 		return r
 	}
+	// Counters sum across nodes: a site's activity is recorded only in
+	// the process hosting it, so other nodes contribute zero-valued
+	// series at most.
 	for _, c := range snap.Counters {
 		if method == "" {
 			method = c.Labels["method"]
@@ -197,17 +328,17 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
 		}
 		switch c.Name {
 		case "esr_commits_total":
-			get(site).commits = c.Value
+			get(site).commits += c.Value
 		case "esr_site_applied_total":
-			get(site).applied = c.Value
+			get(site).applied += c.Value
 		case "esr_site_holds_total":
-			get(site).holds = c.Value
+			get(site).holds += c.Value
 		case "esr_query_charged_total":
-			get(site).charged = c.Value
+			get(site).charged += c.Value
 		case "esr_query_fallback_total":
-			get(site).fallback = c.Value
+			get(site).fallback += c.Value
 		case "esr_compensations_total":
-			get(site).compensate = c.Value
+			get(site).compensate += c.Value
 		}
 	}
 	for _, g := range snap.Gauges {
@@ -220,7 +351,9 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
 			get(site).depth += g.Value
 		case "esr_epsilon_budget":
 			r := get(site)
-			r.eps, r.hasEps = g.Value, true
+			if !r.hasEps || g.Value != 0 {
+				r.eps, r.hasEps = g.Value, true
+			}
 		}
 	}
 	for _, h := range snap.Histograms {
@@ -236,8 +369,12 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, now time.Time) {
 	}
 
 	cur := sums(snap)
+	where := t.nodes[0].addr
+	if len(t.nodes) > 1 {
+		where = fmt.Sprintf("%d/%d nodes", up, len(t.nodes))
+	}
 	fmt.Fprintf(b, "esrtop — %s  method=%s  series=%d  %s\n",
-		t.addr, orDash(method), snap.NumSeries(), now.Format("15:04:05"))
+		where, orDash(method), snap.NumSeries(), now.Format("15:04:05"))
 	fmt.Fprintf(b, "cluster  commit/s %7.1f   apply/s %7.1f   net %s/s   lost/s %.1f   deadlocks %d\n\n",
 		t.rate("esr_commits_total", cur, now),
 		t.rate("esr_site_applied_total", cur, now),
@@ -295,6 +432,13 @@ func secUnit(v float64) string {
 	default:
 		return fmt.Sprintf("%.2fs", v)
 	}
+}
+
+func durUnit(d time.Duration) string {
+	if d == 0 {
+		return "-"
+	}
+	return secUnit(d.Seconds())
 }
 
 func bytesUnit(v float64) string {

@@ -38,7 +38,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"strconv"
 	"time"
 
 	"esr/internal/clock"
@@ -248,11 +247,7 @@ func Open(cfg Config) (*Cluster, error) {
 			Registry: reg,
 			Pprof:    cfg.Pprof,
 			Extra: map[string]http.Handler{
-				"/trace": http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-					since, _ := strconv.ParseUint(req.URL.Query().Get("since"), 10, 64)
-					w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-					ring.Dump(w, since)
-				}),
+				"/trace": trace.Handler(ring),
 			},
 		})
 		if err != nil {

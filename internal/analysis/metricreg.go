@@ -39,8 +39,12 @@ var metricTypeNames = map[string]bool{
 }
 
 // traceRecordMethods are the ring methods that emit an event.
+// RecordSpan is the duration-carrying variant the causal-tracing layer
+// emits (net-send, wal-fsync, seq-commit, ...); a span without a paired
+// instrument hides that stage from /metrics just like an instant event.
 var traceRecordMethods = map[string]bool{
 	"Record": true, "Recordf": true, "RecordMSet": true, "RecordMSetf": true,
+	"RecordSpan": true,
 }
 
 func runMetricRegistration(p *Package) []Diagnostic {

@@ -4,6 +4,8 @@
 package metricreg_bad
 
 import (
+	"time"
+
 	"esr/internal/trace"
 )
 
@@ -25,4 +27,11 @@ func queryWithoutBudget(r *trace.Ring, site int, cost int) {
 	if cost > 0 {
 		r.Recordf(trace.QueryCharged, site, "et1.3", "cost=%d", cost) // want A6
 	}
+}
+
+// spanWithoutHistogram traces the fsync's duration as a span but never
+// observes a latency histogram: the leg appears in timelines while the
+// p99 reads empty.
+func spanWithoutHistogram(r *trace.Ring, site int, start time.Time) {
+	r.RecordSpan(trace.WALFsync, site, "et1.4", 0x44, start, "") // want A6
 }

@@ -56,3 +56,11 @@ func dumpIsNotAnEmit(r *trace.Ring) []trace.Event {
 func deliberatelyUnpaired(r *trace.Ring, site int) {
 	r.Record(trace.Receive, site, "et1.4", "debug-only probe") //esrvet:ignore A6 one-off debugging event, no steady-state series wanted
 }
+
+// spanBesideHistogram pairs a duration span with the histogram that
+// makes the same leg visible in /metrics — the idiom every RecordSpan
+// call site must follow.
+func spanBesideHistogram(r *trace.Ring, p *pipeline, site int, start time.Time) {
+	p.waitSec.Observe(int64(time.Since(start)))
+	r.RecordSpan(trace.WALFsync, site, "et1.5", 0x45, start, "")
+}

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"esr/internal/clock"
 	"esr/internal/core"
@@ -259,8 +260,10 @@ func (e *Engine) BeginBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, err
 		allUpdates[i] = updates
 	}
 	var seq0 uint64
+	var seqT0 time.Time
 	if e.cfg.Mode == General {
 		var err error
+		seqT0 = time.Now()
 		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts)))
 		if err != nil {
 			return nil, err
@@ -284,6 +287,9 @@ func (e *Engine) BeginBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, err
 	}
 	if err := e.c.BroadcastAll(msets); err != nil {
 		return nil, err
+	}
+	if e.cfg.Mode == General {
+		e.c.RecordSequenceSpan(origin, msets, seqT0)
 	}
 	return ids, nil
 }

@@ -289,6 +289,10 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.met = newClusterMetrics(cfg.Metrics, cfg.Method, cfg.Sites)
 	c.Net.SetMetrics(c.met.networkMetrics())
+	// A traced transport carries each frame's (origin, MSet, causal
+	// stamp) across the wire and merges inbound stamps into the ring, so
+	// cross-process timelines order causally.  No-op on plain transports.
+	network.SetTrace(c.Net, c.Trace)
 	if cfg.Dir != "" {
 		if err := os.MkdirAll(cfg.Dir, 0o700); err != nil {
 			return nil, fmt.Errorf("core: create queue dir: %w", err)
@@ -320,6 +324,7 @@ func New(cfg Config) (*Cluster, error) {
 	// pair.  Origins are the local sites only; destinations are every
 	// site in the cluster, local or not — remote destinations are
 	// reached through the transport's peer addressing.
+	traced := c.Trace != nil
 	for from := range c.sites {
 		c.out[from] = make(map[clock.SiteID]*link)
 		for i := 1; i <= cfg.Sites; i++ {
@@ -336,9 +341,14 @@ func New(cfg Config) (*Cluster, error) {
 				iq.SetMetrics(c.met.queueMetrics(from, "out-"+siteLabel(to)))
 			}
 			d := queue.NewDelivery(q, func(m queue.Message) error {
-				return c.Net.Send(from, to, m.Payload)
+				if !traced {
+					return c.Net.Send(from, to, m.Payload)
+				}
+				return network.SendCtx(c.Net, from, to, m.Payload,
+					network.TraceContext{Origin: from, MSet: m.ID})
 			}, cfg.RetryBackoff, cfg.RetryMax)
 			d.SetMetrics(c.met.deliveryMetrics(from, to))
+			d.SetTrace(c.Trace, int(from), int(to))
 			d.SetWindow(cfg.DeliveryWindow)
 			d.SetBatchSend(func(ms []queue.Message) error {
 				// Frame slices are pooled: SendBatch is synchronous and
@@ -346,10 +356,23 @@ func New(cfg Config) (*Cluster, error) {
 				// the frame itself.
 				fp := framePool.Get().(*[][]byte)
 				payloads := (*fp)[:0]
+				var ids []uint64
+				if traced {
+					ids = make([]uint64, 0, len(ms))
+				}
 				for _, m := range ms {
 					payloads = append(payloads, m.Payload)
+					if traced {
+						ids = append(ids, m.ID)
+					}
 				}
-				err := c.Net.SendBatch(from, to, payloads)
+				var err error
+				if traced {
+					err = network.SendBatchCtx(c.Net, from, to, payloads, ids,
+						network.TraceContext{Origin: from})
+				} else {
+					err = c.Net.SendBatch(from, to, payloads)
+				}
 				for i := range payloads {
 					payloads[i] = nil // don't pin payloads via the pool
 				}
@@ -489,6 +512,7 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 				panic(fmt.Sprintf("core: open wal for %v: %v", id, err))
 			}
 			w.SetMetrics(c.met.walMetrics(id))
+			w.SetTrace(c.Trace, int(id))
 			c.wals[id] = w
 			if len(records) == 0 {
 				continue
@@ -645,10 +669,32 @@ func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
 	if err != nil {
 		return 0, fmt.Errorf("core: order service unreachable: %w", err)
 	}
-	if err := c.recordSeqIntent(from, start, n); err != nil {
-		return 0, err
+	if c.cfg.Dir != "" {
+		_, intentH := c.met.seqReserveMetrics(from)
+		tI := time.Now()
+		if err := c.recordSeqIntent(from, start, n); err != nil {
+			return 0, err
+		}
+		intentH.Observe(int64(time.Since(tI)))
 	}
 	return start, nil
+}
+
+// RecordSequenceSpan observes one reservation round trip on the origin's
+// reserve-latency histogram and emits one sequence span per MSet of the
+// stamped burst (start = when the origin asked the order service, so the
+// span covers the whole ordering leg between commit and propagation).
+// Engines that reserve global order — ORDUP's sequencer modes, COMPE's
+// compensation bursts — call it right after stamping the burst; the
+// per-MSet attribution is what lets cross-process timelines show the
+// sequencing leg.
+func (c *Cluster) RecordSequenceSpan(origin clock.SiteID, msets []et.MSet, start time.Time) {
+	reserveH, _ := c.met.seqReserveMetrics(origin)
+	reserveH.Observe(int64(time.Since(start)))
+	for _, m := range msets {
+		c.Trace.RecordSpan(trace.Sequence, int(origin), m.ET.String(), m.MsgID(), start,
+			fmt.Sprintf("seq=%d", m.Seq))
+	}
 }
 
 // legacyReserve is the unreplicated reservation path: one round trip to

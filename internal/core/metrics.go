@@ -77,12 +77,17 @@ type clusterMetrics struct {
 	lockWaitSec    *metrics.HistogramVec
 	lockContention *metrics.CounterVec
 
-	seqElections *metrics.CounterVec
-	seqLeader    *metrics.GaugeVec
-	seqRetries   *metrics.Counter
-	seqGapFills  *metrics.CounterVec
-	catchupBytes *metrics.CounterVec
-	catchupSec   *metrics.HistogramVec
+	seqElections  *metrics.CounterVec
+	seqLeader     *metrics.GaugeVec
+	seqRetries    *metrics.Counter
+	seqGapFills   *metrics.CounterVec
+	seqCommitSec  *metrics.HistogramVec
+	seqAppendRTT  *metrics.HistogramVec
+	seqStateSync  *metrics.HistogramVec
+	seqReserveSec *metrics.HistogramVec
+	seqIntentSync *metrics.HistogramVec
+	catchupBytes  *metrics.CounterVec
+	catchupSec    *metrics.HistogramVec
 }
 
 // newClusterMetrics declares every family on the registry.  Returns nil
@@ -128,12 +133,17 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		lockWaitSec:    reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
 		lockContention: reg.Counter("esr_lock_stripe_contention_total", "Stripe-mutex acquisitions that found the stripe already locked.", "site"),
 
-		seqElections: reg.Counter("esr_seq_elections_total", "Election rounds started by a sequencer replica.", "replica"),
-		seqLeader:    reg.Gauge("esr_seq_leader", "1 while the sequencer replica believes it leads.", "replica"),
-		seqRetries:   reg.Counter("esr_seq_client_retries_total", "Sequencer reservation attempts beyond the first (leader re-discovery and transient-failure retries).").With(),
-		seqGapFills:  reg.Counter("esr_seq_gap_fills_total", "Gap-fill MSets broadcast for reserved-but-unused sequence numbers.", "site"),
-		catchupBytes: reg.Counter("esr_catchup_bytes_total", "Snapshot bytes transferred into a catching-up site.", "site"),
-		catchupSec:   reg.Histogram("esr_catchup_seconds", "End-to-end duration of site catch-up state transfers.", metrics.ScaleNanos, "site"),
+		seqElections:  reg.Counter("esr_seq_elections_total", "Election rounds started by a sequencer replica.", "replica"),
+		seqLeader:     reg.Gauge("esr_seq_leader", "1 while the sequencer replica believes it leads.", "replica"),
+		seqRetries:    reg.Counter("esr_seq_client_retries_total", "Sequencer reservation attempts beyond the first (leader re-discovery and transient-failure retries).").With(),
+		seqGapFills:   reg.Counter("esr_seq_gap_fills_total", "Gap-fill MSets broadcast for reserved-but-unused sequence numbers.", "site"),
+		seqCommitSec:  reg.Histogram("esr_seq_commit_seconds", "Reservation latency from leader admission to majority commit.", metrics.ScaleNanos, "replica"),
+		seqAppendRTT:  reg.Histogram("esr_seq_append_rtt_seconds", "Leader-to-follower watermark append round-trip time.", metrics.ScaleNanos, "replica"),
+		seqStateSync:  reg.Histogram("esr_seq_state_sync_seconds", "Sequencer replica state-file fsync latency.", metrics.ScaleNanos, "replica"),
+		seqReserveSec: reg.Histogram("esr_seq_reserve_seconds", "Origin-observed sequence reservation latency (client round trip included).", metrics.ScaleNanos, "site"),
+		seqIntentSync: reg.Histogram("esr_seq_intent_sync_seconds", "Intent-journal fsync latency at a reserving origin.", metrics.ScaleNanos, "site"),
+		catchupBytes:  reg.Counter("esr_catchup_bytes_total", "Snapshot bytes transferred into a catching-up site.", "site"),
+		catchupSec:    reg.Histogram("esr_catchup_seconds", "End-to-end duration of site catch-up state transfers.", metrics.ScaleNanos, "site"),
 	}
 	// Resolve every site's method-level instruments up front: the map is
 	// read-only afterwards, so concurrent engine paths need no lock.
@@ -167,9 +177,23 @@ func (m *clusterMetrics) seqrepMetrics(id clock.SiteID) seqrep.Metrics {
 	}
 	s := siteLabel(id)
 	return seqrep.Metrics{
-		Elections: m.seqElections.With(s),
-		Leader:    m.seqLeader.With(s),
+		Elections:     m.seqElections.With(s),
+		Leader:        m.seqLeader.With(s),
+		CommitSeconds: m.seqCommitSec.With(s),
+		AppendRTT:     m.seqAppendRTT.With(s),
+		FsyncSeconds:  m.seqStateSync.With(s),
 	}
+}
+
+// seqReserveMetrics resolves one origin site's reservation-path
+// instruments: round-trip reserve latency and intent-journal fsync
+// latency.  Safe on nil.
+func (m *clusterMetrics) seqReserveMetrics(id clock.SiteID) (reserve, intentSync *metrics.Histogram) {
+	if m == nil {
+		return nil, nil
+	}
+	s := siteLabel(id)
+	return m.seqReserveSec.With(s), m.seqIntentSync.With(s)
 }
 
 // seqRetryCounter resolves the shared sequencer-client retry counter.

@@ -88,6 +88,8 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 		q.Close()
 		return fmt.Errorf("core: reopen wal: %w", err)
 	}
+	w.SetMetrics(c.met.walMetrics(id))
+	w.SetTrace(c.Trace, int(id))
 	site := replica.NewSite(id, q, c.cfg.LockTable)
 	site.Trace = c.Trace
 	c.configureSite(site)

@@ -42,13 +42,15 @@ func (c *Cluster) hostSequencerReplicas() error {
 // newSeqReplica builds one ensemble member (initial hosting and
 // restart after a crash share this).
 func (c *Cluster) newSeqReplica(id clock.SiteID) (*seqrep.Replica, error) {
+	m := c.met.seqrepMetrics(id)
+	m.Trace, m.TraceSite = c.Trace, int(id)
 	r, err := seqrep.New(seqrep.Config{
 		ID:              id,
 		Replicas:        c.cfg.SeqReplicas,
 		Transport:       c.Net,
 		Dir:             c.cfg.Dir,
 		ElectionTimeout: c.cfg.SeqElectionTimeout,
-		Metrics:         c.met.seqrepMetrics(id),
+		Metrics:         m,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("core: sequencer replica %v: %w", id, err)

@@ -15,25 +15,40 @@ import (
 // misparsed length.
 //
 //	offset  size  field
-//	0       1     codec version (CodecVersion)
+//	0       1     codec version (1 or 2)
 //	1       4     big-endian length of everything after this field
 //	5       1     frame kind (send / call / batch / resp)
 //	6       8     big-endian request id (matches responses to requests)
 //	14      8     big-endian origin site id
 //	22      8     big-endian destination site id
-//	30      —     body
+//	-- version 2 appends the trace context --
+//	30      8     big-endian trace origin site id (0 = untraced)
+//	38      8     big-endian MSet message identity (0 for batch/resp)
+//	46      8     big-endian causal (Lamport) stamp
+//	30|54   —     body
 //
 // Body by kind:
 //
 //	send, call:  the payload bytes, verbatim
-//	batch:       uint32 message count, then per message uint32 length +
-//	             bytes (the SendBatch framing: one frame per batch)
+//	batch:       uint32 message count, then per message (v2: uint64 MSet
+//	             identity +) uint32 length + bytes (the SendBatch
+//	             framing: one frame per batch)
 //	resp:        1 status byte, then the response payload (ok) or the
 //	             error text (all failure codes)
+//
+// Version 2 (this build's native codec) adds the causal trace context
+// so every remote delivery is attributable to its originating update.
+// Decoding accepts both versions — a v1 frame simply carries an empty
+// trace context — so a v2 cluster can drain traffic from v1 peers
+// during a rolling upgrade.  Encoding always emits v2 (roll-forward).
 
-// CodecVersion is the wire-format version this build speaks.  It is the
+// CodecVersion is the wire-format version this build emits.  It is the
 // first byte of every frame.
-const CodecVersion = 1
+const CodecVersion = 2
+
+// codecV1 is the previous wire format, still accepted on decode: it
+// lacks the trailing trace context and batch-body MSet identities.
+const codecV1 = 1
 
 // Frame kinds.
 const (
@@ -54,9 +69,13 @@ const (
 	respPartitioned = byte(4)
 )
 
-// frameHeaderLen is the byte length of the fixed header (version through
-// destination site).
+// frameHeaderLen is the byte length of the fixed v1 header (version
+// through destination site); v2 headers carry traceCtxLen more bytes.
 const frameHeaderLen = 1 + 4 + 1 + 8 + 8 + 8
+
+// traceCtxLen is the byte length of the v2 trace-context extension
+// (trace origin + MSet identity + causal stamp).
+const traceCtxLen = 8 + 8 + 8
 
 // maxFrameLen bounds a frame's post-length size: a garbage or hostile
 // length prefix must not become a multi-gigabyte allocation.
@@ -75,13 +94,32 @@ func (e *CodecVersionError) Error() string {
 	return fmt.Sprintf("network: unknown codec version %d (this build speaks %d)", e.Got, CodecVersion)
 }
 
+// TraceContext is the causal attribution carried by v2 frames: which
+// update (origin site + MSet message identity) caused this network
+// activity, and the sender's causal stamp at send time.  The receiver
+// merges Stamp into its trace ring so downstream events order after
+// the sender's.  The zero value means "untraced" and is what v1 frames
+// decode to.
+type TraceContext struct {
+	// Origin is the site whose update caused this traffic.
+	Origin clock.SiteID
+	// MSet is the message identity of the update (0 when the frame
+	// carries many — batches list per-message identities in the body —
+	// or none).
+	MSet uint64
+	// Stamp is the sender's causal (Lamport) stamp at send time.
+	Stamp uint64
+}
+
 // frame is one decoded wire frame.  body aliases the read buffer and is
 // only valid until the next read on the same connection, except where
 // noted (payloads handed to handlers are copied by the decoder).
 type frame struct {
+	ver      byte
 	kind     byte
 	req      uint64
 	from, to clock.SiteID
+	tc       TraceContext
 	body     []byte
 }
 
@@ -105,15 +143,19 @@ func putFrameBuf(b *[]byte) {
 	}
 }
 
-// appendFrameHeader appends the fixed header with a zero length field;
-// finishFrame patches the length once the body is in place.
-func appendFrameHeader(dst []byte, kind byte, req uint64, from, to clock.SiteID) []byte {
+// appendFrameHeader appends the fixed v2 header (including the trace
+// context) with a zero length field; finishFrame patches the length
+// once the body is in place.
+func appendFrameHeader(dst []byte, kind byte, req uint64, from, to clock.SiteID, tc TraceContext) []byte {
 	dst = append(dst, CodecVersion)
 	dst = append(dst, 0, 0, 0, 0) // length, patched by finishFrame
 	dst = append(dst, kind)
 	dst = binary.BigEndian.AppendUint64(dst, req)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(from))
 	dst = binary.BigEndian.AppendUint64(dst, uint64(to))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(tc.Origin))
+	dst = binary.BigEndian.AppendUint64(dst, tc.MSet)
+	dst = binary.BigEndian.AppendUint64(dst, tc.Stamp)
 	return dst
 }
 
@@ -123,76 +165,109 @@ func finishFrame(dst []byte, start int) {
 	binary.BigEndian.PutUint32(dst[start+1:start+5], uint32(len(dst)-start-5))
 }
 
-// appendBatchBody appends the SendBatch body: message count, then each
-// payload length-prefixed.
-func appendBatchBody(dst []byte, payloads [][]byte) []byte {
+// appendBatchBody appends the v2 SendBatch body: message count, then
+// per message its MSet identity + length-prefixed payload.  ids may be
+// nil (untraced batch: identities are written as zero) but otherwise
+// must match payloads in length.
+func appendBatchBody(dst []byte, payloads [][]byte, ids []uint64) []byte {
 	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payloads)))
-	for _, p := range payloads {
+	for i, p := range payloads {
+		var id uint64
+		if i < len(ids) {
+			id = ids[i]
+		}
+		dst = binary.BigEndian.AppendUint64(dst, id)
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(p)))
 		dst = append(dst, p...)
 	}
 	return dst
 }
 
-// splitBatchBody decodes a batch body into its payload slices.  The
-// returned slices alias body.
-func splitBatchBody(body []byte) ([][]byte, error) {
+// splitBatchBody decodes a batch body into its payload slices and (for
+// v2 bodies) per-message MSet identities; ids is nil for v1 bodies.
+// The returned payload slices alias body.
+func splitBatchBody(body []byte, ver byte) ([][]byte, []uint64, error) {
 	if len(body) < 4 {
-		return nil, fmt.Errorf("network: batch frame truncated (%d bytes)", len(body))
+		return nil, nil, fmt.Errorf("network: batch frame truncated (%d bytes)", len(body))
 	}
 	n := binary.BigEndian.Uint32(body)
 	body = body[4:]
 	if n > maxFrameLen/4 {
-		return nil, fmt.Errorf("network: batch frame claims %d messages", n)
+		return nil, nil, fmt.Errorf("network: batch frame claims %d messages", n)
 	}
 	out := make([][]byte, 0, n)
+	var ids []uint64
+	if ver >= CodecVersion {
+		ids = make([]uint64, 0, n)
+	}
 	for i := uint32(0); i < n; i++ {
+		if ver >= CodecVersion {
+			if len(body) < 8 {
+				return nil, nil, fmt.Errorf("network: batch frame truncated at message %d identity", i)
+			}
+			ids = append(ids, binary.BigEndian.Uint64(body))
+			body = body[8:]
+		}
 		if len(body) < 4 {
-			return nil, fmt.Errorf("network: batch frame truncated at message %d", i)
+			return nil, nil, fmt.Errorf("network: batch frame truncated at message %d", i)
 		}
 		l := binary.BigEndian.Uint32(body)
 		body = body[4:]
 		if uint32(len(body)) < l {
-			return nil, fmt.Errorf("network: batch frame truncated at message %d payload", i)
+			return nil, nil, fmt.Errorf("network: batch frame truncated at message %d payload", i)
 		}
 		out = append(out, body[:l:l])
 		body = body[l:]
 	}
 	if len(body) != 0 {
-		return nil, fmt.Errorf("network: batch frame has %d trailing bytes", len(body))
+		return nil, nil, fmt.Errorf("network: batch frame has %d trailing bytes", len(body))
 	}
-	return out, nil
+	return out, ids, nil
 }
 
-// readFrame reads one frame from r.  An unknown leading version byte
-// returns *CodecVersionError; the caller must close the connection (the
-// framing beyond an unknown codec cannot be trusted).  The returned
-// frame's body is freshly allocated and safe to retain.
+// readFrame reads one frame from r, accepting both the current codec
+// and v1 (whose frames decode to an empty trace context).  An unknown
+// leading version byte returns *CodecVersionError; the caller must
+// close the connection (the framing beyond an unknown codec cannot be
+// trusted).  The returned frame's body is freshly allocated and safe
+// to retain.
 func readFrame(r io.Reader) (frame, error) {
-	var hdr [frameHeaderLen]byte
+	var hdr [frameHeaderLen + traceCtxLen]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		return frame{}, err
 	}
-	if hdr[0] != CodecVersion {
+	if hdr[0] != CodecVersion && hdr[0] != codecV1 {
 		return frame{}, &CodecVersionError{Got: hdr[0]}
 	}
-	if _, err := io.ReadFull(r, hdr[1:]); err != nil {
+	hdrLen := frameHeaderLen
+	if hdr[0] == CodecVersion {
+		hdrLen += traceCtxLen
+	}
+	if _, err := io.ReadFull(r, hdr[1:hdrLen]); err != nil {
 		return frame{}, fmt.Errorf("network: short frame header: %w", err)
 	}
 	length := binary.BigEndian.Uint32(hdr[1:5])
-	if length < frameHeaderLen-5 {
+	if length < uint32(hdrLen-5) {
 		return frame{}, fmt.Errorf("network: frame length %d shorter than header", length)
 	}
 	if length > maxFrameLen {
 		return frame{}, fmt.Errorf("network: frame length %d exceeds limit %d", length, maxFrameLen)
 	}
 	f := frame{
+		ver:  hdr[0],
 		kind: hdr[5],
 		req:  binary.BigEndian.Uint64(hdr[6:14]),
 		from: clock.SiteID(binary.BigEndian.Uint64(hdr[14:22])),
 		to:   clock.SiteID(binary.BigEndian.Uint64(hdr[22:30])),
 	}
-	bodyLen := int(length) - (frameHeaderLen - 5)
+	if f.ver == CodecVersion {
+		f.tc = TraceContext{
+			Origin: clock.SiteID(binary.BigEndian.Uint64(hdr[30:38])),
+			MSet:   binary.BigEndian.Uint64(hdr[38:46]),
+			Stamp:  binary.BigEndian.Uint64(hdr[46:54]),
+		}
+	}
+	bodyLen := int(length) - (hdrLen - 5)
 	if bodyLen > 0 {
 		f.body = make([]byte, bodyLen)
 		if _, err := io.ReadFull(r, f.body); err != nil {

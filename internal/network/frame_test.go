@@ -1,0 +1,219 @@
+package network
+
+// Codec tests: the v2 wire format round-trips its trace context and
+// batch identities, and — the rolling-upgrade contract — hand-crafted
+// v1 frames still decode on a v2 build, while genuinely unknown
+// versions surface the typed error.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"testing"
+
+	"esr/internal/clock"
+	"esr/internal/trace"
+)
+
+func TestFrameV2RoundTrip(t *testing.T) {
+	tc := TraceContext{Origin: 3, MSet: 0xdeadbeef, Stamp: 42}
+	b := appendFrameHeader(nil, frameSend, 7, 1, 2, tc)
+	b = append(b, []byte("payload")...)
+	finishFrame(b, 0)
+
+	f, err := readFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if f.ver != CodecVersion || f.kind != frameSend || f.req != 7 || f.from != 1 || f.to != 2 {
+		t.Errorf("frame = %+v", f)
+	}
+	if f.tc != tc {
+		t.Errorf("trace context = %+v, want %+v", f.tc, tc)
+	}
+	if string(f.body) != "payload" {
+		t.Errorf("body = %q", f.body)
+	}
+}
+
+func TestBatchBodyV2CarriesIdentities(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), []byte("bb"), []byte("")}
+	ids := []uint64{0x10, 0x20, 0x30}
+	body := appendBatchBody(nil, payloads, ids)
+	got, gotIDs, err := splitBatchBody(body, CodecVersion)
+	if err != nil {
+		t.Fatalf("splitBatchBody: %v", err)
+	}
+	if len(got) != 3 || string(got[0]) != "a" || string(got[1]) != "bb" || len(got[2]) != 0 {
+		t.Errorf("payloads = %q", got)
+	}
+	if len(gotIDs) != 3 || gotIDs[0] != 0x10 || gotIDs[2] != 0x30 {
+		t.Errorf("ids = %#x", gotIDs)
+	}
+	// nil ids encode as zero identities, not a different layout.
+	body = appendBatchBody(nil, payloads, nil)
+	_, gotIDs, err = splitBatchBody(body, CodecVersion)
+	if err != nil || len(gotIDs) != 3 || gotIDs[0] != 0 {
+		t.Errorf("untraced batch ids = %#x, err %v", gotIDs, err)
+	}
+}
+
+// appendFrameHeaderV1 hand-crafts the previous (30-byte header, no
+// trace context) frame layout, as a v1 peer would emit it.
+func appendFrameHeaderV1(dst []byte, kind byte, req uint64, from, to clock.SiteID) []byte {
+	dst = append(dst, codecV1)
+	dst = append(dst, 0, 0, 0, 0)
+	dst = append(dst, kind)
+	dst = binary.BigEndian.AppendUint64(dst, req)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(from))
+	dst = binary.BigEndian.AppendUint64(dst, uint64(to))
+	return dst
+}
+
+// appendBatchBodyV1 hand-crafts the v1 batch body: count + per-message
+// length-prefixed payloads, no identities.
+func appendBatchBodyV1(dst []byte, payloads [][]byte) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payloads)))
+	for _, p := range payloads {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(p)))
+		dst = append(dst, p...)
+	}
+	return dst
+}
+
+// TestFrameV1BackwardCompatible pins the rolling-upgrade contract: a
+// v2 build decodes v1 frames (send and batch) with an empty trace
+// context and nil batch identities.
+func TestFrameV1BackwardCompatible(t *testing.T) {
+	b := appendFrameHeaderV1(nil, frameSend, 9, 4, 5)
+	b = append(b, []byte("old")...)
+	finishFrame(b, 0)
+	f, err := readFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("readFrame(v1): %v", err)
+	}
+	if f.ver != codecV1 || f.req != 9 || f.from != 4 || f.to != 5 || string(f.body) != "old" {
+		t.Errorf("v1 frame = %+v", f)
+	}
+	if f.tc != (TraceContext{}) {
+		t.Errorf("v1 frame decoded a trace context: %+v", f.tc)
+	}
+
+	bb := appendFrameHeaderV1(nil, frameBatch, 10, 4, 5)
+	bb = appendBatchBodyV1(bb, [][]byte{[]byte("x"), []byte("yz")})
+	finishFrame(bb, 0)
+	fb, err := readFrame(bytes.NewReader(bb))
+	if err != nil {
+		t.Fatalf("readFrame(v1 batch): %v", err)
+	}
+	payloads, ids, err := splitBatchBody(fb.body, fb.ver)
+	if err != nil {
+		t.Fatalf("splitBatchBody(v1): %v", err)
+	}
+	if len(payloads) != 2 || string(payloads[1]) != "yz" {
+		t.Errorf("v1 batch payloads = %q", payloads)
+	}
+	if ids != nil {
+		t.Errorf("v1 batch decoded identities: %#x", ids)
+	}
+}
+
+// TestFrameV1EndToEnd drives a hand-crafted v1 frame through a live
+// server connection: the handler runs and the (v2) response comes
+// back — a v1 sender's traffic drains during a rolling upgrade.
+func TestFrameV1EndToEnd(t *testing.T) {
+	_, b := tcpPair(t)
+	got := make(chan []byte, 1)
+	b.Register(2, func(_ clock.SiteID, p []byte) ([]byte, error) {
+		got <- append([]byte(nil), p...)
+		return []byte("ack"), nil
+	})
+	raw, err := net.Dial("tcp", b.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer raw.Close()
+	fr := appendFrameHeaderV1(nil, frameCall, 1, 1, 2)
+	fr = append(fr, []byte("legacy")...)
+	finishFrame(fr, 0)
+	if _, err := raw.Write(fr); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp, err := readFrame(raw)
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if resp.kind != frameResp || len(resp.body) < 1 || resp.body[0] != respOK {
+		t.Fatalf("response = %+v", resp)
+	}
+	if string(resp.body[1:]) != "ack" {
+		t.Errorf("response payload = %q", resp.body[1:])
+	}
+	if string(<-got) != "legacy" {
+		t.Error("handler saw wrong payload")
+	}
+}
+
+func TestFrameUnknownVersionTyped(t *testing.T) {
+	b := appendFrameHeader(nil, frameSend, 1, 1, 2, TraceContext{})
+	finishFrame(b, 0)
+	b[0] = CodecVersion + 1
+	var cve *CodecVersionError
+	if _, err := readFrame(bytes.NewReader(b)); !errors.As(err, &cve) {
+		t.Fatalf("readFrame = %v, want *CodecVersionError", err)
+	} else if cve.Got != CodecVersion+1 {
+		t.Errorf("Got = %d", cve.Got)
+	}
+}
+
+// TestTracedSendPropagatesStamp pins the causal contract over real
+// sockets: the receiver's ring observes a stamp at least as large as
+// the sender's at send time, and net-send/net-recv spans land in the
+// respective rings attributed to the MSet.
+func TestTracedSendPropagatesStamp(t *testing.T) {
+	a, b := tcpPair(t)
+	ringA, ringB := trace.NewRing(64), trace.NewRing(64)
+	a.SetTrace(ringA)
+	b.SetTrace(ringB)
+	b.Register(2, func(clock.SiteID, []byte) ([]byte, error) { return nil, nil })
+
+	// Seed the sender's causal clock well past the receiver's.
+	ringA.ObserveStamp(100)
+	tc := TraceContext{Origin: 1, MSet: 0xabc, Stamp: ringA.Stamp()}
+	if err := a.SendTraced(1, 2, []byte("m"), tc); err != nil {
+		t.Fatalf("SendTraced: %v", err)
+	}
+	if got := ringB.Stamp(); got < 100 {
+		t.Errorf("receiver stamp = %d, want >= 100 (merged from frame)", got)
+	}
+	var sendSpan, recvSpan bool
+	for _, e := range ringA.Snapshot() {
+		if e.Kind == trace.NetSend && e.MSet == 0xabc && e.Dur > 0 {
+			sendSpan = true
+		}
+	}
+	for _, e := range ringB.Snapshot() {
+		if e.Kind == trace.NetRecv && e.MSet == 0xabc && e.Stamp > 100 {
+			recvSpan = true
+		}
+	}
+	if !sendSpan {
+		t.Error("sender ring missing net-send span")
+	}
+	if !recvSpan {
+		t.Error("receiver ring missing net-recv event stamped after sender")
+	}
+
+	// Batches carry identities and merge stamps the same way.
+	if err := a.SendBatchTraced(1, 2, [][]byte{[]byte("x"), []byte("y")},
+		[]uint64{0x1, 0x2}, TraceContext{Origin: 1, Stamp: ringA.Stamp()}); err != nil {
+		t.Fatalf("SendBatchTraced: %v", err)
+	}
+
+	// The response stamped the sender's ring from the receiver: after
+	// both sides recorded, clocks converge monotonically.
+	if sa, sb := ringA.Stamp(), ringB.Stamp(); sa == 0 || sb == 0 {
+		t.Errorf("stamps = %d, %d", sa, sb)
+	}
+}

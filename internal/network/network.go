@@ -28,6 +28,7 @@ import (
 
 	"esr/internal/clock"
 	"esr/internal/metrics"
+	"esr/internal/trace"
 )
 
 // Errors returned by Send, Call and SendBatch.  All are transient: the
@@ -145,6 +146,53 @@ type Transport interface {
 	// Close shuts the transport down; in-flight operations fail with
 	// ErrClosed.  Close is idempotent.
 	Close() error
+}
+
+// TracedTransport is the optional causal-tracing extension of
+// Transport, implemented by both Sim and TCP.  A traced transport
+// carries a TraceContext — (origin site, MSet message identity,
+// causal stamp) — with every frame (TCP puts it on the wire, codec
+// v2; the in-process simulator shares the ring directly), merges
+// inbound stamps into the installed ring, and records frame-level
+// net-send/net-recv spans.  It is deliberately not part of Transport:
+// test fakes and future transports stay valid without it, and callers
+// route through SendCtx/SendBatchCtx which degrade to the plain calls.
+type TracedTransport interface {
+	Transport
+	// SetTrace installs the trace ring.  Call before concurrent use.
+	SetTrace(r *trace.Ring)
+	// SendTraced is Send carrying a causal trace context.
+	SendTraced(from, to clock.SiteID, payload []byte, tc TraceContext) error
+	// SendBatchTraced is SendBatch carrying a causal trace context and
+	// per-message MSet identities (ids[i] identifies payloads[i]; nil
+	// means untraced identities).
+	SendBatchTraced(from, to clock.SiteID, payloads [][]byte, ids []uint64, tc TraceContext) error
+}
+
+// SendCtx sends with a causal trace context when the transport
+// supports one, degrading to a plain Send otherwise.
+func SendCtx(t Transport, from, to clock.SiteID, payload []byte, tc TraceContext) error {
+	if tt, ok := t.(TracedTransport); ok {
+		return tt.SendTraced(from, to, payload, tc)
+	}
+	return t.Send(from, to, payload)
+}
+
+// SendBatchCtx sends a batch with a causal trace context when the
+// transport supports one, degrading to a plain SendBatch otherwise.
+func SendBatchCtx(t Transport, from, to clock.SiteID, payloads [][]byte, ids []uint64, tc TraceContext) error {
+	if tt, ok := t.(TracedTransport); ok {
+		return tt.SendBatchTraced(from, to, payloads, ids, tc)
+	}
+	return t.SendBatch(from, to, payloads)
+}
+
+// SetTrace installs the trace ring on a transport that supports
+// causal tracing; a no-op otherwise.
+func SetTrace(t Transport, r *trace.Ring) {
+	if tt, ok := t.(TracedTransport); ok {
+		tt.SetTrace(r)
+	}
 }
 
 // Config parameterizes the simulated transport (Sim).

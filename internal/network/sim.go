@@ -7,6 +7,8 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/stopwatch"
+	"esr/internal/trace"
 )
 
 // Sim is the in-process simulated transport: seeded per-message latency,
@@ -25,16 +27,32 @@ type Sim struct {
 	down          map[clock.SiteID]bool
 	stats         Stats
 	met           Metrics
+	ring          *trace.Ring
 }
 
-// Sim implements Transport.
-var _ Transport = (*Sim)(nil)
+// Sim implements Transport (and its traced extension).
+var (
+	_ Transport       = (*Sim)(nil)
+	_ TracedTransport = (*Sim)(nil)
+)
 
 // SetMetrics installs instrumentation.  Call before concurrent use.
 func (t *Sim) SetMetrics(m Metrics) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.met = m
+}
+
+// SetTrace installs the trace ring: traced sends record frame-level
+// net-send spans covering the simulated transit.  The simulator is
+// in-process — sender and receiver share one ring — so causal stamps
+// need no wire propagation here; the context still travels through the
+// traced entry points so core wires both transports identically.  Call
+// before concurrent use.
+func (t *Sim) SetTrace(r *trace.Ring) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = r
 }
 
 // New returns a simulated transport with the given configuration, or an
@@ -131,7 +149,14 @@ func (t *Sim) Close() error { return nil }
 // and succeeded (the implicit acknowledgement); any error means the
 // message must be retried by the caller.
 func (t *Sim) Send(from, to clock.SiteID, payload []byte) error {
-	_, err := t.deliver(from, to, payload, 1)
+	_, err := t.deliver(from, to, payload, 1, TraceContext{}, false)
+	return err
+}
+
+// SendTraced is Send carrying a causal trace context; the delivery
+// records a net-send span attributed to the context's MSet.
+func (t *Sim) SendTraced(from, to clock.SiteID, payload []byte, tc TraceContext) error {
+	_, err := t.deliver(from, to, payload, 1, tc, true)
 	return err
 }
 
@@ -141,7 +166,7 @@ func (t *Sim) Send(from, to clock.SiteID, payload []byte) error {
 // on Call; the asynchronous replica-control methods use Send via stable
 // queues.
 func (t *Sim) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
-	return t.deliver(from, to, payload, 2)
+	return t.deliver(from, to, payload, 2, TraceContext{}, false)
 }
 
 // SendBatch delivers a whole frame of messages in one network transit:
@@ -152,15 +177,28 @@ func (t *Sim) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
 // Falls back to the site's per-message handler if no batch handler is
 // registered (still a single simulated transit).
 func (t *Sim) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
+	return t.sendBatch(from, to, payloads, TraceContext{}, false)
+}
+
+// SendBatchTraced is SendBatch carrying a causal trace context and the
+// per-message MSet identities (the simulator delivers payloads
+// in-process, so the identities only label the recorded span).
+func (t *Sim) SendBatchTraced(from, to clock.SiteID, payloads [][]byte, ids []uint64, tc TraceContext) error {
+	return t.sendBatch(from, to, payloads, tc, true)
+}
+
+func (t *Sim) sendBatch(from, to clock.SiteID, payloads [][]byte, tc TraceContext, traced bool) error {
 	if len(payloads) == 0 {
 		return nil
 	}
+	sw := stopwatch.Start()
 	n := uint64(len(payloads))
 	t.mu.Lock()
 	t.stats.Sent += n
 	t.met.Sent.Add(n)
 	bh, bok := t.batchHandlers[to]
 	h, ok := t.handlers[to]
+	ring := t.ring
 	lat := t.sampleLatencyLocked()
 	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
 	partitioned := t.partition[from] != t.partition[to]
@@ -218,14 +256,19 @@ func (t *Sim) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	t.met.Delivered.Add(n)
 	t.met.Bytes.Add(bytes)
 	t.met.Frames.Inc()
+	if traced && ring != nil {
+		ring.RecordSpan(trace.NetSend, int(from), "", tc.MSet, sw.Began(), fmt.Sprintf("to=%d n=%d", to, n))
+	}
 	return nil
 }
 
-func (t *Sim) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, error) {
+func (t *Sim) deliver(from, to clock.SiteID, payload []byte, legs int, tc TraceContext, traced bool) ([]byte, error) {
+	sw := stopwatch.Start()
 	t.mu.Lock()
 	t.stats.Sent++
 	t.met.Sent.Inc()
 	h, ok := t.handlers[to]
+	ring := t.ring
 	lat := t.sampleLatencyLocked() * time.Duration(legs)
 	lost := t.cfg.LossRate > 0 && t.rng.Float64() < t.cfg.LossRate
 	partitioned := t.partition[from] != t.partition[to]
@@ -272,6 +315,9 @@ func (t *Sim) deliver(from, to clock.SiteID, payload []byte, legs int) ([]byte, 
 	})
 	t.met.Delivered.Inc()
 	t.met.Bytes.Add(uint64(len(payload)))
+	if traced && ring != nil {
+		ring.RecordSpan(trace.NetSend, int(from), "", tc.MSet, sw.Began(), fmt.Sprintf("to=%d n=%d", to, 1))
+	}
 	return resp, nil
 }
 

@@ -12,6 +12,7 @@ import (
 
 	"esr/internal/clock"
 	"esr/internal/stopwatch"
+	"esr/internal/trace"
 )
 
 // TCPOptions parameterizes a TCP transport instance.  One instance
@@ -72,14 +73,18 @@ type TCP struct {
 	down          map[clock.SiteID]bool
 	stats         Stats
 	met           Metrics
+	ring          *trace.Ring
 	rng           *rand.Rand
 	closed        bool
 
 	reqID atomic.Uint64
 }
 
-// TCP implements Transport.
-var _ Transport = (*TCP)(nil)
+// TCP implements Transport (and its traced extension).
+var (
+	_ Transport       = (*TCP)(nil)
+	_ TracedTransport = (*TCP)(nil)
+)
 
 // tcpResp is a response delivered to a waiting sender.
 type tcpResp struct {
@@ -186,6 +191,15 @@ func (t *TCP) SetMetrics(m Metrics) {
 	t.met = m
 }
 
+// SetTrace installs the trace ring: outgoing frames carry its causal
+// stamp, inbound frames merge theirs into it, and frame-level
+// net-send/net-recv spans are recorded.  Call before concurrent use.
+func (t *TCP) SetTrace(r *trace.Ring) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ring = r
+}
+
 // Stats returns a snapshot of the cumulative transport statistics.
 func (t *TCP) Stats() Stats {
 	t.mu.Lock()
@@ -276,14 +290,20 @@ func (t *TCP) Close() error {
 // ran and succeeded (the implicit acknowledgement over the response
 // frame); any error means the message must be retried by the caller.
 func (t *TCP) Send(from, to clock.SiteID, payload []byte) error {
-	_, err := t.roundTrip(frameSend, from, to, payload, nil)
+	_, err := t.roundTrip(frameSend, from, to, payload, nil, nil, TraceContext{})
+	return err
+}
+
+// SendTraced is Send carrying a causal trace context in the frame.
+func (t *TCP) SendTraced(from, to clock.SiteID, payload []byte, tc TraceContext) error {
+	_, err := t.roundTrip(frameSend, from, to, payload, nil, nil, tc)
 	return err
 }
 
 // Call performs a synchronous round trip and returns the handler's
 // response payload.
 func (t *TCP) Call(from, to clock.SiteID, payload []byte) ([]byte, error) {
-	return t.roundTrip(frameCall, from, to, payload, nil)
+	return t.roundTrip(frameCall, from, to, payload, nil, nil, TraceContext{})
 }
 
 // SendBatch delivers a whole frame of messages in one network transit,
@@ -294,14 +314,24 @@ func (t *TCP) SendBatch(from, to clock.SiteID, payloads [][]byte) error {
 	if len(payloads) == 0 {
 		return nil
 	}
-	_, err := t.roundTrip(frameBatch, from, to, nil, payloads)
+	_, err := t.roundTrip(frameBatch, from, to, nil, payloads, nil, TraceContext{})
+	return err
+}
+
+// SendBatchTraced is SendBatch carrying a causal trace context plus
+// the per-message MSet identities in the frame body.
+func (t *TCP) SendBatchTraced(from, to clock.SiteID, payloads [][]byte, ids []uint64, tc TraceContext) error {
+	if len(payloads) == 0 {
+		return nil
+	}
+	_, err := t.roundTrip(frameBatch, from, to, nil, payloads, ids, tc)
 	return err
 }
 
 // roundTrip is the shared send path: local-view fault checks, then
 // either in-process dispatch (local destination) or one framed request
 // over the peer's pooled connection.
-func (t *TCP) roundTrip(kind byte, from, to clock.SiteID, payload []byte, batch [][]byte) ([]byte, error) {
+func (t *TCP) roundTrip(kind byte, from, to clock.SiteID, payload []byte, batch [][]byte, ids []uint64, tc TraceContext) ([]byte, error) {
 	n := uint64(1)
 	if kind == frameBatch {
 		n = uint64(len(batch))
@@ -317,7 +347,13 @@ func (t *TCP) roundTrip(kind byte, from, to clock.SiteID, payload []byte, batch 
 	isDown := t.down[from] || t.down[to]
 	isLocal := t.local[to]
 	addr := t.peers[to]
+	ring := t.ring
 	t.mu.Unlock()
+	if ring != nil && tc.Stamp == 0 {
+		// Every frame carries the sender's causal stamp, even untraced
+		// ones, so receiver-side events order after sender-side ones.
+		tc.Stamp = ring.Stamp()
+	}
 	if partitioned {
 		t.count(func(s *Stats) { s.Partitioned += n })
 		t.met.Partitioned.Add(n)
@@ -341,9 +377,9 @@ func (t *TCP) roundTrip(kind byte, from, to clock.SiteID, payload []byte, batch 
 	ch := make(chan tcpResp, 1)
 
 	buf := getFrameBuf()
-	b := appendFrameHeader(*buf, kind, req, from, to)
+	b := appendFrameHeader(*buf, kind, req, from, to, tc)
 	if kind == frameBatch {
-		b = appendBatchBody(b, batch)
+		b = appendBatchBody(b, batch, ids)
 	} else {
 		b = append(b, payload...)
 	}
@@ -379,6 +415,11 @@ func (t *TCP) roundTrip(kind byte, from, to clock.SiteID, payload []byte, batch 
 			t.met.Partitioned.Add(n)
 		}
 		return nil, respError(r.status, r.body)
+	}
+	if ring != nil && kind != frameCall {
+		// The span covers write → acknowledged response: the remote
+		// handler has durably accepted the payload(s).
+		ring.RecordSpan(trace.NetSend, int(from), "", tc.MSet, sw.Began(), fmt.Sprintf("to=%d n=%d", to, n))
 	}
 	return r.body, nil
 }
@@ -624,6 +665,9 @@ func (p *tcpPeer) flushLoop() {
 // the socket down) fails the connection and every pending request.
 func (p *tcpPeer) readLoop(c net.Conn) {
 	defer p.t.wg.Done()
+	p.t.mu.Lock()
+	ring := p.t.ring
+	p.t.mu.Unlock()
 	br := bufio.NewReaderSize(c, 64<<10)
 	for {
 		f, err := readFrame(br)
@@ -634,6 +678,9 @@ func (p *tcpPeer) readLoop(c net.Conn) {
 		if f.kind != frameResp || len(f.body) < 1 {
 			continue
 		}
+		// A response carries the remote's causal stamp; merging it means
+		// the caller's next events order after the work the call caused.
+		ring.ObserveStamp(f.tc.Stamp)
 		p.mu.Lock()
 		ch := p.pending[f.req]
 		delete(p.pending, f.req)
@@ -706,14 +753,20 @@ func (t *TCP) serveConn(c net.Conn) {
 	}()
 	br := bufio.NewReaderSize(c, 64<<10)
 	bw := bufio.NewWriterSize(c, 64<<10)
+	t.mu.Lock()
+	ring := t.ring
+	t.mu.Unlock()
 	for {
 		f, err := readFrame(br)
 		if err != nil {
 			return // EOF, codec mismatch, or torn frame: drop the conn
 		}
 		status, body := t.dispatchRemote(f)
+		// The response carries this process's causal stamp back, so the
+		// sender's later events order after work its frame caused here.
+		rtc := TraceContext{Stamp: ring.Stamp()}
 		buf := getFrameBuf()
-		b := appendFrameHeader(*buf, frameResp, f.req, f.to, f.from)
+		b := appendFrameHeader(*buf, frameResp, f.req, f.to, f.from, rtc)
 		b = append(b, status)
 		b = append(b, body...)
 		finishFrame(b, 0)
@@ -740,7 +793,11 @@ func (t *TCP) dispatchRemote(f frame) (status byte, body []byte) {
 	isDown := t.down[f.from] || t.down[f.to]
 	h := t.handlers[f.to]
 	bh := t.batchHandlers[f.to]
+	ring := t.ring
 	t.mu.Unlock()
+	// Merge the sender's causal stamp before any handler records
+	// events, so everything this frame causes stamps after its sender.
+	ring.ObserveStamp(f.tc.Stamp)
 	if partitioned {
 		t.count(func(s *Stats) { s.Partitioned++ })
 		t.met.Partitioned.Inc()
@@ -755,7 +812,7 @@ func (t *TCP) dispatchRemote(f frame) (status byte, body []byte) {
 	var bytes uint64
 	switch f.kind {
 	case frameBatch:
-		payloads, err := splitBatchBody(f.body)
+		payloads, _, err := splitBatchBody(f.body, f.ver)
 		if err != nil {
 			return respErr, []byte(err.Error())
 		}
@@ -798,6 +855,9 @@ func (t *TCP) dispatchRemote(f frame) (status byte, body []byte) {
 	t.met.Bytes.Add(bytes)
 	if f.kind == frameBatch {
 		t.met.Frames.Inc()
+	}
+	if ring != nil && f.kind != frameCall {
+		ring.RecordMSetf(trace.NetRecv, int(f.to), "", f.tc.MSet, "from=%d n=%d", f.from, n)
 	}
 	return respOK, body
 }

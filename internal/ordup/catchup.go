@@ -34,6 +34,7 @@ import (
 	"esr/internal/network"
 	"esr/internal/op"
 	"esr/internal/queue"
+	"esr/internal/trace"
 )
 
 // snapChunk bounds one state-transfer response.
@@ -213,6 +214,8 @@ func (e *Engine) CatchUpFrom(id, donor clock.SiteID) error {
 		return fmt.Errorf("ordup: deliver snapshot: %w", err)
 	}
 	durHist.Observe(int64(time.Since(start)))
+	e.c.Trace.RecordSpan(trace.CatchUp, int(id), m.ET.String(), m.MsgID(), start,
+		fmt.Sprintf("donor=%d bytes=%d seq=%d", donor, len(blob), snap.Next-1))
 	return nil
 }
 

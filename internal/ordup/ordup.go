@@ -244,8 +244,10 @@ func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, er
 		defer st.submit.Unlock()
 	}
 	var seq0 uint64
+	var seqT0 time.Time
 	if e.cfg.Ordering == Sequencer {
 		var err error
+		seqT0 = time.Now()
 		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts))) //esrvet:ignore A8 reserve-then-broadcast must be atomic per origin (SeqFloor promise); submit is that gate
 		if err != nil {
 			return nil, err
@@ -276,6 +278,11 @@ func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, er
 	}
 	if err := e.c.BroadcastAll(msets); err != nil {
 		return nil, err
+	}
+	if e.cfg.Ordering == Sequencer {
+		// The ordering leg: reserve round trip through stamping, one span
+		// per MSet so every timeline shows its sequencing cost.
+		e.c.RecordSequenceSpan(origin, msets, seqT0)
 	}
 	return ids, nil
 }

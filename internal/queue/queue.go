@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"esr/internal/metrics"
+	"esr/internal/trace"
 )
 
 // Message is one element of a stable queue.  IDs must be unique per queue;
@@ -907,6 +908,13 @@ type Delivery struct {
 	wg      sync.WaitGroup
 
 	met DeliveryMetrics
+
+	// ring, when set, receives one flush span per successful delivery
+	// round (send through batched acknowledgement), attributed to site
+	// with the peer in the detail — the propagation leg of a timeline.
+	ring *trace.Ring
+	site int
+	peer int
 }
 
 // DeliveryMetrics instruments a delivery agent.  All fields optional.
@@ -923,6 +931,15 @@ type DeliveryMetrics struct {
 
 // SetMetrics installs instrumentation.  Call before Start.
 func (d *Delivery) SetMetrics(m DeliveryMetrics) { d.met = m }
+
+// SetTrace installs the trace ring: each successful delivery round
+// records a flush span attributed to the sending site (peer in the
+// detail).  Call before Start.
+func (d *Delivery) SetTrace(r *trace.Ring, site, peer int) {
+	d.ring = r
+	d.site = site
+	d.peer = peer
+}
 
 // NewDelivery creates a delivery agent draining q through send.  backoff
 // is the initial retry delay after a failed send; it doubles up to
@@ -993,12 +1010,20 @@ func (d *Delivery) run() {
 			return // queue closed
 		}
 		if len(batch) > 0 {
+			var t0 time.Time
+			if d.ring != nil {
+				t0 = time.Now()
+			}
 			delivered, sendErr := d.sendRound(batch)
 			if len(delivered) > 0 {
 				if err := d.q.AckBatch(delivered); err != nil {
 					return
 				}
 				d.met.BatchSize.Observe(int64(len(delivered)))
+				if d.ring != nil {
+					d.ring.RecordSpan(trace.Flush, d.site, "", 0, t0,
+						fmt.Sprintf("to=%d n=%d", d.peer, len(delivered)))
+				}
 				wait = d.backoff
 			}
 			if sendErr == nil {

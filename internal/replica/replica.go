@@ -536,7 +536,10 @@ func (s *Site) applyOne(it applyItem, hist *metrics.Histogram) (ack, ok bool) {
 		s.applied(it.m)
 		s.Metrics.Applied.Inc()
 		s.Lag.Applied(it.msg.ID, int(s.ID))
-		s.Trace.RecordMSet(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, "")
+		// A span, not an instant: the apply work itself is one leg of
+		// the MSet's timeline, distinct from the receive→apply queueing
+		// gap in front of it.
+		s.Trace.RecordSpan(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, start, "")
 		s.mu.Lock()
 		delete(s.decoded, it.msg.ID)
 		delete(s.heldOnce, it.msg.ID)

@@ -42,6 +42,7 @@ import (
 	"esr/internal/clock"
 	"esr/internal/metrics"
 	"esr/internal/network"
+	"esr/internal/trace"
 )
 
 // Base is the first virtual site ID of the sequencer ensemble; replica
@@ -60,6 +61,21 @@ type Metrics struct {
 	Elections *metrics.Counter
 	// Leader is 1 while this replica believes it is the leader.
 	Leader *metrics.Gauge
+	// CommitSeconds observes reservation latency from leader admission to
+	// majority commit — the blocking leg every update ET's sequence
+	// number waits behind.
+	CommitSeconds *metrics.Histogram
+	// AppendRTT observes leader→follower watermark append round trips.
+	AppendRTT *metrics.Histogram
+	// FsyncSeconds observes state-file fsync latency (term/vote/watermark
+	// persistence).
+	FsyncSeconds *metrics.Histogram
+	// Trace, when set, receives seq-commit/seq-append/election span
+	// events attributed to TraceSite (the replica's cluster-site ID).
+	// Nil-ring methods are no-ops, so emissions never guard.
+	Trace *trace.Ring
+	// TraceSite is the site label Trace events carry.
+	TraceSite int
 }
 
 // Config parameterizes one replica.
@@ -304,6 +320,8 @@ func (r *Replica) campaignLocked() {
 	r.persistLocked()
 	r.resetTimerLocked()
 	r.cfg.Metrics.Elections.Inc()
+	r.cfg.Metrics.Trace.RecordMSetf(trace.Election, r.cfg.Metrics.TraceSite, "", 0,
+		"candidate term=%d wm=%d", r.term, r.watermark)
 	term, wm := r.term, r.watermark
 	votes := make(chan message, len(r.peers))
 	for _, p := range r.peers {
@@ -388,6 +406,8 @@ func (r *Replica) becomeLeader(term, maxWM uint64) {
 	r.matched = make(map[clock.SiteID]uint64, len(r.peers))
 	r.persistLocked() //esrvet:ignore A8 watermark/term must hit disk before the reply leaves; holding r.mu across the fsync is the correctness point
 	r.cfg.Metrics.Leader.Set(1)
+	r.cfg.Metrics.Trace.RecordMSetf(trace.Election, r.cfg.Metrics.TraceSite, "", 0,
+		"leader term=%d wm=%d", term, r.watermark)
 	r.replicateLocked()
 	r.mu.Unlock()
 }
@@ -432,6 +452,7 @@ func (r *Replica) replicateLocked() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
+			t0 := time.Now()
 			resp, err := r.cfg.Transport.Call(r.me, p, message{
 				Kind: kindAppend, Term: term, From: uint64(r.cfg.ID), Watermark: wm,
 			}.encode())
@@ -441,6 +462,9 @@ func (r *Replica) replicateLocked() {
 			if err != nil || r.closed {
 				return
 			}
+			r.cfg.Metrics.AppendRTT.Observe(int64(time.Since(t0)))
+			r.cfg.Metrics.Trace.RecordSpan(trace.SeqAppend, r.cfg.Metrics.TraceSite, "", 0,
+				t0, fmt.Sprintf("peer=%d wm=%d term=%d", p-Base, wm, term))
 			m, derr := decode(resp)
 			if derr != nil {
 				return
@@ -500,7 +524,9 @@ func (r *Replica) advanceCommitLocked() {
 // mode.
 func (r *Replica) persistLocked() {
 	if r.state != nil {
+		t0 := time.Now()
 		r.state.save(stateRec{term: r.term, votedFor: r.votedFor, watermark: r.watermark})
+		r.cfg.Metrics.FsyncSeconds.Observe(int64(time.Since(t0)))
 	}
 	r.persistedWM = r.watermark
 }
@@ -591,6 +617,7 @@ func (r *Replica) handleWmQuery() []byte {
 // only sent once no future leader can ever reissue any number in the
 // run.
 func (r *Replica) handleReserve(m message) []byte {
+	t0 := time.Now()
 	count := m.Count
 	if count == 0 {
 		count = 1
@@ -629,6 +656,9 @@ func (r *Replica) handleReserve(m message) []byte {
 	select {
 	case ok := <-w.ch:
 		if ok == 1 {
+			r.cfg.Metrics.CommitSeconds.Observe(int64(time.Since(t0)))
+			r.cfg.Metrics.Trace.RecordSpan(trace.SeqCommit, r.cfg.Metrics.TraceSite, "", 0,
+				t0, fmt.Sprintf("run=[%d,%d] term=%d", start, end, term))
 			return message{Kind: kindReserveResp, Term: term, From: uint64(r.cfg.ID),
 				Watermark: start, Flags: flagOK}.encode()
 		}

@@ -1163,8 +1163,9 @@ func runE15(quick bool) (*tabular.Table, error) {
 
 // E16Row is one per-method observability-overhead measurement, exported
 // so cmd/esrbench can record the BENCH_observe.json baseline.  Overhead
-// compares the best of E16Trials runs with a fully-instrumented registry
-// against the best with a nil registry (the no-op path).
+// comes from the median of E16Trials back-to-back pairs, each pair
+// running a fully-instrumented registry against a nil registry (the
+// no-op path) adjacently so machine drift cancels within the pair.
 type E16Row struct {
 	Method            string  `json:"method"`
 	Updates           int     `json:"updates"`
@@ -1175,8 +1176,13 @@ type E16Row struct {
 	LagP95Seconds     float64 `json:"lag_p95_seconds"`
 }
 
-// E16Trials is how many runs each arm takes; the best (minimum) time per
-// arm is compared, which filters scheduler noise better than means.
+// E16Trials is how many base/instrumented pairs each method runs.  The
+// workload is scheduler-bound, so comparing each arm's best time across
+// independent runs (the old scheme) still let drift between the arms
+// masquerade as overhead; pairing the arms back to back and taking the
+// median pair's difference — the same discipline E19 applies to its
+// replication tax — cancels drift inside each pair and is robust to
+// the odd outlier pair.
 const E16Trials = 5
 
 // E16Updates returns the update count E16 runs at.
@@ -1218,30 +1224,29 @@ func e16Trial(kind EngineKind, updates int, reg *metrics.Registry) (time.Duratio
 	return sw.Elapsed(), reg.Snapshot(), nil
 }
 
-// E16Overhead measures the observability tax for one method: the two
-// arms run alternately so machine drift hits both equally, with the
-// in-pair order swapped every trial (heap growth and GC pacing
-// systematically slow whichever run goes second), and each arm keeps
-// its best time.
+// E16Overhead measures the observability tax for one method: each
+// trial runs the two arms back to back (in-pair order swapped every
+// trial — heap growth and GC pacing systematically slow whichever run
+// goes second), computes the pair's relative overhead, and the median
+// pair is what the row reports.
 func E16Overhead(kind EngineKind, updates int) (E16Row, error) {
-	const forever = time.Duration(1<<63 - 1)
-	base, inst := forever, forever
-	var snap metrics.Snapshot
-	runBase := func() error {
-		d, _, err := e16Trial(kind, updates, nil)
-		if err == nil && d < base {
-			base = d
-		}
-		return err
+	type pair struct {
+		base, inst time.Duration
+		snap       metrics.Snapshot
 	}
-	runInst := func() error {
-		d, s, err := e16Trial(kind, updates, metrics.NewRegistry())
-		if err == nil && d < inst {
-			inst, snap = d, s
-		}
-		return err
-	}
+	pairs := make([]pair, 0, E16Trials)
 	for trial := 0; trial < E16Trials; trial++ {
+		var p pair
+		runBase := func() error {
+			d, _, err := e16Trial(kind, updates, nil)
+			p.base = d
+			return err
+		}
+		runInst := func() error {
+			d, s, err := e16Trial(kind, updates, metrics.NewRegistry())
+			p.inst, p.snap = d, s
+			return err
+		}
 		first, second := runBase, runInst
 		if trial%2 == 1 {
 			first, second = runInst, runBase
@@ -1252,16 +1257,22 @@ func E16Overhead(kind EngineKind, updates int) (E16Row, error) {
 		if err := second(); err != nil {
 			return E16Row{}, err
 		}
+		pairs = append(pairs, p)
 	}
+	overhead := func(p pair) float64 {
+		return (p.inst.Seconds() - p.base.Seconds()) / p.base.Seconds()
+	}
+	sort.Slice(pairs, func(i, j int) bool { return overhead(pairs[i]) < overhead(pairs[j]) })
+	med := pairs[len(pairs)/2]
 	row := E16Row{
 		Method:            string(kind),
 		Updates:           updates,
-		BaseUpdatesPerSec: float64(updates) / base.Seconds(),
-		InstUpdatesPerSec: float64(updates) / inst.Seconds(),
-		OverheadPercent:   (inst.Seconds() - base.Seconds()) / base.Seconds() * 100,
-		Series:            snap.NumSeries(),
+		BaseUpdatesPerSec: float64(updates) / med.base.Seconds(),
+		InstUpdatesPerSec: float64(updates) / med.inst.Seconds(),
+		OverheadPercent:   overhead(med) * 100,
+		Series:            med.snap.NumSeries(),
 	}
-	for _, h := range snap.Histograms {
+	for _, h := range med.snap.Histograms {
 		if h.Name == metrics.LagHistogramName && h.Count > 0 {
 			if p := h.Quantile(0.95); p > row.LagP95Seconds {
 				row.LagP95Seconds = p

@@ -27,3 +27,7 @@ func Start() Stopwatch { return Stopwatch{t0: time.Now()} }
 // Elapsed returns the wall time since Start.  It may be called any
 // number of times; the stopwatch keeps running.
 func (s Stopwatch) Elapsed() time.Duration { return time.Since(s.t0) }
+
+// Began returns the start instant, for trace spans that carry absolute
+// timestamps alongside the measured duration.
+func (s Stopwatch) Began() time.Time { return s.t0 }

@@ -1,0 +1,73 @@
+// HTTP exposure of the trace ring: the /trace endpoint every binary
+// (esrnode, esrsim, the library server) mounts next to /metrics.  One
+// shared handler keeps the wire contract — incremental ?since reads,
+// gap reporting, the NDJSON format the collector consumes — in one
+// place.
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// StreamHeader is the first NDJSON record of a ?format=json response.
+// It lets the collector resume incrementally and detect eviction gaps:
+// the next read passes since=Next, and Gap reports whether events in
+// [since, First) were already overwritten (the ring wrapped past the
+// reader).
+type StreamHeader struct {
+	// Since echoes the request's since parameter.
+	Since uint64 `json:"since"`
+	// Next is the ring's total event count: pass it as the next
+	// request's since for a gap-free tail.
+	Next uint64 `json:"next"`
+	// First is the Seq of the first returned event (meaningless when
+	// Count is 0).
+	First uint64 `json:"first"`
+	// Count is the number of event records that follow.
+	Count int `json:"count"`
+	// Gap reports that events between Since and First were evicted
+	// before this read — the reader fell behind the ring.
+	Gap bool `json:"gap"`
+}
+
+// Handler serves the ring over HTTP.  Default (text) responses are
+// Dump output — one Event.String line per event, resumable via
+// ?since=N.  ?format=json responses are NDJSON: a StreamHeader line
+// followed by one Event JSON object per line, which is what the
+// esrtrace collector tails.  A nil ring serves empty responses.
+func Handler(r *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var since uint64
+		if s := req.URL.Query().Get("since"); s != "" {
+			v, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
+		if req.URL.Query().Get("format") != "json" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			r.Dump(w, since)
+			return
+		}
+		evs := r.SnapshotSince(since)
+		hdr := StreamHeader{Since: since, Next: r.Total(), Count: len(evs)}
+		if len(evs) > 0 {
+			hdr.First = evs[0].Seq
+			hdr.Gap = hdr.First > since
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		if err := enc.Encode(hdr); err != nil {
+			return
+		}
+		for _, e := range evs {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,393 @@
+// Span assembly: folding the flat event ring (possibly merged from
+// many processes) into per-MSet timelines with per-leg durations, a
+// critical path, and a Chrome trace-event export.
+//
+// Events carrying the same MSet message identity belong to one
+// timeline regardless of which process recorded them; within a
+// timeline they order by causal stamp first (the transports propagate
+// Lamport stamps in every frame, so a receive always stamps after its
+// send even when wall clocks disagree), wall clock second.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Timeline is every recorded event of one MSet, causally ordered.
+type Timeline struct {
+	// MSet is the message identity shared by all events.
+	MSet uint64
+	// ET names the epsilon-transaction (from the first event carrying
+	// one).
+	ET string
+	// Origin is the site of the commit event, or the first event's
+	// site when no commit was captured.
+	Origin int
+	// Events holds the timeline in causal order.
+	Events []Event
+}
+
+// Assemble groups events by MSet identity into causally ordered
+// timelines.  Events with MSet == 0 (queries, elections, flush and
+// frame-level infrastructure spans) are skipped — Infrastructure
+// separates those.  Timelines come back sorted by first-event order.
+func Assemble(events []Event) []*Timeline {
+	byID := make(map[uint64]*Timeline)
+	var order []uint64
+	for _, e := range events {
+		if e.MSet == 0 {
+			continue
+		}
+		t := byID[e.MSet]
+		if t == nil {
+			t = &Timeline{MSet: e.MSet}
+			byID[e.MSet] = t
+			order = append(order, e.MSet)
+		}
+		t.Events = append(t.Events, e)
+	}
+	out := make([]*Timeline, 0, len(order))
+	for _, id := range order {
+		t := byID[id]
+		sort.SliceStable(t.Events, func(i, j int) bool {
+			a, b := t.Events[i], t.Events[j]
+			if a.Stamp != b.Stamp {
+				return a.Stamp < b.Stamp
+			}
+			if !a.At.Equal(b.At) {
+				return a.At.Before(b.At)
+			}
+			return a.Seq < b.Seq
+		})
+		t.Origin = t.Events[0].Site
+		for _, e := range t.Events {
+			if e.ET != "" && t.ET == "" {
+				t.ET = e.ET
+			}
+			if e.Kind == Commit {
+				t.Origin = e.Site
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Infrastructure returns the events that belong to no MSet — the
+// declared non-attributable kinds (sequencer internals, batch flushes,
+// elections, frame-level transport spans, query pricing).  Anything
+// else without an MSet is a tracing bug; Unattributed finds those.
+func Infrastructure(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.MSet == 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// infraKinds are the event kinds allowed to carry no MSet identity:
+// they describe shared infrastructure work (a batch flush covers many
+// MSets, an election none).
+var infraKinds = map[Kind]bool{
+	SeqCommit:     true,
+	SeqAppend:     true,
+	Election:      true,
+	Flush:         true,
+	NetSend:       true,
+	NetRecv:       true,
+	QueryCharged:  true,
+	QueryFallback: true,
+}
+
+// Unattributed returns events that are neither part of an MSet
+// timeline nor a declared infrastructure kind.  A gap-free traced
+// cluster produces none; the collector gates on this.
+func Unattributed(events []Event) []Event {
+	var out []Event
+	for _, e := range events {
+		if e.MSet == 0 && !infraKinds[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Leg is one measured step of a timeline: either a recorded span event
+// (sequence, wal-fsync, catch-up) or a derived gap between two
+// adjacent lifecycle events (commit→receive propagation, receive→apply
+// queueing).
+type Leg struct {
+	// Name identifies the step ("sequence", "commit→receive",
+	// "receive→apply", "wal-fsync", ...), without site numbers so legs
+	// aggregate across sites.
+	Name string
+	// Site is where the leg ended.
+	Site int
+	// Start is when the leg began.
+	Start time.Time
+	// Dur is the leg's duration.
+	Dur time.Duration
+}
+
+// Legs derives the per-step durations of one timeline.  Span events
+// contribute their own duration; lifecycle pairs contribute the
+// wall-clock gap commit→receive (propagation, per remote site) and
+// receive→apply (queueing + ordering hold, per site).  Wall-clock gaps
+// across processes inherit clock skew — the causal stamps guarantee
+// ordering, not duration precision — so cross-process legs are
+// reported as measured.
+func (t *Timeline) Legs() []Leg {
+	var legs []Leg
+	var commit *Event
+	recv := map[int]Event{} // site → receive event
+	for i := range t.Events {
+		e := t.Events[i]
+		switch e.Kind {
+		case Commit:
+			commit = &t.Events[i]
+		case Receive:
+			recv[e.Site] = e
+			if commit != nil && !e.At.Before(commit.At) {
+				legs = append(legs, Leg{Name: "commit→receive", Site: e.Site, Start: commit.At, Dur: e.At.Sub(commit.At)})
+			}
+		case Apply:
+			if r, ok := recv[e.Site]; ok && !e.At.Before(r.At) {
+				legs = append(legs, Leg{Name: "receive→apply", Site: e.Site, Start: r.At, Dur: e.At.Sub(r.At)})
+			}
+		}
+		if e.Dur > 0 {
+			legs = append(legs, Leg{Name: string(e.Kind), Site: e.Site, Start: e.At, Dur: e.Dur})
+		}
+	}
+	return legs
+}
+
+// Complete reports whether the timeline covers the full lifecycle for
+// the given replica sites: a commit at the origin plus a receive and
+// an apply at every listed site.  sites may include the origin (which
+// also receives and applies its own MSets).
+func (t *Timeline) Complete(sites []int) bool {
+	committed := false
+	recv := map[int]bool{}
+	applied := map[int]bool{}
+	for _, e := range t.Events {
+		switch e.Kind {
+		case Commit:
+			committed = true
+		case Receive:
+			recv[e.Site] = true
+		case Apply:
+			applied[e.Site] = true
+		}
+	}
+	if !committed {
+		return false
+	}
+	for _, s := range sites {
+		if !recv[s] || !applied[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// CriticalPath returns the chain of events from commit to the LAST
+// apply — the path whose total wall time is the MSet's window of
+// inconsistency.  It is the commit, any origin-side spans (sequence,
+// wal-fsync), then the receive/hold/apply chain at the slowest site.
+func (t *Timeline) CriticalPath() []Event {
+	var commit *Event
+	var lastApply *Event
+	for i := range t.Events {
+		e := &t.Events[i]
+		switch e.Kind {
+		case Commit:
+			if commit == nil {
+				commit = e
+			}
+		case Apply:
+			if lastApply == nil || e.At.After(lastApply.At) {
+				lastApply = e
+			}
+		}
+	}
+	if lastApply == nil {
+		return append([]Event(nil), t.Events...)
+	}
+	var path []Event
+	for _, e := range t.Events {
+		onOrigin := commit != nil && e.Site == commit.Site &&
+			(e.Kind == Commit || e.Kind == Sequence || e.Kind == WALFsync || e.Kind == Enqueue)
+		onSlowest := e.Site == lastApply.Site &&
+			(e.Kind == Receive || e.Kind == Hold || e.Kind == Apply || e.Kind == WALFsync)
+		if (onOrigin || onSlowest) && !e.At.After(lastApply.At) {
+			path = append(path, e)
+		}
+	}
+	return path
+}
+
+// Window is the timeline's window of inconsistency: commit to the end
+// of the last apply (apply events recorded as spans end at At+Dur).
+// Zero when either endpoint is missing.
+func (t *Timeline) Window() time.Duration {
+	var commit, last time.Time
+	for _, e := range t.Events {
+		switch e.Kind {
+		case Commit:
+			if commit.IsZero() {
+				commit = e.At
+			}
+		case Apply:
+			if end := e.At.Add(e.Dur); end.After(last) {
+				last = end
+			}
+		}
+	}
+	if commit.IsZero() || last.IsZero() || last.Before(commit) {
+		return 0
+	}
+	return last.Sub(commit)
+}
+
+// LegStat aggregates one leg name across timelines.
+type LegStat struct {
+	Name  string
+	Count int
+	P50   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// LegStats aggregates per-leg durations across timelines and reports
+// p50/p99/max per leg name, sorted by name.
+func LegStats(timelines []*Timeline) []LegStat {
+	byName := map[string][]time.Duration{}
+	for _, t := range timelines {
+		for _, l := range t.Legs() {
+			byName[l.Name] = append(byName[l.Name], l.Dur)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]LegStat, 0, len(names))
+	for _, n := range names {
+		ds := byName[n]
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		out = append(out, LegStat{
+			Name:  n,
+			Count: len(ds),
+			P50:   quantileDur(ds, 0.50),
+			P99:   quantileDur(ds, 0.99),
+			Max:   ds[len(ds)-1],
+		})
+	}
+	return out
+}
+
+// quantileDur reads the q-quantile from an ascending slice (nearest
+// rank).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// chromeEvent is one Chrome trace-event record.  The "X" phase is a
+// complete span (ts + dur), "i" an instant.  Perfetto and
+// chrome://tracing load arrays of these under "traceEvents".
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"` // microseconds
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ExportChrome writes the timelines (plus optional infrastructure
+// events) as Chrome trace-event JSON: one process row per site, one
+// thread row per MSet, span events as complete ("X") slices and
+// lifecycle points as instants ("i").  The output loads directly in
+// Perfetto or chrome://tracing.
+func ExportChrome(w io.Writer, timelines []*Timeline, infra []Event) error {
+	var evs []chromeEvent
+	var epoch time.Time
+	observe := func(at time.Time) {
+		if !at.IsZero() && (epoch.IsZero() || at.Before(epoch)) {
+			epoch = at
+		}
+	}
+	for _, t := range timelines {
+		for _, e := range t.Events {
+			observe(e.At)
+		}
+	}
+	for _, e := range infra {
+		observe(e.At)
+	}
+	us := func(at time.Time) int64 { return at.Sub(epoch).Microseconds() }
+	add := func(e Event, tid uint64) {
+		args := map[string]any{"seq": e.Seq, "stamp": e.Stamp}
+		if e.ET != "" {
+			args["et"] = e.ET
+		}
+		if e.Detail != "" {
+			args["detail"] = e.Detail
+		}
+		if e.MSet != 0 {
+			args["mset"] = fmt.Sprintf("%#x", e.MSet)
+		}
+		ce := chromeEvent{Name: string(e.Kind), TS: us(e.At), PID: e.Site, TID: tid, Args: args}
+		if e.Dur > 0 {
+			ce.Phase = "X"
+			ce.Dur = e.Dur.Microseconds()
+			if ce.Dur == 0 {
+				ce.Dur = 1
+			}
+		} else {
+			ce.Phase = "i"
+			ce.Scope = "t"
+		}
+		evs = append(evs, ce)
+	}
+	for _, t := range timelines {
+		for _, e := range t.Events {
+			add(e, t.MSet)
+		}
+		// Derived legs render the gaps (propagation, queueing) that no
+		// single event records as slices on the same thread row.
+		for _, l := range t.Legs() {
+			if l.Name != "commit→receive" && l.Name != "receive→apply" {
+				continue // span events already emitted above
+			}
+			d := l.Dur.Microseconds()
+			if d == 0 {
+				d = 1
+			}
+			evs = append(evs, chromeEvent{
+				Name: l.Name, Phase: "X", TS: us(l.Start), Dur: d,
+				PID: l.Site, TID: t.MSet,
+				Args: map[string]any{"mset": fmt.Sprintf("%#x", t.MSet)},
+			})
+		}
+	}
+	for _, e := range infra {
+		add(e, 0)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": evs})
+}

@@ -1,0 +1,196 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// mkEvent builds a timeline event at a fixed offset from a base time.
+func mkEvent(kind Kind, site int, mset, stamp uint64, atMS int, dur time.Duration) Event {
+	base := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	return Event{
+		At:   base.Add(time.Duration(atMS) * time.Millisecond),
+		Kind: kind, Site: site, ET: "et1.1", MSet: mset, Stamp: stamp, Dur: dur,
+	}
+}
+
+func sampleEvents() []Event {
+	return []Event{
+		mkEvent(Commit, 1, 0xa1, 1, 0, 0),
+		mkEvent(Sequence, 1, 0xa1, 2, 0, 2*time.Millisecond),
+		mkEvent(Enqueue, 1, 0xa1, 3, 2, 0),
+		mkEvent(Receive, 1, 0xa1, 4, 2, 0),
+		mkEvent(WALFsync, 1, 0xa1, 5, 3, time.Millisecond),
+		mkEvent(Apply, 1, 0xa1, 6, 5, 0),
+		mkEvent(Receive, 2, 0xa1, 7, 10, 0),
+		mkEvent(Hold, 2, 0xa1, 8, 11, 0),
+		mkEvent(Apply, 2, 0xa1, 9, 40, 0),
+		// A second MSet interleaved.
+		mkEvent(Commit, 2, 0xb2, 5, 6, 0),
+		mkEvent(Receive, 1, 0xb2, 8, 9, 0),
+		mkEvent(Apply, 1, 0xb2, 9, 12, 0),
+		// Infrastructure: no MSet.
+		mkEvent(Flush, 1, 0, 4, 2, time.Millisecond),
+		mkEvent(Election, 1101, 0, 1, 0, 0),
+	}
+}
+
+func TestAssembleGroupsAndOrders(t *testing.T) {
+	ts := Assemble(sampleEvents())
+	if len(ts) != 2 {
+		t.Fatalf("timelines = %d, want 2", len(ts))
+	}
+	a := ts[0]
+	if a.MSet != 0xa1 || a.Origin != 1 || a.ET != "et1.1" {
+		t.Fatalf("timeline a = %+v", a)
+	}
+	// Causal (stamp) order even if input is shuffled.
+	for i := 1; i < len(a.Events); i++ {
+		if a.Events[i].Stamp < a.Events[i-1].Stamp {
+			t.Fatalf("events out of causal order at %d", i)
+		}
+	}
+	if a.Events[0].Kind != Commit {
+		t.Errorf("first event = %s, want commit", a.Events[0].Kind)
+	}
+}
+
+func TestAssembleStampBeatsWallClock(t *testing.T) {
+	// The receive's wall clock is BEFORE the commit's (cross-process
+	// skew), but its stamp is later; causal order must win.
+	evs := []Event{
+		mkEvent(Receive, 2, 0xc3, 9, -5, 0),
+		mkEvent(Commit, 1, 0xc3, 1, 0, 0),
+	}
+	ts := Assemble(evs)
+	if len(ts) != 1 || ts[0].Events[0].Kind != Commit {
+		t.Fatalf("stamp order lost: %+v", ts[0].Events)
+	}
+}
+
+func TestLegsAndWindow(t *testing.T) {
+	ts := Assemble(sampleEvents())
+	a := ts[0]
+	legs := a.Legs()
+	byName := map[string][]Leg{}
+	for _, l := range legs {
+		byName[l.Name] = append(byName[l.Name], l)
+	}
+	if n := len(byName["commit→receive"]); n != 2 {
+		t.Errorf("commit→receive legs = %d, want 2 (both sites)", n)
+	}
+	if n := len(byName["receive→apply"]); n != 2 {
+		t.Errorf("receive→apply legs = %d, want 2", n)
+	}
+	if n := len(byName["sequence"]); n != 1 || byName["sequence"][0].Dur != 2*time.Millisecond {
+		t.Errorf("sequence leg = %+v", byName["sequence"])
+	}
+	if n := len(byName["wal-fsync"]); n != 1 {
+		t.Errorf("wal-fsync legs = %d, want 1", n)
+	}
+	if w := a.Window(); w != 40*time.Millisecond {
+		t.Errorf("window = %v, want 40ms", w)
+	}
+}
+
+func TestCompleteAndCriticalPath(t *testing.T) {
+	ts := Assemble(sampleEvents())
+	a, b := ts[0], ts[1]
+	if !a.Complete([]int{1, 2}) {
+		t.Errorf("timeline a should be complete for sites 1,2")
+	}
+	if b.Complete([]int{1, 2}) {
+		t.Errorf("timeline b lacks site 2 events, must be incomplete")
+	}
+	path := a.CriticalPath()
+	if len(path) == 0 {
+		t.Fatal("empty critical path")
+	}
+	if path[0].Kind != Commit {
+		t.Errorf("path starts with %s, want commit", path[0].Kind)
+	}
+	last := path[len(path)-1]
+	if last.Kind != Apply || last.Site != 2 {
+		t.Errorf("path ends with %s@site%d, want apply@site2 (slowest)", last.Kind, last.Site)
+	}
+	// Site 1's (fast) receive/apply must not be on the path.
+	for _, e := range path {
+		if e.Site == 1 && (e.Kind == Receive || e.Kind == Apply) {
+			t.Errorf("fast site's %s on critical path", e.Kind)
+		}
+	}
+}
+
+func TestUnattributed(t *testing.T) {
+	evs := sampleEvents()
+	if got := Unattributed(evs); len(got) != 0 {
+		t.Fatalf("sample events unattributed = %+v", got)
+	}
+	evs = append(evs, mkEvent(Apply, 3, 0, 1, 0, 0)) // apply without an MSet: a bug
+	got := Unattributed(evs)
+	if len(got) != 1 || got[0].Kind != Apply {
+		t.Fatalf("Unattributed = %+v, want the bogus apply", got)
+	}
+}
+
+func TestLegStats(t *testing.T) {
+	ts := Assemble(sampleEvents())
+	stats := LegStats(ts)
+	if len(stats) == 0 {
+		t.Fatal("no leg stats")
+	}
+	var found bool
+	for _, s := range stats {
+		if s.Name == "receive→apply" {
+			found = true
+			if s.Count != 3 { // 2 on timeline a, 1 on b
+				t.Errorf("receive→apply count = %d, want 3", s.Count)
+			}
+			if s.P50 > s.P99 || s.P99 > s.Max {
+				t.Errorf("quantiles disordered: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Error("receive→apply missing from stats")
+	}
+}
+
+func TestExportChromeValidJSON(t *testing.T) {
+	evs := sampleEvents()
+	ts := Assemble(evs)
+	var buf bytes.Buffer
+	if err := ExportChrome(&buf, ts, Infrastructure(evs)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+	phases := map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if ph != "X" && ph != "i" {
+			t.Errorf("unexpected phase %q", ph)
+		}
+		if ts, ok := e["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("bad ts in %+v", e)
+		}
+		if ph == "X" {
+			if d, ok := e["dur"].(float64); !ok || d <= 0 {
+				t.Errorf("X event without positive dur: %+v", e)
+			}
+		}
+	}
+	if phases["X"] == 0 || phases["i"] == 0 {
+		t.Errorf("want both span and instant events, got %v", phases)
+	}
+}

@@ -13,6 +13,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strings"
 	"sync"
 	"time"
 )
@@ -30,7 +31,8 @@ const (
 	Receive Kind = "receive"
 	// Hold: a site's apply deferred the MSet (ordering hold-back).
 	Hold Kind = "hold"
-	// Apply: a site applied the MSet.
+	// Apply: a site applied the MSet (recorded as a span by the
+	// replica layer; Dur is the apply-function runtime).
 	Apply Kind = "apply"
 	// Compensate: a site undid an aborted MSet.
 	Compensate Kind = "compensate"
@@ -38,6 +40,30 @@ const (
 	QueryCharged Kind = "query-charged"
 	// QueryFallback: a read took the conservative (serialized) path.
 	QueryFallback Kind = "query-fallback"
+	// Sequence: the origin reserved global sequence numbers for an MSet
+	// (span; Dur covers the whole reservation round trip).
+	Sequence Kind = "sequence"
+	// SeqCommit: the sequencer-replica leader majority-committed a
+	// reservation (span at the seqrep layer).
+	SeqCommit Kind = "seq-commit"
+	// SeqAppend: one follower acknowledged a watermark append (span;
+	// Dur is the append RTT).
+	SeqAppend Kind = "seq-append"
+	// Election: a sequencer replica started a term / won leadership.
+	Election Kind = "election"
+	// WALFsync: an MSet became durable in a site's write-ahead log
+	// (span; Dur covers its group-commit flush wait).
+	WALFsync Kind = "wal-fsync"
+	// Flush: an outbound delivery flushed a batch to a peer (span).
+	Flush Kind = "flush"
+	// CatchUp: a restarted site installed a state-transfer snapshot
+	// (span; Dur covers fetch + enqueue).
+	CatchUp Kind = "catch-up"
+	// NetSend: the transport sent a payload to a remote process (span;
+	// Dur is the transport-level round trip, 0 for fire-and-forget).
+	NetSend Kind = "net-send"
+	// NetRecv: the transport delivered a remote payload locally.
+	NetRecv Kind = "net-recv"
 )
 
 // Event is one trace record.
@@ -47,42 +73,64 @@ type Event struct {
 	// after the ring wraps and overwrites old events, so a consumer can
 	// resume an incremental read with Dump(w, lastSeen+1) and detect
 	// gaps (events evicted before it caught up) by Seq discontinuities.
-	Seq uint64
-	// At is the wall-clock capture time.
-	At time.Time
+	Seq uint64 `json:"seq"`
+	// At is the wall-clock capture time (span start for span events).
+	At time.Time `json:"at"`
 	// Kind classifies the event.
-	Kind Kind
+	Kind Kind `json:"kind"`
 	// Site is where it happened (0 for origin-less events).
-	Site int
+	Site int `json:"site"`
 	// ET names the epsilon-transaction involved, if any.
-	ET string
+	ET string `json:"et,omitempty"`
 	// MSet is the message identity of the MSet involved (0 for events
 	// without one, e.g. query events).  It is the same ID the
 	// propagation pipeline dedups on, so one MSet's commit, enqueue,
 	// receive, hold and apply events correlate across sites — and the
 	// metrics.Lag tracker can derive commit→apply lag from the same
 	// identity.
-	MSet uint64
+	MSet uint64 `json:"mset,omitempty"`
+	// Stamp is the ring's causal (Lamport) stamp at record time.  The
+	// transports carry the sender's stamp in every frame and merge it
+	// into the receiver's ring, so events of one MSet order causally
+	// across processes even when their wall clocks disagree.
+	Stamp uint64 `json:"stamp,omitempty"`
+	// Dur is the span duration for span events (RecordSpan); zero for
+	// instantaneous events.
+	Dur time.Duration `json:"dur,omitempty"`
 	// Detail carries event-specific context ("seq=12", "cost=2", ...).
-	Detail string
+	Detail string `json:"detail,omitempty"`
 }
 
-// String renders the event as one log line.
+// String renders the event as one log line.  The leading "#<seq> "
+// token is a stable contract: incremental text readers (esrtop) parse
+// it to resume.
 func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s site%d %s %s",
+		e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET)
 	if e.MSet != 0 {
-		return fmt.Sprintf("#%d %s site%d %s %s mset=%#x %s",
-			e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET, e.MSet, e.Detail)
+		fmt.Fprintf(&b, " mset=%#x", e.MSet)
 	}
-	return fmt.Sprintf("#%d %s site%d %s %s %s",
-		e.Seq, e.At.Format("15:04:05.000000"), e.Site, e.Kind, e.ET, e.Detail)
+	if e.Stamp != 0 {
+		fmt.Fprintf(&b, " stamp=%d", e.Stamp)
+	}
+	if e.Dur > 0 {
+		fmt.Fprintf(&b, " dur=%s", e.Dur)
+	}
+	if e.Detail != "" {
+		b.WriteByte(' ')
+		b.WriteString(e.Detail)
+	}
+	return b.String()
 }
 
 // Ring is a fixed-capacity circular trace buffer.  It is safe for
 // concurrent use; a nil *Ring discards all events.
 type Ring struct {
-	mu   sync.Mutex
-	buf  []Event
-	next uint64 // total events ever recorded
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total events ever recorded
+	stamp uint64 // causal (Lamport) clock, ticked per event
 }
 
 // NewRing returns a ring holding the most recent capacity events.
@@ -105,10 +153,53 @@ func (r *Ring) RecordMSet(kind Kind, site int, et string, mset uint64, detail st
 	if r == nil {
 		return
 	}
+	r.record(Event{At: time.Now(), Kind: kind, Site: site, ET: et, MSet: mset, Detail: detail})
+}
+
+// RecordSpan appends a span event: an operation that started at start
+// and ended now.  At carries the start time and Dur the elapsed
+// duration, so the collector can reconstruct per-leg timings.  Safe on
+// nil.
+func (r *Ring) RecordSpan(kind Kind, site int, et string, mset uint64, start time.Time, detail string) {
+	if r == nil {
+		return
+	}
+	r.record(Event{At: start, Kind: kind, Site: site, ET: et, MSet: mset, Dur: time.Since(start), Detail: detail})
+}
+
+// record stamps and stores one event under the ring lock.
+func (r *Ring) record(e Event) {
 	r.mu.Lock()
-	e := Event{Seq: r.next, At: time.Now(), Kind: kind, Site: site, ET: et, MSet: mset, Detail: detail}
+	r.stamp++
+	e.Seq = r.next
+	e.Stamp = r.stamp
 	r.buf[r.next%uint64(len(r.buf))] = e
 	r.next++
+	r.mu.Unlock()
+}
+
+// Stamp returns the ring's current causal stamp.  Senders place it in
+// outgoing frames; zero on a nil ring.
+func (r *Ring) Stamp() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stamp
+}
+
+// ObserveStamp merges a remote causal stamp into the ring's clock
+// (Lamport max-merge), so events recorded after a receive causally
+// follow the sender's events.  Safe on nil.
+func (r *Ring) ObserveStamp(remote uint64) {
+	if r == nil || remote == 0 {
+		return
+	}
+	r.mu.Lock()
+	if remote > r.stamp {
+		r.stamp = remote
+	}
 	r.mu.Unlock()
 }
 

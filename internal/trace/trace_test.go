@@ -4,6 +4,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestNilRingIsSafe(t *testing.T) {
@@ -151,6 +152,49 @@ func TestRecordMSet(t *testing.T) {
 	}
 	var nilRing *Ring
 	nilRing.RecordMSet(Commit, 1, "x", 1, "")
+}
+
+// TestStampsAndSpans pins the causal-clock contract: every record
+// ticks the stamp, ObserveStamp max-merges a remote stamp, and
+// RecordSpan captures start time + duration.
+func TestStampsAndSpans(t *testing.T) {
+	r := NewRing(8)
+	if r.Stamp() != 0 {
+		t.Fatalf("fresh ring stamp = %d", r.Stamp())
+	}
+	r.RecordMSet(Commit, 1, "et", 0x1, "")
+	r.RecordMSet(Receive, 1, "et", 0x1, "")
+	if r.Stamp() != 2 {
+		t.Fatalf("stamp after 2 events = %d", r.Stamp())
+	}
+	r.ObserveStamp(10) // remote was ahead
+	if r.Stamp() != 10 {
+		t.Fatalf("stamp after merge = %d", r.Stamp())
+	}
+	r.ObserveStamp(4) // remote behind: no regress
+	if r.Stamp() != 10 {
+		t.Fatalf("stamp regressed to %d", r.Stamp())
+	}
+	start := time.Now().Add(-5 * time.Millisecond)
+	r.RecordSpan(WALFsync, 2, "et", 0x1, start, "n=3")
+	snap := r.Snapshot()
+	last := snap[len(snap)-1]
+	if last.Kind != WALFsync || last.Dur < 5*time.Millisecond || !last.At.Equal(start) {
+		t.Fatalf("span event = %+v", last)
+	}
+	if last.Stamp != 11 {
+		t.Fatalf("span stamp = %d, want 11 (merged clock + 1)", last.Stamp)
+	}
+	if s := last.String(); !strings.Contains(s, "dur=") || !strings.Contains(s, "stamp=11") {
+		t.Errorf("String() = %q", s)
+	}
+	// Nil safety for the new surface.
+	var nilRing *Ring
+	nilRing.RecordSpan(WALFsync, 1, "x", 1, start, "")
+	nilRing.ObserveStamp(5)
+	if nilRing.Stamp() != 0 {
+		t.Error("nil ring stamp nonzero")
+	}
 }
 
 func TestZeroCapacityDefaults(t *testing.T) {

@@ -32,6 +32,7 @@ import (
 	"esr/internal/op"
 	"esr/internal/replica"
 	"esr/internal/storage"
+	"esr/internal/trace"
 )
 
 // WAL is an append-only, crash-safe log of applied MSets.  Concurrent
@@ -55,6 +56,11 @@ type WAL struct {
 	syncs       *metrics.Counter
 	syncSeconds *metrics.Histogram
 	appends     *metrics.Counter
+
+	// ring, when set, receives one wal-fsync span per durably appended
+	// MSet, attributed to site, so timelines show the durability leg.
+	ring *trace.Ring
+	site int
 }
 
 // Open opens (creating if needed) the log at path and returns it along
@@ -111,6 +117,16 @@ func (w *WAL) SetMetrics(m Metrics) {
 	w.appends = m.Appends
 }
 
+// SetTrace installs the trace ring: every durably appended MSet gets a
+// wal-fsync span (staging through group-commit fsync) attributed to the
+// hosting site.  Call before concurrent use.
+func (w *WAL) SetTrace(r *trace.Ring, site int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.ring = r
+	w.site = site
+}
+
 // Syncs reports the number of fsyncs issued since Open, for benchmarks
 // and experiments measuring the group-commit win.  When instrumented it
 // is a thin read of the registry's counter.
@@ -158,6 +174,7 @@ func (w *WAL) AppendBatch(ms []et.MSet) error {
 	if len(ms) == 0 {
 		return nil
 	}
+	t0 := time.Now()
 	buf := encBufPool.Get().(*bytes.Buffer)
 	body := encBufPool.Get().(*bytes.Buffer)
 	buf.Reset()
@@ -183,11 +200,17 @@ func (w *WAL) AppendBatch(ms []et.MSet) error {
 	ch := make(chan error, 1)
 	w.stage = append(w.stage, buf.Bytes()...)
 	w.waiters = append(w.waiters, ch)
+	ring, site := w.ring, w.site
 	w.mu.Unlock()
 	if err := w.flushWait(ch); err != nil {
 		return err
 	}
 	w.appends.Add(uint64(len(ms)))
+	if ring != nil {
+		for _, m := range ms {
+			ring.RecordSpan(trace.WALFsync, site, m.ET.String(), m.MsgID(), t0, "")
+		}
+	}
 	return nil
 }
 

@@ -6,10 +6,18 @@
 # byte-identical — the paper's convergence property (§2.2), held across
 # real OS process boundaries.
 #
+# The first (ordup) round additionally exercises the causal tracing
+# pipeline end to end: each node serves /trace, the esrtrace collector
+# tails all three rings concurrently, and the script gates on the
+# collector's verdict — gap-free streams, zero unattributed events, and
+# a complete commit→receive→apply timeline at every site for at least
+# SITES*UPDATES MSets, exported as Chrome trace-event JSON.
+#
 # Usage: scripts/smoke_node.sh [method...]
 #   RACE=1      build esrnode with the race detector
 #   UPDATES=n   updates per node (default 30; 200 in chaos mode)
 #   SITES=n     cluster size (default 3)
+#   NOTRACE=1   skip the trace-collector gate
 #   CHAOS=1     replicated-sequencer failover drill instead of the
 #               method sweep: run ordup with -seqrep on static ports,
 #               kill -9 the site-1 process (the ensemble member that
@@ -33,6 +41,7 @@ if [ "${RACE:-0}" = "1" ]; then
     BUILDFLAGS+=(-race)
 fi
 go build "${BUILDFLAGS[@]}" -o "$WORK/esrnode" ./cmd/esrnode
+go build -o "$WORK/esrtrace" ./cmd/esrtrace
 
 if [ "${CHAOS:-0}" = "1" ]; then
     # Failover drill: static ports so the restarted process comes back
@@ -92,23 +101,58 @@ fi
 UPDATES="${UPDATES:-30}"
 
 fail=0
+first=1
 for method in "${METHODS[@]}"; do
     dir="$WORK/$method"
     mkdir -p "$dir"
+    # The first round doubles as the tracing smoke: nodes serve /trace,
+    # the collector tails all rings while the cluster runs, and its
+    # exit code gates the script (gap-free, zero unattributed events,
+    # complete timelines at every site).
+    tracing=0
+    if [ "$first" = "1" ] && [ "${NOTRACE:-0}" != "1" ]; then
+        tracing=1
+    fi
+    first=0
     pids=()
+    endpoints=""
+    mbase=$((21000 + RANDOM % 20000))
     for i in $(seq 1 "$SITES"); do
+        extra=()
+        if [ "$tracing" = "1" ]; then
+            extra+=(-metrics "127.0.0.1:$((mbase + i))" -linger 5s)
+            endpoints+="127.0.0.1:$((mbase + i)),"
+        fi
         "$WORK/esrnode" \
             -site "$i" -sites "$SITES" -method "$method" \
             -peers-file "$dir/rdv" -dir "$dir/wal$i" \
             -updates "$UPDATES" -seed 42 \
-            -out "$dir/store$i.json" \
+            -out "$dir/store$i.json" "${extra[@]}" \
             >"$dir/node$i.log" 2>&1 &
         pids+=($!)
     done
+    collector=0
+    if [ "$tracing" = "1" ]; then
+        "$WORK/esrtrace" \
+            -nodes "${endpoints%,}" -sites "$SITES" \
+            -expect $((SITES * UPDATES)) -timeout 90s \
+            -out "$dir/trace.json" \
+            >"$dir/esrtrace.log" 2>&1 &
+        collector=$!
+    fi
     status=0
     for pid in "${pids[@]}"; do
         wait "$pid" || status=$?
     done
+    if [ "$tracing" = "1" ]; then
+        if wait "$collector"; then
+            echo "PASS trace: $(tail -n 1 "$dir/esrtrace.log")"
+        else
+            echo "FAIL trace: collector rejected the merged timelines"
+            tail -n 10 "$dir/esrtrace.log"
+            fail=1
+        fi
+    fi
     if [ "$status" -ne 0 ]; then
         echo "FAIL $method: a node exited non-zero"
         tail -n 5 "$dir"/node*.log
