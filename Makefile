@@ -15,7 +15,7 @@ GO ?= go
 # structures.
 RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/... ./internal/analysis/... ./internal/seqrep/... ./internal/ordup/...
 
-.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net bench-fault node smoke-node smoke-chaos fuzz clean
+.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net bench-fault bench-shard node smoke-node smoke-chaos fuzz clean
 
 all: build
 
@@ -106,6 +106,15 @@ FAULT_OUT ?= BENCH_fault.json
 MAX_FAULT_OVERHEAD ?= 15
 bench-fault:
 	$(GO) run ./cmd/esrbench -exp E19 $(if $(BENCH_FULL),-full) -out $(FAULT_OUT) -maxoverhead $(MAX_FAULT_OVERHEAD)
+
+# E20 — sharded ordering domains: throughput vs shard count under the
+# zipfian multi-origin workload (BENCH_shard.json), failing when the
+# shards=4 speedup falls below min(MIN_SHARD_SPEEDUP, 0.5*GOMAXPROCS)
+# or any ordering domain's stores diverge.
+SHARD_OUT ?= BENCH_shard.json
+MIN_SHARD_SPEEDUP ?= 2
+bench-shard:
+	$(GO) run ./cmd/esrbench -exp E20 $(if $(BENCH_FULL),-full) -out $(SHARD_OUT) -minspeedup $(MIN_SHARD_SPEEDUP)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

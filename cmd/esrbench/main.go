@@ -16,6 +16,7 @@
 //	esrbench -exp E17 -out BENCH_apply.json -minspeedup 1.5 -maxslowdown 5
 //	esrbench -exp E18 -out BENCH_net.json
 //	esrbench -exp E19 -out BENCH_fault.json -maxoverhead 15
+//	esrbench -exp E20 -out BENCH_shard.json -minspeedup 2
 //
 // -maxoverhead fails the run when the measured overhead exceeds the
 // given percentage: with -exp E16 the cross-method mean of instrumented
@@ -31,6 +32,11 @@
 // overhead.  -maxslowdown fails the run when the conflicting workload's
 // mean at the largest worker count runs more than the given percentage
 // slower than serial.
+//
+// With -exp E20, -minspeedup gates the sharding sweep instead: the
+// shards=4 throughput over shards=1 must reach min(minspeedup,
+// 0.5 x GOMAXPROCS), and every row must pass the per-shard
+// byte-identical convergence check regardless of the speedup flag.
 package main
 
 import (
@@ -52,9 +58,9 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15, E16, E17, E18 or E19: also write the baseline JSON to this file")
+		out    = flag.String("out", "", "with -exp E15, E16, E17, E18, E19 or E20: also write the baseline JSON to this file")
 		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16 or E19: fail when the measured overhead exceeds this percentage (0 disables)")
-		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS) (0 disables)")
+		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS); with -exp E20: fail when the shards=4 speedup is below min(this, 0.5*GOMAXPROCS) (0 disables)")
 		maxSlw = flag.Float64("maxslowdown", 0, "with -exp E17: fail when the conflicting workload's mean at the largest worker count is more than this percentage slower than serial (0 disables)")
 	)
 	flag.Parse()
@@ -63,14 +69,17 @@ func main() {
 	maxOverhead = *maxOvh
 	minSpeedup = *minSpd
 	maxSlowdown = *maxSlw
-	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" && *exp != "E19" {
-		fatal(fmt.Errorf("-out records the E15, E16, E17, E18 or E19 baseline; use it with that -exp"))
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" && *exp != "E19" && *exp != "E20" {
+		fatal(fmt.Errorf("-out records the E15, E16, E17, E18, E19 or E20 baseline; use it with that -exp"))
 	}
 	if maxOverhead > 0 && *exp != "E16" && *exp != "E19" {
 		fatal(fmt.Errorf("-maxoverhead gates the E16 or E19 overhead; use it with that -exp"))
 	}
-	if (minSpeedup > 0 || maxSlowdown > 0) && *exp != "E17" {
-		fatal(fmt.Errorf("-minspeedup/-maxslowdown gate the E17 apply speedup; use them with -exp E17"))
+	if minSpeedup > 0 && *exp != "E17" && *exp != "E20" {
+		fatal(fmt.Errorf("-minspeedup gates the E17 apply or E20 sharding speedup; use it with that -exp"))
+	}
+	if maxSlowdown > 0 && *exp != "E17" {
+		fatal(fmt.Errorf("-maxslowdown gates the E17 apply speedup; use it with -exp E17"))
 	}
 
 	switch {
@@ -149,6 +158,11 @@ func run(ex sim.Experiment, quick bool) error {
 	}
 	if ex.ID == "E19" && (baselineOut != "" || maxOverhead > 0) {
 		if err := faultGate(baselineOut, quick, maxOverhead); err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+	}
+	if ex.ID == "E20" && (baselineOut != "" || minSpeedup > 0) {
+		if err := shardGate(baselineOut, quick, minSpeedup); err != nil {
 			return fmt.Errorf("%s: %w", ex.ID, err)
 		}
 	}
@@ -417,6 +431,66 @@ func faultGate(path string, quick bool, maxPct float64) error {
 	if maxPct > 0 && b.ReplicationOverheadPercent > maxPct {
 		return fmt.Errorf("replicated sequencer costs %+.1f%% no-fault throughput, past the -maxoverhead %.0f%% gate",
 			b.ReplicationOverheadPercent, maxPct)
+	}
+	return nil
+}
+
+// shardBaseline is the BENCH_shard.json schema: the shard-count sweep
+// plus the statistic the CI gate tests — shards=4 throughput over
+// shards=1, with the effective requirement after GOMAXPROCS scaling —
+// and the sweep-wide per-shard convergence verdict.
+type shardBaseline struct {
+	Experiment      string       `json:"experiment"`
+	Full            bool         `json:"full"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Rows            []sim.E20Row `json:"rows"`
+	SpeedupAt4      float64      `json:"speedup_at_4_shards"`
+	RequiredSpeedup float64      `json:"required_speedup"`
+	Converged       bool         `json:"converged"`
+}
+
+// shardGate re-measures the E20 sharding sweep, optionally records it
+// as JSON, and enforces the CI gates: per-shard stores byte-identical
+// in every trial, and the shards=4 speedup at or above the
+// (GOMAXPROCS-scaled) floor.
+func shardGate(path string, quick bool, minSpd float64) error {
+	rows, err := sim.E20Sweep(quick)
+	if err != nil {
+		return err
+	}
+	b := shardBaseline{
+		Experiment: "E20",
+		Full:       !quick,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Rows:       rows,
+		SpeedupAt4: sim.E20SpeedupAt(rows, 4),
+		Converged:  sim.E20Converged(rows),
+	}
+	// A machine with P schedulable cores cannot fan the per-shard
+	// pipelines out across cores it does not have; require
+	// min(minSpd, 0.5*P) so a single-core runner only gates against
+	// sharding overhead.
+	b.RequiredSpeedup = minSpd
+	if cap := 0.5 * float64(b.GOMAXPROCS); cap < b.RequiredSpeedup {
+		b.RequiredSpeedup = cap
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esrbench: wrote %s (shards=4 speedup %.2fx, converged %t)\n",
+			path, b.SpeedupAt4, b.Converged)
+	}
+	if !b.Converged {
+		return fmt.Errorf("per-shard stores diverged during the sweep")
+	}
+	if minSpd > 0 && b.SpeedupAt4 < b.RequiredSpeedup {
+		return fmt.Errorf("shards=4 speedup %.2fx below the -minspeedup gate (%.2fx after GOMAXPROCS=%d scaling)",
+			b.SpeedupAt4, b.RequiredSpeedup, b.GOMAXPROCS)
 	}
 	return nil
 }

@@ -80,31 +80,38 @@ func main() {
 		settle    = flag.Duration("settle", 60*time.Second, "distributed drain-barrier timeout")
 		linger    = flag.Duration("linger", time.Second, "grace period after the barrier so peers finish their final polls")
 		repSeq    = flag.Bool("seqrep", false, "replicate the ORDUP order service: every process co-hosts one ensemble member, so killing any single node never loses sequencing")
+		shards    = flag.Int("shards", 1, "partition the keyspace into this many independent ordering domains (ORDUP methods only)")
 	)
 	flag.Parse()
 	if err := run(*site, *sites, *method, *listen, *peers, *peersFile, *dir, *maddr,
-		*updates, *objects, *opsPer, *seed, *out, *settle, *linger, *repSeq); err != nil {
+		*updates, *objects, *opsPer, *seed, *out, *settle, *linger, *repSeq, *shards); err != nil {
 		log.Fatalf("esrnode: %v", err)
 	}
 }
 
 func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string,
 	updates, objects, opsPer int, seed int64, out string, settle, linger time.Duration,
-	replicatedSeq bool) error {
+	replicatedSeq bool, shards int) error {
 	if site < 1 || site > sites {
 		return fmt.Errorf("-site %d outside 1..%d", site, sites)
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	self := clock.SiteID(site)
 
 	// Beyond the replica site and the control channel, each process may
-	// host virtual transport sites: the legacy order server (rides with
-	// site 1), a replicated-sequencer ensemble member (-seqrep: one per
-	// process), and the snapshot donor serving site catch-up.
+	// host virtual transport sites: the legacy order servers (one per
+	// shard, riding with site 1), a replicated-sequencer ensemble member
+	// per shard (-seqrep: one per process per shard), and the snapshot
+	// donor serving site catch-up.
 	localSites := []clock.SiteID{self, ctrlSite(self), core.SnapSite(self)}
-	if replicatedSeq {
-		localSites = append(localSites, seqrep.ReplicaSite(self))
-	} else if site == 1 {
-		localSites = append(localSites, core.SequencerSite)
+	for sh := 0; sh < shards; sh++ {
+		if replicatedSeq {
+			localSites = append(localSites, seqrep.ReplicaSiteAt(sh, self))
+		} else if site == 1 {
+			localSites = append(localSites, core.SequencerSiteFor(sh))
+		}
 	}
 	tn, err := network.NewTCP(network.TCPOptions{
 		Listen: listen,
@@ -130,11 +137,15 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		tn.AddPeer(ctrlSite(id), addrs[id])
 		tn.AddPeer(core.SnapSite(id), addrs[id])
 		if replicatedSeq {
-			tn.AddPeer(seqrep.ReplicaSite(id), addrs[id])
+			for sh := 0; sh < shards; sh++ {
+				tn.AddPeer(seqrep.ReplicaSiteAt(sh, id), addrs[id])
+			}
 		}
 	}
 	if !replicatedSeq {
-		tn.AddPeer(core.SequencerSite, addrs[1])
+		for sh := 0; sh < shards; sh++ {
+			tn.AddPeer(core.SequencerSiteFor(sh), addrs[1])
+		}
 	}
 
 	var reg *metrics.Registry
@@ -155,6 +166,7 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		Transport:   tn,
 		LocalSites:  []clock.SiteID{self},
 		SeqReplicas: seqReplicas,
+		NumShards:   shards,
 	})
 	if err != nil {
 		return err
@@ -326,21 +338,44 @@ func resolvePeers(selfAddr string, self clock.SiteID, sites int, peersSpec, peer
 	return addrs, nil
 }
 
-// dumpStore writes the local replica's store as canonical JSON — the
-// method plus every object sorted by name.  Converged replicas produce
-// byte-identical dumps, which is exactly what the smoke test compares.
+// dumpStore writes the local replica's store as canonical JSON —
+// converged replicas produce byte-identical dumps, which is exactly
+// what the smoke test compares.  A single-domain cluster dumps the
+// legacy {method, store} shape; a sharded one merges the ordering
+// domains deterministically into one entry list sorted by shard, then
+// object, so the dump also witnesses per-shard convergence.
 func dumpStore(cl *core.Cluster, self clock.SiteID, method, path string) error {
 	st := cl.Site(self).Store
 	objs := st.Objects()
 	sort.Strings(objs)
-	store := make(map[string]string, len(objs))
-	for _, o := range objs {
-		store[o] = st.Get(o).String()
+	var b []byte
+	var err error
+	if cl.Shards() > 1 {
+		type entry struct {
+			Shard  int    `json:"shard"`
+			Object string `json:"object"`
+			Value  string `json:"value"`
+		}
+		entries := make([]entry, 0, len(objs))
+		for _, o := range objs {
+			entries = append(entries, entry{Shard: cl.ShardOfObject(o), Object: o, Value: st.Get(o).String()})
+		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].Shard < entries[j].Shard })
+		b, err = json.MarshalIndent(struct {
+			Method string  `json:"method"`
+			Shards int     `json:"shards"`
+			Store  []entry `json:"store"`
+		}{Method: method, Shards: cl.Shards(), Store: entries}, "", "  ")
+	} else {
+		store := make(map[string]string, len(objs))
+		for _, o := range objs {
+			store[o] = st.Get(o).String()
+		}
+		b, err = json.MarshalIndent(struct {
+			Method string            `json:"method"`
+			Store  map[string]string `json:"store"`
+		}{Method: method, Store: store}, "", "  ")
 	}
-	b, err := json.MarshalIndent(struct {
-		Method string            `json:"method"`
-		Store  map[string]string `json:"store"`
-	}{Method: method, Store: store}, "", "  ")
 	if err != nil {
 		return err
 	}

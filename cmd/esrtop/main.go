@@ -240,17 +240,43 @@ func (t *top) renderTimelines(b *strings.Builder) {
 		show = show[len(show)-t.timeline:]
 	}
 	fmt.Fprintf(b, "\nper-MSet timelines (%d most recent of %d assembled)\n", len(show), len(timelines))
-	fmt.Fprintf(b, "  %-20s %-7s %6s %7s %9s  %s\n", "mset", "et", "origin", "events", "window", "legs (max per name)")
+	fmt.Fprintf(b, "  %-20s %-7s %5s %6s %7s %9s  %s\n", "mset", "et", "shard", "origin", "events", "window", "legs (max per name)")
 	for _, tl := range show {
-		fmt.Fprintf(b, "  %-20s %-7s %6d %7d %9s  %s\n",
-			fmt.Sprintf("%#x", tl.MSet), tl.ET, tl.Origin, len(tl.Events),
+		fmt.Fprintf(b, "  %-20s %-7s %5d %6d %7d %9s  %s\n",
+			fmt.Sprintf("%#x", tl.MSet), tl.ET, tl.Shard, tl.Origin, len(tl.Events),
 			durUnit(tl.Window()), legSummary(tl))
+	}
+	if byShard := shardCounts(timelines); len(byShard) > 1 {
+		fmt.Fprintf(b, "  per-shard timelines:")
+		for _, sc := range byShard {
+			fmt.Fprintf(b, " %d=%d", sc[0], sc[1])
+		}
+		fmt.Fprintf(b, "\n")
 	}
 	fmt.Fprintf(b, "  %-18s %6s %9s %9s %9s\n", "leg", "count", "p50", "p99", "max")
 	for _, s := range trace.LegStats(timelines) {
 		fmt.Fprintf(b, "  %-18s %6d %9s %9s %9s\n",
 			s.Name, s.Count, durUnit(s.P50), durUnit(s.P99), durUnit(s.Max))
 	}
+}
+
+// shardCounts tallies timelines per ordering shard, ascending; the
+// table line appears only when more than one shard has traffic.
+func shardCounts(timelines []*trace.Timeline) [][2]int {
+	counts := map[int]int{}
+	for _, tl := range timelines {
+		counts[tl.Shard]++
+	}
+	shards := make([]int, 0, len(counts))
+	for s := range counts {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	out := make([][2]int, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, [2]int{s, counts[s]})
+	}
+	return out
 }
 
 // legSummary compacts one timeline's legs to "name=maxdur" pairs.

@@ -174,6 +174,22 @@ func run(addrs []string, sites, expect int, out string, poll time.Duration, sett
 
 	fmt.Printf("merged %d events → %d timelines (%d complete, %d incomplete), %d infrastructure spans\n",
 		len(merged), len(timelines), complete, incomplete, len(infra))
+	shardCount := map[int]int{}
+	for _, t := range timelines {
+		shardCount[t.Shard]++
+	}
+	if len(shardCount) > 1 {
+		var shs []int
+		for s := range shardCount {
+			shs = append(shs, s)
+		}
+		sort.Ints(shs)
+		fmt.Printf("timelines per ordering shard:")
+		for _, s := range shs {
+			fmt.Printf(" %d=%d", s, shardCount[s])
+		}
+		fmt.Println()
+	}
 	if len(windows) > 0 {
 		sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
 		fmt.Printf("inconsistency window (commit→last apply): p50 %v  p99 %v  max %v\n",

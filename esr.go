@@ -185,6 +185,13 @@ type Config struct {
 	// Zero keeps the default (16); 1 restores a single global lock
 	// table.
 	LockStripes int
+	// Shards partitions the keyspace into this many independent
+	// ordering domains (ORDUP methods only): each shard runs its own
+	// sequencer, stable queues and write-ahead journals, so updates
+	// confined to one shard never coordinate with the others.  Updates
+	// spanning shards commit atomically via per-shard sequence
+	// reservations.  Zero or 1 keeps the single pre-sharding domain.
+	Shards int
 }
 
 // Cluster is a replicated system running one replica-control method.
@@ -236,6 +243,7 @@ func Open(cfg Config) (*Cluster, error) {
 		Metrics:        reg,
 		ApplyWorkers:   cfg.ApplyWorkers,
 		LockStripes:    cfg.LockStripes,
+		NumShards:      cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

@@ -452,8 +452,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	text := get("/metrics")
 	for _, want := range []string{
-		`esr_propagation_lag_seconds_count{method="commu",site="2"}`,
-		`esr_queue_depth{method="commu",queue="in",site="3"}`,
+		`esr_propagation_lag_seconds_count{method="commu",shard="0",site="2"}`,
+		`esr_queue_depth{method="commu",queue="in",shard="0",site="3"}`,
 		`esr_epsilon_budget{method="commu",site="2"}`,
 		`esr_commits_total{method="commu",site="1"} 5`,
 	} {

@@ -1,0 +1,55 @@
+// Shard-routing half of rule A7: code that resolves the cluster's
+// per-shard ordering state by hand.  A shard slot picked with a local
+// recomputation routes an ET into another domain's total order —
+// duplicate sequence numbers in one domain, permanent gaps in another.
+package stripeaccess_bad
+
+// SiteID mirrors clock.SiteID.
+type SiteID uint32
+
+// Cluster mirrors the transaction core's per-shard layout: sequencers
+// indexed by shard, inbound queues keyed by site then shard, and the
+// link cube keyed (from, to, shard).
+type Cluster struct {
+	seqs []int
+	inQ  map[SiteID][]int
+	out  map[SiteID]map[SiteID][]int
+}
+
+// New builds the per-shard arrays — constructors are allowlisted.
+func New(sites, shards int) *Cluster {
+	c := &Cluster{
+		seqs: make([]int, shards),
+		inQ:  make(map[SiteID][]int),
+		out:  make(map[SiteID]map[SiteID][]int),
+	}
+	for s := SiteID(1); s <= SiteID(sites); s++ {
+		c.inQ[s] = make([]int, shards)
+		ls := make(map[SiteID][]int)
+		for t := SiteID(1); t <= SiteID(sites); t++ {
+			ls[t] = make([]int, shards)
+		}
+		c.out[s] = ls
+	}
+	return c
+}
+
+// shardSeq is the accessor routeByHand should have used.
+func (c *Cluster) shardSeq(shard int) int { return c.seqs[shard] }
+
+// routeByHand resolves a shard slot with a different key-to-domain
+// mapping than the accessor: the ET lands in the wrong total order.
+func routeByHand(c *Cluster, object string) int {
+	return c.seqs[len(object)%len(c.seqs)] // want A7
+}
+
+// drainShardSlot reaches past the legal per-site lookup into one
+// domain's queue slot.
+func drainShardSlot(c *Cluster, id SiteID, sh int) int {
+	return c.inQ[id][sh] // want A7
+}
+
+// sendOnLink indexes the link cube all the way down to a shard slot.
+func sendOnLink(c *Cluster, from, to SiteID, sh int) int {
+	return c.out[from][to][sh] // want A7
+}

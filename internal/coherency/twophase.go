@@ -1,0 +1,61 @@
+// TwoPhase is the coordinator-side skeleton of atomic commit,
+// factored out of the engine's site-level 2PC so other layers can run
+// the same protocol over different participant kinds — ordup's
+// cross-shard ETs run it over ordering shards, with per-shard sequence
+// reservations as the prepare votes and the origin's durable
+// cross-shard record as the decision.
+package coherency
+
+// TwoPhase runs prepare/decide/commit over a set of participants:
+//
+//   - Prepare runs on each participant in order; the first failure
+//     aborts the prepared prefix (in reverse) and returns the error —
+//     nothing was decided, so the outcome is atomically nothing.
+//   - Decide runs once after every Prepare succeeds.  It is the
+//     protocol's commit point: the coordinator must make the decision
+//     durable here (a log record, an fsync) before returning nil.
+//     A Decide error aborts every participant and returns.
+//   - Commit runs on each participant after the decision.  Its errors
+//     surface to the caller, but the decision stands — a decided
+//     transaction that failed to commit somewhere is in doubt, and
+//     recovery must resolve it to commit (replay from the decision
+//     record), never roll it back.
+//
+// Nil Decide and Abort are allowed (no-op).  Prepare and Commit must be
+// set.
+type TwoPhase[P any] struct {
+	Prepare func(p P) error
+	Decide  func() error
+	Commit  func(p P) error
+	Abort   func(p P)
+}
+
+// Run executes the protocol over the participants.
+func (t TwoPhase[P]) Run(participants []P) error {
+	abort := func(upTo int) {
+		if t.Abort == nil {
+			return
+		}
+		for i := upTo; i >= 0; i-- {
+			t.Abort(participants[i])
+		}
+	}
+	for i, p := range participants {
+		if err := t.Prepare(p); err != nil {
+			abort(i - 1)
+			return err
+		}
+	}
+	if t.Decide != nil {
+		if err := t.Decide(); err != nil {
+			abort(len(participants) - 1)
+			return err
+		}
+	}
+	for _, p := range participants {
+		if err := t.Commit(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

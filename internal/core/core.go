@@ -162,6 +162,14 @@ type Config struct {
 	// (tests use small values for fast failover).  Zero means the
 	// seqrep default.
 	SeqElectionTimeout time.Duration
+	// NumShards partitions the keyspace into that many independent
+	// ordering domains (et.ShardOf routes each object).  Every shard owns
+	// its own sequencer (legacy server or seqrep ensemble), outbound
+	// stable queues, inbound journal, WAL and reservation-intent journal,
+	// so unrelated traffic never serializes on a shared sequence number
+	// or fsync batch.  Zero or one keeps the single unsharded domain; the
+	// maximum is et.MaxShards.
+	NumShards int
 }
 
 // defaultDeliveryWindow is the outbound in-flight window when
@@ -179,21 +187,27 @@ type Cluster struct {
 	Net    network.Transport
 	ownNet bool // Net was built here (no Config.Transport); Close closes it
 	local  map[clock.SiteID]bool
+	// shards is the normalized ordering-domain count; seqs holds one
+	// sequence counter per shard (the legacy order servers' allocation
+	// state).  Seq aliases shard 0's counter for the pre-sharding
+	// surface.  Access per-shard state through the shard.go accessors.
+	shards int
+	seqs   []*clock.Sequencer
 	Seq    *clock.Sequencer
 	Hist   *history.Log
 	// Trace is the cluster's event ring (nil when tracing is disabled;
 	// nil rings discard records, so emit sites need no checks).
 	Trace *trace.Ring
 	sites map[clock.SiteID]*replica.Site
-	out   map[clock.SiteID]map[clock.SiteID]*link
+	out   map[clock.SiteID]map[clock.SiteID][]*link // per (from, to): one link per shard
 
-	// Durable-cluster machinery (Config.Dir set): inbound queues and
-	// WALs by site, the Setup factory for rebuilding ApplyFuncs, and the
-	// crashed set.  siteMu guards them plus the sites map once crash/
-	// restart is in play.
+	// Durable-cluster machinery (Config.Dir set): per-shard inbound
+	// queues and WALs by site, the Setup factory for rebuilding
+	// ApplyFuncs, and the crashed set.  siteMu guards them plus the
+	// sites map once crash/restart is in play.
 	siteMu  sync.Mutex
-	inQ     map[clock.SiteID]queue.Queue
-	wals    map[clock.SiteID]*wal.WAL
+	inQ     map[clock.SiteID][]queue.Queue
+	wals    map[clock.SiteID][]*wal.WAL
 	factory func(s *replica.Site) replica.ApplyFunc
 	crashed map[clock.SiteID]bool
 
@@ -202,16 +216,19 @@ type Cluster struct {
 	activeQuery atomic.Int64 // in-flight query ETs (observability only)
 
 	// Replicated-sequencer machinery (Config.SeqReplicas > 0): locally
-	// hosted replicas by cluster-site ID (guarded by siteMu once crash/
-	// restart is in play), the shared leader-discovering client, and the
-	// per-origin reservation-intent journals durable clusters use for
-	// crash recovery.  seqRng jitters the legacy retry backoff.
-	seqReps   map[clock.SiteID]*seqrep.Replica
-	seqClient *seqrep.Client
-	intents   map[clock.SiteID]*intentFile
-	recovered map[clock.SiteID][]et.MSet // WAL records stashed during Setup cold recovery
-	seqRngMu  sync.Mutex
-	seqRng    *rand.Rand
+	// hosted replicas by cluster-site ID and shard (guarded by siteMu
+	// once crash/restart is in play), one leader-discovering client per
+	// shard's ensemble, and the per-origin per-shard reservation-intent
+	// journals durable clusters use for crash recovery.  xintents holds
+	// each origin's cross-shard commit journal (see xshard.go).  seqRng
+	// jitters the legacy retry backoff.
+	seqReps    map[clock.SiteID][]*seqrep.Replica
+	seqClients []*seqrep.Client
+	intents    map[clock.SiteID][]*intentFile
+	xintents   map[clock.SiteID]*xshardFile
+	recovered  map[clock.SiteID][]et.MSet // WAL records stashed during Setup cold recovery
+	seqRngMu   sync.Mutex
+	seqRng     *rand.Rand
 
 	// met is the resolved instrumentation (nil when Config.Metrics is
 	// nil; nil clusterMetrics methods hand out no-op instruments).
@@ -266,24 +283,38 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		local[s] = true
 	}
+	shards, err := normShards(cfg.NumShards)
+	if err != nil {
+		if ownNet {
+			tn.Close()
+		}
+		return nil, err
+	}
+	cfg.NumShards = shards
 	c := &Cluster{
 		cfg:        cfg,
 		Net:        tn,
 		ownNet:     ownNet,
 		local:      local,
-		Seq:        &clock.Sequencer{},
+		shards:     shards,
+		seqs:       make([]*clock.Sequencer, shards),
 		Hist:       &history.Log{},
 		sites:      make(map[clock.SiteID]*replica.Site),
-		out:        make(map[clock.SiteID]map[clock.SiteID]*link),
-		inQ:        make(map[clock.SiteID]queue.Queue),
-		wals:       make(map[clock.SiteID]*wal.WAL),
+		out:        make(map[clock.SiteID]map[clock.SiteID][]*link),
+		inQ:        make(map[clock.SiteID][]queue.Queue),
+		wals:       make(map[clock.SiteID][]*wal.WAL),
 		crashed:    make(map[clock.SiteID]bool),
 		etCounter:  make(map[clock.SiteID]*atomic.Uint64),
 		msgCounter: make(map[clock.SiteID]*atomic.Uint64),
-		seqReps:    make(map[clock.SiteID]*seqrep.Replica),
-		intents:    make(map[clock.SiteID]*intentFile),
+		seqReps:    make(map[clock.SiteID][]*seqrep.Replica),
+		intents:    make(map[clock.SiteID][]*intentFile),
+		xintents:   make(map[clock.SiteID]*xshardFile),
 		seqRng:     rand.New(rand.NewSource(20260808)),
 	}
+	for s := range c.seqs {
+		c.seqs[s] = &clock.Sequencer{}
+	}
+	c.Seq = c.seqs[0]
 	if cfg.Trace > 0 {
 		c.Trace = trace.NewRing(cfg.Trace)
 	}
@@ -305,82 +336,91 @@ func New(cfg Config) (*Cluster, error) {
 		if !c.IsLocal(id) {
 			continue
 		}
-		in, err := c.newQueue(fmt.Sprintf("in-%d", i))
-		if err != nil {
-			return nil, err
+		ins := make([]queue.Queue, shards)
+		for s := 0; s < shards; s++ {
+			in, err := c.newQueue(inQueueName(id, s))
+			if err != nil {
+				return nil, err
+			}
+			if iq, ok := in.(queue.Instrumentable); ok {
+				iq.SetMetrics(c.met.queueMetrics(id, "in", s))
+			}
+			ins[s] = in
 		}
-		if iq, ok := in.(queue.Instrumentable); ok {
-			iq.SetMetrics(c.met.queueMetrics(id, "in"))
-		}
-		site := replica.NewSite(id, in, cfg.LockTable)
+		site := replica.NewShardedSite(id, ins, cfg.LockTable)
 		site.Trace = c.Trace
 		site.Metrics = c.met.replicaMetrics(id)
 		site.Lag = c.Lag()
 		c.configureSite(site)
 		c.sites[id] = site
-		c.inQ[id] = in
+		c.inQ[id] = ins
 	}
-	// Outbound links: one stable queue + delivery agent per (from, to)
-	// pair.  Origins are the local sites only; destinations are every
-	// site in the cluster, local or not — remote destinations are
-	// reached through the transport's peer addressing.
+	// Outbound links: one stable queue + delivery agent per (from, to,
+	// shard) triple, so each shard's traffic rides its own journal and
+	// group-commit window.  Origins are the local sites only;
+	// destinations are every site in the cluster, local or not — remote
+	// destinations are reached through the transport's peer addressing.
 	traced := c.Trace != nil
 	for from := range c.sites {
-		c.out[from] = make(map[clock.SiteID]*link)
+		c.out[from] = make(map[clock.SiteID][]*link)
 		for i := 1; i <= cfg.Sites; i++ {
 			to := clock.SiteID(i)
 			if to == from {
 				continue
 			}
-			q, err := c.newQueue(fmt.Sprintf("out-%d-%d", from, to))
-			if err != nil {
-				return nil, err
-			}
-			from, to := from, to
-			if iq, ok := q.(queue.Instrumentable); ok {
-				iq.SetMetrics(c.met.queueMetrics(from, "out-"+siteLabel(to)))
-			}
-			d := queue.NewDelivery(q, func(m queue.Message) error {
-				if !traced {
-					return c.Net.Send(from, to, m.Payload)
+			ls := make([]*link, shards)
+			for s := 0; s < shards; s++ {
+				q, err := c.newQueue(outQueueName(from, to, s))
+				if err != nil {
+					return nil, err
 				}
-				return network.SendCtx(c.Net, from, to, m.Payload,
-					network.TraceContext{Origin: from, MSet: m.ID})
-			}, cfg.RetryBackoff, cfg.RetryMax)
-			d.SetMetrics(c.met.deliveryMetrics(from, to))
-			d.SetTrace(c.Trace, int(from), int(to))
-			d.SetWindow(cfg.DeliveryWindow)
-			d.SetBatchSend(func(ms []queue.Message) error {
-				// Frame slices are pooled: SendBatch is synchronous and
-				// the receiver keeps only the payload byte slices, never
-				// the frame itself.
-				fp := framePool.Get().(*[][]byte)
-				payloads := (*fp)[:0]
-				var ids []uint64
-				if traced {
-					ids = make([]uint64, 0, len(ms))
+				from, to, s := from, to, s
+				if iq, ok := q.(queue.Instrumentable); ok {
+					iq.SetMetrics(c.met.queueMetrics(from, "out-"+siteLabel(to), s))
 				}
-				for _, m := range ms {
-					payloads = append(payloads, m.Payload)
-					if traced {
-						ids = append(ids, m.ID)
+				d := queue.NewDelivery(q, func(m queue.Message) error {
+					if !traced {
+						return c.Net.Send(from, to, m.Payload)
 					}
-				}
-				var err error
-				if traced {
-					err = network.SendBatchCtx(c.Net, from, to, payloads, ids,
-						network.TraceContext{Origin: from})
-				} else {
-					err = c.Net.SendBatch(from, to, payloads)
-				}
-				for i := range payloads {
-					payloads[i] = nil // don't pin payloads via the pool
-				}
-				*fp = payloads
-				framePool.Put(fp)
-				return err
-			})
-			c.out[from][to] = &link{q: q, d: d}
+					return network.SendCtx(c.Net, from, to, m.Payload,
+						network.TraceContext{Origin: from, MSet: m.ID, Shard: s})
+				}, cfg.RetryBackoff, cfg.RetryMax)
+				d.SetMetrics(c.met.deliveryMetrics(from, to))
+				d.SetTrace(c.Trace, int(from), int(to))
+				d.SetWindow(cfg.DeliveryWindow)
+				d.SetBatchSend(func(ms []queue.Message) error {
+					// Frame slices are pooled: SendBatch is synchronous and
+					// the receiver keeps only the payload byte slices, never
+					// the frame itself.
+					fp := framePool.Get().(*[][]byte)
+					payloads := (*fp)[:0]
+					var ids []uint64
+					if traced {
+						ids = make([]uint64, 0, len(ms))
+					}
+					for _, m := range ms {
+						payloads = append(payloads, m.Payload)
+						if traced {
+							ids = append(ids, m.ID)
+						}
+					}
+					var err error
+					if traced {
+						err = network.SendBatchCtx(c.Net, from, to, payloads, ids,
+							network.TraceContext{Origin: from, Shard: s})
+					} else {
+						err = c.Net.SendBatch(from, to, payloads)
+					}
+					for i := range payloads {
+						payloads[i] = nil // don't pin payloads via the pool
+					}
+					*fp = payloads
+					framePool.Put(fp)
+					return err
+				})
+				ls[s] = &link{q: q, d: d}
+			}
+			c.out[from][to] = ls
 		}
 	}
 	// Network handlers: deliver into the site's inbound stable queue.
@@ -403,15 +443,25 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, err
 		}
 	}
-	// Reservation-intent journals: one per local site on durable
-	// clusters, so NextSeqN can note a run's owner before handing it out.
+	// Reservation-intent journals: one per local site and shard on
+	// durable clusters, so NextSeqNShard can note a run's owner before
+	// handing it out.  The cross-shard commit journal rides alongside.
 	if cfg.Dir != "" {
 		for id := range c.sites {
-			it, err := openIntent(cfg.Dir, id)
+			its := make([]*intentFile, shards)
+			for s := 0; s < shards; s++ {
+				it, err := openIntent(cfg.Dir, id, s)
+				if err != nil {
+					return nil, err
+				}
+				its[s] = it
+			}
+			c.intents[id] = its
+			xf, err := openXShard(cfg.Dir, id)
 			if err != nil {
 				return nil, err
 			}
-			c.intents[id] = it
+			c.xintents[id] = xf
 		}
 	}
 	return c, nil
@@ -423,21 +473,26 @@ func (c *Cluster) IsLocal(id clock.SiteID) bool {
 	return len(c.local) == 0 || c.local[id]
 }
 
-// registerSequencer installs the virtual order server's handler.
+// registerSequencer installs one virtual order server per shard: shard
+// s answers on SequencerSiteFor(s) from its own sequence counter, so
+// reservations in different domains never serialize on one allocator.
 func (c *Cluster) registerSequencer() {
-	c.Net.Register(SequencerSite, func(from clock.SiteID, payload []byte) ([]byte, error) {
-		count := uint64(1)
-		if len(payload) == 8 {
-			if n := decodeU64(payload); n > 0 {
-				count = n
+	c.forEachShard(func(s int) {
+		seq := c.shardSeq(s)
+		c.Net.Register(SequencerSiteFor(s), func(from clock.SiteID, payload []byte) ([]byte, error) {
+			count := uint64(1)
+			if len(payload) == 8 {
+				if n := decodeU64(payload); n > 0 {
+					count = n
+				}
 			}
-		}
-		n := c.Seq.Reserve(count)
-		var b [8]byte
-		for i := 0; i < 8; i++ {
-			b[i] = byte(n >> (8 * i))
-		}
-		return b[:], nil
+			n := seq.Reserve(count)
+			var b [8]byte
+			for i := 0; i < 8; i++ {
+				b[i] = byte(n >> (8 * i))
+			}
+			return b[:], nil
+		})
 	})
 }
 
@@ -500,66 +555,85 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 	// stash the records so engine factories can restore per-site protocol
 	// state through RecoveredRecords — the same contract RestartSite's
 	// RecoverFunc provides within one process lifetime.
-	appliedBy := make(map[clock.SiteID]map[et.ID]bool)
+	// appliedBy is keyed per (site, shard): a cross-shard ET's identity
+	// appears in every participating shard's WAL, so a single ET-keyed
+	// map would wrongly skip the second shard's part on replay.
+	appliedBy := make(map[clock.SiteID][]map[et.ID]bool)
 	if c.cfg.Dir != "" {
 		c.recovered = make(map[clock.SiteID][]et.MSet)
 		for id, s := range c.sites {
-			w, records, err := wal.Open(c.walPath(id))
-			if err != nil {
-				// Surfacing an error here would change Setup's signature
-				// for one unlikely failure; a durable cluster that cannot
-				// open its WAL is unusable, so fail loudly.
-				panic(fmt.Sprintf("core: open wal for %v: %v", id, err))
+			walsBy := make([]*wal.WAL, c.shards)
+			applied := make([]map[et.ID]bool, c.shards)
+			recoveredAny := false
+			for sh := 0; sh < c.shards; sh++ {
+				w, records, err := wal.Open(c.walPath(id, sh))
+				if err != nil {
+					// Surfacing an error here would change Setup's signature
+					// for one unlikely failure; a durable cluster that cannot
+					// open its WAL is unusable, so fail loudly.
+					panic(fmt.Sprintf("core: open wal for %v shard %d: %v", id, sh, err))
+				}
+				w.SetMetrics(c.met.walMetrics(id, sh))
+				w.SetTrace(c.Trace, int(id))
+				walsBy[sh] = w
+				if len(records) == 0 {
+					continue
+				}
+				applied[sh] = wal.Rebuild(s.Store, records)
+				c.recovered[id] = append(c.recovered[id], records...)
+				recoveredAny = true
 			}
-			w.SetMetrics(c.met.walMetrics(id))
-			w.SetTrace(c.Trace, int(id))
-			c.wals[id] = w
-			if len(records) == 0 {
-				continue
+			c.wals[id] = walsBy
+			if recoveredAny {
+				appliedBy[id] = applied
+				if err := s.Reload(); err != nil {
+					panic(fmt.Sprintf("core: reload queue indexes for %v: %v", id, err))
+				}
+				c.restoreETCounter(id, c.recovered[id])
 			}
-			appliedBy[id] = wal.Rebuild(s.Store, records)
-			if err := s.Reload(); err != nil {
-				panic(fmt.Sprintf("core: reload queue indexes for %v: %v", id, err))
-			}
-			c.recovered[id] = records
-			c.restoreETCounter(id, records)
 		}
 	}
 	for id, s := range c.sites {
 		apply := factory(s)
-		if w := c.wals[id]; w != nil {
-			if applied := appliedBy[id]; applied != nil {
-				inner := apply
-				apply = func(m et.MSet) error {
-					if applied[m.ET] && !m.Compensation {
-						// Applied and logged before the crash; the queued
-						// copy is a leftover to acknowledge, not re-apply.
-						return nil
-					}
-					if err := inner(m); err != nil {
-						return err
-					}
-					return w.Append(m)
+		if ws := c.wals[id]; ws != nil {
+			inner := apply
+			applied := appliedBy[id] // nil when the site started fresh
+			apply = func(m et.MSet) error {
+				if applied != nil && applied[m.Shard] != nil && applied[m.Shard][m.ET] && !m.Compensation {
+					// Applied and logged before the crash; the queued
+					// copy is a leftover to acknowledge, not re-apply.
+					return nil
 				}
-			} else {
-				apply = wal.Wrap(w, apply)
+				if err := inner(m); err != nil {
+					return err
+				}
+				return ws[m.Shard].Append(m)
 			}
 		}
 		s.SetApply(apply)
 		s.Start()
 	}
-	for _, links := range c.out {
-		for _, l := range links {
+	for from := range c.out {
+		c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 			l.d.Start()
-		}
+		})
 	}
-	// Settle reservation intents from the previous incarnation: the last
-	// reserved run of each local origin is re-broadcast or gap-filled so
-	// no site can stall forever on a sequence number the dead process
-	// reserved but never propagated.
+	// Settle intents from the previous incarnation.  Cross-shard commit
+	// records resolve FIRST: re-broadcasting a decided cross-shard burst
+	// lands its parts in the origin's inbound journals, so the per-shard
+	// sequence-intent resolution below finds them and re-broadcasts
+	// instead of gap-filling — which would silently drop one shard's
+	// half of an atomically committed ET.  Then each shard's last
+	// reserved run is re-broadcast or gap-filled so no site stalls
+	// forever on a number the dead process reserved but never propagated.
 	for id, s := range c.sites {
-		if err := c.resolveSeqIntents(id, s, c.inQ[id], c.recovered[id]); err != nil {
-			panic(fmt.Sprintf("core: resolve seq intents for %v: %v", id, err))
+		if err := c.resolveXShardIntents(id, s); err != nil {
+			panic(fmt.Sprintf("core: resolve cross-shard intents for %v: %v", id, err))
+		}
+		for sh := 0; sh < c.shards; sh++ {
+			if err := c.resolveSeqIntents(id, sh, s, c.inQueueFor(id, sh), c.recovered[id]); err != nil {
+				panic(fmt.Sprintf("core: resolve seq intents for %v shard %d: %v", id, sh, err))
+			}
 		}
 	}
 }
@@ -582,7 +656,7 @@ func (c *Cluster) restoreETCounter(id clock.SiteID, records []et.MSet) {
 	for _, m := range records {
 		note(m)
 	}
-	if q := c.inQ[id]; q != nil {
+	c.forEachInQ(id, func(shard int, q queue.Queue) {
 		if msgs, err := q.All(); err == nil {
 			for _, msg := range msgs {
 				if m, err := et.DecodeMSet(msg.Payload); err == nil {
@@ -590,7 +664,7 @@ func (c *Cluster) restoreETCounter(id clock.SiteID, records []et.MSet) {
 				}
 			}
 		}
-	}
+	})
 	c.etCounter[id].Store(max)
 }
 
@@ -656,23 +730,34 @@ const legacySeqAttempts = 6
 // between reserving and broadcasting can be resolved on restart
 // (re-broadcast what was durably produced, gap-fill the rest).
 func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
+	return c.NextSeqNShard(from, 0, n)
+}
+
+// NextSeqNShard reserves n consecutive sequence numbers in one shard's
+// ordering domain.  Each shard's sequence space is independent: gaps
+// are permitted per shard, duplicates never occur within one, and a
+// reservation in one shard neither waits on nor observes any other.
+func (c *Cluster) NextSeqNShard(from clock.SiteID, shard int, n uint64) (uint64, error) {
 	if n == 0 {
 		return 0, fmt.Errorf("core: reserve of zero sequence numbers")
 	}
+	if shard < 0 || shard >= c.shards {
+		return 0, fmt.Errorf("core: reserve on unknown shard %d (have %d)", shard, c.shards)
+	}
 	var start uint64
 	var err error
-	if c.seqClient != nil {
-		start, err = c.seqClient.Reserve(from, n)
+	if cl := c.seqClientFor(shard); cl != nil {
+		start, err = cl.Reserve(from, n)
 	} else {
-		start, err = c.legacyReserve(from, n)
+		start, err = c.legacyReserve(from, shard, n)
 	}
 	if err != nil {
 		return 0, fmt.Errorf("core: order service unreachable: %w", err)
 	}
 	if c.cfg.Dir != "" {
-		_, intentH := c.met.seqReserveMetrics(from)
+		_, intentH := c.met.seqReserveMetrics(from, shard)
 		tI := time.Now()
-		if err := c.recordSeqIntent(from, start, n); err != nil {
+		if err := c.recordSeqIntent(from, shard, start, n); err != nil {
 			return 0, err
 		}
 		intentH.Observe(int64(time.Since(tI)))
@@ -689,21 +774,26 @@ func (c *Cluster) NextSeqN(from clock.SiteID, n uint64) (uint64, error) {
 // per-MSet attribution is what lets cross-process timelines show the
 // sequencing leg.
 func (c *Cluster) RecordSequenceSpan(origin clock.SiteID, msets []et.MSet, start time.Time) {
-	reserveH, _ := c.met.seqReserveMetrics(origin)
+	shard := 0
+	if len(msets) > 0 {
+		shard = msets[0].Shard
+	}
+	reserveH, _ := c.met.seqReserveMetrics(origin, shard)
 	reserveH.Observe(int64(time.Since(start)))
 	for _, m := range msets {
 		c.Trace.RecordSpan(trace.Sequence, int(origin), m.ET.String(), m.MsgID(), start,
-			fmt.Sprintf("seq=%d", m.Seq))
+			fmt.Sprintf("seq=%d shard=%d", m.Seq, m.Shard))
 	}
 }
 
 // legacyReserve is the unreplicated reservation path: one round trip to
-// the virtual order server at SequencerSite, retried a bounded number
-// of times with jittered exponential backoff.  Only transient transport
-// faults (network.Transient) retry; a permanent error — an encode or
-// protocol failure surfacing as a RemoteError — fails immediately, the
-// distinction the old single-shot path collapsed into "unreachable".
-func (c *Cluster) legacyReserve(from clock.SiteID, n uint64) (uint64, error) {
+// the shard's virtual order server at SequencerSiteFor(shard), retried
+// a bounded number of times with jittered exponential backoff.  Only
+// transient transport faults (network.Transient) retry; a permanent
+// error — an encode or protocol failure surfacing as a RemoteError —
+// fails immediately, the distinction the old single-shot path collapsed
+// into "unreachable".
+func (c *Cluster) legacyReserve(from clock.SiteID, shard int, n uint64) (uint64, error) {
 	var b [8]byte
 	for i := 0; i < 8; i++ {
 		b[i] = byte(n >> (8 * i))
@@ -721,7 +811,7 @@ func (c *Cluster) legacyReserve(from clock.SiteID, n uint64) (uint64, error) {
 				backoff *= 2
 			}
 		}
-		resp, err := c.Net.Call(from, SequencerSite, b[:])
+		resp, err := c.Net.Call(from, SequencerSiteFor(shard), b[:])
 		if err == nil {
 			return decodeU64(resp), nil
 		}
@@ -760,15 +850,20 @@ func (c *Cluster) Broadcast(m et.MSet) error {
 	if err := origin.Receive(msg); err != nil {
 		return err
 	}
-	for to, l := range c.out[m.Origin] {
+	var enqErr error
+	c.forEachShardLink(m.Origin, m.Shard, func(to clock.SiteID, l *link) {
+		if enqErr != nil {
+			return
+		}
 		if err := l.q.Enqueue(msg); err != nil {
-			return fmt.Errorf("core: enqueue for %v: %w", to, err)
+			enqErr = fmt.Errorf("core: enqueue for %v: %w", to, err)
+			return
 		}
 		c.Trace.RecordMSetf(trace.Enqueue, int(m.Origin), m.ET.String(), msg.ID,
 			"to=%v", to)
 		l.d.Kick()
-	}
-	return nil
+	})
+	return enqErr
 }
 
 // BroadcastAll propagates a burst of update MSets sharing one origin as
@@ -776,8 +871,11 @@ func (c *Cluster) Broadcast(m et.MSet) error {
 // and every outbound link gets one batched journal record (one fsync on
 // durable clusters) plus one delivery kick — the "one MSet batch per
 // destination per commit burst" propagation the group-commit pipeline
-// exists for.  Like Broadcast, it returns once every copy is durably
-// queued, which is the asynchronous commit point for the whole burst.
+// exists for.  A burst may mix shards: each MSet is enqueued only on
+// its own shard's links, so the per-shard journals and delivery windows
+// stay independent.  Like Broadcast, it returns once every copy is
+// durably queued, which is the asynchronous commit point for the whole
+// burst.
 func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 	if len(msets) == 0 {
 		return nil
@@ -787,6 +885,8 @@ func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 	}
 	originID := msets[0].Origin
 	msgs := make([]queue.Message, len(msets))
+	byShard := make([][]queue.Message, c.shards)
+	byShardM := make([][]et.MSet, c.shards)
 	for i, m := range msets {
 		if m.Origin != originID {
 			return fmt.Errorf("core: burst mixes origins %v and %v", originID, m.Origin)
@@ -796,6 +896,12 @@ func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 			return err
 		}
 		msgs[i] = queue.Message{ID: msgIDFor(m), Payload: payload}
+		sh := m.Shard
+		if sh < 0 || sh >= c.shards {
+			return fmt.Errorf("core: burst mset on unknown shard %d (have %d)", sh, c.shards)
+		}
+		byShard[sh] = append(byShard[sh], msgs[i])
+		byShardM[sh] = append(byShardM[sh], m)
 	}
 	origin := c.Site(originID)
 	if origin == nil {
@@ -812,15 +918,28 @@ func (c *Cluster) BroadcastAll(msets []et.MSet) error {
 	if err := origin.ReceiveDecodedBatch(msgs, msets); err != nil {
 		return err
 	}
-	for to, l := range c.out[originID] {
-		if err := l.q.EnqueueBatch(msgs); err != nil {
-			return fmt.Errorf("core: enqueue burst for %v: %w", to, err)
+	for sh, part := range byShard {
+		if len(part) == 0 {
+			continue
 		}
-		for i, m := range msets {
-			c.Trace.RecordMSetf(trace.Enqueue, int(originID), m.ET.String(), msgs[i].ID,
-				"to=%v", to)
+		var enqErr error
+		c.forEachShardLink(originID, sh, func(to clock.SiteID, l *link) {
+			if enqErr != nil {
+				return
+			}
+			if err := l.q.EnqueueBatch(part); err != nil {
+				enqErr = fmt.Errorf("core: enqueue burst for %v: %w", to, err)
+				return
+			}
+			for i, msg := range part {
+				c.Trace.RecordMSetf(trace.Enqueue, int(originID), byShardM[sh][i].ET.String(), msg.ID,
+					"to=%v", to)
+			}
+			l.d.Kick()
+		})
+		if enqErr != nil {
+			return enqErr
 		}
-		l.d.Kick()
 	}
 	return nil
 }
@@ -832,20 +951,24 @@ func (c *Cluster) JournalSyncs() uint64 {
 	c.siteMu.Lock()
 	defer c.siteMu.Unlock()
 	var total uint64
-	for _, q := range c.inQ {
-		if s, ok := q.(queue.Syncer); ok {
-			total += s.Syncs()
-		}
-	}
-	for _, links := range c.out {
-		for _, l := range links {
-			if s, ok := l.q.(queue.Syncer); ok {
+	for _, qs := range c.inQ {
+		for _, q := range qs {
+			if s, ok := q.(queue.Syncer); ok {
 				total += s.Syncs()
 			}
 		}
 	}
-	for _, w := range c.wals {
-		total += w.Syncs()
+	for from := range c.out {
+		c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
+			if s, ok := l.q.(queue.Syncer); ok {
+				total += s.Syncs()
+			}
+		})
+	}
+	for _, ws := range c.wals {
+		for _, w := range ws {
+			total += w.Syncs()
+		}
 	}
 	return total
 }
@@ -855,11 +978,23 @@ func (c *Cluster) JournalSyncs() uint64 {
 // self-clock to link speed instead of flooding slow links.
 func (c *Cluster) OutBacklog(from clock.SiteID) int {
 	max := 0
-	for _, l := range c.out[from] {
+	c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 		if n := l.q.Len(); n > max {
 			max = n
 		}
-	}
+	})
+	return max
+}
+
+// OutBacklogShard is OutBacklog restricted to one shard's links, so
+// per-shard periodic senders self-clock to their own domain's speed.
+func (c *Cluster) OutBacklogShard(from clock.SiteID, shard int) int {
+	max := 0
+	c.forEachShardLink(from, shard, func(to clock.SiteID, l *link) {
+		if n := l.q.Len(); n > max {
+			max = n
+		}
+	})
 	return max
 }
 
@@ -892,11 +1027,15 @@ func (c *Cluster) Quiesce(timeout time.Duration) error {
 }
 
 func (c *Cluster) drained() bool {
-	for _, links := range c.out {
-		for _, l := range links {
+	for from := range c.out {
+		busy := false
+		c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 			if l.q.Len() > 0 {
-				return false
+				busy = true
 			}
+		})
+		if busy {
+			return false
 		}
 	}
 	for _, s := range c.sitesSnapshot() {
@@ -933,32 +1072,41 @@ func (c *Cluster) Converged() (bool, string) {
 // Close stops delivery agents, processors and queues.
 func (c *Cluster) Close() error {
 	c.closeOnce.Do(func() {
-		for _, links := range c.out {
-			for _, l := range links {
+		for from := range c.out {
+			c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 				l.d.Stop()
-			}
+			})
 		}
 		c.siteMu.Lock()
-		for _, r := range c.seqReps {
-			r.Stop() //esrvet:ignore A8 shutdown path: replica Stop fsyncs final state under siteMu; no request traffic contends at Close
+		for _, rs := range c.seqReps {
+			for _, r := range rs {
+				if r != nil {
+					r.Stop() //esrvet:ignore A8 shutdown path: replica Stop fsyncs final state under siteMu; no request traffic contends at Close
+				}
+			}
 		}
 		for id, s := range c.sites {
 			if c.crashed[id] {
 				continue
 			}
 			s.Stop()
-			if w := c.wals[id]; w != nil {
+			c.forEachWAL(id, func(shard int, w *wal.WAL) {
 				w.Close()
+			})
+		}
+		for _, its := range c.intents {
+			for _, it := range its {
+				it.close()
 			}
 		}
-		for _, it := range c.intents {
-			it.close()
+		for _, xf := range c.xintents {
+			xf.close()
 		}
 		c.siteMu.Unlock()
-		for _, links := range c.out {
-			for _, l := range links {
+		for from := range c.out {
+			c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 				l.q.Close()
-			}
+			})
 		}
 		if c.ownNet {
 			c.Net.Close()

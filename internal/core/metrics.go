@@ -105,18 +105,18 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		lag:  metrics.NewLag(reg, sites),
 		site: make(map[clock.SiteID]*SiteMetrics),
 
-		queueDepth:     reg.Gauge("esr_queue_depth", "Unacknowledged messages in a stable queue.", "site", "queue"),
-		queueEnqueued:  reg.Counter("esr_queue_enqueued_total", "Messages accepted (dedup-fresh) into a stable queue.", "site", "queue"),
-		queueAcked:     reg.Counter("esr_queue_acked_total", "Messages acknowledged out of a stable queue.", "site", "queue"),
-		queueSyncs:     reg.Counter("esr_queue_syncs_total", "Journal fsyncs issued by a stable queue.", "site", "queue"),
-		queueSyncSec:   reg.Histogram("esr_queue_sync_seconds", "Journal fsync latency.", metrics.ScaleNanos, "site", "queue"),
-		queueDeliver:   reg.Histogram("esr_queue_deliver_seconds", "Enqueue-to-acknowledge latency per message.", metrics.ScaleNanos, "site", "queue"),
-		queueCompacted: reg.Counter("esr_queue_compactions_total", "Journal compactions performed by a stable queue.", "site", "queue"),
-		queueDirSyncEr: reg.Counter("esr_queue_dirsync_errors_total", "Failed directory fsyncs after a journal compaction's rename.", "site", "queue"),
+		queueDepth:     reg.Gauge("esr_queue_depth", "Unacknowledged messages in a stable queue.", "site", "queue", "shard"),
+		queueEnqueued:  reg.Counter("esr_queue_enqueued_total", "Messages accepted (dedup-fresh) into a stable queue.", "site", "queue", "shard"),
+		queueAcked:     reg.Counter("esr_queue_acked_total", "Messages acknowledged out of a stable queue.", "site", "queue", "shard"),
+		queueSyncs:     reg.Counter("esr_queue_syncs_total", "Journal fsyncs issued by a stable queue.", "site", "queue", "shard"),
+		queueSyncSec:   reg.Histogram("esr_queue_sync_seconds", "Journal fsync latency.", metrics.ScaleNanos, "site", "queue", "shard"),
+		queueDeliver:   reg.Histogram("esr_queue_deliver_seconds", "Enqueue-to-acknowledge latency per message.", metrics.ScaleNanos, "site", "queue", "shard"),
+		queueCompacted: reg.Counter("esr_queue_compactions_total", "Journal compactions performed by a stable queue.", "site", "queue", "shard"),
+		queueDirSyncEr: reg.Counter("esr_queue_dirsync_errors_total", "Failed directory fsyncs after a journal compaction's rename.", "site", "queue", "shard"),
 
-		walSyncs:   reg.Counter("esr_wal_syncs_total", "Write-ahead-log fsyncs issued.", "site"),
-		walSyncSec: reg.Histogram("esr_wal_sync_seconds", "Write-ahead-log fsync latency.", metrics.ScaleNanos, "site"),
-		walAppends: reg.Counter("esr_wal_appends_total", "MSets durably appended to the write-ahead log.", "site"),
+		walSyncs:   reg.Counter("esr_wal_syncs_total", "Write-ahead-log fsyncs issued.", "site", "shard"),
+		walSyncSec: reg.Histogram("esr_wal_sync_seconds", "Write-ahead-log fsync latency.", metrics.ScaleNanos, "site", "shard"),
+		walAppends: reg.Counter("esr_wal_appends_total", "MSets durably appended to the write-ahead log.", "site", "shard"),
 
 		siteReceived:    reg.Counter("esr_site_received_total", "MSets accepted into a site's inbound queue.", "site"),
 		siteApplied:     reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
@@ -133,15 +133,15 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		lockWaitSec:    reg.Histogram("esr_lock_wait_seconds", "Grant delay of lock requests that blocked.", metrics.ScaleNanos, "site"),
 		lockContention: reg.Counter("esr_lock_stripe_contention_total", "Stripe-mutex acquisitions that found the stripe already locked.", "site"),
 
-		seqElections:  reg.Counter("esr_seq_elections_total", "Election rounds started by a sequencer replica.", "replica"),
-		seqLeader:     reg.Gauge("esr_seq_leader", "1 while the sequencer replica believes it leads.", "replica"),
+		seqElections:  reg.Counter("esr_seq_elections_total", "Election rounds started by a sequencer replica.", "replica", "shard"),
+		seqLeader:     reg.Gauge("esr_seq_leader", "1 while the sequencer replica believes it leads.", "replica", "shard"),
 		seqRetries:    reg.Counter("esr_seq_client_retries_total", "Sequencer reservation attempts beyond the first (leader re-discovery and transient-failure retries).").With(),
-		seqGapFills:   reg.Counter("esr_seq_gap_fills_total", "Gap-fill MSets broadcast for reserved-but-unused sequence numbers.", "site"),
-		seqCommitSec:  reg.Histogram("esr_seq_commit_seconds", "Reservation latency from leader admission to majority commit.", metrics.ScaleNanos, "replica"),
-		seqAppendRTT:  reg.Histogram("esr_seq_append_rtt_seconds", "Leader-to-follower watermark append round-trip time.", metrics.ScaleNanos, "replica"),
-		seqStateSync:  reg.Histogram("esr_seq_state_sync_seconds", "Sequencer replica state-file fsync latency.", metrics.ScaleNanos, "replica"),
-		seqReserveSec: reg.Histogram("esr_seq_reserve_seconds", "Origin-observed sequence reservation latency (client round trip included).", metrics.ScaleNanos, "site"),
-		seqIntentSync: reg.Histogram("esr_seq_intent_sync_seconds", "Intent-journal fsync latency at a reserving origin.", metrics.ScaleNanos, "site"),
+		seqGapFills:   reg.Counter("esr_seq_gap_fills_total", "Gap-fill MSets broadcast for reserved-but-unused sequence numbers.", "site", "shard"),
+		seqCommitSec:  reg.Histogram("esr_seq_commit_seconds", "Reservation latency from leader admission to majority commit.", metrics.ScaleNanos, "replica", "shard"),
+		seqAppendRTT:  reg.Histogram("esr_seq_append_rtt_seconds", "Leader-to-follower watermark append round-trip time.", metrics.ScaleNanos, "replica", "shard"),
+		seqStateSync:  reg.Histogram("esr_seq_state_sync_seconds", "Sequencer replica state-file fsync latency.", metrics.ScaleNanos, "replica", "shard"),
+		seqReserveSec: reg.Histogram("esr_seq_reserve_seconds", "Origin-observed sequence reservation latency (client round trip included).", metrics.ScaleNanos, "site", "shard"),
+		seqIntentSync: reg.Histogram("esr_seq_intent_sync_seconds", "Intent-journal fsync latency at a reserving origin.", metrics.ScaleNanos, "site", "shard"),
 		catchupBytes:  reg.Counter("esr_catchup_bytes_total", "Snapshot bytes transferred into a catching-up site.", "site"),
 		catchupSec:    reg.Histogram("esr_catchup_seconds", "End-to-end duration of site catch-up state transfers.", metrics.ScaleNanos, "site"),
 	}
@@ -156,6 +156,9 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 // siteLabel renders a SiteID as a metric label value.
 func siteLabel(id clock.SiteID) string { return strconv.Itoa(int(id)) }
 
+// shardLabel renders an ordering-shard index as a metric label value.
+func shardLabel(shard int) string { return strconv.Itoa(shard) }
+
 // resolveSite creates the per-site method-level instruments during
 // construction (the map must not be written after New returns).
 func (m *clusterMetrics) resolveSite(id clock.SiteID) {
@@ -169,31 +172,31 @@ func (m *clusterMetrics) resolveSite(id clock.SiteID) {
 	}
 }
 
-// seqrepMetrics resolves one sequencer replica's instruments.  Safe on
-// nil.
-func (m *clusterMetrics) seqrepMetrics(id clock.SiteID) seqrep.Metrics {
+// seqrepMetrics resolves one shard ensemble member's instruments.  Safe
+// on nil.
+func (m *clusterMetrics) seqrepMetrics(id clock.SiteID, shard int) seqrep.Metrics {
 	if m == nil {
 		return seqrep.Metrics{}
 	}
-	s := siteLabel(id)
+	s, sh := siteLabel(id), shardLabel(shard)
 	return seqrep.Metrics{
-		Elections:     m.seqElections.With(s),
-		Leader:        m.seqLeader.With(s),
-		CommitSeconds: m.seqCommitSec.With(s),
-		AppendRTT:     m.seqAppendRTT.With(s),
-		FsyncSeconds:  m.seqStateSync.With(s),
+		Elections:     m.seqElections.With(s, sh),
+		Leader:        m.seqLeader.With(s, sh),
+		CommitSeconds: m.seqCommitSec.With(s, sh),
+		AppendRTT:     m.seqAppendRTT.With(s, sh),
+		FsyncSeconds:  m.seqStateSync.With(s, sh),
 	}
 }
 
-// seqReserveMetrics resolves one origin site's reservation-path
-// instruments: round-trip reserve latency and intent-journal fsync
-// latency.  Safe on nil.
-func (m *clusterMetrics) seqReserveMetrics(id clock.SiteID) (reserve, intentSync *metrics.Histogram) {
+// seqReserveMetrics resolves one origin site's per-shard
+// reservation-path instruments: round-trip reserve latency and
+// intent-journal fsync latency.  Safe on nil.
+func (m *clusterMetrics) seqReserveMetrics(id clock.SiteID, shard int) (reserve, intentSync *metrics.Histogram) {
 	if m == nil {
 		return nil, nil
 	}
-	s := siteLabel(id)
-	return m.seqReserveSec.With(s), m.seqIntentSync.With(s)
+	s, sh := siteLabel(id), shardLabel(shard)
+	return m.seqReserveSec.With(s, sh), m.seqIntentSync.With(s, sh)
 }
 
 // seqRetryCounter resolves the shared sequencer-client retry counter.
@@ -205,12 +208,13 @@ func (m *clusterMetrics) seqRetryCounter() *metrics.Counter {
 	return m.seqRetries
 }
 
-// gapFillCounter resolves one site's gap-fill counter.  Safe on nil.
-func (m *clusterMetrics) gapFillCounter(id clock.SiteID) *metrics.Counter {
+// gapFillCounter resolves one site's per-shard gap-fill counter.  Safe
+// on nil.
+func (m *clusterMetrics) gapFillCounter(id clock.SiteID, shard int) *metrics.Counter {
 	if m == nil {
 		return nil
 	}
-	return m.seqGapFills.With(siteLabel(id))
+	return m.seqGapFills.With(siteLabel(id), shardLabel(shard))
 }
 
 // catchupMetrics resolves one site's catch-up instruments.  Safe on nil.
@@ -232,21 +236,23 @@ func (m *clusterMetrics) siteMetrics(id clock.SiteID) *SiteMetrics {
 	return m.site[id]
 }
 
-// queueMetrics resolves one stable queue's instruments.  Safe on nil.
-func (m *clusterMetrics) queueMetrics(site clock.SiteID, name string) queue.Metrics {
+// queueMetrics resolves one stable queue's instruments.  The queue
+// label stays the shard-free logical name ("in", "out-2"); the shard
+// label separates the ordering domains.  Safe on nil.
+func (m *clusterMetrics) queueMetrics(site clock.SiteID, name string, shard int) queue.Metrics {
 	if m == nil {
 		return queue.Metrics{}
 	}
-	s := siteLabel(site)
+	s, sh := siteLabel(site), shardLabel(shard)
 	return queue.Metrics{
-		Depth:          m.queueDepth.With(s, name),
-		Enqueued:       m.queueEnqueued.With(s, name),
-		Acked:          m.queueAcked.With(s, name),
-		Syncs:          m.queueSyncs.With(s, name),
-		SyncSeconds:    m.queueSyncSec.With(s, name),
-		DeliverSeconds: m.queueDeliver.With(s, name),
-		Compactions:    m.queueCompacted.With(s, name),
-		DirSyncErrors:  m.queueDirSyncEr.With(s, name),
+		Depth:          m.queueDepth.With(s, name, sh),
+		Enqueued:       m.queueEnqueued.With(s, name, sh),
+		Acked:          m.queueAcked.With(s, name, sh),
+		Syncs:          m.queueSyncs.With(s, name, sh),
+		SyncSeconds:    m.queueSyncSec.With(s, name, sh),
+		DeliverSeconds: m.queueDeliver.With(s, name, sh),
+		Compactions:    m.queueCompacted.With(s, name, sh),
+		DirSyncErrors:  m.queueDirSyncEr.With(s, name, sh),
 	}
 }
 
@@ -264,16 +270,17 @@ func (m *clusterMetrics) deliveryMetrics(from, to clock.SiteID) queue.DeliveryMe
 	}
 }
 
-// walMetrics resolves one site's WAL instruments.  Safe on nil.
-func (m *clusterMetrics) walMetrics(id clock.SiteID) wal.Metrics {
+// walMetrics resolves one site's per-shard WAL instruments.  Safe on
+// nil.
+func (m *clusterMetrics) walMetrics(id clock.SiteID, shard int) wal.Metrics {
 	if m == nil {
 		return wal.Metrics{}
 	}
-	s := siteLabel(id)
+	s, sh := siteLabel(id), shardLabel(shard)
 	return wal.Metrics{
-		Syncs:       m.walSyncs.With(s),
-		SyncSeconds: m.walSyncSec.With(s),
-		Appends:     m.walAppends.With(s),
+		Syncs:       m.walSyncs.With(s, sh),
+		SyncSeconds: m.walSyncSec.With(s, sh),
+		Appends:     m.walAppends.With(s, sh),
 	}
 }
 

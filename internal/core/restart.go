@@ -29,8 +29,14 @@ var (
 // rebuilt (store and queue indexes) when the callback runs.
 type RecoverFunc func(s *replica.Site, records []et.MSet) error
 
-func (c *Cluster) walPath(id clock.SiteID) string {
-	return filepath.Join(c.cfg.Dir, fmt.Sprintf("site-%d.wal", id))
+// walPath names one site's per-shard write-ahead log.  Shard 0 keeps
+// the pre-sharding name so single-shard deployments recover WALs
+// written before sharding existed.
+func (c *Cluster) walPath(id clock.SiteID, shard int) string {
+	if shard == 0 {
+		return filepath.Join(c.cfg.Dir, fmt.Sprintf("site-%d.wal", id))
+	}
+	return filepath.Join(c.cfg.Dir, fmt.Sprintf("site-%d-s%d.wal", id, shard))
 }
 
 // CrashSite simulates a site failure: the MSet processor stops
@@ -54,12 +60,12 @@ func (c *Cluster) CrashSite(id clock.SiteID) error {
 	c.Net.Crash(id)
 	c.crashSeqReplicaLocked(id) //esrvet:ignore A8 crash injection stops the co-hosted replica (final fsync) under siteMu so no reservation races the crash
 	s.Stop()
-	if q := c.inQ[id]; q != nil {
+	c.forEachInQ(id, func(shard int, q queue.Queue) {
 		q.Close()
-	}
-	if w := c.wals[id]; w != nil {
+	})
+	c.forEachWAL(id, func(shard int, w *wal.WAL) {
 		w.Close()
-	}
+	})
 	c.crashed[id] = true
 	return nil
 }
@@ -78,37 +84,68 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 	if !c.crashed[id] {
 		return ErrSiteRunning
 	}
-	q, err := queue.OpenOptions(filepath.Join(c.cfg.Dir, fmt.Sprintf("in-%d.journal", id)),
-		queue.Options{FlushWindow: c.cfg.FlushWindow})
-	if err != nil {
-		return fmt.Errorf("core: reopen inbound journal: %w", err)
+	closeAll := func(qs []queue.Queue, ws []*wal.WAL) {
+		for _, q := range qs {
+			if q != nil {
+				q.Close()
+			}
+		}
+		for _, w := range ws {
+			if w != nil {
+				w.Close()
+			}
+		}
 	}
-	w, records, err := wal.Open(c.walPath(id))
-	if err != nil {
-		q.Close()
-		return fmt.Errorf("core: reopen wal: %w", err)
+	qs := make([]queue.Queue, c.shards)
+	ws := make([]*wal.WAL, c.shards)
+	applied := make([]map[et.ID]bool, c.shards)
+	var records []et.MSet
+	for sh := 0; sh < c.shards; sh++ {
+		q, err := queue.OpenOptions(filepath.Join(c.cfg.Dir, inQueueName(id, sh)+".journal"),
+			queue.Options{FlushWindow: c.cfg.FlushWindow})
+		if err != nil {
+			closeAll(qs, ws)
+			return fmt.Errorf("core: reopen inbound journal shard %d: %w", sh, err)
+		}
+		qs[sh] = q
+		w, recs, err := wal.Open(c.walPath(id, sh))
+		if err != nil {
+			closeAll(qs, ws)
+			return fmt.Errorf("core: reopen wal shard %d: %w", sh, err)
+		}
+		w.SetMetrics(c.met.walMetrics(id, sh))
+		w.SetTrace(c.Trace, int(id))
+		ws[sh] = w
+		records = append(records, recs...)
 	}
-	w.SetMetrics(c.met.walMetrics(id))
-	w.SetTrace(c.Trace, int(id))
-	site := replica.NewSite(id, q, c.cfg.LockTable)
+	site := replica.NewShardedSite(id, qs, c.cfg.LockTable)
 	site.Trace = c.Trace
 	c.configureSite(site)
-	applied := wal.Rebuild(site.Store, records)
+	for sh := 0; sh < c.shards; sh++ {
+		// Rebuild shard by shard: a cross-shard ET's identity appears in
+		// several shards' WALs, and each shard's replay must be skipped
+		// independently.
+		var shardRecs []et.MSet
+		for _, m := range records {
+			if m.Shard == sh {
+				shardRecs = append(shardRecs, m)
+			}
+		}
+		applied[sh] = wal.Rebuild(site.Store, shardRecs)
+	}
 	if err := site.Reload(); err != nil {
-		q.Close()
-		w.Close()
+		closeAll(qs, ws)
 		return fmt.Errorf("core: reload queue indexes: %w", err)
 	}
 	if recover != nil {
 		if err := recover(site, records); err != nil {
-			q.Close()
-			w.Close()
+			closeAll(qs, ws)
 			return fmt.Errorf("core: engine recovery: %w", err)
 		}
 	}
 	inner := c.factory(site)
 	site.SetApply(func(m et.MSet) error {
-		if applied[m.ET] && !m.Compensation {
+		if applied[m.Shard] != nil && applied[m.Shard][m.ET] && !m.Compensation {
 			// Applied and logged before the crash; the queued copy is a
 			// leftover to acknowledge, not re-apply.
 			return nil
@@ -116,34 +153,43 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 		if err := inner(m); err != nil {
 			return err
 		}
-		return w.Append(m)
+		return ws[m.Shard].Append(m)
 	})
 	c.sites[id] = site
-	c.inQ[id] = q
-	c.wals[id] = w
+	c.inQ[id] = qs
+	c.wals[id] = ws
 	c.registerHandlers(id, site)
 	delete(c.crashed, id)
 	c.Net.Restart(id)
 	site.Start()
-	// The co-hosted sequencer replica comes back with its site, from its
-	// own durable state (term, vote, watermark).
+	// The co-hosted sequencer replicas come back with their site, from
+	// their own durable state (term, vote, watermark).
 	if err := c.restartSeqReplicaLocked(id); err != nil {
 		return err
 	}
-	// Settle the origin's last reserved sequence run: re-broadcast what
-	// survived durably, gap-fill the rest, so no peer stalls forever on
-	// a number this site reserved but never propagated.
-	if err := c.resolveSeqIntents(id, site, q, records); err != nil {
+	// Settle the origin's outstanding cross-shard burst FIRST — its
+	// re-broadcast lands parts in the inbound journals the per-shard
+	// sequence-intent scan reads, so decided cross-shard ETs re-propagate
+	// instead of being gap-filled into partial application.
+	if err := c.resolveXShardIntents(id, site); err != nil { //esrvet:ignore A8 recovery must finish (journal fsyncs included) before the site serves; siteMu is the restart gate
 		return err
+	}
+	// Then settle each shard's last reserved sequence run: re-broadcast
+	// what survived durably, gap-fill the rest, so no peer stalls
+	// forever on a number this site reserved but never propagated.
+	for sh := 0; sh < c.shards; sh++ {
+		if err := c.resolveSeqIntents(id, sh, site, c.inQueueFor(id, sh), records); err != nil {
+			return err
+		}
 	}
 	// Nudge peers' delivery agents: anything queued for this site flows
 	// again now.
-	for _, links := range c.out {
-		for to, l := range links {
+	for from := range c.out {
+		c.forEachLink(from, func(to clock.SiteID, shard int, l *link) {
 			if to == id {
 				l.d.Kick()
 			}
-		}
+		})
 	}
 	return nil
 }

@@ -46,14 +46,20 @@ type intentFile struct {
 
 const intentRecLen = 16
 
-func intentPath(dir string, id clock.SiteID) string {
-	return filepath.Join(dir, fmt.Sprintf("seq-intent-%d.log", id))
+// intentPath names one origin's per-shard intent journal.  Shard 0
+// keeps the pre-sharding name so single-shard deployments recover
+// journals written before sharding existed.
+func intentPath(dir string, id clock.SiteID, shard int) string {
+	if shard == 0 {
+		return filepath.Join(dir, fmt.Sprintf("seq-intent-%d.log", id))
+	}
+	return filepath.Join(dir, fmt.Sprintf("seq-intent-%d-s%d.log", id, shard))
 }
 
-// openIntent opens (creating if needed) the origin's intent journal and
-// loads its last intact record.
-func openIntent(dir string, id clock.SiteID) (*intentFile, error) {
-	f, err := os.OpenFile(intentPath(dir, id), os.O_CREATE|os.O_RDWR, 0o600)
+// openIntent opens (creating if needed) the origin's intent journal for
+// one shard and loads its last intact record.
+func openIntent(dir string, id clock.SiteID, shard int) (*intentFile, error) {
+	f, err := os.OpenFile(intentPath(dir, id, shard), os.O_CREATE|os.O_RDWR, 0o600)
 	if err != nil {
 		return nil, fmt.Errorf("core: open seq intent journal: %w", err)
 	}
@@ -121,11 +127,12 @@ func (it *intentFile) close() {
 	}
 }
 
-// recordSeqIntent durably notes a reserved run against its origin
-// before NextSeqN returns it.  In-memory clusters (no Dir) skip the
-// journal: there is no durable state to resolve against after a crash.
-func (c *Cluster) recordSeqIntent(from clock.SiteID, start, n uint64) error {
-	it := c.intents[from]
+// recordSeqIntent durably notes a reserved run against its origin and
+// shard before NextSeqNShard returns it.  In-memory clusters (no Dir)
+// skip the journal: there is no durable state to resolve against after
+// a crash.
+func (c *Cluster) recordSeqIntent(from clock.SiteID, shard int, start, n uint64) error {
+	it := c.intentFor(from, shard)
 	if it == nil {
 		return nil
 	}
@@ -135,16 +142,18 @@ func (c *Cluster) recordSeqIntent(from clock.SiteID, start, n uint64) error {
 	return nil
 }
 
-// resolveSeqIntents settles the origin's last reserved run after a
-// restart: every sequence number of the run is either re-broadcast
-// (the MSet survives in the WAL or the inbound journal — receivers
-// collapse duplicates by message identity) or filled with an empty gap
-// MSet whose deterministic ID makes repeated resolutions converge.  The
-// caller passes the site handle, inbound queue and recovered WAL
-// records explicitly so this is callable under siteMu from RestartSite
-// as well as from Setup's cold-recovery path.
-func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queue.Queue, records []et.MSet) error {
-	it := c.intents[id]
+// resolveSeqIntents settles the origin's last reserved run in one
+// shard's sequence space after a restart: every sequence number of the
+// run is either re-broadcast (the MSet survives in the WAL or the
+// inbound journal — receivers collapse duplicates by message identity)
+// or filled with an empty gap MSet whose deterministic ID makes
+// repeated resolutions converge.  Runs and gap fills are wholly
+// per-shard: a gap in one domain never blocks (or is observed by)
+// another.  The caller passes the site handle, the shard's inbound
+// queue and recovered WAL records explicitly so this is callable under
+// siteMu from RestartSite as well as from Setup's cold-recovery path.
+func (c *Cluster) resolveSeqIntents(id clock.SiteID, shard int, site *replica.Site, in queue.Queue, records []et.MSet) error {
+	it := c.intentFor(id, shard)
 	if it == nil {
 		return nil
 	}
@@ -152,12 +161,13 @@ func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queu
 	if !ok || run.count == 0 {
 		return nil
 	}
-	inRun := func(seq uint64) bool {
-		return seq >= run.start && seq < run.start+run.count
+	inRun := func(m et.MSet) bool {
+		return m.Origin == id && m.Shard == shard &&
+			m.Seq >= run.start && m.Seq < run.start+run.count
 	}
 	bySeq := make(map[uint64]et.MSet, run.count)
 	for _, m := range records {
-		if m.Origin == id && inRun(m.Seq) {
+		if inRun(m) {
 			bySeq[m.Seq] = m
 		}
 	}
@@ -171,12 +181,12 @@ func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queu
 			if err != nil {
 				continue
 			}
-			if m.Origin == id && inRun(m.Seq) {
+			if inRun(m) {
 				bySeq[m.Seq] = m
 			}
 		}
 	}
-	gapFills := c.met.gapFillCounter(id)
+	gapFills := c.met.gapFillCounter(id, shard)
 	msets := make([]et.MSet, 0, run.count)
 	for seq := run.start; seq < run.start+run.count; seq++ {
 		m, found := bySeq[seq]
@@ -191,6 +201,7 @@ func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queu
 				Seq:      seq,
 				TS:       site.Clock.Tick(),
 				SeqFloor: seq,
+				Shard:    shard,
 			}
 			gapFills.Inc()
 		}
@@ -198,8 +209,8 @@ func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queu
 	}
 	// Re-broadcast the run in sequence order: origin first (its inbound
 	// queue and applied-ID index drop what it already has), then every
-	// outbound link.  This mirrors BroadcastAll without touching the
-	// siteMu-guarded maps.
+	// outbound link of this shard.  This mirrors BroadcastAll without
+	// touching the siteMu-guarded maps.
 	msgs := make([]queue.Message, len(msets))
 	for i, m := range msets {
 		payload, err := m.Encode()
@@ -211,11 +222,16 @@ func (c *Cluster) resolveSeqIntents(id clock.SiteID, site *replica.Site, in queu
 	if err := site.ReceiveDecodedBatch(msgs, msets); err != nil {
 		return fmt.Errorf("core: redeliver intent run at origin: %w", err)
 	}
-	for to, l := range c.out[id] {
+	var enqErr error
+	c.forEachShardLink(id, shard, func(to clock.SiteID, l *link) {
+		if enqErr != nil {
+			return
+		}
 		if err := l.q.EnqueueBatch(msgs); err != nil {
-			return fmt.Errorf("core: re-enqueue intent run for %v: %w", to, err)
+			enqErr = fmt.Errorf("core: re-enqueue intent run for %v: %w", to, err)
+			return
 		}
 		l.d.Kick()
-	}
-	return nil
+	})
+	return enqErr
 }

@@ -7,7 +7,7 @@ import (
 
 func TestIntentJournalRoundTrip(t *testing.T) {
 	dir := t.TempDir()
-	it, err := openIntent(dir, 1)
+	it, err := openIntent(dir, 1, 0)
 	if err != nil {
 		t.Fatalf("openIntent: %v", err)
 	}
@@ -27,7 +27,7 @@ func TestIntentJournalRoundTrip(t *testing.T) {
 	it.close()
 
 	// Reopen: the last intact record wins.
-	it2, err := openIntent(dir, 1)
+	it2, err := openIntent(dir, 1, 0)
 	if err != nil {
 		t.Fatalf("reopen: %v", err)
 	}
@@ -40,7 +40,7 @@ func TestIntentJournalRoundTrip(t *testing.T) {
 
 func TestIntentJournalTruncatesTornTail(t *testing.T) {
 	dir := t.TempDir()
-	it, err := openIntent(dir, 2)
+	it, err := openIntent(dir, 2, 0)
 	if err != nil {
 		t.Fatalf("openIntent: %v", err)
 	}
@@ -50,7 +50,7 @@ func TestIntentJournalTruncatesTornTail(t *testing.T) {
 	it.close()
 
 	// Simulate a crash mid-append: a partial record at the tail.
-	f, err := os.OpenFile(intentPath(dir, 2), os.O_APPEND|os.O_WRONLY, 0o600)
+	f, err := os.OpenFile(intentPath(dir, 2, 0), os.O_APPEND|os.O_WRONLY, 0o600)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +59,7 @@ func TestIntentJournalTruncatesTornTail(t *testing.T) {
 	}
 	f.Close()
 
-	it2, err := openIntent(dir, 2)
+	it2, err := openIntent(dir, 2, 0)
 	if err != nil {
 		t.Fatalf("reopen after torn tail: %v", err)
 	}
@@ -73,7 +73,7 @@ func TestIntentJournalTruncatesTornTail(t *testing.T) {
 		t.Fatalf("record after trim: %v", err)
 	}
 	it2.close()
-	it3, err := openIntent(dir, 2)
+	it3, err := openIntent(dir, 2, 0)
 	if err != nil {
 		t.Fatalf("third open: %v", err)
 	}
@@ -82,7 +82,7 @@ func TestIntentJournalTruncatesTornTail(t *testing.T) {
 	if !ok || run.start != 5 || run.count != 2 {
 		t.Errorf("after trim+append lastRun = %+v, %v, want {5 2}, true", run, ok)
 	}
-	if fi, err := os.Stat(intentPath(dir, 2)); err != nil || fi.Size()%intentRecLen != 0 {
+	if fi, err := os.Stat(intentPath(dir, 2, 0)); err != nil || fi.Size()%intentRecLen != 0 {
 		t.Errorf("journal size %v not a record multiple (err %v)", fi.Size(), err)
 	}
 }

@@ -16,11 +16,40 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 
 	"esr/internal/clock"
 	"esr/internal/divergence"
 	"esr/internal/op"
 )
+
+// MaxShards bounds the number of ordering domains a cluster may carve
+// the keyspace into: shard identities ride in four bits of every message
+// identity (see MSet.MsgID), so they must fit in 0..15.
+const MaxShards = 16
+
+// ShardOf maps an object to its ordering domain under n shards, with the
+// same FNV-1a hash the store and lock-manager stripes use, so an
+// object's shard is stable across every layer that partitions by key.
+// n <= 1 collapses to the single unsharded domain.
+func ShardOf(object string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := fnv.New32a()
+	h.Write([]byte(object))
+	return int(h.Sum32() % uint32(n))
+}
+
+// shardShift places the shard identity in bits 59..62 of a message ID:
+// above every origin-site bit an ET ID can carry (virtual sites stay
+// below 2^11, occupying bits 48..58) and below the compensation bit 63.
+const shardShift = 59
+
+// MsgShard extracts the ordering domain from a message identity minted
+// by MSet.MsgID.  Unsharded clusters stamp shard 0 everywhere, so the
+// extraction is the identity there.
+func MsgShard(id uint64) int { return int((id >> shardShift) & (MaxShards - 1)) }
 
 // ID identifies an epsilon-transaction system-wide.  The origin site's
 // identifier is folded in so IDs issued by different sites never collide.
@@ -118,6 +147,11 @@ type MSet struct {
 	// replicated sequencer but never used): once every origin's floor
 	// has passed a missing number and it has not arrived, it never will.
 	SeqFloor uint64
+	// Shard is the ordering domain the MSet belongs to (ShardOf over the
+	// objects it updates).  Seq and SeqFloor are scoped to this shard's
+	// sequence space; unsharded clusters leave it 0.  A cross-shard ET
+	// splits into one MSet per shard sharing the same ET identity.
+	Shard int
 	// Compensation marks a compensation MSet issued by backward replica
 	// control (§4.2).
 	Compensation bool
@@ -128,10 +162,14 @@ type MSet struct {
 // MsgID derives the MSet's queue-unique message identity: the same MSet
 // redelivered maps to the same ID (so stable-queue dedup holds across
 // retries), and compensation MSets get a distinct high bit so they never
-// collide with the forward MSet of the same ET.  Trace events and the
-// propagation-lag tracker correlate on this ID.
+// collide with the forward MSet of the same ET.  The shard rides in bits
+// 59..62, so the per-shard MSets of one cross-shard ET carry distinct
+// identities (dedup, lag tracking and tracing all stay per-domain) and
+// any consumer can recover the shard from the ID alone via MsgShard.
+// Trace events and the propagation-lag tracker correlate on this ID.
 func (m MSet) MsgID() uint64 {
 	id := uint64(m.ET)
+	id |= uint64(m.Shard&(MaxShards-1)) << shardShift
 	if m.Compensation {
 		id |= 1 << 63
 	}

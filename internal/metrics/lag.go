@@ -25,7 +25,7 @@ type Lag struct {
 	inflight map[uint64]*lagEntry
 	order    []uint64           // commit order; may hold retired IDs, skipped lazily
 	evicted  *Gauge             // esr_propagation_lag_evictions
-	bySite   map[int]*Histogram // resolved children, so Applied stays allocation-light
+	bySite   map[int]*Histogram // resolved (site, shard) children, so Applied stays allocation-light
 }
 
 type lagEntry struct {
@@ -56,8 +56,8 @@ func NewLag(r *Registry, sites int) *Lag {
 	}
 	return &Lag{
 		hist: r.Histogram(LagHistogramName,
-			"End-to-end commit-to-apply propagation lag per site.",
-			ScaleNanos, "site"),
+			"End-to-end commit-to-apply propagation lag per site and ordering shard.",
+			ScaleNanos, "site", "shard"),
 		evicted: r.Gauge(LagEvictionsName,
 			"Tracked commits evicted oldest-first because the pairing map filled (never-applied MSets leaking).").With(),
 		sites:    sites,
@@ -131,10 +131,15 @@ func (l *Lag) Applied(id uint64, site int) {
 	if e.remaining <= 0 {
 		delete(l.inflight, id)
 	}
-	h, ok := l.bySite[site]
+	// The ordering shard rides in message-ID bits 59..62 (et.MSet.MsgID
+	// lays them down; this package sits below et so the extraction is
+	// inlined rather than imported).
+	shard := int((id >> 59) & 15)
+	key := site<<4 | shard
+	h, ok := l.bySite[key]
 	if !ok {
-		h = l.hist.With(itoa(site))
-		l.bySite[site] = h
+		h = l.hist.With(itoa(site), itoa(shard))
+		l.bySite[key] = h
 	}
 	l.mu.Unlock()
 	h.Observe(int64(now.Sub(e.start)))

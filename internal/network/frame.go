@@ -15,38 +15,46 @@ import (
 // misparsed length.
 //
 //	offset  size  field
-//	0       1     codec version (1 or 2)
+//	0       1     codec version (1, 2 or 3)
 //	1       4     big-endian length of everything after this field
 //	5       1     frame kind (send / call / batch / resp)
 //	6       8     big-endian request id (matches responses to requests)
 //	14      8     big-endian origin site id
 //	22      8     big-endian destination site id
-//	-- version 2 appends the trace context --
+//	-- versions 2 and 3 append the trace context --
 //	30      8     big-endian trace origin site id (0 = untraced)
 //	38      8     big-endian MSet message identity (0 for batch/resp)
 //	46      8     big-endian causal (Lamport) stamp
-//	30|54   —     body
+//	-- version 3 appends the ordering shard --
+//	54      2     big-endian ordering-shard index
+//	30|54|56  —   body
 //
 // Body by kind:
 //
 //	send, call:  the payload bytes, verbatim
-//	batch:       uint32 message count, then per message (v2: uint64 MSet
+//	batch:       uint32 message count, then per message (v2+: uint64 MSet
 //	             identity +) uint32 length + bytes (the SendBatch
 //	             framing: one frame per batch)
 //	resp:        1 status byte, then the response payload (ok) or the
 //	             error text (all failure codes)
 //
-// Version 2 (this build's native codec) adds the causal trace context
-// so every remote delivery is attributable to its originating update.
-// Decoding accepts both versions — a v1 frame simply carries an empty
-// trace context — so a v2 cluster can drain traffic from v1 peers
-// during a rolling upgrade.  Encoding always emits v2 (roll-forward).
+// Version 2 added the causal trace context so every remote delivery is
+// attributable to its originating update; version 3 (this build's
+// native codec) adds the ordering shard the traffic belongs to, so
+// per-shard timelines survive the wire.  Decoding accepts all three —
+// a v1 frame carries an empty trace context, a v2 frame shard 0 — so a
+// v3 cluster can drain traffic from older peers during a rolling
+// upgrade.  Encoding always emits v3 (roll-forward).
 
 // CodecVersion is the wire-format version this build emits.  It is the
 // first byte of every frame.
-const CodecVersion = 2
+const CodecVersion = 3
 
-// codecV1 is the previous wire format, still accepted on decode: it
+// codecV2 is the previous wire format, still accepted on decode: it
+// carries the trace context but no ordering shard.
+const codecV2 = 2
+
+// codecV1 is the original wire format, still accepted on decode: it
 // lacks the trailing trace context and batch-body MSet identities.
 const codecV1 = 1
 
@@ -70,12 +78,17 @@ const (
 )
 
 // frameHeaderLen is the byte length of the fixed v1 header (version
-// through destination site); v2 headers carry traceCtxLen more bytes.
+// through destination site); v2 headers carry traceCtxLen more bytes
+// and v3 headers traceCtxLenV3.
 const frameHeaderLen = 1 + 4 + 1 + 8 + 8 + 8
 
 // traceCtxLen is the byte length of the v2 trace-context extension
 // (trace origin + MSet identity + causal stamp).
 const traceCtxLen = 8 + 8 + 8
+
+// traceCtxLenV3 is the byte length of the v3 extension: the v2 trace
+// context plus the 2-byte ordering-shard index.
+const traceCtxLenV3 = traceCtxLen + 2
 
 // maxFrameLen bounds a frame's post-length size: a garbage or hostile
 // length prefix must not become a multi-gigabyte allocation.
@@ -94,7 +107,7 @@ func (e *CodecVersionError) Error() string {
 	return fmt.Sprintf("network: unknown codec version %d (this build speaks %d)", e.Got, CodecVersion)
 }
 
-// TraceContext is the causal attribution carried by v2 frames: which
+// TraceContext is the causal attribution carried by v2+ frames: which
 // update (origin site + MSet message identity) caused this network
 // activity, and the sender's causal stamp at send time.  The receiver
 // merges Stamp into its trace ring so downstream events order after
@@ -109,6 +122,9 @@ type TraceContext struct {
 	MSet uint64
 	// Stamp is the sender's causal (Lamport) stamp at send time.
 	Stamp uint64
+	// Shard is the ordering shard this traffic belongs to (v3 frames
+	// only; v1/v2 frames decode to 0, the pre-sharding domain).
+	Shard int
 }
 
 // frame is one decoded wire frame.  body aliases the read buffer and is
@@ -143,9 +159,9 @@ func putFrameBuf(b *[]byte) {
 	}
 }
 
-// appendFrameHeader appends the fixed v2 header (including the trace
-// context) with a zero length field; finishFrame patches the length
-// once the body is in place.
+// appendFrameHeader appends the fixed v3 header (including the trace
+// context and ordering shard) with a zero length field; finishFrame
+// patches the length once the body is in place.
 func appendFrameHeader(dst []byte, kind byte, req uint64, from, to clock.SiteID, tc TraceContext) []byte {
 	dst = append(dst, CodecVersion)
 	dst = append(dst, 0, 0, 0, 0) // length, patched by finishFrame
@@ -156,6 +172,7 @@ func appendFrameHeader(dst []byte, kind byte, req uint64, from, to clock.SiteID,
 	dst = binary.BigEndian.AppendUint64(dst, uint64(tc.Origin))
 	dst = binary.BigEndian.AppendUint64(dst, tc.MSet)
 	dst = binary.BigEndian.AppendUint64(dst, tc.Stamp)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(tc.Shard))
 	return dst
 }
 
@@ -165,7 +182,7 @@ func finishFrame(dst []byte, start int) {
 	binary.BigEndian.PutUint32(dst[start+1:start+5], uint32(len(dst)-start-5))
 }
 
-// appendBatchBody appends the v2 SendBatch body: message count, then
+// appendBatchBody appends the v2+ SendBatch body: message count, then
 // per message its MSet identity + length-prefixed payload.  ids may be
 // nil (untraced batch: identities are written as zero) but otherwise
 // must match payloads in length.
@@ -184,7 +201,7 @@ func appendBatchBody(dst []byte, payloads [][]byte, ids []uint64) []byte {
 }
 
 // splitBatchBody decodes a batch body into its payload slices and (for
-// v2 bodies) per-message MSet identities; ids is nil for v1 bodies.
+// v2+ bodies) per-message MSet identities; ids is nil for v1 bodies.
 // The returned payload slices alias body.
 func splitBatchBody(body []byte, ver byte) ([][]byte, []uint64, error) {
 	if len(body) < 4 {
@@ -197,11 +214,11 @@ func splitBatchBody(body []byte, ver byte) ([][]byte, []uint64, error) {
 	}
 	out := make([][]byte, 0, n)
 	var ids []uint64
-	if ver >= CodecVersion {
+	if ver >= codecV2 {
 		ids = make([]uint64, 0, n)
 	}
 	for i := uint32(0); i < n; i++ {
-		if ver >= CodecVersion {
+		if ver >= codecV2 {
 			if len(body) < 8 {
 				return nil, nil, fmt.Errorf("network: batch frame truncated at message %d identity", i)
 			}
@@ -232,15 +249,18 @@ func splitBatchBody(body []byte, ver byte) ([][]byte, []uint64, error) {
 // trusted).  The returned frame's body is freshly allocated and safe
 // to retain.
 func readFrame(r io.Reader) (frame, error) {
-	var hdr [frameHeaderLen + traceCtxLen]byte
+	var hdr [frameHeaderLen + traceCtxLenV3]byte
 	if _, err := io.ReadFull(r, hdr[:1]); err != nil {
 		return frame{}, err
 	}
-	if hdr[0] != CodecVersion && hdr[0] != codecV1 {
+	if hdr[0] != CodecVersion && hdr[0] != codecV2 && hdr[0] != codecV1 {
 		return frame{}, &CodecVersionError{Got: hdr[0]}
 	}
 	hdrLen := frameHeaderLen
-	if hdr[0] == CodecVersion {
+	switch hdr[0] {
+	case CodecVersion:
+		hdrLen += traceCtxLenV3
+	case codecV2:
 		hdrLen += traceCtxLen
 	}
 	if _, err := io.ReadFull(r, hdr[1:hdrLen]); err != nil {
@@ -260,12 +280,15 @@ func readFrame(r io.Reader) (frame, error) {
 		from: clock.SiteID(binary.BigEndian.Uint64(hdr[14:22])),
 		to:   clock.SiteID(binary.BigEndian.Uint64(hdr[22:30])),
 	}
-	if f.ver == CodecVersion {
+	if f.ver >= codecV2 {
 		f.tc = TraceContext{
 			Origin: clock.SiteID(binary.BigEndian.Uint64(hdr[30:38])),
 			MSet:   binary.BigEndian.Uint64(hdr[38:46]),
 			Stamp:  binary.BigEndian.Uint64(hdr[46:54]),
 		}
+	}
+	if f.ver == CodecVersion {
+		f.tc.Shard = int(binary.BigEndian.Uint16(hdr[54:56]))
 	}
 	bodyLen := int(length) - (hdrLen - 5)
 	if bodyLen > 0 {

@@ -79,17 +79,23 @@ func checkUniqueSeqs(t *testing.T, e *Engine, id clock.SiteID) {
 		t.Fatalf("CrashSite(%v): %v", id, err)
 	}
 	err := e.Cluster().RestartSite(id, func(_ *replica.Site, records []et.MSet) error {
-		bySeq := make(map[uint64]et.ID, len(records))
+		type shardSeq struct {
+			shard int
+			seq   uint64
+		}
+		bySeq := make(map[shardSeq]et.ID, len(records))
 		for _, m := range records {
 			if m.Seq == floorSeq {
 				continue
 			}
-			if prev, ok := bySeq[m.Seq]; ok && prev != m.ET {
-				return fmt.Errorf("site %v applied two ETs at seq %d: %v and %v", id, m.Seq, prev, m.ET)
+			key := shardSeq{m.Shard, m.Seq}
+			if prev, ok := bySeq[key]; ok && prev != m.ET {
+				return fmt.Errorf("site %v applied two ETs at shard %d seq %d: %v and %v",
+					id, m.Shard, m.Seq, prev, m.ET)
 			}
-			bySeq[m.Seq] = m.ET
+			bySeq[key] = m.ET
 		}
-		recoverSiteState(e.states[id], records)
+		recoverSiteStates(e.states[id], records)
 		return nil
 	})
 	if err != nil {

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/coherency"
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/et"
@@ -90,6 +91,11 @@ var ErrNotUpdate = errors.New("ordup: ET contains no update operation")
 // sitting in the same window.
 const floorSeq = ^uint64(0)
 
+// siteState is one (site, ordering shard) pair's delivery state.  Each
+// shard is an independent ordering domain: its own sequence cursor,
+// hold-back window, floors and Lamport evidence.  A site hosts one
+// siteState per shard, and nothing in one shard's state ever blocks
+// (or observes) another's.
 type siteState struct {
 	mu     sync.Mutex
 	submit sync.Mutex // serializes order acquisition + broadcast per origin
@@ -109,11 +115,13 @@ type siteState struct {
 type Engine struct {
 	cfg    Config
 	c      *core.Cluster
-	states map[clock.SiteID]*siteState
+	states map[clock.SiteID][]*siteState    // per (site, shard) ordering state
 	tos    map[clock.SiteID]*tsdc.Scheduler // per-site TO schedulers (nil under 2PL)
 
-	mu          sync.Mutex
-	outstanding map[et.ID]map[clock.SiteID]bool // ET -> sites that have not yet applied it
+	mu sync.Mutex
+	// outstanding maps an update ET to, per site, how many of its MSet
+	// parts (one per involved shard) that site has not yet applied.
+	outstanding map[et.ID]map[clock.SiteID]int
 
 	applies atomic.Uint64 // MSets applied anywhere (stall detection)
 
@@ -138,33 +146,37 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:         cfg,
 		c:           c,
-		states:      make(map[clock.SiteID]*siteState),
+		states:      make(map[clock.SiteID][]*siteState),
 		tos:         make(map[clock.SiteID]*tsdc.Scheduler),
-		outstanding: make(map[et.ID]map[clock.SiteID]bool),
+		outstanding: make(map[et.ID]map[clock.SiteID]int),
 		snaps:       make(map[uint64][]byte),
 		hbDone:      make(chan struct{}),
 	}
 	for _, id := range c.SiteIDs() {
-		e.states[id] = &siteState{
-			next:      1,
-			arrived:   make(map[uint64]bool),
-			floors:    make(map[clock.SiteID]uint64),
-			lastHeard: make(map[clock.SiteID]clock.Timestamp),
-			pending:   make(map[et.ID]clock.Timestamp),
+		sts := make([]*siteState, c.Shards())
+		for sh := range sts {
+			sts[sh] = &siteState{
+				next:      1,
+				arrived:   make(map[uint64]bool),
+				floors:    make(map[clock.SiteID]uint64),
+				lastHeard: make(map[clock.SiteID]clock.Timestamp),
+				pending:   make(map[et.ID]clock.Timestamp),
+			}
 		}
+		e.states[id] = sts
 		if cfg.Scheduler == TimestampOrdering {
 			e.tos[id] = tsdc.New()
 		}
 	}
 	c.Setup(func(s *replica.Site) replica.ApplyFunc {
-		st := e.states[s.ID]
+		sts := e.states[s.ID]
 		// Cold start over a surviving WAL (a process killed without
 		// warning): recompute the ordering state exactly as RestartSite
 		// does within one process lifetime.
 		if recs := c.RecoveredRecords(s.ID); len(recs) > 0 {
-			recoverSiteState(st, recs)
+			recoverSiteStates(sts, recs)
 		}
-		return func(m et.MSet) error { return e.apply(s, st, m) }
+		return func(m et.MSet) error { return e.apply(s, stateAt(sts, m.Shard), m) }
 	})
 	e.registerSnapshotServers()
 	if cfg.Ordering == Lamport {
@@ -210,21 +222,58 @@ func (e *Engine) Update(origin clock.SiteID, ops []op.Op) (et.ID, error) {
 
 // UpdateBurst executes a burst of update ETs at origin as one propagation
 // batch: in Sequencer mode the whole burst reserves a consecutive
-// sequence range in a single order-server round trip, and all MSets leave
-// as one batch per destination (one journal fsync per link on durable
-// clusters).  Each burst entry is an independent ET; the paper's framing
-// holds per ET, only the propagation is coalesced.
+// sequence range per involved shard in one order-server round trip each,
+// and all MSets leave as one batch per destination (one journal fsync
+// per link on durable clusters).  Each burst entry is an independent ET;
+// the paper's framing holds per ET, only the propagation is coalesced.
+//
+// Sharding: each ET's update ops are split by their objects' owning
+// shards.  The common case — every object in one shard — produces one
+// MSet and pays zero cross-shard coordination.  A cross-shard ET
+// produces one MSet per involved shard, all sharing the ET identity,
+// and commits atomically over those ordering domains via 2PC
+// (coherency.TwoPhase): the per-shard sequence reservations prepare,
+// the origin's durable cross-shard record decides, and the per-shard
+// broadcasts commit.  A reservation that fails mid-prepare simply
+// abandons the runs reserved so far — they become permitted gaps, the
+// outcome the per-shard gap contract already covers.
 func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, error) {
 	if len(bursts) == 0 {
 		return nil, nil
 	}
-	allUpdates := make([][]op.Op, len(bursts))
+	shards := e.c.Shards()
+	parts := make([][][]op.Op, len(bursts)) // [burst][shard] = ops (nil when uninvolved)
+	counts := make([]uint64, shards)        // MSets per shard across the burst
+	crossShard := false
 	for i, ops := range bursts {
 		updates := updateOps(ops)
 		if len(updates) == 0 {
 			return nil, ErrNotUpdate
 		}
-		allUpdates[i] = updates
+		p := make([][]op.Op, shards)
+		involved := 0
+		for _, o := range updates {
+			sh := e.c.ShardOfObject(o.Object)
+			if p[sh] == nil {
+				involved++
+			}
+			p[sh] = append(p[sh], o)
+		}
+		if involved > 1 {
+			crossShard = true
+		}
+		for sh := range p {
+			if p[sh] != nil {
+				counts[sh]++
+			}
+		}
+		parts[i] = p
+	}
+	shardList := make([]int, 0, shards)
+	for sh := 0; sh < shards; sh++ {
+		if counts[sh] > 0 {
+			shardList = append(shardList, sh)
+		}
 	}
 	s := e.c.Site(origin)
 	if s == nil {
@@ -232,57 +281,121 @@ func (e *Engine) UpdateBurst(origin clock.SiteID, bursts [][]op.Op) ([]et.ID, er
 	}
 	// In Lamport mode the stability rule depends on per-link FIFO implying
 	// per-origin timestamp order, so timestamp assignment and enqueueing
-	// must be atomic per origin.  With the replicated sequencer the same
-	// holds for reservation and enqueueing: a data MSet's SeqFloor (its
-	// own Seq) promises that nothing below it is still unsent from this
-	// origin, which is only true if runs leave in reservation order.
-	// (The legacy sequencer advertises no floors and needs no pinning.)
-	st := e.states[origin]
+	// must be atomic per origin and shard.  With the replicated sequencer
+	// the same holds for reservation and enqueueing: a data MSet's
+	// SeqFloor (its own Seq) promises that nothing below it is still
+	// unsent from this origin in that shard, which is only true if runs
+	// leave in reservation order.  Cross-shard bursts always pin their
+	// involved shards: the durable decision record and its broadcast must
+	// be serialized per origin.  Ascending shard order keeps concurrent
+	// cross-shard bursts deadlock-free.  (The legacy sequencer with
+	// single-shard ETs advertises no floors and needs no pinning.)
+	sts := e.states[origin]
 	replicated := e.cfg.Ordering == Sequencer && e.c.SeqReplicated()
-	if e.cfg.Ordering == Lamport || replicated {
-		st.submit.Lock()
-		defer st.submit.Unlock()
+	if e.cfg.Ordering == Lamport || replicated || crossShard {
+		for _, sh := range shardList {
+			sts[sh].submit.Lock()
+		}
+		defer func() {
+			for _, sh := range shardList {
+				sts[sh].submit.Unlock()
+			}
+		}()
 	}
-	var seq0 uint64
+	seq0 := make([]uint64, shards)
 	var seqT0 time.Time
 	if e.cfg.Ordering == Sequencer {
-		var err error
 		seqT0 = time.Now()
-		seq0, err = e.c.NextSeqN(origin, uint64(len(bursts))) //esrvet:ignore A8 reserve-then-broadcast must be atomic per origin (SeqFloor promise); submit is that gate
-		if err != nil {
-			return nil, err
+	}
+	reserve := func(sh int) error {
+		if e.cfg.Ordering != Sequencer {
+			return nil
 		}
+		n, err := e.c.NextSeqNShard(origin, sh, counts[sh]) //esrvet:ignore A8 reserve-then-broadcast must be atomic per origin and shard (SeqFloor promise); submit is that gate
+		if err != nil {
+			return err
+		}
+		seq0[sh] = n
+		return nil
 	}
 	ids := make([]et.ID, len(bursts))
-	msets := make([]et.MSet, len(bursts))
-	for i, ops := range bursts {
-		id := e.c.NextET(origin)
-		ids[i] = id
-		var seq, floor uint64
-		if e.cfg.Ordering == Sequencer {
-			seq = seq0 + uint64(i)
-			if replicated {
-				floor = seq
+	var msets []et.MSet
+	byShard := make([][]et.MSet, shards)
+	// stamp assigns ET identities, timestamps and (in Sequencer mode)
+	// the reserved sequence numbers in burst order per shard, and
+	// registers each ET as outstanding with one part per involved shard.
+	stamp := func() {
+		nextSeq := make([]uint64, shards)
+		copy(nextSeq, seq0)
+		for i := range bursts {
+			id := e.c.NextET(origin)
+			ids[i] = id
+			ts := s.Clock.Tick()
+			nparts := 0
+			for sh := 0; sh < shards; sh++ {
+				if parts[i][sh] != nil {
+					nparts++
+				}
+			}
+			pendingAt := make(map[clock.SiteID]int, len(e.states))
+			for sid := range e.states {
+				pendingAt[sid] = nparts
+			}
+			e.mu.Lock()
+			e.outstanding[id] = pendingAt
+			e.mu.Unlock()
+			for sh := 0; sh < shards; sh++ {
+				if parts[i][sh] == nil {
+					continue
+				}
+				var seq, floor uint64
+				if e.cfg.Ordering == Sequencer {
+					seq = nextSeq[sh]
+					nextSeq[sh]++
+					if replicated {
+						floor = seq
+					}
+				}
+				m := et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts,
+					Ops: parts[i][sh], SeqFloor: floor, Shard: sh}
+				msets = append(msets, m)
+				byShard[sh] = append(byShard[sh], m)
+			}
+			e.c.RecordUpdate(id, bursts[i])
+		}
+	}
+	if crossShard {
+		tp := coherency.TwoPhase[int]{
+			Prepare: reserve,
+			Decide: func() error {
+				stamp()
+				return e.c.BeginCrossShard(origin, msets)
+			},
+			Commit: func(sh int) error { return e.c.BroadcastAll(byShard[sh]) },
+		}
+		if err := tp.Run(shardList); err != nil {
+			return nil, err
+		}
+		if err := e.c.EndCrossShard(origin); err != nil { //esrvet:ignore A8 the resolution marker must land while the per-shard submit gates still pin the reserved runs
+			return nil, err
+		}
+	} else {
+		for _, sh := range shardList {
+			if err := reserve(sh); err != nil {
+				return nil, err
 			}
 		}
-		ts := s.Clock.Tick()
-		pendingAt := make(map[clock.SiteID]bool, len(e.states))
-		for sid := range e.states {
-			pendingAt[sid] = true
+		stamp()
+		if err := e.c.BroadcastAll(msets); err != nil {
+			return nil, err
 		}
-		e.mu.Lock()
-		e.outstanding[id] = pendingAt
-		e.mu.Unlock()
-		msets[i] = et.MSet{ET: id, Origin: origin, Seq: seq, TS: ts, Ops: allUpdates[i], SeqFloor: floor}
-		e.c.RecordUpdate(id, ops)
-	}
-	if err := e.c.BroadcastAll(msets); err != nil {
-		return nil, err
 	}
 	if e.cfg.Ordering == Sequencer {
 		// The ordering leg: reserve round trip through stamping, one span
 		// per MSet so every timeline shows its sequencing cost.
-		e.c.RecordSequenceSpan(origin, msets, seqT0)
+		for _, sh := range shardList {
+			e.c.RecordSequenceSpan(origin, byShard[sh], seqT0)
+		}
 	}
 	return ids, nil
 }
@@ -331,33 +444,48 @@ func (e *Engine) CrashSite(id clock.SiteID) error { return e.c.CrashSite(id) }
 // anything that survived in memory.
 func (e *Engine) RestartSite(id clock.SiteID) error {
 	return e.c.RestartSite(id, func(_ *replica.Site, records []et.MSet) error {
-		recoverSiteState(e.states[id], records)
+		recoverSiteStates(e.states[id], records)
 		return nil
 	})
 }
 
-// recoverSiteState recomputes a site's ordering state from its WAL
-// records: the next expected sequence number is one past the highest
-// applied (sequencer-mode heartbeats, which carry the floorSeq sentinel
-// and are never applied, are excluded), and the last-heard timestamps
-// restart from what was durably heard.  Floors are deliberately reset:
-// they are re-learnable evidence, and until fresh floors arrive a site
-// skips nothing.
-func recoverSiteState(st *siteState, records []et.MSet) {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.next = 1
-	st.pending = make(map[et.ID]clock.Timestamp)
-	st.lastHeard = make(map[clock.SiteID]clock.Timestamp)
-	st.arrived = make(map[uint64]bool)
-	st.floors = make(map[clock.SiteID]uint64)
+// stateAt routes an MSet's shard index to its ordering state, clamping
+// out-of-range indices to shard 0 (matching the chassis' defensive
+// routing — a well-formed cluster never produces one).
+func stateAt(sts []*siteState, shard int) *siteState {
+	if shard < 0 || shard >= len(sts) {
+		return sts[0]
+	}
+	return sts[shard]
+}
+
+// recoverSiteStates recomputes a site's per-shard ordering state from
+// its WAL records: each shard's next expected sequence number is one
+// past the highest applied in that shard (sequencer-mode heartbeats,
+// which carry the floorSeq sentinel and are never applied, are
+// excluded), and the last-heard timestamps restart from what was
+// durably heard.  Floors are deliberately reset: they are re-learnable
+// evidence, and until fresh floors arrive a site skips nothing.
+func recoverSiteStates(sts []*siteState, records []et.MSet) {
+	for _, st := range sts {
+		st.mu.Lock()
+		st.next = 1
+		st.pending = make(map[et.ID]clock.Timestamp)
+		st.lastHeard = make(map[clock.SiteID]clock.Timestamp)
+		st.arrived = make(map[uint64]bool)
+		st.floors = make(map[clock.SiteID]uint64)
+		st.mu.Unlock()
+	}
 	for _, m := range records {
+		st := stateAt(sts, m.Shard)
+		st.mu.Lock()
 		if m.Seq != floorSeq && m.Seq >= st.next {
 			st.next = m.Seq + 1
 		}
 		if st.lastHeard[m.Origin].Less(m.TS) {
 			st.lastHeard[m.Origin] = m.TS
 		}
+		st.mu.Unlock()
 	}
 }
 
@@ -552,6 +680,11 @@ func (e *Engine) noteApplied(id et.ID, site clock.SiteID) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if pending, ok := e.outstanding[id]; ok {
+		if n := pending[site]; n > 1 {
+			// A cross-shard ET: one part down, its siblings still queued.
+			pending[site] = n - 1
+			return
+		}
 		delete(pending, site)
 		if len(pending) == 0 {
 			delete(e.outstanding, id)
@@ -559,13 +692,14 @@ func (e *Engine) noteApplied(id et.ID, site clock.SiteID) {
 	}
 }
 
-// AppliedAt reports whether the update ET has been applied at the given
-// site.  Unknown IDs report true.
+// AppliedAt reports whether the update ET (every part of it, for
+// cross-shard ETs) has been applied at the given site.  Unknown IDs
+// report true.
 func (e *Engine) AppliedAt(id et.ID, site clock.SiteID) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	pending, ok := e.outstanding[id]
-	return !ok || !pending[site]
+	return !ok || pending[site] == 0
 }
 
 // heartbeatLoop broadcasts empty MSets from every site while updates are
@@ -585,20 +719,21 @@ func (e *Engine) heartbeatLoop() {
 			continue
 		}
 		for _, id := range e.c.SiteIDs() {
-			// Self-clock to link speed: skip this round if earlier
-			// heartbeats are still queued on a slow link, so heartbeat
-			// traffic can never outrun delivery.
-			if e.c.OutBacklog(id) > 2 {
-				continue
-			}
 			s := e.c.Site(id)
-			st := e.states[id]
-			st.submit.Lock()
-			hb := et.MSet{ET: e.c.NextET(id), Origin: id, TS: s.Clock.Tick()}
-			// Best effort: a partitioned heartbeat just retries through
-			// the stable queue like any other MSet.
-			_ = e.c.Broadcast(hb)
-			st.submit.Unlock()
+			for sh, st := range e.states[id] {
+				// Self-clock to link speed: skip this shard's round if
+				// earlier heartbeats are still queued on a slow link, so
+				// heartbeat traffic can never outrun delivery.
+				if e.c.OutBacklogShard(id, sh) > 2 {
+					continue
+				}
+				st.submit.Lock()
+				hb := et.MSet{ET: e.c.NextET(id), Origin: id, TS: s.Clock.Tick(), Shard: sh}
+				// Best effort: a partitioned heartbeat just retries through
+				// the stable queue like any other MSet.
+				_ = e.c.Broadcast(hb)
+				st.submit.Unlock()
+			}
 		}
 	}
 }
@@ -637,22 +772,26 @@ func (e *Engine) seqHeartbeatLoop() {
 			continue
 		}
 		for _, id := range e.c.SiteIDs() {
-			if e.c.SiteCrashed(id) || e.c.OutBacklog(id) > 2 {
+			if e.c.SiteCrashed(id) {
 				continue
 			}
 			s := e.c.Site(id)
 			if s == nil {
 				continue
 			}
-			st := e.states[id]
-			st.submit.Lock()
-			wm, err := e.c.SeqCommittedWatermark(id) //esrvet:ignore A8 watermark must be read with submit held so every reservation below it is already enqueued
-			if err == nil {
-				hb := et.MSet{ET: e.c.NextET(id), Origin: id, Seq: floorSeq,
-					TS: s.Clock.Tick(), SeqFloor: wm + 1}
-				_ = e.c.Broadcast(hb)
+			for sh, st := range e.states[id] {
+				if e.c.OutBacklogShard(id, sh) > 2 {
+					continue
+				}
+				st.submit.Lock()
+				wm, err := e.c.SeqCommittedWatermarkShard(id, sh) //esrvet:ignore A8 watermark must be read with submit held so every reservation below it is already enqueued
+				if err == nil {
+					hb := et.MSet{ET: e.c.NextET(id), Origin: id, Seq: floorSeq,
+						TS: s.Clock.Tick(), SeqFloor: wm + 1, Shard: sh}
+					_ = e.c.Broadcast(hb)
+				}
+				st.submit.Unlock()
 			}
-			st.submit.Unlock()
 		}
 		// Give the floors a chance to propagate before the next round.
 		lastProgress = time.Now()

@@ -1,0 +1,175 @@
+package ordup
+
+// Crash-fault tests for sharded ordering domains: cross-shard ET
+// atomicity when the origin dies inside the 2PC window (decision
+// durable, nothing broadcast), and the per-shard sequence contract —
+// reserved-but-orphaned runs become permitted gaps in their own domain
+// only, and no (shard, seq) slot is ever filled twice.  All run with
+// -race in CI.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/core"
+	"esr/internal/network"
+	"esr/internal/op"
+)
+
+// newShardedSeqRepEngine builds a durable Sequencer-mode engine whose
+// keyspace is carved into the given number of ordering domains, each
+// with its own replicated order ensemble co-hosted with every site.
+func newShardedSeqRepEngine(t *testing.T, sites, shards int) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Core: core.Config{
+			Sites:       sites,
+			Net:         network.Config{Seed: 1},
+			Dir:         t.TempDir(),
+			SeqReplicas: sites,
+			NumShards:   shards,
+		},
+		Ordering:  Sequencer,
+		Heartbeat: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// twoShardObjects returns one object from each of two distinct
+// ordering domains.
+func twoShardObjects(t *testing.T, e *Engine) (string, string) {
+	t.Helper()
+	c := e.Cluster()
+	first := ""
+	for i := 0; i < 256; i++ {
+		obj := fmt.Sprintf("x-%d", i)
+		if first == "" {
+			first = obj
+			continue
+		}
+		if c.ShardOfObject(obj) != c.ShardOfObject(first) {
+			return first, obj
+		}
+	}
+	t.Fatalf("no two objects hash to distinct shards (shards=%d)", c.Shards())
+	return "", ""
+}
+
+// TestCrossShardCrashAtomicity kills the origin inside the atomic
+// commit's in-doubt window: after the cross-shard decision record is
+// durable, before any shard's MSets broadcast.  While the origin is
+// down, no site may show either half of the ET; after restart, the
+// decided commit must surface in BOTH shards at every site — the
+// journal resolves in-doubt to commit, never to a partial application.
+func TestCrossShardCrashAtomicity(t *testing.T) {
+	e := newShardedSeqRepEngine(t, 3, 4)
+	objA, objB := twoShardObjects(t, e)
+	for s := clock.SiteID(1); s <= 3; s++ {
+		if _, err := e.Update(s, []op.Op{op.IncOp(objA, 1)}); err != nil {
+			t.Fatalf("seed %s from %v: %v", objA, s, err)
+		}
+		if _, err := e.Update(s, []op.Op{op.IncOp(objB, 1)}); err != nil {
+			t.Fatalf("seed %s from %v: %v", objB, s, err)
+		}
+	}
+	quiesce(t, e)
+
+	var once sync.Once
+	core.TestHookXShardCrash = func(origin clock.SiteID) {
+		if origin != 2 {
+			return
+		}
+		once.Do(func() {
+			if err := e.CrashSite(2); err != nil {
+				t.Errorf("CrashSite inside commit window: %v", err)
+			}
+		})
+	}
+	defer func() { core.TestHookXShardCrash = nil }()
+
+	// The cross-shard ET: one op per domain, committed atomically.  The
+	// origin dies between its durable decision record and the first
+	// broadcast, so the submit must fail — the process cannot finish
+	// what the crash interrupted.
+	if _, err := e.UpdateBurst(2, [][]op.Op{{op.IncOp(objA, 1), op.IncOp(objB, 1)}}); err == nil {
+		t.Fatalf("UpdateBurst from the crashed origin unexpectedly succeeded")
+	}
+	core.TestHookXShardCrash = nil
+
+	// In-doubt window: nothing broadcast, so the survivors must still
+	// hold the seed values in both shards — no partial application.
+	time.Sleep(20 * time.Millisecond)
+	for _, id := range []clock.SiteID{1, 3} {
+		for _, obj := range []string{objA, objB} {
+			if got := e.Cluster().Site(id).Store.Get(obj); !got.Equal(op.NumValue(3)) {
+				t.Errorf("site %v saw a partial cross-shard ET: %s = %v", id, obj, got)
+			}
+		}
+	}
+
+	// Restart: the decision record re-broadcasts every part, and both
+	// shards converge on the committed value everywhere.
+	if err := e.RestartSite(2); err != nil {
+		t.Fatalf("RestartSite: %v", err)
+	}
+	quiesce(t, e)
+	want := op.NumValue(4)
+	waitConverged(t, e, e.Cluster().SiteIDs(), objA, want)
+	waitConverged(t, e, e.Cluster().SiteIDs(), objB, want)
+	if ok, obj := e.Cluster().Converged(); !ok {
+		t.Errorf("stores diverge on %q", obj)
+	}
+	for _, id := range e.Cluster().SiteIDs() {
+		checkUniqueSeqs(t, e, id)
+	}
+	quiesce(t, e)
+}
+
+// TestShardGapIsolation covers the per-shard sequence contract: a
+// reserved-but-never-broadcast run stalls only its own ordering domain.
+// Updates in the other domain keep applying while the orphaned numbers
+// are still open, the stall-triggered watermark floors eventually
+// retire them without a restart, and no (shard, seq) slot is ever
+// occupied by two ETs.
+func TestShardGapIsolation(t *testing.T) {
+	e := newShardedSeqRepEngine(t, 3, 4)
+	objA, objB := twoShardObjects(t, e)
+	shA := e.Cluster().ShardOfObject(objA)
+	if _, err := e.Update(1, []op.Op{op.IncOp(objA, 1)}); err != nil {
+		t.Fatalf("Update %s: %v", objA, err)
+	}
+	if _, err := e.Update(1, []op.Op{op.IncOp(objB, 1)}); err != nil {
+		t.Fatalf("Update %s: %v", objB, err)
+	}
+	quiesce(t, e)
+	// Orphan a run in objA's domain only: reserved straight from the
+	// cluster, never attached to an MSet.
+	if _, err := e.Cluster().NextSeqNShard(2, shA, 3); err != nil {
+		t.Fatalf("NextSeqNShard: %v", err)
+	}
+	// objA's next update lands past the orphaned numbers and must wait
+	// for floor evidence; objB's domain has no gap and must not wait.
+	if _, err := e.Update(3, []op.Op{op.IncOp(objA, 1)}); err != nil {
+		t.Fatalf("Update %s: %v", objA, err)
+	}
+	if _, err := e.Update(3, []op.Op{op.IncOp(objB, 1)}); err != nil {
+		t.Fatalf("Update %s: %v", objB, err)
+	}
+	waitConverged(t, e, e.Cluster().SiteIDs(), objB, op.NumValue(2))
+	waitConverged(t, e, e.Cluster().SiteIDs(), objA, op.NumValue(2))
+	quiesce(t, e)
+	if ok, obj := e.Cluster().Converged(); !ok {
+		t.Errorf("stores diverge on %q", obj)
+	}
+	for _, id := range e.Cluster().SiteIDs() {
+		checkUniqueSeqs(t, e, id)
+	}
+	quiesce(t, e)
+}

@@ -66,13 +66,22 @@ func (e *Engine) toTS(m et.MSet) clock.Timestamp {
 }
 
 // highWater returns the site's current query timestamp: everything
-// applied at the site is at or below it.
+// applied at the site is at or below it.  Under sequencer ordering the
+// minimum cursor across shards is used — with several independent
+// sequence domains that is the only bound every applied write respects;
+// reads of objects in a further-ahead shard may charge ε a little
+// conservatively, never unsafely.
 func (e *Engine) highWater(site clock.SiteID) clock.Timestamp {
 	if e.cfg.Ordering == Sequencer {
-		st := e.states[site]
-		st.mu.Lock()
-		defer st.mu.Unlock()
-		return clock.Timestamp{Time: st.next - 1}
+		min := ^uint64(0)
+		for _, st := range e.states[site] {
+			st.mu.Lock()
+			if st.next-1 < min {
+				min = st.next - 1
+			}
+			st.mu.Unlock()
+		}
+		return clock.Timestamp{Time: min}
 	}
 	return e.c.Site(site).Clock.Now()
 }

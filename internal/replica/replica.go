@@ -100,7 +100,12 @@ type Site struct {
 	// message for this site.  Set before Start.
 	Lag *metrics.Lag
 
-	in    queue.Queue
+	// ins holds one inbound stable queue per ordering shard (a single
+	// entry on unsharded sites).  Each shard gets its own processor
+	// goroutine, so one shard's hold-back or fsync never stalls another's
+	// apply cursor; messages route by the shard folded into their message
+	// identity (et.MsgShard).
+	ins   []queue.Queue
 	apply ApplyFunc
 
 	workers int // apply worker pool size; set before Start
@@ -118,21 +123,35 @@ type Site struct {
 	ackLen    int                // live entries in the ring
 	retention int                // how many acked IDs stay in seen
 
-	kick chan struct{}
-	done chan struct{}
-	wg   sync.WaitGroup
+	kicks []chan struct{} // one processor waker per shard
+	done  chan struct{}
+	wg    sync.WaitGroup
 }
 
-// NewSite assembles a site around an inbound stable queue and a lock
-// table.  Call SetApply and Start before delivering MSets.
+// NewSite assembles a site around a single inbound stable queue and a
+// lock table — the unsharded configuration.  Call SetApply and Start
+// before delivering MSets.
 func NewSite(id clock.SiteID, in queue.Queue, table lock.Table) *Site {
+	return NewShardedSite(id, []queue.Queue{in}, table)
+}
+
+// NewShardedSite assembles a site over one inbound stable queue per
+// ordering shard.  Incoming MSets route to their shard's queue by the
+// shard bits of their message identity, and Start launches one
+// processor per shard so the shards' apply cursors advance
+// independently.  The store, lock manager, clock and dedup indexes stay
+// site-wide: shards partition ordering, not state ownership.
+func NewShardedSite(id clock.SiteID, ins []queue.Queue, table lock.Table) *Site {
+	if len(ins) == 0 {
+		panic("replica: site needs at least one inbound queue")
+	}
 	s := &Site{
 		ID:        id,
 		Store:     storage.NewStore(),
 		MV:        storage.NewMVStore(),
 		Locks:     lock.NewManager(table),
 		Clock:     clock.NewLamport(id),
-		in:        in,
+		ins:       ins,
 		pending:   make(map[string]int),
 		epoch:     make(map[string]uint64),
 		seen:      make(map[uint64]bool),
@@ -140,11 +159,26 @@ func NewSite(id clock.SiteID, in queue.Queue, table lock.Table) *Site {
 		heldOnce:  make(map[uint64]bool),
 		retention: defaultSeenRetention,
 		workers:   runtime.GOMAXPROCS(0),
-		kick:      make(chan struct{}, 1),
+		kicks:     make([]chan struct{}, len(ins)),
 		done:      make(chan struct{}),
+	}
+	for i := range s.kicks {
+		s.kicks[i] = make(chan struct{}, 1)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
+}
+
+// shardOf routes a message identity to one of the site's inbound
+// queues.  Identities always carry a shard below the cluster's shard
+// count, but a defensive clamp keeps a stray identity from panicking
+// the receive path.
+func (s *Site) shardOf(msgID uint64) int {
+	sh := et.MsgShard(msgID)
+	if sh >= len(s.ins) {
+		return 0
+	}
+	return sh
 }
 
 // SetApplyWorkers sizes the apply worker pool the scheduling pass may
@@ -184,13 +218,15 @@ func (s *Site) SetSeenRetention(n int) {
 // before Start.
 func (s *Site) SetApply(f ApplyFunc) { s.apply = f }
 
-// Start launches the MSet processor.
+// Start launches one MSet processor per shard queue.
 func (s *Site) Start() {
 	if s.apply == nil {
 		panic("replica: Start before SetApply")
 	}
-	s.wg.Add(1)
-	go s.run()
+	for sh := range s.ins {
+		s.wg.Add(1)
+		go s.run(sh)
+	}
 }
 
 // Stop shuts the processor down and waits for it.
@@ -212,13 +248,14 @@ func (s *Site) Receive(msg queue.Message) error {
 	if err != nil {
 		return fmt.Errorf("site %v: reject malformed mset: %w", s.ID, err)
 	}
-	if err := s.in.Enqueue(msg); err != nil {
+	sh := s.shardOf(msg.ID)
+	if err := s.ins[sh].Enqueue(msg); err != nil {
 		return err
 	}
 	s.mu.Lock()
-	s.indexLocked(msg, m)
+	s.indexLocked(msg, m, sh)
 	s.mu.Unlock()
-	s.Kick()
+	s.kickShard(sh)
 	return nil
 }
 
@@ -252,21 +289,59 @@ func (s *Site) ReceiveDecodedBatch(msgs []queue.Message, decoded []et.MSet) erro
 	if len(msgs) == 0 {
 		return nil
 	}
-	if err := s.in.EnqueueBatch(msgs); err != nil {
-		return err
+	// Partition the frame by shard so each shard queue gets one batch
+	// append (one fsync on journal-backed queues).  The overwhelmingly
+	// common case — a whole frame on one shard, or an unsharded site —
+	// appends the original slice without any regrouping.
+	first := s.shardOf(msgs[0].ID)
+	uniform := true
+	for _, msg := range msgs[1:] {
+		if s.shardOf(msg.ID) != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		if err := s.ins[first].EnqueueBatch(msgs); err != nil {
+			return err
+		}
+		s.mu.Lock()
+		for i, msg := range msgs {
+			s.indexLocked(msg, decoded[i], first)
+		}
+		s.mu.Unlock()
+		s.kickShard(first)
+		return nil
+	}
+	byShard := make([][]queue.Message, len(s.ins))
+	for _, msg := range msgs {
+		sh := s.shardOf(msg.ID)
+		byShard[sh] = append(byShard[sh], msg)
+	}
+	for sh, part := range byShard {
+		if len(part) == 0 {
+			continue
+		}
+		if err := s.ins[sh].EnqueueBatch(part); err != nil {
+			return err
+		}
 	}
 	s.mu.Lock()
 	for i, msg := range msgs {
-		s.indexLocked(msg, decoded[i])
+		s.indexLocked(msg, decoded[i], s.shardOf(msg.ID))
 	}
 	s.mu.Unlock()
-	s.Kick()
+	for sh, part := range byShard {
+		if len(part) > 0 {
+			s.kickShard(sh)
+		}
+	}
 	return nil
 }
 
 // indexLocked folds one accepted message into the site's in-memory
 // indexes.  Caller holds s.mu.
-func (s *Site) indexLocked(msg queue.Message, m et.MSet) {
+func (s *Site) indexLocked(msg queue.Message, m et.MSet, sh int) {
 	if s.seen[msg.ID] {
 		return
 	}
@@ -281,13 +356,20 @@ func (s *Site) indexLocked(msg queue.Message, m et.MSet) {
 	// clock so later local events order after it.
 	s.Clock.Observe(m.TS)
 	s.Trace.RecordMSetf(trace.Receive, int(s.ID), m.ET.String(), msg.ID,
-		"queue=%d", s.in.Len())
+		"queue=%d", s.ins[sh].Len())
 }
 
-// Kick wakes the processor.
+// Kick wakes every shard processor.
 func (s *Site) Kick() {
+	for sh := range s.kicks {
+		s.kickShard(sh)
+	}
+}
+
+// kickShard wakes one shard's processor.
+func (s *Site) kickShard(sh int) {
 	select {
-	case s.kick <- struct{}{}:
+	case s.kicks[sh] <- struct{}{}:
 	default:
 	}
 }
@@ -300,8 +382,15 @@ func (s *Site) Pending(object string) int {
 	return s.pending[object]
 }
 
-// QueueLen reports the number of unapplied MSets in the inbound queue.
-func (s *Site) QueueLen() int { return s.in.Len() }
+// QueueLen reports the number of unapplied MSets across the site's
+// inbound shard queues.
+func (s *Site) QueueLen() int {
+	n := 0
+	for _, q := range s.ins {
+		n += q.Len()
+	}
+	return n
+}
 
 // Epoch returns the count of update ETs applied at this site that touched
 // the object.  The difference between two Epoch readings bounds the
@@ -340,19 +429,19 @@ func (s *Site) WaitDrained(object string, timeout time.Duration) error {
 	return nil
 }
 
-func (s *Site) run() {
+func (s *Site) run(sh int) {
 	defer s.wg.Done()
 	ticker := time.NewTicker(500 * time.Microsecond)
 	defer ticker.Stop()
 	for {
-		progress := s.pass()
+		progress := s.pass(sh)
 		if progress {
 			continue
 		}
 		select {
 		case <-s.done:
 			return
-		case <-s.kick:
+		case <-s.kicks[sh]:
 		case <-ticker.C:
 		}
 	}
@@ -365,7 +454,7 @@ type applyItem struct {
 	objs []string // distinct objects named by any of the MSet's ops
 }
 
-// pass scans the inbound queue once and applies every eligible MSet
+// pass scans one shard's inbound queue once and applies every eligible MSet
 // through the parallel apply scheduler: the queued window is sorted into
 // the method's order (Seq, then timestamp), partitioned into conflict
 // groups — two MSets land in the same group iff they name a common
@@ -384,8 +473,9 @@ type applyItem struct {
 // per message.  A crash between apply and the batched ack only widens
 // the at-least-once redelivery window; every ApplyFunc is idempotent
 // per MSet, so re-application is safe.
-func (s *Site) pass() bool {
-	msgs, err := s.in.All()
+func (s *Site) pass(sh int) bool {
+	in := s.ins[sh]
+	msgs, err := in.All()
 	if err != nil {
 		return false
 	}
@@ -506,7 +596,7 @@ loop:
 	if len(acks) > 0 {
 		// An ack failure (e.g. queue closed during shutdown) leaves the
 		// messages queued for idempotent re-application later.
-		if err := s.in.AckBatch(acks); err == nil {
+		if err := in.AckBatch(acks); err == nil {
 			s.pruneSeen(acks)
 		}
 	}
@@ -751,26 +841,28 @@ func updateObjects(m et.MSet) []string {
 // when a site restarts over a journal-backed queue: the queue's messages
 // survived the crash, but the indexes did not.  Call before Start.
 func (s *Site) Reload() error {
-	msgs, err := s.in.All()
-	if err != nil {
-		return err
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, msg := range msgs {
-		if s.seen[msg.ID] {
-			continue
-		}
-		m, err := et.DecodeMSet(msg.Payload)
+	for _, in := range s.ins {
+		msgs, err := in.All()
 		if err != nil {
-			continue // dropped by the processor later
+			return err
 		}
-		s.seen[msg.ID] = true
-		s.decoded[msg.ID] = m
-		for _, obj := range updateObjects(m) {
-			s.pending[obj]++
+		for _, msg := range msgs {
+			if s.seen[msg.ID] {
+				continue
+			}
+			m, err := et.DecodeMSet(msg.Payload)
+			if err != nil {
+				continue // dropped by the processor later
+			}
+			s.seen[msg.ID] = true
+			s.decoded[msg.ID] = m
+			for _, obj := range updateObjects(m) {
+				s.pending[obj]++
+			}
+			s.Clock.Observe(m.TS)
 		}
-		s.Clock.Observe(m.TS)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ type Client struct {
 	net      network.Transport
 	replicas int
 	deadline time.Duration
+	shard    int // selects the ensemble's virtual-site slice
 
 	hint atomic.Uint64 // leader replica ID (0 = unknown)
 
@@ -38,10 +39,16 @@ type Client struct {
 	Retries *metrics.Counter
 }
 
-// NewClient builds a client for an ensemble of the given size.
-// deadline bounds each Reserve end to end; zero means 8s (long enough
-// to ride out an election on either transport).
+// NewClient builds a client for shard 0's ensemble of the given size —
+// the pre-sharding surface.  deadline bounds each Reserve end to end;
+// zero means 8s (long enough to ride out an election on either
+// transport).
 func NewClient(t network.Transport, replicas int, deadline time.Duration) *Client {
+	return NewClientShard(t, replicas, deadline, 0)
+}
+
+// NewClientShard builds a client for one ordering shard's ensemble.
+func NewClientShard(t network.Transport, replicas int, deadline time.Duration, shard int) *Client {
 	if deadline <= 0 {
 		deadline = 8 * time.Second
 	}
@@ -49,7 +56,8 @@ func NewClient(t network.Transport, replicas int, deadline time.Duration) *Clien
 		net:      t,
 		replicas: replicas,
 		deadline: deadline,
-		rng:      rand.New(rand.NewSource(20260808)),
+		shard:    shard,
+		rng:      rand.New(rand.NewSource(20260808 + int64(shard))),
 	}
 }
 
@@ -78,7 +86,7 @@ func (c *Client) Reserve(from clock.SiteID, n uint64) (uint64, error) {
 			next = next%clock.SiteID(c.replicas) + 1
 		}
 		sleep := true
-		resp, err := c.net.Call(from, ReplicaSite(target), message{
+		resp, err := c.net.Call(from, ReplicaSiteAt(c.shard, target), message{
 			Kind: kindReserve, From: uint64(from), Count: n,
 		}.encode())
 		switch {
@@ -148,7 +156,7 @@ func (c *Client) CommittedWatermark(from clock.SiteID) (uint64, error) {
 			next = next%clock.SiteID(c.replicas) + 1
 		}
 		sleep := true
-		resp, err := c.net.Call(from, ReplicaSite(target), message{
+		resp, err := c.net.Call(from, ReplicaSiteAt(c.shard, target), message{
 			Kind: kindWmQuery, From: uint64(from),
 		}.encode())
 		switch {

@@ -51,9 +51,22 @@ import (
 // esrnode's control sites (2000+).
 const Base clock.SiteID = 1100
 
-// ReplicaSite maps a replica's cluster-site ID to its virtual transport
-// site.
-func ReplicaSite(id clock.SiteID) clock.SiteID { return Base + id }
+// ShardStride is the width of one ordering shard's slice of the virtual
+// site space: shard s's ensemble answers on
+// [Base+s*ShardStride, Base+(s+1)*ShardStride).  With et.MaxShards
+// ensembles the range tops out at Base+16*24-1 = 1483, clear of the
+// snapshot servers at 1500+.
+const ShardStride = 24
+
+// ReplicaSiteAt maps (shard, replica cluster-site ID) to the replica's
+// virtual transport site.
+func ReplicaSiteAt(shard int, id clock.SiteID) clock.SiteID {
+	return Base + clock.SiteID(shard)*ShardStride + id
+}
+
+// ReplicaSite maps a shard-0 replica's cluster-site ID to its virtual
+// transport site — the pre-sharding surface.
+func ReplicaSite(id clock.SiteID) clock.SiteID { return ReplicaSiteAt(0, id) }
 
 // Metrics are the ensemble's instruments.  Nil fields discard.
 type Metrics struct {
@@ -82,6 +95,11 @@ type Metrics struct {
 type Config struct {
 	// ID is the replica's cluster-site ID, in 1..Replicas.
 	ID clock.SiteID
+	// Shard is the ordering shard whose sequence space this ensemble
+	// owns.  It selects the replica's virtual-site slice
+	// (ReplicaSiteAt) and its state-file name; shard 0 is the
+	// pre-sharding layout.
+	Shard int
 	// Replicas is the ensemble size (typically 3; majorities need an odd
 	// size to be useful).
 	Replicas int
@@ -177,7 +195,7 @@ func New(cfg Config) (*Replica, error) {
 	}
 	r := &Replica{
 		cfg:    cfg,
-		me:     ReplicaSite(cfg.ID),
+		me:     ReplicaSiteAt(cfg.Shard, cfg.ID),
 		quorum: cfg.Replicas/2 + 1,
 		busy:   make(map[clock.SiteID]bool),
 		rng:    rand.New(rand.NewSource(int64(cfg.ID)*2654435761 + 1)),
@@ -186,11 +204,11 @@ func New(cfg Config) (*Replica, error) {
 	}
 	for i := 1; i <= cfg.Replicas; i++ {
 		if id := clock.SiteID(i); id != cfg.ID {
-			r.peers = append(r.peers, ReplicaSite(id))
+			r.peers = append(r.peers, ReplicaSiteAt(cfg.Shard, id))
 		}
 	}
 	if cfg.Dir != "" {
-		sf, st, err := openState(cfg.Dir, cfg.ID)
+		sf, st, err := openState(cfg.Dir, cfg.ID, cfg.Shard)
 		if err != nil {
 			return nil, err
 		}

@@ -305,7 +305,7 @@ func TestWireRoundTrip(t *testing.T) {
 
 func TestStateFileCompaction(t *testing.T) {
 	dir := t.TempDir()
-	sf, rec, err := openState(dir, 1)
+	sf, rec, err := openState(dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +320,7 @@ func TestStateFileCompaction(t *testing.T) {
 		t.Fatalf("state file size %d never compacted", sf.size)
 	}
 	sf.close()
-	_, rec, err = openState(dir, 1)
+	_, rec, err = openState(dir, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

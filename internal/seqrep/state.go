@@ -41,14 +41,20 @@ type stateFile struct {
 	size int64
 }
 
-func statePath(dir string, id clock.SiteID) string {
-	return filepath.Join(dir, fmt.Sprintf("seqrep-%d.state", id))
+// statePath names one replica's per-shard state file.  Shard 0 keeps
+// the pre-sharding name so single-shard ensembles recover state written
+// before sharding existed.
+func statePath(dir string, id clock.SiteID, shard int) string {
+	if shard == 0 {
+		return filepath.Join(dir, fmt.Sprintf("seqrep-%d.state", id))
+	}
+	return filepath.Join(dir, fmt.Sprintf("seqrep-%d-s%d.state", id, shard))
 }
 
 // openState opens (creating if absent) the replica's state file and
 // returns the last intact record.
-func openState(dir string, id clock.SiteID) (*stateFile, stateRec, error) {
-	path := statePath(dir, id)
+func openState(dir string, id clock.SiteID, shard int) (*stateFile, stateRec, error) {
+	path := statePath(dir, id, shard)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o600)
 	if err != nil {
 		return nil, stateRec{}, fmt.Errorf("seqrep: open state: %w", err)

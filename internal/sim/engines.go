@@ -77,6 +77,11 @@ type Options struct {
 	// ensemble members co-hosted with sites 1..SeqReplicas (0 keeps
 	// the single virtual order server).
 	SeqReplicas int
+	// NumShards partitions the keyspace into this many independent
+	// ordering domains, each with its own sequencer, journals and
+	// delivery windows (ORDUP kinds only; 0 or 1 keeps the single
+	// domain).
+	NumShards int
 }
 
 // BurstUpdater is implemented by engines that can submit a commit burst
@@ -97,8 +102,10 @@ func NewEngine(kind EngineKind, sites int, net network.Config, opt Options) (cor
 		SeqReplicas: opt.SeqReplicas}
 	switch kind {
 	case ORDUPSeq:
+		cc.NumShards = opt.NumShards
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Sequencer, Heartbeat: opt.Heartbeat})
 	case ORDUPLamport:
+		cc.NumShards = opt.NumShards
 		return ordup.New(ordup.Config{Core: cc, Ordering: ordup.Lamport, Heartbeat: opt.Heartbeat})
 	case COMMU:
 		return commu.New(commu.Config{Core: cc, CounterLimit: opt.CounterLimit})

@@ -117,6 +117,9 @@ func Experiments() []Experiment {
 		{ID: "E19", Title: "Sequencer fault tolerance: failover downtime and no-fault overhead",
 			Claim: "§3.1: ordering is easy with a centralized order server — but one server is a single point of failure; replicating it across ensemble members keeps ORDUP ordering available through a leader crash at a bounded no-fault cost",
 			Run:   runE19},
+		{ID: "E20", Title: "Sharded ordering domains: throughput vs shard count under a zipfian workload",
+			Claim: "§3.1: a central order server totally orders all updates — but updates touching disjoint objects need no mutual order; carving the keyspace into independent sequencer domains removes the shared ordering bottleneck while cross-shard ETs keep atomicity through per-shard sequence reservations",
+			Run:   runE20},
 	}
 }
 
@@ -1980,5 +1983,261 @@ func runE19(quick bool) (*tabular.Table, error) {
 		t.AddRowf(r.Mode, r.Updates, fmt.Sprintf("%.0f", r.UpdatesPerSec), fo, p50, p99)
 	}
 	t.AddRowf("overhead", "", fmt.Sprintf("%.1f%%", 100*E19Overhead(rows)), "", "", "")
+	return t, nil
+}
+
+// --- E20 ---
+
+// E20Shards are the ordering-domain counts the sharding sweep measures.
+var E20Shards = []int{1, 2, 4, 8}
+
+// E20Row is one sharding measurement, exported so cmd/esrbench can
+// record the BENCH_shard.json baseline.
+type E20Row struct {
+	Shards  int `json:"shards"`
+	Updates int `json:"updates"`
+	// CrossShardPercent is the fraction of update ETs whose operations
+	// span more than one ordering domain at this shard count — those
+	// commit through the 2PC sequence-reservation path.
+	CrossShardPercent float64 `json:"cross_shard_percent"`
+	UpdatesPerSec     float64 `json:"updates_per_sec"`
+	// SpeedupVs1 is this row's throughput over the same workload on the
+	// single-domain (shards=1) cluster.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// ShardsConverged reports the per-shard convergence check: after
+	// quiescence, every site's canonical per-shard store serialization
+	// was byte-identical to site 1's, in every trial.
+	ShardsConverged bool `json:"shards_converged"`
+}
+
+// E20Trials is how many runs each shard count takes; the best (minimum)
+// time wins, as in E17.
+const E20Trials = 3
+
+// E20Updates returns the total update-ET count E20 drives (split across
+// the three concurrent origins).
+func E20Updates(quick bool) int {
+	if quick {
+		return 900
+	}
+	return 4500
+}
+
+// e20ObjectPool is the zipfian object universe.  64 objects hash across
+// up to 8 domains with every domain populated.
+const e20ObjectPool = 64
+
+// e20Bursts pre-generates origin's share of the workload as bursts of
+// update ETs: zipfian single-object increments, with every 20th ET
+// touching a second zipfian object.  The generation is independent of
+// the shard count — the identical ET stream runs at every point of the
+// sweep — so whether a two-object ET crosses domains is decided purely
+// by the object→shard hash.
+func e20Bursts(origin clock.SiteID, updates int) [][][]op.Op {
+	rng := rand.New(rand.NewSource(2026*int64(origin) + 7))
+	zipf := rand.NewZipf(rng, 1.2, 1, e20ObjectPool-1)
+	obj := func() string { return fmt.Sprintf("obj-%02d", zipf.Uint64()) }
+	const burst = 32
+	var bursts [][][]op.Op
+	for done := 0; done < updates; done += burst {
+		n := burst
+		if updates-done < n {
+			n = updates - done
+		}
+		b := make([][]op.Op, n)
+		for j := range b {
+			o := obj()
+			if (done+j)%20 == 19 {
+				o2 := obj()
+				for o2 == o {
+					o2 = obj()
+				}
+				b[j] = []op.Op{op.IncOp(o, 1), op.IncOp(o2, 1)}
+			} else {
+				b[j] = []op.Op{op.IncOp(o, 1)}
+			}
+		}
+		bursts = append(bursts, b)
+	}
+	return bursts
+}
+
+// e20CrossPercent counts how many generated ETs span ordering domains
+// at the given shard count.
+func e20CrossPercent(allBursts [][][][]op.Op, shards int) float64 {
+	total, cross := 0, 0
+	for _, bursts := range allBursts {
+		for _, b := range bursts {
+			for _, ops := range b {
+				total++
+				sh := et.ShardOf(ops[0].Object, shards)
+				for _, o := range ops[1:] {
+					if et.ShardOf(o.Object, shards) != sh {
+						cross++
+						break
+					}
+				}
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(cross) / float64(total)
+}
+
+// e20Trial drives one 3-site in-memory sequencer-mode cluster carved
+// into the given number of ordering domains, with all three origins
+// submitting their bursts concurrently, and reports the elapsed time to
+// quiescence plus the per-shard convergence verdict.
+func e20Trial(shards, updates int, allBursts [][][][]op.Op) (time.Duration, bool, error) {
+	eng, err := NewEngine(ORDUPSeq, 3, network.Config{Seed: 29},
+		Options{NumShards: shards})
+	if err != nil {
+		return 0, false, err
+	}
+	defer eng.Close()
+	bu, ok := eng.(BurstUpdater)
+	if !ok {
+		return 0, false, fmt.Errorf("E20: ordup does not support bursts")
+	}
+	sw := stopwatch.Start()
+	var wg sync.WaitGroup
+	errs := make([]error, len(allBursts))
+	for i, bursts := range allBursts {
+		wg.Add(1)
+		go func(i int, origin clock.SiteID, bursts [][][]op.Op) {
+			defer wg.Done()
+			for _, b := range bursts {
+				if _, err := bu.UpdateBurst(origin, b); err != nil {
+					errs[i] = fmt.Errorf("E20 shards=%d burst from %v: %w", shards, origin, err)
+					return
+				}
+			}
+		}(i, clock.SiteID(i+1), bursts)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	if err := eng.Cluster().Quiesce(60 * time.Second); err != nil {
+		return 0, false, fmt.Errorf("E20 shards=%d: %w", shards, err)
+	}
+	elapsed := sw.Elapsed()
+	return elapsed, e20ShardsConverged(eng.Cluster(), shards), nil
+}
+
+// e20ShardsConverged checks per-shard byte-identical convergence: each
+// ordering domain's slice of every site's store must serialize to the
+// same canonical string as site 1's.
+func e20ShardsConverged(c *core.Cluster, shards int) bool {
+	dump := func(id clock.SiteID) []string {
+		s := c.Site(id)
+		objs := s.Store.Objects()
+		sort.Strings(objs)
+		per := make([]string, shards)
+		for _, o := range objs {
+			sh := c.ShardOfObject(o)
+			per[sh] += o + "=" + s.Store.Get(o).String() + ";"
+		}
+		return per
+	}
+	want := dump(1)
+	for _, id := range c.SiteIDs()[1:] {
+		got := dump(id)
+		for sh := range want {
+			if got[sh] != want[sh] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// E20Sweep measures every shard count, best of E20Trials, and resolves
+// each row's speedup against the shards=1 baseline.  A row's
+// convergence verdict holds only when every trial converged per shard.
+func E20Sweep(quick bool) ([]E20Row, error) {
+	updates := E20Updates(quick)
+	perOrigin := updates / 3
+	allBursts := make([][][][]op.Op, 3)
+	for i := range allBursts {
+		allBursts[i] = e20Bursts(clock.SiteID(i+1), perOrigin)
+	}
+	var rows []E20Row
+	base := -1.0
+	for _, shards := range E20Shards {
+		const forever = time.Duration(1<<63 - 1)
+		best := forever
+		converged := true
+		for trial := 0; trial < E20Trials; trial++ {
+			d, conv, err := e20Trial(shards, updates, allBursts)
+			if err != nil {
+				return nil, err
+			}
+			if d < best {
+				best = d
+			}
+			converged = converged && conv
+		}
+		row := E20Row{
+			Shards:            shards,
+			Updates:           3 * perOrigin,
+			CrossShardPercent: e20CrossPercent(allBursts, shards),
+			UpdatesPerSec:     float64(3*perOrigin) / best.Seconds(),
+			ShardsConverged:   converged,
+		}
+		if shards == 1 {
+			base = row.UpdatesPerSec
+		}
+		if base > 0 {
+			row.SpeedupVs1 = row.UpdatesPerSec / base
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// E20SpeedupAt returns the measured speedup at the given shard count
+// (0 when the sweep has no such row) — the statistic the CI gate tests.
+func E20SpeedupAt(rows []E20Row, shards int) float64 {
+	for _, r := range rows {
+		if r.Shards == shards {
+			return r.SpeedupVs1
+		}
+	}
+	return 0
+}
+
+// E20Converged reports whether every row of the sweep passed the
+// per-shard byte-identical convergence check.
+func E20Converged(rows []E20Row) bool {
+	for _, r := range rows {
+		if !r.ShardsConverged {
+			return false
+		}
+	}
+	return true
+}
+
+// runE20 sweeps the shard count under the zipfian multi-origin workload.
+// The CI gate lives in cmd/esrbench (-minspeedup on the shards=4 row,
+// scaled to the machine's GOMAXPROCS); the experiment itself reports.
+func runE20(quick bool) (*tabular.Table, error) {
+	rows, err := E20Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := tabular.New("E20: sharded ordering domains — throughput vs shard count",
+		"shards", "updates", "cross-shard", "updates/sec", "speedup", "converged")
+	for _, r := range rows {
+		t.AddRowf(r.Shards, r.Updates,
+			fmt.Sprintf("%.1f%%", r.CrossShardPercent),
+			fmt.Sprintf("%.0f", r.UpdatesPerSec),
+			fmt.Sprintf("%.2fx", r.SpeedupVs1),
+			fmt.Sprintf("%t", r.ShardsConverged))
+	}
 	return t, nil
 }

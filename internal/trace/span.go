@@ -21,6 +21,11 @@ import (
 type Timeline struct {
 	// MSet is the message identity shared by all events.
 	MSet uint64
+	// Shard is the ordering domain the MSet belongs to, decoded from
+	// the identity's shard bits (et.MSet.MsgID lays them down; this
+	// package sits below et so the extraction is inlined rather than
+	// imported).  0 on unsharded clusters.
+	Shard int
 	// ET names the epsilon-transaction (from the first event carrying
 	// one).
 	ET string
@@ -44,7 +49,7 @@ func Assemble(events []Event) []*Timeline {
 		}
 		t := byID[e.MSet]
 		if t == nil {
-			t = &Timeline{MSet: e.MSet}
+			t = &Timeline{MSet: e.MSet, Shard: int((e.MSet >> 59) & 15)}
 			byID[e.MSet] = t
 			order = append(order, e.MSet)
 		}
@@ -367,6 +372,7 @@ func ExportChrome(w io.Writer, timelines []*Timeline, infra []Event) error {
 	for _, t := range timelines {
 		for _, e := range t.Events {
 			add(e, t.MSet)
+			evs[len(evs)-1].Args["shard"] = t.Shard
 		}
 		// Derived legs render the gaps (propagation, queueing) that no
 		// single event records as slices on the same thread row.

@@ -17,6 +17,8 @@
 #   RACE=1      build esrnode with the race detector
 #   UPDATES=n   updates per node (default 30; 200 in chaos mode)
 #   SITES=n     cluster size (default 3)
+#   SHARDS=n    ordering domains for the extra sharded ordup round
+#               (default 4; 0 skips the round)
 #   NOTRACE=1   skip the trace-collector gate
 #   CHAOS=1     replicated-sequencer failover drill instead of the
 #               method sweep: run ordup with -seqrep on static ports,
@@ -173,4 +175,47 @@ for method in "${METHODS[@]}"; do
         fail=1
     fi
 done
+
+# Sharded round: the same ordup cluster with the keyspace split into
+# SHARDS independent ordering domains.  The dumps merge all shards
+# deterministically (sorted by shard, then object), so byte-identical
+# dumps witness per-shard convergence across process boundaries.
+SHARDS="${SHARDS:-4}"
+if [ "$SHARDS" -gt 1 ]; then
+    dir="$WORK/ordup-sharded"
+    mkdir -p "$dir"
+    pids=()
+    for i in $(seq 1 "$SITES"); do
+        "$WORK/esrnode" \
+            -site "$i" -sites "$SITES" -method ordup -shards "$SHARDS" \
+            -peers-file "$dir/rdv" -dir "$dir/wal$i" \
+            -updates "$UPDATES" -seed 42 \
+            -out "$dir/store$i.json" \
+            >"$dir/node$i.log" 2>&1 &
+        pids+=($!)
+    done
+    status=0
+    for pid in "${pids[@]}"; do
+        wait "$pid" || status=$?
+    done
+    if [ "$status" -ne 0 ]; then
+        echo "FAIL ordup shards=$SHARDS: a node exited non-zero"
+        tail -n 5 "$dir"/node*.log
+        fail=1
+    else
+        ok=1
+        for i in $(seq 2 "$SITES"); do
+            if ! cmp -s "$dir/store1.json" "$dir/store$i.json"; then
+                ok=0
+                echo "FAIL ordup shards=$SHARDS: store dump of site $i differs from site 1"
+                diff "$dir/store1.json" "$dir/store$i.json" | head -n 10 || true
+            fi
+        done
+        if [ "$ok" = "1" ]; then
+            echo "PASS ordup shards=$SHARDS: $SITES processes converged to identical sharded stores"
+        else
+            fail=1
+        fi
+    fi
+fi
 exit "$fail"
