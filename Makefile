@@ -1,7 +1,7 @@
 # ESR build and correctness gate.
 #
 # `make check` is the full gate CI runs: build, go vet, esrvet (the
-# project-specific analyzers A1–A10, including the interprocedural
+# project-specific analyzers A1–A11, including the interprocedural
 # lock-flow rules), the test suite, and the race detector over the
 # concurrency-bearing packages.
 
@@ -15,7 +15,7 @@ GO ?= go
 # structures.
 RACE_PKGS := ./internal/lock/... ./internal/network/... ./internal/queue/... ./internal/wal/... ./internal/core/... ./internal/replica/... ./internal/metrics/... ./internal/analysis/... ./internal/seqrep/... ./internal/ordup/...
 
-.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net bench-fault bench-shard node smoke-node smoke-chaos fuzz clean
+.PHONY: all build test race vet esrvet esrvet-baseline esrvet-self check bench bench-apply bench-net bench-fault bench-shard bench-read node smoke-node smoke-chaos fuzz clean
 
 all: build
 
@@ -115,6 +115,16 @@ SHARD_OUT ?= BENCH_shard.json
 MIN_SHARD_SPEEDUP ?= 2
 bench-shard:
 	$(GO) run ./cmd/esrbench -exp E20 $(if $(BENCH_FULL),-full) -out $(SHARD_OUT) -minspeedup $(MIN_SHARD_SPEEDUP)
+
+# E21 — consistency-level read menu: eventual/bounded/session/strong
+# read throughput and staleness under the shared zipfian write load
+# (BENCH_read.json), failing when the eventual or bounded levels'
+# throughput falls below MIN_READ_SPEEDUP x strong or the bounded
+# level's mean staleness exceeds Δt.
+READ_OUT ?= BENCH_read.json
+MIN_READ_SPEEDUP ?= 5
+bench-read:
+	$(GO) run ./cmd/esrbench -exp E21 $(if $(BENCH_FULL),-full) -out $(READ_OUT) -minspeedup $(MIN_READ_SPEEDUP)
 
 # Short fuzz bursts over the history parser and checkers; the corpus
 # seeds also run as plain tests under `make test`.

@@ -17,6 +17,7 @@
 //	esrbench -exp E18 -out BENCH_net.json
 //	esrbench -exp E19 -out BENCH_fault.json -maxoverhead 15
 //	esrbench -exp E20 -out BENCH_shard.json -minspeedup 2
+//	esrbench -exp E21 -out BENCH_read.json -minspeedup 5
 //
 // -maxoverhead fails the run when the measured overhead exceeds the
 // given percentage: with -exp E16 the cross-method mean of instrumented
@@ -37,6 +38,13 @@
 // shards=4 throughput over shards=1 must reach min(minspeedup,
 // 0.5 x GOMAXPROCS), and every row must pass the per-shard
 // byte-identical convergence check regardless of the speedup flag.
+//
+// With -exp E21, -minspeedup gates the consistency-level read menu: the
+// eventual AND bounded levels' read throughput over the strong level's
+// must each reach the floor (the waits the menu trades away are
+// latency-bound, not core-bound, so no GOMAXPROCS scaling applies), and
+// the bounded level's mean observed staleness must stay within Δt
+// regardless of the speedup flag.
 package main
 
 import (
@@ -58,9 +66,9 @@ func main() {
 		exp    = flag.String("exp", "", "run one experiment by ID (T1–T3, E1–E10)")
 		list   = flag.Bool("list", false, "list available experiments")
 		asJSON = flag.Bool("json", false, "emit results as JSON instead of text tables")
-		out    = flag.String("out", "", "with -exp E15, E16, E17, E18, E19 or E20: also write the baseline JSON to this file")
+		out    = flag.String("out", "", "with -exp E15, E16, E17, E18, E19, E20 or E21: also write the baseline JSON to this file")
 		maxOvh = flag.Float64("maxoverhead", 0, "with -exp E16 or E19: fail when the measured overhead exceeds this percentage (0 disables)")
-		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS); with -exp E20: fail when the shards=4 speedup is below min(this, 0.5*GOMAXPROCS) (0 disables)")
+		minSpd = flag.Float64("minspeedup", 0, "with -exp E17: fail when the commuting workload's mean speedup at the largest worker count is below min(this, 0.75*GOMAXPROCS); with -exp E20: fail when the shards=4 speedup is below min(this, 0.5*GOMAXPROCS); with -exp E21: fail when the eventual or bounded read throughput over strong is below this (0 disables)")
 		maxSlw = flag.Float64("maxslowdown", 0, "with -exp E17: fail when the conflicting workload's mean at the largest worker count is more than this percentage slower than serial (0 disables)")
 	)
 	flag.Parse()
@@ -69,14 +77,14 @@ func main() {
 	maxOverhead = *maxOvh
 	minSpeedup = *minSpd
 	maxSlowdown = *maxSlw
-	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" && *exp != "E19" && *exp != "E20" {
-		fatal(fmt.Errorf("-out records the E15, E16, E17, E18, E19 or E20 baseline; use it with that -exp"))
+	if baselineOut != "" && *exp != "E15" && *exp != "E16" && *exp != "E17" && *exp != "E18" && *exp != "E19" && *exp != "E20" && *exp != "E21" {
+		fatal(fmt.Errorf("-out records the E15, E16, E17, E18, E19, E20 or E21 baseline; use it with that -exp"))
 	}
 	if maxOverhead > 0 && *exp != "E16" && *exp != "E19" {
 		fatal(fmt.Errorf("-maxoverhead gates the E16 or E19 overhead; use it with that -exp"))
 	}
-	if minSpeedup > 0 && *exp != "E17" && *exp != "E20" {
-		fatal(fmt.Errorf("-minspeedup gates the E17 apply or E20 sharding speedup; use it with that -exp"))
+	if minSpeedup > 0 && *exp != "E17" && *exp != "E20" && *exp != "E21" {
+		fatal(fmt.Errorf("-minspeedup gates the E17 apply, E20 sharding or E21 read speedup; use it with that -exp"))
 	}
 	if maxSlowdown > 0 && *exp != "E17" {
 		fatal(fmt.Errorf("-maxslowdown gates the E17 apply speedup; use it with -exp E17"))
@@ -163,6 +171,11 @@ func run(ex sim.Experiment, quick bool) error {
 	}
 	if ex.ID == "E20" && (baselineOut != "" || minSpeedup > 0) {
 		if err := shardGate(baselineOut, quick, minSpeedup); err != nil {
+			return fmt.Errorf("%s: %w", ex.ID, err)
+		}
+	}
+	if ex.ID == "E21" && (baselineOut != "" || minSpeedup > 0) {
+		if err := readGate(baselineOut, quick, minSpeedup); err != nil {
 			return fmt.Errorf("%s: %w", ex.ID, err)
 		}
 	}
@@ -491,6 +504,67 @@ func shardGate(path string, quick bool, minSpd float64) error {
 	if minSpd > 0 && b.SpeedupAt4 < b.RequiredSpeedup {
 		return fmt.Errorf("shards=4 speedup %.2fx below the -minspeedup gate (%.2fx after GOMAXPROCS=%d scaling)",
 			b.SpeedupAt4, b.RequiredSpeedup, b.GOMAXPROCS)
+	}
+	return nil
+}
+
+// readBaseline is the BENCH_read.json schema: the consistency-level
+// sweep plus the statistics the CI gate tests — the eventual and
+// bounded levels' read throughput over strong, and whether the bounded
+// level's mean observed staleness stayed within Δt.
+type readBaseline struct {
+	Experiment      string       `json:"experiment"`
+	Full            bool         `json:"full"`
+	GOMAXPROCS      int          `json:"gomaxprocs"`
+	Rows            []sim.E21Row `json:"rows"`
+	EventualSpeedup float64      `json:"eventual_speedup_vs_strong"`
+	BoundedSpeedup  float64      `json:"bounded_speedup_vs_strong"`
+	BoundedWithinDt bool         `json:"bounded_within_dt"`
+	RequiredSpeedup float64      `json:"required_speedup"`
+}
+
+// readGate re-measures the E21 consistency-level sweep, optionally
+// records it as JSON, and enforces the CI gates: bounded staleness
+// within Δt in every case, and the eventual and bounded read throughput
+// each at or above the floor over strong.  The strong level's cost is
+// waiting out accepted-but-unapplied updates — latency-bound, not
+// core-bound — so the floor is not GOMAXPROCS-scaled.
+func readGate(path string, quick bool, minSpd float64) error {
+	rows, err := sim.E21Sweep(quick)
+	if err != nil {
+		return err
+	}
+	b := readBaseline{
+		Experiment:      "E21",
+		Full:            !quick,
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
+		Rows:            rows,
+		EventualSpeedup: sim.E21SpeedupOf(rows, "eventual"),
+		BoundedSpeedup:  sim.E21SpeedupOf(rows, "bounded"),
+		BoundedWithinDt: sim.E21BoundedWithinDt(rows),
+		RequiredSpeedup: minSpd,
+	}
+	if path != "" {
+		enc, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "esrbench: wrote %s (eventual %.1fx, bounded %.1fx vs strong; bounded within Δt %t)\n",
+			path, b.EventualSpeedup, b.BoundedSpeedup, b.BoundedWithinDt)
+	}
+	if !b.BoundedWithinDt {
+		return fmt.Errorf("bounded level's mean staleness exceeded Δt=%v", sim.E21MaxStaleness)
+	}
+	if minSpd > 0 {
+		if b.EventualSpeedup < minSpd {
+			return fmt.Errorf("eventual read throughput %.2fx strong, below the -minspeedup %.1fx gate", b.EventualSpeedup, minSpd)
+		}
+		if b.BoundedSpeedup < minSpd {
+			return fmt.Errorf("bounded read throughput %.2fx strong, below the -minspeedup %.1fx gate", b.BoundedSpeedup, minSpd)
+		}
 	}
 	return nil
 }

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/core"
 	"esr/internal/metrics"
 	"esr/internal/network"
@@ -81,19 +82,27 @@ func main() {
 		linger    = flag.Duration("linger", time.Second, "grace period after the barrier so peers finish their final polls")
 		repSeq    = flag.Bool("seqrep", false, "replicate the ORDUP order service: every process co-hosts one ensemble member, so killing any single node never loses sequencing")
 		shards    = flag.Int("shards", 1, "partition the keyspace into this many independent ordering domains (ORDUP methods only)")
+		reads     = flag.Int("reads", 0, "consistency-level reads to interleave with the local workload (cycling the -consistency levels), plus a post-drain all-levels equivalence round")
+		level     = flag.String("consistency", "mixed", "with -reads: level for the interleaved reads — strong | bounded-staleness | session | eventual | mixed (cycle all four)")
+		maxStale  = flag.Duration("maxstale", 250*time.Millisecond, "bounded-staleness Δt for -reads")
 	)
 	flag.Parse()
 	if err := run(*site, *sites, *method, *listen, *peers, *peersFile, *dir, *maddr,
-		*updates, *objects, *opsPer, *seed, *out, *settle, *linger, *repSeq, *shards); err != nil {
+		*updates, *objects, *opsPer, *seed, *out, *settle, *linger, *repSeq, *shards,
+		*reads, *level, *maxStale); err != nil {
 		log.Fatalf("esrnode: %v", err)
 	}
 }
 
 func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string,
 	updates, objects, opsPer int, seed int64, out string, settle, linger time.Duration,
-	replicatedSeq bool, shards int) error {
+	replicatedSeq bool, shards int, reads int, levelSpec string, maxStale time.Duration) error {
 	if site < 1 || site > sites {
 		return fmt.Errorf("-site %d outside 1..%d", site, sites)
+	}
+	readLevels, err := parseLevels(levelSpec)
+	if err != nil {
+		return err
 	}
 	if shards < 1 {
 		shards = 1
@@ -248,6 +257,16 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		build = sim.BlindWriteOps
 	}
 	rng := rand.New(rand.NewSource(seed + int64(site)*7919))
+	// Interleave the -reads consistency-level reads with the updates so
+	// the gates run against a cluster that is genuinely mid-propagation.
+	readEvery := 0
+	if reads > 0 {
+		readEvery = updates / reads
+		if readEvery < 1 {
+			readEvery = 1
+		}
+	}
+	readsDone := 0
 	for i := 0; i < updates; i++ {
 		ops := make([]op.Op, opsPer)
 		for j := range ops {
@@ -256,6 +275,23 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		if _, err := eng.Update(self, ops); err != nil {
 			return fmt.Errorf("update %d: %w", i, err)
 		}
+		if readEvery > 0 && i%readEvery == 0 && readsDone < reads {
+			lv := readLevels[readsDone%len(readLevels)]
+			obj := fmt.Sprintf("obj-%d", rng.Intn(objects))
+			res, err := core.ReadAtSite(cl, self, []string{obj}, core.ReadOptions{
+				Level: lv, MaxStaleness: maxStale,
+			})
+			if err != nil {
+				return fmt.Errorf("mid-load %s read %d: %w", lv, readsDone, err)
+			}
+			if res.Level != lv {
+				return fmt.Errorf("mid-load read %d: level %v, want %v", readsDone, res.Level, lv)
+			}
+			readsDone++
+		}
+	}
+	if reads > 0 {
+		log.Printf("site %d: %d mid-load reads served across %d levels", site, readsDone, len(readLevels))
 	}
 	done.Store(true)
 
@@ -265,6 +301,30 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 		return err
 	}
 	log.Printf("site %d: cluster drained", site)
+
+	// Post-drain equivalence round: with no accepted-unapplied updates
+	// left anywhere, every level of the menu must answer with the
+	// converged store's value — the distributed analogue of the
+	// read-path equivalence suite.
+	if reads > 0 {
+		st := cl.Site(self).Store
+		for k := 0; k < objects; k++ {
+			obj := fmt.Sprintf("obj-%d", k)
+			want := st.Get(obj)
+			for _, lv := range consistency.Levels() {
+				res, err := core.ReadAtSite(cl, self, []string{obj}, core.ReadOptions{
+					Level: lv, MaxStaleness: maxStale,
+				})
+				if err != nil {
+					return fmt.Errorf("post-drain %s read of %s: %w", lv, obj, err)
+				}
+				if got := res.Values[obj]; got.String() != want.String() {
+					return fmt.Errorf("post-drain %s read of %s: %v, want %v (levels diverge after quiescence)", lv, obj, got, want)
+				}
+			}
+		}
+		log.Printf("site %d: post-drain equivalence round passed (%d objects x %d levels)", site, objects, len(consistency.Levels()))
+	}
 
 	if out != "" {
 		if err := dumpStore(cl, self, method, out); err != nil {
@@ -276,6 +336,19 @@ func run(site, sites int, method, listen, peersSpec, peersDir, dir, maddr string
 	// (and, with -metrics, give esrtop a window to attach).
 	time.Sleep(linger)
 	return nil
+}
+
+// parseLevels resolves the -consistency spec: one level name, or
+// "mixed" for the whole menu weakest to strongest.
+func parseLevels(spec string) ([]consistency.Level, error) {
+	if spec == "mixed" || spec == "" {
+		return consistency.Levels(), nil
+	}
+	lv, err := consistency.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	return []consistency.Level{lv}, nil
 }
 
 // resolvePeers produces the site→address map, either parsing the static

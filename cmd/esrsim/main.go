@@ -31,6 +31,8 @@ func main() {
 		objects   = flag.Int("objects", 8, "object universe size")
 		queryFrac = flag.Float64("queries", 0.3, "fraction of ETs that are queries")
 		eps       = flag.Int("eps", -1, "query ε limit (-1 = unlimited)")
+		level     = flag.String("consistency", "", "serve queries through the consistency-level read path: strong | bounded-staleness | session | eventual (empty = engine-native queries)")
+		maxStale  = flag.Duration("maxstale", 0, "bounded-staleness Δt (with -consistency; 0 = the library default)")
 		latency   = flag.Duration("latency", time.Millisecond, "max one-way link latency")
 		loss      = flag.Float64("loss", 0, "message loss rate")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -104,6 +106,7 @@ func main() {
 		Objects: *objects, QueryFraction: *queryFrac,
 		OpsPerUpdate: 2, ObjectsPerQuery: 2, Skew: *skew,
 		Epsilon: divergence.Limit(*eps), Build: build, Pace: *pace,
+		Consistency: *level, MaxStaleness: *maxStale,
 	})
 	if err != nil {
 		fatal(err)
@@ -120,6 +123,11 @@ func main() {
 		res.QueryLatency.Mean.Round(10*time.Microsecond), res.QueryLatency.P95.Round(10*time.Microsecond))
 	fmt.Printf("inconsistency mean %.2f, max %d (per query, in overlapping-update units)\n",
 		res.Inconsistency.Mean, res.Inconsistency.Max)
+	if *level != "" {
+		fmt.Printf("staleness     mean %v, p95 %v, max %v (%d reads parked on the %s gate)\n",
+			res.Staleness.Mean.Round(10*time.Microsecond), res.Staleness.P95.Round(10*time.Microsecond),
+			res.Staleness.Max.Round(10*time.Microsecond), res.Delayed, *level)
+	}
 	fmt.Printf("convergence   quiesced in %v, converged=%v\n",
 		res.ConvergeIn.Round(time.Millisecond), res.Converged)
 	if *traceN > 0 {

@@ -2,8 +2,12 @@
 // observability endpoint (esr.Config.MetricsAddr or esrsim -metrics).
 // It polls /metrics.json once per interval and redraws a per-site view
 // of the propagation pipeline: commit and apply rates, queue depths,
-// commit→apply lag quantiles, the live ε budget, and the query
-// charged/fallback split.  With -events it also tails the /trace
+// commit→apply lag quantiles, the live ε budget, the query
+// charged/fallback split, and the consistency-level read path's
+// watermarks — the applied watermark, how far SAFETIME trails it
+// (safe-Δ, in logical ticks), the worst read staleness served
+// (stale-max), and how many reads parked on the delayed-read gate
+// (rd-park).  With -events it also tails the /trace
 // endpoint incrementally (monotone Seq across ring wrap means no event
 // is ever shown twice); with -timeline it folds the tailed events into
 // per-MSet timelines with per-leg latency (see internal/trace).
@@ -254,7 +258,8 @@ func (t *top) renderTimelines(b *strings.Builder) {
 		fmt.Fprintf(b, "\n")
 	}
 	fmt.Fprintf(b, "  %-18s %6s %9s %9s %9s\n", "leg", "count", "p50", "p99", "max")
-	for _, s := range trace.LegStats(timelines) {
+	stats := append(trace.LegStats(timelines), trace.InfraLegStats(trace.Infrastructure(t.evbuf))...)
+	for _, s := range stats {
 		fmt.Fprintf(b, "  %-18s %6d %9s %9s %9s\n",
 			s.Name, s.Count, durUnit(s.P50), durUnit(s.P99), durUnit(s.Max))
 	}
@@ -328,6 +333,13 @@ type row struct {
 	eps                           float64
 	hasEps                        bool
 	charged, fallback, compensate float64
+	// Consistency-level read path: the applied watermark and SAFETIME
+	// (logical Time components), the worst read staleness served, and
+	// how many reads parked on the delayed-read gate.
+	watermark, safetime float64
+	hasWater            bool
+	staleMax            float64
+	delayed             float64
 }
 
 func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time.Time) {
@@ -365,6 +377,8 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time
 			get(site).fallback += c.Value
 		case "esr_compensations_total":
 			get(site).compensate += c.Value
+		case "esr_read_delayed_total":
+			get(site).delayed += c.Value // summed across levels
 		}
 	}
 	for _, g := range snap.Gauges {
@@ -379,6 +393,21 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time
 			r := get(site)
 			if !r.hasEps || g.Value != 0 {
 				r.eps, r.hasEps = g.Value, true
+			}
+		case "esr_watermark":
+			r := get(site)
+			if g.Value > r.watermark {
+				r.watermark, r.hasWater = g.Value, true
+			}
+		case "esr_safetime":
+			r := get(site)
+			if g.Value > r.safetime {
+				r.safetime = g.Value
+			}
+		case "esr_read_staleness_max_nanos":
+			r := get(site)
+			if v := g.Value * 1e-9; v > r.staleMax { // gauge exports nanoseconds
+				r.staleMax = v
 			}
 		}
 	}
@@ -417,8 +446,9 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time
 		c, _ := strconv.Atoi(names[j])
 		return a < c
 	})
-	fmt.Fprintf(b, "%-5s %9s %9s %7s %7s %9s %9s %9s %7s %9s %11s\n",
-		"site", "commits", "applied", "holds", "depth", "lag-p50", "lag-p95", "lag-p99", "ε-left", "q-charged", "q-fallback")
+	fmt.Fprintf(b, "%-5s %9s %9s %7s %7s %9s %9s %9s %7s %9s %11s %8s %6s %9s %7s\n",
+		"site", "commits", "applied", "holds", "depth", "lag-p50", "lag-p95", "lag-p99", "ε-left", "q-charged", "q-fallback",
+		"wmark", "safe-Δ", "stale-max", "rd-park")
 	for _, s := range names {
 		r := sites[s]
 		eps := "-"
@@ -429,9 +459,18 @@ func (t *top) render(b *strings.Builder, snap metrics.Snapshot, up int, now time
 				eps = strconv.FormatInt(int64(r.eps), 10)
 			}
 		}
-		fmt.Fprintf(b, "%-5s %9.0f %9.0f %7.0f %7.0f %9s %9s %9s %7s %9.0f %11.0f\n",
+		// wmark is the newest applied logical time; safe-Δ is how many
+		// logical ticks SAFETIME trails it (0 = no accepted-unapplied
+		// window, reads at every level see the same frontier).
+		wmark, safeGap := "-", "-"
+		if r.hasWater {
+			wmark = strconv.FormatInt(int64(r.watermark), 10)
+			safeGap = strconv.FormatInt(int64(r.watermark-r.safetime), 10)
+		}
+		fmt.Fprintf(b, "%-5s %9.0f %9.0f %7.0f %7.0f %9s %9s %9s %7s %9.0f %11.0f %8s %6s %9s %7.0f\n",
 			s, r.commits, r.applied, r.holds, r.depth,
-			secUnit(r.p50), secUnit(r.p95), secUnit(r.p99), eps, r.charged, r.fallback)
+			secUnit(r.p50), secUnit(r.p95), secUnit(r.p99), eps, r.charged, r.fallback,
+			wmark, safeGap, secUnit(r.staleMax), r.delayed)
 	}
 	if c := cur["esr_compensations_total"]; c > 0 {
 		fmt.Fprintf(b, "\ncompensations %d (backward recovery applied)\n", int64(c))

@@ -199,7 +199,11 @@ func run(addrs []string, sites, expect int, out string, poll time.Duration, sett
 	}
 	if !quiet {
 		fmt.Printf("\n%-18s %8s %12s %12s %12s\n", "leg", "count", "p50", "p99", "max")
-		for _, s := range trace.LegStats(timelines) {
+		// Timeline legs first, then the MSet-less infrastructure spans —
+		// read-wait (SAFETIME gate parks) and read-snap from the
+		// consistency-level read path, flushes, sequencer rounds.
+		stats := append(trace.LegStats(timelines), trace.InfraLegStats(infra)...)
+		for _, s := range stats {
 			fmt.Printf("%-18s %8d %12v %12v %12v\n", s.Name, s.Count,
 				s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 		}

@@ -43,6 +43,7 @@ import (
 	"esr/internal/clock"
 	"esr/internal/commu"
 	"esr/internal/compe"
+	"esr/internal/consistency"
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/et"
@@ -89,6 +90,30 @@ const (
 	// Quorum is the synchronous 1SR baseline: majority quorum voting.
 	Quorum Method = "quorum"
 )
+
+// Level is a per-query consistency level from the menu the unified read
+// path serves (DESIGN.md §13): strong, bounded-staleness(ε, Δt),
+// session, or eventual.
+type Level = consistency.Level
+
+// The consistency-level menu, weakest to strongest.
+const (
+	// LevelEventual reads the latest local state with zero coordination.
+	LevelEventual = consistency.Eventual
+	// LevelSession guarantees read-your-writes within one session.
+	LevelSession = consistency.Session
+	// LevelBounded guarantees staleness at most (ε, Δt).
+	LevelBounded = consistency.Bounded
+	// LevelStrong observes every update the site has accepted.
+	LevelStrong = consistency.Strong
+)
+
+// ParseLevel maps a flag-spelling ("strong", "bounded", "session",
+// "eventual") to its Level.
+func ParseLevel(s string) (Level, error) { return consistency.Parse(s) }
+
+// ReadOptions tunes one consistency-level read; see core.ReadOptions.
+type ReadOptions = core.ReadOptions
 
 // Limit is an ε specification for queries.
 type Limit = divergence.Limit
@@ -185,6 +210,14 @@ type Config struct {
 	// Zero keeps the default (16); 1 restores a single global lock
 	// table.
 	LockStripes int
+	// Consistency is the default level Read serves when the caller does
+	// not pick one: "strong", "bounded", "session" or "eventual" (the
+	// default).
+	Consistency string
+	// MaxStaleness is the bounded level's Δt: a bounded read proceeds
+	// only while the local replica's staleness is at most this bound
+	// (default 5s).
+	MaxStaleness time.Duration
 	// Shards partitions the keyspace into this many independent
 	// ordering domains (ORDUP methods only): each shard runs its own
 	// sequencer, stable queues and write-ahead journals, so updates
@@ -196,9 +229,10 @@ type Config struct {
 
 // Cluster is a replicated system running one replica-control method.
 type Cluster struct {
-	eng    core.Engine
-	method Method
-	msrv   *metrics.Server
+	eng      core.Engine
+	method   Method
+	msrv     *metrics.Server
+	readOpts core.ReadOptions // defaults for Read, from Config
 }
 
 // Errors returned by method-specific interfaces.
@@ -248,7 +282,13 @@ func Open(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{eng: eng, method: cfg.Method}
+	level, err := consistency.Parse(cfg.Consistency)
+	if err != nil {
+		_ = eng.Close()
+		return nil, err
+	}
+	c := &Cluster{eng: eng, method: cfg.Method,
+		readOpts: core.ReadOptions{Level: level, MaxStaleness: cfg.MaxStaleness}}
 	if cfg.MetricsAddr != "" {
 		ring := eng.Cluster().Trace
 		srv, err := metrics.Serve(cfg.MetricsAddr, metrics.ServeOptions{
@@ -301,6 +341,71 @@ func (c *Cluster) Update(origin int, ops ...Op) (TxID, error) {
 // imported, which never exceeds eps.
 func (c *Cluster) Query(site int, objects []string, eps Limit) (Result, error) {
 	return c.eng.Query(clock.SiteID(site), objects, eps)
+}
+
+// Read serves a read at the cluster's default consistency level
+// (Config.Consistency) from the site's local replica, entirely
+// lock-free: the level picks a snapshot timestamp, the SAFETIME
+// watermark parks reads the replica cannot yet serve, and the
+// multi-version store answers them.
+func (c *Cluster) Read(site int, objects ...string) (Result, error) {
+	return core.ReadAtSite(c.eng.Cluster(), clock.SiteID(site), objects, c.readOpts)
+}
+
+// ReadLevel is Read at an explicit consistency level.
+func (c *Cluster) ReadLevel(site int, level Level, objects ...string) (Result, error) {
+	opts := c.readOpts
+	opts.Level = level
+	return core.ReadAtSite(c.eng.Cluster(), clock.SiteID(site), objects, opts)
+}
+
+// ReadWith is Read with full per-query options (ε budget, Δt bound,
+// session high-water mark, gate timeout).
+func (c *Cluster) ReadWith(site int, objects []string, opts ReadOptions) (Result, error) {
+	return core.ReadAtSite(c.eng.Cluster(), clock.SiteID(site), objects, opts)
+}
+
+// SafeTime returns the site's SAFETIME watermark: the largest timestamp
+// at which a snapshot read observes every update the site has accepted.
+func (c *Cluster) SafeTime(site int) Timestamp {
+	if s := c.eng.Cluster().Site(clock.SiteID(site)); s != nil {
+		return s.SafeTime()
+	}
+	return Timestamp{}
+}
+
+// Watermark returns the site's committed (applied) watermark — the
+// newest MSet timestamp applied there.
+func (c *Cluster) Watermark(site int) Timestamp {
+	if s := c.eng.Cluster().Site(clock.SiteID(site)); s != nil {
+		return s.Watermark()
+	}
+	return Timestamp{}
+}
+
+// Staleness reports how long the site's oldest accepted-but-unapplied
+// update has been waiting (zero when fully caught up).
+func (c *Cluster) Staleness(site int) time.Duration {
+	if s := c.eng.Cluster().Site(clock.SiteID(site)); s != nil {
+		return s.Staleness()
+	}
+	return 0
+}
+
+// GCVersions prunes multi-version history below each site's SAFETIME
+// watermark, per object keeping the newest version still readable
+// there.  Live snapshot pins clamp the horizon, so in-flight snapshot
+// reads never observe a pruned version.  Returns the number of versions
+// collected across all sites.
+func (c *Cluster) GCVersions() int {
+	n := 0
+	cl := c.eng.Cluster()
+	for _, id := range cl.SiteIDs() {
+		if s := cl.Site(id); s != nil {
+			n += s.MV.GC(s.SafeTime())
+		}
+	}
+	return n
 }
 
 // Spec is a per-object ε specification: different objects may tolerate
@@ -479,6 +584,14 @@ func (s *Session) Update(origin int, ops ...Op) (TxID, error) {
 // backwards relative to this session's previous reads.
 func (s *Session) Query(site int, objects []string, eps Limit) (Result, error) {
 	return s.s.Query(clock.SiteID(site), objects, eps)
+}
+
+// Read serves a session-consistency read through the unified read path:
+// the session's guarantees (read-your-writes, monotonic reads) are
+// established at the site first, then the snapshot read runs lock-free
+// at the session level.
+func (s *Session) Read(site int, objects ...string) (Result, error) {
+	return s.s.Read(clock.SiteID(site), objects)
 }
 
 // TraceEvent is one recorded protocol event.

@@ -50,6 +50,13 @@
 //	                       mutating calls (Append, Sync, Enqueue, Ack,
 //	                       Send, Call, ...) must be consumed, not
 //	                       discarded with _ or an ignored return.
+//	A11 querylock        — query-path functions (engine Query* methods,
+//	                       the core read/query helpers, and everything
+//	                       they reach in the static call graph) must
+//	                       never acquire lock.Manager locks: the unified
+//	                       read path serves queries from lock-free
+//	                       snapshots gated by SAFETIME watermarks.  The
+//	                       coherency baselines are exempt by design.
 //
 // Rules A1 and A8 are interprocedural: they run on the dataflow engine
 // in internal/analysis/flow (per-function CFGs, a static call graph,
@@ -87,7 +94,7 @@ func (d Diagnostic) String() string {
 // set: Run analyzes one package at a time, RunModule sees the whole
 // load at once (for interprocedural and cross-package rules).
 type Analyzer struct {
-	// Rule is the stable rule ID ("A1".."A10").
+	// Rule is the stable rule ID ("A1".."A11").
 	Rule string
 	// Name is a short slug (used in -only filters).
 	Name string
@@ -112,6 +119,7 @@ func All() []*Analyzer {
 		LockHeldBlocking,
 		AtomicMix,
 		ErrDrop,
+		QueryLockFree,
 	}
 }
 

@@ -94,6 +94,8 @@ func TestAnalyzersOnFixtures(t *testing.T) {
 		{AtomicMix, "atomicmix_bad", "esrfixture/atomicmix_bad"},
 		{ErrDrop, "errdrop_clean", "esrfixture/errdrop_clean"},
 		{ErrDrop, "errdrop_bad", "esrfixture/errdrop_bad"},
+		{QueryLockFree, "querylock_clean", "esrfixture/querylock_clean"},
+		{QueryLockFree, "querylock_bad", "esrfixture/querylock_bad"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer.Rule+"/"+tc.fixture, func(t *testing.T) {
@@ -149,6 +151,7 @@ func TestFixturePolarity(t *testing.T) {
 		"A8": {{LockHeldBlocking, "lockheldio_clean", "esrfixture/a"}, {LockHeldBlocking, "lockheldio_bad", "esrfixture/b"}},
 		"A9": {{AtomicMix, "atomicmix_clean", "esrfixture/a"}, {AtomicMix, "atomicmix_bad", "esrfixture/b"}},
 		"A10": {{ErrDrop, "errdrop_clean", "esrfixture/a"}, {ErrDrop, "errdrop_bad", "esrfixture/b"}},
+		"A11": {{QueryLockFree, "querylock_clean", "esrfixture/a"}, {QueryLockFree, "querylock_bad", "esrfixture/b"}},
 	}
 	for rule, pair := range polar {
 		clean, bad := pair[0], pair[1]

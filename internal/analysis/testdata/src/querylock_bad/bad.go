@@ -1,0 +1,68 @@
+// Package querylock_bad violates rule A11: query-path functions that
+// reach a lock.Manager acquisition, directly or through a helper.
+package querylock_bad
+
+import (
+	"esr/internal/lock"
+	"esr/internal/op"
+)
+
+// Engine mirrors a method engine with a lock manager per site.
+type Engine struct {
+	locks *lock.Manager
+	store map[string]int64
+}
+
+// Query acquires a read lock directly — the pre-refactor RQ pattern the
+// unified read path removed.
+func (e *Engine) Query(objects []string) (map[string]int64, error) {
+	tx := lock.TxID(1)
+	vals := make(map[string]int64, len(objects))
+	for _, obj := range objects {
+		if err := e.locks.Acquire(tx, lock.RQ, op.ReadOp(obj)); err != nil { // want A11
+			e.locks.ReleaseAll(tx)
+			return nil, err
+		}
+		vals[obj] = e.store[obj]
+	}
+	e.locks.ReleaseAll(tx)
+	return vals, nil
+}
+
+// queryConservative is a lowercase query-path helper that falls back to
+// an RU acquisition instead of draining.
+func (e *Engine) queryConservative(obj string) (int64, error) {
+	tx := lock.TxID(2)
+	if err := e.locks.TryAcquire(tx, lock.RU, op.ReadOp(obj)); err != nil { // want A11
+		return 0, err
+	}
+	v := e.store[obj]
+	e.locks.ReleaseAll(tx)
+	return v, nil
+}
+
+// QuerySpec hides the acquisition one call deep: reachability through
+// the static call graph must still find it.
+func (e *Engine) QuerySpec(objects []string) (map[string]int64, error) {
+	vals := make(map[string]int64, len(objects))
+	for _, obj := range objects {
+		v, err := e.lockedRead(obj)
+		if err != nil {
+			return nil, err
+		}
+		vals[obj] = v
+	}
+	return vals, nil
+}
+
+// lockedRead is not itself a query root; it is flagged because a query
+// path reaches it.
+func (e *Engine) lockedRead(obj string) (int64, error) {
+	tx := lock.TxID(3)
+	if err := e.locks.Acquire(tx, lock.RQ, op.ReadOp(obj)); err != nil { // want A11
+		return 0, err
+	}
+	v := e.store[obj]
+	e.locks.ReleaseAll(tx)
+	return v, nil
+}

@@ -1,0 +1,46 @@
+// Package querylock_clean satisfies rule A11: queries read lock-free
+// snapshots, and lock.Manager acquisitions happen only on the update
+// path.
+package querylock_clean
+
+import (
+	"esr/internal/lock"
+	"esr/internal/op"
+)
+
+// Engine mirrors a method engine with a lock manager per site.
+type Engine struct {
+	locks *lock.Manager
+	store map[string]int64
+}
+
+// Query reads the local state without touching the lock manager — the
+// unified read path's eventual level.
+func (e *Engine) Query(objects []string) (map[string]int64, error) {
+	vals := make(map[string]int64, len(objects))
+	for _, obj := range objects {
+		vals[obj] = e.store[obj]
+	}
+	return vals, nil
+}
+
+// queryDrained models the conservative path: it waits for the drain
+// gate (elided) and then reads, still lock-free.
+func (e *Engine) queryDrained(obj string) int64 {
+	return e.store[obj]
+}
+
+// Update is the update path: WU acquisitions there are legal — A11
+// only polices paths rooted at queries.
+func (e *Engine) Update(objects []string) error {
+	tx := lock.TxID(1)
+	for _, obj := range objects {
+		if err := e.locks.Acquire(tx, lock.WU, op.WriteOp(obj, 1)); err != nil {
+			e.locks.ReleaseAll(tx)
+			return err
+		}
+		e.store[obj]++
+	}
+	e.locks.ReleaseAll(tx)
+	return nil
+}

@@ -440,8 +440,17 @@ func (e *Engine) apply(s *replica.Site, m et.MSet) error {
 		}
 		s.Locks.IncCounter(obj)
 	}
+	vers := make(map[string]op.Value, len(objs))
 	for _, o := range m.Ops {
-		s.Store.Apply(o)
+		v := s.Store.Apply(o)
+		if o.Kind.IsUpdate() {
+			vers[o.Object] = v
+		}
+	}
+	// Dual-write into the multi-version store for snapshot reads
+	// (idempotent at the same TS, covering redelivery).
+	for obj, v := range vers {
+		s.MV.InstallMonotone(obj, m.TS, v)
 	}
 	for _, obj := range objs {
 		s.Locks.DecCounter(obj)

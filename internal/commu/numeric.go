@@ -5,7 +5,7 @@ import (
 	"sort"
 
 	"esr/internal/clock"
-	"esr/internal/lock"
+	"esr/internal/consistency"
 	"esr/internal/op"
 )
 
@@ -34,30 +34,26 @@ type NumericResult struct {
 // criteria, replica control methods would need to explicitly include
 // these factors" — this method is that inclusion for COMMU, and the
 // same idea later became TACT's numerical error.  Reads whose pending
-// drift would exceed the budget take the conservative RU-locked path,
-// like ε-exhausted reads.
+// drift would exceed the budget take the conservative path: they drain
+// the object's pending updates (WaitDrained) and re-read, lock-free,
+// exactly like ε-exhausted reads on the unified read path.
 func (e *Engine) QueryNumeric(site clock.SiteID, objects []string, maxDrift int64) (NumericResult, error) {
 	s := e.c.Site(site)
 	if s == nil {
 		return NumericResult{}, fmt.Errorf("commu: unknown site %v", site)
 	}
 	qid := e.c.NextET(site)
-	tx := lock.TxID(qid)
 	sorted := append([]string(nil), objects...)
 	sort.Strings(sorted)
 	vals := make(map[string]op.Value, len(sorted))
 	var spent int64
-	defer s.Locks.ReleaseAll(tx)
 	for _, obj := range sorted {
 		cost := e.invisibleDriftAt(site, obj)
-		mode := lock.RQ
 		if spent+cost > maxDrift {
-			mode = lock.RU // conservative: serialize against appliers
+			// Conservative: drain the drift away instead of importing it.
+			_ = s.WaitDrained(obj, consistency.DefaultWaitTimeout)
 		} else {
 			spent += cost
-		}
-		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
-			return NumericResult{}, fmt.Errorf("commu: numeric query lock on %q: %w", obj, err)
 		}
 		vals[obj] = s.Store.Get(obj)
 		e.c.RecordQueryRead(qid, obj)

@@ -512,9 +512,18 @@ func (e *Engine) applyForward(s *replica.Site, sl *siteLog, m et.MSet) error {
 	}
 	sl.mu.Lock()
 	prevs := make([]op.Value, len(m.Ops))
+	vers := make(map[string]op.Value, len(objs))
 	for i, o := range m.Ops {
 		prevs[i] = s.Store.Get(o.Object)
-		s.Store.Apply(o)
+		v := s.Store.Apply(o)
+		if o.Kind.IsUpdate() {
+			vers[o.Object] = v
+		}
+	}
+	// Dual-write into the multi-version store for snapshot reads
+	// (idempotent at the same TS, covering redelivery).
+	for obj, v := range vers {
+		s.MV.InstallMonotone(obj, m.TS, v)
 	}
 	sl.entries = append(sl.entries, logEntry{m: m, prevs: prevs})
 	sl.applied[m.ET] = true
@@ -616,6 +625,22 @@ func (e *Engine) applyCompensation(s *replica.Site, sl *siteLog, m et.MSet) erro
 		}
 	}
 	sl.entries = append(sl.entries[:idx], sl.entries[idx+1:]...)
+	// Refresh the multi-version chains with the post-compensation values
+	// at the compensation MSet's timestamp (§4.2's "adding another
+	// version bearing the previous value"), so snapshot reads after the
+	// rollback converge with the single-version store.
+	touched := make(map[string]bool)
+	for _, o := range target.m.Ops {
+		touched[o.Object] = true
+	}
+	for _, en := range sl.entries[idx:] {
+		for _, o := range en.m.Ops {
+			touched[o.Object] = true
+		}
+	}
+	for obj := range touched {
+		s.MV.InstallMonotone(obj, m.TS, s.Store.Get(obj))
+	}
 	e.truncateLocked(sl)
 	e.c.SiteMetrics(s.ID).Compensations.Inc()
 	e.c.Trace.RecordMSetf(trace.Compensate, int(s.ID), m.Target.String(), m.MsgID(),

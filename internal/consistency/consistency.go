@@ -1,0 +1,85 @@
+// Package consistency defines the per-query consistency-level menu the
+// unified read path serves (DESIGN.md §13).
+//
+// The menu unifies the paper's ε-bounded inconsistency budget with
+// time-based staleness bounds, after the Cosmos DB consistency levels
+// and Spanner's SAFETIME-delayed snapshot reads (SNIPPETS.md snippets 1
+// and 3):
+//
+//	strong   — the read joins the global order: it observes every update
+//	           the site has accepted before answering (byte-identical to
+//	           the serial-order store once delivery quiesces).
+//	bounded  — bounded staleness(ε, Δt): the read may lag the global
+//	           order by at most Δt of wall-clock staleness and at most ε
+//	           units of overlap inconsistency; the SAFETIME gate parks it
+//	           until both bounds hold.
+//	session  — read-your-writes: the read waits until the site's SAFETIME
+//	           watermark passes the caller's high-water mark, then reads
+//	           that snapshot.
+//	eventual — latest local state, zero waiting, no bound.
+package consistency
+
+import (
+	"fmt"
+	"time"
+)
+
+// Level selects how much staleness a read tolerates.
+type Level int
+
+const (
+	// Eventual reads the latest local state with zero coordination.
+	Eventual Level = iota
+	// Session guarantees read-your-writes within one session.
+	Session
+	// Bounded guarantees staleness at most (ε, Δt).
+	Bounded
+	// Strong observes every update accepted at the site before answering.
+	Strong
+)
+
+// String returns the flag-spelling of the level.
+func (l Level) String() string {
+	switch l {
+	case Eventual:
+		return "eventual"
+	case Session:
+		return "session"
+	case Bounded:
+		return "bounded"
+	case Strong:
+		return "strong"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Levels lists the menu in weakest-to-strongest order.
+func Levels() []Level { return []Level{Eventual, Session, Bounded, Strong} }
+
+// Parse maps a flag-spelling ("strong", "bounded", "bounded-staleness",
+// "session", "eventual") to its Level.
+func Parse(s string) (Level, error) {
+	switch s {
+	case "eventual", "":
+		return Eventual, nil
+	case "session":
+		return Session, nil
+	case "bounded", "bounded-staleness":
+		return Bounded, nil
+	case "strong":
+		return Strong, nil
+	default:
+		return Eventual, fmt.Errorf("consistency: unknown level %q (want strong, bounded, session or eventual)", s)
+	}
+}
+
+// DefaultMaxStaleness is the Δt bound a bounded-staleness read uses when
+// the caller does not set one.
+const DefaultMaxStaleness = 5 * time.Second
+
+// DefaultWaitTimeout caps how long a strong/bounded/session read parks
+// on the SAFETIME gate before proceeding with what the site has.  The
+// read path counts the overrun in esr_read_delayed_total either way;
+// the cap keeps a partitioned site from wedging its readers forever.
+const DefaultWaitTimeout = 10 * time.Second

@@ -579,7 +579,8 @@ func (c *Cluster) Setup(factory func(s *replica.Site) replica.ApplyFunc) {
 				if len(records) == 0 {
 					continue
 				}
-				applied[sh] = wal.Rebuild(s.Store, records)
+				applied[sh] = wal.RebuildVersioned(s.Store, s.MV, records)
+				s.RestoreEpochs(records)
 				c.recovered[id] = append(c.recovered[id], records...)
 				recoveredAny = true
 			}

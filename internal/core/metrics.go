@@ -8,8 +8,11 @@ package core
 
 import (
 	"strconv"
+	"sync/atomic"
+	"time"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/lock"
 	"esr/internal/metrics"
 	"esr/internal/network"
@@ -39,6 +42,50 @@ type SiteMetrics struct {
 	// had left after charging (-1 for an unlimited query) — the live
 	// view of how close reads run to their inconsistency bound.
 	EpsilonBudget *metrics.Gauge
+	// ReadStaleMax is the worst wall-clock staleness any
+	// consistency-level read at this site has observed.
+	ReadStaleMax *metrics.Gauge
+
+	readStaleness [4]*metrics.Histogram // per-level esr_read_staleness_seconds
+	readDelayed   [4]*metrics.Counter   // per-level esr_read_delayed_total
+	staleMax      atomic.Int64          // running max behind ReadStaleMax
+}
+
+// ObserveStaleness records one read's observed replica staleness: the
+// per-level histogram plus the site's running worst case.
+func (sm *SiteMetrics) ObserveStaleness(l consistency.Level, d time.Duration) {
+	sm.readStaleness[levelIndex(l)].Observe(int64(d))
+	for {
+		cur := sm.staleMax.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if sm.staleMax.CompareAndSwap(cur, int64(d)) {
+			sm.ReadStaleMax.Set(int64(d))
+			return
+		}
+	}
+}
+
+// levelIndex clamps a consistency level into the per-level instrument
+// arrays.
+func levelIndex(l consistency.Level) int {
+	if l < 0 || int(l) >= 4 {
+		return 0
+	}
+	return int(l)
+}
+
+// ReadStaleness returns the site's staleness histogram for one
+// consistency level (nil, a no-op, on uninstrumented clusters).
+func (sm *SiteMetrics) ReadStaleness(l consistency.Level) *metrics.Histogram {
+	return sm.readStaleness[levelIndex(l)]
+}
+
+// ReadDelayed returns the site's delayed-read counter for one
+// consistency level (nil, a no-op, on uninstrumented clusters).
+func (sm *SiteMetrics) ReadDelayed(l consistency.Level) *metrics.Counter {
+	return sm.readDelayed[levelIndex(l)]
 }
 
 // clusterMetrics holds the cluster's resolved instruments plus the vecs
@@ -61,6 +108,12 @@ type clusterMetrics struct {
 	walSyncs   *metrics.CounterVec
 	walSyncSec *metrics.HistogramVec
 	walAppends *metrics.CounterVec
+
+	siteSafeTime  *metrics.GaugeVec
+	siteWatermark *metrics.GaugeVec
+	readStaleSec  *metrics.HistogramVec
+	readDelayed   *metrics.CounterVec
+	readStaleMax  *metrics.GaugeVec
 
 	siteReceived    *metrics.CounterVec
 	siteApplied     *metrics.CounterVec
@@ -118,6 +171,12 @@ func newClusterMetrics(reg *metrics.Registry, method string, sites int) *cluster
 		walSyncSec: reg.Histogram("esr_wal_sync_seconds", "Write-ahead-log fsync latency.", metrics.ScaleNanos, "site", "shard"),
 		walAppends: reg.Counter("esr_wal_appends_total", "MSets durably appended to the write-ahead log.", "site", "shard"),
 
+		siteSafeTime:  reg.Gauge("esr_safetime", "SAFETIME watermark (logical Time component) at a site.", "site"),
+		siteWatermark: reg.Gauge("esr_watermark", "Committed (applied) watermark — newest applied MSet timestamp at a site.", "site"),
+		readStaleSec:  reg.Histogram("esr_read_staleness_seconds", "Wall-clock replica staleness observed by consistency-level reads.", metrics.ScaleNanos, "site", "level"),
+		readDelayed:   reg.Counter("esr_read_delayed_total", "Reads parked on the SAFETIME delayed-read gate.", "site", "level"),
+		readStaleMax:  reg.Gauge("esr_read_staleness_max_nanos", "Worst read-observed staleness at a site, in nanoseconds.", "site"),
+
 		siteReceived:    reg.Counter("esr_site_received_total", "MSets accepted into a site's inbound queue.", "site"),
 		siteApplied:     reg.Counter("esr_site_applied_total", "MSets applied at a site.", "site"),
 		siteHeld:        reg.Counter("esr_site_holds_total", "Hold-back decisions at a site (one per deferred scan).", "site"),
@@ -163,13 +222,21 @@ func shardLabel(shard int) string { return strconv.Itoa(shard) }
 // construction (the map must not be written after New returns).
 func (m *clusterMetrics) resolveSite(id clock.SiteID) {
 	s := siteLabel(id)
-	m.site[id] = &SiteMetrics{
+	sm := &SiteMetrics{
 		Commits:       m.reg.Counter("esr_commits_total", "Update ETs committed, by origin site.", "site").With(s),
 		Compensations: m.reg.Counter("esr_compensations_total", "Compensation MSets applied, by site.", "site").With(s),
 		QueryCharged:  m.reg.Counter("esr_query_charged_total", "Query ETs that imported inconsistency, by site.", "site").With(s),
 		QueryFallback: m.reg.Counter("esr_query_fallback_total", "Query ETs that took the conservative path, by site.", "site").With(s),
 		EpsilonBudget: m.reg.Gauge("esr_epsilon_budget", "Remaining ε units after the most recent query (-1 = unlimited), by site.", "site").With(s),
+		ReadStaleMax:  m.readStaleMax.With(s),
 	}
+	// Per-level read instruments resolved up front — the read hot path
+	// must not hit Vec.With.
+	for _, l := range consistency.Levels() {
+		sm.readStaleness[levelIndex(l)] = m.readStaleSec.With(s, l.String())
+		sm.readDelayed[levelIndex(l)] = m.readDelayed.With(s, l.String())
+	}
+	m.site[id] = sm
 }
 
 // seqrepMetrics resolves one shard ensemble member's instruments.  Safe
@@ -299,6 +366,8 @@ func (m *clusterMetrics) replicaMetrics(id clock.SiteID) replica.Metrics {
 		SeenEvictions: m.siteEvictions.With(s),
 		Parallelism:   m.siteParallelism.With(s),
 		ApplySeconds:  m.siteApplySec.Curry(s),
+		SafeTime:      m.siteSafeTime.With(s),
+		Watermark:     m.siteWatermark.With(s),
 	}
 }
 

@@ -5,28 +5,33 @@ import (
 	"sort"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/divergence"
 	"esr/internal/et"
-	"esr/internal/lock"
 	"esr/internal/op"
 	"esr/internal/replica"
 	"esr/internal/trace"
 )
 
 // QueryAtSite runs the ε-bounded local read protocol shared by the
-// single-version forward methods (ORDUP, COMMU, COMPE):
+// single-version forward methods (ORDUP, COMMU, COMPE, RITU-sv):
 //
-//  1. Objects are read in sorted order (a total lock-acquisition order,
-//     so conservative queries cannot deadlock against MSet appliers).
+//  1. Objects are read in sorted order (a stable total order, so the
+//     accounting is deterministic across runs).
 //  2. Each read is priced by the method-supplied cost function — the
 //     query's overlap with update ETs on that object.
-//  3. While the inconsistency counter accepts the charge, the read takes
-//     an RQ lock, which under the ET tables never conflicts ("query ETs
-//     can be processed in any order", §3.1).
-//  4. Once the counter would exceed ε, remaining reads take RU locks:
-//     the query joins the serialization order of update ETs, paying
-//     blocking instead of inconsistency — the paper's "allowed to
-//     proceed only when it is running in the global order".
+//  3. While the inconsistency counter accepts the charge, the read is a
+//     plain lock-free store read: under the ET tables RQ locks never
+//     conflict ("query ETs can be processed in any order", §3.1), so
+//     taking one was pure overhead and the read path no longer does.
+//  4. Once the counter would exceed ε, remaining reads park on the
+//     site's drain gate until no queued update touching the object
+//     remains — the query is then effectively "running in the global
+//     order" (§3.1), paying blocking instead of inconsistency, without
+//     ever touching the lock manager.  A park that outlives the gate's
+//     timeout proceeds with what the site has (the charge is recorded
+//     either way), so a partitioned site degrades to bounded waiting
+//     instead of wedging its readers.
 //
 // cost receives the site, the object, and the object's epoch at query
 // start; it returns the inconsistency units reading the object now would
@@ -39,7 +44,6 @@ func QueryAtSite(c *Cluster, site clock.SiteID, objects []string, eps divergence
 		return et.QueryResult{}, fmt.Errorf("core: unknown site %v", site)
 	}
 	qid := c.NextET(site)
-	tx := lock.TxID(qid)
 	counter := divergence.NewCounter(eps)
 
 	sorted := append([]string(nil), objects...)
@@ -50,20 +54,17 @@ func QueryAtSite(c *Cluster, site clock.SiteID, objects []string, eps divergence
 	}
 	vals := make(map[string]op.Value, len(sorted))
 	sm := c.SiteMetrics(site)
-	defer s.Locks.ReleaseAll(tx)
 	for _, obj := range sorted {
-		mode := lock.RQ
 		price := cost(s, obj, baseline[obj])
 		if !counter.TryAdd(price) {
-			mode = lock.RU
 			sm.QueryFallback.Inc()
 			c.Trace.Recordf(trace.QueryFallback, int(site), qid.String(), "obj=%s cost=%d", obj, price)
+			// The conservative path: wait out the overlapping updates
+			// instead of importing their inconsistency.
+			_ = s.WaitDrained(obj, consistency.DefaultWaitTimeout)
 		} else if price > 0 {
 			sm.QueryCharged.Inc()
 			c.Trace.Recordf(trace.QueryCharged, int(site), qid.String(), "obj=%s cost=%d", obj, price)
-		}
-		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
-			return et.QueryResult{}, fmt.Errorf("core: query lock on %q: %w", obj, err)
 		}
 		vals[obj] = s.Store.Get(obj)
 		c.RecordQueryRead(qid, obj)
@@ -100,7 +101,6 @@ func QueryAtSiteSpec(c *Cluster, site clock.SiteID, objects []string, spec diver
 		return et.QueryResult{}, fmt.Errorf("core: unknown site %v", site)
 	}
 	qid := c.NextET(site)
-	tx := lock.TxID(qid)
 
 	sorted := append([]string(nil), objects...)
 	sort.Strings(sorted)
@@ -112,14 +112,9 @@ func QueryAtSiteSpec(c *Cluster, site clock.SiteID, objects []string, spec diver
 	}
 	vals := make(map[string]op.Value, len(sorted))
 	total := 0
-	defer s.Locks.ReleaseAll(tx)
 	for _, obj := range sorted {
-		mode := lock.RQ
 		if !counters[obj].TryAdd(cost(s, obj, baseline[obj])) {
-			mode = lock.RU
-		}
-		if err := s.Locks.Acquire(tx, mode, op.ReadOp(obj)); err != nil {
-			return et.QueryResult{}, fmt.Errorf("core: query lock on %q: %w", obj, err)
+			_ = s.WaitDrained(obj, consistency.DefaultWaitTimeout)
 		}
 		vals[obj] = s.Store.Get(obj)
 		total += counters[obj].Count()

@@ -1,0 +1,209 @@
+// The unified consistency-level read path (DESIGN.md §13).  Every
+// method engine serves its queries through ReadAtSite: the level picks
+// a snapshot timestamp, the SAFETIME gate parks reads the local replica
+// cannot yet serve, and the MVStore answers them lock-free.  No code on
+// this path touches the lock manager (esrvet rule A11 enforces that).
+
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/consistency"
+	"esr/internal/divergence"
+	"esr/internal/et"
+	"esr/internal/op"
+	"esr/internal/replica"
+	"esr/internal/trace"
+)
+
+// ReadOptions selects how a consistency-level read executes.  The zero
+// value is an eventual read with an unlimited ε budget.
+type ReadOptions struct {
+	// Level is the consistency level from the menu.
+	Level consistency.Level
+	// Epsilon bounds the inconsistency a bounded read may import
+	// (divergence.Unlimited when zero-valued via WithDefaults).
+	Epsilon divergence.Limit
+	// MaxStaleness is the bounded level's Δt: the read proceeds only
+	// while the site's wall-clock staleness is at most Δt.
+	MaxStaleness time.Duration
+	// MinTS is the session level's high-water mark: the read waits until
+	// the SAFETIME watermark passes it (read-your-writes).
+	MinTS clock.Timestamp
+	// WaitTimeout caps how long the read parks on the delayed-read gate
+	// before proceeding with what the site has.
+	WaitTimeout time.Duration
+}
+
+// withDefaults fills unset knobs.
+func (o ReadOptions) withDefaults() ReadOptions {
+	if o.MaxStaleness <= 0 {
+		o.MaxStaleness = consistency.DefaultMaxStaleness
+	}
+	if o.WaitTimeout <= 0 {
+		o.WaitTimeout = consistency.DefaultWaitTimeout
+	}
+	if o.Epsilon == 0 {
+		o.Epsilon = divergence.Unlimited
+	}
+	return o
+}
+
+// ReadAtSite serves one read at the requested consistency level from the
+// site's local replica.  All four levels share this path:
+//
+//	strong   — drain the gate: wait until no accepted update touching a
+//	           requested object remains unapplied, then read the latest
+//	           local state.  Once delivery quiesces this is byte-identical
+//	           to the serial-order store.
+//	bounded  — if the site's staleness exceeds Δt, park until the replica
+//	           catches up; then read the SAFETIME snapshot, charging each
+//	           object's overlap against the ε budget (objects whose charge
+//	           does not fit drain first, like the paper's conservative
+//	           queries).
+//	session  — park until SAFETIME passes the caller's high-water mark,
+//	           then read that snapshot (read-your-writes).
+//	eventual — read the latest local state immediately.
+//
+// Snapshot reads pin the MVStore at the chosen timestamp for their
+// duration, so concurrent version GC never prunes state from under
+// them.
+func ReadAtSite(c *Cluster, site clock.SiteID, objects []string, o ReadOptions) (et.QueryResult, error) {
+	s := c.Site(site)
+	if s == nil {
+		return et.QueryResult{}, fmt.Errorf("core: unknown site %v", site)
+	}
+	o = o.withDefaults()
+	qid := c.NextET(site)
+	sm := c.SiteMetrics(site)
+
+	sorted := append([]string(nil), objects...)
+	sort.Strings(sorted)
+	baseline := make(map[string]uint64, len(sorted))
+	for _, obj := range sorted {
+		baseline[obj] = s.Epoch(obj)
+	}
+
+	// Gate phase: park until the level's precondition holds.
+	waitStart := time.Now()
+	delayed := false
+	switch o.Level {
+	case consistency.Strong:
+		for _, obj := range sorted {
+			if s.Pending(obj) > 0 {
+				delayed = true
+			}
+			_ = s.WaitDrained(obj, o.WaitTimeout)
+		}
+	case consistency.Session:
+		if !o.MinTS.IsZero() && s.SafeTime().Less(o.MinTS) {
+			delayed = true
+			_, _ = s.WaitSafe(o.MinTS, o.WaitTimeout)
+		}
+	case consistency.Bounded:
+		if s.Staleness() > o.MaxStaleness {
+			delayed = true
+			_, _ = s.WaitStaleness(o.MaxStaleness, o.WaitTimeout)
+		}
+	}
+	waited := time.Since(waitStart)
+	if delayed {
+		sm.ReadDelayed(o.Level).Inc()
+		c.Trace.RecordSpan(trace.ReadWait, int(site), qid.String(), 0, waitStart,
+			"level="+o.Level.String())
+	}
+
+	// Snapshot phase: select the timestamp and read it lock-free.
+	snapStart := time.Now()
+	counter := divergence.NewCounter(o.Epsilon)
+	var ts clock.Timestamp
+	switch o.Level {
+	case consistency.Bounded:
+		ts = s.SafeTime()
+	case consistency.Session:
+		// Favor recency: a session write already applied at this site
+		// must be visible even while SAFETIME trails the applied
+		// watermark (read-your-writes beats snapshot conservatism).
+		ts = s.SafeTime()
+		if wm := s.Watermark(); ts.Less(wm) {
+			ts = wm
+		}
+		if ts.Less(o.MinTS) {
+			ts = o.MinTS
+		}
+	case consistency.Strong:
+		ts = s.Watermark()
+	}
+	vals := make(map[string]op.Value, len(sorted))
+	if !ts.IsZero() && (o.Level == consistency.Bounded || o.Level == consistency.Session) {
+		pin := s.MV.Pin(ts)
+		defer s.MV.Unpin(pin)
+	}
+	for _, obj := range sorted {
+		switch o.Level {
+		case consistency.Bounded:
+			price := OverlapCost(s, obj, baseline[obj])
+			if !counter.TryAdd(price) {
+				// ε exhausted: drain this object's overlap away rather
+				// than import it, then re-read the advanced snapshot.
+				sm.QueryFallback.Inc()
+				c.Trace.Recordf(trace.QueryFallback, int(site), qid.String(), "obj=%s cost=%d", obj, price)
+				_ = s.WaitDrained(obj, o.WaitTimeout)
+				ts = s.SafeTime()
+			} else if price > 0 {
+				sm.QueryCharged.Inc()
+				c.Trace.Recordf(trace.QueryCharged, int(site), qid.String(), "obj=%s cost=%d", obj, price)
+			}
+			vals[obj] = snapshotRead(s, obj, ts)
+		case consistency.Session:
+			vals[obj] = snapshotRead(s, obj, ts)
+		default: // Strong drained above; Eventual takes what is there.
+			vals[obj] = latestRead(s, obj)
+		}
+		c.RecordQueryRead(qid, obj)
+	}
+	c.Trace.RecordSpan(trace.ReadSnap, int(site), qid.String(), 0, snapStart,
+		"level="+o.Level.String())
+
+	st := s.Staleness()
+	sm.ObserveStaleness(o.Level, st)
+	return et.QueryResult{
+		Values:        vals,
+		Inconsistency: counter.Count(),
+		Epsilon:       o.Epsilon,
+		Site:          site,
+		Level:         o.Level,
+		SnapTS:        ts,
+		Staleness:     st,
+		Waited:        waited,
+	}, nil
+}
+
+// snapshotRead answers one object from the multi-version store at ts,
+// falling back to the single-version store for objects with no version
+// chain yet (pre-refactor recovery state, or coherency baselines that do
+// not dual-write versions).
+func snapshotRead(s *replica.Site, obj string, ts clock.Timestamp) op.Value {
+	if v, ok := s.MV.ReadAt(obj, ts); ok {
+		return v.Val
+	}
+	return s.Store.Get(obj)
+}
+
+// latestRead answers one object from the latest local state.  The
+// single-version store wins when it has ever seen the object; otherwise
+// the multi-version chain head serves methods whose state lives only
+// there (the paper's multi-version RITU).
+func latestRead(s *replica.Site, obj string) op.Value {
+	if s.Store.Has(obj) {
+		return s.Store.Get(obj)
+	}
+	if v, _, ok := s.MV.ReadLatest(obj); ok {
+		return v.Val
+	}
+	return op.Value{}
+}

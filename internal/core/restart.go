@@ -131,7 +131,8 @@ func (c *Cluster) RestartSite(id clock.SiteID, recover RecoverFunc) error {
 				shardRecs = append(shardRecs, m)
 			}
 		}
-		applied[sh] = wal.Rebuild(site.Store, shardRecs)
+		applied[sh] = wal.RebuildVersioned(site.Store, site.MV, shardRecs)
+		site.RestoreEpochs(shardRecs)
 	}
 	if err := site.Reload(); err != nil {
 		closeAll(qs, ws)

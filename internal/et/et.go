@@ -17,8 +17,10 @@ import (
 	"encoding/gob"
 	"fmt"
 	"hash/fnv"
+	"time"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/divergence"
 	"esr/internal/op"
 )
@@ -206,6 +208,17 @@ type QueryResult struct {
 	Epsilon divergence.Limit
 	// Site is where the query executed.
 	Site clock.SiteID
+	// Level is the consistency level the read ran at (the unified read
+	// path sets it; legacy ε-only queries leave it at the zero level).
+	Level consistency.Level
+	// SnapTS is the snapshot timestamp the read selected (zero for
+	// latest-local reads).
+	SnapTS clock.Timestamp
+	// Staleness is the site's wall-clock replica staleness observed at
+	// read time (age of the oldest accepted-but-unapplied update).
+	Staleness time.Duration
+	// Waited is how long the read parked on the delayed-read gate.
+	Waited time.Duration
 }
 
 // Value returns the value read for one object (zero Value if the object

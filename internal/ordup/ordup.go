@@ -668,8 +668,18 @@ func (e *Engine) applyOps(s *replica.Site, m et.MSet) error {
 			return fmt.Errorf("ordup: apply lock on %q: %w", obj, err)
 		}
 	}
+	vers := make(map[string]op.Value, len(objs))
 	for _, o := range m.Ops {
-		s.Store.Apply(o)
+		v := s.Store.Apply(o)
+		if o.Kind.IsUpdate() {
+			vers[o.Object] = v
+		}
+	}
+	// Dual-write the post-apply values into the multi-version store so
+	// snapshot reads can serve any timestamp (Install at the same TS is
+	// idempotent, covering redelivery).
+	for obj, v := range vers {
+		s.MV.InstallMonotone(obj, m.TS, v)
 	}
 	s.Locks.ReleaseAll(tx)
 	return nil

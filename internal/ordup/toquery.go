@@ -6,9 +6,9 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/divergence"
 	"esr/internal/et"
-	"esr/internal/lock"
 	"esr/internal/op"
 	"esr/internal/tsdc"
 )
@@ -89,7 +89,7 @@ func (e *Engine) highWater(site clock.SiteID) clock.Timestamp {
 // queryTO executes a query ET under basic-TO divergence control: reads
 // validate against per-object write timestamps, out-of-order
 // observations charge the ε counter, and when the budget is exhausted
-// the query falls back to the serialized (RU-locked) path.
+// the query falls back to the serialized (drain-and-read) path.
 func (e *Engine) queryTO(site clock.SiteID, objects []string, eps divergence.Limit) (et.QueryResult, error) {
 	s := e.c.Site(site)
 	if s == nil {
@@ -142,15 +142,13 @@ func (e *Engine) queryTO(site clock.SiteID, objects []string, eps divergence.Lim
 			s.WaitDrained(obj, 50*time.Millisecond)
 		}
 	}
-	// Final fallback: join the update serialization order with RU locks,
-	// exactly like the 2PL conservative path.
-	tx := lock.TxID(qid)
-	defer s.Locks.ReleaseAll(tx)
+	// Final fallback: join the update serialization order by waiting the
+	// remaining backlog out entirely — the lock-free equivalent of the
+	// old RU-locked conservative path (the query then runs "in the
+	// global order" without a lock-manager round trip).
 	vals := make(map[string]op.Value, len(sorted))
 	for _, obj := range sorted {
-		if err := s.Locks.Acquire(tx, lock.RU, op.ReadOp(obj)); err != nil {
-			return et.QueryResult{}, fmt.Errorf("ordup: TO fallback lock on %q: %w", obj, err)
-		}
+		_ = s.WaitDrained(obj, consistency.DefaultWaitTimeout)
 		vals[obj] = s.Store.Get(obj)
 		e.c.RecordQueryRead(qid, obj)
 	}

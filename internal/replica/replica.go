@@ -76,6 +76,12 @@ type Metrics struct {
 	// ApplySeconds observes per-MSet apply latency (nanoseconds), one
 	// series per worker slot; its remaining label is the worker index.
 	ApplySeconds *metrics.HistogramVec
+	// SafeTime publishes the site's SAFETIME watermark (the logical
+	// Time component) after every apply.
+	SafeTime *metrics.Gauge
+	// Watermark publishes the committed (applied) watermark's logical
+	// Time component after every apply.
+	Watermark *metrics.Gauge
 }
 
 // Site is one replica site.
@@ -114,6 +120,9 @@ type Site struct {
 	cond      *sync.Cond
 	pending   map[string]int    // object -> queued-but-unapplied update ETs touching it
 	epoch     map[string]uint64 // object -> update ETs applied here touching it
+	frontier  []clock.Timestamp // per-shard max applied MSet timestamp
+	pendingTS []map[uint64]clock.Timestamp // per-shard msgID -> TS of accepted-unapplied MSets
+	pendingAt map[uint64]time.Time         // msgID -> wall-clock accept time (staleness age)
 	stats     Stats
 	seen      map[uint64]bool    // message IDs accepted (mirrors queue dedup)
 	decoded   map[uint64]et.MSet // decode-once cache, evicted on ack
@@ -154,6 +163,9 @@ func NewShardedSite(id clock.SiteID, ins []queue.Queue, table lock.Table) *Site 
 		ins:       ins,
 		pending:   make(map[string]int),
 		epoch:     make(map[string]uint64),
+		frontier:  make([]clock.Timestamp, len(ins)),
+		pendingTS: make([]map[uint64]clock.Timestamp, len(ins)),
+		pendingAt: make(map[uint64]time.Time),
 		seen:      make(map[uint64]bool),
 		decoded:   make(map[uint64]et.MSet),
 		heldOnce:  make(map[uint64]bool),
@@ -164,6 +176,9 @@ func NewShardedSite(id clock.SiteID, ins []queue.Queue, table lock.Table) *Site 
 	}
 	for i := range s.kicks {
 		s.kicks[i] = make(chan struct{}, 1)
+	}
+	for i := range s.pendingTS {
+		s.pendingTS[i] = make(map[uint64]clock.Timestamp)
 	}
 	s.cond = sync.NewCond(&s.mu)
 	return s
@@ -352,6 +367,8 @@ func (s *Site) indexLocked(msg queue.Message, m et.MSet, sh int) {
 	for _, obj := range updateObjects(m) {
 		s.pending[obj]++
 	}
+	s.pendingTS[sh][msg.ID] = m.TS
+	s.pendingAt[msg.ID] = time.Now()
 	// Lamport receive rule: fold the MSet's timestamp into the local
 	// clock so later local events order after it.
 	s.Clock.Observe(m.TS)
@@ -401,6 +418,21 @@ func (s *Site) Epoch(object string) uint64 {
 	return s.epoch[object]
 }
 
+// RestoreEpochs recounts the per-object applied-update epochs from
+// recovered WAL records.  Epochs are in-memory evidence, so a restart
+// would otherwise reset them to zero and strand any client whose
+// monotonic-reads high-water mark predates the crash; recovery replays
+// the same per-MSet counting the live apply path performs.
+func (s *Site) RestoreEpochs(records []et.MSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, m := range records {
+		for _, obj := range updateObjects(m) {
+			s.epoch[obj]++
+		}
+	}
+}
+
 // Stats returns a snapshot of the site's counters.
 func (s *Site) Stats() Stats {
 	s.mu.Lock()
@@ -427,6 +459,134 @@ func (s *Site) WaitDrained(object string, timeout time.Duration) error {
 		waker.Stop()
 	}
 	return nil
+}
+
+// safeCeiling is the site tie-break used when stepping a timestamp just
+// below an exclusive bound (mirrors RITU's VTNC ceiling).
+const safeCeiling = clock.SiteID(1 << 30)
+
+// prevTS returns the largest representable timestamp strictly below ts.
+func prevTS(ts clock.Timestamp) clock.Timestamp {
+	if ts.Site > 0 {
+		return clock.Timestamp{Time: ts.Time, Site: ts.Site - 1}
+	}
+	if ts.Time == 0 {
+		return clock.Timestamp{}
+	}
+	return clock.Timestamp{Time: ts.Time - 1, Site: safeCeiling}
+}
+
+// safeTimeLocked computes the SAFETIME watermark: the largest timestamp
+// T such that every update MSet the site has accepted with TS ≤ T has
+// been applied.  Snapshot reads at or below it are never torn (pending
+// counts only drop after the ApplyFunc returns).  Caller holds s.mu.
+func (s *Site) safeTimeLocked() clock.Timestamp {
+	var minPending clock.Timestamp
+	havePending := false
+	for _, byID := range s.pendingTS {
+		for _, ts := range byID {
+			if !havePending || ts.Less(minPending) {
+				minPending, havePending = ts, true
+			}
+		}
+	}
+	if havePending {
+		return prevTS(minPending)
+	}
+	// Nothing accepted is unapplied: the watermark is the newest applied
+	// frontier across shards.  Idle shards impose no constraint — their
+	// sequencer heartbeats flow through the same apply path and keep
+	// advancing their frontier (the heartbeat floor evidence of PR 7/9).
+	var max clock.Timestamp
+	for _, f := range s.frontier {
+		if max.Less(f) {
+			max = f
+		}
+	}
+	return max
+}
+
+// SafeTime returns the site's SAFETIME watermark — the largest timestamp
+// at which a snapshot read observes every update the site has accepted.
+// Strong and bounded-staleness reads gate on it (DESIGN.md §13).
+func (s *Site) SafeTime() clock.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.safeTimeLocked()
+}
+
+// Watermark returns the committed (applied) watermark: the newest MSet
+// timestamp applied at this site across all shards.  Unlike SafeTime it
+// ignores queued-but-unapplied messages.
+func (s *Site) Watermark() clock.Timestamp {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var max clock.Timestamp
+	for _, f := range s.frontier {
+		if max.Less(f) {
+			max = f
+		}
+	}
+	return max
+}
+
+// Staleness reports how long the oldest accepted-but-unapplied MSet has
+// been waiting — the wall-clock staleness bound Δt a bounded read
+// compares against.  Zero when nothing is pending.
+func (s *Site) Staleness() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var oldest time.Time
+	for _, at := range s.pendingAt {
+		if oldest.IsZero() || at.Before(oldest) {
+			oldest = at
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
+}
+
+// WaitSafe parks until the SAFETIME watermark reaches ts (the delayed-read
+// gate: SNIPPETS.md snippet 1's "delay the read until the replica is
+// caught up").  It returns how long it waited; on timeout it returns an
+// error with the watermark still short of ts.
+func (s *Site) WaitSafe(ts clock.Timestamp, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	deadline := start.Add(timeout)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.safeTimeLocked().Less(ts) {
+		if time.Now().After(deadline) {
+			return time.Since(start), fmt.Errorf("site %v: SAFETIME %v still below %v after %v",
+				s.ID, s.safeTimeLocked(), ts, timeout)
+		}
+		waker := time.AfterFunc(time.Millisecond, s.cond.Broadcast)
+		s.cond.Wait()
+		waker.Stop()
+	}
+	return time.Since(start), nil
+}
+
+// WaitStaleness parks until the site's wall-clock staleness is at most
+// bound, or the timeout elapses (returning an error).  It returns how
+// long it waited.
+func (s *Site) WaitStaleness(bound, timeout time.Duration) (time.Duration, error) {
+	start := time.Now()
+	for {
+		st := s.Staleness()
+		if st <= bound {
+			return time.Since(start), nil
+		}
+		if time.Since(start) > timeout {
+			return time.Since(start), fmt.Errorf("site %v: staleness %v still above %v after %v",
+				s.ID, st, bound, timeout)
+		}
+		// The oldest pending message ages out either by being applied
+		// (cond-signalled) or by time passing; a short sleep covers both.
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func (s *Site) run(sh int) {
@@ -623,7 +783,7 @@ func (s *Site) applyOne(it applyItem, hist *metrics.Histogram) (ack, ok bool) {
 	hist.Observe(int64(time.Since(start)))
 	switch {
 	case err == nil:
-		s.applied(it.m)
+		s.applied(it.m, it.msg.ID)
 		s.Metrics.Applied.Inc()
 		s.Lag.Applied(it.msg.ID, int(s.ID))
 		// A span, not an instant: the apply work itself is one leg of
@@ -639,7 +799,7 @@ func (s *Site) applyOne(it applyItem, hist *metrics.Histogram) (ack, ok bool) {
 		// Superseded: acknowledge and clean up exactly like an apply so
 		// dedup still recognises redeliveries, without counting it as
 		// applied work.
-		s.applied(it.m)
+		s.applied(it.m, it.msg.ID)
 		s.Lag.Applied(it.msg.ID, int(s.ID))
 		s.Trace.RecordMSet(trace.Apply, int(s.ID), it.m.ET.String(), it.msg.ID, "stale")
 		s.mu.Lock()
@@ -804,7 +964,8 @@ func (s *Site) recordAckedLocked(id uint64) {
 	s.ackLen++
 }
 
-func (s *Site) applied(m et.MSet) {
+func (s *Site) applied(m et.MSet, msgID uint64) {
+	sh := s.shardOf(msgID)
 	s.mu.Lock()
 	s.stats.Applied++
 	for _, obj := range updateObjects(m) {
@@ -813,7 +974,21 @@ func (s *Site) applied(m et.MSet) {
 		}
 		s.epoch[obj]++
 	}
+	if s.frontier[sh].Less(m.TS) {
+		s.frontier[sh] = m.TS
+	}
+	delete(s.pendingTS[sh], msgID)
+	delete(s.pendingAt, msgID)
+	safe := s.safeTimeLocked()
+	var wm clock.Timestamp
+	for _, f := range s.frontier {
+		if wm.Less(f) {
+			wm = f
+		}
+	}
 	s.mu.Unlock()
+	s.Metrics.SafeTime.Set(int64(safe.Time))
+	s.Metrics.Watermark.Set(int64(wm.Time))
 	s.cond.Broadcast()
 }
 
@@ -843,7 +1018,7 @@ func updateObjects(m et.MSet) []string {
 func (s *Site) Reload() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, in := range s.ins {
+	for sh, in := range s.ins {
 		msgs, err := in.All()
 		if err != nil {
 			return err
@@ -861,6 +1036,8 @@ func (s *Site) Reload() error {
 			for _, obj := range updateObjects(m) {
 				s.pending[obj]++
 			}
+			s.pendingTS[sh][msg.ID] = m.TS
+			s.pendingAt[msg.ID] = time.Now()
 			s.Clock.Observe(m.TS)
 		}
 	}

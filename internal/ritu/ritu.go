@@ -229,15 +229,13 @@ func (e *Engine) Query(site clock.SiteID, objects []string, eps divergence.Limit
 	}
 	qid := e.c.NextET(site)
 	if e.cfg.Mode == SingleVersion {
+		// Lock-free: RITU reads "simply return the current value" — the
+		// RQ locks this path used to take never conflicted under the ET
+		// tables, so the read needs no lock-manager round trip at all.
 		vals := make(map[string]op.Value, len(objects))
 		sorted := append([]string(nil), objects...)
 		sort.Strings(sorted)
-		tx := lock.TxID(qid)
-		defer s.Locks.ReleaseAll(tx)
 		for _, obj := range sorted {
-			if err := s.Locks.Acquire(tx, lock.RQ, op.ReadOp(obj)); err != nil {
-				return et.QueryResult{}, err
-			}
 			vals[obj] = s.Store.Get(obj)
 			e.c.RecordQueryRead(qid, obj)
 		}
@@ -443,7 +441,12 @@ func (e *Engine) apply(s *replica.Site, m et.MSet) error {
 	}
 	for _, o := range m.Ops {
 		if e.cfg.Mode == SingleVersion {
-			s.Store.ApplyTimestamped(o)
+			if s.Store.ApplyTimestamped(o) {
+				// Dual-write applied (non-stale) values into the
+				// multi-version store so snapshot reads can serve any
+				// timestamp from single-version RITU sites too.
+				s.MV.InstallMonotone(o.Object, m.TS, s.Store.Get(o.Object))
+			}
 		} else {
 			s.MV.Install(o.Object, o.TS, op.NumValue(o.Arg))
 		}

@@ -1,0 +1,96 @@
+package session
+
+// Session-consistency chaos test over the replicated sequencer: the
+// read-your-writes guarantee must survive ensemble-member crashes and
+// restarts, served through the unified consistency-level read path
+// (S.Read).  Runs with -race in CI.
+
+import (
+	"testing"
+	"time"
+
+	"esr/internal/clock"
+	"esr/internal/network"
+	"esr/internal/op"
+	"esr/internal/ordup"
+	"esr/internal/sim"
+)
+
+// TestSessionReadAcrossSeqrepFailover drives a session through a
+// durable ORDUP cluster whose order service is a replicated ensemble:
+// writes keep committing while a member (including the usual leader
+// host) is down, and every session read — at surviving sites and at the
+// recovered site — still observes all of the session's own writes.
+func TestSessionReadAcrossSeqrepFailover(t *testing.T) {
+	eng, err := sim.NewEngine(sim.ORDUPSeq, 3, network.Config{Seed: 31}, sim.Options{
+		QueueDir:    t.TempDir(),
+		SeqReplicas: 3,
+		Heartbeat:   200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	defer eng.Close()
+	oe := eng.(*ordup.Engine)
+	s, err := New(eng)
+	if err != nil {
+		t.Fatalf("New session: %v", err)
+	}
+
+	total := int64(0)
+	write := func(origin clock.SiteID, n int64) {
+		t.Helper()
+		if _, err := s.Update(origin, []op.Op{op.IncOp("bal", n)}); err != nil {
+			t.Fatalf("session update at %v: %v", origin, err)
+		}
+		total += n
+	}
+	check := func(site clock.SiteID) {
+		t.Helper()
+		res, err := s.Read(site, []string{"bal"})
+		if err != nil {
+			t.Fatalf("session read at %v: %v", site, err)
+		}
+		if got := res.Value("bal").Num; got != total {
+			t.Fatalf("session read at %v = %d, want %d (read-your-writes violated)", site, got, total)
+		}
+	}
+
+	write(1, 100)
+	for _, site := range []clock.SiteID{1, 2, 3} {
+		check(site)
+	}
+
+	// Crash an ensemble member; the session keeps writing through the
+	// surviving majority and reading its writes at the survivors.
+	if err := oe.CrashSite(3); err != nil {
+		t.Fatalf("CrashSite(3): %v", err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		write(clock.SiteID(1+i%2), i)
+		check(1)
+		check(2)
+	}
+
+	// Recover the member: the session's very next read there must catch
+	// up to every write committed while it was down.
+	if err := oe.RestartSite(3); err != nil {
+		t.Fatalf("RestartSite(3): %v", err)
+	}
+	check(3)
+
+	// Now fail the usual leader host and keep going: sequencer failover
+	// plus session guarantees at once.
+	if err := oe.CrashSite(1); err != nil {
+		t.Fatalf("CrashSite(1): %v", err)
+	}
+	for i := int64(1); i <= 5; i++ {
+		write(clock.SiteID(2+i%2), 10*i)
+		check(2)
+		check(3)
+	}
+	if err := oe.RestartSite(1); err != nil {
+		t.Fatalf("RestartSite(1): %v", err)
+	}
+	check(1)
+}

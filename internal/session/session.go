@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"esr/internal/clock"
+	"esr/internal/consistency"
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/et"
@@ -127,6 +128,43 @@ func (s *S) Query(site clock.SiteID, objects []string, eps divergence.Limit) (et
 		}
 	}
 	res, err := s.eng.Query(site, objects, eps)
+	if err != nil {
+		return res, err
+	}
+	if s.cfg.MonotonicReads {
+		sp := s.eng.Cluster().Site(site)
+		s.mu.Lock()
+		for _, obj := range objects {
+			if ep := sp.Epoch(obj); ep > s.seenEpoch[obj] {
+				s.seenEpoch[obj] = ep
+			}
+		}
+		s.mu.Unlock()
+	}
+	return res, nil
+}
+
+// Read serves a session-consistency read through the unified read path
+// (core.ReadAtSite at the session level): the session's guarantees are
+// established at the site first — the same bounded waits Query uses —
+// and the lock-free snapshot read then runs against state that already
+// includes every session write.
+func (s *S) Read(site clock.SiteID, objects []string) (et.QueryResult, error) {
+	deadline := time.Now().Add(s.cfg.WaitTimeout)
+	if s.cfg.ReadYourWrites {
+		if err := s.waitForWrites(site, deadline); err != nil {
+			return et.QueryResult{}, err
+		}
+	}
+	if s.cfg.MonotonicReads {
+		if err := s.waitForEpochs(site, objects, deadline); err != nil {
+			return et.QueryResult{}, err
+		}
+	}
+	res, err := core.ReadAtSite(s.eng.Cluster(), site, objects, core.ReadOptions{
+		Level:       consistency.Session,
+		WaitTimeout: s.cfg.WaitTimeout,
+	})
 	if err != nil {
 		return res, err
 	}

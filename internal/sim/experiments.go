@@ -13,6 +13,7 @@ import (
 	"esr/internal/clock"
 	"esr/internal/commu"
 	"esr/internal/compe"
+	"esr/internal/consistency"
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/et"
@@ -120,6 +121,9 @@ func Experiments() []Experiment {
 		{ID: "E20", Title: "Sharded ordering domains: throughput vs shard count under a zipfian workload",
 			Claim: "§3.1: a central order server totally orders all updates — but updates touching disjoint objects need no mutual order; carving the keyspace into independent sequencer domains removes the shared ordering bottleneck while cross-shard ETs keep atomicity through per-shard sequence reservations",
 			Run:   runE20},
+		{ID: "E21", Title: "Consistency-level read menu: throughput and staleness across four levels",
+			Claim: "§3.3: queries that tolerate bounded inconsistency avoid the synchronization strong reads pay — under a write-heavy zipfian load, eventual and bounded snapshot reads sustain multiples of strong-read throughput while the SAFETIME gate keeps bounded staleness within Δt",
+			Run:   runE21},
 	}
 }
 
@@ -2238,6 +2242,270 @@ func runE20(quick bool) (*tabular.Table, error) {
 			fmt.Sprintf("%.0f", r.UpdatesPerSec),
 			fmt.Sprintf("%.2fx", r.SpeedupVs1),
 			fmt.Sprintf("%t", r.ShardsConverged))
+	}
+	return t, nil
+}
+
+// --- E21 ---
+
+// E21Row is one consistency level's measurement under the shared
+// write-heavy zipfian workload, exported so cmd/esrbench can record the
+// BENCH_read.json baseline.
+type E21Row struct {
+	Level string `json:"level"`
+	Reads int    `json:"reads"`
+	// ReadsPerSec is the sustained read throughput over the measurement
+	// window while three writers commit zipfian increments nonstop.
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	// SpeedupVsStrong is this level's throughput over the strong level's
+	// on the same workload — the menu's headline trade.
+	SpeedupVsStrong float64 `json:"speedup_vs_strong"`
+	// MeanStalenessMs / MaxStalenessMs summarize the per-read observed
+	// replica staleness (time the oldest accepted-unapplied update had
+	// been waiting when the read returned).
+	MeanStalenessMs float64 `json:"mean_staleness_ms"`
+	MaxStalenessMs  float64 `json:"max_staleness_ms"`
+	// DelayedPercent is the fraction of reads that parked on the level's
+	// gate (drain, SAFETIME, or staleness wait) before reading.
+	DelayedPercent float64 `json:"delayed_percent"`
+}
+
+// E21MaxStaleness is the bounded level's Δt: the staleness bound the
+// gate enforces and the baseline's staleness verdict is judged against.
+const E21MaxStaleness = 250 * time.Millisecond
+
+// e21GateTimeout caps how long one strong read may park on the drain
+// gate, so a hot object with nonstop writers bounds the experiment's
+// wall clock instead of wedging it.
+const e21GateTimeout = 300 * time.Millisecond
+
+// E21Window returns the per-level measurement window.
+func E21Window(quick bool) time.Duration {
+	if quick {
+		return 800 * time.Millisecond
+	}
+	return 2 * time.Second
+}
+
+// e21ObjectPool is the zipfian object universe the writers and readers
+// share; the skew concentrates both on the same hot keys, which is the
+// adversarial case for strong reads.
+const e21ObjectPool = 32
+
+// e21WritersPerSite is the number of closed-loop writer clients per
+// origin site.  Each Update pays a sequencer round trip, so per-client
+// throughput is latency-bound; several clients per site keep enough
+// sequenced MSets in flight that reordered deliveries — and the
+// accepted-but-unapplied hold windows they open — overlap on the hot
+// objects instead of arriving one at a time.
+const e21WritersPerSite = 6
+
+// e21ThinkTime is each reader client's inter-read pause.  The readers
+// are closed-loop clients, not spin loops: a level's throughput is then
+// governed by its per-read gate latency (think + read), which is the
+// quantity the menu trades away, instead of by how completely a spinning
+// reader can starve the apply pipeline of CPU.
+const e21ThinkTime = 200 * time.Microsecond
+
+// e21ZipfS is the zipfian skew shared by writers and readers: both
+// concentrate on the same hot keys, the adversarial case for strong
+// reads.
+const e21ZipfS = 1.5
+
+// e21ReadWidth is how many zipf-drawn objects each query reads.  Strong
+// reads must drain every one of them, so wider reads meet the hot keys
+// (and their hold windows) more often.
+const e21ReadWidth = 3
+
+// e21Trial measures one consistency level: a 3-site sequencer-mode
+// ORDUP cluster with several closed-loop writer clients per site
+// committing single-object zipfian increments, and two closed-loop
+// readers (sites 2 and 3) issuing e21ReadWidth-object zipfian reads at
+// the level through core.ReadAtSite for the whole window.
+func e21Trial(level consistency.Level, window time.Duration) (E21Row, error) {
+	// Sequencer-mode ORDUP over links with real latency: MSets that
+	// arrive out of their total order are accepted but held until the
+	// gap fills, so every reordered delivery opens a multi-millisecond
+	// accepted-but-unapplied window — exactly the state strong reads
+	// must drain and bounded reads may import.  On an instant in-memory
+	// COMMU cluster nothing is ever pending and every level degenerates
+	// to an eventual read.
+	eng, err := NewEngine(ORDUPSeq, 3, network.Config{
+		Seed: 33, MinLatency: 2 * time.Millisecond, MaxLatency: 40 * time.Millisecond,
+	}, Options{})
+	if err != nil {
+		return E21Row{}, err
+	}
+	defer eng.Close()
+	cl := eng.Cluster()
+
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 3*e21WritersPerSite; w++ {
+		writers.Add(1)
+		go func(w int, origin clock.SiteID) {
+			defer writers.Done()
+			rng := rand.New(rand.NewSource(3300 + int64(w)))
+			zipf := rand.NewZipf(rng, e21ZipfS, 1, e21ObjectPool-1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				obj := fmt.Sprintf("obj-%02d", zipf.Uint64())
+				if _, err := eng.Update(origin, []op.Op{op.IncOp(obj, 1)}); err != nil {
+					return
+				}
+			}
+		}(w, clock.SiteID(1+w%3))
+	}
+
+	type readerStats struct {
+		reads, delayed int
+		stalenessSum   time.Duration
+		stalenessMax   time.Duration
+		err            error
+	}
+	stats := make([]readerStats, 2)
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(r int, site clock.SiteID) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(6600 + int64(r)))
+			zipf := rand.NewZipf(rng, e21ZipfS, 1, e21ObjectPool-1)
+			st := &stats[r]
+			sw := stopwatch.Start()
+			for sw.Elapsed() < window {
+				// Closed-loop client think time: without it the readers
+				// monopolize the scheduler on small machines and starve the
+				// very replication pipeline whose lag the levels price.
+				time.Sleep(e21ThinkTime)
+				objs := make([]string, e21ReadWidth)
+				for i := range objs {
+					objs[i] = fmt.Sprintf("obj-%02d", zipf.Uint64())
+				}
+				res, err := core.ReadAtSite(cl, site, objs, core.ReadOptions{
+					Level:        level,
+					MaxStaleness: E21MaxStaleness,
+					WaitTimeout:  e21GateTimeout,
+				})
+				if err != nil {
+					st.err = fmt.Errorf("E21 %s read at %v: %w", level, site, err)
+					return
+				}
+				st.reads++
+				st.stalenessSum += res.Staleness
+				if res.Staleness > st.stalenessMax {
+					st.stalenessMax = res.Staleness
+				}
+				if res.Waited > time.Millisecond {
+					st.delayed++
+				}
+			}
+		}(r, clock.SiteID(2+r))
+	}
+	sw := stopwatch.Start()
+	readers.Wait()
+	elapsed := sw.Elapsed()
+	close(stop)
+	writers.Wait()
+	if err := cl.Quiesce(60 * time.Second); err != nil {
+		return E21Row{}, fmt.Errorf("E21 %s: %w", level, err)
+	}
+	row := E21Row{Level: level.String()}
+	var sum time.Duration
+	delayed := 0
+	for _, st := range stats {
+		if st.err != nil {
+			return E21Row{}, st.err
+		}
+		row.Reads += st.reads
+		delayed += st.delayed
+		sum += st.stalenessSum
+		if ms := float64(st.stalenessMax) / float64(time.Millisecond); ms > row.MaxStalenessMs {
+			row.MaxStalenessMs = ms
+		}
+	}
+	if row.Reads > 0 {
+		row.MeanStalenessMs = float64(sum) / float64(row.Reads) / float64(time.Millisecond)
+		row.DelayedPercent = 100 * float64(delayed) / float64(row.Reads)
+	}
+	row.ReadsPerSec = float64(row.Reads) / elapsed.Seconds()
+	return row, nil
+}
+
+// E21Sweep measures every level of the menu, weakest to strongest, and
+// resolves each row's speedup against the strong level's throughput.
+func E21Sweep(quick bool) ([]E21Row, error) {
+	window := E21Window(quick)
+	var rows []E21Row
+	for _, level := range consistency.Levels() {
+		row, err := e21Trial(level, window)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	strong := 0.0
+	for _, r := range rows {
+		if r.Level == consistency.Strong.String() {
+			strong = r.ReadsPerSec
+		}
+	}
+	if strong > 0 {
+		for i := range rows {
+			rows[i].SpeedupVsStrong = rows[i].ReadsPerSec / strong
+		}
+	}
+	return rows, nil
+}
+
+// E21SpeedupOf returns the named level's speedup over strong (0 when
+// the sweep has no such row) — the statistic the CI gate tests for the
+// eventual and bounded levels.
+func E21SpeedupOf(rows []E21Row, level string) float64 {
+	for _, r := range rows {
+		if r.Level == level {
+			return r.SpeedupVsStrong
+		}
+	}
+	return 0
+}
+
+// E21BoundedWithinDt reports whether the bounded level's mean observed
+// staleness stayed within Δt.  The gate reads the mean, not the max: the
+// staleness gauge is sampled after the snapshot is taken, so a write
+// burst landing mid-read can push an individual sample past the bound
+// the gate enforced at wait time.
+func E21BoundedWithinDt(rows []E21Row) bool {
+	for _, r := range rows {
+		if r.Level == consistency.Bounded.String() {
+			return r.MeanStalenessMs <= float64(E21MaxStaleness)/float64(time.Millisecond)
+		}
+	}
+	return false
+}
+
+// runE21 sweeps the four consistency levels under the shared zipfian
+// write load.  The CI gate lives in cmd/esrbench (-minspeedup on the
+// eventual and bounded rows plus the bounded staleness verdict); the
+// experiment itself reports.
+func runE21(quick bool) (*tabular.Table, error) {
+	rows, err := E21Sweep(quick)
+	if err != nil {
+		return nil, err
+	}
+	t := tabular.New("E21: consistency-level read menu — throughput and staleness per level",
+		"level", "reads", "reads/sec", "vs strong", "staleness mean", "staleness max", "delayed")
+	for _, r := range rows {
+		t.AddRowf(r.Level, r.Reads,
+			fmt.Sprintf("%.0f", r.ReadsPerSec),
+			fmt.Sprintf("%.1fx", r.SpeedupVsStrong),
+			fmt.Sprintf("%.2fms", r.MeanStalenessMs),
+			fmt.Sprintf("%.2fms", r.MaxStalenessMs),
+			fmt.Sprintf("%.1f%%", r.DelayedPercent))
 	}
 	return t, nil
 }

@@ -83,7 +83,7 @@ func TestSummaries(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	exps := Experiments()
-	wantIDs := []string{"T1", "T2", "T3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	wantIDs := []string{"T1", "T2", "T3", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"}
 	if len(exps) != len(wantIDs) {
 		t.Fatalf("got %d experiments, want %d", len(exps), len(wantIDs))
 	}
@@ -168,7 +168,7 @@ func TestQuickExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow")
 	}
-	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"} {
+	for _, id := range []string{"E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E21"} {
 		id := id
 		t.Run(id, func(t *testing.T) {
 			t.Parallel()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"esr/internal/consistency"
 	"esr/internal/core"
 	"esr/internal/divergence"
 	"esr/internal/op"
@@ -50,6 +51,13 @@ type Workload struct {
 	Skew float64
 	// Epsilon is the ε limit query ETs run under.
 	Epsilon divergence.Limit
+	// Consistency, when non-empty, routes query ETs through the unified
+	// consistency-level read path (core.ReadAtSite) at the named level
+	// instead of the engine's native query.  Parsed by
+	// consistency.Parse; "" keeps the engine-native query path.
+	Consistency string
+	// MaxStaleness is the bounded level's Δt when Consistency is set.
+	MaxStaleness time.Duration
 	// Build produces update operations (default AdditiveOps).
 	Build OpBuilder
 	// Pace, when positive, sleeps between a client's ETs so open-loop
@@ -69,6 +77,8 @@ type Result struct {
 	UpdateLatency LatencyStats
 	QueryLatency  LatencyStats
 	Inconsistency IntStats      // per-query imported inconsistency
+	Staleness     LatencyStats  // per-read observed staleness (level reads only)
+	Delayed       int           // reads that parked on the level's gate
 	ConvergeIn    time.Duration // quiesce duration after the workload
 	Converged     bool
 }
@@ -150,6 +160,13 @@ func Run(e core.Engine, w Workload) (Result, error) {
 	if w.Build == nil {
 		w.Build = AdditiveOps
 	}
+	var level consistency.Level
+	if w.Consistency != "" {
+		var err error
+		if level, err = consistency.Parse(w.Consistency); err != nil {
+			return Result{}, err
+		}
+	}
 	sites := e.Cluster().SiteIDs()
 
 	type clientOut struct {
@@ -157,6 +174,8 @@ func Run(e core.Engine, w Workload) (Result, error) {
 		updateErrs, queryErrs int
 		updateLat, queryLat   []time.Duration
 		inconsistency         []int
+		staleness             []time.Duration
+		delayed               int
 	}
 	outs := make([]clientOut, w.Clients)
 	var wg sync.WaitGroup
@@ -177,8 +196,24 @@ func Run(e core.Engine, w Workload) (Result, error) {
 				if rng.Float64() < w.QueryFraction {
 					objs := pick(w.ObjectsPerQuery)
 					t0 := stopwatch.Start()
-					res, err := e.Query(site, objs, w.Epsilon)
-					if err != nil {
+					if w.Consistency != "" {
+						res, err := core.ReadAtSite(e.Cluster(), site, objs, core.ReadOptions{
+							Level:        level,
+							Epsilon:      w.Epsilon,
+							MaxStaleness: w.MaxStaleness,
+						})
+						if err != nil {
+							out.queryErrs++
+						} else {
+							out.queries++
+							out.queryLat = append(out.queryLat, t0.Elapsed())
+							out.inconsistency = append(out.inconsistency, res.Inconsistency)
+							out.staleness = append(out.staleness, res.Staleness)
+							if res.Waited > time.Millisecond {
+								out.delayed++
+							}
+						}
+					} else if res, err := e.Query(site, objs, w.Epsilon); err != nil {
 						out.queryErrs++
 					} else {
 						out.queries++
@@ -209,20 +244,23 @@ func Run(e core.Engine, w Workload) (Result, error) {
 	elapsed := start.Elapsed()
 
 	res := Result{Method: e.Name(), Sites: len(sites), Elapsed: elapsed}
-	var updateLat, queryLat []time.Duration
+	var updateLat, queryLat, stale []time.Duration
 	var inc []int
 	for i := range outs {
 		res.Updates += outs[i].updates
 		res.Queries += outs[i].queries
 		res.UpdateErrors += outs[i].updateErrs
 		res.QueryErrors += outs[i].queryErrs
+		res.Delayed += outs[i].delayed
 		updateLat = append(updateLat, outs[i].updateLat...)
 		queryLat = append(queryLat, outs[i].queryLat...)
 		inc = append(inc, outs[i].inconsistency...)
+		stale = append(stale, outs[i].staleness...)
 	}
 	res.UpdateLatency = summarizeLatency(updateLat)
 	res.QueryLatency = summarizeLatency(queryLat)
 	res.Inconsistency = summarizeInts(inc)
+	res.Staleness = summarizeLatency(stale)
 
 	t0 := stopwatch.Start()
 	if err := e.Cluster().Quiesce(60 * time.Second); err != nil {

@@ -93,6 +93,17 @@ func (s *Store) Get(object string) op.Value {
 	return st.cells[object].val.Clone()
 }
 
+// Has reports whether the object has ever been written in this store.
+// Read paths use it to tell a genuine zero value from an object whose
+// state lives only in a multi-version side store.
+func (s *Store) Has(object string) bool {
+	st := s.stripe(object)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	_, ok := st.cells[object]
+	return ok
+}
+
 // Apply applies the operation to its object and returns the new value.
 // Read returns the current value unchanged.
 func (s *Store) Apply(o op.Op) op.Value {
@@ -214,6 +225,10 @@ type MVStore struct {
 
 	vtncMu sync.RWMutex
 	vtnc   clock.Timestamp
+
+	pinMu   sync.Mutex
+	pins    map[uint64]clock.Timestamp // live snapshot pins, by handle
+	nextPin uint64
 }
 
 // mvStripe holds the version chains for the objects hashing to one
@@ -225,7 +240,7 @@ type mvStripe struct {
 
 // NewMVStore returns an empty multi-version store with a zero VTNC.
 func NewMVStore() *MVStore {
-	m := &MVStore{stripes: make([]*mvStripe, defaultStripes)}
+	m := &MVStore{stripes: make([]*mvStripe, defaultStripes), pins: make(map[uint64]clock.Timestamp)}
 	for i := range m.stripes {
 		m.stripes[i] = &mvStripe{objs: make(map[string][]Version)}
 	}
@@ -265,6 +280,26 @@ func (m *MVStore) Install(object string, ts clock.Timestamp, val op.Value) {
 	copy(vs[i+1:], vs[i:])
 	vs[i] = Version{TS: ts, Val: val.Clone()}
 	st.objs[object] = vs
+}
+
+// InstallMonotone records the latest applied value for the object.  If
+// the chain's newest version is already at or past ts — methods that
+// apply out of timestamp order (commutative, compensation) produce this
+// — the value replaces that newest version instead of landing mid-chain,
+// so the chain head always holds the replica's latest applied state and
+// every version value is a real past state of the replica.  Snapshot
+// reads depend on both properties.
+func (m *MVStore) InstallMonotone(object string, ts clock.Timestamp, val op.Value) {
+	st := m.stripe(object)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	vs := st.objs[object]
+	if n := len(vs); n > 0 && !vs[n-1].TS.Less(ts) {
+		vs[n-1].Val = val.Clone()
+		st.objs[object] = vs
+		return
+	}
+	st.objs[object] = append(vs, Version{TS: ts, Val: val.Clone()})
 }
 
 // Delete removes the version with the given timestamp, if present, and
@@ -366,11 +401,57 @@ func (m *MVStore) Objects() []string {
 	return out
 }
 
+// Pin registers a snapshot reader at the timestamp and returns a handle
+// the reader releases with Unpin when its read completes.  While a pin
+// at ts is live, GC never discards the version chain state a ReadAt(ts)
+// needs: the effective GC horizon is clamped to the oldest live pin.
+func (m *MVStore) Pin(ts clock.Timestamp) uint64 {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	m.nextPin++
+	h := m.nextPin
+	m.pins[h] = ts
+	return h
+}
+
+// Unpin releases a snapshot pin.  Unknown handles are ignored (Unpin is
+// idempotent).
+func (m *MVStore) Unpin(h uint64) {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	delete(m.pins, h)
+}
+
+// Pins reports the number of live snapshot pins.
+func (m *MVStore) Pins() int {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	return len(m.pins)
+}
+
+// minPin returns the oldest live pin timestamp, ok=false if none.
+func (m *MVStore) minPin() (clock.Timestamp, bool) {
+	m.pinMu.Lock()
+	defer m.pinMu.Unlock()
+	var min clock.Timestamp
+	found := false
+	for _, ts := range m.pins {
+		if !found || ts.Less(min) {
+			min, found = ts, true
+		}
+	}
+	return min, found
+}
+
 // GC discards all versions strictly older than the newest version at or
 // below the horizon, per object.  The newest version ≤ horizon must be
-// kept because it remains readable.  It returns the number of versions
-// collected.
+// kept because it remains readable.  Live snapshot pins clamp the
+// horizon: a pinned reader at an older timestamp keeps every version it
+// could observe.  It returns the number of versions collected.
 func (m *MVStore) GC(horizon clock.Timestamp) int {
+	if pin, ok := m.minPin(); ok && pin.Less(horizon) {
+		horizon = pin
+	}
 	var n int
 	m.forEachStripe(func(st *mvStripe) {
 		st.mu.Lock()

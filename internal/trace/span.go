@@ -108,6 +108,8 @@ var infraKinds = map[Kind]bool{
 	NetRecv:       true,
 	QueryCharged:  true,
 	QueryFallback: true,
+	ReadWait:      true,
+	ReadSnap:      true,
 }
 
 // Unattributed returns events that are neither part of an MSet
@@ -279,6 +281,28 @@ func LegStats(timelines []*Timeline) []LegStat {
 			byName[l.Name] = append(byName[l.Name], l.Dur)
 		}
 	}
+	return legStatRows(byName)
+}
+
+// InfraLegStats aggregates the span-shaped infrastructure events —
+// read-wait and read-snap from the consistency-level read path, batch
+// flushes, sequencer rounds, transport sends — which belong to no MSet
+// timeline and so never show up in LegStats.  Point events (Dur == 0)
+// are skipped; the result merges cleanly with LegStats output because
+// infrastructure kinds and timeline leg names never collide.
+func InfraLegStats(events []Event) []LegStat {
+	byName := map[string][]time.Duration{}
+	for _, e := range events {
+		if e.MSet != 0 || e.Dur == 0 || !infraKinds[e.Kind] {
+			continue
+		}
+		byName[string(e.Kind)] = append(byName[string(e.Kind)], e.Dur)
+	}
+	return legStatRows(byName)
+}
+
+// legStatRows folds name→durations into sorted LegStat rows.
+func legStatRows(byName map[string][]time.Duration) []LegStat {
 	names := make([]string, 0, len(byName))
 	for n := range byName {
 		names = append(names, n)

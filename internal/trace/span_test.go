@@ -158,6 +158,40 @@ func TestLegStats(t *testing.T) {
 	}
 }
 
+func TestInfraLegStats(t *testing.T) {
+	evs := sampleEvents()
+	// Two read-wait parks and one read-snap span, MSet-less like the
+	// read path records them.
+	evs = append(evs,
+		mkEvent(ReadWait, 2, 0, 10, 20, 3*time.Millisecond),
+		mkEvent(ReadWait, 3, 0, 11, 22, time.Millisecond),
+		mkEvent(ReadSnap, 2, 0, 12, 23, 50*time.Microsecond),
+	)
+	stats := InfraLegStats(Infrastructure(evs))
+	byName := map[string]LegStat{}
+	for _, s := range stats {
+		byName[s.Name] = s
+	}
+	rw, ok := byName["read-wait"]
+	if !ok {
+		t.Fatal("read-wait missing from infra leg stats")
+	}
+	if rw.Count != 2 || rw.Max != 3*time.Millisecond {
+		t.Errorf("read-wait stat = %+v, want count 2 max 3ms", rw)
+	}
+	if rs := byName["read-snap"]; rs.Count != 1 {
+		t.Errorf("read-snap stat = %+v, want count 1", rs)
+	}
+	// The MSet-less election is a point event and must not appear.
+	if _, ok := byName["election"]; ok {
+		t.Error("point event leaked into infra leg stats")
+	}
+	// Timeline-owned spans (sequence has an MSet) stay out.
+	if _, ok := byName["sequence"]; ok {
+		t.Error("timeline span leaked into infra leg stats")
+	}
+}
+
 func TestExportChromeValidJSON(t *testing.T) {
 	evs := sampleEvents()
 	ts := Assemble(evs)

@@ -64,6 +64,12 @@ const (
 	NetSend Kind = "net-send"
 	// NetRecv: the transport delivered a remote payload locally.
 	NetRecv Kind = "net-recv"
+	// ReadWait: a strong/bounded/session read parked on the SAFETIME
+	// delayed-read gate (span; Dur is the park time).
+	ReadWait Kind = "read-wait"
+	// ReadSnap: the snapshot phase of a consistency-level read (span;
+	// Dur covers timestamp selection plus the version-chain reads).
+	ReadSnap Kind = "read-snap"
 )
 
 // Event is one trace record.

@@ -301,6 +301,14 @@ func Wrap(w *WAL, apply replica.ApplyFunc) replica.ApplyFunc {
 // of MSet message identities already applied, which Receive-side dedup
 // needs so redelivered MSets are not applied twice.
 func Rebuild(store *storage.Store, records []et.MSet) map[et.ID]bool {
+	return RebuildVersioned(store, nil, records)
+}
+
+// RebuildVersioned is Rebuild with a multi-version side store: the
+// post-apply value of every updated object is also installed at the
+// record's timestamp, so snapshot reads at pre-crash timestamps survive
+// recovery.  mv may be nil (plain Rebuild).
+func RebuildVersioned(store *storage.Store, mv *storage.MVStore, records []et.MSet) map[et.ID]bool {
 	applied := make(map[et.ID]bool, len(records))
 	for _, m := range records {
 		for _, o := range m.Ops {
@@ -308,6 +316,9 @@ func Rebuild(store *storage.Store, records []et.MSet) map[et.ID]bool {
 				store.ApplyTimestamped(o)
 			} else {
 				store.Apply(o)
+			}
+			if mv != nil && o.Kind.IsUpdate() {
+				mv.InstallMonotone(o.Object, m.TS, store.Get(o.Object))
 			}
 		}
 		applied[m.ET] = true

@@ -13,9 +13,17 @@
 # a complete commit→receive→apply timeline at every site for at least
 # SITES*UPDATES MSets, exported as Chrome trace-event JSON.
 #
+# Every method round also drives the consistency-level read menu: each
+# node interleaves READS mixed-level reads (strong, bounded-staleness,
+# session, eventual in rotation) with its update workload, then runs a
+# post-drain equivalence round requiring all four levels to answer with
+# the converged store's value.  A node exits non-zero if any gate
+# misbehaves or the levels diverge after quiescence.
+#
 # Usage: scripts/smoke_node.sh [method...]
 #   RACE=1      build esrnode with the race detector
 #   UPDATES=n   updates per node (default 30; 200 in chaos mode)
+#   READS=n     mixed-level reads per node per round (default 8)
 #   SITES=n     cluster size (default 3)
 #   SHARDS=n    ordering domains for the extra sharded ordup round
 #               (default 4; 0 skips the round)
@@ -101,6 +109,7 @@ if [ "${CHAOS:-0}" = "1" ]; then
     exit 0
 fi
 UPDATES="${UPDATES:-30}"
+READS="${READS:-8}"
 
 fail=0
 first=1
@@ -129,6 +138,7 @@ for method in "${METHODS[@]}"; do
             -site "$i" -sites "$SITES" -method "$method" \
             -peers-file "$dir/rdv" -dir "$dir/wal$i" \
             -updates "$UPDATES" -seed 42 \
+            -reads "$READS" -consistency mixed \
             -out "$dir/store$i.json" "${extra[@]}" \
             >"$dir/node$i.log" 2>&1 &
         pids+=($!)
@@ -169,8 +179,14 @@ for method in "${METHODS[@]}"; do
             diff "$dir/store1.json" "$dir/store$i.json" | head -n 10 || true
         fi
     done
+    for i in $(seq 1 "$SITES"); do
+        if ! grep -q "post-drain equivalence round passed" "$dir/node$i.log"; then
+            ok=0
+            echo "FAIL $method: site $i never ran the mixed-level equivalence round"
+        fi
+    done
     if [ "$ok" = "1" ]; then
-        echo "PASS $method: $SITES processes converged to identical stores"
+        echo "PASS $method: $SITES processes converged to identical stores (+$READS mixed-level reads per node)"
     else
         fail=1
     fi
@@ -190,6 +206,7 @@ if [ "$SHARDS" -gt 1 ]; then
             -site "$i" -sites "$SITES" -method ordup -shards "$SHARDS" \
             -peers-file "$dir/rdv" -dir "$dir/wal$i" \
             -updates "$UPDATES" -seed 42 \
+            -reads "$READS" -consistency mixed \
             -out "$dir/store$i.json" \
             >"$dir/node$i.log" 2>&1 &
         pids+=($!)
